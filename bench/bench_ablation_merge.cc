@@ -1,0 +1,117 @@
+// Ablation — operation encapsulation (paper §IV-B).
+//
+// The paper rejects two extremes: one stage per primitive layer (extra
+// serialization/transfer per hop) and one stage for everything (breaks
+// privacy). This ablation quantifies the first: latency of the merged
+// pipeline versus a per-primitive-layer pipeline in which every linear op
+// is its own stage with its own serialization hop.
+
+#include "bench/bench_common.h"
+
+#include "stream/message.h"
+
+using namespace ppstream;
+using namespace ppstream::bench;
+
+int main() {
+  std::printf("== Ablation: merged stages vs per-primitive-layer stages "
+              "==\n\n");
+  constexpr int kKeyBits = 512;
+
+  std::printf("%-12s %10s %8s %8s %14s %14s %10s\n", "model", "net",
+              "merged", "unmerged", "merged lat(s)", "unmerged lat",
+              "overhead");
+  PrintRule();
+
+  for (ZooModelId id : {ZooModelId::kHeart, ZooModelId::kMnist2,
+                        ZooModelId::kMnist3}) {
+    TrainedEntry entry = Train(id);
+    ProtocolSetup setup = Setup(entry.model, 10000, kKeyBits);
+    const InferencePlan& plan = *setup.plan;
+    std::vector<DoubleTensor> probes = {entry.data.test.samples[0]};
+    auto profile = ProfilePlan(*setup.mp, *setup.dp, probes);
+    PPS_CHECK_OK(profile.status());
+
+    // Merged: the plan as compiled.
+    Allocation merged_alloc;
+    const size_t merged_stages = profile.value().stage_seconds.size();
+    merged_alloc.threads_of_layer.assign(merged_stages, 2);
+    merged_alloc.server_of_layer.resize(merged_stages);
+    for (size_t s = 0; s < merged_stages; ++s) {
+      merged_alloc.server_of_layer[s] =
+          profile.value().stage_class[s] > 0 ? 0 : 1;
+    }
+
+    // Unmerged topology: split every linear stage into one stage per
+    // affine op,
+    // each op paying a full serialization/transfer hop. The op costs are
+    // apportioned from the measured stage time by term counts; every hop
+    // ships the op's output tensor.
+    const size_t ct_bytes =
+        setup.mp->public_key().n_squared().BitLength() / 8 + 17;
+    std::vector<SimStageSpec> unmerged;
+    size_t unmerged_count = 0;
+    int server_tick = 0;
+    for (size_t s = 0; s < merged_stages; ++s) {
+      if (profile.value().stage_class[s] < 0) {  // data-provider stage
+        SimStageSpec spec;
+        spec.single_thread_seconds = profile.value().stage_seconds[s];
+        spec.threads = 2;
+        spec.server = 1000;  // data side
+        spec.bytes_out = profile.value().stage_bytes_out[s];
+        unmerged.push_back(spec);
+        ++unmerged_count;
+        continue;
+      }
+      const size_t round = (s - 1) / 2;
+      const LinearStage& stage = plan.linear_stages[round];
+      int64_t total_terms = 0;
+      for (const auto& op : stage.ops) total_terms += op.TotalTerms() + 1;
+      for (const auto& op : stage.ops) {
+        SimStageSpec spec;
+        spec.single_thread_seconds =
+            profile.value().stage_seconds[s] *
+            static_cast<double>(op.TotalTerms() + 1) /
+            static_cast<double>(total_terms);
+        spec.threads = 2;
+        spec.server = server_tick++;  // every op hop crosses servers
+        spec.bytes_out = static_cast<uint64_t>(
+            op.output_shape().NumElements()) * ct_bytes;
+        unmerged.push_back(spec);
+        ++unmerged_count;
+      }
+    }
+    // Compare under LAN (10 GbE), slow LAN (1 Gbps), and WAN-ish
+    // (100 Mbps, 5 ms latency) conditions: hop overhead grows as the
+    // network gets slower — the effect §IV-B's merging avoids.
+    struct NetCase {
+      const char* name;
+      SimNetwork net;
+    };
+    const NetCase nets[] = {
+        {"10 Gbps", {10.0, 50e-6}},
+        {"1 Gbps", {1.0, 200e-6}},
+        {"100 Mbps", {0.1, 5e-3}},
+    };
+    for (const NetCase& nc : nets) {
+      auto merged_report = SimulateStablePipeline(
+          BuildSimStages(profile.value(), merged_alloc), nc.net, 20);
+      auto unmerged_report = SimulateStablePipeline(unmerged, nc.net, 20);
+      PPS_CHECK_OK(merged_report.status());
+      PPS_CHECK_OK(unmerged_report.status());
+      const double merged_lat = merged_report.value().avg_latency_seconds;
+      const double unmerged_lat =
+          unmerged_report.value().avg_latency_seconds;
+      std::printf("%-12s %10s %8zu %8zu %14.3f %14.3f %9.1f%%\n",
+                  GetZooInfo(id).dataset_name, nc.name, merged_stages,
+                  unmerged_count, merged_lat, unmerged_lat,
+                  100 * (unmerged_lat - merged_lat) / merged_lat);
+    }
+  }
+  std::printf("\nmerging adjacent same-class primitive layers avoids "
+              "per-hop serialization and transfer\n(the first extreme of "
+              "paper §IV-B); the second extreme — one stage for everything "
+              "—\nis rejected structurally: linear and non-linear ops may "
+              "not share a server (Eq. 6).\n");
+  return 0;
+}

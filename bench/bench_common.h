@@ -1,0 +1,157 @@
+// Shared helpers for the experiment harnesses (one binary per paper
+// table/figure; see DESIGN.md §4 and EXPERIMENTS.md).
+//
+// Every harness prints the same rows/series as the corresponding paper
+// artifact. Sizes are sandbox-scaled (documented per harness); the paper's
+// numbers are quoted in EXPERIMENTS.md for shape comparison.
+
+#pragma once
+
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "core/plan.h"
+#include "core/protocol.h"
+#include "core/scaling.h"
+#include "crypto/paillier.h"
+#include "nn/model_zoo.h"
+#include "planner/profiler.h"
+#include "sim/bridge.h"
+#include "sim/cluster_sim.h"
+#include "util/logging.h"
+#include "util/rng.h"
+#include "util/timer.h"
+
+namespace ppstream {
+namespace bench {
+
+/// Dataset scale factors that keep training tractable in this sandbox
+/// (healthcare rows are small enough for paper-sized data).
+inline double DatasetScale(ZooModelId id) {
+  switch (id) {
+    case ZooModelId::kBreast:
+    case ZooModelId::kHeart:
+      return 1.0;
+    case ZooModelId::kCardio:
+      return 0.02;  // 1200 / 200
+    case ZooModelId::kMnist1:
+    case ZooModelId::kMnist2:
+    case ZooModelId::kMnist3:
+      return 0.02;  // 1200 / 200
+    case ZooModelId::kCifar1:
+    case ZooModelId::kCifar2:
+    case ZooModelId::kCifar3:
+      return 0.016;  // 800 / 160
+  }
+  return 0.01;
+}
+
+/// A trained zoo entry with its data.
+struct TrainedEntry {
+  ZooModelId id;
+  DatasetSplit data;
+  Model model;
+};
+
+inline TrainedEntry Train(ZooModelId id, uint64_t seed = 1000) {
+  TrainedEntry entry{id, MakeZooDataset(id, DatasetScale(id), seed),
+                     Model{}};
+  // From-scratch training of the deep VGG stacks is initialization-
+  // sensitive; retry with fresh seeds when a run plateaus near chance
+  // (keeping the best attempt).
+  // A run counts as plateaued if it fails to clearly beat chance; 0.6 is
+  // far above 10-class chance and below every model's achievable train
+  // accuracy (Cardio's noise ceiling is ~0.75).
+  const double plateau_threshold = 0.6;
+  double best_acc = -1;
+  for (int attempt = 0; attempt < 3; ++attempt) {
+    auto model =
+        MakeTrainedZooModel(id, entry.data.train, seed + 1 + 17 * attempt);
+    PPS_CHECK_OK(model.status());
+    auto acc = EvaluateAccuracy(model.value(), entry.data.train);
+    PPS_CHECK_OK(acc.status());
+    if (acc.value() > best_acc) {
+      best_acc = acc.value();
+      entry.model = std::move(model).value();
+    }
+    if (best_acc >= plateau_threshold) break;
+    PPS_LOG(Warn) << GetZooInfo(id).dataset_name
+                  << " training plateaued (train acc " << acc.value()
+                  << "); retrying with a fresh seed";
+  }
+  return entry;
+}
+
+/// One shared key pair per key size (keygen is expensive at 2048 bits).
+inline const PaillierKeyPair& SharedKeys(int bits) {
+  static std::map<int, PaillierKeyPair>* cache =
+      new std::map<int, PaillierKeyPair>();
+  auto it = cache->find(bits);
+  if (it == cache->end()) {
+    Rng rng(0xC0FFEE + static_cast<uint64_t>(bits));
+    auto pair = Paillier::GenerateKeyPair(bits, rng);
+    PPS_CHECK_OK(pair.status());
+    it = cache->emplace(bits, std::move(pair).value()).first;
+  }
+  return it->second;
+}
+
+/// Compiles and wires both parties for a model at scale F.
+struct ProtocolSetup {
+  std::shared_ptr<InferencePlan> plan;
+  std::shared_ptr<ModelProvider> mp;
+  std::shared_ptr<DataProvider> dp;
+};
+
+inline ProtocolSetup Setup(const Model& model, int64_t scale, int key_bits,
+                           uint64_t seed = 1) {
+  auto plan_or = CompilePlan(model, scale);
+  PPS_CHECK_OK(plan_or.status());
+  auto plan = std::make_shared<InferencePlan>(std::move(plan_or).value());
+  const PaillierKeyPair& keys = SharedKeys(key_bits);
+  PPS_CHECK_OK(plan->CheckFitsKey(keys.public_key.n()));
+  return ProtocolSetup{
+      plan,
+      std::make_shared<ModelProvider>(plan, keys.public_key, seed),
+      std::make_shared<DataProvider>(plan, keys, seed + 1)};
+}
+
+/// The paper's testbed constants (§VI-A): nine servers, 24-core Xeons,
+/// 10 GbE — reproduced inside the calibrated simulator.
+inline constexpr int kTestbedCoresPerServer = 24;
+
+/// Builds the Table III allocation problem for `total_cores` spread over
+/// the model/data servers, raising per-server capacity minimally when the
+/// core count is too small to give every stage one thread (Eq. 7).
+inline AllocationProblem BuildProblemForCores(const PlanProfile& profile,
+                                              const ZooInfo& info,
+                                              int total_cores) {
+  const int servers = info.paper_model_servers + info.paper_data_servers;
+  const int per_server = std::max(1, total_cores / servers);
+  AllocationProblem problem = BuildAllocationProblem(
+      profile, info.paper_model_servers, info.paper_data_servers, per_server,
+      /*hyper_threading=*/false);
+  for (int cls : {+1, -1}) {
+    size_t stages_of_class = 0;
+    for (int c : profile.stage_class) stages_of_class += c == cls;
+    const int servers_of_class = cls > 0 ? info.paper_model_servers
+                                         : info.paper_data_servers;
+    const int needed = static_cast<int>(
+        (stages_of_class + servers_of_class - 1) / servers_of_class);
+    for (size_t j = 0; j < problem.server_cores.size(); ++j) {
+      if (problem.server_class[j] == cls) {
+        problem.server_cores[j] = std::max(problem.server_cores[j], needed);
+      }
+    }
+  }
+  return problem;
+}
+
+inline void PrintRule() {
+  std::printf("-------------------------------------------------------------"
+              "-----------------\n");
+}
+
+}  // namespace bench
+}  // namespace ppstream

@@ -1,0 +1,102 @@
+// Figure 7 (Exp#3) — load-balanced resource allocation.
+//
+// Per model, sweep the total core count and compare inference latency with
+// even core distribution versus the ILP allocation of §IV-C (both with
+// pipelining and tensor partitioning enabled, as in the paper). Stage
+// costs are measured on this host; the multi-core deployments run on the
+// calibrated simulator (DESIGN.md §2). Expected shape: the ILP wins
+// (up to ~65% in the paper, most on the largest model), with diminishing
+// returns as cores grow.
+
+#include "bench/bench_common.h"
+
+using namespace ppstream;
+using namespace ppstream::bench;
+
+namespace {
+
+Allocation EvenCores(const PlanProfile& profile, int total_cores) {
+  Allocation alloc;
+  const size_t stages = profile.stage_seconds.size();
+  alloc.server_of_layer.resize(stages);
+  alloc.threads_of_layer.assign(stages,
+                                total_cores / static_cast<int>(stages));
+  int extra = total_cores % static_cast<int>(stages);
+  for (size_t s = 0; s < stages; ++s) {
+    if (extra > 0) {
+      alloc.threads_of_layer[s] += 1;
+      --extra;
+    }
+    if (alloc.threads_of_layer[s] < 1) alloc.threads_of_layer[s] = 1;
+    alloc.server_of_layer[s] = profile.stage_class[s] > 0 ? 0 : 1;
+  }
+  return alloc;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== Figure 7 (Exp#3): load-balanced resource allocation ==\n\n");
+  constexpr int kKeyBits = 512;
+  const std::vector<int> core_counts = {10, 20, 30, 40, 50};
+
+  double best_reduction = 0;
+  const char* best_model = "";
+
+  for (ZooModelId id :
+       {ZooModelId::kBreast, ZooModelId::kHeart, ZooModelId::kCardio,
+        ZooModelId::kMnist1, ZooModelId::kMnist2, ZooModelId::kMnist3}) {
+    TrainedEntry entry = Train(id);
+    ProtocolSetup setup = Setup(entry.model, 10000, kKeyBits);
+    std::vector<DoubleTensor> probes = {entry.data.test.samples[0]};
+    auto profile = ProfilePlan(*setup.mp, *setup.dp, probes);
+    PPS_CHECK_OK(profile.status());
+
+    std::printf("%s (avg latency, seconds):\n",
+                GetZooInfo(id).dataset_name);
+    std::printf("  %-12s", "cores");
+    for (int c : core_counts) std::printf(" %9d", c);
+    std::printf("\n");
+
+    std::vector<double> even_lat, ilp_lat;
+    for (int cores : core_counts) {
+      // Even split baseline.
+      Allocation even = EvenCores(profile.value(), cores);
+      auto even_report = SimulateStablePipeline(
+          BuildSimStages(profile.value(), even), SimNetwork{}, 20);
+      PPS_CHECK_OK(even_report.status());
+      even_lat.push_back(even_report.value().avg_latency_seconds);
+
+      // ILP allocation: model/data servers per Table III, cores spread
+      // over the servers (the solver sees the per-server budgets).
+      AllocationProblem problem =
+          BuildProblemForCores(profile.value(), GetZooInfo(id), cores);
+      auto alloc = IlpAllocator::Solve(problem, /*node_limit=*/300000);
+      PPS_CHECK_OK(alloc.status());
+      auto ilp_report = SimulateStablePipeline(
+          BuildSimStages(profile.value(), alloc.value()), SimNetwork{}, 20);
+      PPS_CHECK_OK(ilp_report.status());
+      ilp_lat.push_back(ilp_report.value().avg_latency_seconds);
+    }
+
+    std::printf("  %-12s", "even split");
+    for (double v : even_lat) std::printf(" %9.3f", v);
+    std::printf("\n  %-12s", "ILP (ours)");
+    for (double v : ilp_lat) std::printf(" %9.3f", v);
+    std::printf("\n");
+    double model_best = 0;
+    for (size_t i = 0; i < even_lat.size(); ++i) {
+      model_best =
+          std::max(model_best, 100 * (1 - ilp_lat[i] / even_lat[i]));
+    }
+    std::printf("  max latency reduction: %.2f%%\n\n", model_best);
+    if (model_best > best_reduction) {
+      best_reduction = model_best;
+      best_model = GetZooInfo(id).dataset_name;
+    }
+  }
+  std::printf("best reduction across models: %.2f%% on %s (paper: up to "
+              "64.94%%, largest on MNIST-3)\n",
+              best_reduction, best_model);
+  return 0;
+}

@@ -1,0 +1,105 @@
+// Figure 8 (Exp#2) — effectiveness of distributed stream processing.
+//
+// Four variants per model (healthcare + MNIST, as in the paper):
+//   PlainBase     centralized plaintext inference (measured);
+//   CipherBase    centralized ciphertext inference (measured: the whole
+//                 protocol on one server, one thread, no pipelining);
+//   PP-Stream-25  pipelined, 25 cores spread evenly over the stages
+//                 (load balancing and tensor partitioning disabled, as in
+//                 the paper's Exp#2 setup);
+//   PP-Stream-50  same with 50 cores.
+//
+// The 25/50-core runs execute on the calibrated cluster simulator (this
+// sandbox has one core; see DESIGN.md §2): stage costs are measured here,
+// then replayed with the target thread counts over a 20-request stream.
+
+#include "bench/bench_common.h"
+
+using namespace ppstream;
+using namespace ppstream::bench;
+
+namespace {
+
+/// Even distribution of `total_cores` across stages (the Exp#2 policy).
+Allocation EvenCores(const PlanProfile& profile, int total_cores) {
+  Allocation alloc;
+  const size_t stages = profile.stage_seconds.size();
+  alloc.server_of_layer.resize(stages);
+  alloc.threads_of_layer.assign(stages, total_cores / static_cast<int>(stages));
+  int extra = total_cores % static_cast<int>(stages);
+  for (size_t s = 0; s < stages; ++s) {
+    if (extra > 0) {
+      alloc.threads_of_layer[s] += 1;
+      --extra;
+    }
+    if (alloc.threads_of_layer[s] < 1) alloc.threads_of_layer[s] = 1;
+    // Alternate server ids by provider side so transfers are modelled.
+    alloc.server_of_layer[s] = profile.stage_class[s] > 0 ? 0 : 1;
+  }
+  return alloc;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== Figure 8 (Exp#2): PlainBase / CipherBase / PP-Stream-25 / "
+              "PP-Stream-50 ==\n\n");
+  constexpr int kKeyBits = 512;
+
+  std::printf("%-10s %14s %14s %14s %14s\n", "model", "PlainBase(s)",
+              "CipherBase(s)", "PP-Stream-25", "PP-Stream-50");
+  PrintRule();
+
+  double cipher_sum = 0, pps25_sum = 0, pps50_sum = 0;
+  int rows = 0;
+
+  for (ZooModelId id :
+       {ZooModelId::kBreast, ZooModelId::kHeart, ZooModelId::kCardio,
+        ZooModelId::kMnist1, ZooModelId::kMnist2, ZooModelId::kMnist3}) {
+    TrainedEntry entry = Train(id);
+
+    // PlainBase: measured float inference.
+    WallTimer timer;
+    constexpr int kPlainReps = 50;
+    for (int i = 0; i < kPlainReps; ++i) {
+      PPS_CHECK_OK(entry.model.Forward(entry.data.test.samples[0]).status());
+    }
+    const double plain = timer.ElapsedSeconds() / kPlainReps;
+
+    // CipherBase: one measured full protocol pass, single thread.
+    ProtocolSetup setup = Setup(entry.model, 10000, kKeyBits);
+    std::vector<DoubleTensor> probes = {entry.data.test.samples[0]};
+    auto profile = ProfilePlan(*setup.mp, *setup.dp, probes);
+    PPS_CHECK_OK(profile.status());
+    double cipher = 0;
+    for (double t : profile.value().stage_seconds) cipher += t;
+
+    // PP-Stream-25/50: simulator replay with even core split.
+    auto run = [&](int cores) {
+      Allocation alloc = EvenCores(profile.value(), cores);
+      auto report = SimulateStablePipeline(
+          BuildSimStages(profile.value(), alloc), SimNetwork{}, 20);
+      PPS_CHECK_OK(report.status());
+      return report.value().avg_latency_seconds;
+    };
+    const double pps25 = run(25);
+    const double pps50 = run(50);
+
+    std::printf("%-10s %14.6f %14.2f %14.3f %14.3f\n",
+                GetZooInfo(id).dataset_name, plain, cipher, pps25, pps50);
+    cipher_sum += cipher;
+    pps25_sum += pps25;
+    pps50_sum += pps50;
+    ++rows;
+  }
+  PrintRule();
+  std::printf("\naverage reduction vs CipherBase: PP-Stream-25 %.2f%%, "
+              "PP-Stream-50 %.2f%% (paper: 95.63%% / 97.46%%)\n",
+              100 * (1 - pps25_sum / cipher_sum),
+              100 * (1 - pps50_sum / cipher_sum));
+  std::printf("PP-Stream-50 vs PP-Stream-25 reduction: %.2f%% (paper: "
+              "39.24%%)\n",
+              100 * (1 - pps50_sum / pps25_sum));
+  (void)rows;
+  return 0;
+}

@@ -1,0 +1,46 @@
+// Table III — dataset & model inventory.
+//
+// Prints the nine zoo entries with the paper's sample counts and server
+// split alongside this repo's scaled dataset sizes, model parameter
+// counts, and compiled-plan shapes (rounds / stages).
+
+#include "bench/bench_common.h"
+
+using namespace ppstream;
+using namespace ppstream::bench;
+
+int main() {
+  std::printf("== Table III: datasets and models ==\n\n");
+  std::printf("%-12s %-10s %13s %13s %9s %8s %7s %7s\n", "Dataset", "Model",
+              "paper train", "paper test", "servers", "params", "layers",
+              "rounds");
+  PrintRule();
+
+  for (const ZooInfo& info : AllZooInfos()) {
+    auto model = MakeZooModel(info.id, 7);
+    PPS_CHECK_OK(model.status());
+    auto plan = CompilePlan(model.value(), 1000);
+    PPS_CHECK_OK(plan.status());
+    std::printf("%-12s %-10s %13zu %13zu %5d/%-3d %8lld %7zu %7zu\n",
+                info.dataset_name, info.architecture,
+                info.paper_train_samples, info.paper_test_samples,
+                info.paper_model_servers, info.paper_data_servers,
+                static_cast<long long>(model.value().ParameterCount()),
+                model.value().NumLayers(), plan.value().NumRounds());
+  }
+
+  std::printf("\nsandbox dataset scales (documented substitution, DESIGN.md "
+              "S2):\n");
+  for (const ZooInfo& info : AllZooInfos()) {
+    const double scale = DatasetScale(info.id);
+    std::printf("  %-12s scale %.3f -> %5zu train / %5zu test synthetic "
+                "samples\n",
+                info.dataset_name, scale,
+                std::max<size_t>(120,
+                                 static_cast<size_t>(
+                                     info.paper_train_samples * scale)),
+                std::max<size_t>(60, static_cast<size_t>(
+                                         info.paper_test_samples * scale)));
+  }
+  return 0;
+}

@@ -1,0 +1,84 @@
+// Table VI (Exp#5) — information-leakage measurement.
+//
+// The obfuscation permutes positions but not values, so the permuted
+// tensor still leaks some information; the paper quantifies it as the
+// distance correlation between the tensor before and after obfuscation,
+// bucketed by tensor length 2^5..2^13, averaged over the inference runs
+// of all models (values within a bucket agree to <0.1%).
+//
+// We run privacy-preserving inferences with transcript capture on the
+// healthcare and MNIST models, pool the pre-obfuscation activation values,
+// and measure dCor(v, P(v)) with fresh random permutations for each
+// power-of-two length.
+
+#include "bench/bench_common.h"
+
+#include "crypto/permutation.h"
+#include "stats/dcor.h"
+
+using namespace ppstream;
+using namespace ppstream::bench;
+
+int main() {
+  std::printf("== Table VI (Exp#5): information leakage (distance "
+              "correlation) ==\n\n");
+  constexpr int kKeyBits = 256;  // leakage is key-size independent
+
+  // Pool activation values from real protocol transcripts.
+  std::vector<double> pool;
+  for (ZooModelId id :
+       {ZooModelId::kBreast, ZooModelId::kCardio, ZooModelId::kMnist2}) {
+    TrainedEntry entry = Train(id);
+    ProtocolSetup setup = Setup(entry.model, 1000, kKeyBits);
+    for (size_t i = 0; i < 2; ++i) {
+      LeakageTranscript transcript;
+      auto out = RunProtocolInference(*setup.mp, *setup.dp, i,
+                                      entry.data.test.samples[i],
+                                      &transcript);
+      PPS_CHECK_OK(out.status());
+      for (const auto& round : transcript.rounds) {
+        pool.insert(pool.end(), round.before_obfuscation.begin(),
+                    round.before_obfuscation.end());
+      }
+    }
+    std::printf("collected %zu activation values after %s\n", pool.size(),
+                GetZooInfo(id).dataset_name);
+  }
+
+  std::printf("\n%-14s %12s      %-14s %12s\n", "Tensor Length", "Distance",
+              "Tensor Length", "Distance");
+  PrintRule();
+  SecureRng prng = SecureRng::FromSeed(0x0BF5CA7E);
+  Rng pick(7);
+  std::vector<std::pair<int, double>> rows;
+  for (int k = 5; k <= 13; ++k) {
+    const size_t len = size_t{1} << k;
+    constexpr int kTrials = 5;
+    double sum = 0;
+    for (int t = 0; t < kTrials; ++t) {
+      // Draw a chunk of real activations (wrapping the pool if needed).
+      std::vector<double> v(len);
+      const size_t start = pick.NextBounded(pool.size());
+      for (size_t i = 0; i < len; ++i) {
+        v[i] = pool[(start + i) % pool.size()];
+      }
+      Permutation p = Permutation::Random(len, prng);
+      auto d = DistanceCorrelation(v, p.Apply(v));
+      PPS_CHECK_OK(d.status());
+      sum += d.value();
+    }
+    rows.emplace_back(k, sum / kTrials);
+  }
+  for (size_t i = 0; i < rows.size(); i += 2) {
+    if (i + 1 < rows.size()) {
+      std::printf("2^%-12d %12.4f      2^%-12d %12.4f\n", rows[i].first,
+                  rows[i].second, rows[i + 1].first, rows[i + 1].second);
+    } else {
+      std::printf("2^%-12d %12.4f\n", rows[i].first, rows[i].second);
+    }
+  }
+  std::printf("\nshape check vs paper Table VI: dCor decreases "
+              "monotonically with tensor length\n(paper: 0.2898 at 2^5 "
+              "down to 0.0200 at 2^13) — larger tensors leak less.\n");
+  return 0;
+}

@@ -1,0 +1,119 @@
+// Table VII (Exp#6) — comparison with state-of-the-art systems on the
+// MNIST models.
+//
+// SecureML / CryptoNets / CryptoDL rows use the numbers reported in their
+// publications (their artifacts are unavailable — the paper does the
+// same). EzPC runs in-repo via src/mpc (secret sharing + garbled
+// circuits); PP-Stream runs in-repo via the hybrid protocol.
+//
+// Two views are reported:
+//   compute(s)    single-core computation measured on this host;
+//   deployed(s)   latency on the paper's testbed scale, from the
+//                 calibrated simulator: PP-Stream pipelines across the
+//                 Table III server split (24 cores each); EzPC adds its
+//                 per-round network latency (LAN, 0.1 ms RTT) and GC/share
+//                 bytes on 10 GbE — protocol transitions serialize and do
+//                 not pipeline, which is exactly the paper's explanation
+//                 for EzPC's slowdown.
+
+#include "bench/bench_common.h"
+
+#include "mpc/ezpc.h"
+
+using namespace ppstream;
+using namespace ppstream::bench;
+
+int main() {
+  std::printf("== Table VII (Exp#6): comparison with state-of-the-arts "
+              "==\n\n");
+  constexpr int kKeyBits = 512;
+  SimNetwork network;
+  const double lan_rtt = 1e-4;  // 0.1 ms
+
+  struct Reported {
+    const char* system;
+    const char* mnist1;
+    const char* mnist2;
+    const char* mnist3;
+  };
+  const Reported reported[] = {
+      {"SecureML*", "4.88", "-", "-"},
+      {"CryptoNets*", "-", "297.5", "-"},
+      {"CryptoDL*", "-", "320", "-"},
+  };
+
+  double pp_compute[3] = {0, 0, 0}, pp_deployed[3] = {0, 0, 0};
+  double ez_compute[3] = {0, 0, 0}, ez_deployed[3] = {0, 0, 0};
+
+  const ZooModelId models[] = {ZooModelId::kMnist1, ZooModelId::kMnist2,
+                               ZooModelId::kMnist3};
+  for (int m = 0; m < 3; ++m) {
+    TrainedEntry entry = Train(models[m]);
+    const ZooInfo& info = GetZooInfo(models[m]);
+
+    // --- PP-Stream: measured profile + simulated testbed deployment.
+    ProtocolSetup setup = Setup(entry.model, 10000, kKeyBits);
+    std::vector<DoubleTensor> probes = {entry.data.test.samples[0]};
+    auto profile = ProfilePlan(*setup.mp, *setup.dp, probes);
+    PPS_CHECK_OK(profile.status());
+    for (double t : profile.value().stage_seconds) pp_compute[m] += t;
+
+    AllocationProblem problem = BuildAllocationProblem(
+        profile.value(), info.paper_model_servers, info.paper_data_servers,
+        kTestbedCoresPerServer);
+    auto alloc = IlpAllocator::Solve(problem, 300000);
+    PPS_CHECK_OK(alloc.status());
+    SimWorkload single;
+    single.num_requests = 1;
+    auto report = SimulatePipeline(
+        BuildSimStages(profile.value(), alloc.value()), network, single);
+    PPS_CHECK_OK(report.status());
+    pp_deployed[m] = report.value().avg_latency_seconds;
+
+    // --- EzPC: measured compute + per-round LAN latency + bytes.
+    auto runner = EzPcRunner::Create(entry.model);
+    PPS_CHECK_OK(runner.status());
+    MpcMetrics metrics;
+    WallTimer timer;
+    auto out = runner.value().Infer(entry.data.test.samples[0], &metrics);
+    PPS_CHECK_OK(out.status());
+    ez_compute[m] = timer.ElapsedSeconds();
+    // Deployed cost: compute + per-round LAN latency + online bytes + the
+    // OT-extension traffic a real preprocessing phase pays per Beaver
+    // triple (~2 KB with IKNP; our dealer hands them out for free).
+    const double triple_bytes = 2048.0 * metrics.triples_used;
+    ez_deployed[m] =
+        ez_compute[m] +
+        static_cast<double>(metrics.rounds) * lan_rtt +
+        (static_cast<double>(metrics.bytes_sent + metrics.gc_bytes) +
+         triple_bytes) * 8.0 / (network.bandwidth_gbps * 1e9);
+    std::printf("measured %s (EzPC: %llu rounds, %llu transitions, %.1f MB "
+                "GC)\n",
+                info.dataset_name,
+                static_cast<unsigned long long>(metrics.rounds),
+                static_cast<unsigned long long>(metrics.protocol_transitions),
+                metrics.gc_bytes / 1e6);
+  }
+
+  std::printf("\n%-14s %12s %12s %12s\n", "System", "MNIST-1", "MNIST-2",
+              "MNIST-3");
+  PrintRule();
+  for (const Reported& r : reported) {
+    std::printf("%-14s %12s %12s %12s\n", r.system, r.mnist1, r.mnist2,
+                r.mnist3);
+  }
+  std::printf("%-14s %12.2f %12.2f %12.2f\n", "EzPC (ours)", ez_deployed[0],
+              ez_deployed[1], ez_deployed[2]);
+  std::printf("%-14s %12.2f %12.2f %12.2f\n", "PP-Stream", pp_deployed[0],
+              pp_deployed[1], pp_deployed[2]);
+  std::printf("\nsingle-core compute for reference: EzPC %.2f / %.2f / "
+              "%.2f s; PP-Stream %.2f / %.2f / %.2f s\n",
+              ez_compute[0], ez_compute[1], ez_compute[2], pp_compute[0],
+              pp_compute[1], pp_compute[2]);
+  std::printf("(* = numbers reported in the corresponding papers, as in "
+              "the paper's Table VII)\n");
+  std::printf("\nshape check vs paper: PP-Stream < EzPC << CryptoNets/"
+              "CryptoDL on every model\n(paper: 0.72/1.14/12.20 s for "
+              "PP-Stream vs 2.42/2.92/25.66 s for EzPC).\n");
+  return 0;
+}

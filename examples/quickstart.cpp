@@ -1,0 +1,101 @@
+// Quickstart: train a tiny model, compile it into a PP-Stream plan, and
+// run one privacy-preserving inference.
+//
+//   $ ./examples/quickstart
+//
+// Walks through the whole public API surface: dataset synthesis, training,
+// parameter scaling, plan compilation, key generation, and the two-party
+// protocol, and checks the result against plain inference.
+
+#include <cstdio>
+#include <memory>
+
+#include "core/plan.h"
+#include "core/protocol.h"
+#include "core/scaling.h"
+#include "crypto/paillier.h"
+#include "nn/dataset.h"
+#include "nn/layers.h"
+#include "nn/model.h"
+#include "nn/trainer.h"
+#include "tensor/ops.h"
+#include "util/rng.h"
+
+using namespace ppstream;
+
+int main() {
+  std::printf("== PP-Stream quickstart ==\n\n");
+
+  // 1. A small binary-classification dataset (20 features).
+  DatasetSplit data = MakeTabularDataset("demo", 20, 300, 100,
+                                         /*separation=*/4.0, /*seed=*/42);
+  std::printf("dataset: %zu train / %zu test samples, %lld features\n",
+              data.train.size(), data.test.size(),
+              static_cast<long long>(data.train.samples[0].NumElements()));
+
+  // 2. Train a 2-hidden-layer network in the clear (the model provider's
+  //    offline step; the paper trains with PyTorch/Matlab).
+  Rng rng(7);
+  Model model(Shape{20}, "quickstart");
+  PPS_CHECK_OK(model.Add(DenseLayer::Random(20, 16, rng)));
+  PPS_CHECK_OK(model.Add(std::make_unique<ReluLayer>()));
+  PPS_CHECK_OK(model.Add(DenseLayer::Random(16, 2, rng)));
+  PPS_CHECK_OK(model.Add(std::make_unique<SoftmaxLayer>()));
+
+  TrainConfig train_config;
+  train_config.epochs = 30;
+  auto stats = TrainModel(&model, data.train, train_config);
+  PPS_CHECK_OK(stats.status());
+  auto test_acc = EvaluateAccuracy(model, data.test);
+  PPS_CHECK_OK(test_acc.status());
+  std::printf("trained:  %s\n", model.Summary().c_str());
+  std::printf("test accuracy (plain floats): %.2f%%\n\n",
+              100 * test_acc.value());
+
+  // 3. Parameter scaling (paper §IV-A): pick F = 10^f.
+  auto selection = SelectScalingFactor(model, data.train);
+  PPS_CHECK_OK(selection.status());
+  std::printf("parameter scaling: f = %d (F = %lld), accuracy %.2f%% -> "
+              "%.2f%%\n",
+              selection.value().f,
+              static_cast<long long>(selection.value().factor),
+              100 * selection.value().original_accuracy,
+              100 * selection.value().rounded_accuracy);
+
+  // 4. Compile the inference plan (merged linear/non-linear stages).
+  auto plan_or = CompilePlan(model, selection.value().factor);
+  PPS_CHECK_OK(plan_or.status());
+  auto plan = std::make_shared<InferencePlan>(std::move(plan_or).value());
+  std::printf("compiled plan: %zu rounds, max integer magnitude %d bits\n",
+              plan->NumRounds(), plan->MaxMagnitude().BitLength());
+
+  // 5. Paillier keys (the data provider's). 512-bit keys keep the demo
+  //    fast; production deployments use 2048 (paper §V).
+  Rng key_rng(99);
+  auto keys = Paillier::GenerateKeyPair(512, key_rng);
+  PPS_CHECK_OK(keys.status());
+  PPS_CHECK_OK(plan->CheckFitsKey(keys.value().public_key.n()));
+  std::printf("paillier keys: %d-bit modulus\n\n",
+              keys.value().public_key.key_bits());
+
+  // 6. Run the two-party protocol on one test sample.
+  ModelProvider mp(plan, keys.value().public_key, /*obf_seed=*/1);
+  DataProvider dp(plan, keys.value(), /*enc_seed=*/2);
+  const DoubleTensor& sample = data.test.samples[0];
+  auto secure_out = RunProtocolInference(mp, dp, /*request_id=*/0, sample);
+  PPS_CHECK_OK(secure_out.status());
+  auto plain_out = model.Forward(sample);
+  PPS_CHECK_OK(plain_out.status());
+
+  std::printf("privacy-preserving inference:\n");
+  for (int64_t c = 0; c < secure_out.value().NumElements(); ++c) {
+    std::printf("  class %lld: secure=%.6f plain=%.6f\n",
+                static_cast<long long>(c), secure_out.value()[c],
+                plain_out.value()[c]);
+  }
+  std::printf("predicted class: %lld (label: %lld)\n",
+              static_cast<long long>(ArgMax(secure_out.value())),
+              static_cast<long long>(data.test.labels[0]));
+  std::printf("\nquickstart OK\n");
+  return 0;
+}

@@ -1,0 +1,690 @@
+#include "bignum/bigint.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <ostream>
+
+#include "bignum/montgomery.h"
+#include "util/logging.h"
+
+namespace ppstream {
+
+namespace {
+
+constexpr size_t kKaratsubaThreshold = 24;  // limbs
+
+inline uint64_t Lo(__uint128_t v) { return static_cast<uint64_t>(v); }
+inline uint64_t Hi(__uint128_t v) { return static_cast<uint64_t>(v >> 64); }
+
+}  // namespace
+
+BigInt::BigInt(int64_t v) {
+  if (v == 0) return;
+  negative_ = v < 0;
+  // Avoid UB on INT64_MIN by negating in unsigned space.
+  uint64_t mag =
+      negative_ ? ~static_cast<uint64_t>(v) + 1 : static_cast<uint64_t>(v);
+  limbs_.push_back(mag);
+}
+
+BigInt::BigInt(uint64_t v) {
+  if (v != 0) limbs_.push_back(v);
+}
+
+void BigInt::Normalize() {
+  while (!limbs_.empty() && limbs_.back() == 0) limbs_.pop_back();
+  if (limbs_.empty()) negative_ = false;
+}
+
+int BigInt::BitLength() const {
+  if (limbs_.empty()) return 0;
+  return static_cast<int>((limbs_.size() - 1) * 64) +
+         (64 - std::countl_zero(limbs_.back()));
+}
+
+int BigInt::GetBit(int i) const {
+  if (i < 0) return 0;
+  size_t limb = static_cast<size_t>(i) / 64;
+  if (limb >= limbs_.size()) return 0;
+  return (limbs_[limb] >> (i % 64)) & 1;
+}
+
+Result<uint64_t> BigInt::ToUint64() const {
+  if (negative_) return Status::OutOfRange("negative value in ToUint64");
+  if (limbs_.size() > 1) return Status::OutOfRange("value exceeds uint64");
+  return limbs_.empty() ? 0ULL : limbs_[0];
+}
+
+Result<int64_t> BigInt::ToInt64() const {
+  if (limbs_.empty()) return static_cast<int64_t>(0);
+  if (limbs_.size() > 1) return Status::OutOfRange("value exceeds int64");
+  uint64_t mag = limbs_[0];
+  if (negative_) {
+    if (mag > 0x8000000000000000ULL) {
+      return Status::OutOfRange("value below int64 min");
+    }
+    return static_cast<int64_t>(~mag + 1);
+  }
+  if (mag > 0x7FFFFFFFFFFFFFFFULL) {
+    return Status::OutOfRange("value exceeds int64 max");
+  }
+  return static_cast<int64_t>(mag);
+}
+
+double BigInt::ToDouble() const {
+  double out = 0.0;
+  for (size_t i = limbs_.size(); i-- > 0;) {
+    out = out * 18446744073709551616.0 + static_cast<double>(limbs_[i]);
+  }
+  return negative_ ? -out : out;
+}
+
+int BigInt::CompareMagnitudes(const std::vector<uint64_t>& a,
+                              const std::vector<uint64_t>& b) {
+  if (a.size() != b.size()) return a.size() < b.size() ? -1 : 1;
+  for (size_t i = a.size(); i-- > 0;) {
+    if (a[i] != b[i]) return a[i] < b[i] ? -1 : 1;
+  }
+  return 0;
+}
+
+int BigInt::CompareMagnitude(const BigInt& other) const {
+  return CompareMagnitudes(limbs_, other.limbs_);
+}
+
+int BigInt::Compare(const BigInt& other) const {
+  if (negative_ != other.negative_) return negative_ ? -1 : 1;
+  int mag = CompareMagnitudes(limbs_, other.limbs_);
+  return negative_ ? -mag : mag;
+}
+
+std::vector<uint64_t> BigInt::AddMagnitudes(const std::vector<uint64_t>& a,
+                                            const std::vector<uint64_t>& b) {
+  const auto& big = a.size() >= b.size() ? a : b;
+  const auto& small = a.size() >= b.size() ? b : a;
+  std::vector<uint64_t> out(big.size() + 1, 0);
+  uint64_t carry = 0;
+  for (size_t i = 0; i < big.size(); ++i) {
+    __uint128_t s = static_cast<__uint128_t>(big[i]) + carry;
+    if (i < small.size()) s += small[i];
+    out[i] = Lo(s);
+    carry = Hi(s);
+  }
+  out[big.size()] = carry;
+  while (!out.empty() && out.back() == 0) out.pop_back();
+  return out;
+}
+
+std::vector<uint64_t> BigInt::SubMagnitudes(const std::vector<uint64_t>& a,
+                                            const std::vector<uint64_t>& b) {
+  // Precondition: |a| >= |b|.
+  std::vector<uint64_t> out(a.size(), 0);
+  uint64_t borrow = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    uint64_t bi = i < b.size() ? b[i] : 0;
+    uint64_t t = a[i] - bi;
+    uint64_t borrow1 = t > a[i];
+    uint64_t t2 = t - borrow;
+    uint64_t borrow2 = t2 > t;
+    out[i] = t2;
+    borrow = borrow1 | borrow2;
+  }
+  PPS_CHECK_EQ(borrow, 0ULL) << "SubMagnitudes precondition violated";
+  while (!out.empty() && out.back() == 0) out.pop_back();
+  return out;
+}
+
+std::vector<uint64_t> BigInt::MulSchoolbook(const std::vector<uint64_t>& a,
+                                            const std::vector<uint64_t>& b) {
+  if (a.empty() || b.empty()) return {};
+  std::vector<uint64_t> out(a.size() + b.size(), 0);
+  for (size_t i = 0; i < a.size(); ++i) {
+    uint64_t carry = 0;
+    uint64_t ai = a[i];
+    for (size_t j = 0; j < b.size(); ++j) {
+      __uint128_t t =
+          static_cast<__uint128_t>(ai) * b[j] + out[i + j] + carry;
+      out[i + j] = Lo(t);
+      carry = Hi(t);
+    }
+    out[i + b.size()] = carry;
+  }
+  while (!out.empty() && out.back() == 0) out.pop_back();
+  return out;
+}
+
+std::vector<uint64_t> BigInt::MulKaratsuba(const std::vector<uint64_t>& a,
+                                           const std::vector<uint64_t>& b) {
+  if (a.size() < kKaratsubaThreshold || b.size() < kKaratsubaThreshold) {
+    return MulSchoolbook(a, b);
+  }
+  const size_t half = std::max(a.size(), b.size()) / 2;
+  auto split = [half](const std::vector<uint64_t>& v)
+      -> std::pair<std::vector<uint64_t>, std::vector<uint64_t>> {
+    if (v.size() <= half) return {v, {}};
+    std::vector<uint64_t> lo(v.begin(), v.begin() + half);
+    std::vector<uint64_t> hi(v.begin() + half, v.end());
+    while (!lo.empty() && lo.back() == 0) lo.pop_back();
+    return {lo, hi};
+  };
+  auto [a_lo, a_hi] = split(a);
+  auto [b_lo, b_hi] = split(b);
+
+  std::vector<uint64_t> z0 = MulKaratsuba(a_lo, b_lo);
+  std::vector<uint64_t> z2 = MulKaratsuba(a_hi, b_hi);
+  std::vector<uint64_t> sum_a = AddMagnitudes(a_lo, a_hi);
+  std::vector<uint64_t> sum_b = AddMagnitudes(b_lo, b_hi);
+  std::vector<uint64_t> z1 = MulKaratsuba(sum_a, sum_b);
+  z1 = SubMagnitudes(z1, AddMagnitudes(z0, z2));
+
+  // out = z0 + (z1 << 64*half) + (z2 << 128*half)
+  std::vector<uint64_t> out = z0;
+  out.resize(std::max({out.size(), z1.size() + half, z2.size() + 2 * half}) + 1,
+             0);
+  auto add_shifted = [&out](const std::vector<uint64_t>& v, size_t shift) {
+    uint64_t carry = 0;
+    size_t i = 0;
+    for (; i < v.size(); ++i) {
+      __uint128_t s =
+          static_cast<__uint128_t>(out[shift + i]) + v[i] + carry;
+      out[shift + i] = Lo(s);
+      carry = Hi(s);
+    }
+    for (; carry != 0; ++i) {
+      __uint128_t s = static_cast<__uint128_t>(out[shift + i]) + carry;
+      out[shift + i] = Lo(s);
+      carry = Hi(s);
+    }
+  };
+  add_shifted(z1, half);
+  add_shifted(z2, 2 * half);
+  while (!out.empty() && out.back() == 0) out.pop_back();
+  return out;
+}
+
+std::vector<uint64_t> BigInt::MulMagnitudes(const std::vector<uint64_t>& a,
+                                            const std::vector<uint64_t>& b) {
+  return MulKaratsuba(a, b);
+}
+
+BigInt BigInt::operator-() const {
+  BigInt out = *this;
+  if (!out.IsZero()) out.negative_ = !out.negative_;
+  return out;
+}
+
+BigInt BigInt::operator+(const BigInt& o) const {
+  BigInt out;
+  if (negative_ == o.negative_) {
+    out.limbs_ = AddMagnitudes(limbs_, o.limbs_);
+    out.negative_ = negative_;
+  } else {
+    int cmp = CompareMagnitudes(limbs_, o.limbs_);
+    if (cmp == 0) return BigInt();
+    if (cmp > 0) {
+      out.limbs_ = SubMagnitudes(limbs_, o.limbs_);
+      out.negative_ = negative_;
+    } else {
+      out.limbs_ = SubMagnitudes(o.limbs_, limbs_);
+      out.negative_ = o.negative_;
+    }
+  }
+  out.Normalize();
+  return out;
+}
+
+BigInt BigInt::operator-(const BigInt& o) const { return *this + (-o); }
+
+BigInt BigInt::operator*(const BigInt& o) const {
+  BigInt out;
+  out.limbs_ = MulMagnitudes(limbs_, o.limbs_);
+  out.negative_ = !out.limbs_.empty() && (negative_ != o.negative_);
+  return out;
+}
+
+BigInt BigInt::operator<<(int bits) const {
+  if (bits < 0) return *this >> (-bits);
+  if (IsZero() || bits == 0) return *this;
+  const size_t limb_shift = static_cast<size_t>(bits) / 64;
+  const int bit_shift = bits % 64;
+  BigInt out;
+  out.negative_ = negative_;
+  out.limbs_.assign(limbs_.size() + limb_shift + 1, 0);
+  for (size_t i = 0; i < limbs_.size(); ++i) {
+    out.limbs_[i + limb_shift] |= bit_shift ? (limbs_[i] << bit_shift)
+                                            : limbs_[i];
+    if (bit_shift) {
+      out.limbs_[i + limb_shift + 1] |= limbs_[i] >> (64 - bit_shift);
+    }
+  }
+  out.Normalize();
+  return out;
+}
+
+BigInt BigInt::operator>>(int bits) const {
+  if (bits < 0) return *this << (-bits);
+  if (IsZero() || bits == 0) return *this;
+  const size_t limb_shift = static_cast<size_t>(bits) / 64;
+  const int bit_shift = bits % 64;
+  if (limb_shift >= limbs_.size()) return BigInt();
+  BigInt out;
+  out.negative_ = negative_;
+  out.limbs_.assign(limbs_.size() - limb_shift, 0);
+  for (size_t i = 0; i < out.limbs_.size(); ++i) {
+    out.limbs_[i] = limbs_[i + limb_shift] >> bit_shift;
+    if (bit_shift && i + limb_shift + 1 < limbs_.size()) {
+      out.limbs_[i] |= limbs_[i + limb_shift + 1] << (64 - bit_shift);
+    }
+  }
+  out.Normalize();
+  return out;
+}
+
+void BigInt::DivModMagnitudes(const std::vector<uint64_t>& u_in,
+                              const std::vector<uint64_t>& v_in,
+                              std::vector<uint64_t>* q,
+                              std::vector<uint64_t>* r) {
+  // Knuth TAOCP vol. 2, Algorithm D, base 2^64.
+  PPS_CHECK(!v_in.empty()) << "division by zero";
+  q->clear();
+  r->clear();
+  if (CompareMagnitudes(u_in, v_in) < 0) {
+    *r = u_in;
+    return;
+  }
+  const size_t n = v_in.size();
+  const size_t m = u_in.size();
+
+  if (n == 1) {
+    const uint64_t d = v_in[0];
+    q->assign(m, 0);
+    uint64_t rem = 0;
+    for (size_t i = m; i-- > 0;) {
+      __uint128_t cur = (static_cast<__uint128_t>(rem) << 64) | u_in[i];
+      (*q)[i] = static_cast<uint64_t>(cur / d);
+      rem = static_cast<uint64_t>(cur % d);
+    }
+    while (!q->empty() && q->back() == 0) q->pop_back();
+    if (rem) r->push_back(rem);
+    return;
+  }
+
+  // D1: normalize so the top limb of v has its high bit set.
+  const int s = std::countl_zero(v_in.back());
+  std::vector<uint64_t> v(n);
+  for (size_t i = n; i-- > 1;) {
+    v[i] = s ? ((v_in[i] << s) | (v_in[i - 1] >> (64 - s))) : v_in[i];
+  }
+  v[0] = v_in[0] << s;
+
+  std::vector<uint64_t> u(m + 1, 0);
+  u[m] = s ? (u_in[m - 1] >> (64 - s)) : 0;
+  for (size_t i = m; i-- > 1;) {
+    u[i] = s ? ((u_in[i] << s) | (u_in[i - 1] >> (64 - s))) : u_in[i];
+  }
+  u[0] = u_in[0] << s;
+
+  q->assign(m - n + 1, 0);
+  const uint64_t vn1 = v[n - 1];
+  const uint64_t vn2 = v[n - 2];
+  constexpr __uint128_t kBase = static_cast<__uint128_t>(1) << 64;
+
+  for (size_t j = m - n + 1; j-- > 0;) {
+    // D3: estimate qhat.
+    __uint128_t num = (static_cast<__uint128_t>(u[j + n]) << 64) | u[j + n - 1];
+    __uint128_t qhat = num / vn1;
+    __uint128_t rhat = num % vn1;
+    while (qhat >= kBase ||
+           qhat * vn2 > ((rhat << 64) | u[j + n - 2])) {
+      --qhat;
+      rhat += vn1;
+      if (rhat >= kBase) break;
+    }
+
+    // D4: multiply-subtract u[j..j+n] -= qhat * v.
+    uint64_t qh = static_cast<uint64_t>(qhat);
+    uint64_t mul_carry = 0;
+    uint64_t borrow = 0;
+    for (size_t i = 0; i < n; ++i) {
+      __uint128_t p = static_cast<__uint128_t>(qh) * v[i] + mul_carry;
+      mul_carry = Hi(p);
+      uint64_t plo = Lo(p);
+      uint64_t t = u[i + j] - plo;
+      uint64_t b1 = t > u[i + j];
+      uint64_t t2 = t - borrow;
+      uint64_t b2 = t2 > t;
+      u[i + j] = t2;
+      borrow = b1 | b2;
+    }
+    // Top limb.
+    __uint128_t top_sub = static_cast<__uint128_t>(mul_carry) + borrow;
+    bool negative = u[j + n] < top_sub;
+    u[j + n] = static_cast<uint64_t>(u[j + n] - static_cast<uint64_t>(top_sub));
+
+    if (negative) {
+      // D6: add back one multiple of v.
+      --qh;
+      uint64_t carry = 0;
+      for (size_t i = 0; i < n; ++i) {
+        __uint128_t sum = static_cast<__uint128_t>(u[i + j]) + v[i] + carry;
+        u[i + j] = Lo(sum);
+        carry = Hi(sum);
+      }
+      u[j + n] += carry;
+    }
+    (*q)[j] = qh;
+  }
+
+  while (!q->empty() && q->back() == 0) q->pop_back();
+
+  // D8: denormalize the remainder.
+  r->assign(n, 0);
+  for (size_t i = 0; i < n; ++i) {
+    (*r)[i] = s ? ((u[i] >> s) | (i + 1 < n + 1 ? (u[i + 1] << (64 - s)) : 0))
+                : u[i];
+  }
+  while (!r->empty() && r->back() == 0) r->pop_back();
+}
+
+Status BigInt::DivMod(const BigInt& dividend, const BigInt& divisor,
+                      BigInt* quotient, BigInt* remainder) {
+  if (divisor.IsZero()) return Status::InvalidArgument("division by zero");
+  BigInt q, r;
+  DivModMagnitudes(dividend.limbs_, divisor.limbs_, &q.limbs_, &r.limbs_);
+  q.negative_ = !q.limbs_.empty() && (dividend.negative_ != divisor.negative_);
+  r.negative_ = !r.limbs_.empty() && dividend.negative_;
+  if (quotient) *quotient = std::move(q);
+  if (remainder) *remainder = std::move(r);
+  return Status::OK();
+}
+
+Result<BigInt> BigInt::Mod(const BigInt& m) const {
+  if (m.IsZero()) return Status::InvalidArgument("modulus is zero");
+  BigInt r;
+  PPS_RETURN_IF_ERROR(DivMod(*this, m, nullptr, &r));
+  if (r.negative_) {
+    BigInt mabs = m;
+    mabs.negative_ = false;
+    r = r + mabs;
+  }
+  return r;
+}
+
+BigInt BigInt::AddMod(const BigInt& a, const BigInt& b, const BigInt& m) {
+  BigInt s = a + b;
+  if (s.Compare(m) >= 0) s = s - m;
+  return s;
+}
+
+BigInt BigInt::SubMod(const BigInt& a, const BigInt& b, const BigInt& m) {
+  BigInt s = a - b;
+  if (s.IsNegative()) s = s + m;
+  return s;
+}
+
+BigInt BigInt::MulMod(const BigInt& a, const BigInt& b, const BigInt& m) {
+  BigInt p = a * b;
+  auto r = p.Mod(m);
+  PPS_CHECK(r.ok()) << r.status().ToString();
+  return std::move(r).value();
+}
+
+Result<BigInt> BigInt::ModExp(const BigInt& base, const BigInt& exp,
+                              const BigInt& m) {
+  if (m.IsZero() || m.IsNegative()) {
+    return Status::InvalidArgument("modulus must be positive");
+  }
+  if (m.IsOne()) return BigInt();
+  if (exp.IsNegative()) {
+    return Status::InvalidArgument("negative exponent in ModExp");
+  }
+  PPS_ASSIGN_OR_RETURN(BigInt b, base.Mod(m));
+  if (exp.IsZero()) return BigInt(1);
+  if (m.IsOdd()) {
+    MontgomeryContext ctx(m);
+    return ctx.ModExp(b, exp);
+  }
+  // Even modulus: plain left-to-right square-and-multiply.
+  BigInt result(1);
+  for (int i = exp.BitLength() - 1; i >= 0; --i) {
+    result = MulMod(result, result, m);
+    if (exp.GetBit(i)) result = MulMod(result, b, m);
+  }
+  return result;
+}
+
+BigInt BigInt::Gcd(const BigInt& a, const BigInt& b) {
+  BigInt x = a, y = b;
+  x.negative_ = false;
+  y.negative_ = false;
+  while (!y.IsZero()) {
+    BigInt r;
+    PPS_CHECK_OK(DivMod(x, y, nullptr, &r));
+    r.negative_ = false;
+    x = std::move(y);
+    y = std::move(r);
+  }
+  return x;
+}
+
+BigInt BigInt::Lcm(const BigInt& a, const BigInt& b) {
+  if (a.IsZero() || b.IsZero()) return BigInt();
+  BigInt g = Gcd(a, b);
+  BigInt q;
+  BigInt aa = a;
+  aa.negative_ = false;
+  PPS_CHECK_OK(DivMod(aa, g, &q, nullptr));
+  BigInt bb = b;
+  bb.negative_ = false;
+  return q * bb;
+}
+
+Result<BigInt> BigInt::ModInverse(const BigInt& a, const BigInt& m) {
+  if (m.IsZero() || m.IsNegative()) {
+    return Status::InvalidArgument("modulus must be positive");
+  }
+  // Extended Euclid on (a mod m, m).
+  PPS_ASSIGN_OR_RETURN(BigInt r0, a.Mod(m));
+  BigInt r1 = m;
+  BigInt s0(1), s1(0);
+  while (!r1.IsZero()) {
+    BigInt q, r;
+    PPS_RETURN_IF_ERROR(DivMod(r0, r1, &q, &r));
+    BigInt s = s0 - q * s1;
+    r0 = std::move(r1);
+    r1 = std::move(r);
+    s0 = std::move(s1);
+    s1 = std::move(s);
+  }
+  if (!r0.IsOne()) {
+    return Status::InvalidArgument("ModInverse: operands not coprime");
+  }
+  return s0.Mod(m);
+}
+
+BigInt BigInt::RandomBits(Rng& rng, int bits) {
+  PPS_CHECK_GT(bits, 0);
+  BigInt out;
+  const size_t limbs = (static_cast<size_t>(bits) + 63) / 64;
+  out.limbs_.resize(limbs);
+  for (auto& limb : out.limbs_) limb = rng.NextU64();
+  const int top_bits = bits % 64 == 0 ? 64 : bits % 64;
+  // Mask the top limb and force the highest requested bit to 1.
+  if (top_bits < 64) {
+    out.limbs_.back() &= (1ULL << top_bits) - 1;
+  }
+  out.limbs_.back() |= 1ULL << (top_bits - 1);
+  out.Normalize();
+  return out;
+}
+
+BigInt BigInt::RandomBelow(Rng& rng, const BigInt& bound) {
+  PPS_CHECK(!bound.IsZero() && !bound.IsNegative());
+  const int bits = bound.BitLength();
+  const size_t limbs = bound.limbs_.size();
+  const int top_bits = bits % 64 == 0 ? 64 : bits % 64;
+  for (;;) {
+    BigInt cand;
+    cand.limbs_.resize(limbs);
+    for (auto& limb : cand.limbs_) limb = rng.NextU64();
+    if (top_bits < 64) cand.limbs_.back() &= (1ULL << top_bits) - 1;
+    cand.Normalize();
+    if (cand.Compare(bound) < 0) return cand;
+  }
+}
+
+Result<BigInt> BigInt::FromDecimalString(const std::string& s) {
+  if (s.empty()) return Status::InvalidArgument("empty decimal string");
+  size_t pos = 0;
+  bool negative = false;
+  if (s[0] == '-' || s[0] == '+') {
+    negative = s[0] == '-';
+    pos = 1;
+  }
+  if (pos == s.size()) return Status::InvalidArgument("no digits");
+  BigInt out;
+  // Consume 19 digits (fits in uint64) at a time: out = out*10^k + chunk.
+  while (pos < s.size()) {
+    size_t take = std::min<size_t>(19, s.size() - pos);
+    uint64_t chunk = 0;
+    uint64_t scale = 1;
+    for (size_t i = 0; i < take; ++i) {
+      char c = s[pos + i];
+      if (c < '0' || c > '9') {
+        return Status::InvalidArgument(
+            internal::StrCat("invalid decimal character '", c, "'"));
+      }
+      chunk = chunk * 10 + static_cast<uint64_t>(c - '0');
+      scale *= 10;
+    }
+    out = out * BigInt(scale) + BigInt(chunk);
+    pos += take;
+  }
+  if (negative && !out.IsZero()) out.negative_ = true;
+  return out;
+}
+
+Result<BigInt> BigInt::FromHexString(const std::string& s) {
+  if (s.empty()) return Status::InvalidArgument("empty hex string");
+  size_t pos = 0;
+  bool negative = false;
+  if (s[0] == '-' || s[0] == '+') {
+    negative = s[0] == '-';
+    pos = 1;
+  }
+  if (pos == s.size()) return Status::InvalidArgument("no hex digits");
+  BigInt out;
+  for (; pos < s.size(); ++pos) {
+    char c = s[pos];
+    int digit;
+    if (c >= '0' && c <= '9') {
+      digit = c - '0';
+    } else if (c >= 'a' && c <= 'f') {
+      digit = c - 'a' + 10;
+    } else if (c >= 'A' && c <= 'F') {
+      digit = c - 'A' + 10;
+    } else {
+      return Status::InvalidArgument(
+          internal::StrCat("invalid hex character '", c, "'"));
+    }
+    out = (out << 4) + BigInt(static_cast<uint64_t>(digit));
+  }
+  if (negative && !out.IsZero()) out.negative_ = true;
+  return out;
+}
+
+std::string BigInt::ToDecimalString() const {
+  if (IsZero()) return "0";
+  // Repeatedly divide by 10^19 and emit chunks.
+  constexpr uint64_t kChunk = 10000000000000000000ULL;  // 10^19
+  std::vector<uint64_t> chunks;
+  std::vector<uint64_t> cur = limbs_;
+  const std::vector<uint64_t> div{kChunk};
+  while (!cur.empty()) {
+    std::vector<uint64_t> q, r;
+    DivModMagnitudes(cur, div, &q, &r);
+    chunks.push_back(r.empty() ? 0 : r[0]);
+    cur = std::move(q);
+  }
+  std::string out;
+  if (negative_) out += '-';
+  out += std::to_string(chunks.back());
+  for (size_t i = chunks.size() - 1; i-- > 0;) {
+    std::string part = std::to_string(chunks[i]);
+    out += std::string(19 - part.size(), '0') + part;
+  }
+  return out;
+}
+
+std::string BigInt::ToHexString() const {
+  if (IsZero()) return "0";
+  static const char* kDigits = "0123456789abcdef";
+  std::string out;
+  if (negative_) out += '-';
+  bool leading = true;
+  for (size_t i = limbs_.size(); i-- > 0;) {
+    for (int shift = 60; shift >= 0; shift -= 4) {
+      int d = (limbs_[i] >> shift) & 0xF;
+      if (leading && d == 0) continue;
+      leading = false;
+      out += kDigits[d];
+    }
+  }
+  return out;
+}
+
+std::vector<uint8_t> BigInt::ToBytes() const {
+  if (IsZero()) return {};
+  std::vector<uint8_t> out;
+  out.reserve(limbs_.size() * 8);
+  bool leading = true;
+  for (size_t i = limbs_.size(); i-- > 0;) {
+    for (int shift = 56; shift >= 0; shift -= 8) {
+      uint8_t b = static_cast<uint8_t>(limbs_[i] >> shift);
+      if (leading && b == 0) continue;
+      leading = false;
+      out.push_back(b);
+    }
+  }
+  return out;
+}
+
+BigInt BigInt::FromBytes(const std::vector<uint8_t>& bytes) {
+  BigInt out;
+  for (uint8_t b : bytes) {
+    out = (out << 8) + BigInt(static_cast<uint64_t>(b));
+  }
+  return out;
+}
+
+void BigInt::Serialize(std::vector<uint8_t>* out) const {
+  out->push_back(negative_ ? 1 : 0);
+  std::vector<uint8_t> mag = ToBytes();
+  uint64_t len = mag.size();
+  for (int shift = 0; shift < 64; shift += 8) {
+    out->push_back(static_cast<uint8_t>(len >> shift));
+  }
+  out->insert(out->end(), mag.begin(), mag.end());
+}
+
+Result<BigInt> BigInt::Deserialize(const uint8_t* data, size_t size,
+                                   size_t* consumed) {
+  if (size < 9) return Status::OutOfRange("BigInt header truncated");
+  bool negative = data[0] != 0;
+  uint64_t len = 0;
+  for (int i = 0; i < 8; ++i) {
+    len |= static_cast<uint64_t>(data[1 + i]) << (8 * i);
+  }
+  if (size < 9 + len) return Status::OutOfRange("BigInt payload truncated");
+  BigInt out = FromBytes(std::vector<uint8_t>(data + 9, data + 9 + len));
+  if (negative && !out.IsZero()) out.negative_ = true;
+  if (consumed) *consumed = 9 + len;
+  return out;
+}
+
+std::ostream& operator<<(std::ostream& os, const BigInt& v) {
+  return os << v.ToDecimalString();
+}
+
+}  // namespace ppstream

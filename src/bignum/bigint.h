@@ -1,0 +1,155 @@
+// Arbitrary-precision signed integers (the repo's GMP substitute).
+//
+// Representation: sign + magnitude, little-endian 64-bit limbs, normalized
+// (no high zero limbs; zero has an empty limb vector and positive sign).
+//
+// Supports everything Paillier needs: +, -, *, divmod, shifts, modular
+// exponentiation (Montgomery-accelerated for odd moduli — see
+// bignum/montgomery.h), gcd / modular inverse, primality testing
+// (bignum/prime.h), and byte/string conversions.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace ppstream {
+
+class BigInt {
+ public:
+  /// Zero.
+  BigInt() = default;
+
+  /// From native integers (implicit: literals read naturally in formulas).
+  BigInt(int64_t v);   // NOLINT
+  BigInt(uint64_t v);  // NOLINT
+  BigInt(int v) : BigInt(static_cast<int64_t>(v)) {}  // NOLINT
+
+  /// Parses a decimal string with optional leading '-'.
+  static Result<BigInt> FromDecimalString(const std::string& s);
+  /// Parses a hexadecimal string (no 0x prefix) with optional leading '-'.
+  static Result<BigInt> FromHexString(const std::string& s);
+  /// Big-endian magnitude bytes; the result is non-negative.
+  static BigInt FromBytes(const std::vector<uint8_t>& bytes);
+
+  /// Uniformly random value with exactly `bits` bits (top bit set).
+  static BigInt RandomBits(Rng& rng, int bits);
+  /// Uniformly random value in [0, bound).
+  static BigInt RandomBelow(Rng& rng, const BigInt& bound);
+
+  std::string ToDecimalString() const;
+  std::string ToHexString() const;
+  /// Big-endian magnitude bytes (sign is dropped); empty for zero.
+  std::vector<uint8_t> ToBytes() const;
+
+  bool IsZero() const { return limbs_.empty(); }
+  bool IsNegative() const { return negative_; }
+  bool IsOdd() const { return !limbs_.empty() && (limbs_[0] & 1); }
+  bool IsOne() const {
+    return !negative_ && limbs_.size() == 1 && limbs_[0] == 1;
+  }
+
+  /// Number of significant bits in the magnitude (0 for zero).
+  int BitLength() const;
+  /// Bit i of the magnitude (i >= 0); 0 beyond the top bit.
+  int GetBit(int i) const;
+  size_t LimbCount() const { return limbs_.size(); }
+  uint64_t Limb(size_t i) const { return i < limbs_.size() ? limbs_[i] : 0; }
+
+  /// Value as uint64_t; requires the magnitude to fit and be non-negative.
+  Result<uint64_t> ToUint64() const;
+  /// Value as int64_t; requires |v| <= INT64_MAX.
+  Result<int64_t> ToInt64() const;
+  /// Approximate conversion to double (may lose precision / overflow to inf).
+  double ToDouble() const;
+
+  // Comparison: -1, 0, +1.
+  int Compare(const BigInt& other) const;
+  /// Magnitude-only comparison, ignoring signs.
+  int CompareMagnitude(const BigInt& other) const;
+
+  bool operator==(const BigInt& o) const { return Compare(o) == 0; }
+  bool operator!=(const BigInt& o) const { return Compare(o) != 0; }
+  bool operator<(const BigInt& o) const { return Compare(o) < 0; }
+  bool operator<=(const BigInt& o) const { return Compare(o) <= 0; }
+  bool operator>(const BigInt& o) const { return Compare(o) > 0; }
+  bool operator>=(const BigInt& o) const { return Compare(o) >= 0; }
+
+  BigInt operator-() const;
+  BigInt operator+(const BigInt& o) const;
+  BigInt operator-(const BigInt& o) const;
+  BigInt operator*(const BigInt& o) const;
+  BigInt operator<<(int bits) const;
+  BigInt operator>>(int bits) const;
+
+  BigInt& operator+=(const BigInt& o) { return *this = *this + o; }
+  BigInt& operator-=(const BigInt& o) { return *this = *this - o; }
+  BigInt& operator*=(const BigInt& o) { return *this = *this * o; }
+
+  /// Truncated division: quotient rounds toward zero, remainder has the
+  /// sign of the dividend (C semantics). `divisor` must be non-zero.
+  static Status DivMod(const BigInt& dividend, const BigInt& divisor,
+                       BigInt* quotient, BigInt* remainder);
+
+  /// this mod m, result always in [0, |m|). `m` must be non-zero.
+  Result<BigInt> Mod(const BigInt& m) const;
+
+  /// (a + b) mod m, with a, b already reduced into [0, m).
+  static BigInt AddMod(const BigInt& a, const BigInt& b, const BigInt& m);
+  /// (a - b) mod m, with a, b already reduced into [0, m).
+  static BigInt SubMod(const BigInt& a, const BigInt& b, const BigInt& m);
+  /// (a * b) mod m for arbitrary non-negative a, b.
+  static BigInt MulMod(const BigInt& a, const BigInt& b, const BigInt& m);
+
+  /// base^exp mod m (exp >= 0, m > 1). Montgomery-accelerated when m is odd.
+  static Result<BigInt> ModExp(const BigInt& base, const BigInt& exp,
+                               const BigInt& m);
+
+  /// Greatest common divisor of magnitudes.
+  static BigInt Gcd(const BigInt& a, const BigInt& b);
+  /// Least common multiple of magnitudes.
+  static BigInt Lcm(const BigInt& a, const BigInt& b);
+
+  /// a^{-1} mod m; fails if gcd(a, m) != 1.
+  static Result<BigInt> ModInverse(const BigInt& a, const BigInt& m);
+
+  /// Serialization: sign byte + length-prefixed big-endian magnitude.
+  void Serialize(std::vector<uint8_t>* out) const;
+  static Result<BigInt> Deserialize(const uint8_t* data, size_t size,
+                                    size_t* consumed);
+
+ private:
+  friend class MontgomeryContext;
+
+  void Normalize();
+  static std::vector<uint64_t> AddMagnitudes(const std::vector<uint64_t>& a,
+                                             const std::vector<uint64_t>& b);
+  /// Requires |a| >= |b|.
+  static std::vector<uint64_t> SubMagnitudes(const std::vector<uint64_t>& a,
+                                             const std::vector<uint64_t>& b);
+  static std::vector<uint64_t> MulMagnitudes(const std::vector<uint64_t>& a,
+                                             const std::vector<uint64_t>& b);
+  static std::vector<uint64_t> MulSchoolbook(const std::vector<uint64_t>& a,
+                                             const std::vector<uint64_t>& b);
+  static std::vector<uint64_t> MulKaratsuba(const std::vector<uint64_t>& a,
+                                            const std::vector<uint64_t>& b);
+  static int CompareMagnitudes(const std::vector<uint64_t>& a,
+                               const std::vector<uint64_t>& b);
+  /// Knuth Algorithm D on magnitudes; q and r are outputs.
+  static void DivModMagnitudes(const std::vector<uint64_t>& u,
+                               const std::vector<uint64_t>& v,
+                               std::vector<uint64_t>* q,
+                               std::vector<uint64_t>* r);
+
+  std::vector<uint64_t> limbs_;
+  bool negative_ = false;
+};
+
+/// Stream output in decimal (for gtest failure messages).
+std::ostream& operator<<(std::ostream& os, const BigInt& v);
+
+}  // namespace ppstream

@@ -1,0 +1,172 @@
+#include "bignum/montgomery.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace ppstream {
+
+namespace {
+inline uint64_t Lo(__uint128_t v) { return static_cast<uint64_t>(v); }
+inline uint64_t Hi(__uint128_t v) { return static_cast<uint64_t>(v >> 64); }
+
+// -x^{-1} mod 2^64 for odd x, via Newton iteration (doubles precision each
+// step; 6 steps reach 64 bits from the 2^3-correct seed x ≡ x^{-1} mod 8).
+uint64_t NegInverse64(uint64_t x) {
+  uint64_t inv = x;  // correct mod 2^3
+  for (int i = 0; i < 6; ++i) inv *= 2 - x * inv;
+  return ~inv + 1;
+}
+}  // namespace
+
+MontgomeryContext::MontgomeryContext(const BigInt& modulus)
+    : modulus_(modulus) {
+  PPS_CHECK(modulus.IsOdd()) << "Montgomery modulus must be odd";
+  PPS_CHECK(modulus.Compare(BigInt(1)) > 0) << "modulus must be > 1";
+  k_ = modulus.LimbCount();
+  n_.resize(k_);
+  for (size_t i = 0; i < k_; ++i) n_[i] = modulus.Limb(i);
+  n0_inv_ = NegInverse64(n_[0]);
+
+  // R^2 mod n, computed once with a plain division.
+  BigInt r2 = (BigInt(1) << static_cast<int>(128 * k_));
+  auto reduced = r2.Mod(modulus_);
+  PPS_CHECK(reduced.ok());
+  const BigInt& rr = reduced.value();
+  rr_.assign(k_, 0);
+  for (size_t i = 0; i < k_; ++i) rr_[i] = rr.Limb(i);
+}
+
+void MontgomeryContext::MontMul(const Limbs& a, const Limbs& b,
+                                Limbs* out) const {
+  // CIOS (coarsely integrated operand scanning), Koç et al.
+  std::vector<uint64_t> t(k_ + 2, 0);
+  for (size_t i = 0; i < k_; ++i) {
+    // t += a[i] * b
+    uint64_t carry = 0;
+    const uint64_t ai = a[i];
+    for (size_t j = 0; j < k_; ++j) {
+      __uint128_t s = static_cast<__uint128_t>(ai) * b[j] + t[j] + carry;
+      t[j] = Lo(s);
+      carry = Hi(s);
+    }
+    __uint128_t s = static_cast<__uint128_t>(t[k_]) + carry;
+    t[k_] = Lo(s);
+    t[k_ + 1] = Hi(s);
+
+    // m = t[0] * n0_inv mod 2^64; t += m * n; t >>= 64.
+    const uint64_t m = t[0] * n0_inv_;
+    s = static_cast<__uint128_t>(m) * n_[0] + t[0];
+    carry = Hi(s);
+    for (size_t j = 1; j < k_; ++j) {
+      s = static_cast<__uint128_t>(m) * n_[j] + t[j] + carry;
+      t[j - 1] = Lo(s);
+      carry = Hi(s);
+    }
+    s = static_cast<__uint128_t>(t[k_]) + carry;
+    t[k_ - 1] = Lo(s);
+    t[k_] = t[k_ + 1] + Hi(s);
+    t[k_ + 1] = 0;
+  }
+
+  // Conditional final subtraction: result = t - n if t >= n.
+  bool ge = t[k_] != 0;
+  if (!ge) {
+    ge = true;
+    for (size_t i = k_; i-- > 0;) {
+      if (t[i] != n_[i]) {
+        ge = t[i] > n_[i];
+        break;
+      }
+    }
+  }
+  out->assign(k_, 0);
+  if (ge) {
+    uint64_t borrow = 0;
+    for (size_t i = 0; i < k_; ++i) {
+      uint64_t d = t[i] - n_[i];
+      uint64_t b1 = d > t[i];
+      uint64_t d2 = d - borrow;
+      uint64_t b2 = d2 > d;
+      (*out)[i] = d2;
+      borrow = b1 | b2;
+    }
+  } else {
+    std::copy(t.begin(), t.begin() + k_, out->begin());
+  }
+}
+
+MontgomeryContext::Limbs MontgomeryContext::ToMont(const BigInt& v) const {
+  Limbs in(k_, 0);
+  for (size_t i = 0; i < std::min(k_, v.LimbCount()); ++i) in[i] = v.Limb(i);
+  Limbs out;
+  MontMul(in, rr_, &out);
+  return out;
+}
+
+BigInt MontgomeryContext::FromMont(const Limbs& v) const {
+  Limbs one(k_, 0);
+  one[0] = 1;
+  Limbs out;
+  MontMul(v, one, &out);
+  // Assemble a BigInt from limbs (big-endian bytes path keeps BigInt's
+  // internals private without a friend constructor).
+  std::vector<uint8_t> bytes;
+  bytes.reserve(k_ * 8);
+  for (size_t i = k_; i-- > 0;) {
+    for (int shift = 56; shift >= 0; shift -= 8) {
+      bytes.push_back(static_cast<uint8_t>(out[i] >> shift));
+    }
+  }
+  return BigInt::FromBytes(bytes);
+}
+
+BigInt MontgomeryContext::ModMul(const BigInt& a, const BigInt& b) const {
+  Limbs am = ToMont(a);
+  Limbs bm = ToMont(b);
+  Limbs prod;
+  MontMul(am, bm, &prod);
+  return FromMont(prod);
+}
+
+BigInt MontgomeryContext::ModExp(const BigInt& base, const BigInt& exp) const {
+  PPS_CHECK(!exp.IsNegative());
+  if (exp.IsZero()) return BigInt(1);
+
+  // Precompute base^0..base^15 in Montgomery form (4-bit fixed window).
+  constexpr int kWindow = 4;
+  Limbs one_mont;
+  {
+    Limbs one(k_, 0);
+    one[0] = 1;
+    MontMul(one, rr_, &one_mont);
+  }
+  std::vector<Limbs> table(1 << kWindow);
+  table[0] = one_mont;
+  table[1] = ToMont(base);
+  for (size_t i = 2; i < table.size(); ++i) {
+    MontMul(table[i - 1], table[1], &table[i]);
+  }
+
+  const int bits = exp.BitLength();
+  const int windows = (bits + kWindow - 1) / kWindow;
+  Limbs acc = one_mont;
+  Limbs tmp;
+  for (int w = windows - 1; w >= 0; --w) {
+    for (int sq = 0; sq < kWindow; ++sq) {
+      MontMul(acc, acc, &tmp);
+      acc.swap(tmp);
+    }
+    int digit = 0;
+    for (int b = kWindow - 1; b >= 0; --b) {
+      digit = (digit << 1) | exp.GetBit(w * kWindow + b);
+    }
+    if (digit != 0) {
+      MontMul(acc, table[digit], &tmp);
+      acc.swap(tmp);
+    }
+  }
+  return FromMont(acc);
+}
+
+}  // namespace ppstream

@@ -1,0 +1,46 @@
+// Montgomery modular arithmetic for odd moduli.
+//
+// Precomputes R^2 mod n and -n^{-1} mod 2^64 once per modulus so repeated
+// ModExp calls against the same modulus (the hot path in Paillier) avoid
+// per-operation divisions. Word-level CIOS reduction.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "bignum/bigint.h"
+
+namespace ppstream {
+
+/// Reusable Montgomery domain for a fixed odd modulus n > 1.
+class MontgomeryContext {
+ public:
+  /// `modulus` must be odd and > 1 (checked).
+  explicit MontgomeryContext(const BigInt& modulus);
+
+  /// base^exp mod n, with base in [0, n) and exp >= 0.
+  /// Left-to-right 4-bit fixed-window exponentiation.
+  BigInt ModExp(const BigInt& base, const BigInt& exp) const;
+
+  /// (a * b) mod n with a, b in [0, n).
+  BigInt ModMul(const BigInt& a, const BigInt& b) const;
+
+  const BigInt& modulus() const { return modulus_; }
+
+ private:
+  using Limbs = std::vector<uint64_t>;
+
+  /// REDC(a * b) with a, b in Montgomery form (< n); out < n.
+  void MontMul(const Limbs& a, const Limbs& b, Limbs* out) const;
+  Limbs ToMont(const BigInt& v) const;
+  BigInt FromMont(const Limbs& v) const;
+
+  BigInt modulus_;
+  Limbs n_;          // modulus limbs, padded to k_, little-endian
+  size_t k_;         // limb count of n
+  uint64_t n0_inv_;  // -n^{-1} mod 2^64
+  Limbs rr_;         // R^2 mod n, R = 2^(64 k_)
+};
+
+}  // namespace ppstream

@@ -1,0 +1,98 @@
+#include "bignum/prime.h"
+
+#include <array>
+
+#include "bignum/montgomery.h"
+#include "util/logging.h"
+
+namespace ppstream {
+
+namespace {
+
+// Small primes for trial division before Miller–Rabin.
+constexpr std::array<uint64_t, 54> kSmallPrimes = {
+    2,   3,   5,   7,   11,  13,  17,  19,  23,  29,  31,  37,  41,  43,
+    47,  53,  59,  61,  67,  71,  73,  79,  83,  89,  97,  101, 103, 107,
+    109, 113, 127, 131, 137, 139, 149, 151, 157, 163, 167, 173, 179, 181,
+    191, 193, 197, 199, 211, 223, 227, 229, 233, 239, 241, 251};
+
+}  // namespace
+
+bool IsProbablePrime(const BigInt& n, Rng& rng, int rounds) {
+  if (n.IsNegative() || n.IsZero()) return false;
+  if (n.BitLength() <= 8) {
+    auto v = n.ToUint64();
+    PPS_CHECK(v.ok());
+    for (uint64_t p : kSmallPrimes) {
+      if (v.value() == p) return true;
+    }
+    // Values up to 255 not in the table are composite or 1.
+    return false;
+  }
+
+  for (uint64_t p : kSmallPrimes) {
+    BigInt r;
+    PPS_CHECK_OK(BigInt::DivMod(n, BigInt(p), nullptr, &r));
+    if (r.IsZero()) return false;
+  }
+
+  // Write n - 1 = d * 2^s with d odd.
+  const BigInt n_minus_1 = n - BigInt(1);
+  BigInt d = n_minus_1;
+  int s = 0;
+  while (!d.IsOdd()) {
+    d = d >> 1;
+    ++s;
+  }
+
+  MontgomeryContext ctx(n);
+  const BigInt one(1);
+  const BigInt two(2);
+  const BigInt n_minus_3 = n - BigInt(3);
+
+  for (int round = 0; round < rounds; ++round) {
+    // a uniform in [2, n - 2].
+    BigInt a = BigInt::RandomBelow(rng, n_minus_3) + two;
+    BigInt x = ctx.ModExp(a, d);
+    if (x == one || x == n_minus_1) continue;
+    bool witness = true;
+    for (int i = 0; i < s - 1; ++i) {
+      x = ctx.ModMul(x, x);
+      if (x == n_minus_1) {
+        witness = false;
+        break;
+      }
+    }
+    if (witness) return false;
+  }
+  return true;
+}
+
+Result<BigInt> GeneratePrime(Rng& rng, int bits, int mr_rounds) {
+  if (bits < 8) {
+    return Status::InvalidArgument("prime bit length must be >= 8");
+  }
+  for (int attempt = 0; attempt < 100000; ++attempt) {
+    BigInt cand = BigInt::RandomBits(rng, bits);
+    // Force odd; RandomBits already set the top bit.
+    if (!cand.IsOdd()) cand = cand + BigInt(1);
+    if (cand.BitLength() != bits) continue;  // +1 overflowed the width
+    if (IsProbablePrime(cand, rng, mr_rounds)) return cand;
+  }
+  return Status::Internal("prime generation exhausted attempts");
+}
+
+Status GeneratePaillierPrimes(Rng& rng, int bits, BigInt* p, BigInt* q,
+                              int mr_rounds) {
+  PPS_ASSIGN_OR_RETURN(*p, GeneratePrime(rng, bits, mr_rounds));
+  for (int attempt = 0; attempt < 1000; ++attempt) {
+    PPS_ASSIGN_OR_RETURN(*q, GeneratePrime(rng, bits, mr_rounds));
+    if (*p == *q) continue;
+    const BigInt n = *p * *q;
+    const BigInt phi = (*p - BigInt(1)) * (*q - BigInt(1));
+    if (BigInt::Gcd(n, phi).IsOne()) return Status::OK();
+  }
+  return Status::Internal("could not find a Paillier-compatible prime pair");
+}
+
+}  // namespace ppstream

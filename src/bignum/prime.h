@@ -1,0 +1,26 @@
+// Primality testing and random prime generation for Paillier key setup.
+
+#pragma once
+
+#include "bignum/bigint.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace ppstream {
+
+/// Miller–Rabin probabilistic primality test.
+///
+/// Performs trial division by small primes, then `rounds` Miller–Rabin
+/// witnesses (random bases). Error probability <= 4^-rounds for composites.
+bool IsProbablePrime(const BigInt& n, Rng& rng, int rounds = 24);
+
+/// Generates a random prime with exactly `bits` bits (top bit set).
+/// `bits` must be >= 8.
+Result<BigInt> GeneratePrime(Rng& rng, int bits, int mr_rounds = 24);
+
+/// Generates two distinct primes p, q of `bits` bits each such that
+/// gcd(p*q, (p-1)*(q-1)) == 1 — the precondition for Paillier keygen.
+Status GeneratePaillierPrimes(Rng& rng, int bits, BigInt* p, BigInt* q,
+                              int mr_rounds = 24);
+
+}  // namespace ppstream

@@ -1,0 +1,275 @@
+#include "core/affine.h"
+
+#include <cmath>
+
+#include "core/fixed_point.h"
+#include "nn/layers.h"
+#include "util/logging.h"
+
+namespace ppstream {
+
+namespace {
+
+/// bias quantized at F^(input_scale_power + weight_scale_power).
+BigInt QuantizeBias(double bias, int64_t scale, int out_power) {
+  // Compute round(bias * F^out_power) without double overflow for large
+  // powers: quantize at F once, then multiply by F^(out_power-1) exactly.
+  if (bias == 0.0) return BigInt();
+  const int64_t at_f = QuantizeValue(bias, scale);
+  return BigInt(at_f) * ScalePower(scale, out_power - 1);
+}
+
+}  // namespace
+
+Result<IntegerAffineLayer> IntegerAffineLayer::FromLayer(
+    const Layer& layer, const Shape& input_shape, int64_t scale,
+    int input_scale_power) {
+  if (scale < 1) return Status::InvalidArgument("scale must be >= 1");
+  if (input_scale_power < 1) {
+    return Status::InvalidArgument("input_scale_power must be >= 1");
+  }
+  // Validates shape compatibility for every layer kind up front.
+  PPS_ASSIGN_OR_RETURN(Shape output_shape, layer.OutputShape(input_shape));
+
+  IntegerAffineLayer out;
+  out.name_ = layer.name();
+  out.input_scale_power_ = input_scale_power;
+  out.weight_scale_power_ = 1;
+
+  switch (layer.kind()) {
+    case LayerKind::kDense: {
+      const auto& dense = static_cast<const DenseLayer&>(layer);
+      const int64_t in_f = dense.in_features(), out_f = dense.out_features();
+      out.in_shape_ = input_shape;
+      out.out_shape_ = output_shape;
+      const int out_power = input_scale_power + 1;
+      out.rows_.resize(static_cast<size_t>(out_f));
+      for (int64_t o = 0; o < out_f; ++o) {
+        AffineRow& row = out.rows_[static_cast<size_t>(o)];
+        row.terms.reserve(static_cast<size_t>(in_f));
+        for (int64_t i = 0; i < in_f; ++i) {
+          const int64_t w = QuantizeValue(dense.weights()[o * in_f + i],
+                                          scale);
+          if (w != 0) {
+            row.terms.push_back({static_cast<uint32_t>(i), w});
+          }
+        }
+        row.bias = QuantizeBias(dense.bias()[o], scale, out_power);
+      }
+      return out;
+    }
+    case LayerKind::kConv2D: {
+      const auto& conv = static_cast<const Conv2DLayer&>(layer);
+      const Conv2DGeometry& g = conv.geometry();
+      out.in_shape_ = input_shape;
+      out.out_shape_ = output_shape;
+      const int out_power = input_scale_power + 1;
+      const int64_t oh = g.out_height(), ow = g.out_width();
+      out.rows_.resize(static_cast<size_t>(g.out_channels * oh * ow));
+      for (int64_t oc = 0; oc < g.out_channels; ++oc) {
+        for (int64_t oy = 0; oy < oh; ++oy) {
+          for (int64_t ox = 0; ox < ow; ++ox) {
+            AffineRow& row = out.rows_[static_cast<size_t>(
+                (oc * oh + oy) * ow + ox)];
+            const int64_t iy0 = oy * g.stride - g.padding;
+            const int64_t ix0 = ox * g.stride - g.padding;
+            for (int64_t ic = 0; ic < g.in_channels; ++ic) {
+              for (int64_t ky = 0; ky < g.kernel_h; ++ky) {
+                const int64_t iy = iy0 + ky;
+                if (iy < 0 || iy >= g.in_height) continue;
+                for (int64_t kx = 0; kx < g.kernel_w; ++kx) {
+                  const int64_t ix = ix0 + kx;
+                  if (ix < 0 || ix >= g.in_width) continue;
+                  const int64_t w = QuantizeValue(
+                      conv.filters()[((oc * g.in_channels + ic) * g.kernel_h +
+                                      ky) *
+                                         g.kernel_w +
+                                     kx],
+                      scale);
+                  if (w != 0) {
+                    row.terms.push_back(
+                        {static_cast<uint32_t>((ic * g.in_height + iy) *
+                                                   g.in_width +
+                                               ix),
+                         w});
+                  }
+                }
+              }
+            }
+            row.bias = QuantizeBias(conv.bias()[oc], scale, out_power);
+          }
+        }
+      }
+      return out;
+    }
+    case LayerKind::kBatchNorm: {
+      // Per-element affine: y = a_c x + b_c with a = gamma/sqrt(var+eps),
+      // b = beta - gamma*mean/sqrt(var+eps).
+      const auto& bn = static_cast<const BatchNormLayer&>(layer);
+      out.in_shape_ = input_shape;
+      out.out_shape_ = output_shape;
+      const int out_power = input_scale_power + 1;
+      const int64_t n = input_shape.NumElements();
+      const int64_t per_channel =
+          input_shape.rank() == 3
+              ? input_shape.dim(1) * input_shape.dim(2)
+              : 1;
+      out.rows_.resize(static_cast<size_t>(n));
+      for (int64_t i = 0; i < n; ++i) {
+        const int64_t c = i / per_channel;
+        const double inv_std =
+            1.0 / std::sqrt(bn.variance()[c] + bn.epsilon());
+        const double a = bn.gamma()[c] * inv_std;
+        const double b = bn.beta()[c] - bn.gamma()[c] * bn.mean()[c] * inv_std;
+        AffineRow& row = out.rows_[static_cast<size_t>(i)];
+        const int64_t w = QuantizeValue(a, scale);
+        if (w != 0) row.terms.push_back({static_cast<uint32_t>(i), w});
+        row.bias = QuantizeBias(b, scale, out_power);
+      }
+      return out;
+    }
+    case LayerKind::kAvgPool2D: {
+      // A fixed depthwise convolution with weight 1/(k*k).
+      const auto& pool = static_cast<const AvgPool2DLayer&>(layer);
+      out.in_shape_ = input_shape;
+      out.out_shape_ = output_shape;
+      const int64_t c = input_shape.dim(0), h = input_shape.dim(1),
+                    w = input_shape.dim(2);
+      const int64_t oh = output_shape.dim(1), ow = output_shape.dim(2);
+      const int64_t wq =
+          QuantizeValue(1.0 / static_cast<double>(pool.size() * pool.size()),
+                        scale);
+      out.rows_.resize(static_cast<size_t>(c * oh * ow));
+      for (int64_t ch = 0; ch < c; ++ch) {
+        for (int64_t oy = 0; oy < oh; ++oy) {
+          for (int64_t ox = 0; ox < ow; ++ox) {
+            AffineRow& row =
+                out.rows_[static_cast<size_t>((ch * oh + oy) * ow + ox)];
+            for (int64_t ky = 0; ky < pool.size(); ++ky) {
+              for (int64_t kx = 0; kx < pool.size(); ++kx) {
+                row.terms.push_back(
+                    {static_cast<uint32_t>(
+                         (ch * h + oy * pool.stride() + ky) * w +
+                         ox * pool.stride() + kx),
+                     wq});
+              }
+            }
+          }
+        }
+      }
+      return out;
+    }
+    case LayerKind::kFlatten: {
+      // Identity on the flat buffer: weight 1, no scale change.
+      out.in_shape_ = input_shape;
+      out.out_shape_ = output_shape;
+      out.weight_scale_power_ = 0;
+      const int64_t n = input_shape.NumElements();
+      out.rows_.resize(static_cast<size_t>(n));
+      for (int64_t i = 0; i < n; ++i) {
+        out.rows_[static_cast<size_t>(i)].terms.push_back(
+            {static_cast<uint32_t>(i), 1});
+      }
+      return out;
+    }
+    case LayerKind::kScalarScale: {
+      const auto& ss = static_cast<const ScalarScaleLayer&>(layer);
+      out.in_shape_ = input_shape;
+      out.out_shape_ = output_shape;
+      const int64_t n = input_shape.NumElements();
+      const int64_t wq = QuantizeValue(ss.alpha(), scale);
+      out.rows_.resize(static_cast<size_t>(n));
+      if (wq != 0) {
+        for (int64_t i = 0; i < n; ++i) {
+          out.rows_[static_cast<size_t>(i)].terms.push_back(
+              {static_cast<uint32_t>(i), wq});
+        }
+      }
+      return out;
+    }
+    default:
+      return Status::InvalidArgument(
+          internal::StrCat("layer ", layer.name(), " is not linear"));
+  }
+}
+
+Result<Tensor<BigInt>> IntegerAffineLayer::ApplyPlain(
+    const Tensor<BigInt>& in) const {
+  if (in.NumElements() != in_shape_.NumElements()) {
+    return Status::InvalidArgument(
+        internal::StrCat(name_, ": plain input has ", in.NumElements(),
+                         " elements, expected ", in_shape_.NumElements()));
+  }
+  Tensor<BigInt> out{out_shape_};
+  for (size_t j = 0; j < rows_.size(); ++j) {
+    BigInt acc = rows_[j].bias;
+    for (const AffineTerm& t : rows_[j].terms) {
+      acc = acc + in[t.input_index] * BigInt(t.weight);
+    }
+    out[static_cast<int64_t>(j)] = std::move(acc);
+  }
+  return out;
+}
+
+Result<std::vector<Ciphertext>> IntegerAffineLayer::ApplyEncryptedRows(
+    const PaillierPublicKey& pk, const std::vector<Ciphertext>& in,
+    size_t row_begin, size_t row_end) const {
+  if (in.size() != static_cast<size_t>(in_shape_.NumElements())) {
+    return Status::InvalidArgument(
+        internal::StrCat(name_, ": encrypted input has ", in.size(),
+                         " slots, expected ", in_shape_.NumElements()));
+  }
+  if (row_begin > row_end || row_end > rows_.size()) {
+    return Status::OutOfRange("row slice out of range");
+  }
+  std::vector<Ciphertext> out;
+  out.reserve(row_end - row_begin);
+  for (size_t j = row_begin; j < row_end; ++j) {
+    // Eq. (3): prod_i E(m_i)^{w_i} * E(b).
+    Ciphertext acc = Paillier::EncryptZeroDeterministic(pk);
+    for (const AffineTerm& t : rows_[j].terms) {
+      PPS_ASSIGN_OR_RETURN(
+          Ciphertext term,
+          Paillier::ScalarMul(pk, in[t.input_index], BigInt(t.weight)));
+      acc = Paillier::Add(pk, acc, term);
+    }
+    if (!rows_[j].bias.IsZero()) {
+      PPS_ASSIGN_OR_RETURN(acc, Paillier::AddPlain(pk, acc, rows_[j].bias));
+    }
+    out.push_back(std::move(acc));
+  }
+  return out;
+}
+
+Result<Tensor<Ciphertext>> IntegerAffineLayer::ApplyEncrypted(
+    const PaillierPublicKey& pk, const Tensor<Ciphertext>& in) const {
+  PPS_ASSIGN_OR_RETURN(
+      std::vector<Ciphertext> out,
+      ApplyEncryptedRows(pk, in.data(), 0, rows_.size()));
+  return Tensor<Ciphertext>(out_shape_, std::move(out));
+}
+
+BigInt IntegerAffineLayer::OutputMagnitudeBound(
+    const BigInt& input_bound) const {
+  BigInt worst;
+  for (const AffineRow& row : rows_) {
+    BigInt sum_abs_w;
+    for (const AffineTerm& t : row.terms) {
+      sum_abs_w = sum_abs_w + BigInt(t.weight < 0 ? -t.weight : t.weight);
+    }
+    BigInt bias_abs = row.bias.IsNegative() ? -row.bias : row.bias;
+    BigInt bound = sum_abs_w * input_bound + bias_abs;
+    if (bound.Compare(worst) > 0) worst = std::move(bound);
+  }
+  return worst;
+}
+
+int64_t IntegerAffineLayer::TotalTerms() const {
+  int64_t total = 0;
+  for (const AffineRow& row : rows_) {
+    total += static_cast<int64_t>(row.terms.size());
+  }
+  return total;
+}
+
+}  // namespace ppstream

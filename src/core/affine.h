@@ -1,0 +1,96 @@
+// Unified integer representation of linear layers.
+//
+// Every linear layer (Dense, Conv2D, BatchNorm, AvgPool, Flatten,
+// ScalarScale) lowers to a sparse affine map over integers: output element
+// j is  sum_t weight[t] * input[term[t].input_index] + bias_j.
+//
+// This single representation drives:
+//   * homomorphic evaluation on Paillier ciphertexts (Eq. 3 of the paper:
+//     prod_i E(m_i)^{w_i} * E(b));
+//   * exact plaintext integer evaluation (the correctness reference);
+//   * tensor partitioning — the receptive field of output j is exactly the
+//     support of row j (paper Section IV-D).
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "bignum/bigint.h"
+#include "crypto/paillier.h"
+#include "nn/layer.h"
+#include "tensor/tensor.h"
+#include "util/status.h"
+
+namespace ppstream {
+
+/// One weighted tap of an affine row. `weight` is the quantized integer
+/// weight (at scale F, or the raw value 1 for identity layers).
+struct AffineTerm {
+  uint32_t input_index;
+  int64_t weight;
+};
+
+/// One output element: sparse dot product plus bias.
+struct AffineRow {
+  std::vector<AffineTerm> terms;
+  BigInt bias;  // already at the row's output scale
+};
+
+/// A linear layer lowered to integer form.
+class IntegerAffineLayer {
+ public:
+  /// Lowers a linear layer given its concrete input shape. `scale` is F;
+  /// `input_scale_power` is the power of F carried by the stage input when
+  /// this layer executes (1 for the first layer of a stage). Fails for
+  /// non-linear layers or incompatible shapes.
+  static Result<IntegerAffineLayer> FromLayer(const Layer& layer,
+                                              const Shape& input_shape,
+                                              int64_t scale,
+                                              int input_scale_power);
+
+  const Shape& input_shape() const { return in_shape_; }
+  const Shape& output_shape() const { return out_shape_; }
+  const std::vector<AffineRow>& rows() const { return rows_; }
+  const std::string& name() const { return name_; }
+
+  /// 0 for identity-like layers (Flatten), 1 for weighted layers: how much
+  /// this layer raises the power of F.
+  int weight_scale_power() const { return weight_scale_power_; }
+  int input_scale_power() const { return input_scale_power_; }
+  int output_scale_power() const {
+    return input_scale_power_ + weight_scale_power_;
+  }
+
+  /// Exact integer evaluation (the plaintext reference path and the
+  /// CipherBase-free fast path in tests).
+  Result<Tensor<BigInt>> ApplyPlain(const Tensor<BigInt>& in) const;
+
+  /// Homomorphic evaluation on ciphertexts (model-provider hot path).
+  /// `row_begin`/`row_end` select a slice of output elements, enabling
+  /// output-tensor partitioning across threads; pass 0, rows().size() for
+  /// the whole output.
+  Result<std::vector<Ciphertext>> ApplyEncryptedRows(
+      const PaillierPublicKey& pk, const std::vector<Ciphertext>& in,
+      size_t row_begin, size_t row_end) const;
+
+  Result<Tensor<Ciphertext>> ApplyEncrypted(
+      const PaillierPublicKey& pk, const Tensor<Ciphertext>& in) const;
+
+  /// Worst-case |output| bound given a bound on |input| (both as integers
+  /// at their respective scales). Used to verify values stay below n/2.
+  BigInt OutputMagnitudeBound(const BigInt& input_bound) const;
+
+  /// Total number of weighted taps (drives the profiler cost model).
+  int64_t TotalTerms() const;
+
+ private:
+  Shape in_shape_, out_shape_;
+  std::vector<AffineRow> rows_;
+  std::string name_;
+  int weight_scale_power_ = 1;
+  int input_scale_power_ = 1;
+};
+
+}  // namespace ppstream

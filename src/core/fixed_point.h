@@ -1,0 +1,61 @@
+// Fixed-point encoding conventions (paper Section IV-A).
+//
+// All values crossing the crypto boundary are integers at scale F = 10^f:
+//   * activations enter a linear stage at scale F^1;
+//   * every weighted linear layer multiplies the scale by F (weights are
+//     quantized at F), so a merged linear stage of k weighted layers emits
+//     values at scale F^(k+1);
+//   * the data provider decrypts, divides by F^(k+1), applies non-linear
+//     functions in double precision, and re-quantizes at F.
+// Identity-like linear layers (Flatten) carry weight 1 and leave the scale
+// unchanged.
+
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+#include "bignum/bigint.h"
+#include "tensor/tensor.h"
+
+namespace ppstream {
+
+/// round(v * F) as int64. F must be >= 1.
+inline int64_t QuantizeValue(double v, int64_t scale) {
+  return static_cast<int64_t>(std::llround(v * static_cast<double>(scale)));
+}
+
+/// v / F as double.
+inline double DequantizeValue(int64_t v, double scale) {
+  return static_cast<double>(v) / scale;
+}
+
+/// 10^f as int64 (f in [0, 18]).
+inline int64_t PowerOfTen(int f) {
+  int64_t out = 1;
+  for (int i = 0; i < f; ++i) out *= 10;
+  return out;
+}
+
+/// F^power as BigInt (for accumulated scales that exceed int64).
+inline BigInt ScalePower(int64_t scale, int power) {
+  BigInt out(1);
+  const BigInt s(scale);
+  for (int i = 0; i < power; ++i) out = out * s;
+  return out;
+}
+
+/// Quantizes a double tensor at the given scale.
+inline Tensor<int64_t> QuantizeTensor(const DoubleTensor& t, int64_t scale) {
+  return t.Map<int64_t>(
+      [scale](double v) { return QuantizeValue(v, scale); });
+}
+
+/// Dequantizes an integer tensor with a (possibly huge) BigInt scale.
+inline DoubleTensor DequantizeTensor(const Tensor<BigInt>& t,
+                                     const BigInt& scale) {
+  const double s = scale.ToDouble();
+  return t.Map<double>([s](const BigInt& v) { return v.ToDouble() / s; });
+}
+
+}  // namespace ppstream

@@ -1,0 +1,253 @@
+#include "core/plan.h"
+
+#include <cmath>
+
+#include "core/fixed_point.h"
+#include "nn/layers.h"
+#include "util/logging.h"
+
+namespace ppstream {
+
+const BigInt& InferencePlan::MaxMagnitude() const {
+  static const BigInt kZero;
+  const BigInt* max = &kZero;
+  for (const LinearStage& stage : linear_stages) {
+    if (stage.magnitude_bound.Compare(*max) > 0) {
+      max = &stage.magnitude_bound;
+    }
+  }
+  return *max;
+}
+
+Status InferencePlan::CheckFitsKey(const BigInt& n) const {
+  const BigInt half = n >> 1;
+  const BigInt& max = MaxMagnitude();
+  if (max.Compare(half) >= 0) {
+    return Status::OutOfRange(internal::StrCat(
+        "plan magnitude bound needs ", max.BitLength(),
+        " bits but n/2 has only ", half.BitLength(),
+        "; increase the Paillier key size or reduce the scaling factor"));
+  }
+  return Status::OK();
+}
+
+namespace {
+
+void WriteShape(BufferWriter* out, const Shape& shape) {
+  out->WriteU64(shape.rank());
+  for (int64_t d : shape.dims()) out->WriteI64(d);
+}
+
+Result<Shape> ReadShape(BufferReader* in) {
+  PPS_ASSIGN_OR_RETURN(uint64_t rank, in->ReadU64());
+  if (rank > 8) return Status::OutOfRange("implausible shape rank");
+  std::vector<int64_t> dims(rank);
+  for (auto& d : dims) {
+    PPS_ASSIGN_OR_RETURN(d, in->ReadI64());
+    if (d <= 0) return Status::OutOfRange("non-positive shape dim");
+  }
+  return Shape(std::move(dims));
+}
+
+}  // namespace
+
+void InferencePlan::SerializeDataProviderView(BufferWriter* out) const {
+  out->WriteI64(scale);
+  WriteShape(out, input_shape);
+  WriteShape(out, output_shape);
+  out->WriteU64(NumRounds());
+  for (size_t r = 0; r < NumRounds(); ++r) {
+    const LinearStage& stage = linear_stages[r];
+    out->WriteI64(stage.output_scale_power);
+    WriteShape(out, stage.input_shape);
+    WriteShape(out, stage.output_shape);
+    const NonLinearSegment& segment = nonlinear_segments[r];
+    out->WriteU8(segment.is_final ? 1 : 0);
+    out->WriteString(segment.name);
+    out->WriteU64(segment.layers.size());
+    for (const auto& layer : segment.layers) layer->Serialize(out);
+  }
+}
+
+Result<InferencePlan> InferencePlan::DeserializeDataProviderView(
+    BufferReader* in) {
+  InferencePlan plan;
+  plan.is_data_provider_view = true;
+  PPS_ASSIGN_OR_RETURN(plan.scale, in->ReadI64());
+  if (plan.scale < 1) return Status::OutOfRange("bad plan scale");
+  PPS_ASSIGN_OR_RETURN(plan.input_shape, ReadShape(in));
+  PPS_ASSIGN_OR_RETURN(plan.output_shape, ReadShape(in));
+  PPS_ASSIGN_OR_RETURN(uint64_t rounds, in->ReadU64());
+  if (rounds == 0 || rounds > 4096) {
+    return Status::OutOfRange("implausible round count");
+  }
+  for (uint64_t r = 0; r < rounds; ++r) {
+    LinearStage stage;
+    PPS_ASSIGN_OR_RETURN(int64_t power, in->ReadI64());
+    if (power < 1 || power > 64) {
+      return Status::OutOfRange("bad scale power");
+    }
+    stage.output_scale_power = static_cast<int>(power);
+    PPS_ASSIGN_OR_RETURN(stage.input_shape, ReadShape(in));
+    PPS_ASSIGN_OR_RETURN(stage.output_shape, ReadShape(in));
+    stage.name = "view";
+    plan.linear_stages.push_back(std::move(stage));
+
+    NonLinearSegment segment;
+    PPS_ASSIGN_OR_RETURN(uint8_t is_final, in->ReadU8());
+    segment.is_final = is_final != 0;
+    PPS_ASSIGN_OR_RETURN(segment.name, in->ReadString());
+    PPS_ASSIGN_OR_RETURN(uint64_t n_layers, in->ReadU64());
+    if (n_layers > 256) return Status::OutOfRange("implausible layer count");
+    for (uint64_t l = 0; l < n_layers; ++l) {
+      PPS_ASSIGN_OR_RETURN(std::unique_ptr<Layer> layer,
+                           DeserializeLayer(in));
+      segment.layers.push_back(std::move(layer));
+    }
+    segment.shape = plan.linear_stages.back().output_shape;
+    plan.nonlinear_segments.push_back(std::move(segment));
+  }
+  return plan;
+}
+
+Result<Model> PrepareModel(const Model& model) {
+  PPS_ASSIGN_OR_RETURN(Model no_pool, model.ReplaceMaxPooling());
+  Model out(no_pool.input_shape(), no_pool.name());
+  for (size_t i = 0; i < no_pool.NumLayers(); ++i) {
+    const Layer& layer = no_pool.layer(i);
+    if (layer.kind() == LayerKind::kScaledSigmoid) {
+      const auto& mixed = static_cast<const ScaledSigmoidLayer&>(layer);
+      PPS_RETURN_IF_ERROR(
+          out.Add(std::make_unique<ScalarScaleLayer>(mixed.alpha())));
+      PPS_RETURN_IF_ERROR(out.Add(std::make_unique<SigmoidLayer>()));
+    } else {
+      PPS_RETURN_IF_ERROR(out.Add(layer.Clone()));
+    }
+  }
+  return out;
+}
+
+namespace {
+
+/// Real-unit output bound of a non-linear layer given a real-unit input
+/// bound (coarse interval analysis for key sizing).
+double NonLinearBound(const Layer& layer, double in_bound) {
+  switch (layer.kind()) {
+    case LayerKind::kRelu:
+      return in_bound;
+    case LayerKind::kSigmoid:
+    case LayerKind::kSoftmax:
+      return 1.0;
+    default:
+      return in_bound;
+  }
+}
+
+}  // namespace
+
+Result<InferencePlan> CompilePlan(const Model& model, int64_t scale,
+                                  const CompileOptions& options) {
+  if (scale < 1) return Status::InvalidArgument("scale must be >= 1");
+  PPS_ASSIGN_OR_RETURN(Model prepared, PrepareModel(model));
+  if (prepared.NumLayers() == 0) {
+    return Status::InvalidArgument("model has no layers");
+  }
+
+  // The deployable structure must start linear and end non-linear (§III-A).
+  if (prepared.layer(0).op_class() != OpClass::kLinear) {
+    return Status::FailedPrecondition(
+        "model must start with a linear layer (paper §III-A assumption)");
+  }
+  if (prepared.layer(prepared.NumLayers() - 1).op_class() !=
+      OpClass::kNonLinear) {
+    return Status::FailedPrecondition(
+        "model must end with a non-linear layer (paper §III-A assumption)");
+  }
+
+  InferencePlan plan;
+  plan.scale = scale;
+  plan.input_shape = prepared.input_shape();
+  PPS_ASSIGN_OR_RETURN(plan.output_shape, prepared.OutputShape());
+
+  Shape shape = prepared.input_shape();
+  double real_bound = options.input_bound;
+
+  size_t i = 0;
+  while (i < prepared.NumLayers()) {
+    // ---- Merge a maximal run of linear layers into one stage.
+    LinearStage stage;
+    stage.input_shape = shape;
+    int scale_power = 1;
+    BigInt int_bound =
+        BigInt(QuantizeValue(real_bound, scale) + 1);  // |x_int| <= X*F
+    while (i < prepared.NumLayers() &&
+           prepared.layer(i).op_class() == OpClass::kLinear) {
+      const Layer& layer = prepared.layer(i);
+      PPS_ASSIGN_OR_RETURN(
+          IntegerAffineLayer op,
+          IntegerAffineLayer::FromLayer(layer, shape, scale, scale_power));
+      scale_power = op.output_scale_power();
+      int_bound = op.OutputMagnitudeBound(int_bound);
+      PPS_ASSIGN_OR_RETURN(shape, layer.OutputShape(shape));
+      if (!stage.name.empty()) stage.name += "+";
+      stage.name += layer.name();
+      stage.ops.push_back(std::move(op));
+      ++i;
+    }
+    if (stage.ops.empty()) {
+      return Status::Internal("empty linear stage during compilation");
+    }
+    stage.output_shape = shape;
+    stage.output_scale_power = scale_power;
+    stage.magnitude_bound = std::move(int_bound);
+    // Real-unit bound after dequantization by F^scale_power.
+    real_bound =
+        stage.magnitude_bound.ToDouble() /
+        ScalePower(scale, scale_power).ToDouble();
+    plan.linear_stages.push_back(std::move(stage));
+
+    // ---- Merge the following run of non-linear layers into one segment.
+    if (i >= prepared.NumLayers()) {
+      return Status::FailedPrecondition(
+          "model ends with a linear stage; append a non-linear layer");
+    }
+    NonLinearSegment segment;
+    segment.shape = shape;
+    while (i < prepared.NumLayers() &&
+           prepared.layer(i).op_class() == OpClass::kNonLinear) {
+      const Layer& layer = prepared.layer(i);
+      PPS_ASSIGN_OR_RETURN(Shape next, layer.OutputShape(shape));
+      if (next != shape) {
+        return Status::FailedPrecondition(internal::StrCat(
+            "non-linear layer ", layer.name(),
+            " changes the tensor shape; only element-wise non-linear "
+            "operations are deployable (rewrite pooling first)"));
+      }
+      real_bound = NonLinearBound(layer, real_bound);
+      if (!segment.name.empty()) segment.name += "+";
+      segment.name += layer.name();
+      segment.layers.push_back(layer.Clone());
+      shape = next;
+      ++i;
+    }
+    segment.is_final = i >= prepared.NumLayers();
+    plan.nonlinear_segments.push_back(std::move(segment));
+  }
+
+  // SoftMax (position-dependent) may only appear in the final, never-
+  // obfuscated segment (§III-C).
+  for (size_t s = 0; s + 1 < plan.nonlinear_segments.size(); ++s) {
+    for (const auto& layer : plan.nonlinear_segments[s].layers) {
+      if (layer->kind() == LayerKind::kSoftmax) {
+        return Status::FailedPrecondition(
+            "SoftMax in a non-final segment would be obfuscated and is "
+            "position-dependent");
+      }
+    }
+  }
+
+  plan.prepared_model = std::move(prepared);
+  return plan;
+}
+
+}  // namespace ppstream

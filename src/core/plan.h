@@ -1,0 +1,100 @@
+// Inference-plan compilation (paper Section IV-B, "operation
+// encapsulation").
+//
+// CompilePlan transforms a trained float model into the deployable form:
+//   1. MaxPool2D layers are rewritten to stride-2 conv + ReLU (§III-C);
+//   2. mixed layers are decomposed into a linear primitive + a non-linear
+//      primitive (ScaledSigmoid -> ScalarScale + Sigmoid);
+//   3. each layer is classified linear / non-linear;
+//   4. maximal runs of same-class primitive layers are merged, producing
+//      the alternating stage structure of Figure 4: linear stages run at
+//      the model provider on ciphertexts, non-linear segments run at the
+//      data provider on (obfuscated) plaintext;
+//   5. linear layers are lowered to IntegerAffineLayer at scale F, and a
+//      worst-case magnitude bound is propagated to verify all values stay
+//      below n/2 for the chosen key size.
+
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/affine.h"
+#include "nn/model.h"
+#include "util/status.h"
+
+namespace ppstream {
+
+/// One merged linear primitive layer — a pipeline stage at the model
+/// provider. The ops apply sequentially; the stage's output scale is
+/// F^output_scale_power.
+struct LinearStage {
+  std::vector<IntegerAffineLayer> ops;
+  Shape input_shape;
+  Shape output_shape;
+  int output_scale_power = 2;
+  /// Worst-case |integer value| this stage can emit (for key sizing).
+  BigInt magnitude_bound;
+  std::string name;
+};
+
+/// One merged non-linear primitive layer — a pipeline stage at the data
+/// provider. Layers are element-wise activations, except that the final
+/// segment may also hold SoftMax.
+struct NonLinearSegment {
+  std::vector<std::unique_ptr<Layer>> layers;
+  Shape shape;  // element-wise: input shape == output shape
+  bool is_final = false;
+  std::string name;
+};
+
+/// The compiled plan. linear_stages[i] is followed by
+/// nonlinear_segments[i]; counts are equal because a deployable model
+/// starts with a linear layer and ends with a non-linear one (§III-A).
+struct InferencePlan {
+  int64_t scale = 1;  // F
+  Shape input_shape;
+  Shape output_shape;
+  std::vector<LinearStage> linear_stages;
+  std::vector<NonLinearSegment> nonlinear_segments;
+  /// The rewritten float model the plan was compiled from (MaxPool
+  /// replaced, mixed layers decomposed). Running it plainly gives the
+  /// float reference the protocol approximates.
+  Model prepared_model;
+
+  /// True for plans reconstructed from a data-provider view: the linear
+  /// stages carry shapes and scale powers but no weights, so such a plan
+  /// can drive a DataProvider but never a ModelProvider.
+  bool is_data_provider_view = false;
+
+  size_t NumRounds() const { return linear_stages.size(); }
+
+  /// Largest magnitude bound across stages; must stay below n/2.
+  const BigInt& MaxMagnitude() const;
+
+  /// Verifies the plan fits a key with the given modulus.
+  Status CheckFitsKey(const BigInt& n) const;
+
+  /// Serializes exactly what the data provider needs for deployment:
+  /// scale, shapes, per-round scale powers, and the non-linear segments.
+  /// The model weights (linear stage ops) are NOT included — they stay
+  /// with the model provider.
+  void SerializeDataProviderView(BufferWriter* out) const;
+  static Result<InferencePlan> DeserializeDataProviderView(BufferReader* in);
+};
+
+struct CompileOptions {
+  /// Bound on |input element| in real units, used for magnitude analysis.
+  double input_bound = 16.0;
+};
+
+/// Compiles a trained model at scale F = `scale`.
+Result<InferencePlan> CompilePlan(const Model& model, int64_t scale,
+                                  const CompileOptions& options = {});
+
+/// Step 1+2 only: MaxPool rewrite + mixed-layer decomposition. Exposed for
+/// tests and for the parameter-scaling search (which evaluates accuracy on
+/// the prepared model).
+Result<Model> PrepareModel(const Model& model);
+
+}  // namespace ppstream

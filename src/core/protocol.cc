@@ -1,0 +1,368 @@
+#include "core/protocol.h"
+
+#include <cmath>
+#include <functional>
+
+#include "core/fixed_point.h"
+#include "core/partition.h"
+#include "nn/dataset.h"
+#include "tensor/ops.h"
+#include "util/logging.h"
+
+namespace ppstream {
+
+ModelProvider::ModelProvider(std::shared_ptr<const InferencePlan> plan,
+                             PaillierPublicKey pk, uint64_t obf_seed)
+    : plan_(std::move(plan)),
+      pk_(std::move(pk)),
+      obf_rng_(SecureRng::FromSeed(obf_seed)) {
+  PPS_CHECK(plan_ != nullptr);
+  PPS_CHECK(!plan_->is_data_provider_view)
+      << "a data-provider view carries no weights and cannot drive the "
+         "model provider";
+}
+
+Result<std::vector<Ciphertext>> ModelProvider::InverseObfuscate(
+    uint64_t request_id, size_t round, std::vector<Ciphertext> in) {
+  Permutation perm;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = permutations_.find({request_id, round - 1});
+    if (it == permutations_.end()) {
+      return Status::ProtocolError(internal::StrCat(
+          "no stored permutation for request ", request_id, " round ",
+          round - 1));
+    }
+    perm = it->second;  // kept until ReleaseRequestState (retry safety)
+  }
+  if (perm.size() != in.size()) {
+    return Status::ProtocolError("tensor size changed across rounds");
+  }
+  return perm.ApplyInverse(in);
+}
+
+Result<std::vector<Ciphertext>> ModelProvider::ApplyLinearStage(
+    size_t round, const std::vector<Ciphertext>& in, ThreadPool* pool,
+    bool input_partitioning) const {
+  if (round >= plan_->linear_stages.size()) {
+    return Status::OutOfRange("linear stage index out of range");
+  }
+  const LinearStage& stage = plan_->linear_stages[round];
+  std::vector<Ciphertext> current = in;
+  for (const IntegerAffineLayer& op : stage.ops) {
+    if (pool != nullptr && pool->num_threads() > 1) {
+      PPS_ASSIGN_OR_RETURN(PartitionPlan partition,
+                           PartitionOp(op, pool->num_threads()));
+      PPS_ASSIGN_OR_RETURN(
+          current, ApplyEncryptedPartitioned(pk_, op, current, partition,
+                                             input_partitioning, pool));
+    } else {
+      PPS_ASSIGN_OR_RETURN(
+          current, op.ApplyEncryptedRows(pk_, current, 0, op.rows().size()));
+    }
+  }
+  return current;
+}
+
+Result<std::vector<Ciphertext>> ModelProvider::Obfuscate(
+    uint64_t request_id, size_t round, std::vector<Ciphertext> in) {
+  Permutation perm;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    perm = Permutation::Random(in.size(), obf_rng_);
+    permutations_[{request_id, round}] = perm;
+  }
+  return perm.Apply(in);
+}
+
+Result<std::vector<Ciphertext>> ModelProvider::ProcessRound(
+    uint64_t request_id, size_t round, const std::vector<Ciphertext>& in) {
+  if (round >= plan_->NumRounds()) {
+    return Status::OutOfRange("round out of range");
+  }
+  std::vector<Ciphertext> current = in;
+  if (round > 0) {
+    PPS_ASSIGN_OR_RETURN(current,
+                         InverseObfuscate(request_id, round,
+                                          std::move(current)));
+  }
+  PPS_ASSIGN_OR_RETURN(current, ApplyLinearStage(round, current));
+  if (round + 1 < plan_->NumRounds()) {
+    PPS_ASSIGN_OR_RETURN(current,
+                         Obfuscate(request_id, round, std::move(current)));
+  }
+  return current;
+}
+
+void ModelProvider::ReleaseRequestState(uint64_t request_id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = permutations_.lower_bound({request_id, 0});
+  while (it != permutations_.end() && it->first.first == request_id) {
+    it = permutations_.erase(it);
+  }
+}
+
+size_t ModelProvider::PendingRequestsForTesting() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  size_t count = 0;
+  uint64_t last = ~uint64_t{0};
+  for (const auto& [key, perm] : permutations_) {
+    if (key.first != last) {
+      ++count;
+      last = key.first;
+    }
+  }
+  return count;
+}
+
+Result<Permutation> ModelProvider::GetStoredPermutationForTesting(
+    uint64_t request_id, size_t round) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = permutations_.find({request_id, round});
+  if (it == permutations_.end()) {
+    return Status::NotFound("no stored permutation");
+  }
+  return it->second;
+}
+
+DataProvider::DataProvider(std::shared_ptr<const InferencePlan> plan,
+                           PaillierKeyPair keys, uint64_t enc_seed)
+    : plan_(std::move(plan)),
+      keys_(std::move(keys)),
+      enc_rng_(SecureRng::FromSeed(enc_seed)),
+      enc_seed_(enc_seed) {
+  PPS_CHECK(plan_ != nullptr);
+}
+
+Result<std::vector<Ciphertext>> DataProvider::EncryptInput(
+    const DoubleTensor& input) {
+  if (input.shape() != plan_->input_shape) {
+    return Status::InvalidArgument(
+        internal::StrCat("input shape ", input.shape().ToString(),
+                         " != plan input ", plan_->input_shape.ToString()));
+  }
+  std::vector<Ciphertext> out;
+  out.reserve(static_cast<size_t>(input.NumElements()));
+  for (int64_t i = 0; i < input.NumElements(); ++i) {
+    const int64_t q = QuantizeValue(input[i], plan_->scale);
+    PPS_ASSIGN_OR_RETURN(
+        Ciphertext c,
+        Paillier::Encrypt(keys_.public_key, BigInt(q), enc_rng_));
+    out.push_back(std::move(c));
+  }
+  return out;
+}
+
+Result<DoubleTensor> DataProvider::ApplySegment(
+    size_t round, const DoubleTensor& values) const {
+  const NonLinearSegment& segment = plan_->nonlinear_segments[round];
+  DoubleTensor current = values;
+  for (const auto& layer : segment.layers) {
+    PPS_ASSIGN_OR_RETURN(current, layer->Forward(current));
+  }
+  return current;
+}
+
+namespace {
+
+/// Runs fn(i) over [0, n) either inline or across a pool; fn returns a
+/// Status, and the first failure (if any) is reported.
+Status ForEachMaybeParallel(size_t n, ThreadPool* pool,
+                            const std::function<Status(size_t)>& fn) {
+  if (pool == nullptr || pool->num_threads() <= 1 || n <= 1) {
+    for (size_t i = 0; i < n; ++i) {
+      PPS_RETURN_IF_ERROR(fn(i));
+    }
+    return Status::OK();
+  }
+  std::mutex error_mutex;
+  Status first_error;
+  pool->ParallelFor(0, n, [&](size_t i) {
+    Status st = fn(i);
+    if (!st.ok()) {
+      std::lock_guard<std::mutex> lock(error_mutex);
+      if (first_error.ok()) first_error = std::move(st);
+    }
+  });
+  return first_error;
+}
+
+}  // namespace
+
+Result<std::vector<Ciphertext>> DataProvider::ProcessIntermediate(
+    size_t round, const std::vector<Ciphertext>& in,
+    std::vector<double>* decrypted_view, ThreadPool* pool) {
+  if (round + 1 >= plan_->NumRounds()) {
+    return Status::OutOfRange(
+        "intermediate round index must precede the final round");
+  }
+  const LinearStage& stage = plan_->linear_stages[round];
+  const double scale =
+      ScalePower(plan_->scale, stage.output_scale_power).ToDouble();
+
+  // Decrypt + dequantize. The values are permuted; the non-linear segment
+  // is element-wise, so order does not matter (§III-C).
+  DoubleTensor values{Shape{static_cast<int64_t>(in.size())}};
+  PPS_RETURN_IF_ERROR(ForEachMaybeParallel(
+      in.size(), pool, [&](size_t i) -> Status {
+        PPS_ASSIGN_OR_RETURN(
+            BigInt m, Paillier::Decrypt(keys_.public_key, keys_.private_key,
+                                        in[i]));
+        values[static_cast<int64_t>(i)] = m.ToDouble() / scale;
+        return Status::OK();
+      }));
+  if (decrypted_view != nullptr) {
+    decrypted_view->assign(values.data().begin(), values.data().end());
+  }
+
+  PPS_ASSIGN_OR_RETURN(DoubleTensor activated, ApplySegment(round, values));
+
+  // Re-quantize at F and re-encrypt (Step 2.3). Under a pool, each element
+  // derives its own CSPRNG stream from (seed, salt, index).
+  std::vector<Ciphertext> out(in.size());
+  const uint64_t salt = rng_salt_.fetch_add(1);
+  PPS_RETURN_IF_ERROR(ForEachMaybeParallel(
+      in.size(), pool, [&](size_t i) -> Status {
+        const int64_t q =
+            QuantizeValue(activated[static_cast<int64_t>(i)], plan_->scale);
+        if (pool != nullptr && pool->num_threads() > 1) {
+          uint64_t mix = enc_seed_ + salt * 0x9E3779B97F4A7C15ULL + i;
+          SecureRng rng = SecureRng::FromSeed(SplitMix64(mix));
+          PPS_ASSIGN_OR_RETURN(
+              out[i], Paillier::Encrypt(keys_.public_key, BigInt(q), rng));
+        } else {
+          PPS_ASSIGN_OR_RETURN(
+              out[i],
+              Paillier::Encrypt(keys_.public_key, BigInt(q), enc_rng_));
+        }
+        return Status::OK();
+      }));
+  return out;
+}
+
+Result<std::vector<Ciphertext>> DataProvider::EncryptInputParallel(
+    const DoubleTensor& input, ThreadPool* pool) {
+  if (pool == nullptr || pool->num_threads() <= 1) {
+    return EncryptInput(input);
+  }
+  if (input.shape() != plan_->input_shape) {
+    return Status::InvalidArgument("input shape mismatch");
+  }
+  std::vector<Ciphertext> out(static_cast<size_t>(input.NumElements()));
+  const uint64_t salt = rng_salt_.fetch_add(1);
+  PPS_RETURN_IF_ERROR(ForEachMaybeParallel(
+      out.size(), pool, [&](size_t i) -> Status {
+        const int64_t q =
+            QuantizeValue(input[static_cast<int64_t>(i)], plan_->scale);
+        uint64_t mix = enc_seed_ + salt * 0x9E3779B97F4A7C15ULL + i;
+        SecureRng rng = SecureRng::FromSeed(SplitMix64(mix));
+        PPS_ASSIGN_OR_RETURN(
+            out[i], Paillier::Encrypt(keys_.public_key, BigInt(q), rng));
+        return Status::OK();
+      }));
+  return out;
+}
+
+Result<DoubleTensor> DataProvider::ProcessFinal(
+    const std::vector<Ciphertext>& in, ThreadPool* pool) {
+  const size_t round = plan_->NumRounds() - 1;
+  const LinearStage& stage = plan_->linear_stages[round];
+  if (in.size() != static_cast<size_t>(stage.output_shape.NumElements())) {
+    return Status::ProtocolError("final tensor size mismatch");
+  }
+  const double scale =
+      ScalePower(plan_->scale, stage.output_scale_power).ToDouble();
+  DoubleTensor values{stage.output_shape};
+  PPS_RETURN_IF_ERROR(ForEachMaybeParallel(
+      in.size(), pool, [&](size_t i) -> Status {
+        PPS_ASSIGN_OR_RETURN(
+            BigInt m, Paillier::Decrypt(keys_.public_key, keys_.private_key,
+                                        in[i]));
+        values[static_cast<int64_t>(i)] = m.ToDouble() / scale;
+        return Status::OK();
+      }));
+  return ApplySegment(round, values);
+}
+
+Result<DoubleTensor> RunProtocolInference(ModelProvider& mp, DataProvider& dp,
+                                          uint64_t request_id,
+                                          const DoubleTensor& input,
+                                          LeakageTranscript* transcript) {
+  const size_t rounds = mp.plan().NumRounds();
+  PPS_ASSIGN_OR_RETURN(std::vector<Ciphertext> wire, dp.EncryptInput(input));
+  for (size_t r = 0; r < rounds; ++r) {
+    PPS_ASSIGN_OR_RETURN(wire, mp.ProcessRound(request_id, r, wire));
+    if (r + 1 < rounds) {
+      std::vector<double> decrypted;
+      PPS_ASSIGN_OR_RETURN(
+          wire, dp.ProcessIntermediate(
+                    r, wire, transcript ? &decrypted : nullptr));
+      if (transcript) {
+        // Experimenter-side reconstruction: invert the stored permutation
+        // to recover the original order for the dcor measurement.
+        PPS_ASSIGN_OR_RETURN(Permutation perm,
+                             mp.GetStoredPermutationForTesting(request_id,
+                                                               r));
+        LeakageTranscript::Round rec;
+        rec.after_obfuscation = decrypted;
+        rec.before_obfuscation = perm.ApplyInverse(decrypted);
+        transcript->rounds.push_back(std::move(rec));
+      }
+    }
+  }
+  mp.ReleaseRequestState(request_id);
+  return dp.ProcessFinal(wire);
+}
+
+Result<DoubleTensor> RunScaledPlainInference(const InferencePlan& plan,
+                                             const DoubleTensor& input) {
+  if (input.shape() != plan.input_shape) {
+    return Status::InvalidArgument("input shape mismatch");
+  }
+  // Quantize at F.
+  Tensor<BigInt> current{input.shape()};
+  for (int64_t i = 0; i < input.NumElements(); ++i) {
+    current[i] = BigInt(QuantizeValue(input[i], plan.scale));
+  }
+
+  DoubleTensor values;
+  for (size_t r = 0; r < plan.NumRounds(); ++r) {
+    const LinearStage& stage = plan.linear_stages[r];
+    for (const IntegerAffineLayer& op : stage.ops) {
+      PPS_ASSIGN_OR_RETURN(current, op.ApplyPlain(current));
+    }
+    const double scale =
+        ScalePower(plan.scale, stage.output_scale_power).ToDouble();
+    values = DoubleTensor{stage.output_shape};
+    for (int64_t i = 0; i < values.NumElements(); ++i) {
+      values[i] = current[i].ToDouble() / scale;
+    }
+    const NonLinearSegment& segment = plan.nonlinear_segments[r];
+    for (const auto& layer : segment.layers) {
+      PPS_ASSIGN_OR_RETURN(values, layer->Forward(values));
+    }
+    if (r + 1 < plan.NumRounds()) {
+      current = Tensor<BigInt>{values.shape()};
+      for (int64_t i = 0; i < values.NumElements(); ++i) {
+        current[i] = BigInt(QuantizeValue(values[i], plan.scale));
+      }
+    }
+  }
+  return values;
+}
+
+Result<double> EvaluateScaledPlanAccuracy(const InferencePlan& plan,
+                                          const Dataset& data) {
+  if (data.samples.empty()) {
+    return Status::InvalidArgument("empty dataset");
+  }
+  size_t correct = 0;
+  for (size_t i = 0; i < data.samples.size(); ++i) {
+    PPS_ASSIGN_OR_RETURN(DoubleTensor out,
+                         RunScaledPlainInference(plan, data.samples[i]));
+    if (ArgMax(out) == data.labels[i]) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(data.size());
+}
+
+}  // namespace ppstream

@@ -1,0 +1,172 @@
+// The collaborative privacy-preserving inference workflow (paper §III-A,
+// Figure 3).
+//
+// Per request:
+//   first round:        DP encrypts the input tensor and sends it; MP runs
+//                       linear stage 0 under Paillier, obfuscates the
+//                       result (random permutation of ciphertext slots),
+//                       and sends it back.
+//   intermediate round: DP decrypts the (permuted) tensor, applies the
+//                       element-wise non-linear segment, re-encrypts and
+//                       sends; MP inverse-obfuscates, runs the next linear
+//                       stage, obfuscates with a FRESH permutation, sends.
+//   last round:         MP sends the linear result without obfuscation;
+//                       DP decrypts and applies the final non-linear
+//                       segment (typically SoftMax) to get the result.
+//
+// Both parties are simulated in one process; in a real deployment the
+// plan's non-linear view plus the public key would be the only state
+// shipped to the data provider. Tests assert the separation (the model
+// provider never sees plaintext tensors; the data provider never sees
+// weights).
+
+#pragma once
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "core/plan.h"
+#include "crypto/paillier.h"
+#include "crypto/permutation.h"
+#include "nn/dataset.h"
+#include "util/status.h"
+#include "util/thread_pool.h"
+
+namespace ppstream {
+
+/// Captured obfuscation pairs for the Exp#5 leakage measurement: the
+/// stage output in original order and in permuted order, as real values.
+struct LeakageTranscript {
+  struct Round {
+    std::vector<double> before_obfuscation;
+    std::vector<double> after_obfuscation;
+  };
+  std::vector<Round> rounds;
+};
+
+/// The model provider: owns the model (as integer linear stages), executes
+/// all linear operations homomorphically, and manages obfuscation.
+class ModelProvider {
+ public:
+  /// `obf_seed` seeds the permutation CSPRNG (fresh randomness per round).
+  ModelProvider(std::shared_ptr<const InferencePlan> plan,
+                PaillierPublicKey pk, uint64_t obf_seed);
+
+  const InferencePlan& plan() const { return *plan_; }
+  const PaillierPublicKey& public_key() const { return pk_; }
+
+  /// Full round processing: inverse obfuscation (round > 0), linear stage
+  /// `round`, obfuscation (round < last).
+  Result<std::vector<Ciphertext>> ProcessRound(
+      uint64_t request_id, size_t round, const std::vector<Ciphertext>& in);
+
+  // ---- Fine-grained steps (used by the streaming engine's stages, and by
+  //      ProcessRound above).
+
+  /// Inverse obfuscation using the permutation stored for (request,
+  /// round - 1). Idempotent: the permutation stays stored until
+  /// ReleaseRequestState, so a failed/retried stage can reprocess the
+  /// same message (AF-Stream-style at-least-once execution).
+  Result<std::vector<Ciphertext>> InverseObfuscate(
+      uint64_t request_id, size_t round, std::vector<Ciphertext> in);
+
+  /// Drops all per-request state (stored permutations). Called when the
+  /// request completes — by RunProtocolInference and by the engine's
+  /// final stage (standing in for a completion ACK on the wire).
+  void ReleaseRequestState(uint64_t request_id);
+
+  /// Number of requests with live permutation state (leak check).
+  size_t PendingRequestsForTesting() const;
+
+  /// Applies linear stage `round`. With a pool, rows are partitioned
+  /// across its threads (output tensor partitioning); `input_partitioning`
+  /// additionally ships each thread only its receptive-field sub-tensor
+  /// (paper §IV-D).
+  Result<std::vector<Ciphertext>> ApplyLinearStage(
+      size_t round, const std::vector<Ciphertext>& in,
+      ThreadPool* pool = nullptr, bool input_partitioning = true) const;
+
+  /// Obfuscates with a fresh random permutation, stored under
+  /// (request, round).
+  Result<std::vector<Ciphertext>> Obfuscate(uint64_t request_id, size_t round,
+                                            std::vector<Ciphertext> in);
+
+  /// Test/experiment hook: the permutation used at (request, round), if
+  /// still stored. NOT part of the protocol surface.
+  Result<Permutation> GetStoredPermutationForTesting(uint64_t request_id,
+                                                     size_t round) const;
+
+ private:
+  std::shared_ptr<const InferencePlan> plan_;
+  PaillierPublicKey pk_;
+  mutable std::mutex mutex_;
+  SecureRng obf_rng_;
+  std::map<std::pair<uint64_t, size_t>, Permutation> permutations_;
+};
+
+/// The data provider: owns the key pair and the raw input, executes all
+/// non-linear operations on decrypted (permuted) values.
+class DataProvider {
+ public:
+  DataProvider(std::shared_ptr<const InferencePlan> plan,
+               PaillierKeyPair keys, uint64_t enc_seed);
+
+  const PaillierPublicKey& public_key() const { return keys_.public_key; }
+
+  /// Round-0 send: quantize the raw input at F and encrypt element-wise.
+  Result<std::vector<Ciphertext>> EncryptInput(const DoubleTensor& input);
+
+  /// Intermediate round `round`: decrypt, dequantize by F^k, apply
+  /// non-linear segment `round` element-wise, re-quantize at F, encrypt.
+  /// If `decrypted_view` is non-null it receives the permuted plaintext
+  /// values the data provider observed (for leakage measurement). With a
+  /// pool, decryption and re-encryption parallelize across its threads.
+  Result<std::vector<Ciphertext>> ProcessIntermediate(
+      size_t round, const std::vector<Ciphertext>& in,
+      std::vector<double>* decrypted_view = nullptr,
+      ThreadPool* pool = nullptr);
+
+  /// Last round: decrypt, dequantize, apply the final segment, return the
+  /// inference result.
+  Result<DoubleTensor> ProcessFinal(const std::vector<Ciphertext>& in,
+                                    ThreadPool* pool = nullptr);
+
+  /// Round-0 send with optional intra-stage parallelism.
+  Result<std::vector<Ciphertext>> EncryptInputParallel(
+      const DoubleTensor& input, ThreadPool* pool);
+
+ private:
+  /// Applies segment `round` to real values element-wise.
+  Result<DoubleTensor> ApplySegment(size_t round,
+                                    const DoubleTensor& values) const;
+
+  std::shared_ptr<const InferencePlan> plan_;
+  PaillierKeyPair keys_;
+  SecureRng enc_rng_;
+  uint64_t enc_seed_;
+  std::atomic<uint64_t> rng_salt_{1};
+};
+
+/// Drives the full synchronous protocol for one input (the streaming
+/// engine pipelines exactly these steps across stages). If `transcript`
+/// is non-null, records before/after-obfuscation value pairs per round.
+Result<DoubleTensor> RunProtocolInference(ModelProvider& mp, DataProvider& dp,
+                                          uint64_t request_id,
+                                          const DoubleTensor& input,
+                                          LeakageTranscript* transcript =
+                                              nullptr);
+
+/// Bit-exact plaintext reference of the protocol: the same integer linear
+/// algebra and the same quantization points, without encryption or
+/// obfuscation. The protocol must produce EXACTLY this output.
+Result<DoubleTensor> RunScaledPlainInference(const InferencePlan& plan,
+                                             const DoubleTensor& input);
+
+/// Classification accuracy of the scaled plain reference over a dataset.
+Result<double> EvaluateScaledPlanAccuracy(const InferencePlan& plan,
+                                          const Dataset& data);
+
+}  // namespace ppstream

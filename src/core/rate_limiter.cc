@@ -1,0 +1,60 @@
+#include "core/rate_limiter.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace ppstream {
+
+RequestRateLimiter::RequestRateLimiter(double requests_per_second,
+                                       double burst)
+    : rate_(requests_per_second),
+      burst_(burst),
+      epoch_(std::chrono::steady_clock::now()) {
+  PPS_CHECK_GT(requests_per_second, 0.0);
+  PPS_CHECK_GE(burst, 1.0);
+}
+
+double RequestRateLimiter::NowSeconds() const {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       epoch_)
+             .count() +
+         test_offset_;
+}
+
+void RequestRateLimiter::Refill(Bucket* bucket, double now) const {
+  bucket->tokens = std::min(
+      burst_, bucket->tokens + (now - bucket->last_refill) * rate_);
+  bucket->last_refill = now;
+}
+
+Status RequestRateLimiter::Admit(uint64_t client_id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const double now = NowSeconds();
+  auto [it, inserted] = buckets_.try_emplace(client_id, Bucket{burst_, now});
+  if (!inserted) Refill(&it->second, now);
+  if (it->second.tokens < 1.0) {
+    return Status::ResourceExhausted(internal::StrCat(
+        "client ", client_id,
+        " exceeded the inference request rate limit (model-stealing "
+        "countermeasure, paper §II-C)"));
+  }
+  it->second.tokens -= 1.0;
+  return Status::OK();
+}
+
+double RequestRateLimiter::AvailableTokens(uint64_t client_id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = buckets_.find(client_id);
+  if (it == buckets_.end()) return burst_;
+  Bucket copy = it->second;
+  Refill(&copy, NowSeconds());
+  return copy.tokens;
+}
+
+void RequestRateLimiter::AdvanceTimeForTesting(double seconds) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  test_offset_ += seconds;
+}
+
+}  // namespace ppstream

@@ -1,0 +1,52 @@
+// Request rate limiting — the paper's countermeasure against model
+// stealing (§II-C): a compromised data provider could train a surrogate
+// model from query/answer pairs, so the model provider bounds the number
+// of requests it serves per data provider per time window.
+//
+// Token-bucket semantics: a bucket holds up to `burst` tokens and refills
+// at `requests_per_second`; each admitted request consumes one token.
+
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <mutex>
+
+#include "util/status.h"
+
+namespace ppstream {
+
+class RequestRateLimiter {
+ public:
+  /// `requests_per_second` > 0; `burst` >= 1.
+  RequestRateLimiter(double requests_per_second, double burst);
+
+  /// Admits or rejects a request from `client_id`. Thread-safe.
+  /// Returns ResourceExhausted when the client's bucket is empty.
+  Status Admit(uint64_t client_id);
+
+  /// Tokens currently available to a client (full bucket if unseen).
+  double AvailableTokens(uint64_t client_id) const;
+
+  /// Test hook: advance the limiter's clock without waiting.
+  void AdvanceTimeForTesting(double seconds);
+
+ private:
+  struct Bucket {
+    double tokens;
+    double last_refill;  // limiter-clock seconds
+  };
+
+  double NowSeconds() const;
+  void Refill(Bucket* bucket, double now) const;
+
+  const double rate_;
+  const double burst_;
+  mutable std::mutex mutex_;
+  std::map<uint64_t, Bucket> buckets_;
+  std::chrono::steady_clock::time_point epoch_;
+  double test_offset_ = 0;
+};
+
+}  // namespace ppstream

@@ -1,0 +1,48 @@
+#include "core/scaling.h"
+
+#include <cmath>
+
+#include "core/fixed_point.h"
+#include "nn/trainer.h"
+
+namespace ppstream {
+
+Result<Model> RoundModelParameters(const Model& model, int decimals) {
+  if (decimals < 0 || decimals > 18) {
+    return Status::InvalidArgument("decimals must be in [0, 18]");
+  }
+  const double factor = static_cast<double>(PowerOfTen(decimals));
+  Model rounded = model.Clone();
+  for (size_t i = 0; i < rounded.NumLayers(); ++i) {
+    rounded.layer(i).MutateParameters([factor](double v) {
+      return std::round(v * factor) / factor;
+    });
+  }
+  return rounded;
+}
+
+Result<ScalingSelection> SelectScalingFactor(const Model& model,
+                                             const Dataset& train_set,
+                                             const ScalingOptions& options) {
+  if (options.max_f < 0) {
+    return Status::InvalidArgument("max_f must be non-negative");
+  }
+  ScalingSelection sel;
+  PPS_ASSIGN_OR_RETURN(sel.original_accuracy,
+                       EvaluateAccuracy(model, train_set));
+
+  for (int f = 0; f <= options.max_f; ++f) {
+    PPS_ASSIGN_OR_RETURN(Model rounded, RoundModelParameters(model, f));
+    PPS_ASSIGN_OR_RETURN(double acc, EvaluateAccuracy(rounded, train_set));
+    sel.accuracy_by_f.push_back(acc);
+    sel.f = f;
+    sel.rounded_accuracy = acc;
+    if (std::abs(sel.original_accuracy - acc) < options.accuracy_threshold) {
+      break;  // paper Step 2 exit condition
+    }
+  }
+  sel.factor = PowerOfTen(sel.f);
+  return sel;
+}
+
+}  // namespace ppstream

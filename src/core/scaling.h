@@ -1,0 +1,44 @@
+// Parameter-scaling search (paper Section IV-A).
+//
+// Chooses the number of decimal places f (and hence the scaling factor
+// F = 10^f) by rounding model parameters to f decimals, starting at f = 0,
+// until the training-set accuracy of the rounded model is within a
+// threshold (default 0.01%) of the original, or f reaches a maximum
+// (default 6).
+
+#pragma once
+
+#include <vector>
+
+#include "nn/dataset.h"
+#include "nn/model.h"
+#include "util/status.h"
+
+namespace ppstream {
+
+struct ScalingSelection {
+  int f = 0;
+  int64_t factor = 1;  // 10^f
+  double original_accuracy = 0;
+  double rounded_accuracy = 0;
+  /// Training accuracy at every candidate f in [0, max_f] that was tested
+  /// (the search stops early, so trailing entries may be absent).
+  std::vector<double> accuracy_by_f;
+};
+
+struct ScalingOptions {
+  /// |A - A'| threshold as a fraction (0.0001 == the paper's 0.01%).
+  double accuracy_threshold = 0.0001;
+  int max_f = 6;
+};
+
+/// Clone of `model` with every parameter rounded to `decimals` places.
+Result<Model> RoundModelParameters(const Model& model, int decimals);
+
+/// Runs the paper's Step 1-3 search on the training set.
+Result<ScalingSelection> SelectScalingFactor(const Model& model,
+                                             const Dataset& train_set,
+                                             const ScalingOptions& options =
+                                                 {});
+
+}  // namespace ppstream

@@ -1,0 +1,184 @@
+#include "crypto/paillier.h"
+
+#include "bignum/prime.h"
+#include "util/logging.h"
+
+namespace ppstream {
+
+PaillierPublicKey::PaillierPublicKey(BigInt n)
+    : n_(std::move(n)),
+      n_squared_(n_ * n_),
+      half_n_(n_ >> 1),
+      ctx_n2_(std::make_shared<MontgomeryContext>(n_squared_)) {}
+
+void PaillierPublicKey::Serialize(std::vector<uint8_t>* out) const {
+  n_.Serialize(out);
+}
+
+Result<PaillierPublicKey> PaillierPublicKey::Deserialize(const uint8_t* data,
+                                                         size_t size,
+                                                         size_t* consumed) {
+  PPS_ASSIGN_OR_RETURN(BigInt n, BigInt::Deserialize(data, size, consumed));
+  if (n.Compare(BigInt(3)) <= 0 || !n.IsOdd()) {
+    return Status::CryptoError("deserialized Paillier modulus is invalid");
+  }
+  return PaillierPublicKey(std::move(n));
+}
+
+namespace {
+
+/// L(x) = (x - 1) / d, the Paillier L-function (exact division).
+Result<BigInt> LFunction(const BigInt& x, const BigInt& d) {
+  BigInt q, r;
+  PPS_RETURN_IF_ERROR(BigInt::DivMod(x - BigInt(1), d, &q, &r));
+  if (!r.IsZero()) {
+    return Status::CryptoError("L-function division is not exact");
+  }
+  return q;
+}
+
+}  // namespace
+
+Result<PaillierPrivateKey> PaillierPrivateKey::FromPrimes(const BigInt& p,
+                                                          const BigInt& q) {
+  if (p == q) return Status::CryptoError("Paillier primes must differ");
+  PaillierPrivateKey sk;
+  sk.p_ = p;
+  sk.q_ = q;
+  sk.p_squared_ = p * p;
+  sk.q_squared_ = q * q;
+  sk.n_ = p * q;
+  sk.ctx_p2_ = std::make_shared<MontgomeryContext>(sk.p_squared_);
+  sk.ctx_q2_ = std::make_shared<MontgomeryContext>(sk.q_squared_);
+
+  // With g = n + 1: hp = L_p(g^{p-1} mod p^2)^{-1} mod p.
+  const BigInt g = sk.n_ + BigInt(1);
+  PPS_ASSIGN_OR_RETURN(BigInt gp, g.Mod(sk.p_squared_));
+  BigInt gp_pow = sk.ctx_p2_->ModExp(gp, p - BigInt(1));
+  PPS_ASSIGN_OR_RETURN(BigInt lp, LFunction(gp_pow, p));
+  PPS_ASSIGN_OR_RETURN(BigInt lp_mod, lp.Mod(p));
+  PPS_ASSIGN_OR_RETURN(sk.hp_, BigInt::ModInverse(lp_mod, p));
+
+  PPS_ASSIGN_OR_RETURN(BigInt gq, g.Mod(sk.q_squared_));
+  BigInt gq_pow = sk.ctx_q2_->ModExp(gq, q - BigInt(1));
+  PPS_ASSIGN_OR_RETURN(BigInt lq, LFunction(gq_pow, q));
+  PPS_ASSIGN_OR_RETURN(BigInt lq_mod, lq.Mod(q));
+  PPS_ASSIGN_OR_RETURN(sk.hq_, BigInt::ModInverse(lq_mod, q));
+
+  PPS_ASSIGN_OR_RETURN(sk.p_inv_q_, BigInt::ModInverse(p, q));
+  return sk;
+}
+
+Result<BigInt> PaillierPrivateKey::DecryptRaw(const Ciphertext& c) const {
+  if (n_.IsZero()) {
+    return Status::FailedPrecondition("private key is uninitialized");
+  }
+  // m_p = L_p(c^{p-1} mod p^2) * hp mod p.
+  PPS_ASSIGN_OR_RETURN(BigInt cp, c.value.Mod(p_squared_));
+  BigInt cp_pow = ctx_p2_->ModExp(cp, p_ - BigInt(1));
+  PPS_ASSIGN_OR_RETURN(BigInt lp, LFunction(cp_pow, p_));
+  PPS_ASSIGN_OR_RETURN(BigInt lp_mod, lp.Mod(p_));
+  BigInt mp = BigInt::MulMod(lp_mod, hp_, p_);
+
+  PPS_ASSIGN_OR_RETURN(BigInt cq, c.value.Mod(q_squared_));
+  BigInt cq_pow = ctx_q2_->ModExp(cq, q_ - BigInt(1));
+  PPS_ASSIGN_OR_RETURN(BigInt lq, LFunction(cq_pow, q_));
+  PPS_ASSIGN_OR_RETURN(BigInt lq_mod, lq.Mod(q_));
+  BigInt mq = BigInt::MulMod(lq_mod, hq_, q_);
+
+  // CRT: m = m_p + p * ((m_q - m_p) * p^{-1} mod q).
+  BigInt diff = BigInt::SubMod(mq, mp, q_);
+  BigInt h = BigInt::MulMod(diff, p_inv_q_, q_);
+  return mp + p_ * h;
+}
+
+Result<PaillierKeyPair> Paillier::GenerateKeyPair(int key_bits, Rng& rng) {
+  if (key_bits < 64 || key_bits % 2 != 0) {
+    return Status::InvalidArgument(
+        internal::StrCat("key_bits must be even and >= 64, got ", key_bits));
+  }
+  BigInt p, q;
+  PPS_RETURN_IF_ERROR(GeneratePaillierPrimes(rng, key_bits / 2, &p, &q));
+  PaillierKeyPair pair;
+  pair.public_key = PaillierPublicKey(p * q);
+  PPS_ASSIGN_OR_RETURN(pair.private_key, PaillierPrivateKey::FromPrimes(p, q));
+  return pair;
+}
+
+Result<BigInt> Paillier::EncodeSigned(const PaillierPublicKey& pk,
+                                      const BigInt& m) {
+  BigInt abs = m.IsNegative() ? -m : m;
+  if (abs.Compare(pk.half_n()) >= 0) {
+    return Status::OutOfRange(
+        internal::StrCat("plaintext magnitude ", abs.ToDecimalString(),
+                         " exceeds n/2; increase the key size"));
+  }
+  if (!m.IsNegative()) return m;
+  return pk.n() + m;  // m in (-n/2, 0) maps to (n/2, n)
+}
+
+BigInt Paillier::DecodeSigned(const PaillierPublicKey& pk, const BigInt& v) {
+  if (v.Compare(pk.half_n()) > 0) return v - pk.n();
+  return v;
+}
+
+Result<Ciphertext> Paillier::Encrypt(const PaillierPublicKey& pk,
+                                     const BigInt& m, SecureRng& rng) {
+  PPS_ASSIGN_OR_RETURN(BigInt encoded, EncodeSigned(pk, m));
+  // g^m = (1 + n)^m = 1 + m n (mod n^2) since g = n + 1.
+  PPS_ASSIGN_OR_RETURN(BigInt gm,
+                       (BigInt(1) + encoded * pk.n()).Mod(pk.n_squared()));
+  BigInt r = rng.NextCoprimeBelow(pk.n());
+  BigInt rn = pk.ctx_n2().ModExp(r, pk.n());
+  return Ciphertext{pk.ctx_n2().ModMul(gm, rn)};
+}
+
+Result<BigInt> Paillier::Decrypt(const PaillierPublicKey& pk,
+                                 const PaillierPrivateKey& sk,
+                                 const Ciphertext& c) {
+  PPS_ASSIGN_OR_RETURN(BigInt raw, sk.DecryptRaw(c));
+  return DecodeSigned(pk, raw);
+}
+
+Ciphertext Paillier::Add(const PaillierPublicKey& pk, const Ciphertext& c1,
+                         const Ciphertext& c2) {
+  return Ciphertext{pk.ctx_n2().ModMul(c1.value, c2.value)};
+}
+
+Result<Ciphertext> Paillier::AddPlain(const PaillierPublicKey& pk,
+                                      const Ciphertext& c, const BigInt& k) {
+  PPS_ASSIGN_OR_RETURN(BigInt encoded, EncodeSigned(pk, k));
+  PPS_ASSIGN_OR_RETURN(BigInt gk,
+                       (BigInt(1) + encoded * pk.n()).Mod(pk.n_squared()));
+  return Ciphertext{pk.ctx_n2().ModMul(c.value, gk)};
+}
+
+Result<Ciphertext> Paillier::ScalarMul(const PaillierPublicKey& pk,
+                                       const Ciphertext& c, const BigInt& w) {
+  if (w.IsZero()) return Ciphertext{BigInt(1)};  // E(0) with r = 1
+  if (w.IsNegative()) {
+    PPS_ASSIGN_OR_RETURN(BigInt inv,
+                         BigInt::ModInverse(c.value, pk.n_squared()));
+    return Ciphertext{pk.ctx_n2().ModExp(inv, -w)};
+  }
+  return Ciphertext{pk.ctx_n2().ModExp(c.value, w)};
+}
+
+Result<Ciphertext> Paillier::Negate(const PaillierPublicKey& pk,
+                                    const Ciphertext& c) {
+  return ScalarMul(pk, c, BigInt(-1));
+}
+
+Result<Ciphertext> Paillier::Rerandomize(const PaillierPublicKey& pk,
+                                         const Ciphertext& c, SecureRng& rng) {
+  BigInt r = rng.NextCoprimeBelow(pk.n());
+  BigInt rn = pk.ctx_n2().ModExp(r, pk.n());
+  return Ciphertext{pk.ctx_n2().ModMul(c.value, rn)};
+}
+
+Ciphertext Paillier::EncryptZeroDeterministic(const PaillierPublicKey& pk) {
+  (void)pk;
+  return Ciphertext{BigInt(1)};  // g^0 * 1^n = 1
+}
+
+}  // namespace ppstream

@@ -1,0 +1,57 @@
+#include "crypto/permutation.h"
+
+#include <numeric>
+
+namespace ppstream {
+
+Permutation Permutation::Identity(size_t n) {
+  Permutation p;
+  p.map_.resize(n);
+  std::iota(p.map_.begin(), p.map_.end(), 0);
+  return p;
+}
+
+Permutation Permutation::Random(size_t n, SecureRng& rng) {
+  Permutation p = Identity(n);
+  for (size_t i = n; i > 1; --i) {
+    size_t j = rng.NextBounded(i);
+    std::swap(p.map_[i - 1], p.map_[j]);
+  }
+  return p;
+}
+
+Result<Permutation> Permutation::FromMapping(std::vector<uint32_t> mapping) {
+  std::vector<bool> seen(mapping.size(), false);
+  for (uint32_t v : mapping) {
+    if (v >= mapping.size() || seen[v]) {
+      return Status::InvalidArgument("mapping is not a bijection");
+    }
+    seen[v] = true;
+  }
+  Permutation p;
+  p.map_ = std::move(mapping);
+  return p;
+}
+
+Permutation Permutation::Compose(const Permutation& first) const {
+  PPS_CHECK_EQ(map_.size(), first.map_.size());
+  Permutation out;
+  out.map_.resize(map_.size());
+  // (this ∘ first): position i goes to first.map_[i], then to
+  // map_[first.map_[i]].
+  for (size_t i = 0; i < map_.size(); ++i) {
+    out.map_[i] = map_[first.map_[i]];
+  }
+  return out;
+}
+
+Permutation Permutation::Inverse() const {
+  Permutation out;
+  out.map_.resize(map_.size());
+  for (size_t i = 0; i < map_.size(); ++i) {
+    out.map_[map_[i]] = static_cast<uint32_t>(i);
+  }
+  return out;
+}
+
+}  // namespace ppstream

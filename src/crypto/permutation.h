@@ -1,0 +1,74 @@
+// Obfuscation by random permutation of tensor element positions
+// (paper Section III-C).
+//
+// The model provider reshapes a tensor into a 1-d vector (lexicographic
+// order — Tensor<T> is row-major, so its flat buffer already is that
+// vector), applies a fresh random permutation before sending it to the
+// data provider, and applies the inverse on the way back. Values are
+// untouched; only positions move, so element-wise non-linear functions
+// (ReLU, Sigmoid) commute with the permutation.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "crypto/secure_rng.h"
+#include "util/logging.h"
+#include "util/status.h"
+
+namespace ppstream {
+
+/// A one-to-one mapping of n positions.
+///
+/// Convention: Apply moves the element at input position i to output
+/// position map_[i]; ApplyInverse undoes this.
+class Permutation {
+ public:
+  Permutation() = default;
+
+  /// Identity on n elements.
+  static Permutation Identity(size_t n);
+
+  /// Uniformly random permutation of n elements (Fisher–Yates driven by a
+  /// CSPRNG — fresh randomness per round, per the paper).
+  static Permutation Random(size_t n, SecureRng& rng);
+
+  /// Builds from an explicit mapping; fails unless it is a bijection.
+  static Result<Permutation> FromMapping(std::vector<uint32_t> mapping);
+
+  size_t size() const { return map_.size(); }
+  uint32_t MapIndex(size_t i) const { return map_[i]; }
+  const std::vector<uint32_t>& mapping() const { return map_; }
+
+  /// out[map_[i]] = in[i]. `in.size()` must equal size().
+  template <typename T>
+  std::vector<T> Apply(const std::vector<T>& in) const {
+    PPS_CHECK_EQ(in.size(), map_.size());
+    std::vector<T> out(in.size());
+    for (size_t i = 0; i < in.size(); ++i) out[map_[i]] = in[i];
+    return out;
+  }
+
+  /// out[i] = in[map_[i]] — recovers the original order.
+  template <typename T>
+  std::vector<T> ApplyInverse(const std::vector<T>& in) const {
+    PPS_CHECK_EQ(in.size(), map_.size());
+    std::vector<T> out(in.size());
+    for (size_t i = 0; i < in.size(); ++i) out[i] = in[map_[i]];
+    return out;
+  }
+
+  /// The permutation q with q.Apply(p.Apply(x)) == (q∘p).Apply(x).
+  Permutation Compose(const Permutation& first) const;
+
+  /// The inverse permutation as a standalone object.
+  Permutation Inverse() const;
+
+  bool operator==(const Permutation& o) const { return map_ == o.map_; }
+
+ private:
+  std::vector<uint32_t> map_;
+};
+
+}  // namespace ppstream

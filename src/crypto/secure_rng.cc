@@ -1,0 +1,143 @@
+#include "crypto/secure_rng.h"
+
+#include <cstring>
+#include <random>
+
+#include "util/logging.h"
+
+namespace ppstream {
+
+namespace {
+
+inline uint32_t Rotl32(uint32_t x, int n) { return (x << n) | (x >> (32 - n)); }
+
+inline void QuarterRound(uint32_t& a, uint32_t& b, uint32_t& c, uint32_t& d) {
+  a += b;
+  d = Rotl32(d ^ a, 16);
+  c += d;
+  b = Rotl32(b ^ c, 12);
+  a += b;
+  d = Rotl32(d ^ a, 8);
+  c += d;
+  b = Rotl32(b ^ c, 7);
+}
+
+}  // namespace
+
+SecureRng::SecureRng(const Key& key) {
+  // RFC 8439 state layout: constants, key, counter, nonce (zero).
+  state_[0] = 0x61707865;
+  state_[1] = 0x3320646e;
+  state_[2] = 0x79622d32;
+  state_[3] = 0x6b206574;
+  for (int i = 0; i < 8; ++i) {
+    state_[4 + i] = static_cast<uint32_t>(key[i * 4]) |
+                    (static_cast<uint32_t>(key[i * 4 + 1]) << 8) |
+                    (static_cast<uint32_t>(key[i * 4 + 2]) << 16) |
+                    (static_cast<uint32_t>(key[i * 4 + 3]) << 24);
+  }
+  state_[12] = 0;  // counter (maintained separately in counter_)
+  state_[13] = state_[14] = state_[15] = 0;  // nonce
+}
+
+SecureRng SecureRng::FromEntropy() {
+  std::random_device rd;
+  Key key;
+  for (size_t i = 0; i < key.size(); i += 4) {
+    uint32_t w = rd();
+    key[i] = static_cast<uint8_t>(w);
+    key[i + 1] = static_cast<uint8_t>(w >> 8);
+    key[i + 2] = static_cast<uint8_t>(w >> 16);
+    key[i + 3] = static_cast<uint8_t>(w >> 24);
+  }
+  return SecureRng(key);
+}
+
+SecureRng SecureRng::FromSeed(uint64_t seed) {
+  Key key{};
+  for (int i = 0; i < 8; ++i) key[i] = static_cast<uint8_t>(seed >> (8 * i));
+  return SecureRng(key);
+}
+
+void SecureRng::RefillBlock() {
+  std::array<uint32_t, 16> working = state_;
+  working[12] = counter_;
+  std::array<uint32_t, 16> x = working;
+  for (int round = 0; round < 10; ++round) {  // 20 rounds = 10 double rounds
+    QuarterRound(x[0], x[4], x[8], x[12]);
+    QuarterRound(x[1], x[5], x[9], x[13]);
+    QuarterRound(x[2], x[6], x[10], x[14]);
+    QuarterRound(x[3], x[7], x[11], x[15]);
+    QuarterRound(x[0], x[5], x[10], x[15]);
+    QuarterRound(x[1], x[6], x[11], x[12]);
+    QuarterRound(x[2], x[7], x[8], x[13]);
+    QuarterRound(x[3], x[4], x[9], x[14]);
+  }
+  for (int i = 0; i < 16; ++i) {
+    uint32_t word = x[i] + working[i];
+    block_[i * 4] = static_cast<uint8_t>(word);
+    block_[i * 4 + 1] = static_cast<uint8_t>(word >> 8);
+    block_[i * 4 + 2] = static_cast<uint8_t>(word >> 16);
+    block_[i * 4 + 3] = static_cast<uint8_t>(word >> 24);
+  }
+  ++counter_;
+  block_pos_ = 0;
+}
+
+uint8_t SecureRng::NextByte() {
+  if (block_pos_ >= block_.size()) RefillBlock();
+  return block_[block_pos_++];
+}
+
+uint64_t SecureRng::NextU64() {
+  uint64_t out = 0;
+  for (int i = 0; i < 8; ++i) {
+    out |= static_cast<uint64_t>(NextByte()) << (8 * i);
+  }
+  return out;
+}
+
+uint64_t SecureRng::NextBounded(uint64_t bound) {
+  if (bound == 0) return 0;
+  // Rejection sampling over the smallest power-of-two mask >= bound.
+  uint64_t mask = bound - 1;
+  mask |= mask >> 1;
+  mask |= mask >> 2;
+  mask |= mask >> 4;
+  mask |= mask >> 8;
+  mask |= mask >> 16;
+  mask |= mask >> 32;
+  for (;;) {
+    uint64_t v = NextU64() & mask;
+    if (v < bound) return v;
+  }
+}
+
+void SecureRng::Fill(uint8_t* out, size_t len) {
+  for (size_t i = 0; i < len; ++i) out[i] = NextByte();
+}
+
+BigInt SecureRng::NextBigIntBelow(const BigInt& bound) {
+  PPS_CHECK(!bound.IsZero() && !bound.IsNegative());
+  const int bits = bound.BitLength();
+  const size_t bytes = (static_cast<size_t>(bits) + 7) / 8;
+  const int top_bits = bits % 8 == 0 ? 8 : bits % 8;
+  std::vector<uint8_t> buf(bytes);
+  for (;;) {
+    Fill(buf.data(), buf.size());
+    buf[0] &= static_cast<uint8_t>((1u << top_bits) - 1);
+    BigInt cand = BigInt::FromBytes(buf);
+    if (cand.Compare(bound) < 0) return cand;
+  }
+}
+
+BigInt SecureRng::NextCoprimeBelow(const BigInt& n) {
+  PPS_CHECK(n.Compare(BigInt(2)) > 0);
+  for (;;) {
+    BigInt r = NextBigIntBelow(n);
+    if (r.IsZero()) continue;
+    if (BigInt::Gcd(r, n).IsOne()) return r;
+  }
+}
+
+}  // namespace ppstream

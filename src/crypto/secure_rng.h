@@ -1,0 +1,55 @@
+// Cryptographically strong pseudo-random generator (ChaCha20 keystream).
+//
+// Used for Paillier blinding factors and obfuscation permutation seeds.
+// Deterministic when constructed with an explicit 256-bit key, which keeps
+// protocol tests reproducible; FromEntropy() seeds from std::random_device.
+
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "bignum/bigint.h"
+
+namespace ppstream {
+
+/// ChaCha20-based CSPRNG (RFC 8439 block function run in counter mode).
+class SecureRng {
+ public:
+  using Key = std::array<uint8_t, 32>;
+
+  /// Deterministic stream for the given key (nonce fixed to zero).
+  explicit SecureRng(const Key& key);
+
+  /// Seeds a fresh generator from the OS entropy source.
+  static SecureRng FromEntropy();
+
+  /// Deterministic generator derived from a 64-bit seed (tests only).
+  static SecureRng FromSeed(uint64_t seed);
+
+  uint8_t NextByte();
+  uint64_t NextU64();
+
+  /// Uniform in [0, bound), rejection-sampled (no modulo bias).
+  uint64_t NextBounded(uint64_t bound);
+
+  void Fill(uint8_t* out, size_t len);
+
+  /// Uniform BigInt in [0, bound), bound > 0.
+  BigInt NextBigIntBelow(const BigInt& bound);
+
+  /// Uniform BigInt in [1, n) with gcd(r, n) == 1 — a Paillier blinding
+  /// factor. `n` must be > 2.
+  BigInt NextCoprimeBelow(const BigInt& n);
+
+ private:
+  void RefillBlock();
+
+  std::array<uint32_t, 16> state_;
+  std::array<uint8_t, 64> block_;
+  size_t block_pos_ = 64;  // force refill on first use
+  uint32_t counter_ = 0;
+};
+
+}  // namespace ppstream

@@ -1,0 +1,59 @@
+// SHA-256 (FIPS 180-4), implemented from scratch.
+//
+// Used as the PRF/hash for garbled-circuit labels in src/mpc and for
+// deriving permutation seeds. Streaming interface plus one-shot helpers.
+
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ppstream {
+
+/// Incremental SHA-256 hasher.
+class Sha256 {
+ public:
+  static constexpr size_t kDigestSize = 32;
+  using Digest = std::array<uint8_t, kDigestSize>;
+
+  Sha256();
+
+  /// Feeds more input; may be called any number of times.
+  void Update(const uint8_t* data, size_t len);
+  void Update(const std::vector<uint8_t>& data) {
+    Update(data.data(), data.size());
+  }
+  void Update(const std::string& s) {
+    Update(reinterpret_cast<const uint8_t*>(s.data()), s.size());
+  }
+
+  /// Finishes the hash. The hasher must not be reused afterwards
+  /// (call Reset() to start a new message).
+  Digest Finalize();
+
+  void Reset();
+
+  /// One-shot convenience.
+  static Digest Hash(const uint8_t* data, size_t len);
+  static Digest Hash(const std::vector<uint8_t>& data) {
+    return Hash(data.data(), data.size());
+  }
+  static Digest Hash(const std::string& s) {
+    return Hash(reinterpret_cast<const uint8_t*>(s.data()), s.size());
+  }
+
+  /// Hex string of a digest (lowercase, 64 chars).
+  static std::string ToHex(const Digest& d);
+
+ private:
+  void ProcessBlock(const uint8_t block[64]);
+
+  uint32_t state_[8];
+  uint64_t total_len_ = 0;
+  uint8_t buffer_[64];
+  size_t buffer_len_ = 0;
+};
+
+}  // namespace ppstream

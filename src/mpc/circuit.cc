@@ -1,0 +1,143 @@
+#include "mpc/circuit.h"
+
+#include "util/logging.h"
+
+namespace ppstream {
+
+std::vector<int> Circuit::AddWires(int n) {
+  std::vector<int> wires(static_cast<size_t>(n));
+  for (auto& w : wires) w = AddWire();
+  return wires;
+}
+
+int Circuit::Xor(int a, int b) {
+  const int out = AddWire();
+  gates.push_back({Gate::Kind::kXor, a, b, out});
+  return out;
+}
+
+int Circuit::And(int a, int b) {
+  const int out = AddWire();
+  gates.push_back({Gate::Kind::kAnd, a, b, out});
+  return out;
+}
+
+int Circuit::Not(int a) {
+  const int out = AddWire();
+  gates.push_back({Gate::Kind::kNot, a, -1, out});
+  return out;
+}
+
+int Circuit::ConstOne() {
+  const int out = AddWire();
+  gates.push_back({Gate::Kind::kConstOne, -1, -1, out});
+  return out;
+}
+
+int64_t Circuit::AndCount() const {
+  int64_t count = 0;
+  for (const Gate& g : gates) count += g.kind == Gate::Kind::kAnd;
+  return count;
+}
+
+std::vector<int> BuildAdder(Circuit* c, const std::vector<int>& a,
+                            const std::vector<int>& b, bool carry_in) {
+  PPS_CHECK_EQ(a.size(), b.size());
+  std::vector<int> sum(a.size());
+  int carry = carry_in ? c->ConstOne() : -1;
+  for (size_t i = 0; i < a.size(); ++i) {
+    const int axb = c->Xor(a[i], b[i]);
+    if (carry < 0) {
+      // Half adder for the first bit without carry-in.
+      sum[i] = axb;
+      carry = c->And(a[i], b[i]);
+    } else {
+      sum[i] = c->Xor(axb, carry);
+      // carry' = (a & b) XOR (carry & (a ^ b)) — the two terms are
+      // mutually exclusive, so XOR realizes OR.
+      const int t1 = c->And(a[i], b[i]);
+      const int t2 = c->And(carry, axb);
+      carry = c->Xor(t1, t2);
+    }
+  }
+  return sum;
+}
+
+std::vector<int> BuildSubtractor(Circuit* c, const std::vector<int>& a,
+                                 const std::vector<int>& b) {
+  std::vector<int> not_b(b.size());
+  for (size_t i = 0; i < b.size(); ++i) not_b[i] = c->Not(b[i]);
+  return BuildAdder(c, a, not_b, /*carry_in=*/true);
+}
+
+Circuit BuildReluShareCircuit(int bits) {
+  PPS_CHECK_GT(bits, 1);
+  Circuit c;
+  std::vector<int> x0 = c.AddWires(bits);
+  std::vector<int> r = c.AddWires(bits);
+  std::vector<int> x1 = c.AddWires(bits);
+  c.garbler_inputs = x0;
+  c.garbler_inputs.insert(c.garbler_inputs.end(), r.begin(), r.end());
+  c.evaluator_inputs = x1;
+
+  std::vector<int> sum = BuildAdder(&c, x0, x1, /*carry_in=*/false);
+  const int not_sign = c.Not(sum[static_cast<size_t>(bits) - 1]);
+  std::vector<int> relu(sum.size());
+  for (size_t i = 0; i < sum.size(); ++i) {
+    relu[i] = c.And(sum[i], not_sign);
+  }
+  c.outputs = BuildSubtractor(&c, relu, r);
+  return c;
+}
+
+Result<std::vector<bool>> EvaluateCircuitPlain(
+    const Circuit& circuit, const std::vector<bool>& garbler_bits,
+    const std::vector<bool>& evaluator_bits) {
+  if (garbler_bits.size() != circuit.garbler_inputs.size() ||
+      evaluator_bits.size() != circuit.evaluator_inputs.size()) {
+    return Status::InvalidArgument("circuit input size mismatch");
+  }
+  std::vector<bool> wires(static_cast<size_t>(circuit.num_wires), false);
+  for (size_t i = 0; i < garbler_bits.size(); ++i) {
+    wires[circuit.garbler_inputs[i]] = garbler_bits[i];
+  }
+  for (size_t i = 0; i < evaluator_bits.size(); ++i) {
+    wires[circuit.evaluator_inputs[i]] = evaluator_bits[i];
+  }
+  for (const Gate& g : circuit.gates) {
+    switch (g.kind) {
+      case Gate::Kind::kXor:
+        wires[g.out] = wires[g.a] != wires[g.b];
+        break;
+      case Gate::Kind::kAnd:
+        wires[g.out] = wires[g.a] && wires[g.b];
+        break;
+      case Gate::Kind::kNot:
+        wires[g.out] = !wires[g.a];
+        break;
+      case Gate::Kind::kConstOne:
+        wires[g.out] = true;
+        break;
+    }
+  }
+  std::vector<bool> out;
+  out.reserve(circuit.outputs.size());
+  for (int w : circuit.outputs) out.push_back(wires[w]);
+  return out;
+}
+
+std::vector<bool> ToBits(uint64_t v, int bits) {
+  std::vector<bool> out(static_cast<size_t>(bits));
+  for (int i = 0; i < bits; ++i) out[i] = (v >> i) & 1;
+  return out;
+}
+
+uint64_t FromBits(const std::vector<bool>& bits) {
+  uint64_t out = 0;
+  for (size_t i = 0; i < bits.size() && i < 64; ++i) {
+    if (bits[i]) out |= uint64_t{1} << i;
+  }
+  return out;
+}
+
+}  // namespace ppstream

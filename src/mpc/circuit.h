@@ -1,0 +1,72 @@
+// Boolean circuits for the garbled-circuit half of the EzPC baseline.
+//
+// EzPC evaluates non-linear functions (ReLU) in Yao garbled circuits,
+// switching from additive shares and back each time — the protocol
+// transitions whose cost Table VII attributes its slowdown to. The
+// share->GC->share conversion works as in ABY: the parties feed their
+// additive shares x0, x1 into a circuit that computes
+//      out = ReLU(x0 + x1) - r   (mod 2^64)
+// where r is a fresh random mask chosen by the garbler. The evaluator
+// learns `out` (its new share); the garbler's new share is r.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/status.h"
+
+namespace ppstream {
+
+struct Gate {
+  enum class Kind : uint8_t { kXor, kAnd, kNot, kConstOne };
+  Kind kind;
+  int a = -1;  // input wire (unused for kConstOne)
+  int b = -1;  // second input (kXor / kAnd only)
+  int out = -1;
+};
+
+/// A boolean circuit with two input owners.
+struct Circuit {
+  int num_wires = 0;
+  std::vector<int> garbler_inputs;
+  std::vector<int> evaluator_inputs;
+  std::vector<int> outputs;
+  std::vector<Gate> gates;
+
+  int AddWire() { return num_wires++; }
+  std::vector<int> AddWires(int n);
+
+  int Xor(int a, int b);
+  int And(int a, int b);
+  int Not(int a);
+  int ConstOne();
+
+  /// Number of AND gates (the garbling-cost driver).
+  int64_t AndCount() const;
+};
+
+/// Ripple-carry addition of two little-endian wire vectors (equal width);
+/// the final carry is dropped (mod-2^width arithmetic).
+std::vector<int> BuildAdder(Circuit* c, const std::vector<int>& a,
+                            const std::vector<int>& b, bool carry_in);
+
+/// a - b (mod 2^width) via a + ~b + 1.
+std::vector<int> BuildSubtractor(Circuit* c, const std::vector<int>& a,
+                                 const std::vector<int>& b);
+
+/// The baseline's ReLU conversion circuit over `bits`-wide two's-complement
+/// ring values. Garbler inputs: x0 bits then mask r bits; evaluator
+/// inputs: x1 bits; outputs: ReLU(x0 + x1) - r.
+Circuit BuildReluShareCircuit(int bits = 64);
+
+/// Reference plaintext evaluation (tests and documentation).
+Result<std::vector<bool>> EvaluateCircuitPlain(
+    const Circuit& circuit, const std::vector<bool>& garbler_bits,
+    const std::vector<bool>& evaluator_bits);
+
+/// Little-endian bit (de)composition of ring elements.
+std::vector<bool> ToBits(uint64_t v, int bits = 64);
+uint64_t FromBits(const std::vector<bool>& bits);
+
+}  // namespace ppstream

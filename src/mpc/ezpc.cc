@@ -1,0 +1,176 @@
+#include "mpc/ezpc.h"
+
+#include "core/plan.h"
+#include "mpc/garbled.h"
+#include "tensor/ops.h"
+#include "util/logging.h"
+
+namespace ppstream {
+
+EzPcRunner::EzPcRunner(std::vector<Step> steps, Shape input_shape,
+                       Shape output_shape, const EzPcConfig& config)
+    : steps_(std::move(steps)),
+      input_shape_(std::move(input_shape)),
+      output_shape_(std::move(output_shape)),
+      config_(config),
+      share_rng_(config.seed),
+      dealer_(config.seed ^ 0xBEA7E12ULL),
+      gc_rng_(SecureRng::FromSeed(config.seed ^ 0x6C6ABE11ULL)) {}
+
+Result<EzPcRunner> EzPcRunner::Create(const Model& model,
+                                      const EzPcConfig& config) {
+  if (config.frac_bits < 1 || config.frac_bits > 30) {
+    return Status::InvalidArgument("frac_bits must be in [1, 30]");
+  }
+  PPS_ASSIGN_OR_RETURN(Model prepared, PrepareModel(model));
+  const int64_t scale = int64_t{1} << config.frac_bits;
+
+  std::vector<Step> steps;
+  Shape shape = prepared.input_shape();
+  for (size_t i = 0; i < prepared.NumLayers(); ++i) {
+    const Layer& layer = prepared.layer(i);
+    switch (layer.op_class()) {
+      case OpClass::kLinear: {
+        PPS_ASSIGN_OR_RETURN(
+            IntegerAffineLayer op,
+            IntegerAffineLayer::FromLayer(layer, shape, scale, 1));
+        Step step;
+        step.kind = Step::Kind::kLinear;
+        step.op = std::make_shared<IntegerAffineLayer>(std::move(op));
+        steps.push_back(std::move(step));
+        break;
+      }
+      case OpClass::kNonLinear: {
+        if (layer.kind() == LayerKind::kRelu) {
+          Step step;
+          step.kind = Step::Kind::kRelu;
+          step.elements = shape.NumElements();
+          steps.push_back(std::move(step));
+        } else if (layer.kind() == LayerKind::kSoftmax) {
+          if (i + 1 != prepared.NumLayers()) {
+            return Status::Unimplemented(
+                "EzPC baseline supports SoftMax only as the final layer");
+          }
+          Step step;
+          step.kind = Step::Kind::kSoftmax;
+          steps.push_back(std::move(step));
+        } else {
+          return Status::Unimplemented(internal::StrCat(
+              "EzPC baseline does not implement non-linear layer ",
+              layer.name()));
+        }
+        break;
+      }
+      case OpClass::kMixed:
+        return Status::Internal("mixed layer survived PrepareModel");
+    }
+    PPS_ASSIGN_OR_RETURN(shape, layer.OutputShape(shape));
+  }
+  PPS_ASSIGN_OR_RETURN(Shape out_shape, prepared.OutputShape());
+  return EzPcRunner(std::move(steps), prepared.input_shape(),
+                    std::move(out_shape), config);
+}
+
+int64_t EzPcRunner::TotalReluElements() const {
+  int64_t total = 0;
+  for (const Step& step : steps_) {
+    if (step.kind == Step::Kind::kRelu) total += step.elements;
+  }
+  return total;
+}
+
+Result<DoubleTensor> EzPcRunner::Infer(const DoubleTensor& input,
+                                       MpcMetrics* metrics) {
+  if (input.shape() != input_shape_) {
+    return Status::InvalidArgument("EzPC input shape mismatch");
+  }
+  const int frac = config_.frac_bits;
+
+  // The data provider shares its input (one round of share distribution).
+  std::vector<SharedValue> state(static_cast<size_t>(input.NumElements()));
+  for (int64_t i = 0; i < input.NumElements(); ++i) {
+    state[static_cast<size_t>(i)] =
+        MakeShares(EncodeFixed(input[i], frac), share_rng_);
+  }
+  if (metrics != nullptr) {
+    metrics->bytes_sent += state.size() * sizeof(Ring64);
+    metrics->rounds += 1;
+  }
+
+  // Pre-built ReLU circuit, reused for every element.
+  const Circuit relu_circuit = BuildReluShareCircuit(64);
+
+  for (const Step& step : steps_) {
+    switch (step.kind) {
+      case Step::Kind::kLinear: {
+        const IntegerAffineLayer& op = *step.op;
+        if (state.size() !=
+            static_cast<size_t>(op.input_shape().NumElements())) {
+          return Status::Internal("EzPC state size mismatch");
+        }
+        std::vector<SharedValue> next(op.rows().size());
+        for (size_t j = 0; j < op.rows().size(); ++j) {
+          const AffineRow& row = op.rows()[j];
+          SharedValue acc{0, 0};
+          for (const AffineTerm& term : row.terms) {
+            // The weight is the model provider's PRIVATE input: share it
+            // trivially and Beaver-multiply.
+            const SharedValue w{static_cast<Ring64>(term.weight), 0};
+            acc = AddShares(acc, MulShares(w, state[term.input_index],
+                                           dealer_.Next(), metrics));
+          }
+          auto bias64 = row.bias.ToInt64();
+          if (!bias64.ok()) {
+            return Status::OutOfRange(
+                "EzPC bias exceeds the 64-bit ring; lower frac_bits");
+          }
+          acc = AddConst(acc, static_cast<Ring64>(bias64.value()));
+          next[j] = op.weight_scale_power() == 1
+                        ? TruncateShares(acc, frac)
+                        : acc;
+        }
+        state = std::move(next);
+        // One batched opening round for the whole layer.
+        if (metrics != nullptr) metrics->rounds += 1;
+        break;
+      }
+      case Step::Kind::kRelu: {
+        // A2Y + Y2A transitions; the layer's circuits ship in one round
+        // each way (label transfer, masked-output return).
+        if (metrics != nullptr) {
+          metrics->protocol_transitions += 2;
+          metrics->rounds += 2;
+        }
+        for (SharedValue& v : state) {
+          const Ring64 r = share_rng_.NextU64();
+          std::vector<bool> g_bits = ToBits(v.s0, 64);
+          std::vector<bool> r_bits = ToBits(r, 64);
+          g_bits.insert(g_bits.end(), r_bits.begin(), r_bits.end());
+          PPS_ASSIGN_OR_RETURN(
+              std::vector<bool> out_bits,
+              RunGarbledCircuit(relu_circuit, g_bits, ToBits(v.s1, 64),
+                                gc_rng_, metrics));
+          v = SharedValue{r, FromBits(out_bits)};
+        }
+        break;
+      }
+      case Step::Kind::kSoftmax: {
+        // Final step: reconstruct toward the data provider and finish in
+        // the clear (the result belongs to it).
+        if (metrics != nullptr) {
+          metrics->bytes_sent += state.size() * sizeof(Ring64);
+          metrics->rounds += 1;
+        }
+        DoubleTensor logits{output_shape_};
+        for (size_t i = 0; i < state.size(); ++i) {
+          logits[static_cast<int64_t>(i)] =
+              DecodeFixed(state[i].Reconstruct(), frac);
+        }
+        return Softmax(logits);
+      }
+    }
+  }
+  return Status::Internal("EzPC model had no final SoftMax step");
+}
+
+}  // namespace ppstream

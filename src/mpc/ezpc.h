@@ -1,0 +1,69 @@
+// EzPC-style secure two-party inference baseline (Table VII comparator).
+//
+// EzPC [24] compiles models to a mix of additive secret sharing (linear
+// layers) and Yao garbled circuits (comparisons/ReLU), paying a protocol
+// transition at every boundary. This runner reproduces that structure:
+//   * linear layers: Beaver-triple multiplications on Z_{2^64} shares with
+//     fixed-point truncation;
+//   * ReLU: per-element share->GC->share conversion through the circuit of
+//     mpc/circuit.h;
+//   * the final SoftMax runs in the clear at the data provider (as in the
+//     paper's protocol, the data provider owns the result).
+// Unlike PP-Stream there is no pipelining: each layer requires multiple
+// rounds of interaction before the next can start — exactly the reason the
+// paper's Table VII shows EzPC behind PP-Stream.
+
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/affine.h"
+#include "mpc/share.h"
+#include "nn/model.h"
+#include "util/status.h"
+
+namespace ppstream {
+
+struct EzPcConfig {
+  uint64_t seed = 1;
+  int frac_bits = kMpcFracBits;
+};
+
+class EzPcRunner {
+ public:
+  /// Lowers a trained float model. MaxPool is rewritten (conv + ReLU) and
+  /// mixed layers are decomposed first; supported non-linear layers are
+  /// ReLU anywhere and SoftMax as the final layer.
+  static Result<EzPcRunner> Create(const Model& model,
+                                   const EzPcConfig& config = {});
+
+  /// Secure inference on one input. `metrics` (optional) accumulates the
+  /// communication/transition costs of the run.
+  Result<DoubleTensor> Infer(const DoubleTensor& input,
+                             MpcMetrics* metrics = nullptr);
+
+  /// Number of ReLU elements per inference (GC cost driver).
+  int64_t TotalReluElements() const;
+
+ private:
+  struct Step {
+    enum class Kind { kLinear, kRelu, kSoftmax };
+    Kind kind;
+    /// Valid for kLinear: affine op at fixed-point scale 2^frac_bits.
+    std::shared_ptr<const IntegerAffineLayer> op;
+    int64_t elements = 0;  // for kRelu
+  };
+
+  EzPcRunner(std::vector<Step> steps, Shape input_shape, Shape output_shape,
+             const EzPcConfig& config);
+
+  std::vector<Step> steps_;
+  Shape input_shape_, output_shape_;
+  EzPcConfig config_;
+  Rng share_rng_;
+  TripleDealer dealer_;
+  SecureRng gc_rng_;
+};
+
+}  // namespace ppstream

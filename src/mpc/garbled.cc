@@ -1,0 +1,226 @@
+#include "mpc/garbled.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "crypto/sha256.h"
+#include "util/logging.h"
+
+namespace ppstream {
+
+namespace {
+
+/// H(a, b, gate_id) truncated to a label.
+WireLabel GateHash(const WireLabel& a, const WireLabel& b,
+                   uint64_t gate_id) {
+  uint8_t buf[16 + 16 + 8];
+  std::memcpy(buf, a.bytes.data(), 16);
+  std::memcpy(buf + 16, b.bytes.data(), 16);
+  std::memcpy(buf + 32, &gate_id, 8);
+  const Sha256::Digest digest = Sha256::Hash(buf, sizeof(buf));
+  WireLabel out;
+  std::memcpy(out.bytes.data(), digest.data(), 16);
+  return out;
+}
+
+WireLabel XorLabels(const WireLabel& a, const WireLabel& b) {
+  WireLabel out;
+  for (size_t i = 0; i < out.bytes.size(); ++i) {
+    out.bytes[i] = a.bytes[i] ^ b.bytes[i];
+  }
+  return out;
+}
+
+WireLabel RandomLabel(SecureRng& rng) {
+  WireLabel out;
+  rng.Fill(out.bytes.data(), out.bytes.size());
+  return out;
+}
+
+bool GateTruth(Gate::Kind kind, bool va, bool vb) {
+  switch (kind) {
+    case Gate::Kind::kXor:
+      return va != vb;
+    case Gate::Kind::kAnd:
+      return va && vb;
+    default:
+      PPS_CHECK(false) << "tabled gate expected";
+      return false;
+  }
+}
+
+}  // namespace
+
+GarbledCircuit Garble(const Circuit& circuit, SecureRng& rng) {
+  GarbledCircuit out;
+  out.labels.resize(static_cast<size_t>(circuit.num_wires));
+
+  auto fresh_pair = [&rng](std::array<WireLabel, 2>* pair) {
+    (*pair)[0] = RandomLabel(rng);
+    (*pair)[1] = RandomLabel(rng);
+    // Point-and-permute: the two labels must carry opposite select bits.
+    if ((*pair)[0].SelectBit() == (*pair)[1].SelectBit()) {
+      (*pair)[1].bytes[0] ^= 1;
+    }
+  };
+
+  for (int w : circuit.garbler_inputs) fresh_pair(&out.labels[w]);
+  for (int w : circuit.evaluator_inputs) fresh_pair(&out.labels[w]);
+
+  uint64_t gate_id = 0;
+  for (const Gate& gate : circuit.gates) {
+    switch (gate.kind) {
+      case Gate::Kind::kNot:
+        // Free: swap the meaning of the input labels.
+        out.labels[gate.out][0] = out.labels[gate.a][1];
+        out.labels[gate.out][1] = out.labels[gate.a][0];
+        break;
+      case Gate::Kind::kConstOne:
+        fresh_pair(&out.labels[gate.out]);
+        break;
+      case Gate::Kind::kXor:
+      case Gate::Kind::kAnd: {
+        fresh_pair(&out.labels[gate.out]);
+        std::array<WireLabel, 4> table;
+        for (int va = 0; va < 2; ++va) {
+          for (int vb = 0; vb < 2; ++vb) {
+            const WireLabel& la = out.labels[gate.a][va];
+            const WireLabel& lb = out.labels[gate.b][vb];
+            const bool vo = GateTruth(gate.kind, va != 0, vb != 0);
+            const int row = (la.SelectBit() << 1) | lb.SelectBit();
+            table[row] = XorLabels(GateHash(la, lb, gate_id),
+                                   out.labels[gate.out][vo ? 1 : 0]);
+          }
+        }
+        out.tables.push_back(table);
+        break;
+      }
+    }
+    ++gate_id;
+  }
+
+  out.output_decode.reserve(circuit.outputs.size());
+  for (int w : circuit.outputs) {
+    out.output_decode.push_back(out.labels[w][0].SelectBit());
+  }
+  return out;
+}
+
+Result<std::vector<WireLabel>> EvaluateGarbled(
+    const Circuit& circuit, const GarbledCircuit& garbled,
+    const std::vector<WireLabel>& garbler_input_labels,
+    const std::vector<WireLabel>& evaluator_input_labels) {
+  if (garbler_input_labels.size() != circuit.garbler_inputs.size() ||
+      evaluator_input_labels.size() != circuit.evaluator_inputs.size()) {
+    return Status::InvalidArgument("garbled input label count mismatch");
+  }
+  std::vector<WireLabel> active(static_cast<size_t>(circuit.num_wires));
+  for (size_t i = 0; i < garbler_input_labels.size(); ++i) {
+    active[circuit.garbler_inputs[i]] = garbler_input_labels[i];
+  }
+  for (size_t i = 0; i < evaluator_input_labels.size(); ++i) {
+    active[circuit.evaluator_inputs[i]] = evaluator_input_labels[i];
+  }
+
+  uint64_t gate_id = 0;
+  size_t table_index = 0;
+  for (const Gate& gate : circuit.gates) {
+    switch (gate.kind) {
+      case Gate::Kind::kNot:
+        active[gate.out] = active[gate.a];  // label pair is pre-swapped
+        break;
+      case Gate::Kind::kConstOne:
+        // The garbler ships the active (value-1) label with the inputs;
+        // by convention it rides in labels[...] via garbler handover. The
+        // runner places it in `active` up front — see RunGarbledCircuit.
+        if (std::all_of(active[gate.out].bytes.begin(),
+                        active[gate.out].bytes.end(),
+                        [](uint8_t b) { return b == 0; })) {
+          return Status::ProtocolError("missing constant wire label");
+        }
+        break;
+      case Gate::Kind::kXor:
+      case Gate::Kind::kAnd: {
+        if (table_index >= garbled.tables.size()) {
+          return Status::ProtocolError("garbled table underrun");
+        }
+        const WireLabel& la = active[gate.a];
+        const WireLabel& lb = active[gate.b];
+        const int row = (la.SelectBit() << 1) | lb.SelectBit();
+        active[gate.out] = XorLabels(GateHash(la, lb, gate_id),
+                                     garbled.tables[table_index][row]);
+        ++table_index;
+        break;
+      }
+    }
+    ++gate_id;
+  }
+
+  std::vector<WireLabel> out;
+  out.reserve(circuit.outputs.size());
+  for (int w : circuit.outputs) out.push_back(active[w]);
+  return out;
+}
+
+Result<std::vector<bool>> RunGarbledCircuit(
+    const Circuit& circuit, const std::vector<bool>& garbler_bits,
+    const std::vector<bool>& evaluator_bits, SecureRng& rng,
+    MpcMetrics* metrics) {
+  if (garbler_bits.size() != circuit.garbler_inputs.size() ||
+      evaluator_bits.size() != circuit.evaluator_inputs.size()) {
+    return Status::InvalidArgument("circuit input size mismatch");
+  }
+  GarbledCircuit garbled = Garble(circuit, rng);
+
+  std::vector<WireLabel> g_labels(garbler_bits.size());
+  for (size_t i = 0; i < garbler_bits.size(); ++i) {
+    g_labels[i] =
+        garbled.labels[circuit.garbler_inputs[i]][garbler_bits[i] ? 1 : 0];
+  }
+  // Simulated OT: the evaluator obtains exactly the label matching its
+  // private bit, nothing else.
+  std::vector<WireLabel> e_labels(evaluator_bits.size());
+  for (size_t i = 0; i < evaluator_bits.size(); ++i) {
+    e_labels[i] =
+        garbled
+            .labels[circuit.evaluator_inputs[i]][evaluator_bits[i] ? 1 : 0];
+  }
+
+  // Constant wires: the garbler ships their active labels too. We patch
+  // them into the evaluator's view by extending the garbler label list —
+  // EvaluateGarbled reads them from `active`, so pre-populate via a local
+  // copy of the circuit input mechanism: easiest is to pass them through
+  // a dedicated vector. Rebuild active inside EvaluateGarbled by treating
+  // const wires as garbler-provided: append below.
+  Circuit with_consts = circuit;
+  std::vector<WireLabel> g_all = g_labels;
+  for (const Gate& gate : circuit.gates) {
+    if (gate.kind == Gate::Kind::kConstOne) {
+      with_consts.garbler_inputs.push_back(gate.out);
+      g_all.push_back(garbled.labels[gate.out][1]);
+    }
+  }
+
+  PPS_ASSIGN_OR_RETURN(
+      std::vector<WireLabel> out_labels,
+      EvaluateGarbled(with_consts, garbled, g_all, e_labels));
+
+  if (metrics != nullptr) {
+    metrics->gc_gates_garbled += garbled.tables.size();
+    metrics->gc_bytes += garbled.WireBytes() +
+                         (g_all.size() + e_labels.size()) * sizeof(WireLabel);
+    metrics->ot_transfers += e_labels.size();
+    // Rounds are counted per layer by the caller (all elements of a ReLU
+    // layer garble and transfer together).
+    metrics->bytes_sent += garbled.WireBytes();
+  }
+
+  std::vector<bool> bits;
+  bits.reserve(out_labels.size());
+  for (size_t i = 0; i < out_labels.size(); ++i) {
+    bits.push_back(out_labels[i].SelectBit() != garbled.output_decode[i]);
+  }
+  return bits;
+}
+
+}  // namespace ppstream

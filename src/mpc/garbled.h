@@ -1,0 +1,68 @@
+// Yao garbled-circuit execution with point-and-permute.
+//
+// Classic 4-row garbling (no free-XOR/half-gates; documented simplicity
+// over speed — the baseline is *supposed* to be slower than PP-Stream, as
+// in the paper). The gate cipher is SHA-256(label_a || label_b || gate_id)
+// truncated to 128 bits and XORed with the output label; the point-and-
+// permute select bit (LSB of each label) picks the table row, so
+// evaluation needs exactly one hash per gate.
+//
+// Oblivious transfer of the evaluator's input labels is simulated by a
+// direct hand-over and *counted* in the metrics (a real deployment runs
+// IKNP OT extension; its cost is bandwidth-comparable).
+
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "crypto/secure_rng.h"
+#include "mpc/circuit.h"
+#include "mpc/share.h"
+#include "util/status.h"
+
+namespace ppstream {
+
+struct WireLabel {
+  std::array<uint8_t, 16> bytes{};
+
+  bool SelectBit() const { return bytes[0] & 1; }
+  bool operator==(const WireLabel& o) const { return bytes == o.bytes; }
+};
+
+/// The garbler's output: tables plus the label material.
+struct GarbledCircuit {
+  /// One 4-row table per XOR/AND gate, indexed in gate order (NOT and
+  /// const gates are table-free).
+  std::vector<std::array<WireLabel, 4>> tables;
+  /// labels[w][v] = label of wire w carrying bit v (garbler-private; the
+  /// runner selects from it when handing inputs to the evaluator).
+  std::vector<std::array<WireLabel, 2>> labels;
+  /// Select bit of each output wire's 0-label (public decode info).
+  std::vector<bool> output_decode;
+
+  /// Bytes a real deployment would ship (tables + output map).
+  uint64_t WireBytes() const {
+    return tables.size() * 4 * sizeof(WireLabel) + output_decode.size();
+  }
+};
+
+/// Garbles `circuit` with fresh labels from `rng`.
+GarbledCircuit Garble(const Circuit& circuit, SecureRng& rng);
+
+/// Evaluates with one active label per input wire; returns output labels.
+Result<std::vector<WireLabel>> EvaluateGarbled(
+    const Circuit& circuit, const GarbledCircuit& garbled,
+    const std::vector<WireLabel>& garbler_input_labels,
+    const std::vector<WireLabel>& evaluator_input_labels);
+
+/// Full two-party run: garble, transfer labels ("OT" for evaluator bits),
+/// evaluate, decode. Updates `metrics` with the bytes/OTs a deployment
+/// would spend.
+Result<std::vector<bool>> RunGarbledCircuit(
+    const Circuit& circuit, const std::vector<bool>& garbler_bits,
+    const std::vector<bool>& evaluator_bits, SecureRng& rng,
+    MpcMetrics* metrics);
+
+}  // namespace ppstream

@@ -1,0 +1,64 @@
+#include "mpc/share.h"
+
+#include <cmath>
+
+namespace ppstream {
+
+Ring64 EncodeFixed(double v, int frac_bits) {
+  const double scaled = v * static_cast<double>(int64_t{1} << frac_bits);
+  return static_cast<Ring64>(static_cast<int64_t>(std::llround(scaled)));
+}
+
+double DecodeFixed(Ring64 v, int frac_bits) {
+  return static_cast<double>(static_cast<int64_t>(v)) /
+         static_cast<double>(int64_t{1} << frac_bits);
+}
+
+SharedValue MakeShares(Ring64 secret, Rng& rng) {
+  SharedValue out;
+  out.s0 = rng.NextU64();
+  out.s1 = secret - out.s0;
+  return out;
+}
+
+BeaverTriple TripleDealer::Next() {
+  BeaverTriple t;
+  const Ring64 a = rng_.NextU64();
+  const Ring64 b = rng_.NextU64();
+  const Ring64 c = a * b;
+  t.a = MakeShares(a, rng_);
+  t.b = MakeShares(b, rng_);
+  t.c = MakeShares(c, rng_);
+  return t;
+}
+
+SharedValue MulShares(const SharedValue& x, const SharedValue& y,
+                      const BeaverTriple& triple, MpcMetrics* metrics) {
+  // Open d = x - a and e = y - b: each party sends its share of both.
+  const Ring64 d = SubShares(x, triple.a).Reconstruct();
+  const Ring64 e = SubShares(y, triple.b).Reconstruct();
+  if (metrics != nullptr) {
+    metrics->bytes_sent += 4 * sizeof(Ring64);  // two elements each way
+    metrics->triples_used += 1;
+    // Rounds are counted by the caller: all openings of one layer batch
+    // into a single round, as real 2PC implementations do.
+  }
+  // z = c + d*b + e*a + d*e (the constant d*e goes to party 0).
+  SharedValue z = triple.c;
+  z = AddShares(z, ScaleShares(triple.b, d));
+  z = AddShares(z, ScaleShares(triple.a, e));
+  z = AddConst(z, d * e);
+  return z;
+}
+
+SharedValue TruncateShares(const SharedValue& x, int frac_bits) {
+  // SecureML local truncation: party 0 shifts its share, party 1 shifts
+  // the negated share and negates back. Arithmetic shift on signed views.
+  SharedValue out;
+  out.s0 = static_cast<Ring64>(static_cast<int64_t>(x.s0) >> frac_bits);
+  out.s1 = static_cast<Ring64>(
+      -(static_cast<int64_t>(-x.s1) >> frac_bits));
+  return out;
+}
+
+}  // namespace ppstream

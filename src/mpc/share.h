@@ -1,0 +1,102 @@
+// Additive secret sharing over Z_{2^64} with Beaver-triple multiplication —
+// the arithmetic half of the EzPC-style 2PC baseline (Table VII).
+//
+// Values are fixed-point: v is encoded as round(v * 2^frac_bits) in two's
+// complement on the 64-bit ring. A secret x is split as x = x0 + x1
+// (mod 2^64); party 0 (the model provider) holds x0, party 1 (the data
+// provider) holds x1. Multiplication consumes one Beaver triple and opens
+// two masked ring elements per operand pair; after each multiplication the
+// shares are truncated locally (SecureML-style, off-by-one error with
+// negligible probability for our value ranges).
+//
+// Both parties run in one process here; the metrics struct counts the
+// bytes and rounds a real deployment would spend, which is what the
+// Table VII comparison needs.
+
+#pragma once
+
+#include <cstdint>
+
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace ppstream {
+
+using Ring64 = uint64_t;
+
+/// Default fixed-point precision of the MPC baseline.
+inline constexpr int kMpcFracBits = 16;
+
+/// round(v * 2^frac_bits) on the two's-complement ring.
+Ring64 EncodeFixed(double v, int frac_bits = kMpcFracBits);
+/// Inverse of EncodeFixed (interprets the ring element as signed).
+double DecodeFixed(Ring64 v, int frac_bits = kMpcFracBits);
+
+/// Both shares of one secret (the simulation holds both sides).
+struct SharedValue {
+  Ring64 s0 = 0;
+  Ring64 s1 = 0;
+
+  Ring64 Reconstruct() const { return s0 + s1; }
+};
+
+/// Communication/round accounting for the baseline protocols.
+struct MpcMetrics {
+  uint64_t bytes_sent = 0;
+  uint64_t rounds = 0;
+  uint64_t triples_used = 0;
+  uint64_t gc_gates_garbled = 0;
+  uint64_t gc_bytes = 0;
+  uint64_t ot_transfers = 0;
+  /// Share<->garbled-circuit conversions (EzPC's protocol transitions).
+  uint64_t protocol_transitions = 0;
+};
+
+/// Splits a secret into uniformly random shares.
+SharedValue MakeShares(Ring64 secret, Rng& rng);
+
+/// A multiplication triple a*b = c, secret-shared.
+struct BeaverTriple {
+  SharedValue a, b, c;
+};
+
+/// Trusted dealer for triples (standing in for an OT-based offline phase;
+/// EzPC likewise assumes a preprocessing phase).
+class TripleDealer {
+ public:
+  explicit TripleDealer(uint64_t seed) : rng_(seed) {}
+  BeaverTriple Next();
+
+ private:
+  Rng rng_;
+};
+
+// ---- Linear operations are local on additive shares.
+
+inline SharedValue AddShares(const SharedValue& x, const SharedValue& y) {
+  return {x.s0 + y.s0, x.s1 + y.s1};
+}
+inline SharedValue SubShares(const SharedValue& x, const SharedValue& y) {
+  return {x.s0 - y.s0, x.s1 - y.s1};
+}
+/// Public constant times a shared value.
+inline SharedValue ScaleShares(const SharedValue& x, Ring64 c) {
+  return {x.s0 * c, x.s1 * c};
+}
+/// Public constant added to a shared value (party 0 absorbs it).
+inline SharedValue AddConst(const SharedValue& x, Ring64 c) {
+  return {x.s0 + c, x.s1};
+}
+
+/// Beaver multiplication: opens d = x - a and e = y - b (four ring
+/// elements on the wire; openings of a whole layer batch into one round,
+/// counted by the caller), then z = c + d*b + e*a + d*e.
+SharedValue MulShares(const SharedValue& x, const SharedValue& y,
+                      const BeaverTriple& triple, MpcMetrics* metrics);
+
+/// Local truncation by `frac_bits` (arithmetic shift of the signed value,
+/// applied to the shares à la SecureML).
+SharedValue TruncateShares(const SharedValue& x,
+                           int frac_bits = kMpcFracBits);
+
+}  // namespace ppstream

@@ -1,0 +1,130 @@
+#include "nn/dataset.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace ppstream {
+
+namespace {
+
+/// Smooth a flat image in place with a 3x3 box blur (per channel), to give
+/// class prototypes spatial structure (neighboring pixels correlate, as in
+/// natural images).
+void BoxBlur(std::vector<double>* img, int64_t c, int64_t h, int64_t w) {
+  std::vector<double> out(img->size());
+  for (int64_t ch = 0; ch < c; ++ch) {
+    for (int64_t y = 0; y < h; ++y) {
+      for (int64_t x = 0; x < w; ++x) {
+        double sum = 0;
+        int count = 0;
+        for (int64_t dy = -1; dy <= 1; ++dy) {
+          for (int64_t dx = -1; dx <= 1; ++dx) {
+            const int64_t yy = y + dy, xx = x + dx;
+            if (yy < 0 || yy >= h || xx < 0 || xx >= w) continue;
+            sum += (*img)[(ch * h + yy) * w + xx];
+            ++count;
+          }
+        }
+        out[(ch * h + y) * w + x] = sum / count;
+      }
+    }
+  }
+  *img = std::move(out);
+}
+
+}  // namespace
+
+DatasetSplit MakeTabularDataset(const std::string& name, int64_t features,
+                                size_t train_size, size_t test_size,
+                                double separation, uint64_t seed) {
+  PPS_CHECK_GT(features, 0);
+  Rng rng(seed);
+
+  // Two class centroids at distance `separation` along a random direction.
+  std::vector<double> direction(features);
+  double norm = 0;
+  for (auto& d : direction) {
+    d = rng.NextGaussian();
+    norm += d * d;
+  }
+  norm = std::sqrt(norm);
+  for (auto& d : direction) d /= norm;
+
+  auto make = [&](size_t count, Dataset* out) {
+    out->name = name;
+    out->num_classes = 2;
+    out->samples.reserve(count);
+    out->labels.reserve(count);
+    for (size_t i = 0; i < count; ++i) {
+      const int64_t label = static_cast<int64_t>(rng.NextBounded(2));
+      DoubleTensor x{Shape{features}};
+      const double sign = label == 0 ? -0.5 : 0.5;
+      for (int64_t f = 0; f < features; ++f) {
+        x[f] = sign * separation * direction[f] + rng.NextGaussian();
+      }
+      out->samples.push_back(std::move(x));
+      out->labels.push_back(label);
+    }
+  };
+
+  DatasetSplit split;
+  make(train_size, &split.train);
+  make(test_size, &split.test);
+  split.train.name = name + "-train";
+  split.test.name = name + "-test";
+  return split;
+}
+
+DatasetSplit MakeImageDataset(const std::string& name, int64_t channels,
+                              int64_t height, int64_t width,
+                              int64_t num_classes, size_t train_size,
+                              size_t test_size, double noise_sigma,
+                              uint64_t seed) {
+  PPS_CHECK_GT(num_classes, 1);
+  Rng rng(seed);
+
+  // One smooth prototype per class.
+  std::vector<std::vector<double>> prototypes(num_classes);
+  const size_t pixels = static_cast<size_t>(channels * height * width);
+  for (auto& proto : prototypes) {
+    proto.resize(pixels);
+    for (auto& p : proto) p = rng.NextGaussian();
+    // Three blur passes give prototypes the coarse spatial structure that
+    // convolutional filters key on; the amplification keeps per-pixel
+    // signal comparable to the noise floor.
+    BoxBlur(&proto, channels, height, width);
+    BoxBlur(&proto, channels, height, width);
+    BoxBlur(&proto, channels, height, width);
+    for (auto& p : proto) p *= 4.0;
+  }
+
+  const Shape shape{channels, height, width};
+  auto make = [&](size_t count, Dataset* out) {
+    out->name = name;
+    out->num_classes = num_classes;
+    out->samples.reserve(count);
+    out->labels.reserve(count);
+    for (size_t i = 0; i < count; ++i) {
+      const int64_t label =
+          static_cast<int64_t>(rng.NextBounded(static_cast<uint64_t>(num_classes)));
+      DoubleTensor x{shape};
+      for (size_t p = 0; p < pixels; ++p) {
+        x[static_cast<int64_t>(p)] =
+            prototypes[label][p] + noise_sigma * rng.NextGaussian();
+      }
+      out->samples.push_back(std::move(x));
+      out->labels.push_back(label);
+    }
+  };
+
+  DatasetSplit split;
+  make(train_size, &split.train);
+  make(test_size, &split.test);
+  split.train.name = name + "-train";
+  split.test.name = name + "-test";
+  return split;
+}
+
+}  // namespace ppstream

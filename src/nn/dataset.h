@@ -1,0 +1,61 @@
+// Synthetic dataset generators standing in for the paper's public datasets.
+//
+// This sandbox has no network access, so MNIST / CIFAR-10 / the Kaggle
+// healthcare tables are replaced by deterministic generators with the same
+// dimensionality and class structure (see DESIGN.md §2). Exp#1 measures the
+// accuracy drop caused by rounding model parameters, which depends on the
+// trained parameter distribution and decision margins — properties these
+// generators reproduce — not on where the pixels came from.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.h"
+#include "util/rng.h"
+
+namespace ppstream {
+
+/// A labeled classification dataset.
+struct Dataset {
+  std::string name;
+  std::vector<DoubleTensor> samples;
+  std::vector<int64_t> labels;
+  int64_t num_classes = 0;
+
+  size_t size() const { return samples.size(); }
+};
+
+/// Train/test split of a dataset.
+struct DatasetSplit {
+  Dataset train;
+  Dataset test;
+};
+
+/// Tabular binary-classification data: two Gaussian clusters per class in
+/// `features` dimensions with controllable `separation` (cluster distance in
+/// units of the noise sigma). Low separation caps achievable accuracy —
+/// used to mimic the Cardio dataset's ~71% ceiling.
+DatasetSplit MakeTabularDataset(const std::string& name, int64_t features,
+                                size_t train_size, size_t test_size,
+                                double separation, uint64_t seed);
+
+/// Image-classification data shaped like MNIST ({1, 28, 28}, 10 classes) or
+/// CIFAR ({3, 32, 32}, 10 classes): each class has a random smooth prototype
+/// image; samples are prototypes plus Gaussian pixel noise.
+DatasetSplit MakeImageDataset(const std::string& name, int64_t channels,
+                              int64_t height, int64_t width,
+                              int64_t num_classes, size_t train_size,
+                              size_t test_size, double noise_sigma,
+                              uint64_t seed);
+
+/// Paper Table III sample counts, scaled by `scale` (1.0 = paper-sized).
+/// The repo defaults to smaller datasets so training fits the sandbox.
+struct DatasetSizes {
+  size_t train;
+  size_t test;
+};
+
+}  // namespace ppstream

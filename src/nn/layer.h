@@ -1,0 +1,96 @@
+// Layer abstraction for neural-network inference and training.
+//
+// Each hidden layer is classified by its operations (paper Section II-A):
+// linear (tensor addition / multiplication against model parameters),
+// non-linear (activation / downsampling functions), or mixed (both). The
+// protocol compiler (core/protocol) decomposes mixed layers and maps the
+// result onto privacy domains: linear ops run at the model provider under
+// Paillier, non-linear ops run at the data provider on obfuscated tensors.
+
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "tensor/tensor.h"
+#include "util/buffer.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace ppstream {
+
+enum class LayerKind : uint8_t {
+  kDense = 0,
+  kConv2D = 1,
+  kBatchNorm = 2,
+  kRelu = 3,
+  kSigmoid = 4,
+  kSoftmax = 5,
+  kMaxPool2D = 6,
+  kAvgPool2D = 7,
+  kFlatten = 8,
+  kScaledSigmoid = 9,  // mixed: y = sigmoid(alpha * x), alpha is a parameter
+  kScalarScale = 10,   // linear primitive produced by decomposing the above
+};
+
+const char* LayerKindName(LayerKind kind);
+
+/// Operation class of a layer (paper Figure 2).
+enum class OpClass : uint8_t { kLinear = 0, kNonLinear = 1, kMixed = 2 };
+
+const char* OpClassName(OpClass c);
+
+/// Base class for all layers. Layers own their parameters and gradient
+/// buffers; Backward() accumulates parameter gradients and returns the
+/// gradient with respect to the layer input.
+class Layer {
+ public:
+  virtual ~Layer() = default;
+
+  virtual LayerKind kind() const = 0;
+  virtual OpClass op_class() const = 0;
+  virtual std::string name() const { return LayerKindName(kind()); }
+
+  /// Output shape for a given input shape (fails on incompatible input).
+  virtual Result<Shape> OutputShape(const Shape& in) const = 0;
+
+  virtual Result<DoubleTensor> Forward(const DoubleTensor& in) const = 0;
+
+  /// `in` must be the tensor Forward was called with. Accumulates parameter
+  /// gradients internally and returns dL/d(in).
+  virtual Result<DoubleTensor> Backward(const DoubleTensor& in,
+                                        const DoubleTensor& grad_out) = 0;
+
+  virtual void ZeroGrads() {}
+  /// SGD-with-momentum update: v = momentum*v + grad; param -= lr * v.
+  /// momentum = 0 recovers plain SGD.
+  virtual void SgdStep(double lr, double momentum) {
+    (void)lr;
+    (void)momentum;
+  }
+
+  /// Number of learnable parameters.
+  virtual int64_t ParameterCount() const { return 0; }
+
+  /// Applies fn to every parameter value (reads).
+  virtual void VisitParameters(
+      const std::function<void(double)>& fn) const {
+    (void)fn;
+  }
+  /// Applies fn to every parameter value (mutates in place).
+  virtual void MutateParameters(const std::function<double(double)>& fn) {
+    (void)fn;
+  }
+
+  /// Serializes kind + configuration + parameters.
+  virtual void Serialize(BufferWriter* out) const = 0;
+
+  /// Deep copy.
+  virtual std::unique_ptr<Layer> Clone() const = 0;
+};
+
+/// Deserializes any layer (dispatches on the kind tag written first).
+Result<std::unique_ptr<Layer>> DeserializeLayer(BufferReader* in);
+
+}  // namespace ppstream

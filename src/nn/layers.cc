@@ -1,0 +1,750 @@
+#include "nn/layers.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace ppstream {
+
+const char* LayerKindName(LayerKind kind) {
+  switch (kind) {
+    case LayerKind::kDense:
+      return "Dense";
+    case LayerKind::kConv2D:
+      return "Conv2D";
+    case LayerKind::kBatchNorm:
+      return "BatchNorm";
+    case LayerKind::kRelu:
+      return "ReLU";
+    case LayerKind::kSigmoid:
+      return "Sigmoid";
+    case LayerKind::kSoftmax:
+      return "SoftMax";
+    case LayerKind::kMaxPool2D:
+      return "MaxPool2D";
+    case LayerKind::kAvgPool2D:
+      return "AvgPool2D";
+    case LayerKind::kFlatten:
+      return "Flatten";
+    case LayerKind::kScaledSigmoid:
+      return "ScaledSigmoid";
+    case LayerKind::kScalarScale:
+      return "ScalarScale";
+  }
+  return "Unknown";
+}
+
+const char* OpClassName(OpClass c) {
+  switch (c) {
+    case OpClass::kLinear:
+      return "linear";
+    case OpClass::kNonLinear:
+      return "non-linear";
+    case OpClass::kMixed:
+      return "mixed";
+  }
+  return "?";
+}
+
+namespace {
+
+void WriteDoubles(BufferWriter* out, const std::vector<double>& v) {
+  out->WriteU64(v.size());
+  for (double d : v) out->WriteDouble(d);
+}
+
+Result<std::vector<double>> ReadDoubles(BufferReader* in) {
+  PPS_ASSIGN_OR_RETURN(uint64_t n, in->ReadU64());
+  if (n > (1ULL << 32)) return Status::OutOfRange("implausible vector size");
+  std::vector<double> v(n);
+  for (auto& d : v) {
+    PPS_ASSIGN_OR_RETURN(d, in->ReadDouble());
+  }
+  return v;
+}
+
+}  // namespace
+
+// --------------------------------------------------------------- Dense
+
+DenseLayer::DenseLayer(int64_t in_features, int64_t out_features)
+    : in_features_(in_features),
+      out_features_(out_features),
+      weights_(Shape{out_features, in_features}),
+      bias_(Shape{out_features}),
+      grad_weights_(Shape{out_features, in_features}),
+      grad_bias_(Shape{out_features}),
+      vel_weights_(Shape{out_features, in_features}),
+      vel_bias_(Shape{out_features}) {
+  PPS_CHECK_GT(in_features, 0);
+  PPS_CHECK_GT(out_features, 0);
+}
+
+std::unique_ptr<DenseLayer> DenseLayer::Random(int64_t in_features,
+                                               int64_t out_features,
+                                               Rng& rng) {
+  auto layer = std::make_unique<DenseLayer>(in_features, out_features);
+  const double bound = std::sqrt(6.0 / static_cast<double>(in_features));
+  for (auto& w : layer->weights_.data()) w = rng.NextUniform(-bound, bound);
+  return layer;
+}
+
+Result<Shape> DenseLayer::OutputShape(const Shape& in) const {
+  if (in.NumElements() != in_features_) {
+    return Status::InvalidArgument(
+        internal::StrCat("Dense expects ", in_features_, " inputs, got ",
+                         in.NumElements()));
+  }
+  return Shape{out_features_};
+}
+
+Result<DoubleTensor> DenseLayer::Forward(const DoubleTensor& in) const {
+  return DenseForward(weights_, bias_, in.Flatten());
+}
+
+Result<DoubleTensor> DenseLayer::Backward(const DoubleTensor& in,
+                                          const DoubleTensor& grad_out) {
+  if (grad_out.NumElements() != out_features_ ||
+      in.NumElements() != in_features_) {
+    return Status::InvalidArgument("Dense backward shape mismatch");
+  }
+  DoubleTensor grad_in{Shape{in_features_}};
+  for (int64_t o = 0; o < out_features_; ++o) {
+    const double g = grad_out[o];
+    grad_bias_[o] += g;
+    const int64_t base = o * in_features_;
+    for (int64_t i = 0; i < in_features_; ++i) {
+      grad_weights_[base + i] += g * in[i];
+      grad_in[i] += g * weights_[base + i];
+    }
+  }
+  return grad_in.Reshape(in.shape());
+}
+
+void DenseLayer::ZeroGrads() {
+  std::fill(grad_weights_.data().begin(), grad_weights_.data().end(), 0.0);
+  std::fill(grad_bias_.data().begin(), grad_bias_.data().end(), 0.0);
+}
+
+void DenseLayer::SgdStep(double lr, double momentum) {
+  for (int64_t i = 0; i < weights_.NumElements(); ++i) {
+    vel_weights_[i] = momentum * vel_weights_[i] + grad_weights_[i];
+    weights_[i] -= lr * vel_weights_[i];
+  }
+  for (int64_t i = 0; i < bias_.NumElements(); ++i) {
+    vel_bias_[i] = momentum * vel_bias_[i] + grad_bias_[i];
+    bias_[i] -= lr * vel_bias_[i];
+  }
+}
+
+int64_t DenseLayer::ParameterCount() const {
+  return weights_.NumElements() + bias_.NumElements();
+}
+
+void DenseLayer::VisitParameters(
+    const std::function<void(double)>& fn) const {
+  for (double w : weights_.data()) fn(w);
+  for (double b : bias_.data()) fn(b);
+}
+
+void DenseLayer::MutateParameters(const std::function<double(double)>& fn) {
+  for (auto& w : weights_.data()) w = fn(w);
+  for (auto& b : bias_.data()) b = fn(b);
+}
+
+void DenseLayer::Serialize(BufferWriter* out) const {
+  out->WriteU8(static_cast<uint8_t>(kind()));
+  out->WriteI64(in_features_);
+  out->WriteI64(out_features_);
+  WriteDoubles(out, weights_.data());
+  WriteDoubles(out, bias_.data());
+}
+
+std::unique_ptr<Layer> DenseLayer::Clone() const {
+  auto copy = std::make_unique<DenseLayer>(in_features_, out_features_);
+  copy->weights_ = weights_;
+  copy->bias_ = bias_;
+  return copy;
+}
+
+// --------------------------------------------------------------- Conv2D
+
+Conv2DLayer::Conv2DLayer(const Conv2DGeometry& geom)
+    : geom_(geom),
+      filters_(Shape{geom.out_channels, geom.in_channels, geom.kernel_h,
+                     geom.kernel_w}),
+      bias_(Shape{geom.out_channels}),
+      grad_filters_(filters_.shape()),
+      grad_bias_(bias_.shape()),
+      vel_filters_(filters_.shape()),
+      vel_bias_(bias_.shape()) {
+  PPS_CHECK_OK(geom.Validate());
+}
+
+std::unique_ptr<Conv2DLayer> Conv2DLayer::Random(const Conv2DGeometry& geom,
+                                                 Rng& rng) {
+  auto layer = std::make_unique<Conv2DLayer>(geom);
+  const double fan_in = static_cast<double>(geom.in_channels * geom.kernel_h *
+                                            geom.kernel_w);
+  const double bound = std::sqrt(6.0 / fan_in);
+  for (auto& w : layer->filters_.data()) w = rng.NextUniform(-bound, bound);
+  return layer;
+}
+
+Result<Shape> Conv2DLayer::OutputShape(const Shape& in) const {
+  const Shape expect{geom_.in_channels, geom_.in_height, geom_.in_width};
+  if (in != expect) {
+    return Status::InvalidArgument(
+        internal::StrCat("Conv2D expects input ", expect.ToString(), ", got ",
+                         in.ToString()));
+  }
+  return geom_.OutputShape();
+}
+
+Result<DoubleTensor> Conv2DLayer::Forward(const DoubleTensor& in) const {
+  return Conv2DForward(geom_, filters_, bias_, in);
+}
+
+Result<DoubleTensor> Conv2DLayer::Backward(const DoubleTensor& in,
+                                           const DoubleTensor& grad_out) {
+  const int64_t oh = geom_.out_height(), ow = geom_.out_width();
+  if (grad_out.shape() != geom_.OutputShape()) {
+    return Status::InvalidArgument("Conv2D backward shape mismatch");
+  }
+  DoubleTensor grad_in{in.shape()};
+  const int64_t h = geom_.in_height, w = geom_.in_width;
+  for (int64_t oc = 0; oc < geom_.out_channels; ++oc) {
+    for (int64_t oy = 0; oy < oh; ++oy) {
+      for (int64_t ox = 0; ox < ow; ++ox) {
+        const double g = grad_out[(oc * oh + oy) * ow + ox];
+        if (g == 0.0) continue;
+        grad_bias_[oc] += g;
+        const int64_t iy0 = oy * geom_.stride - geom_.padding;
+        const int64_t ix0 = ox * geom_.stride - geom_.padding;
+        for (int64_t ic = 0; ic < geom_.in_channels; ++ic) {
+          for (int64_t ky = 0; ky < geom_.kernel_h; ++ky) {
+            const int64_t iy = iy0 + ky;
+            if (iy < 0 || iy >= h) continue;
+            for (int64_t kx = 0; kx < geom_.kernel_w; ++kx) {
+              const int64_t ix = ix0 + kx;
+              if (ix < 0 || ix >= w) continue;
+              const int64_t fidx =
+                  ((oc * geom_.in_channels + ic) * geom_.kernel_h + ky) *
+                      geom_.kernel_w +
+                  kx;
+              const int64_t iidx = (ic * h + iy) * w + ix;
+              grad_filters_[fidx] += g * in[iidx];
+              grad_in[iidx] += g * filters_[fidx];
+            }
+          }
+        }
+      }
+    }
+  }
+  return grad_in;
+}
+
+void Conv2DLayer::ZeroGrads() {
+  std::fill(grad_filters_.data().begin(), grad_filters_.data().end(), 0.0);
+  std::fill(grad_bias_.data().begin(), grad_bias_.data().end(), 0.0);
+}
+
+void Conv2DLayer::SgdStep(double lr, double momentum) {
+  for (int64_t i = 0; i < filters_.NumElements(); ++i) {
+    vel_filters_[i] = momentum * vel_filters_[i] + grad_filters_[i];
+    filters_[i] -= lr * vel_filters_[i];
+  }
+  for (int64_t i = 0; i < bias_.NumElements(); ++i) {
+    vel_bias_[i] = momentum * vel_bias_[i] + grad_bias_[i];
+    bias_[i] -= lr * vel_bias_[i];
+  }
+}
+
+int64_t Conv2DLayer::ParameterCount() const {
+  return filters_.NumElements() + bias_.NumElements();
+}
+
+void Conv2DLayer::VisitParameters(
+    const std::function<void(double)>& fn) const {
+  for (double w : filters_.data()) fn(w);
+  for (double b : bias_.data()) fn(b);
+}
+
+void Conv2DLayer::MutateParameters(const std::function<double(double)>& fn) {
+  for (auto& w : filters_.data()) w = fn(w);
+  for (auto& b : bias_.data()) b = fn(b);
+}
+
+void Conv2DLayer::Serialize(BufferWriter* out) const {
+  out->WriteU8(static_cast<uint8_t>(kind()));
+  out->WriteI64(geom_.in_channels);
+  out->WriteI64(geom_.in_height);
+  out->WriteI64(geom_.in_width);
+  out->WriteI64(geom_.out_channels);
+  out->WriteI64(geom_.kernel_h);
+  out->WriteI64(geom_.kernel_w);
+  out->WriteI64(geom_.stride);
+  out->WriteI64(geom_.padding);
+  WriteDoubles(out, filters_.data());
+  WriteDoubles(out, bias_.data());
+}
+
+std::unique_ptr<Layer> Conv2DLayer::Clone() const {
+  auto copy = std::make_unique<Conv2DLayer>(geom_);
+  copy->filters_ = filters_;
+  copy->bias_ = bias_;
+  return copy;
+}
+
+// ------------------------------------------------------------ BatchNorm
+
+BatchNormLayer::BatchNormLayer(int64_t channels, double epsilon)
+    : channels_(channels),
+      epsilon_(epsilon),
+      gamma_(channels, 1.0),
+      beta_(channels, 0.0),
+      mean_(channels, 0.0),
+      var_(channels, 1.0),
+      grad_gamma_(channels, 0.0),
+      grad_beta_(channels, 0.0),
+      vel_gamma_(channels, 0.0),
+      vel_beta_(channels, 0.0) {
+  PPS_CHECK_GT(channels, 0);
+}
+
+int64_t BatchNormLayer::ChannelOf(const Shape& shape, int64_t i) const {
+  if (shape.rank() == 3) {
+    // CHW: channel is the leading dimension.
+    return i / (shape.dim(1) * shape.dim(2));
+  }
+  // Rank-1 (per-feature normalization).
+  return i;
+}
+
+Result<Shape> BatchNormLayer::OutputShape(const Shape& in) const {
+  const int64_t c = in.rank() == 3 ? in.dim(0) : in.NumElements();
+  if (c != channels_) {
+    return Status::InvalidArgument(
+        internal::StrCat("BatchNorm expects ", channels_, " channels, got ",
+                         c));
+  }
+  return in;
+}
+
+Result<DoubleTensor> BatchNormLayer::Forward(const DoubleTensor& in) const {
+  PPS_RETURN_IF_ERROR(OutputShape(in.shape()).status());
+  DoubleTensor out{in.shape()};
+  for (int64_t i = 0; i < in.NumElements(); ++i) {
+    const int64_t c = ChannelOf(in.shape(), i);
+    out[i] = gamma_[c] * (in[i] - mean_[c]) / std::sqrt(var_[c] + epsilon_) +
+             beta_[c];
+  }
+  return out;
+}
+
+Result<DoubleTensor> BatchNormLayer::Backward(const DoubleTensor& in,
+                                              const DoubleTensor& grad_out) {
+  PPS_RETURN_IF_ERROR(OutputShape(in.shape()).status());
+  DoubleTensor grad_in{in.shape()};
+  for (int64_t i = 0; i < in.NumElements(); ++i) {
+    const int64_t c = ChannelOf(in.shape(), i);
+    const double inv_std = 1.0 / std::sqrt(var_[c] + epsilon_);
+    const double xhat = (in[i] - mean_[c]) * inv_std;
+    grad_gamma_[c] += grad_out[i] * xhat;
+    grad_beta_[c] += grad_out[i];
+    grad_in[i] = grad_out[i] * gamma_[c] * inv_std;
+  }
+  return grad_in;
+}
+
+void BatchNormLayer::ZeroGrads() {
+  std::fill(grad_gamma_.begin(), grad_gamma_.end(), 0.0);
+  std::fill(grad_beta_.begin(), grad_beta_.end(), 0.0);
+}
+
+void BatchNormLayer::SgdStep(double lr, double momentum) {
+  for (int64_t c = 0; c < channels_; ++c) {
+    vel_gamma_[c] = momentum * vel_gamma_[c] + grad_gamma_[c];
+    gamma_[c] -= lr * vel_gamma_[c];
+    vel_beta_[c] = momentum * vel_beta_[c] + grad_beta_[c];
+    beta_[c] -= lr * vel_beta_[c];
+  }
+}
+
+int64_t BatchNormLayer::ParameterCount() const { return 2 * channels_; }
+
+void BatchNormLayer::VisitParameters(
+    const std::function<void(double)>& fn) const {
+  for (double g : gamma_) fn(g);
+  for (double b : beta_) fn(b);
+}
+
+void BatchNormLayer::MutateParameters(
+    const std::function<double(double)>& fn) {
+  for (auto& g : gamma_) g = fn(g);
+  for (auto& b : beta_) b = fn(b);
+}
+
+void BatchNormLayer::SetAffine(std::vector<double> gamma,
+                               std::vector<double> beta) {
+  PPS_CHECK_EQ(gamma.size(), static_cast<size_t>(channels_));
+  PPS_CHECK_EQ(beta.size(), static_cast<size_t>(channels_));
+  gamma_ = std::move(gamma);
+  beta_ = std::move(beta);
+}
+
+void BatchNormLayer::SetStatistics(std::vector<double> mean,
+                                   std::vector<double> var) {
+  PPS_CHECK_EQ(mean.size(), static_cast<size_t>(channels_));
+  PPS_CHECK_EQ(var.size(), static_cast<size_t>(channels_));
+  mean_ = std::move(mean);
+  var_ = std::move(var);
+}
+
+void BatchNormLayer::Serialize(BufferWriter* out) const {
+  out->WriteU8(static_cast<uint8_t>(kind()));
+  out->WriteI64(channels_);
+  out->WriteDouble(epsilon_);
+  WriteDoubles(out, gamma_);
+  WriteDoubles(out, beta_);
+  WriteDoubles(out, mean_);
+  WriteDoubles(out, var_);
+}
+
+std::unique_ptr<Layer> BatchNormLayer::Clone() const {
+  auto copy = std::make_unique<BatchNormLayer>(channels_, epsilon_);
+  copy->gamma_ = gamma_;
+  copy->beta_ = beta_;
+  copy->mean_ = mean_;
+  copy->var_ = var_;
+  return copy;
+}
+
+// ------------------------------------------------------------ Activations
+
+Result<DoubleTensor> ReluLayer::Forward(const DoubleTensor& in) const {
+  return Relu(in);
+}
+
+Result<DoubleTensor> ReluLayer::Backward(const DoubleTensor& in,
+                                         const DoubleTensor& grad_out) {
+  DoubleTensor grad_in{in.shape()};
+  for (int64_t i = 0; i < in.NumElements(); ++i) {
+    grad_in[i] = in[i] > 0 ? grad_out[i] : 0.0;
+  }
+  return grad_in;
+}
+
+void ReluLayer::Serialize(BufferWriter* out) const {
+  out->WriteU8(static_cast<uint8_t>(kind()));
+}
+
+Result<DoubleTensor> SigmoidLayer::Forward(const DoubleTensor& in) const {
+  return Sigmoid(in);
+}
+
+Result<DoubleTensor> SigmoidLayer::Backward(const DoubleTensor& in,
+                                            const DoubleTensor& grad_out) {
+  DoubleTensor grad_in{in.shape()};
+  for (int64_t i = 0; i < in.NumElements(); ++i) {
+    const double s = 1.0 / (1.0 + std::exp(-in[i]));
+    grad_in[i] = grad_out[i] * s * (1.0 - s);
+  }
+  return grad_in;
+}
+
+void SigmoidLayer::Serialize(BufferWriter* out) const {
+  out->WriteU8(static_cast<uint8_t>(kind()));
+}
+
+Result<DoubleTensor> SoftmaxLayer::Forward(const DoubleTensor& in) const {
+  return Softmax(in);
+}
+
+Result<DoubleTensor> SoftmaxLayer::Backward(const DoubleTensor& in,
+                                            const DoubleTensor& grad_out) {
+  // Full softmax Jacobian: grad_in = p ⊙ (grad_out - <grad_out, p>).
+  DoubleTensor p = Softmax(in);
+  double dot = 0;
+  for (int64_t i = 0; i < in.NumElements(); ++i) dot += grad_out[i] * p[i];
+  DoubleTensor grad_in{in.shape()};
+  for (int64_t i = 0; i < in.NumElements(); ++i) {
+    grad_in[i] = p[i] * (grad_out[i] - dot);
+  }
+  return grad_in;
+}
+
+void SoftmaxLayer::Serialize(BufferWriter* out) const {
+  out->WriteU8(static_cast<uint8_t>(kind()));
+}
+
+// --------------------------------------------------------------- Pooling
+
+MaxPool2DLayer::MaxPool2DLayer(int64_t size, int64_t stride)
+    : size_(size), stride_(stride) {
+  PPS_CHECK_GT(size, 0);
+  PPS_CHECK_GT(stride, 0);
+}
+
+Result<Shape> MaxPool2DLayer::OutputShape(const Shape& in) const {
+  if (in.rank() != 3) {
+    return Status::InvalidArgument("MaxPool2D expects a CHW tensor");
+  }
+  if (size_ > in.dim(1) || size_ > in.dim(2)) {
+    return Status::InvalidArgument("pool window exceeds input");
+  }
+  return Shape{in.dim(0), (in.dim(1) - size_) / stride_ + 1,
+               (in.dim(2) - size_) / stride_ + 1};
+}
+
+Result<DoubleTensor> MaxPool2DLayer::Forward(const DoubleTensor& in) const {
+  return MaxPool2D(in, size_, stride_);
+}
+
+Result<DoubleTensor> MaxPool2DLayer::Backward(const DoubleTensor& in,
+                                              const DoubleTensor& grad_out) {
+  PPS_ASSIGN_OR_RETURN(Shape out_shape, OutputShape(in.shape()));
+  if (grad_out.shape() != out_shape) {
+    return Status::InvalidArgument("MaxPool2D backward shape mismatch");
+  }
+  const int64_t c = in.shape().dim(0), h = in.shape().dim(1),
+                w = in.shape().dim(2);
+  const int64_t oh = out_shape.dim(1), ow = out_shape.dim(2);
+  DoubleTensor grad_in{in.shape()};
+  for (int64_t ch = 0; ch < c; ++ch) {
+    for (int64_t oy = 0; oy < oh; ++oy) {
+      for (int64_t ox = 0; ox < ow; ++ox) {
+        // Route the gradient to the argmax position.
+        int64_t best = (ch * h + oy * stride_) * w + ox * stride_;
+        for (int64_t ky = 0; ky < size_; ++ky) {
+          for (int64_t kx = 0; kx < size_; ++kx) {
+            const int64_t idx =
+                (ch * h + oy * stride_ + ky) * w + ox * stride_ + kx;
+            if (in[idx] > in[best]) best = idx;
+          }
+        }
+        grad_in[best] += grad_out[(ch * oh + oy) * ow + ox];
+      }
+    }
+  }
+  return grad_in;
+}
+
+void MaxPool2DLayer::Serialize(BufferWriter* out) const {
+  out->WriteU8(static_cast<uint8_t>(kind()));
+  out->WriteI64(size_);
+  out->WriteI64(stride_);
+}
+
+AvgPool2DLayer::AvgPool2DLayer(int64_t size, int64_t stride)
+    : size_(size), stride_(stride) {
+  PPS_CHECK_GT(size, 0);
+  PPS_CHECK_GT(stride, 0);
+}
+
+Result<Shape> AvgPool2DLayer::OutputShape(const Shape& in) const {
+  if (in.rank() != 3) {
+    return Status::InvalidArgument("AvgPool2D expects a CHW tensor");
+  }
+  if (size_ > in.dim(1) || size_ > in.dim(2)) {
+    return Status::InvalidArgument("pool window exceeds input");
+  }
+  return Shape{in.dim(0), (in.dim(1) - size_) / stride_ + 1,
+               (in.dim(2) - size_) / stride_ + 1};
+}
+
+Result<DoubleTensor> AvgPool2DLayer::Forward(const DoubleTensor& in) const {
+  return AvgPool2D(in, size_, stride_);
+}
+
+Result<DoubleTensor> AvgPool2DLayer::Backward(const DoubleTensor& in,
+                                              const DoubleTensor& grad_out) {
+  PPS_ASSIGN_OR_RETURN(Shape out_shape, OutputShape(in.shape()));
+  if (grad_out.shape() != out_shape) {
+    return Status::InvalidArgument("AvgPool2D backward shape mismatch");
+  }
+  const int64_t c = in.shape().dim(0), h = in.shape().dim(1),
+                w = in.shape().dim(2);
+  const int64_t oh = out_shape.dim(1), ow = out_shape.dim(2);
+  const double scale = 1.0 / static_cast<double>(size_ * size_);
+  DoubleTensor grad_in{in.shape()};
+  for (int64_t ch = 0; ch < c; ++ch) {
+    for (int64_t oy = 0; oy < oh; ++oy) {
+      for (int64_t ox = 0; ox < ow; ++ox) {
+        const double g = grad_out[(ch * oh + oy) * ow + ox] * scale;
+        for (int64_t ky = 0; ky < size_; ++ky) {
+          for (int64_t kx = 0; kx < size_; ++kx) {
+            grad_in[(ch * h + oy * stride_ + ky) * w + ox * stride_ + kx] +=
+                g;
+          }
+        }
+      }
+    }
+  }
+  return grad_in;
+}
+
+void AvgPool2DLayer::Serialize(BufferWriter* out) const {
+  out->WriteU8(static_cast<uint8_t>(kind()));
+  out->WriteI64(size_);
+  out->WriteI64(stride_);
+}
+
+void FlattenLayer::Serialize(BufferWriter* out) const {
+  out->WriteU8(static_cast<uint8_t>(kind()));
+}
+
+// --------------------------------------------------- ScaledSigmoid / Scale
+
+ScaledSigmoidLayer::ScaledSigmoidLayer(double alpha) : alpha_(alpha) {}
+
+Result<DoubleTensor> ScaledSigmoidLayer::Forward(
+    const DoubleTensor& in) const {
+  return in.Map<double>(
+      [this](double v) { return 1.0 / (1.0 + std::exp(-alpha_ * v)); });
+}
+
+Result<DoubleTensor> ScaledSigmoidLayer::Backward(
+    const DoubleTensor& in, const DoubleTensor& grad_out) {
+  DoubleTensor grad_in{in.shape()};
+  for (int64_t i = 0; i < in.NumElements(); ++i) {
+    const double s = 1.0 / (1.0 + std::exp(-alpha_ * in[i]));
+    const double ds = s * (1.0 - s);
+    grad_in[i] = grad_out[i] * ds * alpha_;
+    grad_alpha_ += grad_out[i] * ds * in[i];
+  }
+  return grad_in;
+}
+
+void ScaledSigmoidLayer::Serialize(BufferWriter* out) const {
+  out->WriteU8(static_cast<uint8_t>(kind()));
+  out->WriteDouble(alpha_);
+}
+
+ScalarScaleLayer::ScalarScaleLayer(double alpha) : alpha_(alpha) {}
+
+Result<DoubleTensor> ScalarScaleLayer::Forward(const DoubleTensor& in) const {
+  return Scale(in, alpha_);
+}
+
+Result<DoubleTensor> ScalarScaleLayer::Backward(const DoubleTensor& in,
+                                                const DoubleTensor& grad_out) {
+  DoubleTensor grad_in{in.shape()};
+  for (int64_t i = 0; i < in.NumElements(); ++i) {
+    grad_in[i] = grad_out[i] * alpha_;
+    grad_alpha_ += grad_out[i] * in[i];
+  }
+  return grad_in;
+}
+
+void ScalarScaleLayer::Serialize(BufferWriter* out) const {
+  out->WriteU8(static_cast<uint8_t>(kind()));
+  out->WriteDouble(alpha_);
+}
+
+// ---------------------------------------------------------- Deserialization
+
+Result<std::unique_ptr<Layer>> DeserializeLayer(BufferReader* in) {
+  PPS_ASSIGN_OR_RETURN(uint8_t tag, in->ReadU8());
+  const auto kind = static_cast<LayerKind>(tag);
+  switch (kind) {
+    case LayerKind::kDense: {
+      PPS_ASSIGN_OR_RETURN(int64_t in_f, in->ReadI64());
+      PPS_ASSIGN_OR_RETURN(int64_t out_f, in->ReadI64());
+      if (in_f <= 0 || out_f <= 0) {
+        return Status::OutOfRange("bad Dense dims");
+      }
+      auto layer = std::make_unique<DenseLayer>(in_f, out_f);
+      PPS_ASSIGN_OR_RETURN(std::vector<double> w, ReadDoubles(in));
+      PPS_ASSIGN_OR_RETURN(std::vector<double> b, ReadDoubles(in));
+      if (w.size() != static_cast<size_t>(in_f * out_f) ||
+          b.size() != static_cast<size_t>(out_f)) {
+        return Status::OutOfRange("Dense parameter size mismatch");
+      }
+      layer->weights() = DoubleTensor(Shape{out_f, in_f}, std::move(w));
+      layer->bias() = DoubleTensor(Shape{out_f}, std::move(b));
+      return std::unique_ptr<Layer>(std::move(layer));
+    }
+    case LayerKind::kConv2D: {
+      Conv2DGeometry g;
+      PPS_ASSIGN_OR_RETURN(g.in_channels, in->ReadI64());
+      PPS_ASSIGN_OR_RETURN(g.in_height, in->ReadI64());
+      PPS_ASSIGN_OR_RETURN(g.in_width, in->ReadI64());
+      PPS_ASSIGN_OR_RETURN(g.out_channels, in->ReadI64());
+      PPS_ASSIGN_OR_RETURN(g.kernel_h, in->ReadI64());
+      PPS_ASSIGN_OR_RETURN(g.kernel_w, in->ReadI64());
+      PPS_ASSIGN_OR_RETURN(g.stride, in->ReadI64());
+      PPS_ASSIGN_OR_RETURN(g.padding, in->ReadI64());
+      PPS_RETURN_IF_ERROR(g.Validate());
+      auto layer = std::make_unique<Conv2DLayer>(g);
+      PPS_ASSIGN_OR_RETURN(std::vector<double> f, ReadDoubles(in));
+      PPS_ASSIGN_OR_RETURN(std::vector<double> b, ReadDoubles(in));
+      if (f.size() != static_cast<size_t>(layer->filters().NumElements()) ||
+          b.size() != static_cast<size_t>(g.out_channels)) {
+        return Status::OutOfRange("Conv2D parameter size mismatch");
+      }
+      layer->filters() = DoubleTensor(layer->filters().shape(), std::move(f));
+      layer->bias() = DoubleTensor(Shape{g.out_channels}, std::move(b));
+      return std::unique_ptr<Layer>(std::move(layer));
+    }
+    case LayerKind::kBatchNorm: {
+      PPS_ASSIGN_OR_RETURN(int64_t channels, in->ReadI64());
+      PPS_ASSIGN_OR_RETURN(double eps, in->ReadDouble());
+      if (channels <= 0) return Status::OutOfRange("bad BatchNorm channels");
+      auto layer = std::make_unique<BatchNormLayer>(channels, eps);
+      PPS_ASSIGN_OR_RETURN(std::vector<double> gamma, ReadDoubles(in));
+      PPS_ASSIGN_OR_RETURN(std::vector<double> beta, ReadDoubles(in));
+      PPS_ASSIGN_OR_RETURN(std::vector<double> mean, ReadDoubles(in));
+      PPS_ASSIGN_OR_RETURN(std::vector<double> var, ReadDoubles(in));
+      if (gamma.size() != static_cast<size_t>(channels) ||
+          beta.size() != static_cast<size_t>(channels) ||
+          mean.size() != static_cast<size_t>(channels) ||
+          var.size() != static_cast<size_t>(channels)) {
+        return Status::OutOfRange("BatchNorm parameter size mismatch");
+      }
+      layer->SetAffine(std::move(gamma), std::move(beta));
+      layer->SetStatistics(std::move(mean), std::move(var));
+      return std::unique_ptr<Layer>(std::move(layer));
+    }
+    case LayerKind::kRelu:
+      return std::unique_ptr<Layer>(std::make_unique<ReluLayer>());
+    case LayerKind::kSigmoid:
+      return std::unique_ptr<Layer>(std::make_unique<SigmoidLayer>());
+    case LayerKind::kSoftmax:
+      return std::unique_ptr<Layer>(std::make_unique<SoftmaxLayer>());
+    case LayerKind::kMaxPool2D: {
+      PPS_ASSIGN_OR_RETURN(int64_t size, in->ReadI64());
+      PPS_ASSIGN_OR_RETURN(int64_t stride, in->ReadI64());
+      if (size <= 0 || stride <= 0) {
+        return Status::OutOfRange("bad pool params");
+      }
+      return std::unique_ptr<Layer>(
+          std::make_unique<MaxPool2DLayer>(size, stride));
+    }
+    case LayerKind::kAvgPool2D: {
+      PPS_ASSIGN_OR_RETURN(int64_t size, in->ReadI64());
+      PPS_ASSIGN_OR_RETURN(int64_t stride, in->ReadI64());
+      if (size <= 0 || stride <= 0) {
+        return Status::OutOfRange("bad pool params");
+      }
+      return std::unique_ptr<Layer>(
+          std::make_unique<AvgPool2DLayer>(size, stride));
+    }
+    case LayerKind::kFlatten:
+      return std::unique_ptr<Layer>(std::make_unique<FlattenLayer>());
+    case LayerKind::kScaledSigmoid: {
+      PPS_ASSIGN_OR_RETURN(double alpha, in->ReadDouble());
+      return std::unique_ptr<Layer>(
+          std::make_unique<ScaledSigmoidLayer>(alpha));
+    }
+    case LayerKind::kScalarScale: {
+      PPS_ASSIGN_OR_RETURN(double alpha, in->ReadDouble());
+      return std::unique_ptr<Layer>(
+          std::make_unique<ScalarScaleLayer>(alpha));
+    }
+  }
+  return Status::OutOfRange(
+      internal::StrCat("unknown layer kind tag ", static_cast<int>(tag)));
+}
+
+}  // namespace ppstream

@@ -1,0 +1,319 @@
+// Concrete layer implementations.
+
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "nn/layer.h"
+#include "tensor/ops.h"
+
+namespace ppstream {
+
+/// Fully-connected layer: y = W x + b. Linear.
+class DenseLayer : public Layer {
+ public:
+  DenseLayer(int64_t in_features, int64_t out_features);
+  /// He-uniform initialization.
+  static std::unique_ptr<DenseLayer> Random(int64_t in_features,
+                                            int64_t out_features, Rng& rng);
+
+  LayerKind kind() const override { return LayerKind::kDense; }
+  OpClass op_class() const override { return OpClass::kLinear; }
+  Result<Shape> OutputShape(const Shape& in) const override;
+  Result<DoubleTensor> Forward(const DoubleTensor& in) const override;
+  Result<DoubleTensor> Backward(const DoubleTensor& in,
+                                const DoubleTensor& grad_out) override;
+  void ZeroGrads() override;
+  void SgdStep(double lr, double momentum) override;
+  int64_t ParameterCount() const override;
+  void VisitParameters(const std::function<void(double)>& fn) const override;
+  void MutateParameters(const std::function<double(double)>& fn) override;
+  void Serialize(BufferWriter* out) const override;
+  std::unique_ptr<Layer> Clone() const override;
+
+  int64_t in_features() const { return in_features_; }
+  int64_t out_features() const { return out_features_; }
+  DoubleTensor& weights() { return weights_; }
+  const DoubleTensor& weights() const { return weights_; }
+  DoubleTensor& bias() { return bias_; }
+  const DoubleTensor& bias() const { return bias_; }
+
+ private:
+  int64_t in_features_, out_features_;
+  DoubleTensor weights_;  // {out, in}
+  DoubleTensor bias_;     // {out}
+  DoubleTensor grad_weights_, grad_bias_;
+  DoubleTensor vel_weights_, vel_bias_;  // momentum buffers
+};
+
+/// 2-d convolution layer. Linear.
+class Conv2DLayer : public Layer {
+ public:
+  explicit Conv2DLayer(const Conv2DGeometry& geom);
+  static std::unique_ptr<Conv2DLayer> Random(const Conv2DGeometry& geom,
+                                             Rng& rng);
+
+  LayerKind kind() const override { return LayerKind::kConv2D; }
+  OpClass op_class() const override { return OpClass::kLinear; }
+  Result<Shape> OutputShape(const Shape& in) const override;
+  Result<DoubleTensor> Forward(const DoubleTensor& in) const override;
+  Result<DoubleTensor> Backward(const DoubleTensor& in,
+                                const DoubleTensor& grad_out) override;
+  void ZeroGrads() override;
+  void SgdStep(double lr, double momentum) override;
+  int64_t ParameterCount() const override;
+  void VisitParameters(const std::function<void(double)>& fn) const override;
+  void MutateParameters(const std::function<double(double)>& fn) override;
+  void Serialize(BufferWriter* out) const override;
+  std::unique_ptr<Layer> Clone() const override;
+
+  const Conv2DGeometry& geometry() const { return geom_; }
+  DoubleTensor& filters() { return filters_; }
+  const DoubleTensor& filters() const { return filters_; }
+  DoubleTensor& bias() { return bias_; }
+  const DoubleTensor& bias() const { return bias_; }
+
+ private:
+  Conv2DGeometry geom_;
+  DoubleTensor filters_;  // {OC, C, kh, kw}
+  DoubleTensor bias_;     // {OC}
+  DoubleTensor grad_filters_, grad_bias_;
+  DoubleTensor vel_filters_, vel_bias_;  // momentum buffers
+};
+
+/// Batch normalization in inference form: per-channel affine transform
+/// y = gamma * (x - mean) / sqrt(var + eps) + beta. Linear (the statistics
+/// are fixed model parameters at inference time).
+class BatchNormLayer : public Layer {
+ public:
+  explicit BatchNormLayer(int64_t channels, double epsilon = 1e-5);
+
+  LayerKind kind() const override { return LayerKind::kBatchNorm; }
+  OpClass op_class() const override { return OpClass::kLinear; }
+  Result<Shape> OutputShape(const Shape& in) const override;
+  Result<DoubleTensor> Forward(const DoubleTensor& in) const override;
+  Result<DoubleTensor> Backward(const DoubleTensor& in,
+                                const DoubleTensor& grad_out) override;
+  void ZeroGrads() override;
+  void SgdStep(double lr, double momentum) override;
+  int64_t ParameterCount() const override;
+  void VisitParameters(const std::function<void(double)>& fn) const override;
+  void MutateParameters(const std::function<double(double)>& fn) override;
+  void Serialize(BufferWriter* out) const override;
+  std::unique_ptr<Layer> Clone() const override;
+
+  /// Sets the frozen running statistics.
+  void SetStatistics(std::vector<double> mean, std::vector<double> var);
+  /// Sets the learnable affine parameters.
+  void SetAffine(std::vector<double> gamma, std::vector<double> beta);
+  int64_t channels() const { return channels_; }
+  const std::vector<double>& gamma() const { return gamma_; }
+  const std::vector<double>& beta() const { return beta_; }
+  const std::vector<double>& mean() const { return mean_; }
+  const std::vector<double>& variance() const { return var_; }
+  double epsilon() const { return epsilon_; }
+
+ private:
+  /// Channel index of flat element i for the given shape.
+  int64_t ChannelOf(const Shape& shape, int64_t i) const;
+
+  int64_t channels_;
+  double epsilon_;
+  std::vector<double> gamma_, beta_;  // learnable
+  std::vector<double> mean_, var_;    // frozen statistics
+  std::vector<double> grad_gamma_, grad_beta_;
+  std::vector<double> vel_gamma_, vel_beta_;  // momentum buffers
+};
+
+/// Element-wise ReLU. Non-linear; commutes with permutation.
+class ReluLayer : public Layer {
+ public:
+  LayerKind kind() const override { return LayerKind::kRelu; }
+  OpClass op_class() const override { return OpClass::kNonLinear; }
+  Result<Shape> OutputShape(const Shape& in) const override { return in; }
+  Result<DoubleTensor> Forward(const DoubleTensor& in) const override;
+  Result<DoubleTensor> Backward(const DoubleTensor& in,
+                                const DoubleTensor& grad_out) override;
+  void Serialize(BufferWriter* out) const override;
+  std::unique_ptr<Layer> Clone() const override {
+    return std::make_unique<ReluLayer>();
+  }
+};
+
+/// Element-wise sigmoid. Non-linear; commutes with permutation.
+class SigmoidLayer : public Layer {
+ public:
+  LayerKind kind() const override { return LayerKind::kSigmoid; }
+  OpClass op_class() const override { return OpClass::kNonLinear; }
+  Result<Shape> OutputShape(const Shape& in) const override { return in; }
+  Result<DoubleTensor> Forward(const DoubleTensor& in) const override;
+  Result<DoubleTensor> Backward(const DoubleTensor& in,
+                                const DoubleTensor& grad_out) override;
+  void Serialize(BufferWriter* out) const override;
+  std::unique_ptr<Layer> Clone() const override {
+    return std::make_unique<SigmoidLayer>();
+  }
+};
+
+/// Softmax over the flattened tensor. Non-linear; does NOT commute with
+/// permutation — the protocol never obfuscates its input (paper §III-C).
+class SoftmaxLayer : public Layer {
+ public:
+  LayerKind kind() const override { return LayerKind::kSoftmax; }
+  OpClass op_class() const override { return OpClass::kNonLinear; }
+  Result<Shape> OutputShape(const Shape& in) const override { return in; }
+  Result<DoubleTensor> Forward(const DoubleTensor& in) const override;
+  Result<DoubleTensor> Backward(const DoubleTensor& in,
+                                const DoubleTensor& grad_out) override;
+  void Serialize(BufferWriter* out) const override;
+  std::unique_ptr<Layer> Clone() const override {
+    return std::make_unique<SoftmaxLayer>();
+  }
+};
+
+/// Max pooling. Non-linear; position-dependent, so the protocol replaces it
+/// with stride-2 conv + ReLU (paper §III-C, [62]) before deployment.
+class MaxPool2DLayer : public Layer {
+ public:
+  MaxPool2DLayer(int64_t size, int64_t stride);
+
+  LayerKind kind() const override { return LayerKind::kMaxPool2D; }
+  OpClass op_class() const override { return OpClass::kNonLinear; }
+  Result<Shape> OutputShape(const Shape& in) const override;
+  Result<DoubleTensor> Forward(const DoubleTensor& in) const override;
+  Result<DoubleTensor> Backward(const DoubleTensor& in,
+                                const DoubleTensor& grad_out) override;
+  void Serialize(BufferWriter* out) const override;
+  std::unique_ptr<Layer> Clone() const override {
+    return std::make_unique<MaxPool2DLayer>(size_, stride_);
+  }
+
+  int64_t size() const { return size_; }
+  int64_t stride() const { return stride_; }
+
+ private:
+  int64_t size_, stride_;
+};
+
+/// Average pooling. Linear (a fixed convolution).
+class AvgPool2DLayer : public Layer {
+ public:
+  AvgPool2DLayer(int64_t size, int64_t stride);
+
+  LayerKind kind() const override { return LayerKind::kAvgPool2D; }
+  OpClass op_class() const override { return OpClass::kLinear; }
+  Result<Shape> OutputShape(const Shape& in) const override;
+  Result<DoubleTensor> Forward(const DoubleTensor& in) const override;
+  Result<DoubleTensor> Backward(const DoubleTensor& in,
+                                const DoubleTensor& grad_out) override;
+  void Serialize(BufferWriter* out) const override;
+  std::unique_ptr<Layer> Clone() const override {
+    return std::make_unique<AvgPool2DLayer>(size_, stride_);
+  }
+
+  int64_t size() const { return size_; }
+  int64_t stride() const { return stride_; }
+
+ private:
+  int64_t size_, stride_;
+};
+
+/// Reshape to rank-1. Linear (identity on values).
+class FlattenLayer : public Layer {
+ public:
+  LayerKind kind() const override { return LayerKind::kFlatten; }
+  OpClass op_class() const override { return OpClass::kLinear; }
+  Result<Shape> OutputShape(const Shape& in) const override {
+    return Shape{in.NumElements()};
+  }
+  Result<DoubleTensor> Forward(const DoubleTensor& in) const override {
+    return in.Flatten();
+  }
+  Result<DoubleTensor> Backward(const DoubleTensor& in,
+                                const DoubleTensor& grad_out) override {
+    return grad_out.Reshape(in.shape());
+  }
+  void Serialize(BufferWriter* out) const override;
+  std::unique_ptr<Layer> Clone() const override {
+    return std::make_unique<FlattenLayer>();
+  }
+};
+
+/// Mixed layer: y = sigmoid(alpha * x) with a learnable scalar alpha
+/// (paper Figure 2 classifies Sigmoid-with-parameters as mixed). The
+/// protocol compiler decomposes it into ScalarScale (linear, model
+/// provider) + Sigmoid (non-linear, data provider).
+class ScaledSigmoidLayer : public Layer {
+ public:
+  explicit ScaledSigmoidLayer(double alpha = 1.0);
+
+  LayerKind kind() const override { return LayerKind::kScaledSigmoid; }
+  OpClass op_class() const override { return OpClass::kMixed; }
+  Result<Shape> OutputShape(const Shape& in) const override { return in; }
+  Result<DoubleTensor> Forward(const DoubleTensor& in) const override;
+  Result<DoubleTensor> Backward(const DoubleTensor& in,
+                                const DoubleTensor& grad_out) override;
+  void ZeroGrads() override { grad_alpha_ = 0; }
+  void SgdStep(double lr, double momentum) override {
+    velocity_ = momentum * velocity_ + grad_alpha_;
+    alpha_ -= lr * velocity_;
+  }
+  int64_t ParameterCount() const override { return 1; }
+  void VisitParameters(const std::function<void(double)>& fn) const override {
+    fn(alpha_);
+  }
+  void MutateParameters(const std::function<double(double)>& fn) override {
+    alpha_ = fn(alpha_);
+  }
+  void Serialize(BufferWriter* out) const override;
+  std::unique_ptr<Layer> Clone() const override {
+    return std::make_unique<ScaledSigmoidLayer>(alpha_);
+  }
+
+  double alpha() const { return alpha_; }
+
+ private:
+  double alpha_;
+  double grad_alpha_ = 0;
+  double velocity_ = 0;
+};
+
+/// Linear primitive: y = alpha * x (element-wise, scalar parameter).
+class ScalarScaleLayer : public Layer {
+ public:
+  explicit ScalarScaleLayer(double alpha = 1.0);
+
+  LayerKind kind() const override { return LayerKind::kScalarScale; }
+  OpClass op_class() const override { return OpClass::kLinear; }
+  Result<Shape> OutputShape(const Shape& in) const override { return in; }
+  Result<DoubleTensor> Forward(const DoubleTensor& in) const override;
+  Result<DoubleTensor> Backward(const DoubleTensor& in,
+                                const DoubleTensor& grad_out) override;
+  void ZeroGrads() override { grad_alpha_ = 0; }
+  void SgdStep(double lr, double momentum) override {
+    velocity_ = momentum * velocity_ + grad_alpha_;
+    alpha_ -= lr * velocity_;
+  }
+  int64_t ParameterCount() const override { return 1; }
+  void VisitParameters(const std::function<void(double)>& fn) const override {
+    fn(alpha_);
+  }
+  void MutateParameters(const std::function<double(double)>& fn) override {
+    alpha_ = fn(alpha_);
+  }
+  void Serialize(BufferWriter* out) const override;
+  std::unique_ptr<Layer> Clone() const override {
+    return std::make_unique<ScalarScaleLayer>(alpha_);
+  }
+
+  double alpha() const { return alpha_; }
+
+ private:
+  double alpha_;
+  double grad_alpha_ = 0;
+  double velocity_ = 0;
+};
+
+}  // namespace ppstream

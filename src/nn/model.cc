@@ -1,0 +1,169 @@
+#include "nn/model.h"
+
+#include <fstream>
+
+#include "nn/layers.h"
+
+namespace ppstream {
+
+Status Model::Add(std::unique_ptr<Layer> layer) {
+  PPS_ASSIGN_OR_RETURN(Shape current, OutputShape());
+  PPS_RETURN_IF_ERROR(layer->OutputShape(current).status());
+  layers_.push_back(std::move(layer));
+  return Status::OK();
+}
+
+Result<Shape> Model::OutputShape() const {
+  Shape shape = input_shape_;
+  for (const auto& layer : layers_) {
+    PPS_ASSIGN_OR_RETURN(shape, layer->OutputShape(shape));
+  }
+  return shape;
+}
+
+Result<DoubleTensor> Model::Forward(const DoubleTensor& input) const {
+  if (input.shape() != input_shape_) {
+    return Status::InvalidArgument(
+        internal::StrCat("model ", name_, " expects input ",
+                         input_shape_.ToString(), ", got ",
+                         input.shape().ToString()));
+  }
+  DoubleTensor x = input;
+  for (const auto& layer : layers_) {
+    PPS_ASSIGN_OR_RETURN(x, layer->Forward(x));
+  }
+  return x;
+}
+
+Result<std::vector<DoubleTensor>> Model::ForwardWithActivations(
+    const DoubleTensor& input) const {
+  if (input.shape() != input_shape_) {
+    return Status::InvalidArgument("input shape mismatch");
+  }
+  std::vector<DoubleTensor> acts;
+  acts.reserve(layers_.size() + 1);
+  acts.push_back(input);
+  for (const auto& layer : layers_) {
+    PPS_ASSIGN_OR_RETURN(DoubleTensor next, layer->Forward(acts.back()));
+    acts.push_back(std::move(next));
+  }
+  return acts;
+}
+
+Result<int64_t> Model::Predict(const DoubleTensor& input) const {
+  PPS_ASSIGN_OR_RETURN(DoubleTensor out, Forward(input));
+  return ArgMax(out);
+}
+
+int64_t Model::ParameterCount() const {
+  int64_t total = 0;
+  for (const auto& layer : layers_) total += layer->ParameterCount();
+  return total;
+}
+
+Model Model::Clone() const {
+  Model copy(input_shape_, name_);
+  for (const auto& layer : layers_) {
+    copy.layers_.push_back(layer->Clone());
+  }
+  return copy;
+}
+
+Result<Model> Model::ReplaceMaxPooling() const {
+  Model out(input_shape_, name_);
+  Shape shape = input_shape_;
+  for (const auto& layer : layers_) {
+    if (layer->kind() == LayerKind::kMaxPool2D) {
+      const auto* pool = static_cast<const MaxPool2DLayer*>(layer.get());
+      if (shape.rank() != 3) {
+        return Status::InvalidArgument("MaxPool input must be CHW");
+      }
+      Conv2DGeometry geom;
+      geom.in_channels = shape.dim(0);
+      geom.in_height = shape.dim(1);
+      geom.in_width = shape.dim(2);
+      geom.out_channels = shape.dim(0);
+      geom.kernel_h = pool->size();
+      geom.kernel_w = pool->size();
+      geom.stride = pool->stride();
+      geom.padding = 0;
+      auto conv = std::make_unique<Conv2DLayer>(geom);
+      // Depthwise averaging kernels: channel c averages only channel c.
+      const double w = 1.0 / static_cast<double>(pool->size() * pool->size());
+      for (int64_t oc = 0; oc < geom.out_channels; ++oc) {
+        for (int64_t ky = 0; ky < geom.kernel_h; ++ky) {
+          for (int64_t kx = 0; kx < geom.kernel_w; ++kx) {
+            conv->filters()[((oc * geom.in_channels + oc) * geom.kernel_h +
+                             ky) *
+                                geom.kernel_w +
+                            kx] = w;
+          }
+        }
+      }
+      PPS_RETURN_IF_ERROR(out.Add(std::move(conv)));
+      PPS_RETURN_IF_ERROR(out.Add(std::make_unique<ReluLayer>()));
+    } else {
+      PPS_RETURN_IF_ERROR(out.Add(layer->Clone()));
+    }
+    PPS_ASSIGN_OR_RETURN(shape, layer->OutputShape(shape));
+  }
+  return out;
+}
+
+void Model::Serialize(BufferWriter* out) const {
+  out->WriteString(name_);
+  out->WriteU64(input_shape_.rank());
+  for (int64_t d : input_shape_.dims()) out->WriteI64(d);
+  out->WriteU64(layers_.size());
+  for (const auto& layer : layers_) layer->Serialize(out);
+}
+
+Result<Model> Model::Deserialize(BufferReader* in) {
+  PPS_ASSIGN_OR_RETURN(std::string name, in->ReadString());
+  PPS_ASSIGN_OR_RETURN(uint64_t rank, in->ReadU64());
+  if (rank > 8) return Status::OutOfRange("implausible input rank");
+  std::vector<int64_t> dims(rank);
+  for (auto& d : dims) {
+    PPS_ASSIGN_OR_RETURN(d, in->ReadI64());
+    if (d <= 0) return Status::OutOfRange("non-positive input dim");
+  }
+  Model model(Shape(std::move(dims)), std::move(name));
+  PPS_ASSIGN_OR_RETURN(uint64_t n_layers, in->ReadU64());
+  if (n_layers > 4096) return Status::OutOfRange("implausible layer count");
+  for (uint64_t i = 0; i < n_layers; ++i) {
+    PPS_ASSIGN_OR_RETURN(std::unique_ptr<Layer> layer, DeserializeLayer(in));
+    PPS_RETURN_IF_ERROR(model.Add(std::move(layer)));
+  }
+  return model;
+}
+
+Status Model::SaveToFile(const std::string& path) const {
+  BufferWriter writer;
+  Serialize(&writer);
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IoError("cannot open " + path + " for writing");
+  out.write(reinterpret_cast<const char*>(writer.bytes().data()),
+            static_cast<std::streamsize>(writer.size()));
+  if (!out) return Status::IoError("short write to " + path);
+  return Status::OK();
+}
+
+Result<Model> Model::LoadFromFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open " + path);
+  std::vector<uint8_t> bytes((std::istreambuf_iterator<char>(in)),
+                             std::istreambuf_iterator<char>());
+  BufferReader reader(bytes);
+  return Deserialize(&reader);
+}
+
+std::string Model::Summary() const {
+  std::string out = name_ + ": " + input_shape_.ToString();
+  for (const auto& layer : layers_) {
+    out += " -> ";
+    out += layer->name();
+  }
+  return out;
+}
+
+}  // namespace ppstream

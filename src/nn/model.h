@@ -1,0 +1,79 @@
+// Sequential neural-network model: an ordered list of layers.
+
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/layer.h"
+#include "tensor/tensor.h"
+#include "util/status.h"
+
+namespace ppstream {
+
+/// A sequential model with a fixed input shape.
+class Model {
+ public:
+  Model() = default;
+  explicit Model(Shape input_shape, std::string name = "model")
+      : input_shape_(std::move(input_shape)), name_(std::move(name)) {}
+
+  // Movable, non-copyable (use Clone()).
+  Model(Model&&) = default;
+  Model& operator=(Model&&) = default;
+  Model(const Model&) = delete;
+  Model& operator=(const Model&) = delete;
+
+  const std::string& name() const { return name_; }
+  const Shape& input_shape() const { return input_shape_; }
+  size_t NumLayers() const { return layers_.size(); }
+  Layer& layer(size_t i) { return *layers_[i]; }
+  const Layer& layer(size_t i) const { return *layers_[i]; }
+
+  /// Appends a layer; fails if its input shape is incompatible with the
+  /// current output shape.
+  Status Add(std::unique_ptr<Layer> layer);
+
+  /// Shape of the model output.
+  Result<Shape> OutputShape() const;
+
+  /// Runs inference; input shape must match input_shape().
+  Result<DoubleTensor> Forward(const DoubleTensor& input) const;
+
+  /// Runs inference and returns every intermediate activation
+  /// (activations[0] is the input, activations[i+1] the output of layer i).
+  Result<std::vector<DoubleTensor>> ForwardWithActivations(
+      const DoubleTensor& input) const;
+
+  /// Predicted class: argmax of the final output.
+  Result<int64_t> Predict(const DoubleTensor& input) const;
+
+  /// Total learnable parameters across layers.
+  int64_t ParameterCount() const;
+
+  /// Deep copy (layer parameters included).
+  Model Clone() const;
+
+  /// Replaces every MaxPool2D with a stride-2 convolution + ReLU
+  /// (paper Section III-C, following [62]); the convolution filters are
+  /// fixed averaging kernels so the rewrite is usable without retraining,
+  /// and may then be fine-tuned. Returns the rewritten model.
+  Result<Model> ReplaceMaxPooling() const;
+
+  void Serialize(BufferWriter* out) const;
+  static Result<Model> Deserialize(BufferReader* in);
+
+  Status SaveToFile(const std::string& path) const;
+  static Result<Model> LoadFromFile(const std::string& path);
+
+  /// One-line structural summary ("Dense(30->16) -> ReLU -> ...").
+  std::string Summary() const;
+
+ private:
+  Shape input_shape_;
+  std::string name_;
+  std::vector<std::unique_ptr<Layer>> layers_;
+};
+
+}  // namespace ppstream

@@ -1,0 +1,63 @@
+// The nine dataset/model pairs of paper Table III.
+//
+// Architectures follow the paper: 3FC for the tabular datasets and
+// MNIST-1, 1Conv+2FC / 2Conv+2FC for MNIST-2/3, and VGG-13/16/19-style
+// stacks for CIFAR-10-1/2/3. The VGG stacks keep the paper's depth pattern
+// but shrink channel widths so from-scratch training fits this sandbox
+// (documented substitution, DESIGN.md §2).
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "nn/dataset.h"
+#include "nn/model.h"
+#include "nn/trainer.h"
+#include "util/status.h"
+
+namespace ppstream {
+
+enum class ZooModelId {
+  kBreast = 0,
+  kHeart = 1,
+  kCardio = 2,
+  kMnist1 = 3,
+  kMnist2 = 4,
+  kMnist3 = 5,
+  kCifar1 = 6,  // VGG-13 style
+  kCifar2 = 7,  // VGG-16 style
+  kCifar3 = 8,  // VGG-19 style
+};
+
+/// Static description of a zoo entry (paper Table III row).
+struct ZooInfo {
+  ZooModelId id;
+  const char* dataset_name;
+  const char* architecture;     // "3FC", "1Conv+2FC", "VGG13", ...
+  size_t paper_train_samples;   // Table III "# Samples"
+  size_t paper_test_samples;
+  int paper_model_servers;      // Table III "# Servers Model/Data"
+  int paper_data_servers;
+};
+
+/// All nine entries in Table III order.
+const std::vector<ZooInfo>& AllZooInfos();
+const ZooInfo& GetZooInfo(ZooModelId id);
+
+/// Synthesizes the dataset for a zoo entry. `size_scale` scales the paper's
+/// sample counts (1.0 = paper-sized; benches default well below that), with
+/// a floor so splits never become degenerate.
+DatasetSplit MakeZooDataset(ZooModelId id, double size_scale, uint64_t seed);
+
+/// Builds the (untrained, randomly initialized) model for a zoo entry.
+Result<Model> MakeZooModel(ZooModelId id, uint64_t seed);
+
+/// Per-entry training hyperparameters tuned for the synthetic datasets.
+TrainConfig DefaultTrainConfig(ZooModelId id);
+
+/// Convenience: build + train in one call.
+Result<Model> MakeTrainedZooModel(ZooModelId id, const Dataset& train,
+                                  uint64_t seed);
+
+}  // namespace ppstream

@@ -1,0 +1,99 @@
+#include "nn/trainer.h"
+
+#include <cmath>
+#include <numeric>
+
+#include "tensor/ops.h"
+
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace ppstream {
+
+double CrossEntropyLoss(const DoubleTensor& probs, int64_t label) {
+  PPS_CHECK_GE(label, 0);
+  PPS_CHECK_LT(label, probs.NumElements());
+  return -std::log(std::max(probs[label], 1e-12));
+}
+
+Result<TrainStats> TrainModel(Model* model, const Dataset& data,
+                              const TrainConfig& config) {
+  if (data.samples.empty()) {
+    return Status::InvalidArgument("empty training set");
+  }
+  if (model->NumLayers() == 0 ||
+      model->layer(model->NumLayers() - 1).kind() != LayerKind::kSoftmax) {
+    return Status::FailedPrecondition(
+        "TrainModel requires a SoftMax output layer");
+  }
+
+  Rng rng(config.shuffle_seed);
+  std::vector<size_t> order(data.samples.size());
+  std::iota(order.begin(), order.end(), 0);
+
+  double lr = config.learning_rate;
+  TrainStats stats;
+  for (int epoch = 0; epoch < config.epochs; ++epoch) {
+    rng.Shuffle(order);
+    double epoch_loss = 0;
+    size_t correct = 0;
+
+    size_t pos = 0;
+    while (pos < order.size()) {
+      const size_t batch_end =
+          std::min(order.size(), pos + config.batch_size);
+      const double batch_n = static_cast<double>(batch_end - pos);
+      for (size_t l = 0; l < model->NumLayers(); ++l) {
+        model->layer(l).ZeroGrads();
+      }
+      for (size_t b = pos; b < batch_end; ++b) {
+        const size_t idx = order[b];
+        PPS_ASSIGN_OR_RETURN(std::vector<DoubleTensor> acts,
+                             model->ForwardWithActivations(
+                                 data.samples[idx]));
+        const DoubleTensor& probs = acts.back();
+        epoch_loss += CrossEntropyLoss(probs, data.labels[idx]);
+        if (ArgMax(probs) == data.labels[idx]) ++correct;
+
+        // dL/d(probs) for cross entropy: -onehot / probs. SoftMax::Backward
+        // applies the full Jacobian, which reduces to probs - onehot.
+        DoubleTensor grad{probs.shape()};
+        grad[data.labels[idx]] =
+            -1.0 / std::max(probs[data.labels[idx]], 1e-12);
+        for (size_t l = model->NumLayers(); l-- > 0;) {
+          PPS_ASSIGN_OR_RETURN(grad,
+                               model->layer(l).Backward(acts[l], grad));
+        }
+      }
+      for (size_t l = 0; l < model->NumLayers(); ++l) {
+        model->layer(l).SgdStep(lr / batch_n, config.momentum);
+      }
+      pos = batch_end;
+    }
+
+    stats.final_loss = epoch_loss / static_cast<double>(order.size());
+    stats.final_train_accuracy =
+        static_cast<double>(correct) / static_cast<double>(order.size());
+    if (config.verbose) {
+      PPS_LOG(Info) << model->name() << " epoch " << epoch + 1 << "/"
+                    << config.epochs << " loss=" << stats.final_loss
+                    << " acc=" << stats.final_train_accuracy;
+    }
+    lr *= config.lr_decay;
+  }
+  return stats;
+}
+
+Result<double> EvaluateAccuracy(const Model& model, const Dataset& data) {
+  if (data.samples.empty()) {
+    return Status::InvalidArgument("empty evaluation set");
+  }
+  size_t correct = 0;
+  for (size_t i = 0; i < data.samples.size(); ++i) {
+    PPS_ASSIGN_OR_RETURN(int64_t pred, model.Predict(data.samples[i]));
+    if (pred == data.labels[i]) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(data.size());
+}
+
+}  // namespace ppstream

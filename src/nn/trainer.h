@@ -1,0 +1,45 @@
+// Minibatch SGD training with backpropagation.
+//
+// Only needed to produce trained float models for the experiments (the
+// paper trains with Matlab/PyTorch); the privacy-preserving protocol
+// consumes the trained model as-is.
+
+#pragma once
+
+#include "nn/dataset.h"
+#include "nn/model.h"
+#include "util/status.h"
+
+namespace ppstream {
+
+struct TrainConfig {
+  int epochs = 20;
+  double learning_rate = 0.05;
+  /// Classical momentum (0 = plain SGD).
+  double momentum = 0.9;
+  size_t batch_size = 16;
+  /// Decays the learning rate by this factor each epoch.
+  double lr_decay = 1.0;
+  uint64_t shuffle_seed = 1;
+  /// If true, prints per-epoch loss/accuracy at INFO level.
+  bool verbose = false;
+};
+
+struct TrainStats {
+  double final_loss = 0;
+  double final_train_accuracy = 0;
+};
+
+/// Cross-entropy of a softmax output against an integer label.
+double CrossEntropyLoss(const DoubleTensor& probs, int64_t label);
+
+/// Trains `model` in place. The model's last layer must be SoftMax.
+Result<TrainStats> TrainModel(Model* model, const Dataset& data,
+                              const TrainConfig& config);
+
+/// Fraction of samples whose Predict() matches the label — the paper's
+/// accuracy metric (Section IV-A) specialises to this for single-label
+/// classification.
+Result<double> EvaluateAccuracy(const Model& model, const Dataset& data);
+
+}  // namespace ppstream

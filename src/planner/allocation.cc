@@ -1,0 +1,435 @@
+#include "planner/allocation.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "util/logging.h"
+
+namespace ppstream {
+
+double AllocationObjective(const std::vector<double>& times,
+                           const std::vector<int>& threads) {
+  PPS_CHECK_EQ(times.size(), threads.size());
+  double sum = 0;
+  for (size_t i = 0; i < times.size(); ++i) {
+    for (size_t j = i + 1; j < times.size(); ++j) {
+      sum += std::abs(times[i] / threads[i] - times[j] / threads[j]);
+    }
+  }
+  // The paper's Eq. (4) sums over ordered pairs; constant factor 2.
+  return 2 * sum;
+}
+
+double MaxPairwiseDiffObjective(const std::vector<double>& times,
+                                const std::vector<int>& threads) {
+  PPS_CHECK_EQ(times.size(), threads.size());
+  double worst = 0;
+  for (size_t i = 0; i < times.size(); ++i) {
+    for (size_t j = i + 1; j < times.size(); ++j) {
+      worst = std::max(worst,
+                       std::abs(times[i] / threads[i] -
+                                times[j] / threads[j]));
+    }
+  }
+  return worst;
+}
+
+namespace {
+double Evaluate(const AllocationProblem& p, const std::vector<int>& threads) {
+  return p.objective == AllocationProblem::Objective::kMinMaxDiff
+             ? MaxPairwiseDiffObjective(p.layer_times, threads)
+             : AllocationObjective(p.layer_times, threads);
+}
+}  // namespace
+
+namespace {
+
+Status Validate(const AllocationProblem& p) {
+  if (p.layer_times.empty()) {
+    return Status::InvalidArgument("no layers to allocate");
+  }
+  if (p.layer_times.size() != p.layer_class.size()) {
+    return Status::InvalidArgument("layer vectors size mismatch");
+  }
+  if (p.server_cores.size() != p.server_class.size()) {
+    return Status::InvalidArgument("server vectors size mismatch");
+  }
+  for (double t : p.layer_times) {
+    if (t <= 0) return Status::InvalidArgument("layer times must be > 0");
+  }
+  for (int c : p.layer_class) {
+    if (c != 1 && c != -1) {
+      return Status::InvalidArgument("layer class must be +1 or -1");
+    }
+  }
+  for (int c : p.server_class) {
+    if (c != 1 && c != -1) {
+      return Status::InvalidArgument("server class must be +1 or -1");
+    }
+  }
+  for (int cls : {+1, -1}) {
+    size_t layers = 0;
+    int capacity = 0;
+    size_t servers = 0;
+    for (size_t i = 0; i < p.layer_class.size(); ++i) {
+      layers += p.layer_class[i] == cls;
+    }
+    for (size_t j = 0; j < p.server_class.size(); ++j) {
+      if (p.server_class[j] == cls) {
+        ++servers;
+        capacity += p.server_cores[j] * (p.hyper_threading ? 2 : 1);
+      }
+    }
+    if (layers > 0 && static_cast<size_t>(capacity) < layers) {
+      return Status::Infeasible(internal::StrCat(
+          "class ", cls, " has ", layers, " layers but only ", capacity,
+          " thread slots across ", servers, " servers"));
+    }
+  }
+  return Status::OK();
+}
+
+int ServerCap(const AllocationProblem& p, size_t j) {
+  return p.server_cores[j] * (p.hyper_threading ? 2 : 1);
+}
+
+/// Longest-processing-time placement onto same-class servers.
+Result<std::vector<int>> PlaceGreedy(const AllocationProblem& p) {
+  const size_t n = p.layer_times.size();
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return p.layer_times[a] > p.layer_times[b];
+  });
+  std::vector<double> load(p.server_cores.size(), 0);
+  std::vector<int> used(p.server_cores.size(), 0);
+  std::vector<int> placement(n, -1);
+  for (size_t idx : order) {
+    int best = -1;
+    for (size_t j = 0; j < p.server_cores.size(); ++j) {
+      if (p.server_class[j] != p.layer_class[idx]) continue;
+      if (used[j] >= ServerCap(p, j)) continue;
+      // Prefer the least-loaded feasible server, normalized by capacity.
+      if (best < 0 || load[j] / ServerCap(p, j) <
+                          load[best] / ServerCap(p, best)) {
+        best = static_cast<int>(j);
+      }
+    }
+    if (best < 0) {
+      return Status::Infeasible(
+          internal::StrCat("no server can host layer ", idx));
+    }
+    placement[idx] = best;
+    load[best] += p.layer_times[idx];
+    used[best] += 1;
+  }
+  return placement;
+}
+
+/// Greedy thread allocation for a fixed placement: start at 1 each, then
+/// repeatedly give a thread to the layer with the largest per-thread time
+/// whose server has spare slots.
+std::vector<int> ThreadsGreedy(const AllocationProblem& p,
+                               const std::vector<int>& placement) {
+  const size_t n = p.layer_times.size();
+  std::vector<int> threads(n, 1);
+  std::vector<int> used(p.server_cores.size(), 0);
+  for (size_t i = 0; i < n; ++i) used[placement[i]] += 1;
+  for (;;) {
+    int candidate = -1;
+    double worst_rate = -1;
+    for (size_t i = 0; i < n; ++i) {
+      if (used[placement[i]] >= ServerCap(p, placement[i])) continue;
+      const double rate = p.layer_times[i] / threads[i];
+      if (rate > worst_rate) {
+        worst_rate = rate;
+        candidate = static_cast<int>(i);
+      }
+    }
+    if (candidate < 0) break;
+    threads[candidate] += 1;
+    used[placement[candidate]] += 1;
+  }
+  // Local search: move a thread between two layers on the same server if
+  // it improves Eq. (4).
+  bool improved = true;
+  int guard = 0;
+  while (improved && guard++ < 1000) {
+    improved = false;
+    double best_obj = Evaluate(p, threads);
+    for (size_t a = 0; a < n && !improved; ++a) {
+      if (threads[a] <= 1) continue;
+      for (size_t b = 0; b < n && !improved; ++b) {
+        if (a == b || placement[a] != placement[b]) continue;
+        threads[a] -= 1;
+        threads[b] += 1;
+        const double obj = Evaluate(p, threads);
+        if (obj + 1e-12 < best_obj) {
+          improved = true;
+        } else {
+          threads[a] += 1;
+          threads[b] -= 1;
+        }
+      }
+    }
+  }
+  return threads;
+}
+
+/// Exact thread search for a fixed placement (branch-and-bound).
+struct ThreadSearch {
+  const AllocationProblem& p;
+  const std::vector<int>& placement;
+  std::vector<size_t> order;        // layers by decreasing T
+  std::vector<int> remaining;       // free slots per server
+  std::vector<int> pending;         // unassigned layers per server
+  std::vector<int> current;         // y under construction
+  std::vector<double> fixed_rates;  // rates of already-fixed layers
+  std::vector<int> best;
+  double best_obj = std::numeric_limits<double>::infinity();
+  int64_t nodes = 0;
+  int64_t node_limit;
+  bool aborted = false;
+
+  ThreadSearch(const AllocationProblem& problem,
+               const std::vector<int>& place, int64_t limit)
+      : p(problem), placement(place), node_limit(limit) {
+    const size_t n = p.layer_times.size();
+    order.resize(n);
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+      return p.layer_times[a] > p.layer_times[b];
+    });
+    remaining.assign(p.server_cores.size(), 0);
+    pending.assign(p.server_cores.size(), 0);
+    for (size_t j = 0; j < p.server_cores.size(); ++j) {
+      remaining[j] = ServerCap(p, j);
+    }
+    for (size_t i = 0; i < n; ++i) pending[placement[i]] += 1;
+    current.assign(n, 0);
+  }
+
+  /// Objective restricted to the already-fixed rates — admissible lower
+  /// bound for both objectives (adding layers never removes a pair).
+  double FixedPairsBound() const {
+    if (p.objective == AllocationProblem::Objective::kMinMaxDiff) {
+      double worst = 0;
+      for (size_t i = 0; i < fixed_rates.size(); ++i) {
+        for (size_t j = i + 1; j < fixed_rates.size(); ++j) {
+          worst = std::max(worst, std::abs(fixed_rates[i] - fixed_rates[j]));
+        }
+      }
+      return worst;
+    }
+    double sum = 0;
+    for (size_t i = 0; i < fixed_rates.size(); ++i) {
+      for (size_t j = i + 1; j < fixed_rates.size(); ++j) {
+        sum += std::abs(fixed_rates[i] - fixed_rates[j]);
+      }
+    }
+    return 2 * sum;
+  }
+
+  void Dfs(size_t depth) {
+    if (aborted) return;
+    if (++nodes > node_limit) {
+      aborted = true;
+      return;
+    }
+    if (depth == order.size()) {
+      const double obj = Evaluate(p, current);
+      if (obj < best_obj) {
+        best_obj = obj;
+        best = current;
+      }
+      return;
+    }
+    if (FixedPairsBound() >= best_obj) return;
+
+    const size_t layer = order[depth];
+    const int server = placement[layer];
+    // Must leave one slot per still-unassigned layer on this server.
+    const int max_threads = remaining[server] - (pending[server] - 1);
+    if (max_threads < 1) return;
+
+    // Try thread counts ordered by closeness to the current fixed-rate
+    // mean (good solutions first tightens pruning).
+    double target_rate = 0;
+    if (!fixed_rates.empty()) {
+      for (double r : fixed_rates) target_rate += r;
+      target_rate /= static_cast<double>(fixed_rates.size());
+    }
+    std::vector<int> candidates(static_cast<size_t>(max_threads));
+    std::iota(candidates.begin(), candidates.end(), 1);
+    if (target_rate > 0) {
+      std::sort(candidates.begin(), candidates.end(), [&](int a, int b) {
+        return std::abs(p.layer_times[layer] / a - target_rate) <
+               std::abs(p.layer_times[layer] / b - target_rate);
+      });
+    }
+    for (int y : candidates) {
+      current[layer] = y;
+      remaining[server] -= y;
+      pending[server] -= 1;
+      fixed_rates.push_back(p.layer_times[layer] / y);
+      Dfs(depth + 1);
+      fixed_rates.pop_back();
+      pending[server] += 1;
+      remaining[server] += y;
+      if (aborted) return;
+    }
+    current[layer] = 0;
+  }
+};
+
+/// Enumerates placements of layers onto same-class servers with symmetry
+/// breaking (identical empty servers are interchangeable), running the
+/// thread search on each complete placement.
+struct PlacementSearch {
+  const AllocationProblem& p;
+  int64_t node_limit;
+  int64_t nodes = 0;
+  bool aborted = false;
+  std::vector<int> placement;
+  std::vector<int> used;
+  Allocation best;
+  double best_obj = std::numeric_limits<double>::infinity();
+
+  PlacementSearch(const AllocationProblem& problem, int64_t limit)
+      : p(problem), node_limit(limit) {
+    placement.assign(p.layer_times.size(), -1);
+    used.assign(p.server_cores.size(), 0);
+  }
+
+  void Dfs(size_t layer) {
+    if (aborted) return;
+    if (++nodes > node_limit) {
+      aborted = true;
+      return;
+    }
+    if (layer == p.layer_times.size()) {
+      ThreadSearch ts(p, placement, node_limit - nodes);
+      ts.Dfs(0);
+      nodes += ts.nodes;
+      if (ts.aborted) aborted = true;
+      if (!ts.best.empty() && ts.best_obj < best_obj) {
+        best_obj = ts.best_obj;
+        best.server_of_layer = placement;
+        best.threads_of_layer = ts.best;
+        best.objective = ts.best_obj;
+      }
+      return;
+    }
+    bool tried_empty = false;
+    for (size_t j = 0; j < p.server_cores.size(); ++j) {
+      if (p.server_class[j] != p.layer_class[layer]) continue;
+      if (used[j] >= ServerCap(p, j)) continue;
+      if (used[j] == 0) {
+        // All empty same-class servers with equal cores are equivalent.
+        if (tried_empty) continue;
+        tried_empty = true;
+      }
+      placement[layer] = static_cast<int>(j);
+      used[j] += 1;
+      Dfs(layer + 1);
+      used[j] -= 1;
+      placement[layer] = -1;
+      if (aborted) return;
+    }
+  }
+};
+
+}  // namespace
+
+Result<Allocation> IlpAllocator::Greedy(const AllocationProblem& problem) {
+  PPS_RETURN_IF_ERROR(Validate(problem));
+  PPS_ASSIGN_OR_RETURN(std::vector<int> placement, PlaceGreedy(problem));
+  Allocation out;
+  out.server_of_layer = placement;
+  out.threads_of_layer = ThreadsGreedy(problem, placement);
+  out.objective = Evaluate(problem, out.threads_of_layer);
+  out.exact = false;
+  return out;
+}
+
+Result<Allocation> IlpAllocator::EvenSplit(const AllocationProblem& problem) {
+  PPS_RETURN_IF_ERROR(Validate(problem));
+  const size_t n = problem.layer_times.size();
+  // Round-robin placement per class.
+  std::vector<int> placement(n, -1);
+  for (int cls : {+1, -1}) {
+    std::vector<size_t> layers, servers;
+    for (size_t i = 0; i < n; ++i) {
+      if (problem.layer_class[i] == cls) layers.push_back(i);
+    }
+    for (size_t j = 0; j < problem.server_cores.size(); ++j) {
+      if (problem.server_class[j] == cls) servers.push_back(j);
+    }
+    if (layers.empty()) continue;
+    std::vector<int> used(problem.server_cores.size(), 0);
+    size_t next = 0;
+    for (size_t idx : layers) {
+      // Round-robin, skipping full servers.
+      for (size_t attempts = 0; attempts < servers.size(); ++attempts) {
+        size_t j = servers[next % servers.size()];
+        ++next;
+        if (used[j] < ServerCap(problem, j)) {
+          placement[idx] = static_cast<int>(j);
+          used[j] += 1;
+          break;
+        }
+      }
+      if (placement[idx] < 0) {
+        return Status::Infeasible("even split cannot place all layers");
+      }
+    }
+  }
+  // Even thread split per server.
+  Allocation out;
+  out.server_of_layer = placement;
+  out.threads_of_layer.assign(n, 1);
+  for (size_t j = 0; j < problem.server_cores.size(); ++j) {
+    std::vector<size_t> members;
+    for (size_t i = 0; i < n; ++i) {
+      if (placement[i] == static_cast<int>(j)) members.push_back(i);
+    }
+    if (members.empty()) continue;
+    const int cap = ServerCap(problem, j);
+    const int base = cap / static_cast<int>(members.size());
+    int extra = cap % static_cast<int>(members.size());
+    for (size_t idx : members) {
+      out.threads_of_layer[idx] = std::max(1, base + (extra-- > 0 ? 1 : 0));
+    }
+  }
+  out.objective = Evaluate(problem, out.threads_of_layer);
+  out.exact = false;
+  return out;
+}
+
+Result<Allocation> IlpAllocator::Solve(const AllocationProblem& problem,
+                                       int64_t node_limit) {
+  PPS_RETURN_IF_ERROR(Validate(problem));
+  // Warm start with greedy so an aborted search still returns something
+  // no worse.
+  PPS_ASSIGN_OR_RETURN(Allocation greedy, Greedy(problem));
+
+  PlacementSearch search(problem, node_limit);
+  search.best_obj = greedy.objective + 1e-12;
+  search.Dfs(0);
+
+  if (search.best.server_of_layer.empty()) {
+    greedy.exact = false;
+    return greedy;
+  }
+  Allocation out = search.best;
+  out.exact = !search.aborted;
+  if (greedy.objective < out.objective) {
+    out = greedy;
+    out.exact = false;
+  }
+  return out;
+}
+
+}  // namespace ppstream

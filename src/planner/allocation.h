@@ -1,0 +1,78 @@
+// Load-balanced resource allocation (paper Section IV-C, Eq. 4-8).
+//
+// Given per-primitive-layer execution times T_i (from offline profiling),
+// assign each layer to a server (x_{i,j}) and give it y_i threads so that
+// per-thread times T_i / y_i are balanced:
+//
+//   min  sum_{i,i'} | T_i/y_i - T_{i'}/y_{i'} |                      (4)
+//   s.t. each layer on exactly one server                            (5)
+//        a server hosts only linear or only non-linear layers        (6)
+//        y_i >= 1                                                    (7)
+//        threads per server <= 2 * cores (hyper-threading)           (8)
+//
+// Solved exactly by branch-and-bound: an outer search over server
+// assignments (with symmetry breaking across identical servers) and an
+// inner search over thread counts, pruned by the admissible bound that
+// pairwise terms among already-fixed layers never decrease. Falls back to
+// a greedy + local-search heuristic when the node budget is exhausted.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/status.h"
+
+namespace ppstream {
+
+/// +1 for a linear primitive layer (model provider), -1 for non-linear
+/// (data provider) — the I_i indicator of the paper.
+struct AllocationProblem {
+  std::vector<double> layer_times;   // T_i, seconds
+  std::vector<int> layer_class;     // I_i in {+1, -1}
+  std::vector<int> server_cores;    // c_j
+  std::vector<int> server_class;    // which side each server belongs to
+  bool hyper_threading = true;       // cap = 2*c_j if true else c_j
+
+  /// Eq. (4) minimizes the sum of pairwise |T_i/y_i - T_j/y_j|; the paper
+  /// notes that "other objective functions (e.g., minimizing the maximum
+  /// difference of execution times of a pair of primitive layers) are
+  /// also applicable" — kMinMaxDiff implements that alternative.
+  enum class Objective { kSumPairwiseDiff, kMinMaxDiff };
+  Objective objective = Objective::kSumPairwiseDiff;
+};
+
+struct Allocation {
+  std::vector<int> server_of_layer;   // x: index into servers
+  std::vector<int> threads_of_layer;  // y
+  double objective = 0;               // Eq. (4) value
+  bool exact = false;                 // true if branch-and-bound completed
+};
+
+/// Eq. (4) for a given thread vector.
+double AllocationObjective(const std::vector<double>& times,
+                           const std::vector<int>& threads);
+
+/// The alternative objective: max_{i,j} |T_i/y_i - T_j/y_j|.
+double MaxPairwiseDiffObjective(const std::vector<double>& times,
+                                const std::vector<int>& threads);
+
+class IlpAllocator {
+ public:
+  /// Branch-and-bound; exact when the search completes within
+  /// `node_limit` nodes, otherwise returns the best solution found
+  /// (seeded by the greedy heuristic, so never worse than it).
+  static Result<Allocation> Solve(const AllocationProblem& problem,
+                                  int64_t node_limit = 2'000'000);
+
+  /// The Exp#3 baseline: spread threads evenly over layers (each server's
+  /// capacity divided evenly among the layers placed on it, placement by
+  /// round-robin).
+  static Result<Allocation> EvenSplit(const AllocationProblem& problem);
+
+  /// Greedy warm start: longest-processing-time placement, then repeatedly
+  /// give a thread to the layer with the largest per-thread time.
+  static Result<Allocation> Greedy(const AllocationProblem& problem);
+};
+
+}  // namespace ppstream

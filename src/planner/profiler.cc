@@ -1,0 +1,109 @@
+#include "planner/profiler.h"
+
+#include "stream/message.h"
+#include "util/logging.h"
+#include "util/timer.h"
+
+namespace ppstream {
+
+Result<PlanProfile> ProfilePlan(ModelProvider& mp, DataProvider& dp,
+                                const std::vector<DoubleTensor>& probes) {
+  if (probes.empty()) {
+    return Status::InvalidArgument("profiling needs at least one probe");
+  }
+  const InferencePlan& plan = mp.plan();
+  const size_t rounds = plan.NumRounds();
+  const size_t stages = 2 * rounds + 1;
+
+  PlanProfile profile;
+  profile.stage_names.resize(stages);
+  profile.stage_seconds.assign(stages, 0);
+  profile.stage_class.assign(stages, -1);
+  profile.stage_bytes_out.assign(stages, 0);
+
+  profile.stage_names[0] = "dp-encrypt";
+  profile.stage_class[0] = -1;
+  for (size_t r = 0; r < rounds; ++r) {
+    profile.stage_names[2 * r + 1] =
+        internal::StrCat("mp-linear-", r, " [", plan.linear_stages[r].name,
+                         "]");
+    profile.stage_class[2 * r + 1] = +1;
+    profile.stage_names[2 * r + 2] =
+        r + 1 < rounds
+            ? internal::StrCat("dp-nonlinear-", r, " [",
+                               plan.nonlinear_segments[r].name, "]")
+            : internal::StrCat("dp-final [",
+                               plan.nonlinear_segments[r].name, "]");
+    profile.stage_class[2 * r + 2] = -1;
+  }
+
+  uint64_t request_id = 0xD0D0'0000;
+  for (const DoubleTensor& probe : probes) {
+    WallTimer timer;
+    PPS_ASSIGN_OR_RETURN(std::vector<Ciphertext> wire,
+                         dp.EncryptInput(probe));
+    profile.stage_seconds[0] += timer.ElapsedSeconds();
+    profile.stage_bytes_out[0] += SerializeCiphertexts(wire).size();
+
+    for (size_t r = 0; r < rounds; ++r) {
+      timer.Restart();
+      PPS_ASSIGN_OR_RETURN(wire, mp.ProcessRound(request_id, r, wire));
+      profile.stage_seconds[2 * r + 1] += timer.ElapsedSeconds();
+      profile.stage_bytes_out[2 * r + 1] += SerializeCiphertexts(wire).size();
+
+      timer.Restart();
+      if (r + 1 < rounds) {
+        PPS_ASSIGN_OR_RETURN(wire, dp.ProcessIntermediate(r, wire));
+        profile.stage_seconds[2 * r + 2] += timer.ElapsedSeconds();
+        profile.stage_bytes_out[2 * r + 2] +=
+            SerializeCiphertexts(wire).size();
+      } else {
+        PPS_ASSIGN_OR_RETURN(DoubleTensor result, dp.ProcessFinal(wire));
+        profile.stage_seconds[2 * r + 2] += timer.ElapsedSeconds();
+        profile.stage_bytes_out[2 * r + 2] +=
+            SerializeDoubleTensor(result).size();
+      }
+    }
+    ++request_id;
+  }
+
+  const double n = static_cast<double>(probes.size());
+  for (size_t s = 0; s < stages; ++s) {
+    profile.stage_seconds[s] /= n;
+    profile.stage_bytes_out[s] =
+        static_cast<uint64_t>(profile.stage_bytes_out[s] / probes.size());
+    // Zero-cost stages break the allocator's strictly-positive assumption.
+    if (profile.stage_seconds[s] <= 0) profile.stage_seconds[s] = 1e-9;
+  }
+  return profile;
+}
+
+AllocationProblem BuildAllocationProblem(const PlanProfile& profile,
+                                         int model_servers, int data_servers,
+                                         int cores_per_server,
+                                         bool hyper_threading) {
+  AllocationProblem problem;
+  problem.layer_times = profile.stage_seconds;
+  problem.layer_class = profile.stage_class;
+  problem.hyper_threading = hyper_threading;
+  for (int j = 0; j < model_servers; ++j) {
+    problem.server_cores.push_back(cores_per_server);
+    problem.server_class.push_back(+1);
+  }
+  for (int j = 0; j < data_servers; ++j) {
+    problem.server_cores.push_back(cores_per_server);
+    problem.server_class.push_back(-1);
+  }
+  return problem;
+}
+
+std::vector<size_t> StageThreadsFromAllocation(const Allocation& allocation) {
+  std::vector<size_t> threads;
+  threads.reserve(allocation.threads_of_layer.size());
+  for (int y : allocation.threads_of_layer) {
+    threads.push_back(static_cast<size_t>(std::max(1, y)));
+  }
+  return threads;
+}
+
+}  // namespace ppstream

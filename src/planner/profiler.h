@@ -1,0 +1,42 @@
+// Offline profiling (paper Section IV-C): measure each primitive layer's
+// execution time T_i by running probe inputs through the protocol, then
+// build the ILP instance for the allocator.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/protocol.h"
+#include "planner/allocation.h"
+#include "util/status.h"
+
+namespace ppstream {
+
+/// Measured cost profile of a compiled plan's pipeline stages
+/// (2R+1 stages: dp-encrypt, then alternating mp-linear / dp-nonlinear).
+struct PlanProfile {
+  std::vector<std::string> stage_names;
+  std::vector<double> stage_seconds;     // T_i, single-thread
+  std::vector<int> stage_class;          // +1 model provider, -1 data
+  std::vector<uint64_t> stage_bytes_out; // serialized output per request
+};
+
+/// Times each stage over the probe inputs (the paper uses 100 random
+/// training samples; any non-empty set works) and averages.
+Result<PlanProfile> ProfilePlan(ModelProvider& mp, DataProvider& dp,
+                                const std::vector<DoubleTensor>& probes);
+
+/// Builds the Eq. 4-8 instance from a profile and a homogeneous testbed:
+/// `model_servers` / `data_servers` machines with `cores_per_server`
+/// physical cores each (Table III's server split).
+AllocationProblem BuildAllocationProblem(const PlanProfile& profile,
+                                         int model_servers, int data_servers,
+                                         int cores_per_server,
+                                         bool hyper_threading = true);
+
+/// Converts a solved allocation back into the engine's per-stage thread
+/// vector (clamped to at least 1 thread per stage).
+std::vector<size_t> StageThreadsFromAllocation(const Allocation& allocation);
+
+}  // namespace ppstream

@@ -1,0 +1,34 @@
+#include "sim/bridge.h"
+
+#include "util/logging.h"
+
+namespace ppstream {
+
+std::vector<SimStageSpec> BuildSimStages(const PlanProfile& profile,
+                                         const Allocation& allocation,
+                                         double parallel_fraction) {
+  PPS_CHECK_EQ(profile.stage_seconds.size(),
+               allocation.threads_of_layer.size());
+  std::vector<SimStageSpec> stages(profile.stage_seconds.size());
+  for (size_t i = 0; i < stages.size(); ++i) {
+    stages[i].single_thread_seconds = profile.stage_seconds[i];
+    stages[i].threads = allocation.threads_of_layer[i];
+    stages[i].server = allocation.server_of_layer[i];
+    stages[i].bytes_out = profile.stage_bytes_out[i];
+    stages[i].parallel_fraction = parallel_fraction;
+  }
+  return stages;
+}
+
+std::vector<SimStageSpec> BuildCentralizedStages(const PlanProfile& profile) {
+  std::vector<SimStageSpec> stages(profile.stage_seconds.size());
+  for (size_t i = 0; i < stages.size(); ++i) {
+    stages[i].single_thread_seconds = profile.stage_seconds[i];
+    stages[i].threads = 1;
+    stages[i].server = 0;
+    stages[i].bytes_out = profile.stage_bytes_out[i];
+  }
+  return stages;
+}
+
+}  // namespace ppstream

@@ -1,0 +1,23 @@
+// Glue from measured profiles + solved allocations to simulator inputs.
+
+#pragma once
+
+#include <vector>
+
+#include "planner/allocation.h"
+#include "planner/profiler.h"
+#include "sim/cluster_sim.h"
+
+namespace ppstream {
+
+/// Builds simulator stages from a measured profile and a placement/thread
+/// allocation (one entry per pipeline stage, aligned by index).
+std::vector<SimStageSpec> BuildSimStages(const PlanProfile& profile,
+                                         const Allocation& allocation,
+                                         double parallel_fraction = 0.97);
+
+/// Centralized single-thread variant of the same profile (for the
+/// CipherBase baseline).
+std::vector<SimStageSpec> BuildCentralizedStages(const PlanProfile& profile);
+
+}  // namespace ppstream

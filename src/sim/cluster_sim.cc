@@ -1,0 +1,122 @@
+#include "sim/cluster_sim.h"
+
+#include <algorithm>
+
+namespace ppstream {
+
+double SimStageSpec::ServiceSeconds() const {
+  const int y = std::max(1, threads);
+  const double f = std::clamp(parallel_fraction, 0.0, 1.0);
+  return single_thread_seconds * ((1.0 - f) + f / static_cast<double>(y)) +
+         fixed_overhead_seconds;
+}
+
+double SimNetwork::TransferSeconds(uint64_t bytes) const {
+  if (bandwidth_gbps <= 0) return latency_seconds;
+  return latency_seconds +
+         static_cast<double>(bytes) * 8.0 / (bandwidth_gbps * 1e9);
+}
+
+Result<SimReport> SimulatePipeline(const std::vector<SimStageSpec>& stages,
+                                   const SimNetwork& network,
+                                   const SimWorkload& workload) {
+  if (stages.empty()) return Status::InvalidArgument("no stages");
+  if (workload.num_requests == 0) {
+    return Status::InvalidArgument("no requests");
+  }
+  const size_t s = stages.size();
+  const size_t n = workload.num_requests;
+
+  std::vector<double> service(s), transfer(s, 0);
+  for (size_t i = 0; i < s; ++i) {
+    service[i] = stages[i].ServiceSeconds();
+    if (i + 1 < s && stages[i].server != stages[i + 1].server) {
+      transfer[i] = network.TransferSeconds(stages[i].bytes_out);
+    }
+  }
+
+  SimReport report;
+  report.stage_busy_seconds.assign(s, 0);
+  std::vector<double> prev_done(s, 0);  // done(i, r-1)
+  double latency_sum = 0;
+
+  for (size_t r = 0; r < n; ++r) {
+    const double arrival =
+        workload.interarrival_seconds * static_cast<double>(r);
+    double upstream_done = arrival;
+    for (size_t i = 0; i < s; ++i) {
+      const double ready =
+          i == 0 ? arrival : upstream_done + transfer[i - 1];
+      const double start = std::max(ready, prev_done[i]);
+      const double done = start + service[i];
+      report.stage_busy_seconds[i] += service[i];
+      prev_done[i] = done;
+      upstream_done = done;
+    }
+    const double latency = prev_done[s - 1] - arrival;
+    latency_sum += latency;
+    report.max_latency_seconds =
+        std::max(report.max_latency_seconds, latency);
+  }
+  report.avg_latency_seconds = latency_sum / static_cast<double>(n);
+  report.makespan_seconds = prev_done[s - 1];
+  report.throughput_rps =
+      static_cast<double>(n) / std::max(report.makespan_seconds, 1e-12);
+  return report;
+}
+
+Result<SimReport> SimulateStablePipeline(
+    const std::vector<SimStageSpec>& stages, const SimNetwork& network,
+    size_t num_requests, double headroom) {
+  if (stages.empty()) return Status::InvalidArgument("no stages");
+  double bottleneck = 0;
+  for (size_t i = 0; i < stages.size(); ++i) {
+    double cost = stages[i].ServiceSeconds();
+    if (i + 1 < stages.size() && stages[i].server != stages[i + 1].server) {
+      cost += network.TransferSeconds(stages[i].bytes_out);
+    }
+    bottleneck = std::max(bottleneck, cost);
+  }
+  SimWorkload workload;
+  workload.num_requests = num_requests;
+  workload.interarrival_seconds = headroom * bottleneck;
+  return SimulatePipeline(stages, network, workload);
+}
+
+Result<SimReport> SimulateCentralized(const std::vector<SimStageSpec>& stages,
+                                      const SimWorkload& workload) {
+  if (stages.empty()) return Status::InvalidArgument("no stages");
+  if (workload.num_requests == 0) {
+    return Status::InvalidArgument("no requests");
+  }
+  double per_request = 0;
+  for (const SimStageSpec& stage : stages) {
+    per_request += stage.ServiceSeconds();
+  }
+  SimReport report;
+  report.stage_busy_seconds.assign(stages.size(), 0);
+  double clock = 0;
+  double latency_sum = 0;
+  for (size_t r = 0; r < workload.num_requests; ++r) {
+    const double arrival =
+        workload.interarrival_seconds * static_cast<double>(r);
+    const double start = std::max(clock, arrival);
+    clock = start + per_request;
+    const double latency = clock - arrival;
+    latency_sum += latency;
+    report.max_latency_seconds =
+        std::max(report.max_latency_seconds, latency);
+    for (size_t i = 0; i < stages.size(); ++i) {
+      report.stage_busy_seconds[i] += stages[i].ServiceSeconds();
+    }
+  }
+  report.avg_latency_seconds =
+      latency_sum / static_cast<double>(workload.num_requests);
+  report.makespan_seconds = clock;
+  report.throughput_rps =
+      static_cast<double>(workload.num_requests) /
+      std::max(report.makespan_seconds, 1e-12);
+  return report;
+}
+
+}  // namespace ppstream

@@ -1,0 +1,84 @@
+// Calibrated cluster simulator — the stand-in for the paper's 9-server
+// testbed (Intel Xeon E5-2630 x9, 10 GbE).
+//
+// The scaling experiments (Exp#2-4) need 25-50 cores across machines; this
+// sandbox has one. The simulator replays the pipeline mechanics exactly —
+// FIFO stages, per-stage service times, inter-server transfers, queueing —
+// using service-time constants measured on this host by the profiler
+// (planner/profiler.h). Intra-stage speedup follows Amdahl's law, which
+// yields the paper's observed diminishing returns when adding cores.
+//
+// A linear pipeline with single-FIFO stages admits an exact recurrence
+// (no event queue needed):
+//   ready(i, r) = done(i-1, r) + transfer(i-1)     [arrival for i = 0]
+//   start(i, r) = max(ready(i, r), done(i, r-1))
+//   done(i, r)  = start(i, r) + service(i)
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/status.h"
+
+namespace ppstream {
+
+/// One simulated pipeline stage.
+struct SimStageSpec {
+  double single_thread_seconds = 0;  // measured T_i
+  int threads = 1;                   // allocated y_i
+  int server = 0;                    // placement (x)
+  uint64_t bytes_out = 0;            // message size toward the next stage
+  /// Amdahl parallel fraction of the stage's work.
+  double parallel_fraction = 0.97;
+  /// Serial overhead added after the Amdahl split — e.g. intra-stage
+  /// distribution of per-thread messages, which does not parallelize.
+  double fixed_overhead_seconds = 0;
+
+  /// Effective service time with `threads` workers.
+  double ServiceSeconds() const;
+};
+
+struct SimNetwork {
+  double bandwidth_gbps = 10.0;      // paper testbed: Intel 82599ES 10 GbE
+  double latency_seconds = 50e-6;
+  /// Transfer time for a message of `bytes` between distinct servers.
+  double TransferSeconds(uint64_t bytes) const;
+};
+
+struct SimWorkload {
+  size_t num_requests = 20;
+  /// 0 = all requests available at t=0 (a saturated stream).
+  double interarrival_seconds = 0;
+};
+
+struct SimReport {
+  double avg_latency_seconds = 0;
+  double max_latency_seconds = 0;
+  double makespan_seconds = 0;
+  double throughput_rps = 0;
+  /// Busy time per stage (utilization diagnostics).
+  std::vector<double> stage_busy_seconds;
+};
+
+/// Pipelined execution: stages run concurrently, each FIFO over requests.
+Result<SimReport> SimulatePipeline(const std::vector<SimStageSpec>& stages,
+                                   const SimNetwork& network,
+                                   const SimWorkload& workload);
+
+/// Pipelined execution under a *sustainable* stream: the interarrival time
+/// is set to `headroom` times the pipeline's bottleneck (slowest stage
+/// service + its transfer), so queues stay bounded and the reported
+/// latency is the steady-state per-request latency — the quantity the
+/// paper's latency figures report.
+Result<SimReport> SimulateStablePipeline(
+    const std::vector<SimStageSpec>& stages, const SimNetwork& network,
+    size_t num_requests, double headroom = 1.05);
+
+/// Centralized execution (the CipherBase/PlainBase baselines): one server
+/// processes each request through all stages before starting the next;
+/// no pipeline parallelism, no transfers.
+Result<SimReport> SimulateCentralized(const std::vector<SimStageSpec>& stages,
+                                      const SimWorkload& workload);
+
+}  // namespace ppstream

@@ -1,0 +1,96 @@
+#include "stats/dcor.h"
+
+#include <cmath>
+
+namespace ppstream {
+
+namespace {
+
+/// Row means, grand mean of the distance matrix a_jk = |v_j - v_k|,
+/// computed without materializing the matrix.
+void DistanceMoments(const std::vector<double>& v,
+                     std::vector<double>* row_means, double* grand_mean) {
+  const size_t n = v.size();
+  row_means->assign(n, 0);
+  double total = 0;
+  for (size_t j = 0; j < n; ++j) {
+    double sum = 0;
+    for (size_t k = 0; k < n; ++k) {
+      sum += std::abs(v[j] - v[k]);
+    }
+    (*row_means)[j] = sum / static_cast<double>(n);
+    total += sum;
+  }
+  *grand_mean = total / static_cast<double>(n * n);
+}
+
+}  // namespace
+
+Result<double> DistanceCorrelation(const std::vector<double>& x,
+                                   const std::vector<double>& y) {
+  if (x.size() != y.size()) {
+    return Status::InvalidArgument("dCor needs equal-length samples");
+  }
+  if (x.size() < 2) {
+    return Status::InvalidArgument("dCor needs at least 2 samples");
+  }
+  const size_t n = x.size();
+  std::vector<double> ax, ay;
+  double gx = 0, gy = 0;
+  DistanceMoments(x, &ax, &gx);
+  DistanceMoments(y, &ay, &gy);
+
+  double cov = 0, var_x = 0, var_y = 0;
+  for (size_t j = 0; j < n; ++j) {
+    for (size_t k = 0; k < n; ++k) {
+      const double a = std::abs(x[j] - x[k]) - ax[j] - ax[k] + gx;
+      const double b = std::abs(y[j] - y[k]) - ay[j] - ay[k] + gy;
+      cov += a * b;
+      var_x += a * a;
+      var_y += b * b;
+    }
+  }
+  const double denom = std::sqrt(var_x * var_y);
+  if (denom <= 0) return 0.0;  // a constant sequence is independent of all
+  const double dcor2 = cov / denom;
+  return dcor2 > 0 ? std::sqrt(dcor2) : 0.0;
+}
+
+Result<double> BinaryConfusionAccuracy(const std::vector<int64_t>& predicted,
+                                       const std::vector<int64_t>& actual) {
+  if (predicted.size() != actual.size() || predicted.empty()) {
+    return Status::InvalidArgument("mismatched or empty label vectors");
+  }
+  int64_t tp = 0, tn = 0, fp = 0, fn = 0;
+  for (size_t i = 0; i < predicted.size(); ++i) {
+    if (predicted[i] != 0 && predicted[i] != 1) {
+      return Status::InvalidArgument("labels must be binary");
+    }
+    if (actual[i] != 0 && actual[i] != 1) {
+      return Status::InvalidArgument("labels must be binary");
+    }
+    if (predicted[i] == 1 && actual[i] == 1) ++tp;
+    if (predicted[i] == 0 && actual[i] == 0) ++tn;
+    if (predicted[i] == 1 && actual[i] == 0) ++fp;
+    if (predicted[i] == 0 && actual[i] == 1) ++fn;
+  }
+  return static_cast<double>(tp + tn) /
+         static_cast<double>(tp + tn + fp + fn);
+}
+
+double Mean(const std::vector<double>& v) {
+  if (v.empty()) return 0;
+  double sum = 0;
+  for (double x : v) sum += x;
+  return sum / static_cast<double>(v.size());
+}
+
+double StdDev(const std::vector<double>& v) {
+  if (v.size() < 2) return 0;
+  const double m = Mean(v);
+  double sum = 0;
+  for (double x : v) sum += (x - m) * (x - m);
+  return std::sqrt(sum / static_cast<double>(v.size()));
+}
+
+}  // namespace ppstream

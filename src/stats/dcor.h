@@ -1,0 +1,29 @@
+// Distance correlation (Székely, Rizzo & Bakirov 2007) — the paper's
+// information-leakage metric (Exp#5, Table VI). dCor is 1 for identical
+// sequences and near 0 for independent ones; the paper measures it between
+// a tensor before and after obfuscation.
+
+#pragma once
+
+#include <vector>
+
+#include "util/status.h"
+
+namespace ppstream {
+
+/// Distance correlation between paired scalar samples x and y.
+/// O(n^2) time, O(n) memory. Requires n >= 2 and equal sizes.
+Result<double> DistanceCorrelation(const std::vector<double>& x,
+                                   const std::vector<double>& y);
+
+/// Confusion-matrix accuracy (TP+TN)/(TP+TN+FP+FN) for binary labels —
+/// the paper's accuracy definition (Section IV-A).
+Result<double> BinaryConfusionAccuracy(const std::vector<int64_t>& predicted,
+                                       const std::vector<int64_t>& actual);
+
+/// Mean of a sample.
+double Mean(const std::vector<double>& v);
+/// Population standard deviation.
+double StdDev(const std::vector<double>& v);
+
+}  // namespace ppstream

@@ -1,0 +1,69 @@
+// Bounded blocking MPMC channel connecting pipeline stages.
+
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+
+#include "util/logging.h"
+
+namespace ppstream {
+
+/// Blocking bounded queue. Send blocks while full; Recv blocks while empty
+/// and returns nullopt once the channel is closed and drained. This is the
+/// backpressure mechanism between pipeline stages.
+template <typename T>
+class Channel {
+ public:
+  explicit Channel(size_t capacity) : capacity_(capacity) {
+    PPS_CHECK_GT(capacity, 0u);
+  }
+
+  /// Returns false if the channel was closed (the item is dropped).
+  bool Send(T item) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    send_cv_.wait(lock,
+                  [this] { return closed_ || queue_.size() < capacity_; });
+    if (closed_) return false;
+    queue_.push_back(std::move(item));
+    recv_cv_.notify_one();
+    return true;
+  }
+
+  /// Blocks until an item is available or the channel is closed and empty.
+  std::optional<T> Recv() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    recv_cv_.wait(lock, [this] { return closed_ || !queue_.empty(); });
+    if (queue_.empty()) return std::nullopt;
+    T item = std::move(queue_.front());
+    queue_.pop_front();
+    send_cv_.notify_one();
+    return item;
+  }
+
+  /// Idempotent. Wakes all blocked senders and receivers.
+  void Close() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      closed_ = true;
+    }
+    send_cv_.notify_all();
+    recv_cv_.notify_all();
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return queue_.size();
+  }
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mutex_;
+  std::condition_variable send_cv_, recv_cv_;
+  std::deque<T> queue_;
+  bool closed_ = false;
+};
+
+}  // namespace ppstream

@@ -1,0 +1,136 @@
+#include "stream/engine.h"
+
+#include "util/logging.h"
+
+namespace ppstream {
+
+size_t NumPipelineStages(const InferencePlan& plan) {
+  return 2 * plan.NumRounds() + 1;
+}
+
+PpStreamEngine::PpStreamEngine(std::shared_ptr<ModelProvider> mp,
+                               std::shared_ptr<DataProvider> dp,
+                               EngineConfig config)
+    : mp_(std::move(mp)),
+      dp_(std::move(dp)),
+      config_(std::move(config)),
+      pipeline_(config_.channel_capacity) {
+  PPS_CHECK(mp_ != nullptr && dp_ != nullptr);
+}
+
+Status PpStreamEngine::Start() {
+  if (started_) return Status::FailedPrecondition("engine already started");
+  const InferencePlan& plan = mp_->plan();
+  const size_t num_stages = NumPipelineStages(plan);
+  std::vector<size_t> threads = config_.stage_threads;
+  if (threads.empty()) threads.assign(num_stages, 1);
+  if (threads.size() != num_stages) {
+    return Status::InvalidArgument(internal::StrCat(
+        "stage_threads has ", threads.size(), " entries; plan needs ",
+        num_stages));
+  }
+
+  const size_t rounds = plan.NumRounds();
+  auto mp = mp_;
+  auto dp = dp_;
+  const bool partition = config_.tensor_partitioning;
+
+  // Stage 0: data provider encrypts the raw input.
+  const int retries = config_.max_retries;
+  pipeline_.AddStage(std::make_unique<Stage>(
+      "dp-encrypt", threads[0],
+      [dp](StreamMessage msg, ThreadPool& pool) -> Result<StreamMessage> {
+        PPS_ASSIGN_OR_RETURN(DoubleTensor input,
+                             DeserializeDoubleTensor(msg.payload));
+        PPS_ASSIGN_OR_RETURN(std::vector<Ciphertext> enc,
+                             dp->EncryptInputParallel(input, &pool));
+        msg.payload = SerializeCiphertexts(enc);
+        return msg;
+      },
+      retries));
+
+  for (size_t r = 0; r < rounds; ++r) {
+    // Model-provider stage for round r.
+    pipeline_.AddStage(std::make_unique<Stage>(
+        internal::StrCat("mp-linear-", r), threads[2 * r + 1],
+        [mp, r, rounds, partition](StreamMessage msg, ThreadPool& pool)
+            -> Result<StreamMessage> {
+          PPS_ASSIGN_OR_RETURN(std::vector<Ciphertext> tensor,
+                               DeserializeCiphertexts(msg.payload));
+          if (r > 0) {
+            PPS_ASSIGN_OR_RETURN(
+                tensor,
+                mp->InverseObfuscate(msg.request_id, r, std::move(tensor)));
+          }
+          PPS_ASSIGN_OR_RETURN(
+              tensor, mp->ApplyLinearStage(r, tensor, &pool, partition));
+          if (r + 1 < rounds) {
+            PPS_ASSIGN_OR_RETURN(
+                tensor, mp->Obfuscate(msg.request_id, r, std::move(tensor)));
+          }
+          msg.payload = SerializeCiphertexts(tensor);
+          return msg;
+        },
+        retries));
+
+    // Data-provider stage for round r.
+    if (r + 1 < rounds) {
+      pipeline_.AddStage(std::make_unique<Stage>(
+          internal::StrCat("dp-nonlinear-", r), threads[2 * r + 2],
+          [dp, r](StreamMessage msg, ThreadPool& pool)
+              -> Result<StreamMessage> {
+            PPS_ASSIGN_OR_RETURN(std::vector<Ciphertext> tensor,
+                                 DeserializeCiphertexts(msg.payload));
+            PPS_ASSIGN_OR_RETURN(
+                tensor,
+                dp->ProcessIntermediate(r, tensor, nullptr, &pool));
+            msg.payload = SerializeCiphertexts(tensor);
+            return msg;
+          },
+          retries));
+    } else {
+      pipeline_.AddStage(std::make_unique<Stage>(
+          "dp-final", threads[2 * r + 2],
+          [dp, mp](StreamMessage msg, ThreadPool& pool)
+              -> Result<StreamMessage> {
+            PPS_ASSIGN_OR_RETURN(std::vector<Ciphertext> tensor,
+                                 DeserializeCiphertexts(msg.payload));
+            PPS_ASSIGN_OR_RETURN(DoubleTensor result,
+                                 dp->ProcessFinal(tensor, &pool));
+            // Completion ACK: the model provider may drop this request's
+            // obfuscation state.
+            mp->ReleaseRequestState(msg.request_id);
+            msg.payload = SerializeDoubleTensor(result);
+            return msg;
+          },
+          retries));
+    }
+  }
+
+  PPS_RETURN_IF_ERROR(pipeline_.Start());
+  started_ = true;
+  return Status::OK();
+}
+
+Status PpStreamEngine::Submit(uint64_t request_id,
+                              const DoubleTensor& input) {
+  StreamMessage msg;
+  msg.request_id = request_id;
+  msg.payload = SerializeDoubleTensor(input);
+  return pipeline_.Feed(std::move(msg));
+}
+
+Result<InferenceResult> PpStreamEngine::NextResult() {
+  std::optional<StreamMessage> msg = pipeline_.NextResult();
+  if (!msg.has_value()) {
+    return Status::FailedPrecondition("pipeline drained");
+  }
+  InferenceResult result;
+  result.request_id = msg->request_id;
+  PPS_ASSIGN_OR_RETURN(result.output, DeserializeDoubleTensor(msg->payload));
+  return result;
+}
+
+void PpStreamEngine::Shutdown() { pipeline_.Shutdown(); }
+
+}  // namespace ppstream

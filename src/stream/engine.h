@@ -1,0 +1,72 @@
+// PP-Stream engine: maps the collaborative protocol (Figure 3) onto the
+// pipelined stage runtime (Figure 4).
+//
+// Stage layout for a plan with R rounds (2R+1 stages):
+//   stage 0:        data provider   — quantize + encrypt the raw input
+//   stage 2r+1:     model provider  — inverse obfuscation (r>0), linear
+//                                     stage r under Paillier with tensor
+//                                     partitioning, obfuscation (r<R-1)
+//   stage 2r+2:     data provider   — decrypt, non-linear segment r,
+//                                     re-encrypt (intermediate) or emit
+//                                     the inference result (final)
+//
+// Each stage owns y_i threads for intra-stage tensor parallelism; requests
+// stream through the stages, giving pipeline parallelism across requests.
+
+#pragma once
+
+#include <memory>
+
+#include "core/protocol.h"
+#include "stream/pipeline.h"
+
+namespace ppstream {
+
+struct EngineConfig {
+  /// Threads per pipeline stage. Size must be NumPipelineStages(plan) or
+  /// empty (one thread per stage). This is the planner's y_i assignment.
+  std::vector<size_t> stage_threads;
+  /// Enables input tensor partitioning in linear stages (§IV-D).
+  bool tensor_partitioning = true;
+  size_t channel_capacity = 4;
+  /// Per-stage transient-failure retries (AF-Stream-style re-execution).
+  int max_retries = 1;
+};
+
+/// 2 * NumRounds + 1 (see stage layout above).
+size_t NumPipelineStages(const InferencePlan& plan);
+
+/// A completed inference.
+struct InferenceResult {
+  uint64_t request_id = 0;
+  DoubleTensor output;
+};
+
+class PpStreamEngine {
+ public:
+  PpStreamEngine(std::shared_ptr<ModelProvider> mp,
+                 std::shared_ptr<DataProvider> dp, EngineConfig config);
+
+  Status Start();
+
+  /// Feeds one inference request (blocks under backpressure).
+  Status Submit(uint64_t request_id, const DoubleTensor& input);
+
+  /// Blocks for the next completed inference; error after Shutdown() when
+  /// the pipeline has drained.
+  Result<InferenceResult> NextResult();
+
+  /// Closes the input and drains in-flight requests; safe to call once.
+  void Shutdown();
+
+  const Pipeline& pipeline() const { return pipeline_; }
+
+ private:
+  std::shared_ptr<ModelProvider> mp_;
+  std::shared_ptr<DataProvider> dp_;
+  EngineConfig config_;
+  Pipeline pipeline_;
+  bool started_ = false;
+};
+
+}  // namespace ppstream

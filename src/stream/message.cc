@@ -1,0 +1,66 @@
+#include "stream/message.h"
+
+namespace ppstream {
+
+std::vector<uint8_t> SerializeCiphertexts(const std::vector<Ciphertext>& v) {
+  BufferWriter writer;
+  writer.WriteU64(v.size());
+  std::vector<uint8_t> scratch;
+  for (const Ciphertext& c : v) {
+    scratch.clear();
+    c.Serialize(&scratch);
+    writer.WriteBytes(scratch);
+  }
+  return writer.TakeBytes();
+}
+
+Result<std::vector<Ciphertext>> DeserializeCiphertexts(
+    const std::vector<uint8_t>& bytes) {
+  BufferReader reader(bytes);
+  PPS_ASSIGN_OR_RETURN(uint64_t count, reader.ReadU64());
+  if (count > (1ULL << 28)) {
+    return Status::OutOfRange("implausible ciphertext count");
+  }
+  std::vector<Ciphertext> out;
+  out.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    PPS_ASSIGN_OR_RETURN(std::vector<uint8_t> blob, reader.ReadBytes());
+    size_t consumed = 0;
+    PPS_ASSIGN_OR_RETURN(
+        Ciphertext c,
+        Ciphertext::Deserialize(blob.data(), blob.size(), &consumed));
+    if (consumed != blob.size()) {
+      return Status::OutOfRange("trailing bytes in ciphertext blob");
+    }
+    out.push_back(std::move(c));
+  }
+  return out;
+}
+
+std::vector<uint8_t> SerializeDoubleTensor(const DoubleTensor& t) {
+  BufferWriter writer;
+  writer.WriteU64(t.shape().rank());
+  for (int64_t d : t.shape().dims()) writer.WriteI64(d);
+  for (int64_t i = 0; i < t.NumElements(); ++i) writer.WriteDouble(t[i]);
+  return writer.TakeBytes();
+}
+
+Result<DoubleTensor> DeserializeDoubleTensor(
+    const std::vector<uint8_t>& bytes) {
+  BufferReader reader(bytes);
+  PPS_ASSIGN_OR_RETURN(uint64_t rank, reader.ReadU64());
+  if (rank > 8) return Status::OutOfRange("implausible tensor rank");
+  std::vector<int64_t> dims(rank);
+  for (auto& d : dims) {
+    PPS_ASSIGN_OR_RETURN(d, reader.ReadI64());
+    if (d <= 0) return Status::OutOfRange("non-positive dim");
+  }
+  Shape shape(std::move(dims));
+  DoubleTensor out{shape};
+  for (int64_t i = 0; i < out.NumElements(); ++i) {
+    PPS_ASSIGN_OR_RETURN(out[i], reader.ReadDouble());
+  }
+  return out;
+}
+
+}  // namespace ppstream

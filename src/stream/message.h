@@ -1,0 +1,39 @@
+// Messages flowing between pipeline stages.
+//
+// Every tensor is serialized to bytes before crossing a stage boundary —
+// exactly what a real cross-server deployment puts on the wire — so the
+// runtime observes true serialization cost and byte volumes (which the
+// cluster simulator consumes for its NIC model).
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "crypto/paillier.h"
+#include "tensor/tensor.h"
+#include "util/buffer.h"
+#include "util/status.h"
+
+namespace ppstream {
+
+/// One in-flight inference request at some stage of the pipeline.
+struct StreamMessage {
+  uint64_t request_id = 0;
+  /// Serialized payload (encrypted tensor, raw input, or final result).
+  std::vector<uint8_t> payload;
+
+  size_t ByteSize() const { return payload.size() + sizeof(request_id); }
+};
+
+/// Serializes a ciphertext vector (an encrypted tensor in flight).
+std::vector<uint8_t> SerializeCiphertexts(const std::vector<Ciphertext>& v);
+Result<std::vector<Ciphertext>> DeserializeCiphertexts(
+    const std::vector<uint8_t>& bytes);
+
+/// Serializes a double tensor (raw input / final result).
+std::vector<uint8_t> SerializeDoubleTensor(const DoubleTensor& t);
+Result<DoubleTensor> DeserializeDoubleTensor(
+    const std::vector<uint8_t>& bytes);
+
+}  // namespace ppstream

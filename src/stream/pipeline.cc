@@ -1,0 +1,49 @@
+#include "stream/pipeline.h"
+
+#include "util/logging.h"
+
+namespace ppstream {
+
+void Pipeline::AddStage(std::unique_ptr<Stage> stage) {
+  PPS_CHECK(!started_) << "cannot add stages after Start()";
+  stages_.push_back(std::move(stage));
+}
+
+Status Pipeline::Start() {
+  if (started_) return Status::FailedPrecondition("pipeline already started");
+  if (stages_.empty()) {
+    return Status::FailedPrecondition("pipeline has no stages");
+  }
+  // n stages need n+1 channels: head input ... tail output.
+  channels_.reserve(stages_.size() + 1);
+  for (size_t i = 0; i <= stages_.size(); ++i) {
+    channels_.push_back(
+        std::make_unique<Channel<StreamMessage>>(channel_capacity_));
+  }
+  for (size_t i = 0; i < stages_.size(); ++i) {
+    stages_[i]->Start(channels_[i].get(), channels_[i + 1].get());
+  }
+  started_ = true;
+  return Status::OK();
+}
+
+Status Pipeline::Feed(StreamMessage msg) {
+  if (!started_) return Status::FailedPrecondition("pipeline not started");
+  if (!channels_.front()->Send(std::move(msg))) {
+    return Status::FailedPrecondition("pipeline input is closed");
+  }
+  return Status::OK();
+}
+
+std::optional<StreamMessage> Pipeline::NextResult() {
+  if (!started_) return std::nullopt;
+  return channels_.back()->Recv();
+}
+
+void Pipeline::Shutdown() {
+  if (!started_) return;
+  channels_.front()->Close();
+  for (auto& stage : stages_) stage->Join();
+}
+
+}  // namespace ppstream

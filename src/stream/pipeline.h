@@ -1,0 +1,47 @@
+// A linear pipeline of stages connected by bounded channels.
+
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "stream/stage.h"
+
+namespace ppstream {
+
+/// Builds and runs stage_0 -> chan -> stage_1 -> ... -> stage_{n-1}.
+/// Feed() injects requests at the head; results are collected from the
+/// tail in completion order (which equals submission order because every
+/// stage is a single FIFO consumer).
+class Pipeline {
+ public:
+  explicit Pipeline(size_t channel_capacity = 4)
+      : channel_capacity_(channel_capacity) {}
+
+  /// Adds a stage; must be called before Start().
+  void AddStage(std::unique_ptr<Stage> stage);
+
+  size_t NumStages() const { return stages_.size(); }
+  const Stage& stage(size_t i) const { return *stages_[i]; }
+
+  /// Wires the channels and starts every stage.
+  Status Start();
+
+  /// Injects a request; blocks under backpressure.
+  Status Feed(StreamMessage msg);
+
+  /// Receives the next completed result (nullopt once the pipeline has
+  /// been shut down and drained).
+  std::optional<StreamMessage> NextResult();
+
+  /// Closes the input, drains all stages, and joins their threads.
+  void Shutdown();
+
+ private:
+  size_t channel_capacity_;
+  std::vector<std::unique_ptr<Stage>> stages_;
+  std::vector<std::unique_ptr<Channel<StreamMessage>>> channels_;
+  bool started_ = false;
+};
+
+}  // namespace ppstream

@@ -1,0 +1,53 @@
+#include "stream/stage.h"
+
+#include "util/logging.h"
+
+namespace ppstream {
+
+Stage::Stage(std::string name, size_t num_threads, ProcessFn fn,
+             int max_retries)
+    : name_(std::move(name)),
+      pool_(std::max<size_t>(1, num_threads)),
+      fn_(std::move(fn)),
+      max_retries_(max_retries) {}
+
+void Stage::Start(Channel<StreamMessage>* in, Channel<StreamMessage>* out) {
+  PPS_CHECK(in != nullptr);
+  PPS_CHECK(!consumer_.joinable()) << "stage already started";
+  consumer_ = std::thread([this, in, out] {
+    while (true) {
+      std::optional<StreamMessage> msg = in->Recv();
+      if (!msg.has_value()) break;
+      metrics_.bytes_in += msg->ByteSize();
+      WallTimer timer;
+      Result<StreamMessage> result = fn_(*msg, pool_);
+      for (int attempt = 0; attempt < max_retries_ && !result.ok();
+           ++attempt) {
+        ++metrics_.retries;
+        PPS_LOG(Warn) << "stage " << name_ << " retrying request "
+                      << msg->request_id << ": "
+                      << result.status().ToString();
+        result = fn_(*msg, pool_);
+      }
+      metrics_.busy_seconds += timer.ElapsedSeconds();
+      ++metrics_.messages_processed;
+      if (!result.ok()) {
+        ++metrics_.errors;
+        PPS_LOG(Error) << "stage " << name_
+                       << " failed: " << result.status().ToString();
+        continue;  // drop the request; the pipeline stays alive
+      }
+      metrics_.bytes_out += result.value().ByteSize();
+      if (out != nullptr) {
+        if (!out->Send(std::move(result).value())) break;
+      }
+    }
+    if (out != nullptr) out->Close();
+  });
+}
+
+void Stage::Join() {
+  if (consumer_.joinable()) consumer_.join();
+}
+
+}  // namespace ppstream

@@ -1,0 +1,71 @@
+// Pipeline stages (the paper's operation encapsulation, §IV-B).
+//
+// Each stage is one worker process in AF-Stream terms: a consumer loop
+// that pulls messages from its input channel, processes them — using an
+// intra-stage thread pool of y_i threads for tensor parallelism — and
+// pushes the result downstream. Requests stream through the stages, so
+// stage k works on request r+1 while stage k+1 works on request r.
+
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "stream/channel.h"
+#include "stream/message.h"
+#include "util/status.h"
+#include "util/thread_pool.h"
+#include "util/timer.h"
+
+namespace ppstream {
+
+/// Per-stage counters, read after Join().
+struct StageMetrics {
+  uint64_t messages_processed = 0;
+  uint64_t errors = 0;   // messages dropped after exhausting retries
+  uint64_t retries = 0;  // re-executions after transient failures
+  double busy_seconds = 0;
+  uint64_t bytes_in = 0;
+  uint64_t bytes_out = 0;
+};
+
+/// One pipeline stage with `num_threads` intra-stage worker threads.
+class Stage {
+ public:
+  /// The processing function: consumes a message, produces the downstream
+  /// message. The pool has the stage's allocated threads.
+  using ProcessFn =
+      std::function<Result<StreamMessage>(StreamMessage, ThreadPool&)>;
+
+  /// `max_retries`: AF-Stream-style at-least-once execution — a failing
+  /// message is re-executed up to this many extra times before being
+  /// dropped. Processing functions must therefore be idempotent (the
+  /// protocol's per-request state is; see ModelProvider::InverseObfuscate).
+  Stage(std::string name, size_t num_threads, ProcessFn fn,
+        int max_retries = 0);
+
+  const std::string& name() const { return name_; }
+  size_t num_threads() const { return pool_.num_threads(); }
+
+  /// Starts the consumer loop. `in` feeds the stage; results go to `out`
+  /// (out may be null for a sink stage). When `in` drains (closed + empty),
+  /// the stage closes `out` and exits.
+  void Start(Channel<StreamMessage>* in, Channel<StreamMessage>* out);
+
+  /// Blocks until the consumer loop has exited.
+  void Join();
+
+  const StageMetrics& metrics() const { return metrics_; }
+
+ private:
+  std::string name_;
+  ThreadPool pool_;
+  ProcessFn fn_;
+  int max_retries_;
+  std::thread consumer_;
+  StageMetrics metrics_;
+};
+
+}  // namespace ppstream

@@ -1,0 +1,226 @@
+#include "tensor/ops.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace ppstream {
+
+Status Conv2DGeometry::Validate() const {
+  if (in_channels <= 0 || in_height <= 0 || in_width <= 0 ||
+      out_channels <= 0 || kernel_h <= 0 || kernel_w <= 0) {
+    return Status::InvalidArgument("conv geometry has non-positive dims");
+  }
+  if (stride <= 0) return Status::InvalidArgument("stride must be positive");
+  if (padding < 0) {
+    return Status::InvalidArgument("padding must be non-negative");
+  }
+  if (out_height() <= 0 || out_width() <= 0) {
+    return Status::InvalidArgument(
+        internal::StrCat("conv output is empty: ", out_height(), "x",
+                         out_width()));
+  }
+  return Status::OK();
+}
+
+Result<DoubleTensor> MatMul(const DoubleTensor& a, const DoubleTensor& b) {
+  if (a.shape().rank() != 2 || b.shape().rank() != 2) {
+    return Status::InvalidArgument("MatMul expects rank-2 tensors");
+  }
+  const int64_t m = a.shape().dim(0), k = a.shape().dim(1);
+  const int64_t k2 = b.shape().dim(0), n = b.shape().dim(1);
+  if (k != k2) {
+    return Status::InvalidArgument(
+        internal::StrCat("MatMul inner dims mismatch: ", k, " vs ", k2));
+  }
+  DoubleTensor out{Shape{m, n}};
+  // ikj loop order: streams through b row-wise for cache friendliness.
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t kk = 0; kk < k; ++kk) {
+      const double aik = a[i * k + kk];
+      if (aik == 0.0) continue;
+      for (int64_t j = 0; j < n; ++j) {
+        out[i * n + j] += aik * b[kk * n + j];
+      }
+    }
+  }
+  return out;
+}
+
+Result<DoubleTensor> DenseForward(const DoubleTensor& weights,
+                                  const DoubleTensor& bias,
+                                  const DoubleTensor& x) {
+  if (weights.shape().rank() != 2) {
+    return Status::InvalidArgument("dense weights must be rank-2");
+  }
+  const int64_t out_f = weights.shape().dim(0);
+  const int64_t in_f = weights.shape().dim(1);
+  if (x.NumElements() != in_f) {
+    return Status::InvalidArgument(
+        internal::StrCat("dense input size ", x.NumElements(),
+                         " != in_features ", in_f));
+  }
+  if (bias.NumElements() != out_f) {
+    return Status::InvalidArgument("dense bias size mismatch");
+  }
+  DoubleTensor out{Shape{out_f}};
+  for (int64_t o = 0; o < out_f; ++o) {
+    double acc = bias[o];
+    const int64_t base = o * in_f;
+    for (int64_t i = 0; i < in_f; ++i) acc += weights[base + i] * x[i];
+    out[o] = acc;
+  }
+  return out;
+}
+
+Result<DoubleTensor> Conv2DForward(const Conv2DGeometry& geom,
+                                   const DoubleTensor& filters,
+                                   const DoubleTensor& bias,
+                                   const DoubleTensor& input) {
+  PPS_RETURN_IF_ERROR(geom.Validate());
+  const Shape expect_in{geom.in_channels, geom.in_height, geom.in_width};
+  if (input.shape() != expect_in) {
+    return Status::InvalidArgument(
+        internal::StrCat("conv input shape ", input.shape().ToString(),
+                         " != expected ", expect_in.ToString()));
+  }
+  const Shape expect_f{geom.out_channels, geom.in_channels, geom.kernel_h,
+                       geom.kernel_w};
+  if (filters.shape() != expect_f) {
+    return Status::InvalidArgument(
+        internal::StrCat("conv filter shape ", filters.shape().ToString(),
+                         " != expected ", expect_f.ToString()));
+  }
+  if (bias.NumElements() != geom.out_channels) {
+    return Status::InvalidArgument("conv bias size mismatch");
+  }
+
+  const int64_t oh = geom.out_height(), ow = geom.out_width();
+  DoubleTensor out{Shape{geom.out_channels, oh, ow}};
+  const int64_t h = geom.in_height, w = geom.in_width;
+  for (int64_t oc = 0; oc < geom.out_channels; ++oc) {
+    for (int64_t oy = 0; oy < oh; ++oy) {
+      for (int64_t ox = 0; ox < ow; ++ox) {
+        double acc = bias[oc];
+        const int64_t iy0 = oy * geom.stride - geom.padding;
+        const int64_t ix0 = ox * geom.stride - geom.padding;
+        for (int64_t ic = 0; ic < geom.in_channels; ++ic) {
+          for (int64_t ky = 0; ky < geom.kernel_h; ++ky) {
+            const int64_t iy = iy0 + ky;
+            if (iy < 0 || iy >= h) continue;
+            for (int64_t kx = 0; kx < geom.kernel_w; ++kx) {
+              const int64_t ix = ix0 + kx;
+              if (ix < 0 || ix >= w) continue;
+              acc += filters[((oc * geom.in_channels + ic) * geom.kernel_h +
+                              ky) *
+                                 geom.kernel_w +
+                             kx] *
+                     input[(ic * h + iy) * w + ix];
+            }
+          }
+        }
+        out[(oc * oh + oy) * ow + ox] = acc;
+      }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+Result<DoubleTensor> Pool2D(const DoubleTensor& input, int64_t size,
+                            int64_t stride, bool is_max) {
+  if (input.shape().rank() != 3) {
+    return Status::InvalidArgument("pooling expects a CHW tensor");
+  }
+  if (size <= 0 || stride <= 0) {
+    return Status::InvalidArgument("pool size/stride must be positive");
+  }
+  const int64_t c = input.shape().dim(0);
+  const int64_t h = input.shape().dim(1);
+  const int64_t w = input.shape().dim(2);
+  if (size > h || size > w) {
+    return Status::InvalidArgument("pool window exceeds input");
+  }
+  const int64_t oh = (h - size) / stride + 1;
+  const int64_t ow = (w - size) / stride + 1;
+  DoubleTensor out{Shape{c, oh, ow}};
+  for (int64_t ch = 0; ch < c; ++ch) {
+    for (int64_t oy = 0; oy < oh; ++oy) {
+      for (int64_t ox = 0; ox < ow; ++ox) {
+        double acc = is_max ? -std::numeric_limits<double>::infinity() : 0.0;
+        for (int64_t ky = 0; ky < size; ++ky) {
+          for (int64_t kx = 0; kx < size; ++kx) {
+            const double v =
+                input[(ch * h + oy * stride + ky) * w + ox * stride + kx];
+            if (is_max) {
+              acc = std::max(acc, v);
+            } else {
+              acc += v;
+            }
+          }
+        }
+        out[(ch * oh + oy) * ow + ox] =
+            is_max ? acc : acc / static_cast<double>(size * size);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<DoubleTensor> MaxPool2D(const DoubleTensor& input, int64_t size,
+                               int64_t stride) {
+  return Pool2D(input, size, stride, /*is_max=*/true);
+}
+
+Result<DoubleTensor> AvgPool2D(const DoubleTensor& input, int64_t size,
+                               int64_t stride) {
+  return Pool2D(input, size, stride, /*is_max=*/false);
+}
+
+DoubleTensor Relu(const DoubleTensor& x) {
+  return x.Map<double>([](double v) { return v > 0 ? v : 0.0; });
+}
+
+DoubleTensor Sigmoid(const DoubleTensor& x) {
+  return x.Map<double>([](double v) { return 1.0 / (1.0 + std::exp(-v)); });
+}
+
+DoubleTensor Softmax(const DoubleTensor& x) {
+  double max_v = -std::numeric_limits<double>::infinity();
+  for (int64_t i = 0; i < x.NumElements(); ++i) max_v = std::max(max_v, x[i]);
+  DoubleTensor out{x.shape()};
+  double sum = 0.0;
+  for (int64_t i = 0; i < x.NumElements(); ++i) {
+    out[i] = std::exp(x[i] - max_v);
+    sum += out[i];
+  }
+  for (int64_t i = 0; i < x.NumElements(); ++i) out[i] /= sum;
+  return out;
+}
+
+Result<DoubleTensor> Add(const DoubleTensor& a, const DoubleTensor& b) {
+  if (a.shape() != b.shape()) {
+    return Status::InvalidArgument("Add shape mismatch");
+  }
+  DoubleTensor out{a.shape()};
+  for (int64_t i = 0; i < a.NumElements(); ++i) out[i] = a[i] + b[i];
+  return out;
+}
+
+DoubleTensor Scale(const DoubleTensor& a, double s) {
+  return a.Map<double>([s](double v) { return v * s; });
+}
+
+int64_t ArgMax(const DoubleTensor& x) {
+  PPS_CHECK_GT(x.NumElements(), 0);
+  int64_t best = 0;
+  for (int64_t i = 1; i < x.NumElements(); ++i) {
+    if (x[i] > x[best]) best = i;
+  }
+  return best;
+}
+
+}  // namespace ppstream

@@ -1,0 +1,80 @@
+// Plaintext tensor kernels: matmul, 2-d convolution, pooling, activations.
+//
+// Layout conventions:
+//  * images are CHW ({channels, height, width});
+//  * convolution filters are {out_channels, in_channels, kh, kw};
+//  * dense weights are {out_features, in_features}.
+
+#pragma once
+
+#include "tensor/tensor.h"
+#include "util/status.h"
+
+namespace ppstream {
+
+/// Parameters of a 2-d convolution (shared by plaintext and encrypted
+/// execution paths, and by the tensor-partitioning planner).
+struct Conv2DGeometry {
+  int64_t in_channels = 0;
+  int64_t in_height = 0;
+  int64_t in_width = 0;
+  int64_t out_channels = 0;
+  int64_t kernel_h = 0;
+  int64_t kernel_w = 0;
+  int64_t stride = 1;
+  int64_t padding = 0;
+
+  int64_t out_height() const {
+    return (in_height + 2 * padding - kernel_h) / stride + 1;
+  }
+  int64_t out_width() const {
+    return (in_width + 2 * padding - kernel_w) / stride + 1;
+  }
+  Shape OutputShape() const {
+    return Shape{out_channels, out_height(), out_width()};
+  }
+
+  /// Validates that the geometry is internally consistent and produces a
+  /// non-empty output.
+  Status Validate() const;
+};
+
+/// out[i][j] = sum_k a[i][k] * b[k][j]; a is {m, k}, b is {k, n}.
+Result<DoubleTensor> MatMul(const DoubleTensor& a, const DoubleTensor& b);
+
+/// y = W x + b; W is {out, in}, x is rank-1 {in}, b is rank-1 {out}.
+Result<DoubleTensor> DenseForward(const DoubleTensor& weights,
+                                  const DoubleTensor& bias,
+                                  const DoubleTensor& x);
+
+/// 2-d convolution with the geometry above; input {C,H,W},
+/// filters {OC,C,kh,kw}, bias rank-1 {OC}.
+Result<DoubleTensor> Conv2DForward(const Conv2DGeometry& geom,
+                                   const DoubleTensor& filters,
+                                   const DoubleTensor& bias,
+                                   const DoubleTensor& input);
+
+/// Max pooling with square window `size` and stride `stride`; input {C,H,W}.
+Result<DoubleTensor> MaxPool2D(const DoubleTensor& input, int64_t size,
+                               int64_t stride);
+
+/// Average pooling, same conventions as MaxPool2D.
+Result<DoubleTensor> AvgPool2D(const DoubleTensor& input, int64_t size,
+                               int64_t stride);
+
+/// Element-wise ReLU.
+DoubleTensor Relu(const DoubleTensor& x);
+/// Element-wise logistic sigmoid.
+DoubleTensor Sigmoid(const DoubleTensor& x);
+/// Numerically stable softmax over the whole (flattened) tensor.
+DoubleTensor Softmax(const DoubleTensor& x);
+
+/// Element-wise a + b (shapes must match).
+Result<DoubleTensor> Add(const DoubleTensor& a, const DoubleTensor& b);
+/// Element-wise scalar multiply.
+DoubleTensor Scale(const DoubleTensor& a, double s);
+
+/// Index of the maximum element (ties broken toward the lower index).
+int64_t ArgMax(const DoubleTensor& x);
+
+}  // namespace ppstream

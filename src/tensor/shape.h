@@ -1,0 +1,72 @@
+// Tensor shapes: dimension lists with row-major (lexicographic) layout.
+
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace ppstream {
+
+/// An N-dimensional extent. Row-major: the last dimension varies fastest,
+/// which makes the flat buffer exactly the paper's "lexicographic order"
+/// vector used for obfuscation (Section III-C).
+class Shape {
+ public:
+  Shape() = default;
+  Shape(std::initializer_list<int64_t> dims) : dims_(dims) { Validate(); }
+  explicit Shape(std::vector<int64_t> dims) : dims_(std::move(dims)) {
+    Validate();
+  }
+
+  size_t rank() const { return dims_.size(); }
+  int64_t dim(size_t i) const {
+    PPS_CHECK_LT(i, dims_.size());
+    return dims_[i];
+  }
+  const std::vector<int64_t>& dims() const { return dims_; }
+
+  /// Product of all dimensions (1 for a scalar / rank-0 shape).
+  int64_t NumElements() const {
+    int64_t n = 1;
+    for (int64_t d : dims_) n *= d;
+    return n;
+  }
+
+  /// Flat offset of a multi-index (row-major).
+  int64_t FlatIndex(const std::vector<int64_t>& index) const {
+    PPS_CHECK_EQ(index.size(), dims_.size());
+    int64_t flat = 0;
+    for (size_t i = 0; i < dims_.size(); ++i) {
+      PPS_CHECK_GE(index[i], 0);
+      PPS_CHECK_LT(index[i], dims_[i]);
+      flat = flat * dims_[i] + index[i];
+    }
+    return flat;
+  }
+
+  bool operator==(const Shape& o) const { return dims_ == o.dims_; }
+  bool operator!=(const Shape& o) const { return dims_ != o.dims_; }
+
+  /// "[2, 3, 4]"
+  std::string ToString() const {
+    std::string out = "[";
+    for (size_t i = 0; i < dims_.size(); ++i) {
+      if (i) out += ", ";
+      out += std::to_string(dims_[i]);
+    }
+    return out + "]";
+  }
+
+ private:
+  void Validate() const {
+    for (int64_t d : dims_) PPS_CHECK_GT(d, 0) << "dims must be positive";
+  }
+
+  std::vector<int64_t> dims_;
+};
+
+}  // namespace ppstream

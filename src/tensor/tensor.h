@@ -1,0 +1,87 @@
+// Generic N-dimensional tensor over an arbitrary element type.
+//
+// Instantiated with double (plaintext inference/training), int64_t (scaled
+// fixed-point values), BigInt (encoded plaintexts) and Ciphertext
+// (Paillier-encrypted tensors flowing through the protocol).
+
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "tensor/shape.h"
+#include "util/logging.h"
+
+namespace ppstream {
+
+template <typename T>
+class Tensor {
+ public:
+  Tensor() = default;
+
+  /// Default-initialized elements (0 for arithmetic types).
+  explicit Tensor(Shape shape)
+      : shape_(std::move(shape)),
+        data_(static_cast<size_t>(shape_.NumElements())) {}
+
+  Tensor(Shape shape, std::vector<T> data)
+      : shape_(std::move(shape)), data_(std::move(data)) {
+    PPS_CHECK_EQ(static_cast<size_t>(shape_.NumElements()), data_.size());
+  }
+
+  const Shape& shape() const { return shape_; }
+  int64_t NumElements() const { return shape_.NumElements(); }
+
+  /// Flat (lexicographic) element access.
+  T& operator[](int64_t i) {
+    PPS_CHECK_GE(i, 0);
+    PPS_CHECK_LT(i, static_cast<int64_t>(data_.size()));
+    return data_[static_cast<size_t>(i)];
+  }
+  const T& operator[](int64_t i) const {
+    PPS_CHECK_GE(i, 0);
+    PPS_CHECK_LT(i, static_cast<int64_t>(data_.size()));
+    return data_[static_cast<size_t>(i)];
+  }
+
+  /// Multi-index access.
+  T& At(const std::vector<int64_t>& index) {
+    return data_[static_cast<size_t>(shape_.FlatIndex(index))];
+  }
+  const T& At(const std::vector<int64_t>& index) const {
+    return data_[static_cast<size_t>(shape_.FlatIndex(index))];
+  }
+
+  std::vector<T>& data() { return data_; }
+  const std::vector<T>& data() const { return data_; }
+
+  /// Same elements, different shape; element count must match.
+  Tensor<T> Reshape(Shape new_shape) const {
+    PPS_CHECK_EQ(new_shape.NumElements(), shape_.NumElements());
+    return Tensor<T>(std::move(new_shape), data_);
+  }
+
+  /// Rank-1 view of the whole tensor (the paper's reshape-to-vector).
+  Tensor<T> Flatten() const { return Reshape(Shape{shape_.NumElements()}); }
+
+  /// Element-wise transform into a tensor of possibly different type.
+  template <typename U, typename Fn>
+  Tensor<U> Map(Fn&& fn) const {
+    Tensor<U> out{shape_};
+    for (size_t i = 0; i < data_.size(); ++i) out.data()[i] = fn(data_[i]);
+    return out;
+  }
+
+  bool operator==(const Tensor<T>& o) const {
+    return shape_ == o.shape_ && data_ == o.data_;
+  }
+
+ private:
+  Shape shape_;
+  std::vector<T> data_;
+};
+
+using DoubleTensor = Tensor<double>;
+using Int64Tensor = Tensor<int64_t>;
+
+}  // namespace ppstream

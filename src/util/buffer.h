@@ -1,0 +1,124 @@
+// Byte-buffer reader/writer for message serialization between stages.
+//
+// Little-endian fixed-width integers plus length-prefixed blobs. The stream
+// substrate serializes tensors through these before handing them to a
+// channel, mirroring what a real cross-server deployment would send on the
+// wire (and letting the simulator account communication volume).
+
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace ppstream {
+
+/// Append-only byte sink.
+class BufferWriter {
+ public:
+  void WriteU8(uint8_t v) { bytes_.push_back(v); }
+
+  void WriteU32(uint32_t v) { WriteRaw(&v, sizeof(v)); }
+  void WriteU64(uint64_t v) { WriteRaw(&v, sizeof(v)); }
+  void WriteI64(int64_t v) { WriteRaw(&v, sizeof(v)); }
+  void WriteDouble(double v) { WriteRaw(&v, sizeof(v)); }
+
+  /// Length-prefixed byte blob.
+  void WriteBytes(const uint8_t* data, size_t len) {
+    WriteU64(static_cast<uint64_t>(len));
+    WriteRaw(data, len);
+  }
+  void WriteBytes(const std::vector<uint8_t>& data) {
+    WriteBytes(data.data(), data.size());
+  }
+  void WriteString(const std::string& s) {
+    WriteBytes(reinterpret_cast<const uint8_t*>(s.data()), s.size());
+  }
+
+  const std::vector<uint8_t>& bytes() const { return bytes_; }
+  std::vector<uint8_t> TakeBytes() { return std::move(bytes_); }
+  size_t size() const { return bytes_.size(); }
+
+ private:
+  void WriteRaw(const void* data, size_t len) {
+    const auto* p = static_cast<const uint8_t*>(data);
+    bytes_.insert(bytes_.end(), p, p + len);
+  }
+
+  std::vector<uint8_t> bytes_;
+};
+
+/// Sequential reader over a byte span; all reads are bounds-checked.
+class BufferReader {
+ public:
+  BufferReader(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+  explicit BufferReader(const std::vector<uint8_t>& bytes)
+      : BufferReader(bytes.data(), bytes.size()) {}
+
+  Result<uint8_t> ReadU8() {
+    uint8_t v;
+    PPS_RETURN_IF_ERROR(ReadRaw(&v, sizeof(v)));
+    return v;
+  }
+  Result<uint32_t> ReadU32() {
+    uint32_t v;
+    PPS_RETURN_IF_ERROR(ReadRaw(&v, sizeof(v)));
+    return v;
+  }
+  Result<uint64_t> ReadU64() {
+    uint64_t v;
+    PPS_RETURN_IF_ERROR(ReadRaw(&v, sizeof(v)));
+    return v;
+  }
+  Result<int64_t> ReadI64() {
+    int64_t v;
+    PPS_RETURN_IF_ERROR(ReadRaw(&v, sizeof(v)));
+    return v;
+  }
+  Result<double> ReadDouble() {
+    double v;
+    PPS_RETURN_IF_ERROR(ReadRaw(&v, sizeof(v)));
+    return v;
+  }
+
+  Result<std::vector<uint8_t>> ReadBytes() {
+    PPS_ASSIGN_OR_RETURN(uint64_t len, ReadU64());
+    if (len > Remaining()) {
+      return Status::OutOfRange(
+          internal::StrCat("blob length ", len, " exceeds remaining ",
+                           Remaining(), " bytes"));
+    }
+    std::vector<uint8_t> out(data_ + pos_, data_ + pos_ + len);
+    pos_ += len;
+    return out;
+  }
+
+  Result<std::string> ReadString() {
+    PPS_ASSIGN_OR_RETURN(std::vector<uint8_t> b, ReadBytes());
+    return std::string(b.begin(), b.end());
+  }
+
+  size_t Remaining() const { return size_ - pos_; }
+  bool AtEnd() const { return pos_ == size_; }
+
+ private:
+  Status ReadRaw(void* out, size_t len) {
+    if (len > Remaining()) {
+      return Status::OutOfRange(
+          internal::StrCat("read of ", len, " bytes past end (remaining ",
+                           Remaining(), ")"));
+    }
+    std::memcpy(out, data_ + pos_, len);
+    pos_ += len;
+    return Status::OK();
+  }
+
+  const uint8_t* data_;
+  size_t size_;
+  size_t pos_ = 0;
+};
+
+}  // namespace ppstream

@@ -1,0 +1,74 @@
+// Minimal leveled logging and CHECK macros.
+//
+// PPS_CHECK* abort on violation and are reserved for programmer errors
+// (invariants); recoverable conditions use Status (see util/status.h).
+
+#pragma once
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace ppstream {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Process-wide minimum level; messages below it are dropped.
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+namespace internal {
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+class FatalMessage {
+ public:
+  FatalMessage(const char* file, int line, const char* condition);
+  [[noreturn]] ~FatalMessage();
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace ppstream
+
+#define PPS_LOG(level)                                                      \
+  if (static_cast<int>(::ppstream::LogLevel::k##level) <                    \
+      static_cast<int>(::ppstream::GetLogLevel())) {                        \
+  } else                                                                    \
+    ::ppstream::internal::LogMessage(::ppstream::LogLevel::k##level,        \
+                                     __FILE__, __LINE__)                    \
+        .stream()
+
+#define PPS_CHECK(cond)                                                     \
+  if (cond) {                                                               \
+  } else                                                                    \
+    ::ppstream::internal::FatalMessage(__FILE__, __LINE__, #cond).stream()
+
+#define PPS_CHECK_EQ(a, b) PPS_CHECK((a) == (b))
+#define PPS_CHECK_NE(a, b) PPS_CHECK((a) != (b))
+#define PPS_CHECK_LT(a, b) PPS_CHECK((a) < (b))
+#define PPS_CHECK_LE(a, b) PPS_CHECK((a) <= (b))
+#define PPS_CHECK_GT(a, b) PPS_CHECK((a) > (b))
+#define PPS_CHECK_GE(a, b) PPS_CHECK((a) >= (b))
+
+/// Asserts that a Status-returning expression succeeds.
+#define PPS_CHECK_OK(expr)                                                  \
+  do {                                                                      \
+    ::ppstream::Status _pps_chk = (expr);                                   \
+    PPS_CHECK(_pps_chk.ok()) << _pps_chk.ToString();                        \
+  } while (0)

@@ -1,0 +1,16 @@
+#include "util/rng.h"
+
+#include <cmath>
+
+namespace ppstream {
+
+double Rng::NextGaussian() {
+  // Box–Muller; reject u1 == 0 to keep log() finite.
+  double u1 = NextDouble();
+  while (u1 <= 0.0) u1 = NextDouble();
+  const double u2 = NextDouble();
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  return r * std::cos(2.0 * M_PI * u2);
+}
+
+}  // namespace ppstream

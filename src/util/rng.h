@@ -1,0 +1,89 @@
+// Deterministic pseudo-random number generation.
+//
+// Xoshiro256** seeded via SplitMix64 — used for everything that needs
+// reproducible randomness (dataset synthesis, weight init, permutation
+// seeds in tests). Cryptographic randomness lives in crypto/secure_rng.h.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace ppstream {
+
+/// SplitMix64 step; used to expand a single seed into a full state.
+inline uint64_t SplitMix64(uint64_t& state) {
+  uint64_t z = (state += 0x9E3779B97F4A7C15ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+/// Xoshiro256** PRNG (Blackman & Vigna). Not cryptographically secure.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x5EEDBA5EULL) { Seed(seed); }
+
+  void Seed(uint64_t seed) {
+    uint64_t sm = seed;
+    for (auto& s : state_) s = SplitMix64(sm);
+  }
+
+  uint64_t NextU64() {
+    const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, bound) without modulo bias (Lemire's method).
+  uint64_t NextBounded(uint64_t bound) {
+    if (bound == 0) return 0;
+    __uint128_t m = static_cast<__uint128_t>(NextU64()) * bound;
+    uint64_t l = static_cast<uint64_t>(m);
+    if (l < bound) {
+      uint64_t t = -bound % bound;
+      while (l < t) {
+        m = static_cast<__uint128_t>(NextU64()) * bound;
+        l = static_cast<uint64_t>(m);
+      }
+    }
+    return static_cast<uint64_t>(m >> 64);
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double NextUniform(double lo, double hi) {
+    return lo + (hi - lo) * NextDouble();
+  }
+
+  /// Standard normal via Box–Muller (cached second value discarded for
+  /// simplicity; cost is negligible at our scales).
+  double NextGaussian();
+
+  /// In-place Fisher–Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>& v) {
+    for (size_t i = v.size(); i > 1; --i) {
+      size_t j = NextBounded(i);
+      std::swap(v[i - 1], v[j]);
+    }
+  }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+  uint64_t state_[4];
+};
+
+}  // namespace ppstream

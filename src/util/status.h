@@ -1,0 +1,168 @@
+// Status / Result error-handling primitives (Arrow/RocksDB idiom).
+//
+// Public PP-Stream APIs never throw across module boundaries; fallible
+// operations return Status (no payload) or Result<T> (payload-or-error).
+
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace ppstream {
+
+/// Broad error category carried by a Status.
+enum class StatusCode : uint8_t {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kOutOfRange = 2,
+  kNotFound = 3,
+  kAlreadyExists = 4,
+  kFailedPrecondition = 5,
+  kInternal = 6,
+  kUnimplemented = 7,
+  kResourceExhausted = 8,
+  kCryptoError = 9,
+  kProtocolError = 10,
+  kIoError = 11,
+  kInfeasible = 12,  // planner: ILP has no feasible assignment
+};
+
+/// Human-readable name for a StatusCode ("OK", "InvalidArgument", ...).
+const char* StatusCodeToString(StatusCode code);
+
+/// Outcome of a fallible operation: a code plus a context message.
+///
+/// A default-constructed Status is OK. Statuses are cheap to copy (the
+/// message is only allocated on error paths).
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status CryptoError(std::string msg) {
+    return Status(StatusCode::kCryptoError, std::move(msg));
+  }
+  static Status ProtocolError(std::string msg) {
+    return Status(StatusCode::kProtocolError, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status Infeasible(std::string msg) {
+    return Status(StatusCode::kInfeasible, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Value-or-Status. Use `PPS_ASSIGN_OR_RETURN` to unwrap.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (success).
+  Result(T value) : value_or_status_(std::move(value)) {}  // NOLINT
+  /// Implicit construction from a non-OK Status (failure).
+  Result(Status status) : value_or_status_(std::move(status)) {}  // NOLINT
+
+  bool ok() const { return std::holds_alternative<T>(value_or_status_); }
+
+  const Status& status() const {
+    static const Status kOk = Status::OK();
+    if (ok()) return kOk;
+    return std::get<Status>(value_or_status_);
+  }
+
+  /// Requires ok(). Undefined behaviour otherwise (checked in debug builds).
+  T& value() & { return std::get<T>(value_or_status_); }
+  const T& value() const& { return std::get<T>(value_or_status_); }
+  T&& value() && { return std::move(std::get<T>(value_or_status_)); }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+  /// Returns the value or `fallback` if this holds an error.
+  T ValueOr(T fallback) const {
+    if (ok()) return value();
+    return fallback;
+  }
+
+ private:
+  std::variant<T, Status> value_or_status_;
+};
+
+namespace internal {
+/// Builds an error message from stream-style parts.
+template <typename... Args>
+std::string StrCat(Args&&... args) {
+  std::ostringstream oss;
+  (oss << ... << std::forward<Args>(args));
+  return oss.str();
+}
+}  // namespace internal
+
+}  // namespace ppstream
+
+/// Propagates a non-OK Status out of the enclosing function.
+#define PPS_RETURN_IF_ERROR(expr)                \
+  do {                                           \
+    ::ppstream::Status _pps_st = (expr);         \
+    if (!_pps_st.ok()) return _pps_st;           \
+  } while (0)
+
+#define PPS_CONCAT_IMPL(a, b) a##b
+#define PPS_CONCAT(a, b) PPS_CONCAT_IMPL(a, b)
+
+/// Evaluates a Result<T> expression; on success binds the value to `lhs`,
+/// on failure returns the Status out of the enclosing function.
+#define PPS_ASSIGN_OR_RETURN(lhs, expr)                       \
+  PPS_ASSIGN_OR_RETURN_IMPL(PPS_CONCAT(_pps_res_, __LINE__), lhs, expr)
+
+#define PPS_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                              \
+  if (!tmp.ok()) return tmp.status();             \
+  lhs = std::move(tmp).value()

@@ -1,0 +1,71 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace ppstream {
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  PPS_CHECK_GE(num_threads, 1u);
+  workers_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+std::future<void> ThreadPool::Submit(std::function<void()> task) {
+  std::packaged_task<void()> packaged(std::move(task));
+  std::future<void> fut = packaged.get_future();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    tasks_.push(std::move(packaged));
+  }
+  cv_.notify_one();
+  return fut;
+}
+
+void ThreadPool::ParallelFor(size_t begin, size_t end,
+                             const std::function<void(size_t)>& fn) {
+  if (begin >= end) return;
+  const size_t n = end - begin;
+  const size_t chunks = std::min(n, workers_.size());
+  const size_t per_chunk = (n + chunks - 1) / chunks;
+
+  std::vector<std::future<void>> futures;
+  futures.reserve(chunks);
+  for (size_t c = 0; c < chunks; ++c) {
+    const size_t lo = begin + c * per_chunk;
+    const size_t hi = std::min(end, lo + per_chunk);
+    if (lo >= hi) break;
+    futures.push_back(Submit([lo, hi, &fn] {
+      for (size_t i = lo; i < hi; ++i) fn(i);
+    }));
+  }
+  for (auto& f : futures) f.get();
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::packaged_task<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
+      if (stop_ && tasks_.empty()) return;
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task();
+  }
+}
+
+}  // namespace ppstream

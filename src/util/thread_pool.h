@@ -1,0 +1,48 @@
+// Fixed-size thread pool used by stages for intra-stage tensor parallelism.
+
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace ppstream {
+
+/// A fixed set of worker threads draining a shared task queue.
+///
+/// Submit() returns a future; ParallelFor() blocks until a range has been
+/// processed by all workers. Destruction joins all threads after draining.
+class ThreadPool {
+ public:
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t num_threads() const { return workers_.size(); }
+
+  /// Enqueues a task; the future resolves when it has run.
+  std::future<void> Submit(std::function<void()> task);
+
+  /// Runs fn(i) for i in [begin, end) across the pool, blocking until done.
+  /// The range is split into contiguous chunks, one per worker.
+  void ParallelFor(size_t begin, size_t end,
+                   const std::function<void(size_t)>& fn);
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::packaged_task<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+}  // namespace ppstream

@@ -1,0 +1,228 @@
+// Tests for the deployment extensions: the model-stealing rate limiter
+// (paper §II-C), the serializable data-provider plan view, heterogeneous
+// server allocation (posed as future work in §IV-C and supported by our
+// allocator), and parameterized protocol sweeps across scaling factors
+// and key sizes.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/plan.h"
+#include "core/protocol.h"
+#include "core/rate_limiter.h"
+#include "nn/layers.h"
+#include "planner/allocation.h"
+#include "util/rng.h"
+
+namespace ppstream {
+namespace {
+
+// ---------------------------------------------------------- rate limiter
+
+TEST(RateLimiterTest, AdmitsUpToBurstThenRejects) {
+  RequestRateLimiter limiter(/*requests_per_second=*/1.0, /*burst=*/3.0);
+  EXPECT_TRUE(limiter.Admit(1).ok());
+  EXPECT_TRUE(limiter.Admit(1).ok());
+  EXPECT_TRUE(limiter.Admit(1).ok());
+  Status rejected = limiter.Admit(1);
+  EXPECT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.code(), StatusCode::kResourceExhausted);
+}
+
+TEST(RateLimiterTest, RefillsOverTime) {
+  RequestRateLimiter limiter(2.0, 2.0);
+  EXPECT_TRUE(limiter.Admit(7).ok());
+  EXPECT_TRUE(limiter.Admit(7).ok());
+  EXPECT_FALSE(limiter.Admit(7).ok());
+  limiter.AdvanceTimeForTesting(0.6);  // 1.2 tokens refilled
+  EXPECT_TRUE(limiter.Admit(7).ok());
+  EXPECT_FALSE(limiter.Admit(7).ok());
+}
+
+TEST(RateLimiterTest, ClientsAreIndependent) {
+  RequestRateLimiter limiter(1.0, 1.0);
+  EXPECT_TRUE(limiter.Admit(1).ok());
+  EXPECT_FALSE(limiter.Admit(1).ok());
+  EXPECT_TRUE(limiter.Admit(2).ok()) << "client 2 has its own bucket";
+  EXPECT_DOUBLE_EQ(limiter.AvailableTokens(3), 1.0);  // unseen = full
+}
+
+TEST(RateLimiterTest, BucketNeverExceedsBurst) {
+  RequestRateLimiter limiter(100.0, 5.0);
+  limiter.AdvanceTimeForTesting(1000.0);
+  EXPECT_LE(limiter.AvailableTokens(1), 5.0);
+  for (int i = 0; i < 5; ++i) EXPECT_TRUE(limiter.Admit(1).ok());
+  EXPECT_FALSE(limiter.Admit(1).ok());
+}
+
+// ------------------------------------------------------ plan view
+
+Model TinyModel(uint64_t seed) {
+  Rng rng(seed);
+  Model model(Shape{4}, "tiny");
+  PPS_CHECK_OK(model.Add(DenseLayer::Random(4, 5, rng)));
+  PPS_CHECK_OK(model.Add(std::make_unique<ReluLayer>()));
+  PPS_CHECK_OK(model.Add(DenseLayer::Random(5, 3, rng)));
+  PPS_CHECK_OK(model.Add(std::make_unique<SoftmaxLayer>()));
+  return model;
+}
+
+TEST(PlanViewTest, RoundTripPreservesDataProviderState) {
+  Model model = TinyModel(1);
+  auto plan = CompilePlan(model, 1000);
+  ASSERT_TRUE(plan.ok());
+
+  BufferWriter writer;
+  plan.value().SerializeDataProviderView(&writer);
+  BufferReader reader(writer.bytes());
+  auto view = InferencePlan::DeserializeDataProviderView(&reader);
+  ASSERT_TRUE(view.ok()) << view.status().ToString();
+
+  EXPECT_TRUE(view.value().is_data_provider_view);
+  EXPECT_EQ(view.value().scale, plan.value().scale);
+  EXPECT_EQ(view.value().input_shape, plan.value().input_shape);
+  EXPECT_EQ(view.value().NumRounds(), plan.value().NumRounds());
+  for (size_t r = 0; r < plan.value().NumRounds(); ++r) {
+    EXPECT_EQ(view.value().linear_stages[r].output_scale_power,
+              plan.value().linear_stages[r].output_scale_power);
+    EXPECT_EQ(view.value().nonlinear_segments[r].layers.size(),
+              plan.value().nonlinear_segments[r].layers.size());
+    // Weights must NOT travel with the view.
+    EXPECT_TRUE(view.value().linear_stages[r].ops.empty());
+  }
+}
+
+TEST(PlanViewTest, ViewDrivesDataProviderInRealProtocol) {
+  Model model = TinyModel(2);
+  auto plan_or = CompilePlan(model, 1000);
+  ASSERT_TRUE(plan_or.ok());
+  auto full_plan =
+      std::make_shared<InferencePlan>(std::move(plan_or).value());
+
+  // Ship the view across the "wire".
+  BufferWriter writer;
+  full_plan->SerializeDataProviderView(&writer);
+  BufferReader reader(writer.bytes());
+  auto view_or = InferencePlan::DeserializeDataProviderView(&reader);
+  ASSERT_TRUE(view_or.ok());
+  auto view = std::make_shared<InferencePlan>(std::move(view_or).value());
+
+  Rng rng(3);
+  auto keys = Paillier::GenerateKeyPair(256, rng);
+  ASSERT_TRUE(keys.ok());
+
+  // MP uses the full plan; DP only the deserialized view.
+  ModelProvider mp(full_plan, keys.value().public_key, 4);
+  DataProvider dp(view, keys.value(), 5);
+
+  DoubleTensor x(Shape{4}, {0.5, -1.0, 1.5, 0.25});
+  auto secure = RunProtocolInference(mp, dp, 0, x);
+  ASSERT_TRUE(secure.ok()) << secure.status().ToString();
+  auto reference = RunScaledPlainInference(*full_plan, x);
+  ASSERT_TRUE(reference.ok());
+  for (int64_t i = 0; i < reference.value().NumElements(); ++i) {
+    EXPECT_DOUBLE_EQ(secure.value()[i], reference.value()[i]);
+  }
+}
+
+TEST(PlanViewTest, ViewCannotDriveModelProvider) {
+  Model model = TinyModel(6);
+  auto plan = CompilePlan(model, 1000);
+  ASSERT_TRUE(plan.ok());
+  BufferWriter writer;
+  plan.value().SerializeDataProviderView(&writer);
+  BufferReader reader(writer.bytes());
+  auto view_or = InferencePlan::DeserializeDataProviderView(&reader);
+  ASSERT_TRUE(view_or.ok());
+  auto view = std::make_shared<InferencePlan>(std::move(view_or).value());
+  Rng rng(7);
+  auto keys = Paillier::GenerateKeyPair(128, rng);
+  ASSERT_TRUE(keys.ok());
+  EXPECT_DEATH(ModelProvider(view, keys.value().public_key, 8),
+               "data-provider view");
+}
+
+TEST(PlanViewTest, TruncatedViewFails) {
+  Model model = TinyModel(9);
+  auto plan = CompilePlan(model, 1000);
+  ASSERT_TRUE(plan.ok());
+  BufferWriter writer;
+  plan.value().SerializeDataProviderView(&writer);
+  std::vector<uint8_t> bytes = writer.bytes();
+  bytes.resize(bytes.size() / 2);
+  BufferReader reader(bytes);
+  EXPECT_FALSE(InferencePlan::DeserializeDataProviderView(&reader).ok());
+}
+
+// ------------------------------------------- heterogeneous allocation
+
+TEST(HeterogeneousAllocationTest, RespectsPerServerCapacities) {
+  // §IV-C poses heterogeneous servers as future work; the allocator
+  // already supports per-server core counts.
+  AllocationProblem p;
+  p.layer_times = {8.0, 2.0, 4.0, 1.0};
+  p.layer_class = {+1, +1, -1, -1};
+  p.server_cores = {8, 2, 4};  // one big + one small model server
+  p.server_class = {+1, +1, -1};
+  p.hyper_threading = false;
+  auto alloc = IlpAllocator::Solve(p);
+  ASSERT_TRUE(alloc.ok()) << alloc.status().ToString();
+  std::vector<int> used(3, 0);
+  for (size_t i = 0; i < p.layer_times.size(); ++i) {
+    used[alloc.value().server_of_layer[i]] +=
+        alloc.value().threads_of_layer[i];
+    EXPECT_EQ(p.server_class[alloc.value().server_of_layer[i]],
+              p.layer_class[i]);
+  }
+  for (size_t j = 0; j < 3; ++j) EXPECT_LE(used[j], p.server_cores[j]);
+  // The heavy layer should land where capacity allows many threads.
+  const int heavy_server = alloc.value().server_of_layer[0];
+  EXPECT_EQ(heavy_server, 0) << "8s layer needs the 8-core server";
+}
+
+// ------------------------------------------- parameterized protocol sweep
+
+struct SweepParam {
+  int64_t scale;
+  int key_bits;
+};
+
+class ProtocolSweepTest : public ::testing::TestWithParam<SweepParam> {};
+
+TEST_P(ProtocolSweepTest, ExactAgreementAcrossScalesAndKeys) {
+  const SweepParam param = GetParam();
+  Model model = TinyModel(31);
+  auto plan_or = CompilePlan(model, param.scale);
+  ASSERT_TRUE(plan_or.ok());
+  auto plan = std::make_shared<InferencePlan>(std::move(plan_or).value());
+
+  Rng rng(32 + static_cast<uint64_t>(param.key_bits));
+  auto keys = Paillier::GenerateKeyPair(param.key_bits, rng);
+  ASSERT_TRUE(keys.ok());
+  ASSERT_TRUE(plan->CheckFitsKey(keys.value().public_key.n()).ok());
+
+  ModelProvider mp(plan, keys.value().public_key, 33);
+  DataProvider dp(plan, keys.value(), 34);
+  DoubleTensor x(Shape{4}, {1.25, -0.75, 0.5, -2.0});
+  auto secure = RunProtocolInference(mp, dp, 0, x);
+  ASSERT_TRUE(secure.ok()) << secure.status().ToString();
+  auto reference = RunScaledPlainInference(*plan, x);
+  ASSERT_TRUE(reference.ok());
+  for (int64_t i = 0; i < reference.value().NumElements(); ++i) {
+    EXPECT_DOUBLE_EQ(secure.value()[i], reference.value()[i]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ScaleKeyMatrix, ProtocolSweepTest,
+    ::testing::Values(SweepParam{1, 128}, SweepParam{10, 128},
+                      SweepParam{1000, 128}, SweepParam{1000000, 256},
+                      SweepParam{100, 512}, SweepParam{10000, 256}),
+    [](const ::testing::TestParamInfo<SweepParam>& info) {
+      return "F" + std::to_string(info.param.scale) + "_k" +
+             std::to_string(info.param.key_bits);
+    });
+
+}  // namespace
+}  // namespace ppstream

@@ -1,0 +1,285 @@
+// Tests for the EzPC-style MPC baseline: fixed-point sharing, Beaver
+// multiplication, boolean circuits, garbling, and end-to-end secure
+// inference vs the plaintext model.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "mpc/circuit.h"
+#include "mpc/ezpc.h"
+#include "mpc/garbled.h"
+#include "mpc/share.h"
+#include "nn/layers.h"
+#include "tensor/ops.h"
+#include "util/rng.h"
+
+namespace ppstream {
+namespace {
+
+// ------------------------------------------------------------- shares
+
+TEST(FixedTest, EncodeDecodeRoundTrip) {
+  for (double v : {0.0, 1.0, -1.0, 3.14159, -271.828, 1e-4}) {
+    EXPECT_NEAR(DecodeFixed(EncodeFixed(v)), v, 1.0 / (1 << kMpcFracBits));
+  }
+}
+
+TEST(ShareTest, ReconstructionAndLinearity) {
+  Rng rng(1);
+  const Ring64 x = EncodeFixed(2.5), y = EncodeFixed(-1.25);
+  SharedValue sx = MakeShares(x, rng), sy = MakeShares(y, rng);
+  EXPECT_EQ(sx.Reconstruct(), x);
+  EXPECT_EQ(AddShares(sx, sy).Reconstruct(), x + y);
+  EXPECT_EQ(SubShares(sx, sy).Reconstruct(), x - y);
+  EXPECT_EQ(ScaleShares(sx, 3).Reconstruct(), x * 3);
+  EXPECT_EQ(AddConst(sx, 7).Reconstruct(), x + 7);
+}
+
+TEST(ShareTest, SharesLookRandom) {
+  Rng rng(2);
+  // The same secret shared twice gives unrelated s0.
+  SharedValue a = MakeShares(42, rng);
+  SharedValue b = MakeShares(42, rng);
+  EXPECT_NE(a.s0, b.s0);
+}
+
+TEST(BeaverTest, MultiplicationIsCorrect) {
+  Rng rng(3);
+  TripleDealer dealer(4);
+  MpcMetrics metrics;
+  for (int i = 0; i < 20; ++i) {
+    const int64_t xv = static_cast<int64_t>(rng.NextBounded(2000)) - 1000;
+    const int64_t yv = static_cast<int64_t>(rng.NextBounded(2000)) - 1000;
+    SharedValue x = MakeShares(static_cast<Ring64>(xv), rng);
+    SharedValue y = MakeShares(static_cast<Ring64>(yv), rng);
+    SharedValue z = MulShares(x, y, dealer.Next(), &metrics);
+    EXPECT_EQ(static_cast<int64_t>(z.Reconstruct()), xv * yv);
+  }
+  EXPECT_EQ(metrics.triples_used, 20u);
+  EXPECT_EQ(metrics.rounds, 0u);  // rounds are batched per layer upstream
+  EXPECT_GT(metrics.bytes_sent, 0u);
+}
+
+TEST(TruncateTest, ApproximatesArithmeticShift) {
+  Rng rng(5);
+  for (int i = 0; i < 50; ++i) {
+    const double v = (static_cast<double>(rng.NextBounded(20000)) - 10000) /
+                     37.0;
+    SharedValue s = MakeShares(EncodeFixed(v * v < 0 ? v : v), rng);
+    // Emulate a post-multiplication value at double scale.
+    SharedValue wide = ScaleShares(s, Ring64{1} << kMpcFracBits);
+    SharedValue trunc = TruncateShares(wide);
+    // SecureML local truncation has an off-by-one (LSB) error.
+    const double back = DecodeFixed(trunc.Reconstruct());
+    EXPECT_NEAR(back, v, 3.0 / (1 << kMpcFracBits)) << v;
+  }
+}
+
+// ------------------------------------------------------------- circuits
+
+TEST(CircuitTest, AdderMatchesRingAddition) {
+  Circuit c;
+  auto a = c.AddWires(64);
+  auto b = c.AddWires(64);
+  c.garbler_inputs = a;
+  c.evaluator_inputs = b;
+  c.outputs = BuildAdder(&c, a, b, false);
+
+  Rng rng(6);
+  for (int i = 0; i < 10; ++i) {
+    const uint64_t x = rng.NextU64(), y = rng.NextU64();
+    auto out = EvaluateCircuitPlain(c, ToBits(x), ToBits(y));
+    ASSERT_TRUE(out.ok());
+    EXPECT_EQ(FromBits(out.value()), x + y);
+  }
+}
+
+TEST(CircuitTest, SubtractorMatchesRingSubtraction) {
+  Circuit c;
+  auto a = c.AddWires(64);
+  auto b = c.AddWires(64);
+  c.garbler_inputs = a;
+  c.evaluator_inputs = b;
+  c.outputs = BuildSubtractor(&c, a, b);
+
+  Rng rng(7);
+  for (int i = 0; i < 10; ++i) {
+    const uint64_t x = rng.NextU64(), y = rng.NextU64();
+    auto out = EvaluateCircuitPlain(c, ToBits(x), ToBits(y));
+    ASSERT_TRUE(out.ok());
+    EXPECT_EQ(FromBits(out.value()), x - y);
+  }
+}
+
+TEST(CircuitTest, ReluShareCircuitPlainEvaluation) {
+  const Circuit c = BuildReluShareCircuit(64);
+  Rng rng(8);
+  for (int i = 0; i < 20; ++i) {
+    const int64_t x =
+        static_cast<int64_t>(rng.NextU64()) / 1024;  // avoid overflow edge
+    const Ring64 x0 = rng.NextU64();
+    const Ring64 x1 = static_cast<Ring64>(x) - x0;
+    const Ring64 r = rng.NextU64();
+    std::vector<bool> g_bits = ToBits(x0);
+    std::vector<bool> r_bits = ToBits(r);
+    g_bits.insert(g_bits.end(), r_bits.begin(), r_bits.end());
+    auto out = EvaluateCircuitPlain(c, g_bits, ToBits(x1));
+    ASSERT_TRUE(out.ok());
+    const Ring64 expected =
+        (x > 0 ? static_cast<Ring64>(x) : Ring64{0}) - r;
+    EXPECT_EQ(FromBits(out.value()), expected) << "x=" << x;
+  }
+}
+
+TEST(CircuitTest, GateCountsAreReasonable) {
+  const Circuit c = BuildReluShareCircuit(64);
+  EXPECT_GT(c.AndCount(), 150);   // 3 adder chains + mux
+  EXPECT_LT(c.AndCount(), 1000);  // sanity upper bound
+}
+
+// ------------------------------------------------------------- garbling
+
+TEST(GarbledTest, MatchesPlainEvaluationOnReluCircuit) {
+  const Circuit c = BuildReluShareCircuit(64);
+  SecureRng grng = SecureRng::FromSeed(9);
+  Rng rng(10);
+  for (int i = 0; i < 5; ++i) {
+    const Ring64 x0 = rng.NextU64();
+    const Ring64 x1 = rng.NextU64();
+    const Ring64 r = rng.NextU64();
+    std::vector<bool> g_bits = ToBits(x0);
+    std::vector<bool> r_bits = ToBits(r);
+    g_bits.insert(g_bits.end(), r_bits.begin(), r_bits.end());
+    const std::vector<bool> e_bits = ToBits(x1);
+
+    auto plain = EvaluateCircuitPlain(c, g_bits, e_bits);
+    MpcMetrics metrics;
+    auto garbled = RunGarbledCircuit(c, g_bits, e_bits, grng, &metrics);
+    ASSERT_TRUE(plain.ok() && garbled.ok()) << garbled.status().ToString();
+    EXPECT_EQ(plain.value(), garbled.value());
+    EXPECT_GT(metrics.gc_gates_garbled, 0u);
+    EXPECT_GT(metrics.gc_bytes, 0u);
+    EXPECT_EQ(metrics.ot_transfers, 64u);
+  }
+}
+
+TEST(GarbledTest, SimpleAndXorGates) {
+  Circuit c;
+  const int a = c.AddWire();
+  const int b = c.AddWire();
+  c.garbler_inputs = {a};
+  c.evaluator_inputs = {b};
+  c.outputs = {c.And(a, b), c.Xor(a, b), c.Not(a)};
+  SecureRng rng = SecureRng::FromSeed(11);
+  for (int va = 0; va < 2; ++va) {
+    for (int vb = 0; vb < 2; ++vb) {
+      auto out = RunGarbledCircuit(c, {va != 0}, {vb != 0}, rng, nullptr);
+      ASSERT_TRUE(out.ok());
+      EXPECT_EQ(out.value()[0], va && vb);
+      EXPECT_EQ(out.value()[1], va != vb);
+      EXPECT_EQ(out.value()[2], va == 0);
+    }
+  }
+}
+
+TEST(GarbledTest, RejectsWrongInputCounts) {
+  Circuit c;
+  const int a = c.AddWire();
+  c.garbler_inputs = {a};
+  c.outputs = {c.Not(a)};
+  SecureRng rng = SecureRng::FromSeed(12);
+  EXPECT_FALSE(RunGarbledCircuit(c, {}, {}, rng, nullptr).ok());
+  EXPECT_FALSE(RunGarbledCircuit(c, {true, false}, {}, rng, nullptr).ok());
+}
+
+// ------------------------------------------------------------- EzPC run
+
+Model SmallReluModel(uint64_t seed) {
+  Rng rng(seed);
+  Model model(Shape{4}, "ezpc-small");
+  PPS_CHECK_OK(model.Add(DenseLayer::Random(4, 5, rng)));
+  PPS_CHECK_OK(model.Add(std::make_unique<ReluLayer>()));
+  PPS_CHECK_OK(model.Add(DenseLayer::Random(5, 3, rng)));
+  PPS_CHECK_OK(model.Add(std::make_unique<SoftmaxLayer>()));
+  return model;
+}
+
+TEST(EzPcTest, SecureInferenceApproximatesPlaintext) {
+  Model model = SmallReluModel(13);
+  auto runner = EzPcRunner::Create(model);
+  ASSERT_TRUE(runner.ok()) << runner.status().ToString();
+
+  Rng rng(14);
+  for (int trial = 0; trial < 3; ++trial) {
+    DoubleTensor x{Shape{4}};
+    for (int64_t i = 0; i < 4; ++i) x[i] = rng.NextUniform(-2, 2);
+    MpcMetrics metrics;
+    auto secure = runner.value().Infer(x, &metrics);
+    ASSERT_TRUE(secure.ok()) << secure.status().ToString();
+    auto plain = model.Forward(x);
+    ASSERT_TRUE(plain.ok());
+    for (int64_t i = 0; i < plain.value().NumElements(); ++i) {
+      // Fixed-point (2^-16) error accumulates over two layers.
+      EXPECT_NEAR(secure.value()[i], plain.value()[i], 2e-3) << i;
+    }
+    EXPECT_GT(metrics.triples_used, 0u);
+    EXPECT_GT(metrics.gc_gates_garbled, 0u);
+    EXPECT_EQ(metrics.protocol_transitions, 2u);  // one ReLU layer
+  }
+}
+
+TEST(EzPcTest, PredictionsMatchPlaintextModel) {
+  Model model = SmallReluModel(15);
+  auto runner = EzPcRunner::Create(model);
+  ASSERT_TRUE(runner.ok());
+  Rng rng(16);
+  int agreements = 0;
+  for (int trial = 0; trial < 10; ++trial) {
+    DoubleTensor x{Shape{4}};
+    for (int64_t i = 0; i < 4; ++i) x[i] = rng.NextUniform(-2, 2);
+    auto secure = runner.value().Infer(x);
+    auto plain = model.Forward(x);
+    ASSERT_TRUE(secure.ok() && plain.ok());
+    agreements += ArgMax(secure.value()) == ArgMax(plain.value());
+  }
+  EXPECT_GE(agreements, 9);  // ties at decision boundaries may flip one
+}
+
+TEST(EzPcTest, CountsProtocolTransitionsPerReluLayer) {
+  Rng rng(17);
+  Model model(Shape{3}, "two-relu");
+  PPS_CHECK_OK(model.Add(DenseLayer::Random(3, 4, rng)));
+  PPS_CHECK_OK(model.Add(std::make_unique<ReluLayer>()));
+  PPS_CHECK_OK(model.Add(DenseLayer::Random(4, 4, rng)));
+  PPS_CHECK_OK(model.Add(std::make_unique<ReluLayer>()));
+  PPS_CHECK_OK(model.Add(DenseLayer::Random(4, 2, rng)));
+  PPS_CHECK_OK(model.Add(std::make_unique<SoftmaxLayer>()));
+  auto runner = EzPcRunner::Create(model);
+  ASSERT_TRUE(runner.ok());
+  EXPECT_EQ(runner.value().TotalReluElements(), 8);
+  MpcMetrics metrics;
+  DoubleTensor x(Shape{3}, {0.5, -0.5, 1.0});
+  ASSERT_TRUE(runner.value().Infer(x, &metrics).ok());
+  EXPECT_EQ(metrics.protocol_transitions, 4u);  // 2 per ReLU layer
+}
+
+TEST(EzPcTest, RejectsUnsupportedLayers) {
+  Rng rng(18);
+  Model model(Shape{3}, "bad");
+  PPS_CHECK_OK(model.Add(DenseLayer::Random(3, 3, rng)));
+  PPS_CHECK_OK(model.Add(std::make_unique<SigmoidLayer>()));
+  PPS_CHECK_OK(model.Add(DenseLayer::Random(3, 2, rng)));
+  PPS_CHECK_OK(model.Add(std::make_unique<SoftmaxLayer>()));
+  EXPECT_FALSE(EzPcRunner::Create(model).ok());
+}
+
+TEST(EzPcTest, RejectsWrongInputShape) {
+  Model model = SmallReluModel(19);
+  auto runner = EzPcRunner::Create(model);
+  ASSERT_TRUE(runner.ok());
+  EXPECT_FALSE(runner.value().Infer(DoubleTensor{Shape{5}}).ok());
+}
+
+}  // namespace
+}  // namespace ppstream

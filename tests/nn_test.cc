@@ -1,0 +1,381 @@
+// Unit tests for layers, the model container, training, and the model zoo.
+// Includes numerical gradient checks for every trainable layer.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "nn/dataset.h"
+#include "nn/layers.h"
+#include "nn/model.h"
+#include "nn/model_zoo.h"
+#include "nn/trainer.h"
+#include "util/rng.h"
+
+namespace ppstream {
+namespace {
+
+// Numerical gradient check: perturb each input element, compare to the
+// analytic gradient from Backward with a random upstream gradient.
+void CheckInputGradient(Layer& layer, const DoubleTensor& input,
+                        double tol = 1e-5) {
+  Rng rng(99);
+  auto out = layer.Forward(input);
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  DoubleTensor grad_out{out.value().shape()};
+  for (int64_t i = 0; i < grad_out.NumElements(); ++i) {
+    grad_out[i] = rng.NextUniform(-1, 1);
+  }
+  layer.ZeroGrads();
+  auto grad_in = layer.Backward(input, grad_out);
+  ASSERT_TRUE(grad_in.ok()) << grad_in.status().ToString();
+
+  const double eps = 1e-6;
+  for (int64_t i = 0; i < input.NumElements(); ++i) {
+    DoubleTensor plus = input, minus = input;
+    plus[i] += eps;
+    minus[i] -= eps;
+    auto f_plus = layer.Forward(plus);
+    auto f_minus = layer.Forward(minus);
+    ASSERT_TRUE(f_plus.ok() && f_minus.ok());
+    double numeric = 0;
+    for (int64_t j = 0; j < grad_out.NumElements(); ++j) {
+      numeric +=
+          grad_out[j] * (f_plus.value()[j] - f_minus.value()[j]) / (2 * eps);
+    }
+    EXPECT_NEAR(grad_in.value()[i], numeric, tol) << "input element " << i;
+  }
+}
+
+DoubleTensor RandomTensor(const Shape& shape, uint64_t seed) {
+  Rng rng(seed);
+  DoubleTensor t{shape};
+  for (int64_t i = 0; i < t.NumElements(); ++i) {
+    t[i] = rng.NextUniform(-2, 2);
+  }
+  return t;
+}
+
+TEST(LayerGradTest, Dense) {
+  Rng rng(1);
+  auto layer = DenseLayer::Random(5, 3, rng);
+  CheckInputGradient(*layer, RandomTensor(Shape{5}, 2));
+}
+
+TEST(LayerGradTest, Conv2D) {
+  Conv2DGeometry g;
+  g.in_channels = 2;
+  g.in_height = 5;
+  g.in_width = 5;
+  g.out_channels = 3;
+  g.kernel_h = 3;
+  g.kernel_w = 3;
+  g.stride = 2;
+  g.padding = 1;
+  Rng rng(3);
+  auto layer = Conv2DLayer::Random(g, rng);
+  CheckInputGradient(*layer, RandomTensor(Shape{2, 5, 5}, 4));
+}
+
+TEST(LayerGradTest, BatchNorm) {
+  BatchNormLayer layer(2);
+  layer.SetStatistics({0.5, -0.5}, {2.0, 0.7});
+  layer.SetAffine({1.5, 0.8}, {0.1, -0.3});
+  CheckInputGradient(layer, RandomTensor(Shape{2, 3, 3}, 5));
+}
+
+TEST(LayerGradTest, ReluAwayFromKink) {
+  ReluLayer layer;
+  DoubleTensor in(Shape{4}, {-1.5, -0.3, 0.4, 2.0});
+  CheckInputGradient(layer, in);
+}
+
+TEST(LayerGradTest, Sigmoid) {
+  SigmoidLayer layer;
+  CheckInputGradient(layer, RandomTensor(Shape{6}, 6));
+}
+
+TEST(LayerGradTest, Softmax) {
+  SoftmaxLayer layer;
+  CheckInputGradient(layer, RandomTensor(Shape{5}, 7));
+}
+
+TEST(LayerGradTest, MaxPoolAwayFromTies) {
+  MaxPool2DLayer layer(2, 2);
+  DoubleTensor in(Shape{1, 4, 4}, {1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13,
+                                   14, 15, 16});
+  CheckInputGradient(layer, in);
+}
+
+TEST(LayerGradTest, AvgPool) {
+  AvgPool2DLayer layer(2, 2);
+  CheckInputGradient(layer, RandomTensor(Shape{2, 4, 4}, 8));
+}
+
+TEST(LayerGradTest, ScaledSigmoid) {
+  ScaledSigmoidLayer layer(1.7);
+  CheckInputGradient(layer, RandomTensor(Shape{5}, 9));
+}
+
+TEST(LayerGradTest, ScalarScale) {
+  ScalarScaleLayer layer(-0.6);
+  CheckInputGradient(layer, RandomTensor(Shape{5}, 10));
+}
+
+TEST(LayerTest, OpClassification) {
+  Rng rng(11);
+  EXPECT_EQ(DenseLayer::Random(2, 2, rng)->op_class(), OpClass::kLinear);
+  EXPECT_EQ(BatchNormLayer(2).op_class(), OpClass::kLinear);
+  EXPECT_EQ(AvgPool2DLayer(2, 2).op_class(), OpClass::kLinear);
+  EXPECT_EQ(FlattenLayer().op_class(), OpClass::kLinear);
+  EXPECT_EQ(ScalarScaleLayer(2).op_class(), OpClass::kLinear);
+  EXPECT_EQ(ReluLayer().op_class(), OpClass::kNonLinear);
+  EXPECT_EQ(SigmoidLayer().op_class(), OpClass::kNonLinear);
+  EXPECT_EQ(SoftmaxLayer().op_class(), OpClass::kNonLinear);
+  EXPECT_EQ(MaxPool2DLayer(2, 2).op_class(), OpClass::kNonLinear);
+  EXPECT_EQ(ScaledSigmoidLayer(1).op_class(), OpClass::kMixed);
+}
+
+TEST(ModelTest, AddValidatesShapes) {
+  Rng rng(12);
+  Model model(Shape{4});
+  EXPECT_TRUE(model.Add(DenseLayer::Random(4, 3, rng)).ok());
+  // Next layer must accept 3 inputs.
+  EXPECT_FALSE(model.Add(DenseLayer::Random(4, 2, rng)).ok());
+  EXPECT_TRUE(model.Add(DenseLayer::Random(3, 2, rng)).ok());
+  auto out = model.OutputShape();
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out.value(), (Shape{2}));
+}
+
+TEST(ModelTest, ForwardMatchesManualComposition) {
+  Rng rng(13);
+  Model model(Shape{3});
+  auto dense = DenseLayer::Random(3, 2, rng);
+  DenseLayer* dense_ptr = dense.get();
+  ASSERT_TRUE(model.Add(std::move(dense)).ok());
+  ASSERT_TRUE(model.Add(std::make_unique<ReluLayer>()).ok());
+
+  DoubleTensor x(Shape{3}, {1, -2, 0.5});
+  auto direct = dense_ptr->Forward(x);
+  ASSERT_TRUE(direct.ok());
+  auto expected = Relu(direct.value());
+  auto got = model.Forward(x);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got.value().data(), expected.data());
+}
+
+TEST(ModelTest, ForwardRejectsWrongInputShape) {
+  Model model(Shape{3});
+  EXPECT_FALSE(model.Forward(DoubleTensor{Shape{4}}).ok());
+}
+
+TEST(ModelTest, CloneIsDeep) {
+  Rng rng(14);
+  Model model(Shape{2});
+  ASSERT_TRUE(model.Add(DenseLayer::Random(2, 2, rng)).ok());
+  Model copy = model.Clone();
+  // Mutate the original; the clone must be unaffected.
+  model.layer(0).MutateParameters([](double) { return 0.0; });
+  DoubleTensor x(Shape{2}, {1, 1});
+  auto orig_out = model.Forward(x);
+  auto copy_out = copy.Forward(x);
+  ASSERT_TRUE(orig_out.ok() && copy_out.ok());
+  EXPECT_DOUBLE_EQ(orig_out.value()[0], 0.0);
+  EXPECT_NE(copy_out.value()[0], 0.0);
+}
+
+TEST(ModelTest, SerializationRoundTrip) {
+  Rng rng(15);
+  Model model(Shape{1, 6, 6}, "roundtrip");
+  Conv2DGeometry g;
+  g.in_channels = 1;
+  g.in_height = 6;
+  g.in_width = 6;
+  g.out_channels = 2;
+  g.kernel_h = 3;
+  g.kernel_w = 3;
+  g.stride = 1;
+  g.padding = 0;
+  ASSERT_TRUE(model.Add(Conv2DLayer::Random(g, rng)).ok());
+  ASSERT_TRUE(model.Add(std::make_unique<BatchNormLayer>(2)).ok());
+  ASSERT_TRUE(model.Add(std::make_unique<ReluLayer>()).ok());
+  ASSERT_TRUE(model.Add(std::make_unique<MaxPool2DLayer>(2, 2)).ok());
+  ASSERT_TRUE(model.Add(std::make_unique<FlattenLayer>()).ok());
+  ASSERT_TRUE(model.Add(DenseLayer::Random(8, 4, rng)).ok());
+  ASSERT_TRUE(model.Add(std::make_unique<ScaledSigmoidLayer>(0.7)).ok());
+  ASSERT_TRUE(model.Add(DenseLayer::Random(4, 3, rng)).ok());
+  ASSERT_TRUE(model.Add(std::make_unique<SoftmaxLayer>()).ok());
+
+  BufferWriter writer;
+  model.Serialize(&writer);
+  BufferReader reader(writer.bytes());
+  auto back = Model::Deserialize(&reader);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(back.value().name(), "roundtrip");
+  EXPECT_EQ(back.value().NumLayers(), model.NumLayers());
+
+  DoubleTensor x = RandomTensor(Shape{1, 6, 6}, 16);
+  auto a = model.Forward(x);
+  auto b = back.value().Forward(x);
+  ASSERT_TRUE(a.ok() && b.ok());
+  for (int64_t i = 0; i < a.value().NumElements(); ++i) {
+    EXPECT_DOUBLE_EQ(a.value()[i], b.value()[i]);
+  }
+}
+
+TEST(ModelTest, SaveLoadFile) {
+  Rng rng(17);
+  Model model(Shape{2}, "filetest");
+  ASSERT_TRUE(model.Add(DenseLayer::Random(2, 2, rng)).ok());
+  const std::string path = ::testing::TempDir() + "/pps_model.bin";
+  ASSERT_TRUE(model.SaveToFile(path).ok());
+  auto back = Model::LoadFromFile(path);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value().name(), "filetest");
+}
+
+TEST(ModelTest, ReplaceMaxPoolingKeepsShapes) {
+  Rng rng(18);
+  Model model(Shape{2, 8, 8});
+  ASSERT_TRUE(model.Add(std::make_unique<MaxPool2DLayer>(2, 2)).ok());
+  ASSERT_TRUE(model.Add(std::make_unique<FlattenLayer>()).ok());
+  auto rewritten = model.ReplaceMaxPooling();
+  ASSERT_TRUE(rewritten.ok());
+  // MaxPool -> Conv + ReLU, so one extra layer.
+  EXPECT_EQ(rewritten.value().NumLayers(), 3u);
+  EXPECT_EQ(rewritten.value().layer(0).kind(), LayerKind::kConv2D);
+  EXPECT_EQ(rewritten.value().layer(1).kind(), LayerKind::kRelu);
+  auto s1 = model.OutputShape();
+  auto s2 = rewritten.value().OutputShape();
+  ASSERT_TRUE(s1.ok() && s2.ok());
+  EXPECT_EQ(s1.value(), s2.value());
+}
+
+TEST(ModelTest, ReplaceMaxPoolingIsAvgOnPositiveInputs) {
+  // On non-negative inputs the rewrite computes relu(avg) = avg per window.
+  Model model(Shape{1, 4, 4});
+  ASSERT_TRUE(model.Add(std::make_unique<MaxPool2DLayer>(2, 2)).ok());
+  auto rewritten = model.ReplaceMaxPooling();
+  ASSERT_TRUE(rewritten.ok());
+  DoubleTensor x(Shape{1, 4, 4},
+                 {4, 4, 8, 8, 4, 4, 8, 8, 1, 1, 2, 2, 1, 1, 2, 2});
+  auto out = rewritten.value().Forward(x);
+  ASSERT_TRUE(out.ok());
+  EXPECT_DOUBLE_EQ(out.value()[0], 4);
+  EXPECT_DOUBLE_EQ(out.value()[1], 8);
+  EXPECT_DOUBLE_EQ(out.value()[2], 1);
+  EXPECT_DOUBLE_EQ(out.value()[3], 2);
+}
+
+TEST(TrainerTest, LearnsLinearlySeparableData) {
+  DatasetSplit data = MakeTabularDataset("toy", 6, 200, 100, 4.0, 21);
+  Rng rng(22);
+  Model model(Shape{6}, "toy");
+  ASSERT_TRUE(model.Add(DenseLayer::Random(6, 8, rng)).ok());
+  ASSERT_TRUE(model.Add(std::make_unique<ReluLayer>()).ok());
+  ASSERT_TRUE(model.Add(DenseLayer::Random(8, 2, rng)).ok());
+  ASSERT_TRUE(model.Add(std::make_unique<SoftmaxLayer>()).ok());
+
+  TrainConfig config;
+  config.epochs = 30;
+  config.learning_rate = 0.05;
+  auto stats = TrainModel(&model, data.train, config);
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  auto acc = EvaluateAccuracy(model, data.test);
+  ASSERT_TRUE(acc.ok());
+  EXPECT_GT(acc.value(), 0.9) << "separable data should be learnable";
+}
+
+TEST(TrainerTest, RequiresSoftmaxOutput) {
+  DatasetSplit data = MakeTabularDataset("toy", 2, 10, 5, 2.0, 23);
+  Rng rng(24);
+  Model model(Shape{2});
+  ASSERT_TRUE(model.Add(DenseLayer::Random(2, 2, rng)).ok());
+  TrainConfig config;
+  EXPECT_FALSE(TrainModel(&model, data.train, config).ok());
+}
+
+TEST(TrainerTest, RejectsEmptyData) {
+  Model model(Shape{2});
+  Dataset empty;
+  TrainConfig config;
+  EXPECT_FALSE(TrainModel(&model, empty, config).ok());
+  EXPECT_FALSE(EvaluateAccuracy(model, empty).ok());
+}
+
+TEST(DatasetTest, TabularShapesAndLabels) {
+  DatasetSplit split = MakeTabularDataset("t", 7, 50, 20, 3.0, 31);
+  EXPECT_EQ(split.train.size(), 50u);
+  EXPECT_EQ(split.test.size(), 20u);
+  EXPECT_EQ(split.train.num_classes, 2);
+  for (const auto& s : split.train.samples) {
+    EXPECT_EQ(s.shape(), (Shape{7}));
+  }
+  for (int64_t label : split.train.labels) {
+    EXPECT_TRUE(label == 0 || label == 1);
+  }
+}
+
+TEST(DatasetTest, ImageShapes) {
+  DatasetSplit split = MakeImageDataset("img", 3, 8, 8, 10, 30, 10, 1.0, 32);
+  EXPECT_EQ(split.train.samples[0].shape(), (Shape{3, 8, 8}));
+  EXPECT_EQ(split.train.num_classes, 10);
+}
+
+TEST(DatasetTest, DeterministicForSameSeed) {
+  DatasetSplit a = MakeTabularDataset("t", 4, 10, 5, 2.0, 77);
+  DatasetSplit b = MakeTabularDataset("t", 4, 10, 5, 2.0, 77);
+  EXPECT_EQ(a.train.samples[0].data(), b.train.samples[0].data());
+  EXPECT_EQ(a.train.labels, b.train.labels);
+}
+
+TEST(ZooTest, AllModelsBuildAndShapesCheck) {
+  for (const ZooInfo& info : AllZooInfos()) {
+    auto model = MakeZooModel(info.id, 7);
+    ASSERT_TRUE(model.ok()) << info.dataset_name;
+    auto out = model.value().OutputShape();
+    ASSERT_TRUE(out.ok()) << info.dataset_name;
+    const int64_t classes = info.id == ZooModelId::kBreast ||
+                                    info.id == ZooModelId::kHeart ||
+                                    info.id == ZooModelId::kCardio
+                                ? 2
+                                : 10;
+    EXPECT_EQ(out.value(), (Shape{classes})) << info.dataset_name;
+    EXPECT_GT(model.value().ParameterCount(), 0) << info.dataset_name;
+  }
+}
+
+TEST(ZooTest, DatasetsMatchModelInputs) {
+  for (const ZooInfo& info : AllZooInfos()) {
+    DatasetSplit split = MakeZooDataset(info.id, 0.002, 5);
+    auto model = MakeZooModel(info.id, 7);
+    ASSERT_TRUE(model.ok());
+    EXPECT_EQ(split.train.samples[0].shape(), model.value().input_shape())
+        << info.dataset_name;
+  }
+}
+
+TEST(ZooTest, TableIIIMetadataMatchesPaper) {
+  EXPECT_EQ(AllZooInfos().size(), 9u);
+  const ZooInfo& breast = GetZooInfo(ZooModelId::kBreast);
+  EXPECT_EQ(breast.paper_train_samples, 456u);
+  EXPECT_EQ(breast.paper_test_samples, 113u);
+  const ZooInfo& cifar3 = GetZooInfo(ZooModelId::kCifar3);
+  EXPECT_EQ(std::string(cifar3.architecture), "VGG19");
+  EXPECT_EQ(cifar3.paper_model_servers, 6);
+  EXPECT_EQ(cifar3.paper_data_servers, 3);
+}
+
+TEST(ZooTest, TabularModelTrainsToPaperBallpark) {
+  DatasetSplit split = MakeZooDataset(ZooModelId::kBreast, 1.0, 41);
+  auto model = MakeTrainedZooModel(ZooModelId::kBreast, split.train, 42);
+  ASSERT_TRUE(model.ok());
+  auto acc = EvaluateAccuracy(model.value(), split.test);
+  ASSERT_TRUE(acc.ok());
+  EXPECT_GT(acc.value(), 0.9);  // paper: 97.34%
+}
+
+}  // namespace
+}  // namespace ppstream

@@ -1,0 +1,360 @@
+// Tests for the ILP allocator (Eq. 4-8), the offline profiler, and the
+// cluster simulator.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/protocol.h"
+#include "nn/layers.h"
+#include "planner/allocation.h"
+#include "planner/profiler.h"
+#include "sim/bridge.h"
+#include "sim/cluster_sim.h"
+#include "util/rng.h"
+
+namespace ppstream {
+namespace {
+
+// ------------------------------------------------------------ allocator
+
+AllocationProblem TwoServerProblem() {
+  AllocationProblem p;
+  p.layer_times = {4.0, 1.0, 2.0};   // L, N, N
+  p.layer_class = {+1, -1, -1};
+  p.server_cores = {4, 4};
+  p.server_class = {+1, -1};
+  return p;
+}
+
+TEST(AllocatorTest, ObjectiveIsSumOfOrderedPairDiffs) {
+  // rates: 4/2=2, 1/1=1, 2/2=1 -> pairs |2-1|+|2-1|+|1-1| = 2, x2 ordered.
+  EXPECT_DOUBLE_EQ(AllocationObjective({4, 1, 2}, {2, 1, 2}), 4.0);
+  EXPECT_DOUBLE_EQ(AllocationObjective({5, 5}, {1, 1}), 0.0);
+}
+
+TEST(AllocatorTest, SolveRespectsAllConstraints) {
+  AllocationProblem p = TwoServerProblem();
+  auto alloc = IlpAllocator::Solve(p);
+  ASSERT_TRUE(alloc.ok()) << alloc.status().ToString();
+  const Allocation& a = alloc.value();
+  ASSERT_EQ(a.server_of_layer.size(), 3u);
+  ASSERT_EQ(a.threads_of_layer.size(), 3u);
+  // Eq. (6): layer class must match server class.
+  for (size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(p.server_class[a.server_of_layer[i]], p.layer_class[i]) << i;
+    EXPECT_GE(a.threads_of_layer[i], 1);  // Eq. (7)
+  }
+  // Eq. (8): per-server thread budget (hyper-threading doubles cores).
+  std::vector<int> used(p.server_cores.size(), 0);
+  for (size_t i = 0; i < 3; ++i) {
+    used[a.server_of_layer[i]] += a.threads_of_layer[i];
+  }
+  for (size_t j = 0; j < used.size(); ++j) {
+    EXPECT_LE(used[j], p.server_cores[j] * 2);
+  }
+}
+
+TEST(AllocatorTest, SolveFindsPerfectBalanceWhenOneExists) {
+  // T = {8, 4, 2, 1} on generous servers: y = {8,4,2,1} -> all rates 1.
+  AllocationProblem p;
+  p.layer_times = {8, 4, 2, 1};
+  p.layer_class = {+1, +1, -1, -1};
+  p.server_cores = {8, 8};  // cap 16 per server with HT
+  p.server_class = {+1, -1};
+  auto alloc = IlpAllocator::Solve(p);
+  ASSERT_TRUE(alloc.ok());
+  EXPECT_TRUE(alloc.value().exact);
+  EXPECT_NEAR(alloc.value().objective, 0.0, 1e-9);
+}
+
+TEST(AllocatorTest, SolveBeatsOrMatchesEvenSplit) {
+  // Skewed times: even split wastes threads on cheap layers.
+  AllocationProblem p;
+  p.layer_times = {10.0, 0.1, 9.0, 0.2};
+  p.layer_class = {+1, -1, +1, -1};
+  p.server_cores = {3, 3};
+  p.server_class = {+1, -1};
+  auto solved = IlpAllocator::Solve(p);
+  auto even = IlpAllocator::EvenSplit(p);
+  ASSERT_TRUE(solved.ok() && even.ok());
+  EXPECT_LE(solved.value().objective, even.value().objective + 1e-12);
+}
+
+TEST(AllocatorTest, GreedyIsFeasible) {
+  AllocationProblem p = TwoServerProblem();
+  auto greedy = IlpAllocator::Greedy(p);
+  ASSERT_TRUE(greedy.ok());
+  std::vector<int> used(p.server_cores.size(), 0);
+  for (size_t i = 0; i < p.layer_times.size(); ++i) {
+    EXPECT_EQ(p.server_class[greedy.value().server_of_layer[i]],
+              p.layer_class[i]);
+    used[greedy.value().server_of_layer[i]] +=
+        greedy.value().threads_of_layer[i];
+  }
+  for (size_t j = 0; j < used.size(); ++j) {
+    EXPECT_LE(used[j], p.server_cores[j] * 2);
+  }
+}
+
+TEST(AllocatorTest, InfeasibleWhenCapacityTooSmall) {
+  AllocationProblem p;
+  p.layer_times = {1, 1, 1};
+  p.layer_class = {+1, +1, +1};
+  p.server_cores = {1};  // cap 2 with HT < 3 layers
+  p.server_class = {+1};
+  auto alloc = IlpAllocator::Solve(p);
+  EXPECT_FALSE(alloc.ok());
+  EXPECT_EQ(alloc.status().code(), StatusCode::kInfeasible);
+}
+
+TEST(AllocatorTest, RejectsMalformedProblems) {
+  AllocationProblem p;
+  EXPECT_FALSE(IlpAllocator::Solve(p).ok());  // empty
+  p.layer_times = {1};
+  p.layer_class = {+2};  // bad class
+  p.server_cores = {4};
+  p.server_class = {+1};
+  EXPECT_FALSE(IlpAllocator::Solve(p).ok());
+  p.layer_class = {+1};
+  p.layer_times = {-1};  // bad time
+  EXPECT_FALSE(IlpAllocator::Solve(p).ok());
+}
+
+TEST(AllocatorTest, HyperThreadingDoublesBudget) {
+  AllocationProblem p;
+  p.layer_times = {1, 1, 1, 1};
+  p.layer_class = {+1, +1, +1, +1};
+  p.server_cores = {2};
+  p.server_class = {+1};
+  p.hyper_threading = true;  // cap 4: feasible
+  EXPECT_TRUE(IlpAllocator::Solve(p).ok());
+  p.hyper_threading = false;  // cap 2: infeasible for 4 layers
+  EXPECT_FALSE(IlpAllocator::Solve(p).ok());
+}
+
+// Exhaustive cross-check on a tiny instance: B&B must match brute force.
+TEST(AllocatorTest, BranchAndBoundMatchesBruteForce) {
+  AllocationProblem p;
+  p.layer_times = {3.0, 1.5, 2.0};
+  p.layer_class = {+1, -1, -1};
+  p.server_cores = {2, 2};
+  p.server_class = {+1, -1};
+  const int cap = 4;  // 2 cores, HT
+
+  double brute_best = 1e18;
+  for (int y0 = 1; y0 <= cap; ++y0) {
+    for (int y1 = 1; y1 <= cap; ++y1) {
+      for (int y2 = 1; y2 <= cap; ++y2) {
+        if (y1 + y2 > cap) continue;  // layers 1,2 share the data server
+        brute_best = std::min(
+            brute_best, AllocationObjective(p.layer_times, {y0, y1, y2}));
+      }
+    }
+  }
+  auto alloc = IlpAllocator::Solve(p);
+  ASSERT_TRUE(alloc.ok());
+  EXPECT_TRUE(alloc.value().exact);
+  EXPECT_NEAR(alloc.value().objective, brute_best, 1e-9);
+}
+
+TEST(AllocatorTest, MinMaxObjectiveAlternative) {
+  // The paper notes minimizing the max pairwise difference also works.
+  EXPECT_DOUBLE_EQ(MaxPairwiseDiffObjective({4, 1, 2}, {2, 1, 2}), 1.0);
+  EXPECT_DOUBLE_EQ(MaxPairwiseDiffObjective({5, 5}, {1, 1}), 0.0);
+
+  AllocationProblem p;
+  p.layer_times = {8, 4, 2, 1};
+  p.layer_class = {+1, +1, -1, -1};
+  p.server_cores = {8, 8};
+  p.server_class = {+1, -1};
+  p.objective = AllocationProblem::Objective::kMinMaxDiff;
+  auto alloc = IlpAllocator::Solve(p);
+  ASSERT_TRUE(alloc.ok());
+  EXPECT_TRUE(alloc.value().exact);
+  // y = {8,4,2,1} equalizes every rate -> max diff 0.
+  EXPECT_NEAR(alloc.value().objective, 0.0, 1e-9);
+  // The reported objective is the min-max one.
+  EXPECT_NEAR(MaxPairwiseDiffObjective(p.layer_times,
+                                       alloc.value().threads_of_layer),
+              alloc.value().objective, 1e-12);
+}
+
+TEST(AllocatorTest, ObjectivesCanDisagreeOnRanking) {
+  // Two allocations where sum-of-diffs prefers one and min-max the other
+  // (sanity that the two objectives are genuinely different).
+  const std::vector<double> times = {6, 3, 3};
+  const std::vector<int> a = {2, 1, 1};  // rates 3,3,3
+  const std::vector<int> b = {3, 2, 1};  // rates 2,1.5,3
+  EXPECT_LT(AllocationObjective(times, a), AllocationObjective(times, b));
+  EXPECT_LT(MaxPairwiseDiffObjective(times, a),
+            MaxPairwiseDiffObjective(times, b));
+  const std::vector<int> c = {1, 1, 2};  // rates 6,3,1.5
+  EXPECT_GT(MaxPairwiseDiffObjective(times, c),
+            MaxPairwiseDiffObjective(times, b));
+}
+
+// ------------------------------------------------------------ profiler
+
+TEST(ProfilerTest, ProfilesEveryStage) {
+  Rng rng(3);
+  auto keys = Paillier::GenerateKeyPair(128, rng);
+  ASSERT_TRUE(keys.ok());
+
+  Rng mrng(4);
+  Model model(Shape{3}, "prof");
+  PPS_CHECK_OK(model.Add(DenseLayer::Random(3, 4, mrng)));
+  PPS_CHECK_OK(model.Add(std::make_unique<ReluLayer>()));
+  PPS_CHECK_OK(model.Add(DenseLayer::Random(4, 2, mrng)));
+  PPS_CHECK_OK(model.Add(std::make_unique<SoftmaxLayer>()));
+  auto plan_or = CompilePlan(model, 100);
+  ASSERT_TRUE(plan_or.ok());
+  auto plan = std::make_shared<InferencePlan>(std::move(plan_or).value());
+
+  ModelProvider mp(plan, keys.value().public_key, 5);
+  DataProvider dp(plan, keys.value(), 6);
+
+  std::vector<DoubleTensor> probes;
+  for (int i = 0; i < 3; ++i) {
+    DoubleTensor x{Shape{3}};
+    for (int64_t j = 0; j < 3; ++j) x[j] = 0.1 * (i + 1) * (j + 1);
+    probes.push_back(std::move(x));
+  }
+  auto profile = ProfilePlan(mp, dp, probes);
+  ASSERT_TRUE(profile.ok()) << profile.status().ToString();
+  EXPECT_EQ(profile.value().stage_seconds.size(), 5u);  // 2R+1, R=2
+  EXPECT_EQ(profile.value().stage_class[0], -1);
+  EXPECT_EQ(profile.value().stage_class[1], +1);
+  EXPECT_EQ(profile.value().stage_class[2], -1);
+  for (double t : profile.value().stage_seconds) EXPECT_GT(t, 0);
+  for (size_t s = 0; s + 1 < 5; ++s) {
+    EXPECT_GT(profile.value().stage_bytes_out[s], 0u) << s;
+  }
+
+  // Profile feeds a solvable allocation problem.
+  AllocationProblem problem =
+      BuildAllocationProblem(profile.value(), 2, 1, 4);
+  auto alloc = IlpAllocator::Solve(problem);
+  ASSERT_TRUE(alloc.ok()) << alloc.status().ToString();
+  auto threads = StageThreadsFromAllocation(alloc.value());
+  EXPECT_EQ(threads.size(), 5u);
+
+  // And the allocation bridges into the simulator.
+  auto stages = BuildSimStages(profile.value(), alloc.value());
+  auto report = SimulatePipeline(stages, SimNetwork{}, SimWorkload{});
+  ASSERT_TRUE(report.ok());
+  EXPECT_GT(report.value().avg_latency_seconds, 0);
+}
+
+TEST(ProfilerTest, RejectsEmptyProbes) {
+  Rng rng(7);
+  auto keys = Paillier::GenerateKeyPair(128, rng);
+  ASSERT_TRUE(keys.ok());
+  Rng mrng(8);
+  Model model(Shape{2}, "p2");
+  PPS_CHECK_OK(model.Add(DenseLayer::Random(2, 2, mrng)));
+  PPS_CHECK_OK(model.Add(std::make_unique<SoftmaxLayer>()));
+  auto plan_or = CompilePlan(model, 10);
+  ASSERT_TRUE(plan_or.ok());
+  auto plan = std::make_shared<InferencePlan>(std::move(plan_or).value());
+  ModelProvider mp(plan, keys.value().public_key, 9);
+  DataProvider dp(plan, keys.value(), 10);
+  EXPECT_FALSE(ProfilePlan(mp, dp, {}).ok());
+}
+
+// ------------------------------------------------------------ simulator
+
+TEST(SimTest, AmdahlServiceTime) {
+  SimStageSpec stage;
+  stage.single_thread_seconds = 10;
+  stage.parallel_fraction = 1.0;
+  stage.threads = 5;
+  EXPECT_DOUBLE_EQ(stage.ServiceSeconds(), 2.0);
+  stage.parallel_fraction = 0.5;
+  EXPECT_DOUBLE_EQ(stage.ServiceSeconds(), 5 + 1);
+  stage.threads = 1;
+  EXPECT_DOUBLE_EQ(stage.ServiceSeconds(), 10);
+}
+
+TEST(SimTest, SingleRequestLatencyIsSumOfServices) {
+  std::vector<SimStageSpec> stages(3);
+  for (int i = 0; i < 3; ++i) {
+    stages[i].single_thread_seconds = i + 1.0;
+    stages[i].server = 0;  // same server: no transfers
+  }
+  SimWorkload wl;
+  wl.num_requests = 1;
+  auto report = SimulatePipeline(stages, SimNetwork{}, wl);
+  ASSERT_TRUE(report.ok());
+  double expected = 0;
+  for (const auto& s : stages) expected += s.ServiceSeconds();
+  EXPECT_DOUBLE_EQ(report.value().avg_latency_seconds, expected);
+}
+
+TEST(SimTest, PipeliningBeatsCentralizedOnStreams) {
+  std::vector<SimStageSpec> stages(4);
+  for (int i = 0; i < 4; ++i) {
+    stages[i].single_thread_seconds = 1.0;
+    stages[i].server = i;  // distinct servers
+    stages[i].bytes_out = 1000;
+  }
+  SimWorkload wl;
+  wl.num_requests = 50;
+  auto piped = SimulatePipeline(stages, SimNetwork{}, wl);
+  auto central = SimulateCentralized(stages, wl);
+  ASSERT_TRUE(piped.ok() && central.ok());
+  // Pipelined makespan ~ N * bottleneck; centralized ~ N * sum.
+  EXPECT_LT(piped.value().makespan_seconds,
+            central.value().makespan_seconds / 2);
+  EXPECT_GT(piped.value().throughput_rps, central.value().throughput_rps);
+}
+
+TEST(SimTest, BottleneckStageDominatesQueueing) {
+  std::vector<SimStageSpec> balanced(2), skewed(2);
+  balanced[0].single_thread_seconds = balanced[1].single_thread_seconds = 1;
+  skewed[0].single_thread_seconds = 1.9;
+  skewed[1].single_thread_seconds = 0.1;
+  for (auto* v : {&balanced, &skewed}) {
+    (*v)[0].server = 0;
+    (*v)[1].server = 1;
+  }
+  SimWorkload wl;
+  wl.num_requests = 40;
+  auto b = SimulatePipeline(balanced, SimNetwork{}, wl);
+  auto s = SimulatePipeline(skewed, SimNetwork{}, wl);
+  ASSERT_TRUE(b.ok() && s.ok());
+  // Same total work, but the skewed pipeline queues at its 1.9 s stage.
+  EXPECT_LT(b.value().avg_latency_seconds, s.value().avg_latency_seconds);
+}
+
+TEST(SimTest, TransferCostOnlyBetweenDistinctServers) {
+  std::vector<SimStageSpec> same(2), cross(2);
+  for (auto* v : {&same, &cross}) {
+    (*v)[0].single_thread_seconds = 1;
+    (*v)[1].single_thread_seconds = 1;
+    (*v)[0].bytes_out = 100'000'000;  // 100 MB -> noticeable at 10 Gbps
+  }
+  same[0].server = same[1].server = 0;
+  cross[0].server = 0;
+  cross[1].server = 1;
+  SimWorkload wl;
+  wl.num_requests = 1;
+  auto a = SimulatePipeline(same, SimNetwork{}, wl);
+  auto b = SimulatePipeline(cross, SimNetwork{}, wl);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_GT(b.value().avg_latency_seconds,
+            a.value().avg_latency_seconds + 0.05);
+}
+
+TEST(SimTest, RejectsEmptyInputs) {
+  EXPECT_FALSE(SimulatePipeline({}, SimNetwork{}, SimWorkload{}).ok());
+  std::vector<SimStageSpec> stages(1);
+  stages[0].single_thread_seconds = 1;
+  SimWorkload wl;
+  wl.num_requests = 0;
+  EXPECT_FALSE(SimulatePipeline(stages, SimNetwork{}, wl).ok());
+  EXPECT_FALSE(SimulateCentralized({}, SimWorkload{}).ok());
+}
+
+}  // namespace
+}  // namespace ppstream

@@ -1,0 +1,107 @@
+// Tests for distance correlation and the accuracy metric.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "crypto/permutation.h"
+#include "stats/dcor.h"
+#include "util/rng.h"
+
+namespace ppstream {
+namespace {
+
+TEST(DcorTest, IdenticalSequencesGiveOne) {
+  std::vector<double> x = {1, 2, 3, 4, 5, 6, 7, 8};
+  auto d = DistanceCorrelation(x, x);
+  ASSERT_TRUE(d.ok());
+  EXPECT_NEAR(d.value(), 1.0, 1e-12);
+}
+
+TEST(DcorTest, LinearDependenceGivesOne) {
+  std::vector<double> x = {1, 2, 3, 4, 5};
+  std::vector<double> y = {-3, -6, -9, -12, -15};  // y = -3x
+  auto d = DistanceCorrelation(x, y);
+  ASSERT_TRUE(d.ok());
+  EXPECT_NEAR(d.value(), 1.0, 1e-12);
+}
+
+TEST(DcorTest, IndependentSequencesGiveNearZero) {
+  Rng rng(1);
+  std::vector<double> x(2000), y(2000);
+  for (size_t i = 0; i < x.size(); ++i) {
+    x[i] = rng.NextGaussian();
+    y[i] = rng.NextGaussian();
+  }
+  auto d = DistanceCorrelation(x, y);
+  ASSERT_TRUE(d.ok());
+  EXPECT_LT(d.value(), 0.08);
+}
+
+TEST(DcorTest, DetectsNonLinearDependence) {
+  // Pearson correlation of (x, x^2) on symmetric x is ~0; dCor is not.
+  Rng rng(2);
+  std::vector<double> x(500), y(500);
+  for (size_t i = 0; i < x.size(); ++i) {
+    x[i] = rng.NextUniform(-1, 1);
+    y[i] = x[i] * x[i];
+  }
+  auto d = DistanceCorrelation(x, y);
+  ASSERT_TRUE(d.ok());
+  EXPECT_GT(d.value(), 0.3);
+}
+
+TEST(DcorTest, PermutationReducesCorrelationMoreForLongerTensors) {
+  // The core claim of paper Table VI: dCor(v, P(v)) shrinks as |v| grows.
+  SecureRng prng = SecureRng::FromSeed(3);
+  Rng rng(4);
+  double prev = 1.0;
+  for (size_t len : {32u, 256u, 2048u}) {
+    std::vector<double> v(len);
+    for (auto& e : v) e = rng.NextGaussian();
+    Permutation p = Permutation::Random(len, prng);
+    auto d = DistanceCorrelation(v, p.Apply(v));
+    ASSERT_TRUE(d.ok());
+    EXPECT_LT(d.value(), prev) << "len=" << len;
+    prev = d.value();
+  }
+  EXPECT_LT(prev, 0.1);  // long tensors leak little
+}
+
+TEST(DcorTest, ConstantSequenceGivesZero) {
+  std::vector<double> x = {5, 5, 5, 5};
+  std::vector<double> y = {1, 2, 3, 4};
+  auto d = DistanceCorrelation(x, y);
+  ASSERT_TRUE(d.ok());
+  EXPECT_DOUBLE_EQ(d.value(), 0.0);
+}
+
+TEST(DcorTest, RejectsBadInputs) {
+  EXPECT_FALSE(DistanceCorrelation({1}, {1}).ok());
+  EXPECT_FALSE(DistanceCorrelation({1, 2}, {1, 2, 3}).ok());
+}
+
+TEST(AccuracyTest, ConfusionMatrixDefinition) {
+  // TP=2 TN=1 FP=1 FN=1 -> (2+1)/5.
+  auto acc = BinaryConfusionAccuracy({1, 1, 0, 1, 0}, {1, 1, 0, 0, 1});
+  ASSERT_TRUE(acc.ok());
+  EXPECT_DOUBLE_EQ(acc.value(), 0.6);
+}
+
+TEST(AccuracyTest, RejectsNonBinaryAndMismatched) {
+  EXPECT_FALSE(BinaryConfusionAccuracy({2}, {1}).ok());
+  EXPECT_FALSE(BinaryConfusionAccuracy({1}, {3}).ok());
+  EXPECT_FALSE(BinaryConfusionAccuracy({1, 0}, {1}).ok());
+  EXPECT_FALSE(BinaryConfusionAccuracy({}, {}).ok());
+}
+
+TEST(StatsTest, MeanAndStdDev) {
+  std::vector<double> v = {2, 4, 4, 4, 5, 5, 7, 9};
+  EXPECT_DOUBLE_EQ(Mean(v), 5.0);
+  EXPECT_DOUBLE_EQ(StdDev(v), 2.0);
+  EXPECT_DOUBLE_EQ(Mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(StdDev({1.0}), 0.0);
+}
+
+}  // namespace
+}  // namespace ppstream

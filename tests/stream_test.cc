@@ -1,0 +1,336 @@
+// Tests for the stream substrate: channels, stages, pipelines, and the
+// end-to-end PP-Stream engine (pipelined protocol == synchronous protocol).
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+#include <thread>
+
+#include "core/protocol.h"
+#include "nn/layers.h"
+#include "stream/channel.h"
+#include "stream/engine.h"
+#include "stream/message.h"
+#include "stream/pipeline.h"
+#include "tensor/ops.h"
+#include "util/rng.h"
+
+namespace ppstream {
+namespace {
+
+// ------------------------------------------------------------- channel
+
+TEST(ChannelTest, FifoOrder) {
+  Channel<int> chan(4);
+  chan.Send(1);
+  chan.Send(2);
+  chan.Send(3);
+  EXPECT_EQ(chan.Recv(), 1);
+  EXPECT_EQ(chan.Recv(), 2);
+  EXPECT_EQ(chan.Recv(), 3);
+}
+
+TEST(ChannelTest, RecvAfterCloseDrainsThenEnds) {
+  Channel<int> chan(4);
+  chan.Send(7);
+  chan.Close();
+  EXPECT_EQ(chan.Recv(), 7);
+  EXPECT_EQ(chan.Recv(), std::nullopt);
+  EXPECT_FALSE(chan.Send(8));
+}
+
+TEST(ChannelTest, BackpressureBlocksSender) {
+  Channel<int> chan(1);
+  chan.Send(1);
+  std::atomic<bool> sent{false};
+  std::thread sender([&] {
+    chan.Send(2);
+    sent = true;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_FALSE(sent.load()) << "send should block while full";
+  EXPECT_EQ(chan.Recv(), 1);
+  sender.join();
+  EXPECT_TRUE(sent.load());
+  EXPECT_EQ(chan.Recv(), 2);
+}
+
+TEST(ChannelTest, ManyProducersManyConsumers) {
+  Channel<int> chan(8);
+  constexpr int kPerProducer = 200;
+  constexpr int kProducers = 4;
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&chan, p] {
+      for (int i = 0; i < kPerProducer; ++i) chan.Send(p * kPerProducer + i);
+    });
+  }
+  std::atomic<int> total{0};
+  std::vector<std::thread> consumers;
+  for (int c = 0; c < 3; ++c) {
+    consumers.emplace_back([&] {
+      while (auto v = chan.Recv()) total += 1;
+    });
+  }
+  for (auto& t : producers) t.join();
+  chan.Close();
+  for (auto& t : consumers) t.join();
+  EXPECT_EQ(total.load(), kPerProducer * kProducers);
+}
+
+// ------------------------------------------------------------- messages
+
+TEST(MessageTest, DoubleTensorRoundTrip) {
+  DoubleTensor t(Shape{2, 3}, {1.5, -2.25, 0, 42, 1e-9, -1e9});
+  auto back = DeserializeDoubleTensor(SerializeDoubleTensor(t));
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value().shape(), t.shape());
+  for (int64_t i = 0; i < t.NumElements(); ++i) {
+    EXPECT_DOUBLE_EQ(back.value()[i], t[i]);
+  }
+}
+
+TEST(MessageTest, CiphertextVectorRoundTrip) {
+  std::vector<Ciphertext> v;
+  for (int i = 0; i < 5; ++i) {
+    v.push_back(Ciphertext{BigInt(int64_t{1} << (i * 7))});
+  }
+  auto back = DeserializeCiphertexts(SerializeCiphertexts(v));
+  ASSERT_TRUE(back.ok());
+  ASSERT_EQ(back.value().size(), v.size());
+  for (size_t i = 0; i < v.size(); ++i) {
+    EXPECT_EQ(back.value()[i].value.Compare(v[i].value), 0);
+  }
+}
+
+TEST(MessageTest, TruncatedPayloadFails) {
+  DoubleTensor t(Shape{4}, {1, 2, 3, 4});
+  auto bytes = SerializeDoubleTensor(t);
+  bytes.resize(bytes.size() - 3);
+  EXPECT_FALSE(DeserializeDoubleTensor(bytes).ok());
+}
+
+// ------------------------------------------------------------- pipeline
+
+StreamMessage IntMessage(uint64_t id, int64_t v) {
+  StreamMessage msg;
+  msg.request_id = id;
+  BufferWriter w;
+  w.WriteI64(v);
+  msg.payload = w.TakeBytes();
+  return msg;
+}
+
+int64_t IntPayload(const StreamMessage& msg) {
+  BufferReader r(msg.payload);
+  auto v = r.ReadI64();
+  PPS_CHECK(v.ok());
+  return v.value();
+}
+
+std::unique_ptr<Stage> AddingStage(const std::string& name, int64_t delta) {
+  return std::make_unique<Stage>(
+      name, 1,
+      [delta](StreamMessage msg, ThreadPool&) -> Result<StreamMessage> {
+        return IntMessage(msg.request_id, IntPayload(msg) + delta);
+      });
+}
+
+TEST(PipelineTest, StagesComposeInOrder) {
+  Pipeline pipeline(2);
+  pipeline.AddStage(AddingStage("a", 1));
+  pipeline.AddStage(AddingStage("b", 10));
+  pipeline.AddStage(AddingStage("c", 100));
+  ASSERT_TRUE(pipeline.Start().ok());
+  for (uint64_t i = 0; i < 5; ++i) {
+    ASSERT_TRUE(pipeline.Feed(IntMessage(i, static_cast<int64_t>(i))).ok());
+  }
+  for (uint64_t i = 0; i < 5; ++i) {
+    auto result = pipeline.NextResult();
+    ASSERT_TRUE(result.has_value());
+    EXPECT_EQ(result->request_id, i);  // FIFO end to end
+    EXPECT_EQ(IntPayload(*result), static_cast<int64_t>(i) + 111);
+  }
+  pipeline.Shutdown();
+  EXPECT_EQ(pipeline.stage(0).metrics().messages_processed, 5u);
+  EXPECT_EQ(pipeline.stage(2).metrics().errors, 0u);
+}
+
+TEST(PipelineTest, FailingMessageIsDroppedNotFatal) {
+  Pipeline pipeline(2);
+  pipeline.AddStage(std::make_unique<Stage>(
+      "flaky", 1,
+      [](StreamMessage msg, ThreadPool&) -> Result<StreamMessage> {
+        if (msg.request_id == 1) return Status::Internal("boom");
+        return msg;
+      }));
+  ASSERT_TRUE(pipeline.Start().ok());
+  for (uint64_t i = 0; i < 3; ++i) {
+    ASSERT_TRUE(pipeline.Feed(IntMessage(i, 0)).ok());
+  }
+  std::vector<uint64_t> survivors;
+  // Request 1 is dropped; expect ids 0 and 2.
+  for (int i = 0; i < 2; ++i) {
+    auto result = pipeline.NextResult();
+    ASSERT_TRUE(result.has_value());
+    survivors.push_back(result->request_id);
+  }
+  pipeline.Shutdown();
+  EXPECT_EQ(survivors, (std::vector<uint64_t>{0, 2}));
+  EXPECT_EQ(pipeline.stage(0).metrics().errors, 1u);
+}
+
+TEST(PipelineTest, TransientFailureIsRetried) {
+  // A stage that fails on the first attempt for each message succeeds with
+  // max_retries = 1 (AF-Stream-style re-execution).
+  auto fail_once = std::make_shared<std::set<uint64_t>>();
+  Pipeline pipeline(2);
+  pipeline.AddStage(std::make_unique<Stage>(
+      "flaky-once", 1,
+      [fail_once](StreamMessage msg, ThreadPool&) -> Result<StreamMessage> {
+        if (fail_once->insert(msg.request_id).second) {
+          return Status::Internal("transient failure");
+        }
+        return msg;
+      },
+      /*max_retries=*/1));
+  ASSERT_TRUE(pipeline.Start().ok());
+  for (uint64_t i = 0; i < 3; ++i) {
+    ASSERT_TRUE(pipeline.Feed(IntMessage(i, 0)).ok());
+  }
+  for (uint64_t i = 0; i < 3; ++i) {
+    auto result = pipeline.NextResult();
+    ASSERT_TRUE(result.has_value());
+    EXPECT_EQ(result->request_id, i);
+  }
+  pipeline.Shutdown();
+  EXPECT_EQ(pipeline.stage(0).metrics().retries, 3u);
+  EXPECT_EQ(pipeline.stage(0).metrics().errors, 0u);
+}
+
+TEST(PipelineTest, ExhaustedRetriesDropMessage) {
+  Pipeline pipeline(2);
+  pipeline.AddStage(std::make_unique<Stage>(
+      "always-fails", 1,
+      [](StreamMessage, ThreadPool&) -> Result<StreamMessage> {
+        return Status::Internal("permanent failure");
+      },
+      /*max_retries=*/2));
+  ASSERT_TRUE(pipeline.Start().ok());
+  ASSERT_TRUE(pipeline.Feed(IntMessage(0, 0)).ok());
+  pipeline.Shutdown();
+  EXPECT_EQ(pipeline.stage(0).metrics().errors, 1u);
+  EXPECT_EQ(pipeline.stage(0).metrics().retries, 2u);
+}
+
+TEST(PipelineTest, StartWithoutStagesFails) {
+  Pipeline pipeline;
+  EXPECT_FALSE(pipeline.Start().ok());
+}
+
+// ------------------------------------------------------------- engine
+
+class EngineTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    Rng rng(7);
+    auto pair = Paillier::GenerateKeyPair(256, rng);
+    ASSERT_TRUE(pair.ok());
+    keys_ = new PaillierKeyPair(std::move(pair).value());
+
+    Rng mrng(8);
+    Model model(Shape{4}, "engine");
+    PPS_CHECK_OK(model.Add(DenseLayer::Random(4, 6, mrng)));
+    PPS_CHECK_OK(model.Add(std::make_unique<ReluLayer>()));
+    PPS_CHECK_OK(model.Add(DenseLayer::Random(6, 3, mrng)));
+    PPS_CHECK_OK(model.Add(std::make_unique<SoftmaxLayer>()));
+    auto plan = CompilePlan(model, 1000);
+    ASSERT_TRUE(plan.ok());
+    plan_ = new std::shared_ptr<InferencePlan>(
+        std::make_shared<InferencePlan>(std::move(plan).value()));
+  }
+  static void TearDownTestSuite() {
+    delete keys_;
+    delete plan_;
+  }
+
+  static PaillierKeyPair* keys_;
+  static std::shared_ptr<InferencePlan>* plan_;
+};
+
+PaillierKeyPair* EngineTest::keys_ = nullptr;
+std::shared_ptr<InferencePlan>* EngineTest::plan_ = nullptr;
+
+TEST_F(EngineTest, PipelinedMatchesSynchronousProtocol) {
+  auto mp = std::make_shared<ModelProvider>(*plan_, keys_->public_key, 11);
+  auto dp = std::make_shared<DataProvider>(*plan_, *keys_, 13);
+  EngineConfig config;
+  config.stage_threads = {1, 2, 1, 2, 1};  // 2R+1 = 5 stages
+  PpStreamEngine engine(mp, dp, config);
+  ASSERT_TRUE(engine.Start().ok());
+
+  Rng rng(14);
+  std::vector<DoubleTensor> inputs;
+  for (int i = 0; i < 6; ++i) {
+    DoubleTensor x{Shape{4}};
+    for (int64_t j = 0; j < 4; ++j) x[j] = rng.NextUniform(-2, 2);
+    inputs.push_back(std::move(x));
+    ASSERT_TRUE(engine.Submit(static_cast<uint64_t>(i), inputs.back()).ok());
+  }
+
+  for (int i = 0; i < 6; ++i) {
+    auto result = engine.NextResult();
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    EXPECT_EQ(result.value().request_id, static_cast<uint64_t>(i));
+    auto expected =
+        RunScaledPlainInference(**plan_, inputs[result.value().request_id]);
+    ASSERT_TRUE(expected.ok());
+    for (int64_t j = 0; j < expected.value().NumElements(); ++j) {
+      EXPECT_DOUBLE_EQ(result.value().output[j], expected.value()[j]);
+    }
+  }
+  engine.Shutdown();
+
+  // Every stage saw every message.
+  for (size_t s = 0; s < engine.pipeline().NumStages(); ++s) {
+    EXPECT_EQ(engine.pipeline().stage(s).metrics().messages_processed, 6u)
+        << "stage " << s;
+    EXPECT_EQ(engine.pipeline().stage(s).metrics().errors, 0u);
+  }
+}
+
+TEST_F(EngineTest, RejectsWrongThreadVectorSize) {
+  auto mp = std::make_shared<ModelProvider>(*plan_, keys_->public_key, 15);
+  auto dp = std::make_shared<DataProvider>(*plan_, *keys_, 16);
+  EngineConfig config;
+  config.stage_threads = {1, 2};  // wrong: plan needs 5
+  PpStreamEngine engine(mp, dp, config);
+  EXPECT_FALSE(engine.Start().ok());
+}
+
+TEST_F(EngineTest, NumPipelineStagesFormula) {
+  EXPECT_EQ(NumPipelineStages(**plan_), 2 * (*plan_)->NumRounds() + 1);
+}
+
+TEST_F(EngineTest, WithoutPartitioningStillCorrect) {
+  auto mp = std::make_shared<ModelProvider>(*plan_, keys_->public_key, 17);
+  auto dp = std::make_shared<DataProvider>(*plan_, *keys_, 18);
+  EngineConfig config;
+  config.tensor_partitioning = false;
+  PpStreamEngine engine(mp, dp, config);
+  ASSERT_TRUE(engine.Start().ok());
+  DoubleTensor x(Shape{4}, {0.5, -1, 1.5, 0});
+  ASSERT_TRUE(engine.Submit(99, x).ok());
+  auto result = engine.NextResult();
+  ASSERT_TRUE(result.ok());
+  auto expected = RunScaledPlainInference(**plan_, x);
+  ASSERT_TRUE(expected.ok());
+  for (int64_t j = 0; j < expected.value().NumElements(); ++j) {
+    EXPECT_DOUBLE_EQ(result.value().output[j], expected.value()[j]);
+  }
+  engine.Shutdown();
+}
+
+}  // namespace
+}  // namespace ppstream

@@ -1,0 +1,238 @@
+// Unit tests for shapes, tensors, and the plaintext kernels.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tensor/ops.h"
+#include "tensor/tensor.h"
+
+namespace ppstream {
+namespace {
+
+TEST(ShapeTest, NumElementsAndFlatIndex) {
+  Shape s{2, 3, 4};
+  EXPECT_EQ(s.rank(), 3u);
+  EXPECT_EQ(s.NumElements(), 24);
+  EXPECT_EQ(s.FlatIndex({0, 0, 0}), 0);
+  EXPECT_EQ(s.FlatIndex({0, 0, 3}), 3);
+  EXPECT_EQ(s.FlatIndex({0, 1, 0}), 4);
+  EXPECT_EQ(s.FlatIndex({1, 2, 3}), 23);
+  EXPECT_EQ(s.ToString(), "[2, 3, 4]");
+}
+
+TEST(ShapeTest, ScalarShape) {
+  Shape s{};
+  EXPECT_EQ(s.rank(), 0u);
+  EXPECT_EQ(s.NumElements(), 1);
+}
+
+TEST(TensorTest, ConstructionAndAccess) {
+  Tensor<double> t{Shape{2, 2}};
+  EXPECT_EQ(t.NumElements(), 4);
+  EXPECT_EQ(t[0], 0.0);
+  t.At({1, 0}) = 5.0;
+  EXPECT_EQ(t[2], 5.0);
+}
+
+TEST(TensorTest, ReshapePreservesLexicographicOrder) {
+  Tensor<int64_t> t(Shape{2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor<int64_t> r = t.Reshape(Shape{3, 2});
+  EXPECT_EQ(r.At({0, 0}), 1);
+  EXPECT_EQ(r.At({0, 1}), 2);
+  EXPECT_EQ(r.At({2, 1}), 6);
+  Tensor<int64_t> f = t.Flatten();
+  EXPECT_EQ(f.shape().rank(), 1u);
+  EXPECT_EQ(f[5], 6);
+}
+
+TEST(TensorTest, MapConvertsTypes) {
+  Tensor<double> t(Shape{3}, {1.4, 2.6, -0.5});
+  auto rounded = t.Map<int64_t>(
+      [](double v) { return static_cast<int64_t>(std::llround(v)); });
+  EXPECT_EQ(rounded[0], 1);
+  EXPECT_EQ(rounded[1], 3);
+  EXPECT_EQ(rounded[2], -1);  // llround rounds halfway away from zero
+}
+
+TEST(MatMulTest, KnownProduct) {
+  DoubleTensor a(Shape{2, 3}, {1, 2, 3, 4, 5, 6});
+  DoubleTensor b(Shape{3, 2}, {7, 8, 9, 10, 11, 12});
+  auto c = MatMul(a, b);
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(c.value().shape(), (Shape{2, 2}));
+  EXPECT_DOUBLE_EQ(c.value()[0], 58);
+  EXPECT_DOUBLE_EQ(c.value()[1], 64);
+  EXPECT_DOUBLE_EQ(c.value()[2], 139);
+  EXPECT_DOUBLE_EQ(c.value()[3], 154);
+}
+
+TEST(MatMulTest, DimensionMismatchFails) {
+  DoubleTensor a(Shape{2, 3}, {1, 2, 3, 4, 5, 6});
+  DoubleTensor b(Shape{2, 2}, {1, 2, 3, 4});
+  EXPECT_FALSE(MatMul(a, b).ok());
+  EXPECT_FALSE(MatMul(a.Flatten(), b).ok());
+}
+
+TEST(DenseForwardTest, ComputesAffineMap) {
+  DoubleTensor w(Shape{2, 3}, {1, 0, -1, 2, 2, 2});
+  DoubleTensor b(Shape{2}, {10, -10});
+  DoubleTensor x(Shape{3}, {1, 2, 3});
+  auto y = DenseForward(w, b, x);
+  ASSERT_TRUE(y.ok());
+  EXPECT_DOUBLE_EQ(y.value()[0], 1 - 3 + 10);
+  EXPECT_DOUBLE_EQ(y.value()[1], 2 + 4 + 6 - 10);
+}
+
+TEST(Conv2DTest, PaperFigure5Example) {
+  // The 3x3 input / 2x2 filter / stride-1 example from paper Figure 5(a).
+  Conv2DGeometry g;
+  g.in_channels = 1;
+  g.in_height = 3;
+  g.in_width = 3;
+  g.out_channels = 1;
+  g.kernel_h = 2;
+  g.kernel_w = 2;
+  g.stride = 1;
+  g.padding = 0;
+  DoubleTensor input(Shape{1, 3, 3}, {1, 2, 3, 4, 5, 6, 7, 8, 9});
+  DoubleTensor filter(Shape{1, 1, 2, 2}, {1, 0, 0, 1});
+  DoubleTensor bias(Shape{1}, {0});
+  auto out = Conv2DForward(g, filter, bias, input);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out.value().shape(), (Shape{1, 2, 2}));
+  // Each output = m_ij + m_(i+1)(j+1).
+  EXPECT_DOUBLE_EQ(out.value()[0], 1 + 5);
+  EXPECT_DOUBLE_EQ(out.value()[1], 2 + 6);
+  EXPECT_DOUBLE_EQ(out.value()[2], 4 + 8);
+  EXPECT_DOUBLE_EQ(out.value()[3], 5 + 9);
+}
+
+TEST(Conv2DTest, StrideAndPadding) {
+  Conv2DGeometry g;
+  g.in_channels = 1;
+  g.in_height = 4;
+  g.in_width = 4;
+  g.out_channels = 1;
+  g.kernel_h = 3;
+  g.kernel_w = 3;
+  g.stride = 2;
+  g.padding = 1;
+  EXPECT_EQ(g.out_height(), 2);
+  EXPECT_EQ(g.out_width(), 2);
+  DoubleTensor input{Shape{1, 4, 4}};
+  for (int64_t i = 0; i < 16; ++i) input[i] = 1.0;
+  DoubleTensor filter{Shape{1, 1, 3, 3}};
+  for (int64_t i = 0; i < 9; ++i) filter[i] = 1.0;
+  DoubleTensor bias(Shape{1}, {0});
+  auto out = Conv2DForward(g, filter, bias, input);
+  ASSERT_TRUE(out.ok());
+  // Top-left window clipped by padding: only 4 valid taps.
+  EXPECT_DOUBLE_EQ(out.value()[0], 4);
+  // Window at (1,1) offset covers rows 1..3 cols 1..3 fully: 9 taps.
+  EXPECT_DOUBLE_EQ(out.value()[3], 9);
+}
+
+TEST(Conv2DTest, MultiChannel) {
+  Conv2DGeometry g;
+  g.in_channels = 2;
+  g.in_height = 2;
+  g.in_width = 2;
+  g.out_channels = 1;
+  g.kernel_h = 2;
+  g.kernel_w = 2;
+  g.stride = 1;
+  g.padding = 0;
+  DoubleTensor input(Shape{2, 2, 2}, {1, 2, 3, 4, 10, 20, 30, 40});
+  DoubleTensor filter(Shape{1, 2, 2, 2}, {1, 1, 1, 1, 2, 2, 2, 2});
+  DoubleTensor bias(Shape{1}, {5});
+  auto out = Conv2DForward(g, filter, bias, input);
+  ASSERT_TRUE(out.ok());
+  EXPECT_DOUBLE_EQ(out.value()[0], (1 + 2 + 3 + 4) + 2 * (10 + 20 + 30 + 40) + 5);
+}
+
+TEST(Conv2DTest, RejectsBadGeometry) {
+  Conv2DGeometry g;
+  g.in_channels = 1;
+  g.in_height = 2;
+  g.in_width = 2;
+  g.out_channels = 1;
+  g.kernel_h = 5;
+  g.kernel_w = 5;
+  EXPECT_FALSE(g.Validate().ok());  // empty output
+  g.kernel_h = g.kernel_w = 2;
+  g.stride = 0;
+  EXPECT_FALSE(g.Validate().ok());
+  g.stride = 1;
+  g.padding = -1;
+  EXPECT_FALSE(g.Validate().ok());
+}
+
+TEST(PoolTest, MaxPoolSelectsMaxima) {
+  DoubleTensor input(Shape{1, 4, 4},
+                     {1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16});
+  auto out = MaxPool2D(input, 2, 2);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out.value().shape(), (Shape{1, 2, 2}));
+  EXPECT_DOUBLE_EQ(out.value()[0], 6);
+  EXPECT_DOUBLE_EQ(out.value()[1], 8);
+  EXPECT_DOUBLE_EQ(out.value()[2], 14);
+  EXPECT_DOUBLE_EQ(out.value()[3], 16);
+}
+
+TEST(PoolTest, AvgPoolAverages) {
+  DoubleTensor input(Shape{1, 2, 2}, {1, 3, 5, 7});
+  auto out = AvgPool2D(input, 2, 2);
+  ASSERT_TRUE(out.ok());
+  EXPECT_DOUBLE_EQ(out.value()[0], 4);
+}
+
+TEST(PoolTest, RejectsOversizedWindow) {
+  DoubleTensor input{Shape{1, 2, 2}};
+  EXPECT_FALSE(MaxPool2D(input, 3, 1).ok());
+  EXPECT_FALSE(MaxPool2D(input.Flatten(), 1, 1).ok());
+}
+
+TEST(ActivationTest, Relu) {
+  DoubleTensor x(Shape{4}, {-2, -0.5, 0, 3});
+  DoubleTensor y = Relu(x);
+  EXPECT_DOUBLE_EQ(y[0], 0);
+  EXPECT_DOUBLE_EQ(y[1], 0);
+  EXPECT_DOUBLE_EQ(y[2], 0);
+  EXPECT_DOUBLE_EQ(y[3], 3);
+}
+
+TEST(ActivationTest, SigmoidRangeAndSymmetry) {
+  DoubleTensor x(Shape{3}, {-100, 0, 100});
+  DoubleTensor y = Sigmoid(x);
+  EXPECT_NEAR(y[0], 0, 1e-10);
+  EXPECT_DOUBLE_EQ(y[1], 0.5);
+  EXPECT_NEAR(y[2], 1, 1e-10);
+}
+
+TEST(ActivationTest, SoftmaxSumsToOneAndIsStable) {
+  DoubleTensor x(Shape{3}, {1000, 1001, 1002});  // would overflow naive exp
+  DoubleTensor y = Softmax(x);
+  double sum = y[0] + y[1] + y[2];
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+  EXPECT_GT(y[2], y[1]);
+  EXPECT_GT(y[1], y[0]);
+}
+
+TEST(OpsTest, AddAndScale) {
+  DoubleTensor a(Shape{2}, {1, 2});
+  DoubleTensor b(Shape{2}, {10, 20});
+  auto sum = Add(a, b);
+  ASSERT_TRUE(sum.ok());
+  EXPECT_DOUBLE_EQ(sum.value()[1], 22);
+  EXPECT_FALSE(Add(a, DoubleTensor{Shape{3}}).ok());
+  EXPECT_DOUBLE_EQ(Scale(a, -2)[0], -2);
+}
+
+TEST(OpsTest, ArgMax) {
+  DoubleTensor x(Shape{4}, {1, 5, 5, 2});
+  EXPECT_EQ(ArgMax(x), 1);  // first of the tied maxima
+}
+
+}  // namespace
+}  // namespace ppstream
