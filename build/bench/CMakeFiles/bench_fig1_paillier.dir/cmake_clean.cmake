@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_paillier.dir/bench_fig1_paillier.cc.o"
+  "CMakeFiles/bench_fig1_paillier.dir/bench_fig1_paillier.cc.o.d"
+  "bench_fig1_paillier"
+  "bench_fig1_paillier.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_paillier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig6_latency_vs_factor.cc" "bench/CMakeFiles/bench_fig6_latency_vs_factor.dir/bench_fig6_latency_vs_factor.cc.o" "gcc" "bench/CMakeFiles/bench_fig6_latency_vs_factor.dir/bench_fig6_latency_vs_factor.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/pps_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/stream/CMakeFiles/pps_stream.dir/DependInfo.cmake"
+  "/root/repo/build/src/planner/CMakeFiles/pps_planner.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/pps_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpc/CMakeFiles/pps_mpc.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/pps_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/pps_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/pps_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/pps_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/bignum/CMakeFiles/pps_bignum.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/pps_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

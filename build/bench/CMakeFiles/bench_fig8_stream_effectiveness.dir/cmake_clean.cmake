@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_stream_effectiveness.dir/bench_fig8_stream_effectiveness.cc.o"
+  "CMakeFiles/bench_fig8_stream_effectiveness.dir/bench_fig8_stream_effectiveness.cc.o.d"
+  "bench_fig8_stream_effectiveness"
+  "bench_fig8_stream_effectiveness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_stream_effectiveness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_tensor_partition.dir/bench_fig9_tensor_partition.cc.o"
+  "CMakeFiles/bench_fig9_tensor_partition.dir/bench_fig9_tensor_partition.cc.o.d"
+  "bench_fig9_tensor_partition"
+  "bench_fig9_tensor_partition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_tensor_partition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table6_leakage.dir/bench_table6_leakage.cc.o"
+  "CMakeFiles/bench_table6_leakage.dir/bench_table6_leakage.cc.o.d"
+  "bench_table6_leakage"
+  "bench_table6_leakage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table6_leakage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table7_sota.dir/bench_table7_sota.cc.o"
+  "CMakeFiles/bench_table7_sota.dir/bench_table7_sota.cc.o.d"
+  "bench_table7_sota"
+  "bench_table7_sota.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table7_sota.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

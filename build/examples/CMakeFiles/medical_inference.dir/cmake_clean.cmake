@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/medical_inference.dir/medical_inference.cpp.o"
+  "CMakeFiles/medical_inference.dir/medical_inference.cpp.o.d"
+  "medical_inference"
+  "medical_inference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/medical_inference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mnist_stream.dir/mnist_stream.cpp.o"
+  "CMakeFiles/mnist_stream.dir/mnist_stream.cpp.o.d"
+  "mnist_stream"
+  "mnist_stream.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mnist_stream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/secure_comparison.dir/secure_comparison.cpp.o"
+  "CMakeFiles/secure_comparison.dir/secure_comparison.cpp.o.d"
+  "secure_comparison"
+  "secure_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/secure_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

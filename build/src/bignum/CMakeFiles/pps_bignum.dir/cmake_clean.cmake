@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pps_bignum.dir/bigint.cc.o"
+  "CMakeFiles/pps_bignum.dir/bigint.cc.o.d"
+  "CMakeFiles/pps_bignum.dir/montgomery.cc.o"
+  "CMakeFiles/pps_bignum.dir/montgomery.cc.o.d"
+  "CMakeFiles/pps_bignum.dir/prime.cc.o"
+  "CMakeFiles/pps_bignum.dir/prime.cc.o.d"
+  "libpps_bignum.a"
+  "libpps_bignum.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pps_bignum.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for pps_bignum.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/affine.cc" "src/core/CMakeFiles/pps_core.dir/affine.cc.o" "gcc" "src/core/CMakeFiles/pps_core.dir/affine.cc.o.d"
+  "/root/repo/src/core/partition.cc" "src/core/CMakeFiles/pps_core.dir/partition.cc.o" "gcc" "src/core/CMakeFiles/pps_core.dir/partition.cc.o.d"
+  "/root/repo/src/core/plan.cc" "src/core/CMakeFiles/pps_core.dir/plan.cc.o" "gcc" "src/core/CMakeFiles/pps_core.dir/plan.cc.o.d"
+  "/root/repo/src/core/protocol.cc" "src/core/CMakeFiles/pps_core.dir/protocol.cc.o" "gcc" "src/core/CMakeFiles/pps_core.dir/protocol.cc.o.d"
+  "/root/repo/src/core/rate_limiter.cc" "src/core/CMakeFiles/pps_core.dir/rate_limiter.cc.o" "gcc" "src/core/CMakeFiles/pps_core.dir/rate_limiter.cc.o.d"
+  "/root/repo/src/core/scaling.cc" "src/core/CMakeFiles/pps_core.dir/scaling.cc.o" "gcc" "src/core/CMakeFiles/pps_core.dir/scaling.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/pps_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/pps_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/pps_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/pps_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/bignum/CMakeFiles/pps_bignum.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pps_core.dir/affine.cc.o"
+  "CMakeFiles/pps_core.dir/affine.cc.o.d"
+  "CMakeFiles/pps_core.dir/partition.cc.o"
+  "CMakeFiles/pps_core.dir/partition.cc.o.d"
+  "CMakeFiles/pps_core.dir/plan.cc.o"
+  "CMakeFiles/pps_core.dir/plan.cc.o.d"
+  "CMakeFiles/pps_core.dir/protocol.cc.o"
+  "CMakeFiles/pps_core.dir/protocol.cc.o.d"
+  "CMakeFiles/pps_core.dir/rate_limiter.cc.o"
+  "CMakeFiles/pps_core.dir/rate_limiter.cc.o.d"
+  "CMakeFiles/pps_core.dir/scaling.cc.o"
+  "CMakeFiles/pps_core.dir/scaling.cc.o.d"
+  "libpps_core.a"
+  "libpps_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pps_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pps_crypto.dir/paillier.cc.o"
+  "CMakeFiles/pps_crypto.dir/paillier.cc.o.d"
+  "CMakeFiles/pps_crypto.dir/permutation.cc.o"
+  "CMakeFiles/pps_crypto.dir/permutation.cc.o.d"
+  "CMakeFiles/pps_crypto.dir/secure_rng.cc.o"
+  "CMakeFiles/pps_crypto.dir/secure_rng.cc.o.d"
+  "CMakeFiles/pps_crypto.dir/sha256.cc.o"
+  "CMakeFiles/pps_crypto.dir/sha256.cc.o.d"
+  "libpps_crypto.a"
+  "libpps_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pps_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pps_mpc.dir/circuit.cc.o"
+  "CMakeFiles/pps_mpc.dir/circuit.cc.o.d"
+  "CMakeFiles/pps_mpc.dir/ezpc.cc.o"
+  "CMakeFiles/pps_mpc.dir/ezpc.cc.o.d"
+  "CMakeFiles/pps_mpc.dir/garbled.cc.o"
+  "CMakeFiles/pps_mpc.dir/garbled.cc.o.d"
+  "CMakeFiles/pps_mpc.dir/share.cc.o"
+  "CMakeFiles/pps_mpc.dir/share.cc.o.d"
+  "libpps_mpc.a"
+  "libpps_mpc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pps_mpc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for pps_mpc.
+# This may be replaced when dependencies are built.

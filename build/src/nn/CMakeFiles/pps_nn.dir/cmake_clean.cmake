@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pps_nn.dir/dataset.cc.o"
+  "CMakeFiles/pps_nn.dir/dataset.cc.o.d"
+  "CMakeFiles/pps_nn.dir/layers.cc.o"
+  "CMakeFiles/pps_nn.dir/layers.cc.o.d"
+  "CMakeFiles/pps_nn.dir/model.cc.o"
+  "CMakeFiles/pps_nn.dir/model.cc.o.d"
+  "CMakeFiles/pps_nn.dir/model_zoo.cc.o"
+  "CMakeFiles/pps_nn.dir/model_zoo.cc.o.d"
+  "CMakeFiles/pps_nn.dir/trainer.cc.o"
+  "CMakeFiles/pps_nn.dir/trainer.cc.o.d"
+  "libpps_nn.a"
+  "libpps_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pps_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pps_planner.dir/allocation.cc.o"
+  "CMakeFiles/pps_planner.dir/allocation.cc.o.d"
+  "CMakeFiles/pps_planner.dir/profiler.cc.o"
+  "CMakeFiles/pps_planner.dir/profiler.cc.o.d"
+  "libpps_planner.a"
+  "libpps_planner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pps_planner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pps_sim.dir/bridge.cc.o"
+  "CMakeFiles/pps_sim.dir/bridge.cc.o.d"
+  "CMakeFiles/pps_sim.dir/cluster_sim.cc.o"
+  "CMakeFiles/pps_sim.dir/cluster_sim.cc.o.d"
+  "libpps_sim.a"
+  "libpps_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pps_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

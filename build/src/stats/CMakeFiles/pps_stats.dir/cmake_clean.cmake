@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pps_stats.dir/dcor.cc.o"
+  "CMakeFiles/pps_stats.dir/dcor.cc.o.d"
+  "libpps_stats.a"
+  "libpps_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pps_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpps_stats.a"
+)

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pps_stream.dir/engine.cc.o"
+  "CMakeFiles/pps_stream.dir/engine.cc.o.d"
+  "CMakeFiles/pps_stream.dir/message.cc.o"
+  "CMakeFiles/pps_stream.dir/message.cc.o.d"
+  "CMakeFiles/pps_stream.dir/pipeline.cc.o"
+  "CMakeFiles/pps_stream.dir/pipeline.cc.o.d"
+  "CMakeFiles/pps_stream.dir/stage.cc.o"
+  "CMakeFiles/pps_stream.dir/stage.cc.o.d"
+  "libpps_stream.a"
+  "libpps_stream.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pps_stream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pps_tensor.dir/ops.cc.o"
+  "CMakeFiles/pps_tensor.dir/ops.cc.o.d"
+  "libpps_tensor.a"
+  "libpps_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pps_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pps_util.dir/logging.cc.o"
+  "CMakeFiles/pps_util.dir/logging.cc.o.d"
+  "CMakeFiles/pps_util.dir/rng.cc.o"
+  "CMakeFiles/pps_util.dir/rng.cc.o.d"
+  "CMakeFiles/pps_util.dir/status.cc.o"
+  "CMakeFiles/pps_util.dir/status.cc.o.d"
+  "CMakeFiles/pps_util.dir/thread_pool.cc.o"
+  "CMakeFiles/pps_util.dir/thread_pool.cc.o.d"
+  "libpps_util.a"
+  "libpps_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pps_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
