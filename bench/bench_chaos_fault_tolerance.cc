@@ -1,0 +1,155 @@
+// Fault-tolerance bench — latency/throughput degradation under injected
+// faults, on both the real stream engine and the calibrated simulator.
+//
+// Part 1 runs the live pipeline (small dense model, 256-bit keys so the
+// run stays in milliseconds) at per-stage fault rates 0–10% and reports
+// drained outcomes, retries, and throughput. Every submitted request must
+// yield exactly one outcome at every rate — the engine's failure contract.
+//
+// Part 2 sweeps the cluster simulator's per-stage failure probability with
+// the paper-scale stage costs, showing the steady-state latency inflation
+// the retry model predicts for the 9-server deployment.
+
+#include <cstdio>
+
+#include "core/plan.h"
+#include "core/protocol.h"
+#include "crypto/paillier.h"
+#include "nn/layers.h"
+#include "nn/model.h"
+#include "sim/cluster_sim.h"
+#include "stream/engine.h"
+#include "util/fault.h"
+#include "util/logging.h"
+#include "util/rng.h"
+#include "util/timer.h"
+
+using namespace ppstream;
+
+namespace {
+
+struct EngineRow {
+  double fault_rate = 0;
+  size_t ok = 0;
+  size_t failed = 0;
+  uint64_t retries = 0;
+  double seconds = 0;
+};
+
+EngineRow RunEngineAtRate(const std::shared_ptr<InferencePlan>& plan,
+                          const PaillierKeyPair& keys, double rate,
+                          size_t requests) {
+  auto mp = std::make_shared<ModelProvider>(plan, keys.public_key, 7);
+  auto dp = std::make_shared<DataProvider>(plan, keys, 8);
+  EngineConfig config;
+  RetryPolicy policy;
+  policy.max_retries = 3;
+  policy.initial_backoff_seconds = 0.0002;
+  policy.max_backoff_seconds = 0.002;
+  config.retry_policy = policy;
+  if (rate > 0) {
+    auto injector = std::make_shared<FaultInjector>(
+        0xFA17 + static_cast<uint64_t>(rate * 1e4));
+    FaultRule rule;
+    rule.site_pattern = "stage.";
+    rule.probability = rate;
+    injector->AddRule(rule);
+    config.fault_injector = injector;
+  }
+  PpStreamEngine engine(mp, dp, config);
+  PPS_CHECK_OK(engine.Start());
+
+  Rng rng(17);
+  WallTimer timer;
+  for (size_t i = 0; i < requests; ++i) {
+    DoubleTensor x{Shape{4}};
+    for (int64_t j = 0; j < 4; ++j) x[j] = rng.NextUniform(-2, 2);
+    PPS_CHECK_OK(engine.Submit(i, x));
+  }
+  EngineRow row;
+  row.fault_rate = rate;
+  for (size_t i = 0; i < requests; ++i) {
+    auto result = engine.NextResult();
+    if (result.ok()) {
+      ++row.ok;
+    } else {
+      ++row.failed;
+    }
+  }
+  row.seconds = timer.ElapsedSeconds();
+  engine.Shutdown();
+  for (size_t s = 0; s < engine.pipeline().NumStages(); ++s) {
+    row.retries += engine.pipeline().stage(s).metrics().retries;
+  }
+  PPS_CHECK(mp->PendingRequestsForTesting() == 0)
+      << "obfuscation state leaked";
+  return row;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== Fault tolerance: engine + simulator degradation under "
+              "injected faults ==\n\n");
+
+  // A 2-round plan (Dense-ReLU-Dense-Softmax), the smallest shape that
+  // exercises obfuscation state and all five stage kinds.
+  Rng mrng(5);
+  Model model(Shape{4}, "chaos-bench");
+  PPS_CHECK_OK(model.Add(DenseLayer::Random(4, 8, mrng)));
+  PPS_CHECK_OK(model.Add(std::make_unique<ReluLayer>()));
+  PPS_CHECK_OK(model.Add(DenseLayer::Random(8, 3, mrng)));
+  PPS_CHECK_OK(model.Add(std::make_unique<SoftmaxLayer>()));
+  auto plan_or = CompilePlan(model, 1000);
+  PPS_CHECK_OK(plan_or.status());
+  auto plan = std::make_shared<InferencePlan>(std::move(plan_or).value());
+  Rng krng(6);
+  auto keys = Paillier::GenerateKeyPair(256, krng);
+  PPS_CHECK_OK(keys.status());
+
+  constexpr size_t kRequests = 24;
+  std::printf("-- live engine, %zu requests, retry budget 3 --\n", kRequests);
+  std::printf("%-12s %8s %8s %8s %12s %14s\n", "fault rate", "ok", "failed",
+              "retries", "seconds", "throughput/s");
+  for (double rate : {0.0, 0.01, 0.05, 0.10}) {
+    const EngineRow row =
+        RunEngineAtRate(plan, keys.value(), rate, kRequests);
+    PPS_CHECK(row.ok + row.failed == kRequests)
+        << "lost outcomes at rate " << rate;
+    std::printf("%-12.2f %8zu %8zu %8llu %12.3f %14.1f\n", row.fault_rate,
+                row.ok, row.failed,
+                static_cast<unsigned long long>(row.retries), row.seconds,
+                static_cast<double>(kRequests) / row.seconds);
+  }
+
+  // Simulator sweep: paper-scale stage costs (10GbE, 5 stages, ~100ms
+  // linear stages, 5ms non-linear stages).
+  std::printf("\n-- simulator, 5 paper-scale stages, 200 requests, "
+              "2 retries --\n");
+  std::printf("%-12s %14s %14s %10s %10s\n", "failure p", "avg lat (s)",
+              "thruput/s", "retries", "failed");
+  for (double p : {0.0, 0.01, 0.02, 0.05, 0.10}) {
+    std::vector<SimStageSpec> stages(5);
+    for (size_t i = 0; i < stages.size(); ++i) {
+      stages[i].single_thread_seconds = (i % 2 == 1) ? 0.100 : 0.005;
+      stages[i].threads = 4;
+      stages[i].server = static_cast<int>(i % 2);
+      stages[i].bytes_out = 64 * 1024;
+      stages[i].failure_prob = p;
+    }
+    SimWorkload fault_model;
+    fault_model.max_retries = 2;
+    fault_model.retry_backoff_seconds = 0.002;
+    auto report =
+        SimulateStablePipeline(stages, SimNetwork{}, 200, 1.05, fault_model);
+    PPS_CHECK_OK(report.status());
+    std::printf("%-12.2f %14.4f %14.2f %10llu %10llu\n", p,
+                report.value().avg_latency_seconds,
+                report.value().throughput_rps,
+                static_cast<unsigned long long>(report.value().total_retries),
+                static_cast<unsigned long long>(
+                    report.value().failed_requests));
+  }
+  std::printf("\nfault tolerance bench OK\n");
+  return 0;
+}

@@ -108,7 +108,7 @@ int main() {
               serial_estimate, serial_estimate / pipelined);
   std::printf("\nper-stage messages processed:\n");
   for (size_t s = 0; s < engine.pipeline().NumStages(); ++s) {
-    const StageMetrics& m = engine.pipeline().stage(s).metrics();
+    const StageMetrics m = engine.pipeline().stage(s).metrics();
     std::printf("  %-16s msgs=%llu busy=%.2fs in=%lluB out=%lluB\n",
                 engine.pipeline().stage(s).name().c_str(),
                 static_cast<unsigned long long>(m.messages_processed),

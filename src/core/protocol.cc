@@ -11,6 +11,18 @@
 
 namespace ppstream {
 
+namespace {
+
+/// Probes the chaos injector at a protocol entry point (no-op when the
+/// provider has no injector wired).
+Status ProbeFault(const std::shared_ptr<FaultInjector>& fault,
+                  std::string_view site) {
+  if (fault == nullptr) return Status::OK();
+  return fault->Fail(site);
+}
+
+}  // namespace
+
 ModelProvider::ModelProvider(std::shared_ptr<const InferencePlan> plan,
                              PaillierPublicKey pk, uint64_t obf_seed)
     : plan_(std::move(plan)),
@@ -24,6 +36,7 @@ ModelProvider::ModelProvider(std::shared_ptr<const InferencePlan> plan,
 
 Result<std::vector<Ciphertext>> ModelProvider::InverseObfuscate(
     uint64_t request_id, size_t round, std::vector<Ciphertext> in) {
+  PPS_RETURN_IF_ERROR(ProbeFault(fault_, "mp.InverseObfuscate"));
   Permutation perm;
   {
     std::lock_guard<std::mutex> lock(mutex_);
@@ -47,6 +60,7 @@ Result<std::vector<Ciphertext>> ModelProvider::ApplyLinearStage(
   if (round >= plan_->linear_stages.size()) {
     return Status::OutOfRange("linear stage index out of range");
   }
+  PPS_RETURN_IF_ERROR(ProbeFault(fault_, "mp.ApplyLinearStage"));
   const LinearStage& stage = plan_->linear_stages[round];
   std::vector<Ciphertext> current = in;
   for (const IntegerAffineLayer& op : stage.ops) {
@@ -66,6 +80,7 @@ Result<std::vector<Ciphertext>> ModelProvider::ApplyLinearStage(
 
 Result<std::vector<Ciphertext>> ModelProvider::Obfuscate(
     uint64_t request_id, size_t round, std::vector<Ciphertext> in) {
+  PPS_RETURN_IF_ERROR(ProbeFault(fault_, "mp.Obfuscate"));
   Permutation perm;
   {
     std::lock_guard<std::mutex> lock(mutex_);
@@ -129,25 +144,31 @@ DataProvider::DataProvider(std::shared_ptr<const InferencePlan> plan,
                            PaillierKeyPair keys, uint64_t enc_seed)
     : plan_(std::move(plan)),
       keys_(std::move(keys)),
-      enc_rng_(SecureRng::FromSeed(enc_seed)),
       enc_seed_(enc_seed) {
   PPS_CHECK(plan_ != nullptr);
 }
 
 Result<std::vector<Ciphertext>> DataProvider::EncryptInput(
     const DoubleTensor& input) {
+  PPS_RETURN_IF_ERROR(ProbeFault(fault_, "dp.EncryptInput"));
   if (input.shape() != plan_->input_shape) {
     return Status::InvalidArgument(
         internal::StrCat("input shape ", input.shape().ToString(),
                          " != plan input ", plan_->input_shape.ToString()));
   }
+  // Each element derives its own CSPRNG stream from (seed, salt, index) —
+  // the same scheme as the parallel paths — so concurrent stages never
+  // share encryption RNG state.
   std::vector<Ciphertext> out;
   out.reserve(static_cast<size_t>(input.NumElements()));
+  const uint64_t salt = rng_salt_.fetch_add(1);
   for (int64_t i = 0; i < input.NumElements(); ++i) {
     const int64_t q = QuantizeValue(input[i], plan_->scale);
+    uint64_t mix = enc_seed_ + salt * 0x9E3779B97F4A7C15ULL +
+                   static_cast<uint64_t>(i);
+    SecureRng rng = SecureRng::FromSeed(SplitMix64(mix));
     PPS_ASSIGN_OR_RETURN(
-        Ciphertext c,
-        Paillier::Encrypt(keys_.public_key, BigInt(q), enc_rng_));
+        Ciphertext c, Paillier::Encrypt(keys_.public_key, BigInt(q), rng));
     out.push_back(std::move(c));
   }
   return out;
@@ -196,6 +217,7 @@ Result<std::vector<Ciphertext>> DataProvider::ProcessIntermediate(
     return Status::OutOfRange(
         "intermediate round index must precede the final round");
   }
+  PPS_RETURN_IF_ERROR(ProbeFault(fault_, "dp.ProcessIntermediate"));
   const LinearStage& stage = plan_->linear_stages[round];
   const double scale =
       ScalePower(plan_->scale, stage.output_scale_power).ToDouble();
@@ -217,24 +239,20 @@ Result<std::vector<Ciphertext>> DataProvider::ProcessIntermediate(
 
   PPS_ASSIGN_OR_RETURN(DoubleTensor activated, ApplySegment(round, values));
 
-  // Re-quantize at F and re-encrypt (Step 2.3). Under a pool, each element
-  // derives its own CSPRNG stream from (seed, salt, index).
+  // Re-quantize at F and re-encrypt (Step 2.3). Each element derives its
+  // own CSPRNG stream from (seed, salt, index), so the ciphertext bits do
+  // not depend on pool size and no RNG state is shared with the encrypt
+  // stage running concurrently for other requests.
   std::vector<Ciphertext> out(in.size());
   const uint64_t salt = rng_salt_.fetch_add(1);
   PPS_RETURN_IF_ERROR(ForEachMaybeParallel(
       in.size(), pool, [&](size_t i) -> Status {
         const int64_t q =
             QuantizeValue(activated[static_cast<int64_t>(i)], plan_->scale);
-        if (pool != nullptr && pool->num_threads() > 1) {
-          uint64_t mix = enc_seed_ + salt * 0x9E3779B97F4A7C15ULL + i;
-          SecureRng rng = SecureRng::FromSeed(SplitMix64(mix));
-          PPS_ASSIGN_OR_RETURN(
-              out[i], Paillier::Encrypt(keys_.public_key, BigInt(q), rng));
-        } else {
-          PPS_ASSIGN_OR_RETURN(
-              out[i],
-              Paillier::Encrypt(keys_.public_key, BigInt(q), enc_rng_));
-        }
+        uint64_t mix = enc_seed_ + salt * 0x9E3779B97F4A7C15ULL + i;
+        SecureRng rng = SecureRng::FromSeed(SplitMix64(mix));
+        PPS_ASSIGN_OR_RETURN(
+            out[i], Paillier::Encrypt(keys_.public_key, BigInt(q), rng));
         return Status::OK();
       }));
   return out;
@@ -245,6 +263,7 @@ Result<std::vector<Ciphertext>> DataProvider::EncryptInputParallel(
   if (pool == nullptr || pool->num_threads() <= 1) {
     return EncryptInput(input);
   }
+  PPS_RETURN_IF_ERROR(ProbeFault(fault_, "dp.EncryptInput"));
   if (input.shape() != plan_->input_shape) {
     return Status::InvalidArgument("input shape mismatch");
   }
@@ -265,6 +284,7 @@ Result<std::vector<Ciphertext>> DataProvider::EncryptInputParallel(
 
 Result<DoubleTensor> DataProvider::ProcessFinal(
     const std::vector<Ciphertext>& in, ThreadPool* pool) {
+  PPS_RETURN_IF_ERROR(ProbeFault(fault_, "dp.ProcessFinal"));
   const size_t round = plan_->NumRounds() - 1;
   const LinearStage& stage = plan_->linear_stages[round];
   if (in.size() != static_cast<size_t>(stage.output_shape.NumElements())) {

@@ -32,6 +32,7 @@
 #include "crypto/paillier.h"
 #include "crypto/permutation.h"
 #include "nn/dataset.h"
+#include "util/fault.h"
 #include "util/status.h"
 #include "util/thread_pool.h"
 
@@ -57,6 +58,14 @@ class ModelProvider {
 
   const InferencePlan& plan() const { return *plan_; }
   const PaillierPublicKey& public_key() const { return pk_; }
+
+  /// Chaos hook: every protocol entry point probes `injector` (sites
+  /// "mp.<Method>") before doing real work, so injected errors exercise
+  /// the runtime's retry path exactly like genuine provider failures.
+  /// Null disables. Set before serving requests.
+  void SetFaultInjector(std::shared_ptr<FaultInjector> injector) {
+    fault_ = std::move(injector);
+  }
 
   /// Full round processing: inverse obfuscation (round > 0), linear stage
   /// `round`, obfuscation (round < last).
@@ -102,6 +111,7 @@ class ModelProvider {
  private:
   std::shared_ptr<const InferencePlan> plan_;
   PaillierPublicKey pk_;
+  std::shared_ptr<FaultInjector> fault_;
   mutable std::mutex mutex_;
   SecureRng obf_rng_;
   std::map<std::pair<uint64_t, size_t>, Permutation> permutations_;
@@ -115,6 +125,12 @@ class DataProvider {
                PaillierKeyPair keys, uint64_t enc_seed);
 
   const PaillierPublicKey& public_key() const { return keys_.public_key; }
+
+  /// Chaos hook, mirror of ModelProvider::SetFaultInjector (sites
+  /// "dp.<Method>").
+  void SetFaultInjector(std::shared_ptr<FaultInjector> injector) {
+    fault_ = std::move(injector);
+  }
 
   /// Round-0 send: quantize the raw input at F and encrypt element-wise.
   Result<std::vector<Ciphertext>> EncryptInput(const DoubleTensor& input);
@@ -145,7 +161,10 @@ class DataProvider {
 
   std::shared_ptr<const InferencePlan> plan_;
   PaillierKeyPair keys_;
-  SecureRng enc_rng_;
+  std::shared_ptr<FaultInjector> fault_;
+  // Encryption randomness is derived per (seed, salt, element) rather than
+  // drawn from a shared SecureRng: pipeline stages encrypt concurrently for
+  // different requests, and shared RNG state would race.
   uint64_t enc_seed_;
   std::atomic<uint64_t> rng_salt_{1};
 };

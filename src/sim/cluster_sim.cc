@@ -1,6 +1,9 @@
 #include "sim/cluster_sim.h"
 
 #include <algorithm>
+#include <cmath>
+
+#include "util/rng.h"
 
 namespace ppstream {
 
@@ -9,6 +12,13 @@ double SimStageSpec::ServiceSeconds() const {
   const double f = std::clamp(parallel_fraction, 0.0, 1.0);
   return single_thread_seconds * ((1.0 - f) + f / static_cast<double>(y)) +
          fixed_overhead_seconds;
+}
+
+double SimStageSpec::ExpectedAttempts(int max_retries) const {
+  const double p = std::clamp(failure_prob, 0.0, 1.0);
+  if (p == 0) return 1.0;
+  if (p == 1.0) return static_cast<double>(max_retries + 1);
+  return (1.0 - std::pow(p, max_retries + 1)) / (1.0 - p);
 }
 
 double SimNetwork::TransferSeconds(uint64_t bytes) const {
@@ -39,17 +49,40 @@ Result<SimReport> SimulatePipeline(const std::vector<SimStageSpec>& stages,
   report.stage_busy_seconds.assign(s, 0);
   std::vector<double> prev_done(s, 0);  // done(i, r-1)
   double latency_sum = 0;
+  Rng fault_rng(workload.fault_seed);
 
   for (size_t r = 0; r < n; ++r) {
     const double arrival =
         workload.interarrival_seconds * static_cast<double>(r);
     double upstream_done = arrival;
+    bool poisoned = false;
     for (size_t i = 0; i < s; ++i) {
+      // Fault model: each attempt fails independently with failure_prob;
+      // retries re-occupy the stage (plus backoff). Once poisoned, the
+      // request traverses the remaining stages as a free tombstone.
+      double occupancy = 0;
+      if (!poisoned) {
+        const double p = std::clamp(stages[i].failure_prob, 0.0, 1.0);
+        int attempts = 1;
+        bool success = p == 0 || fault_rng.NextDouble() >= p;
+        while (!success && attempts <= workload.max_retries) {
+          ++attempts;
+          ++report.total_retries;
+          success = fault_rng.NextDouble() >= p;
+        }
+        occupancy = static_cast<double>(attempts) * service[i] +
+                    static_cast<double>(attempts - 1) *
+                        workload.retry_backoff_seconds;
+        if (!success) {
+          poisoned = true;
+          ++report.failed_requests;
+        }
+      }
       const double ready =
           i == 0 ? arrival : upstream_done + transfer[i - 1];
       const double start = std::max(ready, prev_done[i]);
-      const double done = start + service[i];
-      report.stage_busy_seconds[i] += service[i];
+      const double done = start + occupancy;
+      report.stage_busy_seconds[i] += occupancy;
       prev_done[i] = done;
       upstream_done = done;
     }
@@ -67,17 +100,22 @@ Result<SimReport> SimulatePipeline(const std::vector<SimStageSpec>& stages,
 
 Result<SimReport> SimulateStablePipeline(
     const std::vector<SimStageSpec>& stages, const SimNetwork& network,
-    size_t num_requests, double headroom) {
+    size_t num_requests, double headroom, const SimWorkload& fault_model) {
   if (stages.empty()) return Status::InvalidArgument("no stages");
   double bottleneck = 0;
   for (size_t i = 0; i < stages.size(); ++i) {
-    double cost = stages[i].ServiceSeconds();
+    // Expected occupancy under the fault model (retries re-occupy the
+    // stage), so the stream stays sustainable when faults are injected.
+    const double attempts =
+        stages[i].ExpectedAttempts(fault_model.max_retries);
+    double cost = attempts * stages[i].ServiceSeconds() +
+                  (attempts - 1.0) * fault_model.retry_backoff_seconds;
     if (i + 1 < stages.size() && stages[i].server != stages[i + 1].server) {
       cost += network.TransferSeconds(stages[i].bytes_out);
     }
     bottleneck = std::max(bottleneck, cost);
   }
-  SimWorkload workload;
+  SimWorkload workload = fault_model;
   workload.num_requests = num_requests;
   workload.interarrival_seconds = headroom * bottleneck;
   return SimulatePipeline(stages, network, workload);

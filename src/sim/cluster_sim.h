@@ -34,9 +34,18 @@ struct SimStageSpec {
   /// Serial overhead added after the Amdahl split — e.g. intra-stage
   /// distribution of per-thread messages, which does not parallelize.
   double fixed_overhead_seconds = 0;
+  /// Per-attempt failure probability (fault model). Each failed attempt
+  /// costs a full service time; the request is re-executed up to the
+  /// workload's retry budget, then poisoned (it traverses the remaining
+  /// stages as a tombstone with zero service cost).
+  double failure_prob = 0;
 
   /// Effective service time with `threads` workers.
   double ServiceSeconds() const;
+
+  /// Expected attempts per message under the fault model with
+  /// `max_retries` re-executions: sum_{k=0..m} p^k = (1 - p^{m+1})/(1 - p).
+  double ExpectedAttempts(int max_retries) const;
 };
 
 struct SimNetwork {
@@ -50,6 +59,14 @@ struct SimWorkload {
   size_t num_requests = 20;
   /// 0 = all requests available at t=0 (a saturated stream).
   double interarrival_seconds = 0;
+  /// Fault model: re-executions allowed per stage before a request is
+  /// poisoned (mirrors RetryPolicy::max_retries in the real runtime).
+  int max_retries = 0;
+  /// Backoff charged before each re-execution (mirrors the runtime's
+  /// retry backoff; the stage stays occupied while waiting).
+  double retry_backoff_seconds = 0;
+  /// Seed for the fault coin (reproducible degradation runs).
+  uint64_t fault_seed = 0x5EEDFA17ULL;
 };
 
 struct SimReport {
@@ -59,6 +76,9 @@ struct SimReport {
   double throughput_rps = 0;
   /// Busy time per stage (utilization diagnostics).
   std::vector<double> stage_busy_seconds;
+  /// Fault model outcomes (zero when all failure_probs are 0).
+  uint64_t failed_requests = 0;
+  uint64_t total_retries = 0;
 };
 
 /// Pipelined execution: stages run concurrently, each FIFO over requests.
@@ -68,12 +88,16 @@ Result<SimReport> SimulatePipeline(const std::vector<SimStageSpec>& stages,
 
 /// Pipelined execution under a *sustainable* stream: the interarrival time
 /// is set to `headroom` times the pipeline's bottleneck (slowest stage
-/// service + its transfer), so queues stay bounded and the reported
+/// expected occupancy — service × expected attempts under the fault model,
+/// plus backoff and transfer), so queues stay bounded and the reported
 /// latency is the steady-state per-request latency — the quantity the
-/// paper's latency figures report.
+/// paper's latency figures report. `fault_model` carries the retry budget,
+/// backoff, and seed (num_requests/interarrival fields are overwritten);
+/// the default is fault-free.
 Result<SimReport> SimulateStablePipeline(
     const std::vector<SimStageSpec>& stages, const SimNetwork& network,
-    size_t num_requests, double headroom = 1.05);
+    size_t num_requests, double headroom = 1.05,
+    const SimWorkload& fault_model = SimWorkload{});
 
 /// Centralized execution (the CipherBase/PlainBase baselines): one server
 /// processes each request through all stages before starting the next;

@@ -4,6 +4,7 @@
 
 #include <condition_variable>
 #include <deque>
+#include <functional>
 #include <mutex>
 #include <optional>
 
@@ -21,8 +22,16 @@ class Channel {
     PPS_CHECK_GT(capacity, 0u);
   }
 
+  /// Installs a hook invoked (outside the lock) on every Send entry and
+  /// after every successful Recv — the fault-injection seam for link
+  /// latency. Must be set before the channel is used concurrently.
+  void SetFaultHook(std::function<void()> hook) {
+    fault_hook_ = std::move(hook);
+  }
+
   /// Returns false if the channel was closed (the item is dropped).
   bool Send(T item) {
+    if (fault_hook_) fault_hook_();
     std::unique_lock<std::mutex> lock(mutex_);
     send_cv_.wait(lock,
                   [this] { return closed_ || queue_.size() < capacity_; });
@@ -40,6 +49,8 @@ class Channel {
     T item = std::move(queue_.front());
     queue_.pop_front();
     send_cv_.notify_one();
+    lock.unlock();
+    if (fault_hook_) fault_hook_();
     return item;
   }
 
@@ -60,6 +71,7 @@ class Channel {
 
  private:
   const size_t capacity_;
+  std::function<void()> fault_hook_;
   mutable std::mutex mutex_;
   std::condition_variable send_cv_, recv_cv_;
   std::deque<T> queue_;

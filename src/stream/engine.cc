@@ -36,7 +36,15 @@ Status PpStreamEngine::Start() {
   const bool partition = config_.tensor_partitioning;
 
   // Stage 0: data provider encrypts the raw input.
-  const int retries = config_.max_retries;
+  const RetryPolicy retries =
+      config_.retry_policy.has_value()
+          ? *config_.retry_policy
+          : RetryPolicy::FromMaxRetries(config_.max_retries);
+  if (config_.fault_injector != nullptr) {
+    mp_->SetFaultInjector(config_.fault_injector);
+    dp_->SetFaultInjector(config_.fault_injector);
+    pipeline_.SetFaultInjector(config_.fault_injector);
+  }
   pipeline_.AddStage(std::make_unique<Stage>(
       "dp-encrypt", threads[0],
       [dp](StreamMessage msg, ThreadPool& pool) -> Result<StreamMessage> {
@@ -117,6 +125,7 @@ Status PpStreamEngine::Submit(uint64_t request_id,
   StreamMessage msg;
   msg.request_id = request_id;
   msg.payload = SerializeDoubleTensor(input);
+  msg.submit_time_seconds = StreamClockSeconds();
   return pipeline_.Feed(std::move(msg));
 }
 
@@ -124,6 +133,15 @@ Result<InferenceResult> PpStreamEngine::NextResult() {
   std::optional<StreamMessage> msg = pipeline_.NextResult();
   if (!msg.has_value()) {
     return Status::FailedPrecondition("pipeline drained");
+  }
+  if (msg->poisoned()) {
+    // The request died mid-pipeline; drop the model provider's per-request
+    // obfuscation state (the success path releases it in dp-final).
+    mp_->ReleaseRequestState(msg->request_id);
+    return Status(msg->status.code(),
+                  internal::StrCat("request ", msg->request_id,
+                                   " failed at stage ", msg->failed_stage,
+                                   ": ", msg->status.message()));
   }
   InferenceResult result;
   result.request_id = msg->request_id;

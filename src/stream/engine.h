@@ -16,9 +16,12 @@
 #pragma once
 
 #include <memory>
+#include <optional>
 
 #include "core/protocol.h"
 #include "stream/pipeline.h"
+#include "stream/retry_policy.h"
+#include "util/fault.h"
 
 namespace ppstream {
 
@@ -30,7 +33,16 @@ struct EngineConfig {
   bool tensor_partitioning = true;
   size_t channel_capacity = 4;
   /// Per-stage transient-failure retries (AF-Stream-style re-execution).
+  /// Compatibility knob: ignored when `retry_policy` is set.
   int max_retries = 1;
+  /// Full retry policy (backoff, jitter, per-request deadline). When unset
+  /// the engine uses RetryPolicy::FromMaxRetries(max_retries) — the seed's
+  /// immediate-retry semantics.
+  std::optional<RetryPolicy> retry_policy;
+  /// Optional chaos hook: wired into every stage ("stage.<name>"), every
+  /// inter-stage channel ("channel.<i>", latency only), and the providers'
+  /// protocol entry points ("mp.*" / "dp.*"). Null disables injection.
+  std::shared_ptr<FaultInjector> fault_injector;
 };
 
 /// 2 * NumRounds + 1 (see stage layout above).
@@ -54,6 +66,13 @@ class PpStreamEngine {
 
   /// Blocks for the next completed inference; error after Shutdown() when
   /// the pipeline has drained.
+  ///
+  /// Error contract: every Submit() yields exactly one NextResult()
+  /// outcome. A request that exhausted its retries (or hit its deadline)
+  /// surfaces here as a non-OK status naming the originating stage and
+  /// error; its per-request obfuscation state at the model provider is
+  /// released before the status is returned. FailedPrecondition
+  /// "pipeline drained" marks the end of the stream after Shutdown().
   Result<InferenceResult> NextResult();
 
   /// Closes the input and drains in-flight requests; safe to call once.

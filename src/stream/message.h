@@ -7,7 +7,9 @@
 
 #pragma once
 
+#include <chrono>
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "crypto/paillier.h"
@@ -17,11 +19,43 @@
 
 namespace ppstream {
 
+/// Monotonic clock reading in seconds, shared by Submit timestamps and the
+/// stages' retry-deadline checks.
+inline double StreamClockSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
 /// One in-flight inference request at some stage of the pipeline.
+///
+/// A message whose `status` is non-OK is *poisoned*: some stage exhausted
+/// its retries (or hit the request deadline) and, instead of silently
+/// dropping the request, forwarded this tombstone so the failure surfaces
+/// at the pipeline tail. Downstream stages pass poisoned messages through
+/// without processing them.
 struct StreamMessage {
   uint64_t request_id = 0;
   /// Serialized payload (encrypted tensor, raw input, or final result).
+  /// Cleared when the message is poisoned.
   std::vector<uint8_t> payload;
+  /// OK while the request is healthy; the failing stage's error otherwise.
+  Status status;
+  /// Name of the stage that poisoned the message ("" while healthy).
+  std::string failed_stage;
+  /// StreamClockSeconds() at submission; 0 when unknown. Retry deadlines
+  /// are measured from this point.
+  double submit_time_seconds = 0;
+
+  bool poisoned() const { return !status.ok(); }
+
+  /// Marks the message failed at `stage` and drops the payload.
+  void Poison(std::string stage, Status error) {
+    failed_stage = std::move(stage);
+    status = std::move(error);
+    payload.clear();
+    payload.shrink_to_fit();
+  }
 
   size_t ByteSize() const { return payload.size() + sizeof(request_id); }
 };

@@ -9,6 +9,11 @@ void Pipeline::AddStage(std::unique_ptr<Stage> stage) {
   stages_.push_back(std::move(stage));
 }
 
+void Pipeline::SetFaultInjector(std::shared_ptr<FaultInjector> injector) {
+  PPS_CHECK(!started_) << "cannot wire faults after Start()";
+  fault_ = std::move(injector);
+}
+
 Status Pipeline::Start() {
   if (started_) return Status::FailedPrecondition("pipeline already started");
   if (stages_.empty()) {
@@ -19,8 +24,15 @@ Status Pipeline::Start() {
   for (size_t i = 0; i <= stages_.size(); ++i) {
     channels_.push_back(
         std::make_unique<Channel<StreamMessage>>(channel_capacity_));
+    if (fault_ != nullptr) {
+      channels_.back()->SetFaultHook(
+          [injector = fault_, site = internal::StrCat("channel.", i)] {
+            injector->Delay(site);
+          });
+    }
   }
   for (size_t i = 0; i < stages_.size(); ++i) {
+    if (fault_ != nullptr) stages_[i]->SetFaultInjector(fault_);
     stages_[i]->Start(channels_[i].get(), channels_[i + 1].get());
   }
   started_ = true;
@@ -29,6 +41,9 @@ Status Pipeline::Start() {
 
 Status Pipeline::Feed(StreamMessage msg) {
   if (!started_) return Status::FailedPrecondition("pipeline not started");
+  if (msg.submit_time_seconds == 0) {
+    msg.submit_time_seconds = StreamClockSeconds();
+  }
   if (!channels_.front()->Send(std::move(msg))) {
     return Status::FailedPrecondition("pipeline input is closed");
   }

@@ -12,7 +12,9 @@ namespace ppstream {
 /// Builds and runs stage_0 -> chan -> stage_1 -> ... -> stage_{n-1}.
 /// Feed() injects requests at the head; results are collected from the
 /// tail in completion order (which equals submission order because every
-/// stage is a single FIFO consumer).
+/// stage is a single FIFO consumer). Poisoned messages (failed requests)
+/// flow to the tail like healthy ones, so every fed request yields exactly
+/// one NextResult().
 class Pipeline {
  public:
   explicit Pipeline(size_t channel_capacity = 4)
@@ -20,6 +22,11 @@ class Pipeline {
 
   /// Adds a stage; must be called before Start().
   void AddStage(std::unique_ptr<Stage> stage);
+
+  /// Wires `injector` into every stage (site "stage.<name>") and every
+  /// inter-stage channel (site "channel.<i>", latency rules only). Must be
+  /// called before Start().
+  void SetFaultInjector(std::shared_ptr<FaultInjector> injector);
 
   size_t NumStages() const { return stages_.size(); }
   const Stage& stage(size_t i) const { return *stages_[i]; }
@@ -39,6 +46,7 @@ class Pipeline {
 
  private:
   size_t channel_capacity_;
+  std::shared_ptr<FaultInjector> fault_;
   std::vector<std::unique_ptr<Stage>> stages_;
   std::vector<std::unique_ptr<Channel<StreamMessage>>> channels_;
   bool started_ = false;

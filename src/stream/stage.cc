@@ -1,15 +1,67 @@
 #include "stream/stage.h"
 
+#include <chrono>
+#include <functional>
+
 #include "util/logging.h"
 
 namespace ppstream {
 
 Stage::Stage(std::string name, size_t num_threads, ProcessFn fn,
-             int max_retries)
+             RetryPolicy retry_policy)
     : name_(std::move(name)),
       pool_(std::max<size_t>(1, num_threads)),
       fn_(std::move(fn)),
-      max_retries_(max_retries) {}
+      retry_(retry_policy),
+      backoff_rng_(0x5746A6EULL ^ std::hash<std::string>{}(name_)) {}
+
+Result<StreamMessage> Stage::Attempt(const StreamMessage& msg) {
+  if (fault_ != nullptr && fault_->enabled()) {
+    const std::string site = internal::StrCat("stage.", name_);
+    PPS_RETURN_IF_ERROR(fault_->Fail(site));
+    StreamMessage copy = msg;  // corrupt a copy so retries see clean bytes
+    if (fault_->Corrupt(site, copy.payload)) {
+      return fn_(std::move(copy), pool_);
+    }
+  }
+  return fn_(msg, pool_);
+}
+
+Result<StreamMessage> Stage::ProcessWithRetries(const StreamMessage& msg) {
+  const bool has_deadline =
+      retry_.deadline_seconds > 0 && msg.submit_time_seconds > 0;
+  const double deadline = msg.submit_time_seconds + retry_.deadline_seconds;
+  for (int attempt = 0;; ++attempt) {
+    if (has_deadline && StreamClockSeconds() > deadline) {
+      counters_.deadline_exceeded.fetch_add(1, std::memory_order_relaxed);
+      return Status::DeadlineExceeded(internal::StrCat(
+          "request ", msg.request_id, " exceeded its ",
+          retry_.deadline_seconds, "s deadline after ", attempt,
+          " attempt(s)"));
+    }
+    WallTimer timer;
+    Result<StreamMessage> result = Attempt(msg);
+    counters_.busy_seconds.fetch_add(timer.ElapsedSeconds(),
+                                     std::memory_order_relaxed);
+    if (result.ok() || attempt >= retry_.max_retries) return result;
+    counters_.retries.fetch_add(1, std::memory_order_relaxed);
+    PPS_LOG(Warn) << "stage " << name_ << " retrying request "
+                  << msg.request_id << " (attempt " << attempt + 2 << "/"
+                  << retry_.max_retries + 1
+                  << "): " << result.status().ToString();
+    const double backoff = retry_.BackoffSeconds(attempt + 1, backoff_rng_);
+    if (backoff > 0) {
+      if (has_deadline && StreamClockSeconds() + backoff > deadline) {
+        counters_.deadline_exceeded.fetch_add(1, std::memory_order_relaxed);
+        return Status::DeadlineExceeded(internal::StrCat(
+            "request ", msg.request_id, " would exceed its ",
+            retry_.deadline_seconds, "s deadline during backoff; last error: ",
+            result.status().ToString()));
+      }
+      std::this_thread::sleep_for(std::chrono::duration<double>(backoff));
+    }
+  }
+}
 
 void Stage::Start(Channel<StreamMessage>* in, Channel<StreamMessage>* out) {
   PPS_CHECK(in != nullptr);
@@ -18,26 +70,31 @@ void Stage::Start(Channel<StreamMessage>* in, Channel<StreamMessage>* out) {
     while (true) {
       std::optional<StreamMessage> msg = in->Recv();
       if (!msg.has_value()) break;
-      metrics_.bytes_in += msg->ByteSize();
-      WallTimer timer;
-      Result<StreamMessage> result = fn_(*msg, pool_);
-      for (int attempt = 0; attempt < max_retries_ && !result.ok();
-           ++attempt) {
-        ++metrics_.retries;
-        PPS_LOG(Warn) << "stage " << name_ << " retrying request "
-                      << msg->request_id << ": "
-                      << result.status().ToString();
-        result = fn_(*msg, pool_);
+      if (msg->poisoned()) {
+        // Tombstone from an upstream stage: forward as-is.
+        counters_.poisoned_forwarded.fetch_add(1, std::memory_order_relaxed);
+        if (out != nullptr) {
+          if (!out->Send(std::move(*msg))) break;
+        }
+        continue;
       }
-      metrics_.busy_seconds += timer.ElapsedSeconds();
-      ++metrics_.messages_processed;
+      counters_.bytes_in.fetch_add(msg->ByteSize(),
+                                   std::memory_order_relaxed);
+      Result<StreamMessage> result = ProcessWithRetries(*msg);
+      counters_.messages_processed.fetch_add(1, std::memory_order_relaxed);
       if (!result.ok()) {
-        ++metrics_.errors;
-        PPS_LOG(Error) << "stage " << name_
-                       << " failed: " << result.status().ToString();
-        continue;  // drop the request; the pipeline stays alive
+        counters_.errors.fetch_add(1, std::memory_order_relaxed);
+        PPS_LOG(Error) << "stage " << name_ << " failed request "
+                       << msg->request_id << ": "
+                       << result.status().ToString();
+        msg->Poison(name_, result.status());
+        if (out != nullptr) {
+          if (!out->Send(std::move(*msg))) break;
+        }
+        continue;
       }
-      metrics_.bytes_out += result.value().ByteSize();
+      counters_.bytes_out.fetch_add(result.value().ByteSize(),
+                                    std::memory_order_relaxed);
       if (out != nullptr) {
         if (!out->Send(std::move(result).value())) break;
       }
@@ -48,6 +105,23 @@ void Stage::Start(Channel<StreamMessage>* in, Channel<StreamMessage>* out) {
 
 void Stage::Join() {
   if (consumer_.joinable()) consumer_.join();
+}
+
+StageMetrics Stage::metrics() const {
+  StageMetrics snapshot;
+  snapshot.messages_processed =
+      counters_.messages_processed.load(std::memory_order_relaxed);
+  snapshot.errors = counters_.errors.load(std::memory_order_relaxed);
+  snapshot.retries = counters_.retries.load(std::memory_order_relaxed);
+  snapshot.poisoned_forwarded =
+      counters_.poisoned_forwarded.load(std::memory_order_relaxed);
+  snapshot.deadline_exceeded =
+      counters_.deadline_exceeded.load(std::memory_order_relaxed);
+  snapshot.busy_seconds =
+      counters_.busy_seconds.load(std::memory_order_relaxed);
+  snapshot.bytes_in = counters_.bytes_in.load(std::memory_order_relaxed);
+  snapshot.bytes_out = counters_.bytes_out.load(std::memory_order_relaxed);
+  return snapshot;
 }
 
 }  // namespace ppstream

@@ -5,9 +5,19 @@
 // intra-stage thread pool of y_i threads for tensor parallelism — and
 // pushes the result downstream. Requests stream through the stages, so
 // stage k works on request r+1 while stage k+1 works on request r.
+//
+// Failure model: a message whose processing fails is re-executed per the
+// stage's RetryPolicy (capped exponential backoff + jitter, optional
+// per-request deadline). When retries are exhausted the message is
+// *poisoned* — payload dropped, Status and failing-stage name attached —
+// and forwarded downstream so the failure surfaces at the pipeline tail
+// instead of deadlocking the client. Poisoned messages pass through
+// subsequent stages without processing. ProcessFns must be idempotent
+// (the protocol's per-request state is; see ModelProvider::InverseObfuscate).
 
 #pragma once
 
+#include <atomic>
 #include <functional>
 #include <memory>
 #include <string>
@@ -15,17 +25,26 @@
 
 #include "stream/channel.h"
 #include "stream/message.h"
+#include "stream/retry_policy.h"
+#include "util/fault.h"
+#include "util/rng.h"
 #include "util/status.h"
 #include "util/thread_pool.h"
 #include "util/timer.h"
 
 namespace ppstream {
 
-/// Per-stage counters, read after Join().
+/// Snapshot of a stage's counters. Safe to take mid-run (the live counters
+/// are atomics); values are monotone while the stage runs and final after
+/// Join().
 struct StageMetrics {
   uint64_t messages_processed = 0;
-  uint64_t errors = 0;   // messages dropped after exhausting retries
+  uint64_t errors = 0;   // messages poisoned after exhausting retries
   uint64_t retries = 0;  // re-executions after transient failures
+  uint64_t poisoned_forwarded = 0;  // upstream tombstones passed through
+  uint64_t deadline_exceeded = 0;   // failures due to the request deadline
+  /// Time spent executing attempts (including failed ones); backoff sleeps
+  /// are excluded.
   double busy_seconds = 0;
   uint64_t bytes_in = 0;
   uint64_t bytes_out = 0;
@@ -39,15 +58,26 @@ class Stage {
   using ProcessFn =
       std::function<Result<StreamMessage>(StreamMessage, ThreadPool&)>;
 
-  /// `max_retries`: AF-Stream-style at-least-once execution — a failing
-  /// message is re-executed up to this many extra times before being
-  /// dropped. Processing functions must therefore be idempotent (the
-  /// protocol's per-request state is; see ModelProvider::InverseObfuscate).
   Stage(std::string name, size_t num_threads, ProcessFn fn,
-        int max_retries = 0);
+        RetryPolicy retry_policy);
+
+  /// Compatibility constructor: `max_retries` immediate re-executions
+  /// (AF-Stream-style at-least-once), no backoff, no deadline.
+  Stage(std::string name, size_t num_threads, ProcessFn fn,
+        int max_retries = 0)
+      : Stage(std::move(name), num_threads, std::move(fn),
+              RetryPolicy::FromMaxRetries(max_retries)) {}
 
   const std::string& name() const { return name_; }
   size_t num_threads() const { return pool_.num_threads(); }
+  const RetryPolicy& retry_policy() const { return retry_; }
+
+  /// Wires a fault injector probed as "stage.<name>" before each attempt
+  /// (error + latency rules) and against each attempt's input payload
+  /// (corruption rules). Must be called before Start().
+  void SetFaultInjector(std::shared_ptr<FaultInjector> injector) {
+    fault_ = std::move(injector);
+  }
 
   /// Starts the consumer loop. `in` feeds the stage; results go to `out`
   /// (out may be null for a sink stage). When `in` drains (closed + empty),
@@ -57,15 +87,36 @@ class Stage {
   /// Blocks until the consumer loop has exited.
   void Join();
 
-  const StageMetrics& metrics() const { return metrics_; }
+  /// Thread-safe counter snapshot (valid mid-run and after Join()).
+  StageMetrics metrics() const;
 
  private:
+  /// Runs the message through fn_ with retries per retry_. On failure the
+  /// returned status carries the final attempt's error.
+  Result<StreamMessage> ProcessWithRetries(const StreamMessage& msg);
+
+  /// One attempt: fault probes, then fn_.
+  Result<StreamMessage> Attempt(const StreamMessage& msg);
+
   std::string name_;
   ThreadPool pool_;
   ProcessFn fn_;
-  int max_retries_;
+  RetryPolicy retry_;
+  std::shared_ptr<FaultInjector> fault_;
+  Rng backoff_rng_;
   std::thread consumer_;
-  StageMetrics metrics_;
+
+  struct Counters {
+    std::atomic<uint64_t> messages_processed{0};
+    std::atomic<uint64_t> errors{0};
+    std::atomic<uint64_t> retries{0};
+    std::atomic<uint64_t> poisoned_forwarded{0};
+    std::atomic<uint64_t> deadline_exceeded{0};
+    std::atomic<double> busy_seconds{0};
+    std::atomic<uint64_t> bytes_in{0};
+    std::atomic<uint64_t> bytes_out{0};
+  };
+  Counters counters_;
 };
 
 }  // namespace ppstream

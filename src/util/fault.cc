@@ -1,0 +1,117 @@
+#include "util/fault.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+namespace ppstream {
+
+namespace {
+
+bool SiteMatches(const std::string& pattern, std::string_view site) {
+  return pattern.empty() || site.find(pattern) != std::string_view::npos;
+}
+
+}  // namespace
+
+FaultInjector::FaultInjector(uint64_t seed) : rng_(seed) {}
+
+void FaultInjector::AddRule(FaultRule rule) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  rules_.push_back(RuleState{std::move(rule), 0});
+  num_rules_.store(static_cast<int>(rules_.size()),
+                   std::memory_order_relaxed);
+}
+
+void FaultInjector::Clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  rules_.clear();
+  num_rules_.store(0, std::memory_order_relaxed);
+}
+
+void FaultInjector::Seed(uint64_t seed) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  rng_.Seed(seed);
+}
+
+bool FaultInjector::FiresLocked(RuleState& rs) {
+  ++rs.calls;
+  if (rs.rule.every_nth > 0 && rs.calls % rs.rule.every_nth == 0) {
+    return true;
+  }
+  return rs.rule.probability > 0 && rng_.NextDouble() < rs.rule.probability;
+}
+
+Status FaultInjector::Fail(std::string_view site) {
+  if (!enabled()) return Status::OK();
+  double sleep_seconds = 0;
+  Status injected = Status::OK();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.probes;
+    for (RuleState& rs : rules_) {
+      const FaultKind kind = rs.rule.kind;
+      if (kind == FaultKind::kCorruption) continue;
+      if (!SiteMatches(rs.rule.site_pattern, site)) continue;
+      if (!FiresLocked(rs)) continue;
+      if (kind == FaultKind::kLatency && sleep_seconds == 0) {
+        sleep_seconds = rs.rule.latency_seconds;
+        ++stats_.latencies;
+      } else if (kind == FaultKind::kError && injected.ok()) {
+        injected = Status(rs.rule.error_code,
+                          internal::StrCat("injected fault at ", site));
+        ++stats_.errors;
+      }
+    }
+  }
+  if (sleep_seconds > 0) {
+    std::this_thread::sleep_for(std::chrono::duration<double>(sleep_seconds));
+  }
+  return injected;
+}
+
+void FaultInjector::Delay(std::string_view site) {
+  if (!enabled()) return;
+  double sleep_seconds = 0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.probes;
+    for (RuleState& rs : rules_) {
+      if (rs.rule.kind != FaultKind::kLatency) continue;
+      if (!SiteMatches(rs.rule.site_pattern, site)) continue;
+      if (!FiresLocked(rs)) continue;
+      sleep_seconds = rs.rule.latency_seconds;
+      ++stats_.latencies;
+      break;
+    }
+  }
+  if (sleep_seconds > 0) {
+    std::this_thread::sleep_for(std::chrono::duration<double>(sleep_seconds));
+  }
+}
+
+bool FaultInjector::Corrupt(std::string_view site,
+                            std::vector<uint8_t>& payload) {
+  if (!enabled() || payload.empty()) return false;
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++stats_.probes;
+  for (RuleState& rs : rules_) {
+    if (rs.rule.kind != FaultKind::kCorruption) continue;
+    if (!SiteMatches(rs.rule.site_pattern, site)) continue;
+    if (!FiresLocked(rs)) continue;
+    const size_t flips = std::max<size_t>(1, rs.rule.corrupt_bytes);
+    for (size_t i = 0; i < flips; ++i) {
+      payload[rng_.NextBounded(payload.size())] ^= 0xFF;
+    }
+    ++stats_.corruptions;
+    return true;
+  }
+  return false;
+}
+
+FaultStats FaultInjector::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+}  // namespace ppstream

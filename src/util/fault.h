@@ -1,0 +1,118 @@
+// Fault injection for chaos testing the stream runtime.
+//
+// A FaultInjector holds a set of rules, each matched by substring against a
+// call-site name ("stage.mp-linear-0", "channel.send", "mp.ApplyLinearStage",
+// ...). A rule fires probabilistically (seeded, reproducible) or
+// deterministically on every nth matching call, and injects one of:
+//   kError       the probed operation fails with a configurable Status code;
+//   kLatency     the caller sleeps for a configured duration;
+//   kCorruption  payload bytes are flipped (the caller passes the buffer).
+//
+// All methods are thread-safe; the injector is shared by every pipeline
+// stage, channel, and protocol endpoint of an engine. Disabled (no rules)
+// probes are a single relaxed atomic load, so a wired-but-idle injector
+// costs nothing measurable on the hot path.
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace ppstream {
+
+enum class FaultKind : uint8_t {
+  kError = 0,      // probe returns a non-OK Status
+  kLatency = 1,    // probe sleeps latency_seconds
+  kCorruption = 2  // payload bytes are flipped (Corrupt() sites only)
+};
+
+/// One injection rule. Fires when `site_pattern` is a substring of the
+/// probed site ("" matches every site) and either the per-call coin lands
+/// (probability) or the matching-call count hits a multiple of every_nth.
+struct FaultRule {
+  std::string site_pattern;
+  FaultKind kind = FaultKind::kError;
+  /// Per-call firing probability in [0, 1]. Evaluated independently of
+  /// every_nth; either trigger fires the rule.
+  double probability = 0;
+  /// Deterministic trigger: fire on every nth matching call (1-based);
+  /// 0 disables the counter trigger.
+  uint64_t every_nth = 0;
+  /// Status code injected by kError rules.
+  StatusCode error_code = StatusCode::kInternal;
+  /// Sleep injected by kLatency rules.
+  double latency_seconds = 0;
+  /// Number of byte positions flipped by kCorruption rules.
+  size_t corrupt_bytes = 1;
+};
+
+/// Counters of what actually fired (for assertions in chaos tests).
+struct FaultStats {
+  uint64_t probes = 0;       // Fail/Delay/Corrupt calls while rules exist
+  uint64_t errors = 0;
+  uint64_t latencies = 0;
+  uint64_t corruptions = 0;
+};
+
+class FaultInjector {
+ public:
+  explicit FaultInjector(uint64_t seed = 0xC4405EEDULL);
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  /// Adds a rule. Rules are evaluated in insertion order; the first one
+  /// that fires wins for error/latency probes.
+  void AddRule(FaultRule rule);
+
+  /// Removes all rules (the injector becomes a no-op).
+  void Clear();
+
+  /// Reseeds the probability coin (does not reset per-rule call counts).
+  void Seed(uint64_t seed);
+
+  /// Error + latency probe: sleeps if a latency rule fires, then returns
+  /// the injected Status if an error rule fires (OK otherwise). The Status
+  /// message names the site so failures are attributable.
+  Status Fail(std::string_view site);
+
+  /// Latency-only probe (for call sites that cannot surface an error,
+  /// e.g. channel send/recv). Error rules are ignored.
+  void Delay(std::string_view site);
+
+  /// Corruption probe: if a corruption rule fires, flips bytes of
+  /// `payload` in place and returns true. Empty payloads are left alone.
+  bool Corrupt(std::string_view site, std::vector<uint8_t>& payload);
+
+  FaultStats stats() const;
+
+  /// True when at least one rule is installed (cheap, lock-free).
+  bool enabled() const {
+    return num_rules_.load(std::memory_order_relaxed) > 0;
+  }
+
+ private:
+  struct RuleState {
+    FaultRule rule;
+    uint64_t calls = 0;  // matching-call count for every_nth
+  };
+
+  /// Advances the rule's matching-call count and rolls its triggers.
+  /// Must be called with mutex_ held.
+  bool FiresLocked(RuleState& rs);
+
+  mutable std::mutex mutex_;
+  std::atomic<int> num_rules_{0};
+  Rng rng_;
+  std::vector<RuleState> rules_;
+  FaultStats stats_;
+};
+
+}  // namespace ppstream

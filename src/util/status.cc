@@ -30,6 +30,8 @@ const char* StatusCodeToString(StatusCode code) {
       return "IoError";
     case StatusCode::kInfeasible:
       return "Infeasible";
+    case StatusCode::kDeadlineExceeded:
+      return "DeadlineExceeded";
   }
   return "Unknown";
 }

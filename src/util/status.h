@@ -29,6 +29,7 @@ enum class StatusCode : uint8_t {
   kProtocolError = 10,
   kIoError = 11,
   kInfeasible = 12,  // planner: ILP has no feasible assignment
+  kDeadlineExceeded = 13,  // stream: request exceeded its retry deadline
 };
 
 /// Human-readable name for a StatusCode ("OK", "InvalidArgument", ...).
@@ -80,6 +81,9 @@ class Status {
   }
   static Status Infeasible(std::string msg) {
     return Status(StatusCode::kInfeasible, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

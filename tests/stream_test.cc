@@ -56,6 +56,72 @@ TEST(ChannelTest, BackpressureBlocksSender) {
   EXPECT_EQ(chan.Recv(), 2);
 }
 
+TEST(ChannelTest, SendAfterCloseFailsAndDropsItem) {
+  Channel<int> chan(2);
+  chan.Close();
+  EXPECT_FALSE(chan.Send(1));
+  EXPECT_FALSE(chan.Send(2));  // still closed, still rejected
+  EXPECT_EQ(chan.size(), 0u);  // nothing enqueued
+  EXPECT_EQ(chan.Recv(), std::nullopt);
+}
+
+TEST(ChannelTest, CloseWakesBlockedSendersAndReceivers) {
+  Channel<int> chan(1);
+  chan.Send(1);  // fill to capacity
+  std::atomic<int> blocked_send_result{-1};
+  std::thread sender([&] { blocked_send_result = chan.Send(2) ? 1 : 0; });
+  Channel<int> empty_chan(1);
+  std::atomic<bool> recv_got_nullopt{false};
+  std::thread receiver(
+      [&] { recv_got_nullopt = !empty_chan.Recv().has_value(); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  chan.Close();
+  empty_chan.Close();
+  sender.join();
+  receiver.join();
+  EXPECT_EQ(blocked_send_result.load(), 0) << "blocked sender must fail";
+  EXPECT_TRUE(recv_got_nullopt.load()) << "blocked receiver must wake";
+  // The pre-close item stays receivable (close drains, then ends).
+  EXPECT_EQ(chan.Recv(), 1);
+  EXPECT_EQ(chan.Recv(), std::nullopt);
+}
+
+TEST(ChannelTest, CapacityOneBackpressurePreservesOrder) {
+  Channel<int> chan(1);
+  constexpr int kItems = 500;
+  std::thread producer([&] {
+    for (int i = 0; i < kItems; ++i) chan.Send(i);
+    chan.Close();
+  });
+  // The consumer must observe exactly 0..kItems-1 in order even though the
+  // producer blocks on every send.
+  int expected = 0;
+  while (auto v = chan.Recv()) {
+    EXPECT_EQ(*v, expected);
+    ++expected;
+  }
+  producer.join();
+  EXPECT_EQ(expected, kItems);
+}
+
+TEST(ChannelTest, PoisonedMessagePassesThrough) {
+  // Channels are payload-agnostic: a poisoned StreamMessage is delivered
+  // like any other, status and origin intact.
+  Channel<StreamMessage> chan(2);
+  StreamMessage msg;
+  msg.request_id = 42;
+  msg.payload = {1, 2, 3};
+  msg.Poison("some-stage", Status::Internal("exhausted retries"));
+  EXPECT_TRUE(chan.Send(std::move(msg)));
+  auto out = chan.Recv();
+  ASSERT_TRUE(out.has_value());
+  EXPECT_TRUE(out->poisoned());
+  EXPECT_EQ(out->request_id, 42u);
+  EXPECT_EQ(out->failed_stage, "some-stage");
+  EXPECT_EQ(out->status.code(), StatusCode::kInternal);
+  EXPECT_TRUE(out->payload.empty()) << "Poison() must drop the payload";
+}
+
 TEST(ChannelTest, ManyProducersManyConsumers) {
   Channel<int> chan(8);
   constexpr int kPerProducer = 200;
@@ -157,7 +223,10 @@ TEST(PipelineTest, StagesComposeInOrder) {
   EXPECT_EQ(pipeline.stage(2).metrics().errors, 0u);
 }
 
-TEST(PipelineTest, FailingMessageIsDroppedNotFatal) {
+TEST(PipelineTest, FailingMessageIsPoisonedNotDropped) {
+  // A failed request is not silently dropped: it reaches the tail as a
+  // poisoned message naming the failing stage, so clients awaiting N
+  // results never hang.
   Pipeline pipeline(2);
   pipeline.AddStage(std::make_unique<Stage>(
       "flaky", 1,
@@ -165,20 +234,29 @@ TEST(PipelineTest, FailingMessageIsDroppedNotFatal) {
         if (msg.request_id == 1) return Status::Internal("boom");
         return msg;
       }));
+  pipeline.AddStage(AddingStage("downstream", 0));
   ASSERT_TRUE(pipeline.Start().ok());
   for (uint64_t i = 0; i < 3; ++i) {
     ASSERT_TRUE(pipeline.Feed(IntMessage(i, 0)).ok());
   }
-  std::vector<uint64_t> survivors;
-  // Request 1 is dropped; expect ids 0 and 2.
-  for (int i = 0; i < 2; ++i) {
+  for (uint64_t i = 0; i < 3; ++i) {
     auto result = pipeline.NextResult();
     ASSERT_TRUE(result.has_value());
-    survivors.push_back(result->request_id);
+    EXPECT_EQ(result->request_id, i);  // FIFO, failures included
+    if (i == 1) {
+      EXPECT_TRUE(result->poisoned());
+      EXPECT_EQ(result->failed_stage, "flaky");
+      EXPECT_EQ(result->status.code(), StatusCode::kInternal);
+      EXPECT_TRUE(result->payload.empty());
+    } else {
+      EXPECT_FALSE(result->poisoned());
+    }
   }
   pipeline.Shutdown();
-  EXPECT_EQ(survivors, (std::vector<uint64_t>{0, 2}));
   EXPECT_EQ(pipeline.stage(0).metrics().errors, 1u);
+  // The downstream stage forwarded (not processed) the tombstone.
+  EXPECT_EQ(pipeline.stage(1).metrics().poisoned_forwarded, 1u);
+  EXPECT_EQ(pipeline.stage(1).metrics().messages_processed, 2u);
 }
 
 TEST(PipelineTest, TransientFailureIsRetried) {
@@ -209,7 +287,7 @@ TEST(PipelineTest, TransientFailureIsRetried) {
   EXPECT_EQ(pipeline.stage(0).metrics().errors, 0u);
 }
 
-TEST(PipelineTest, ExhaustedRetriesDropMessage) {
+TEST(PipelineTest, ExhaustedRetriesPoisonMessage) {
   Pipeline pipeline(2);
   pipeline.AddStage(std::make_unique<Stage>(
       "always-fails", 1,
@@ -219,9 +297,82 @@ TEST(PipelineTest, ExhaustedRetriesDropMessage) {
       /*max_retries=*/2));
   ASSERT_TRUE(pipeline.Start().ok());
   ASSERT_TRUE(pipeline.Feed(IntMessage(0, 0)).ok());
+  auto result = pipeline.NextResult();
+  ASSERT_TRUE(result.has_value()) << "failure must surface, not vanish";
+  EXPECT_TRUE(result->poisoned());
+  EXPECT_EQ(result->failed_stage, "always-fails");
   pipeline.Shutdown();
   EXPECT_EQ(pipeline.stage(0).metrics().errors, 1u);
   EXPECT_EQ(pipeline.stage(0).metrics().retries, 2u);
+}
+
+TEST(PipelineTest, MetricsAreReadableMidRun) {
+  // metrics() is a snapshot of atomic counters, safe to poll while the
+  // stage is processing (the seed documented "read after Join()" only, but
+  // PpStreamEngine::pipeline() exposes live stages).
+  Channel<StreamMessage> slow_gate(1);
+  // Capacity covers the whole batch so the tail never backpressures the
+  // stage while the test still holds results back.
+  Pipeline pipeline(16);
+  pipeline.AddStage(std::make_unique<Stage>(
+      "slow", 1,
+      [&slow_gate](StreamMessage msg, ThreadPool&) -> Result<StreamMessage> {
+        slow_gate.Recv();  // block until the test releases the message
+        return msg;
+      }));
+  ASSERT_TRUE(pipeline.Start().ok());
+  constexpr uint64_t kRequests = 8;
+  std::thread feeder([&] {
+    for (uint64_t i = 0; i < kRequests; ++i) {
+      ASSERT_TRUE(pipeline.Feed(IntMessage(i, 0)).ok());
+    }
+  });
+  uint64_t last_seen = 0;
+  for (uint64_t i = 0; i < kRequests; ++i) {
+    slow_gate.Send(StreamMessage{});  // release one message
+    // Poll mid-run: values must be readable and monotone.
+    const StageMetrics snapshot = pipeline.stage(0).metrics();
+    EXPECT_GE(snapshot.messages_processed, last_seen);
+    last_seen = snapshot.messages_processed;
+    EXPECT_EQ(snapshot.errors, 0u);
+  }
+  for (uint64_t i = 0; i < kRequests; ++i) {
+    EXPECT_TRUE(pipeline.NextResult().has_value());
+  }
+  feeder.join();
+  pipeline.Shutdown();
+  EXPECT_EQ(pipeline.stage(0).metrics().messages_processed, kRequests);
+}
+
+TEST(PipelineTest, RetryBusyTimeIsCounted) {
+  // Attempt time (including failed attempts) lands in busy_seconds;
+  // backoff sleeps do not.
+  auto fail_once = std::make_shared<std::set<uint64_t>>();
+  RetryPolicy policy;
+  policy.max_retries = 1;
+  policy.initial_backoff_seconds = 0.2;  // would dominate if miscounted
+  policy.max_backoff_seconds = 0.2;
+  policy.jitter = 0;
+  Pipeline pipeline(2);
+  pipeline.AddStage(std::make_unique<Stage>(
+      "flaky-once", 1,
+      [fail_once](StreamMessage msg, ThreadPool&) -> Result<StreamMessage> {
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+        if (fail_once->insert(msg.request_id).second) {
+          return Status::Internal("transient failure");
+        }
+        return msg;
+      },
+      policy));
+  ASSERT_TRUE(pipeline.Start().ok());
+  ASSERT_TRUE(pipeline.Feed(IntMessage(0, 0)).ok());
+  ASSERT_TRUE(pipeline.NextResult().has_value());
+  pipeline.Shutdown();
+  const StageMetrics metrics = pipeline.stage(0).metrics();
+  EXPECT_EQ(metrics.retries, 1u);
+  // Two ~5ms attempts: busy time covers both but excludes the 200ms sleep.
+  EXPECT_GE(metrics.busy_seconds, 0.008);
+  EXPECT_LT(metrics.busy_seconds, 0.15);
 }
 
 TEST(PipelineTest, StartWithoutStagesFails) {
