@@ -1,0 +1,130 @@
+// Transport overhead harness (DESIGN.md §7): what the wire format and TCP
+// loopback cost relative to direct in-process calls, per inference request.
+//
+// Three deployments of the same synchronous protocol on the same model:
+//   direct       concrete providers, zero-copy in-process calls (seed path)
+//   framed       InProcessFrameChannel: full encode -> dispatch -> decode,
+//                no sockets — isolates serialization + framing cost
+//   tcp          TcpTransport against a ModelProviderTcpServer over
+//                127.0.0.1 — adds real socket hops
+//
+// Reported per deployment: mean per-request latency, overhead vs direct,
+// and (for the framed/tcp rows) wire bytes per request in each direction.
+// Results are recorded in EXPERIMENTS.md ("Transport overhead").
+
+#include "bench/bench_common.h"
+#include "net/server.h"
+#include "net/transport.h"
+
+#include <thread>
+
+using namespace ppstream;
+using namespace ppstream::bench;
+
+namespace {
+
+constexpr int kKeyBits = 256;  // sandbox scale; see EXPERIMENTS.md
+constexpr int kRequests = 4;
+
+struct RunResult {
+  double seconds_per_request = 0;
+  uint64_t bytes_sent_per_request = 0;
+  uint64_t bytes_received_per_request = 0;
+  uint64_t frames_per_request = 0;
+};
+
+RunResult RunRequests(ModelProviderApi& mp, DataProviderApi& dp,
+                      const std::vector<DoubleTensor>& inputs,
+                      FrameChannel* channel) {
+  const TransportStats before =
+      channel ? channel->stats() : TransportStats{};
+  WallTimer timer;
+  for (size_t i = 0; i < inputs.size(); ++i) {
+    auto out = RunProtocolInference(mp, dp, i + 1, inputs[i]);
+    PPS_CHECK_OK(out.status());
+  }
+  RunResult result;
+  result.seconds_per_request = timer.ElapsedSeconds() / inputs.size();
+  if (channel) {
+    const TransportStats after = channel->stats();
+    result.bytes_sent_per_request =
+        (after.bytes_sent - before.bytes_sent) / inputs.size();
+    result.bytes_received_per_request =
+        (after.bytes_received - before.bytes_received) / inputs.size();
+    result.frames_per_request =
+        (after.frames_sent - before.frames_sent) / inputs.size();
+  }
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== Transport overhead: direct vs framed vs TCP loopback ==\n");
+  std::printf("(MNIST-2, F=10000, %d-bit keys, %d requests per row)\n\n",
+              kKeyBits, kRequests);
+
+  TrainedEntry entry = Train(ZooModelId::kMnist2);
+  ProtocolSetup setup = Setup(entry.model, 10000, kKeyBits);
+  const PaillierKeyPair& keys = SharedKeys(kKeyBits);
+
+  std::vector<DoubleTensor> inputs(entry.data.test.samples.begin(),
+                                   entry.data.test.samples.begin() +
+                                       kRequests);
+
+  // ---- direct: the seed's zero-copy path.
+  InProcessTransport direct(setup.mp);
+  DataProvider direct_dp(direct.view_plan(), keys, /*enc_seed=*/20);
+  const RunResult direct_run =
+      RunRequests(*direct.model_provider(), direct_dp, inputs, nullptr);
+
+  // ---- framed: full wire path in memory.
+  auto framed_mp_impl = setup.mp;
+  auto framed_channel = std::make_shared<InProcessFrameChannel>(
+      [framed_mp_impl](const WireFrame& request) {
+        return DispatchModelProviderFrame(*framed_mp_impl, request);
+      });
+  RemoteModelProvider framed_mp(framed_channel, direct.view_plan());
+  DataProvider framed_dp(direct.view_plan(), keys, /*enc_seed=*/20);
+  const RunResult framed_run =
+      RunRequests(framed_mp, framed_dp, inputs, framed_channel.get());
+
+  // ---- tcp: real loopback sockets against the server class.
+  ModelProviderServerOptions server_options;
+  server_options.worker_threads = 2;
+  ModelProviderTcpServer server(setup.plan, server_options);
+  PPS_CHECK_OK(server.Listen(0));
+  std::thread server_thread(
+      [&server] { PPS_CHECK_OK(server.ServeOne(30.0)); });
+  auto transport =
+      TcpTransport::Connect("127.0.0.1", server.port(), keys.public_key);
+  PPS_CHECK_OK(transport.status());
+  DataProvider tcp_dp(transport.value()->view_plan(), keys, /*enc_seed=*/20);
+  const RunResult tcp_run =
+      RunRequests(*transport.value()->model_provider(), tcp_dp, inputs,
+                  &transport.value()->channel());
+  transport.value()->Close();
+  server_thread.join();
+
+  PrintRule();
+  std::printf("%-8s %14s %12s %10s %12s %12s\n", "path", "ms/request",
+              "overhead", "frames", "B sent", "B recv");
+  PrintRule();
+  auto row = [&](const char* name, const RunResult& r) {
+    std::printf("%-8s %14.1f %11.1f%% %10llu %12llu %12llu\n", name,
+                1e3 * r.seconds_per_request,
+                100.0 * (r.seconds_per_request /
+                             direct_run.seconds_per_request -
+                         1.0),
+                static_cast<unsigned long long>(r.frames_per_request),
+                static_cast<unsigned long long>(r.bytes_sent_per_request),
+                static_cast<unsigned long long>(r.bytes_received_per_request));
+  };
+  row("direct", direct_run);
+  row("framed", framed_run);
+  row("tcp", tcp_run);
+  PrintRule();
+  std::printf("\nbytes are client->server (sent) and server->client (recv), "
+              "headers included;\nthe direct path serializes nothing.\n");
+  return 0;
+}

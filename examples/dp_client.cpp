@@ -1,0 +1,94 @@
+// Data-provider half of the two-process deployment. Owns the Paillier
+// key pair and the input images; connects to a running mp_server, learns
+// the weight-free plan view from the handshake, and runs real inferences
+// over the versioned wire format:
+//
+//   ./dp_client 19777 [num_requests]
+//
+// The private key and the plaintext inputs never leave this process; the
+// server only ever sees Paillier ciphertexts (in permuted slot order for
+// the values it could otherwise correlate).
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+
+#include "core/protocol.h"
+#include "net/transport.h"
+#include "nn/model_zoo.h"
+#include "tensor/ops.h"
+#include "util/rng.h"
+#include "util/timer.h"
+
+using namespace ppstream;
+
+int main(int argc, char** argv) {
+  const uint16_t port =
+      argc > 1 ? static_cast<uint16_t>(std::atoi(argv[1])) : 19777;
+  const size_t num_requests = argc > 2 ? std::strtoull(argv[2], nullptr, 10)
+                                       : 3;
+
+  std::printf("== PP-Stream data-provider client ==\n\n");
+
+  // The same dataset seed as mp_server, so labels line up.
+  DatasetSplit data = MakeZooDataset(ZooModelId::kMnist2,
+                                     /*size_scale=*/0.005, /*seed=*/3);
+
+  Rng key_rng(5);
+  auto keys = Paillier::GenerateKeyPair(256, key_rng);  // demo-sized keys
+  PPS_CHECK_OK(keys.status());
+
+  // Retry the dial so the client may be launched before the server
+  // finishes binding (CI starts both concurrently).
+  TcpTransportOptions options;
+  options.connect_retry.max_retries = 40;
+  options.connect_retry.initial_backoff_seconds = 0.25;
+  options.connect_retry.backoff_multiplier = 1.0;
+  options.connect_retry.max_backoff_seconds = 0.25;
+  options.connect_retry.jitter = 0;
+  options.connect_retry.deadline_seconds = 20.0;
+  auto transport =
+      TcpTransport::Connect("127.0.0.1", port, keys->public_key, options);
+  PPS_CHECK_OK(transport.status());
+
+  auto view = transport.value()->view_plan();
+  PPS_CHECK(view->is_data_provider_view);
+  std::printf("connected; handshake delivered a %zu-round weight-free plan\n",
+              view->NumRounds());
+
+  DataProvider dp(view, std::move(keys).value(), /*enc_seed=*/7);
+  ModelProviderApi& mp = *transport.value()->model_provider();
+
+  size_t correct = 0;
+  WallTimer timer;
+  TransportStats last = transport.value()->stats();
+  for (size_t i = 0; i < num_requests && i < data.test.samples.size(); ++i) {
+    auto output = RunProtocolInference(mp, dp, /*request_id=*/i + 1,
+                                       data.test.samples[i]);
+    PPS_CHECK_OK(output.status());
+    const size_t predicted = ArgMax(output.value());
+    const TransportStats now = transport.value()->stats();
+    std::printf("request %zu: predicted %zu (label %d), %llu B sent / %llu B "
+                "received\n",
+                i + 1, predicted, data.test.labels[i],
+                static_cast<unsigned long long>(now.bytes_sent -
+                                                last.bytes_sent),
+                static_cast<unsigned long long>(now.bytes_received -
+                                                last.bytes_received));
+    correct += predicted == static_cast<size_t>(data.test.labels[i]);
+    last = now;
+  }
+  const double elapsed = timer.ElapsedSeconds();
+
+  const TransportStats total = transport.value()->stats();
+  std::printf("\n%zu inferences in %.2f s (%.0f%% correct)\n", num_requests,
+              elapsed, 100.0 * correct / num_requests);
+  std::printf("wire totals: %llu frames / %llu B sent, %llu frames / %llu B "
+              "received\n",
+              static_cast<unsigned long long>(total.frames_sent),
+              static_cast<unsigned long long>(total.bytes_sent),
+              static_cast<unsigned long long>(total.frames_received),
+              static_cast<unsigned long long>(total.bytes_received));
+  std::printf("\ndp client OK\n");
+  return 0;
+}

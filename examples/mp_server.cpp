@@ -1,0 +1,62 @@
+// Model-provider half of the two-process deployment (README "Two-process
+// deployment"). Owns the trained model and serves the protocol's linear
+// stages over TCP; pair it with dp_client in another terminal:
+//
+//   ./mp_server 19777            # serve until interrupted
+//   ./mp_server 19777 --once     # serve one connection, then exit (CI)
+//
+// The weights never leave this process: the handshake ships only the
+// plan's weight-free data-provider view.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+
+#include "net/server.h"
+#include "nn/model_zoo.h"
+
+using namespace ppstream;
+
+int main(int argc, char** argv) {
+  uint16_t port = 19777;
+  bool once = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--once") == 0) {
+      once = true;
+    } else {
+      port = static_cast<uint16_t>(std::atoi(argv[i]));
+    }
+  }
+
+  std::printf("== PP-Stream model-provider server ==\n\n");
+
+  // The same MNIST-2 model as the mnist_stream example; the client builds
+  // the matching dataset from the same seed.
+  DatasetSplit data = MakeZooDataset(ZooModelId::kMnist2,
+                                     /*size_scale=*/0.005, /*seed=*/3);
+  auto model = MakeTrainedZooModel(ZooModelId::kMnist2, data.train, 4);
+  PPS_CHECK_OK(model.status());
+  std::printf("model: %s\n", model.value().Summary().c_str());
+
+  auto plan_or = CompilePlan(model.value(), /*scale=*/10000);
+  PPS_CHECK_OK(plan_or.status());
+  auto plan = std::make_shared<const InferencePlan>(std::move(plan_or).value());
+
+  ModelProviderServerOptions options;
+  options.worker_threads = 2;
+  ModelProviderTcpServer server(plan, options);
+  PPS_CHECK_OK(server.Listen(port));
+  std::printf("listening on 127.0.0.1:%u (%s)\n", server.port(),
+              once ? "single connection" : "ctrl-C to stop");
+  std::fflush(stdout);
+
+  if (once) {
+    PPS_CHECK_OK(server.ServeOne(/*accept_timeout_seconds=*/60.0));
+  } else {
+    PPS_CHECK_OK(server.Serve());
+  }
+  std::printf("served %llu connection(s); mp_server OK\n",
+              static_cast<unsigned long long>(server.connections_served()));
+  return 0;
+}

@@ -658,28 +658,16 @@ BigInt BigInt::FromBytes(const std::vector<uint8_t>& bytes) {
   return out;
 }
 
-void BigInt::Serialize(std::vector<uint8_t>* out) const {
-  out->push_back(negative_ ? 1 : 0);
-  std::vector<uint8_t> mag = ToBytes();
-  uint64_t len = mag.size();
-  for (int shift = 0; shift < 64; shift += 8) {
-    out->push_back(static_cast<uint8_t>(len >> shift));
-  }
-  out->insert(out->end(), mag.begin(), mag.end());
+void BigInt::Serialize(BufferWriter* out) const {
+  out->WriteU8(negative_ ? 1 : 0);
+  out->WriteBytes(ToBytes());
 }
 
-Result<BigInt> BigInt::Deserialize(const uint8_t* data, size_t size,
-                                   size_t* consumed) {
-  if (size < 9) return Status::OutOfRange("BigInt header truncated");
-  bool negative = data[0] != 0;
-  uint64_t len = 0;
-  for (int i = 0; i < 8; ++i) {
-    len |= static_cast<uint64_t>(data[1 + i]) << (8 * i);
-  }
-  if (size < 9 + len) return Status::OutOfRange("BigInt payload truncated");
-  BigInt out = FromBytes(std::vector<uint8_t>(data + 9, data + 9 + len));
-  if (negative && !out.IsZero()) out.negative_ = true;
-  if (consumed) *consumed = 9 + len;
+Result<BigInt> BigInt::Deserialize(BufferReader* in) {
+  PPS_ASSIGN_OR_RETURN(uint8_t negative, in->ReadU8());
+  PPS_ASSIGN_OR_RETURN(std::vector<uint8_t> mag, in->ReadBytes());
+  BigInt out = FromBytes(mag);
+  if (negative != 0 && !out.IsZero()) out.negative_ = true;
   return out;
 }
 

@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "util/buffer.h"
 #include "util/rng.h"
 #include "util/status.h"
 
@@ -118,9 +119,10 @@ class BigInt {
   static Result<BigInt> ModInverse(const BigInt& a, const BigInt& m);
 
   /// Serialization: sign byte + length-prefixed big-endian magnitude.
-  void Serialize(std::vector<uint8_t>* out) const;
-  static Result<BigInt> Deserialize(const uint8_t* data, size_t size,
-                                    size_t* consumed);
+  /// Every PP-Stream type serializes through BufferWriter/BufferReader —
+  /// there is deliberately no raw-byte-vector variant.
+  void Serialize(BufferWriter* out) const;
+  static Result<BigInt> Deserialize(BufferReader* in);
 
  private:
   friend class MontgomeryContext;

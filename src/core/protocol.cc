@@ -56,7 +56,7 @@ Result<std::vector<Ciphertext>> ModelProvider::InverseObfuscate(
 
 Result<std::vector<Ciphertext>> ModelProvider::ApplyLinearStage(
     size_t round, const std::vector<Ciphertext>& in, ThreadPool* pool,
-    bool input_partitioning) const {
+    bool input_partitioning) {
   if (round >= plan_->linear_stages.size()) {
     return Status::OutOfRange("linear stage index out of range");
   }
@@ -109,12 +109,13 @@ Result<std::vector<Ciphertext>> ModelProvider::ProcessRound(
   return current;
 }
 
-void ModelProvider::ReleaseRequestState(uint64_t request_id) {
+Status ModelProvider::ReleaseRequestState(uint64_t request_id) {
   std::lock_guard<std::mutex> lock(mutex_);
   auto it = permutations_.lower_bound({request_id, 0});
   while (it != permutations_.end() && it->first.first == request_id) {
     it = permutations_.erase(it);
   }
+  return Status::OK();
 }
 
 size_t ModelProvider::PendingRequestsForTesting() const {
@@ -304,10 +305,22 @@ Result<DoubleTensor> DataProvider::ProcessFinal(
   return ApplySegment(round, values);
 }
 
-Result<DoubleTensor> RunProtocolInference(ModelProvider& mp, DataProvider& dp,
+Result<DoubleTensor> RunProtocolInference(ModelProviderApi& mp,
+                                          DataProviderApi& dp,
                                           uint64_t request_id,
                                           const DoubleTensor& input,
                                           LeakageTranscript* transcript) {
+  ModelProvider* local_mp = nullptr;
+  if (transcript != nullptr) {
+    // The leakage transcript reconstructs pre-obfuscation order from the
+    // stored permutations — experimenter-only state that never crosses a
+    // transport boundary.
+    local_mp = dynamic_cast<ModelProvider*>(&mp);
+    if (local_mp == nullptr) {
+      return Status::InvalidArgument(
+          "leakage transcripts require an in-process ModelProvider");
+    }
+  }
   const size_t rounds = mp.plan().NumRounds();
   PPS_ASSIGN_OR_RETURN(std::vector<Ciphertext> wire, dp.EncryptInput(input));
   for (size_t r = 0; r < rounds; ++r) {
@@ -320,9 +333,9 @@ Result<DoubleTensor> RunProtocolInference(ModelProvider& mp, DataProvider& dp,
       if (transcript) {
         // Experimenter-side reconstruction: invert the stored permutation
         // to recover the original order for the dcor measurement.
-        PPS_ASSIGN_OR_RETURN(Permutation perm,
-                             mp.GetStoredPermutationForTesting(request_id,
-                                                               r));
+        PPS_ASSIGN_OR_RETURN(
+            Permutation perm,
+            local_mp->GetStoredPermutationForTesting(request_id, r));
         LeakageTranscript::Round rec;
         rec.after_obfuscation = decrypted;
         rec.before_obfuscation = perm.ApplyInverse(decrypted);
@@ -330,7 +343,7 @@ Result<DoubleTensor> RunProtocolInference(ModelProvider& mp, DataProvider& dp,
       }
     }
   }
-  mp.ReleaseRequestState(request_id);
+  PPS_RETURN_IF_ERROR(mp.ReleaseRequestState(request_id));
   return dp.ProcessFinal(wire);
 }
 

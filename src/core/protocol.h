@@ -14,11 +14,16 @@
 //                       DP decrypts and applies the final non-linear
 //                       segment (typically SoftMax) to get the result.
 //
-// Both parties are simulated in one process; in a real deployment the
-// plan's non-linear view plus the public key would be the only state
-// shipped to the data provider. Tests assert the separation (the model
-// provider never sees plaintext tensors; the data provider never sees
-// weights).
+// The two parties talk exclusively through the pure-virtual
+// ModelProviderApi / DataProviderApi interfaces below. In a single
+// process the concrete ModelProvider / DataProvider implement them with
+// direct (zero-copy) calls; in a two-process deployment the src/net/
+// transport layer provides RemoteModelProvider / RemoteDataProvider
+// stubs that frame every call onto a versioned wire format. The only
+// state ever shipped to the data provider is the plan's weight-free
+// non-linear view plus the public key. Tests assert the separation (the
+// model provider never sees plaintext tensors; the data provider never
+// sees weights).
 
 #pragma once
 
@@ -48,60 +53,141 @@ struct LeakageTranscript {
   std::vector<Round> rounds;
 };
 
+/// Every cross-party call the data-provider side may issue against the
+/// model provider. ModelProvider implements it in-process;
+/// RemoteModelProvider (src/net/) frames each call over a Transport.
+class ModelProviderApi {
+ public:
+  virtual ~ModelProviderApi() = default;
+
+  /// The plan driving the protocol. A remote stub returns the weight-free
+  /// data-provider view received during the handshake; only round counts,
+  /// shapes, and scale powers may be read through this accessor.
+  virtual const InferencePlan& plan() const = 0;
+
+  /// Chaos hook (sites "mp.<Method>"). Default: no-op — remote stubs
+  /// inject at the transport layer ("net.send"/"net.recv") instead.
+  virtual void SetFaultInjector(std::shared_ptr<FaultInjector> injector) {
+    (void)injector;
+  }
+
+  /// Full round processing: inverse obfuscation (round > 0), linear stage
+  /// `round`, obfuscation (round < last).
+  virtual Result<std::vector<Ciphertext>> ProcessRound(
+      uint64_t request_id, size_t round,
+      const std::vector<Ciphertext>& in) = 0;
+
+  // ---- Fine-grained steps (used by the streaming engine's stages, and by
+  //      ProcessRound above).
+
+  /// Inverse obfuscation using the permutation stored for (request,
+  /// round - 1). Idempotent until ReleaseRequestState.
+  virtual Result<std::vector<Ciphertext>> InverseObfuscate(
+      uint64_t request_id, size_t round, std::vector<Ciphertext> in) = 0;
+
+  /// Applies linear stage `round`. `pool` / `input_partitioning` steer
+  /// intra-stage parallelism and are advisory: a remote model provider
+  /// parallelizes with its own resources and ignores them.
+  virtual Result<std::vector<Ciphertext>> ApplyLinearStage(
+      size_t round, const std::vector<Ciphertext>& in,
+      ThreadPool* pool = nullptr, bool input_partitioning = true) = 0;
+
+  /// Obfuscates with a fresh random permutation, stored under
+  /// (request, round).
+  virtual Result<std::vector<Ciphertext>> Obfuscate(
+      uint64_t request_id, size_t round, std::vector<Ciphertext> in) = 0;
+
+  /// Drops all per-request state (stored permutations). Called when the
+  /// request completes or fails; stands in for a completion ACK on the
+  /// wire. Failure is non-fatal for the inference result.
+  virtual Status ReleaseRequestState(uint64_t request_id) = 0;
+};
+
+/// Every cross-party call the model-provider side may issue against the
+/// data provider (the reverse deployment: an engine colocated with the
+/// model driving a remote data provider).
+class DataProviderApi {
+ public:
+  virtual ~DataProviderApi() = default;
+
+  /// The data provider's Paillier public key.
+  virtual const PaillierPublicKey& public_key() const = 0;
+
+  /// Chaos hook (sites "dp.<Method>"). Default: no-op, as above.
+  virtual void SetFaultInjector(std::shared_ptr<FaultInjector> injector) {
+    (void)injector;
+  }
+
+  /// Round-0 send: quantize the raw input at F and encrypt element-wise.
+  virtual Result<std::vector<Ciphertext>> EncryptInput(
+      const DoubleTensor& input) = 0;
+
+  /// Round-0 send with optional intra-stage parallelism (advisory, see
+  /// ApplyLinearStage).
+  virtual Result<std::vector<Ciphertext>> EncryptInputParallel(
+      const DoubleTensor& input, ThreadPool* pool) = 0;
+
+  /// Intermediate round `round`: decrypt, dequantize by F^k, apply
+  /// non-linear segment `round` element-wise, re-quantize at F, encrypt.
+  /// `decrypted_view` (leakage measurement) requires an in-process data
+  /// provider; remote stubs reject a non-null view rather than pull
+  /// plaintext across the wire.
+  virtual Result<std::vector<Ciphertext>> ProcessIntermediate(
+      size_t round, const std::vector<Ciphertext>& in,
+      std::vector<double>* decrypted_view = nullptr,
+      ThreadPool* pool = nullptr) = 0;
+
+  /// Last round: decrypt, dequantize, apply the final segment, return the
+  /// inference result.
+  virtual Result<DoubleTensor> ProcessFinal(const std::vector<Ciphertext>& in,
+                                            ThreadPool* pool = nullptr) = 0;
+};
+
 /// The model provider: owns the model (as integer linear stages), executes
 /// all linear operations homomorphically, and manages obfuscation.
-class ModelProvider {
+class ModelProvider : public ModelProviderApi {
  public:
   /// `obf_seed` seeds the permutation CSPRNG (fresh randomness per round).
   ModelProvider(std::shared_ptr<const InferencePlan> plan,
                 PaillierPublicKey pk, uint64_t obf_seed);
 
-  const InferencePlan& plan() const { return *plan_; }
+  const InferencePlan& plan() const override { return *plan_; }
   const PaillierPublicKey& public_key() const { return pk_; }
 
   /// Chaos hook: every protocol entry point probes `injector` (sites
   /// "mp.<Method>") before doing real work, so injected errors exercise
   /// the runtime's retry path exactly like genuine provider failures.
   /// Null disables. Set before serving requests.
-  void SetFaultInjector(std::shared_ptr<FaultInjector> injector) {
+  void SetFaultInjector(std::shared_ptr<FaultInjector> injector) override {
     fault_ = std::move(injector);
   }
 
-  /// Full round processing: inverse obfuscation (round > 0), linear stage
-  /// `round`, obfuscation (round < last).
   Result<std::vector<Ciphertext>> ProcessRound(
-      uint64_t request_id, size_t round, const std::vector<Ciphertext>& in);
+      uint64_t request_id, size_t round,
+      const std::vector<Ciphertext>& in) override;
 
-  // ---- Fine-grained steps (used by the streaming engine's stages, and by
-  //      ProcessRound above).
-
-  /// Inverse obfuscation using the permutation stored for (request,
-  /// round - 1). Idempotent: the permutation stays stored until
-  /// ReleaseRequestState, so a failed/retried stage can reprocess the
-  /// same message (AF-Stream-style at-least-once execution).
+  /// Idempotent: the permutation stays stored until ReleaseRequestState,
+  /// so a failed/retried stage can reprocess the same message
+  /// (AF-Stream-style at-least-once execution).
   Result<std::vector<Ciphertext>> InverseObfuscate(
-      uint64_t request_id, size_t round, std::vector<Ciphertext> in);
+      uint64_t request_id, size_t round, std::vector<Ciphertext> in) override;
 
-  /// Drops all per-request state (stored permutations). Called when the
-  /// request completes — by RunProtocolInference and by the engine's
-  /// final stage (standing in for a completion ACK on the wire).
-  void ReleaseRequestState(uint64_t request_id);
+  /// Always OK in-process; the Status return exists for remote stubs.
+  Status ReleaseRequestState(uint64_t request_id) override;
 
   /// Number of requests with live permutation state (leak check).
   size_t PendingRequestsForTesting() const;
 
-  /// Applies linear stage `round`. With a pool, rows are partitioned
-  /// across its threads (output tensor partitioning); `input_partitioning`
-  /// additionally ships each thread only its receptive-field sub-tensor
-  /// (paper §IV-D).
+  /// With a pool, rows are partitioned across its threads (output tensor
+  /// partitioning); `input_partitioning` additionally ships each thread
+  /// only its receptive-field sub-tensor (paper §IV-D).
   Result<std::vector<Ciphertext>> ApplyLinearStage(
       size_t round, const std::vector<Ciphertext>& in,
-      ThreadPool* pool = nullptr, bool input_partitioning = true) const;
+      ThreadPool* pool = nullptr, bool input_partitioning = true) override;
 
-  /// Obfuscates with a fresh random permutation, stored under
-  /// (request, round).
-  Result<std::vector<Ciphertext>> Obfuscate(uint64_t request_id, size_t round,
-                                            std::vector<Ciphertext> in);
+  Result<std::vector<Ciphertext>> Obfuscate(
+      uint64_t request_id, size_t round,
+      std::vector<Ciphertext> in) override;
 
   /// Test/experiment hook: the permutation used at (request, round), if
   /// still stored. NOT part of the protocol surface.
@@ -119,40 +205,37 @@ class ModelProvider {
 
 /// The data provider: owns the key pair and the raw input, executes all
 /// non-linear operations on decrypted (permuted) values.
-class DataProvider {
+class DataProvider : public DataProviderApi {
  public:
   DataProvider(std::shared_ptr<const InferencePlan> plan,
                PaillierKeyPair keys, uint64_t enc_seed);
 
-  const PaillierPublicKey& public_key() const { return keys_.public_key; }
+  const PaillierPublicKey& public_key() const override {
+    return keys_.public_key;
+  }
 
   /// Chaos hook, mirror of ModelProvider::SetFaultInjector (sites
   /// "dp.<Method>").
-  void SetFaultInjector(std::shared_ptr<FaultInjector> injector) {
+  void SetFaultInjector(std::shared_ptr<FaultInjector> injector) override {
     fault_ = std::move(injector);
   }
 
-  /// Round-0 send: quantize the raw input at F and encrypt element-wise.
-  Result<std::vector<Ciphertext>> EncryptInput(const DoubleTensor& input);
+  Result<std::vector<Ciphertext>> EncryptInput(
+      const DoubleTensor& input) override;
 
-  /// Intermediate round `round`: decrypt, dequantize by F^k, apply
-  /// non-linear segment `round` element-wise, re-quantize at F, encrypt.
   /// If `decrypted_view` is non-null it receives the permuted plaintext
   /// values the data provider observed (for leakage measurement). With a
   /// pool, decryption and re-encryption parallelize across its threads.
   Result<std::vector<Ciphertext>> ProcessIntermediate(
       size_t round, const std::vector<Ciphertext>& in,
       std::vector<double>* decrypted_view = nullptr,
-      ThreadPool* pool = nullptr);
+      ThreadPool* pool = nullptr) override;
 
-  /// Last round: decrypt, dequantize, apply the final segment, return the
-  /// inference result.
   Result<DoubleTensor> ProcessFinal(const std::vector<Ciphertext>& in,
-                                    ThreadPool* pool = nullptr);
+                                    ThreadPool* pool = nullptr) override;
 
-  /// Round-0 send with optional intra-stage parallelism.
   Result<std::vector<Ciphertext>> EncryptInputParallel(
-      const DoubleTensor& input, ThreadPool* pool);
+      const DoubleTensor& input, ThreadPool* pool) override;
 
  private:
   /// Applies segment `round` to real values element-wise.
@@ -170,9 +253,14 @@ class DataProvider {
 };
 
 /// Drives the full synchronous protocol for one input (the streaming
-/// engine pipelines exactly these steps across stages). If `transcript`
-/// is non-null, records before/after-obfuscation value pairs per round.
-Result<DoubleTensor> RunProtocolInference(ModelProvider& mp, DataProvider& dp,
+/// engine pipelines exactly these steps across stages). Works against any
+/// ModelProviderApi / DataProviderApi pair — local objects or remote
+/// transport stubs. If `transcript` is non-null, records before/after-
+/// obfuscation value pairs per round; this experimenter-side measurement
+/// reads stored permutations and therefore requires an in-process
+/// ModelProvider (fails with InvalidArgument on a remote stub).
+Result<DoubleTensor> RunProtocolInference(ModelProviderApi& mp,
+                                          DataProviderApi& dp,
                                           uint64_t request_id,
                                           const DoubleTensor& input,
                                           LeakageTranscript* transcript =

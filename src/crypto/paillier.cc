@@ -11,14 +11,12 @@ PaillierPublicKey::PaillierPublicKey(BigInt n)
       half_n_(n_ >> 1),
       ctx_n2_(std::make_shared<MontgomeryContext>(n_squared_)) {}
 
-void PaillierPublicKey::Serialize(std::vector<uint8_t>* out) const {
+void PaillierPublicKey::Serialize(BufferWriter* out) const {
   n_.Serialize(out);
 }
 
-Result<PaillierPublicKey> PaillierPublicKey::Deserialize(const uint8_t* data,
-                                                         size_t size,
-                                                         size_t* consumed) {
-  PPS_ASSIGN_OR_RETURN(BigInt n, BigInt::Deserialize(data, size, consumed));
+Result<PaillierPublicKey> PaillierPublicKey::Deserialize(BufferReader* in) {
+  PPS_ASSIGN_OR_RETURN(BigInt n, BigInt::Deserialize(in));
   if (n.Compare(BigInt(3)) <= 0 || !n.IsOdd()) {
     return Status::CryptoError("deserialized Paillier modulus is invalid");
   }

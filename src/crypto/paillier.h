@@ -32,10 +32,9 @@ namespace ppstream {
 struct Ciphertext {
   BigInt value;
 
-  void Serialize(std::vector<uint8_t>* out) const { value.Serialize(out); }
-  static Result<Ciphertext> Deserialize(const uint8_t* data, size_t size,
-                                        size_t* consumed) {
-    PPS_ASSIGN_OR_RETURN(BigInt v, BigInt::Deserialize(data, size, consumed));
+  void Serialize(BufferWriter* out) const { value.Serialize(out); }
+  static Result<Ciphertext> Deserialize(BufferReader* in) {
+    PPS_ASSIGN_OR_RETURN(BigInt v, BigInt::Deserialize(in));
     return Ciphertext{std::move(v)};
   }
 };
@@ -54,9 +53,8 @@ class PaillierPublicKey {
 
   const MontgomeryContext& ctx_n2() const { return *ctx_n2_; }
 
-  void Serialize(std::vector<uint8_t>* out) const;
-  static Result<PaillierPublicKey> Deserialize(const uint8_t* data,
-                                               size_t size, size_t* consumed);
+  void Serialize(BufferWriter* out) const;
+  static Result<PaillierPublicKey> Deserialize(BufferReader* in);
 
  private:
   BigInt n_;

@@ -1,0 +1,117 @@
+#include "net/server.h"
+
+#include <utility>
+
+#include "net/transport.h"
+#include "net/wire.h"
+#include "util/logging.h"
+
+namespace ppstream {
+
+namespace {
+
+/// An orderly peer disconnect, as documented on TcpSocket::RecvAll.
+bool IsCleanDisconnect(const Status& status) {
+  return status.code() == StatusCode::kIoError &&
+         status.message() == "connection closed";
+}
+
+}  // namespace
+
+ModelProviderTcpServer::ModelProviderTcpServer(
+    std::shared_ptr<const InferencePlan> plan,
+    ModelProviderServerOptions options)
+    : plan_(std::move(plan)), options_(options) {
+  PPS_CHECK(plan_ != nullptr);
+  PPS_CHECK(!plan_->is_data_provider_view)
+      << "a model-provider server needs the full plan (with weights)";
+  if (options_.worker_threads > 0) {
+    pool_ = std::make_unique<ThreadPool>(options_.worker_threads);
+  }
+}
+
+Status ModelProviderTcpServer::Listen(uint16_t port) {
+  PPS_ASSIGN_OR_RETURN(listener_, TcpListener::Bind(port));
+  return Status::OK();
+}
+
+Status ModelProviderTcpServer::ServeOne(double accept_timeout_seconds) {
+  if (!listener_.valid()) {
+    return Status::FailedPrecondition("server is not listening (call Listen)");
+  }
+  PPS_ASSIGN_OR_RETURN(TcpSocket socket,
+                       listener_.Accept(accept_timeout_seconds));
+  return ServeConnection(std::move(socket));
+}
+
+Status ModelProviderTcpServer::Serve() {
+  if (!listener_.valid()) {
+    return Status::FailedPrecondition("server is not listening (call Listen)");
+  }
+  while (!stopping_.load()) {
+    Result<TcpSocket> socket = listener_.Accept(options_.accept_poll_seconds);
+    if (!socket.ok()) {
+      if (socket.status().code() == StatusCode::kDeadlineExceeded) continue;
+      return socket.status();
+    }
+    const Status status = ServeConnection(std::move(socket).value());
+    if (!status.ok()) {
+      // A misbehaving client must not take the server down; log and keep
+      // accepting.
+      PPS_LOG(Warn) << "connection ended with error: " << status.ToString();
+    }
+  }
+  return Status::OK();
+}
+
+Status ModelProviderTcpServer::ServeConnection(TcpSocket socket) {
+  const uint64_t conn = connections_.fetch_add(1);
+  const double timeout = options_.io_timeout_seconds;
+
+  // ---- Handshake: public key in, weight-free plan view out.
+  PPS_ASSIGN_OR_RETURN(WireFrame hello, RecvFrame(socket, timeout));
+  if (hello.is_response || hello.method != WireMethod::kHandshake) {
+    const Status error = Status::ProtocolError(
+        "connection must start with a handshake request");
+    (void)SendFrameBytes(socket, EncodeFrame(MakeErrorFrame(hello, error)),
+                         timeout);
+    return error;
+  }
+  BufferReader reader(hello.payload);
+  Result<PaillierPublicKey> pk = PaillierPublicKey::Deserialize(&reader);
+  if (pk.ok() && !reader.AtEnd()) {
+    pk = Status::ProtocolError("trailing bytes after handshake public key");
+  }
+  if (pk.ok()) {
+    const Status fits = plan_->CheckFitsKey(pk->n());
+    if (!fits.ok()) pk = fits;
+  }
+  if (!pk.ok()) {
+    (void)SendFrameBytes(socket,
+                         EncodeFrame(MakeErrorFrame(hello, pk.status())),
+                         timeout);
+    return pk.status();
+  }
+
+  ModelProvider mp(plan_, std::move(pk).value(), options_.obf_seed + conn);
+  BufferWriter view;
+  plan_->SerializeDataProviderView(&view);
+  PPS_RETURN_IF_ERROR(SendFrameBytes(
+      socket, EncodeFrame(MakeResponseFrame(hello, view.TakeBytes())),
+      timeout));
+
+  // ---- Request loop until the peer hangs up.
+  for (;;) {
+    Result<WireFrame> request = RecvFrame(socket, timeout);
+    if (!request.ok()) {
+      if (IsCleanDisconnect(request.status())) return Status::OK();
+      return request.status();
+    }
+    const WireFrame response =
+        DispatchModelProviderFrame(mp, *request, pool_.get());
+    PPS_RETURN_IF_ERROR(
+        SendFrameBytes(socket, EncodeFrame(response), timeout));
+  }
+}
+
+}  // namespace ppstream

@@ -1,0 +1,82 @@
+// Model-provider TCP server: the weight-owning half of a two-process
+// PP-Stream deployment (examples/mp_server.cpp is a thin main over this).
+//
+// Connection lifecycle:
+//   1. accept; the first frame must be a kHandshake request carrying the
+//      client's Paillier public key;
+//   2. build a fresh ModelProvider for the connection (per-connection
+//      obfuscation seed) and reply with the plan's weight-free
+//      data-provider view — weights never leave the process;
+//   3. serve kMp* request frames until the peer disconnects. Malformed
+//      frames and provider failures become error frames; only an
+//      unrecoverable socket error ends the connection.
+//
+// The server is deliberately single-connection-at-a-time (the two-party
+// protocol is one DP talking to one MP); linear stages parallelize across
+// an internal worker pool instead.
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+
+#include "core/protocol.h"
+#include "net/socket.h"
+#include "util/thread_pool.h"
+
+namespace ppstream {
+
+struct ModelProviderServerOptions {
+  /// Worker threads for linear-stage parallelism; 0 serves single-threaded.
+  size_t worker_threads = 0;
+  /// Per-socket-operation timeout while serving an established connection.
+  double io_timeout_seconds = 30.0;
+  /// Accept poll granularity; Serve() re-checks the stop flag this often.
+  double accept_poll_seconds = 0.2;
+  /// Base obfuscation seed; connection k uses obf_seed + k so permutation
+  /// streams never repeat across connections.
+  uint64_t obf_seed = 0x0BF5EEDULL;
+};
+
+class ModelProviderTcpServer {
+ public:
+  /// `plan` must be a full plan (with weights): it is the model being
+  /// served. `port` 0 binds an ephemeral port — read it back with port().
+  ModelProviderTcpServer(std::shared_ptr<const InferencePlan> plan,
+                         ModelProviderServerOptions options = {});
+
+  /// Binds and listens on 127.0.0.1:`port`.
+  Status Listen(uint16_t port);
+
+  uint16_t port() const { return listener_.port(); }
+
+  /// Accepts one connection and serves it to completion (peer disconnect
+  /// or fatal socket error). DeadlineExceeded when nothing connected
+  /// within `accept_timeout_seconds`.
+  Status ServeOne(double accept_timeout_seconds);
+
+  /// Accept-serve loop until Shutdown(). Accept timeouts are not errors —
+  /// the loop polls so the stop flag stays responsive.
+  Status Serve();
+
+  /// Makes Serve() return after its current connection. Safe from any
+  /// thread (the intended use: signal handler or controlling thread).
+  void Shutdown() { stopping_.store(true); }
+
+  /// Connections accepted so far (smoke tests assert progress).
+  uint64_t connections_served() const { return connections_.load(); }
+
+ private:
+  /// Handshake + request loop for one established connection.
+  Status ServeConnection(TcpSocket socket);
+
+  std::shared_ptr<const InferencePlan> plan_;
+  ModelProviderServerOptions options_;
+  TcpListener listener_;
+  std::unique_ptr<ThreadPool> pool_;
+  std::atomic<bool> stopping_{false};
+  std::atomic<uint64_t> connections_{0};
+};
+
+}  // namespace ppstream

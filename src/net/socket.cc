@@ -1,0 +1,240 @@
+#include "net/socket.h"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstring>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+
+namespace ppstream {
+
+namespace {
+
+double MonotonicSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Remaining budget in whole milliseconds for poll(); at least 1ms while
+/// budget remains so we never busy-spin.
+int RemainingMillis(double deadline) {
+  const double remaining = deadline - MonotonicSeconds();
+  if (remaining <= 0) return 0;
+  return std::max(1, static_cast<int>(remaining * 1e3));
+}
+
+Status Errno(const char* what) {
+  return Status::IoError(internal::StrCat(what, ": ", std::strerror(errno)));
+}
+
+/// Polls `fd` for `events` until the deadline. OK when ready.
+Status PollFor(int fd, short events, double deadline) {
+  for (;;) {
+    const int millis = RemainingMillis(deadline);
+    if (millis == 0) return Status::DeadlineExceeded("socket wait timed out");
+    struct pollfd pfd;
+    pfd.fd = fd;
+    pfd.events = events;
+    pfd.revents = 0;
+    const int rc = ::poll(&pfd, 1, millis);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      return Errno("poll");
+    }
+    if (rc > 0) return Status::OK();
+  }
+}
+
+Status ResolveLoopbackOrNumeric(const std::string& host,
+                                struct in_addr* out) {
+  if (host.empty() || host == "localhost") {
+    out->s_addr = htonl(INADDR_LOOPBACK);
+    return Status::OK();
+  }
+  if (::inet_pton(AF_INET, host.c_str(), out) == 1) return Status::OK();
+  return Status::InvalidArgument(internal::StrCat(
+      "cannot resolve host '", host, "' (numeric IPv4 or 'localhost' only)"));
+}
+
+void SetNoDelay(int fd) {
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+}  // namespace
+
+TcpSocket::~TcpSocket() { Close(); }
+
+TcpSocket::TcpSocket(TcpSocket&& other) noexcept : fd_(other.fd_) {
+  other.fd_ = -1;
+}
+
+TcpSocket& TcpSocket::operator=(TcpSocket&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void TcpSocket::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Result<TcpSocket> TcpSocket::Connect(const std::string& host, uint16_t port,
+                                     double timeout_seconds) {
+  struct sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  PPS_RETURN_IF_ERROR(ResolveLoopbackOrNumeric(host, &addr.sin_addr));
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Errno("socket");
+  TcpSocket sock(fd);  // owns fd from here on
+
+  // Non-blocking connect + poll gives a bounded connection attempt.
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+  const double deadline = MonotonicSeconds() + timeout_seconds;
+  if (::connect(fd, reinterpret_cast<struct sockaddr*>(&addr),
+                sizeof(addr)) < 0) {
+    if (errno != EINPROGRESS) return Errno("connect");
+    PPS_RETURN_IF_ERROR(PollFor(fd, POLLOUT, deadline));
+    int err = 0;
+    socklen_t len = sizeof(err);
+    if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len) < 0) {
+      return Errno("getsockopt");
+    }
+    if (err != 0) {
+      return Status::IoError(
+          internal::StrCat("connect: ", std::strerror(err)));
+    }
+  }
+  ::fcntl(fd, F_SETFL, flags);  // back to blocking; IO uses poll timeouts
+  SetNoDelay(fd);
+  return sock;
+}
+
+Status TcpSocket::SendAll(const uint8_t* data, size_t len,
+                          double timeout_seconds) {
+  if (!valid()) return Status::FailedPrecondition("socket is closed");
+  const double deadline = MonotonicSeconds() + timeout_seconds;
+  size_t sent = 0;
+  while (sent < len) {
+    PPS_RETURN_IF_ERROR(PollFor(fd_, POLLOUT, deadline));
+    // MSG_NOSIGNAL: a vanished peer must surface as a Status, not SIGPIPE.
+    const ssize_t n =
+        ::send(fd_, data + sent, len - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) {
+        continue;
+      }
+      return Errno("send");
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Status TcpSocket::RecvAll(uint8_t* data, size_t len,
+                          double timeout_seconds) {
+  if (!valid()) return Status::FailedPrecondition("socket is closed");
+  const double deadline = MonotonicSeconds() + timeout_seconds;
+  size_t received = 0;
+  while (received < len) {
+    PPS_RETURN_IF_ERROR(PollFor(fd_, POLLIN, deadline));
+    const ssize_t n = ::recv(fd_, data + received, len - received, 0);
+    if (n < 0) {
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) {
+        continue;
+      }
+      return Errno("recv");
+    }
+    if (n == 0) {
+      return received == 0
+                 ? Status::IoError("connection closed")
+                 : Status::IoError("connection closed mid-message");
+    }
+    received += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+TcpListener::~TcpListener() { Close(); }
+
+TcpListener::TcpListener(TcpListener&& other) noexcept
+    : fd_(other.fd_), port_(other.port_) {
+  other.fd_ = -1;
+  other.port_ = 0;
+}
+
+TcpListener& TcpListener::operator=(TcpListener&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    port_ = other.port_;
+    other.fd_ = -1;
+    other.port_ = 0;
+  }
+  return *this;
+}
+
+void TcpListener::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Result<TcpListener> TcpListener::Bind(uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Errno("socket");
+  TcpListener listener;
+  listener.fd_ = fd;
+
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  struct sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(fd, reinterpret_cast<struct sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    return Errno("bind");
+  }
+  if (::listen(fd, /*backlog=*/4) < 0) return Errno("listen");
+
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<struct sockaddr*>(&addr), &len) <
+      0) {
+    return Errno("getsockname");
+  }
+  listener.port_ = ntohs(addr.sin_port);
+  return listener;
+}
+
+Result<TcpSocket> TcpListener::Accept(double timeout_seconds) {
+  if (!valid()) return Status::FailedPrecondition("listener is closed");
+  const double deadline = MonotonicSeconds() + timeout_seconds;
+  PPS_RETURN_IF_ERROR(PollFor(fd_, POLLIN, deadline));
+  const int fd = ::accept(fd_, nullptr, nullptr);
+  if (fd < 0) return Errno("accept");
+  SetNoDelay(fd);
+  return TcpSocket(fd);
+}
+
+}  // namespace ppstream

@@ -1,0 +1,81 @@
+// Thin RAII wrappers over blocking POSIX TCP sockets, with poll-based
+// timeouts so every operation has a bounded wait.
+//
+// Error mapping (consumed by the stream runtime's retry machinery):
+//   timeout elapsed              → kDeadlineExceeded
+//   peer closed / reset / error  → kIoError
+// A clean end-of-stream before any byte of a read is reported as kIoError
+// with message "connection closed" — the frame loop uses it to detect an
+// orderly disconnect.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "util/status.h"
+
+namespace ppstream {
+
+/// A connected TCP stream socket. Move-only; closes on destruction.
+class TcpSocket {
+ public:
+  TcpSocket() = default;
+  explicit TcpSocket(int fd) : fd_(fd) {}
+  ~TcpSocket();
+
+  TcpSocket(TcpSocket&& other) noexcept;
+  TcpSocket& operator=(TcpSocket&& other) noexcept;
+  TcpSocket(const TcpSocket&) = delete;
+  TcpSocket& operator=(const TcpSocket&) = delete;
+
+  /// Connects to host:port (numeric IPv4 or "localhost") within
+  /// `timeout_seconds`. TCP_NODELAY is set: frames are latency-bound.
+  static Result<TcpSocket> Connect(const std::string& host, uint16_t port,
+                                   double timeout_seconds);
+
+  /// Writes exactly `len` bytes or fails. The timeout bounds the total
+  /// time spent blocked, not each individual write.
+  Status SendAll(const uint8_t* data, size_t len, double timeout_seconds);
+
+  /// Reads exactly `len` bytes or fails (see header for EOF semantics).
+  Status RecvAll(uint8_t* data, size_t len, double timeout_seconds);
+
+  bool valid() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+  void Close();
+
+ private:
+  int fd_ = -1;
+};
+
+/// A loopback listening socket. Move-only; closes on destruction.
+class TcpListener {
+ public:
+  TcpListener() = default;
+  ~TcpListener();
+
+  TcpListener(TcpListener&& other) noexcept;
+  TcpListener& operator=(TcpListener&& other) noexcept;
+  TcpListener(const TcpListener&) = delete;
+  TcpListener& operator=(const TcpListener&) = delete;
+
+  /// Binds 127.0.0.1:`port` (0 picks an ephemeral port — read it back
+  /// with port()) with SO_REUSEADDR set.
+  static Result<TcpListener> Bind(uint16_t port);
+
+  uint16_t port() const { return port_; }
+  bool valid() const { return fd_ >= 0; }
+
+  /// Waits up to `timeout_seconds` for one connection. DeadlineExceeded
+  /// when nothing arrived — callers poll in a loop to stay stoppable.
+  Result<TcpSocket> Accept(double timeout_seconds);
+
+  void Close();
+
+ private:
+  int fd_ = -1;
+  uint16_t port_ = 0;
+};
+
+}  // namespace ppstream

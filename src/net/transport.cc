@@ -1,0 +1,430 @@
+#include "net/transport.h"
+
+#include <chrono>
+#include <thread>
+
+#include "stream/message.h"
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace ppstream {
+
+namespace {
+
+double MonotonicSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+Status CheckPayloadConsumed(const BufferReader& reader, WireMethod method) {
+  if (!reader.AtEnd()) {
+    return Status::ProtocolError(internal::StrCat(
+        "trailing bytes after ", WireMethodToString(method), " payload"));
+  }
+  return Status::OK();
+}
+
+std::vector<uint8_t> CiphertextPayload(const std::vector<Ciphertext>& v) {
+  BufferWriter writer;
+  WriteCiphertexts(&writer, v);
+  return writer.TakeBytes();
+}
+
+}  // namespace
+
+// -------------------------------------------------------------- channels
+
+Result<WireFrame> FrameChannel::RoundTrip(const WireFrame& request) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<uint8_t> encoded = EncodeFrame(request);
+  if (fault_ && fault_->enabled()) {
+    PPS_RETURN_IF_ERROR(fault_->Fail("net.send"));
+    fault_->Corrupt("net.send", encoded);
+  }
+  if (observer_) observer_(request, /*outbound=*/true);
+  stats_.frames_sent++;
+  stats_.bytes_sent += encoded.size();
+
+  PPS_ASSIGN_OR_RETURN(std::vector<uint8_t> response_bytes,
+                       Exchange(std::move(encoded)));
+  stats_.frames_received++;
+  stats_.bytes_received += response_bytes.size();
+  if (fault_ && fault_->enabled()) {
+    PPS_RETURN_IF_ERROR(fault_->Fail("net.recv"));
+    fault_->Corrupt("net.recv", response_bytes);
+  }
+
+  PPS_ASSIGN_OR_RETURN(WireFrame response, DecodeFrame(response_bytes));
+  if (observer_) observer_(response, /*outbound=*/false);
+  if (!response.is_response || response.method != request.method ||
+      response.request_id != request.request_id) {
+    return Status::ProtocolError(internal::StrCat(
+        "mismatched response: sent ", WireMethodToString(request.method),
+        " for request ", request.request_id, ", got ",
+        WireMethodToString(response.method), " for request ",
+        response.request_id, response.is_response ? "" : " (a request frame)"));
+  }
+  return response;
+}
+
+TransportStats FrameChannel::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+Result<std::vector<uint8_t>> InProcessFrameChannel::Exchange(
+    std::vector<uint8_t> encoded_request) {
+  // The full wire path in memory: a corrupted request fails decode here,
+  // exactly where a TCP server would reject it.
+  PPS_ASSIGN_OR_RETURN(WireFrame request, DecodeFrame(encoded_request));
+  return EncodeFrame(handler_(request));
+}
+
+Result<std::vector<uint8_t>> TcpFrameChannel::Exchange(
+    std::vector<uint8_t> encoded_request) {
+  PPS_RETURN_IF_ERROR(socket_.SendAll(encoded_request.data(),
+                                      encoded_request.size(),
+                                      io_timeout_seconds_));
+  std::vector<uint8_t> bytes(kFrameHeaderBytes);
+  PPS_RETURN_IF_ERROR(
+      socket_.RecvAll(bytes.data(), kFrameHeaderBytes, io_timeout_seconds_));
+  uint64_t payload_len = 0;
+  PPS_RETURN_IF_ERROR(
+      DecodeFrameHeader(bytes.data(), bytes.size(), &payload_len).status());
+  bytes.resize(kFrameHeaderBytes + payload_len);
+  if (payload_len > 0) {
+    PPS_RETURN_IF_ERROR(socket_.RecvAll(bytes.data() + kFrameHeaderBytes,
+                                        payload_len, io_timeout_seconds_));
+  }
+  return bytes;
+}
+
+// ---------------------------------------------------------------- server
+
+Status SendFrameBytes(TcpSocket& socket, const std::vector<uint8_t>& bytes,
+                      double timeout_seconds) {
+  return socket.SendAll(bytes.data(), bytes.size(), timeout_seconds);
+}
+
+Result<WireFrame> RecvFrame(TcpSocket& socket, double timeout_seconds) {
+  std::vector<uint8_t> header(kFrameHeaderBytes);
+  PPS_RETURN_IF_ERROR(
+      socket.RecvAll(header.data(), header.size(), timeout_seconds));
+  uint64_t payload_len = 0;
+  PPS_ASSIGN_OR_RETURN(
+      WireFrame frame,
+      DecodeFrameHeader(header.data(), header.size(), &payload_len));
+  frame.payload.resize(payload_len);
+  if (payload_len > 0) {
+    PPS_RETURN_IF_ERROR(
+        socket.RecvAll(frame.payload.data(), payload_len, timeout_seconds));
+  }
+  return frame;
+}
+
+namespace {
+
+Result<std::vector<uint8_t>> DispatchModelProviderPayload(
+    ModelProviderApi& mp, const WireFrame& request, ThreadPool* pool) {
+  BufferReader reader(request.payload);
+  switch (request.method) {
+    case WireMethod::kMpProcessRound: {
+      PPS_ASSIGN_OR_RETURN(std::vector<Ciphertext> in,
+                           ReadCiphertexts(&reader));
+      PPS_RETURN_IF_ERROR(CheckPayloadConsumed(reader, request.method));
+      PPS_ASSIGN_OR_RETURN(
+          std::vector<Ciphertext> out,
+          mp.ProcessRound(request.request_id, request.round, in));
+      return CiphertextPayload(out);
+    }
+    case WireMethod::kMpInverseObfuscate: {
+      PPS_ASSIGN_OR_RETURN(std::vector<Ciphertext> in,
+                           ReadCiphertexts(&reader));
+      PPS_RETURN_IF_ERROR(CheckPayloadConsumed(reader, request.method));
+      PPS_ASSIGN_OR_RETURN(std::vector<Ciphertext> out,
+                           mp.InverseObfuscate(request.request_id,
+                                               request.round, std::move(in)));
+      return CiphertextPayload(out);
+    }
+    case WireMethod::kMpApplyLinearStage: {
+      PPS_ASSIGN_OR_RETURN(uint8_t partitioning, reader.ReadU8());
+      PPS_ASSIGN_OR_RETURN(std::vector<Ciphertext> in,
+                           ReadCiphertexts(&reader));
+      PPS_RETURN_IF_ERROR(CheckPayloadConsumed(reader, request.method));
+      PPS_ASSIGN_OR_RETURN(
+          std::vector<Ciphertext> out,
+          mp.ApplyLinearStage(request.round, in, pool, partitioning != 0));
+      return CiphertextPayload(out);
+    }
+    case WireMethod::kMpObfuscate: {
+      PPS_ASSIGN_OR_RETURN(std::vector<Ciphertext> in,
+                           ReadCiphertexts(&reader));
+      PPS_RETURN_IF_ERROR(CheckPayloadConsumed(reader, request.method));
+      PPS_ASSIGN_OR_RETURN(
+          std::vector<Ciphertext> out,
+          mp.Obfuscate(request.request_id, request.round, std::move(in)));
+      return CiphertextPayload(out);
+    }
+    case WireMethod::kMpReleaseRequestState: {
+      PPS_RETURN_IF_ERROR(CheckPayloadConsumed(reader, request.method));
+      PPS_RETURN_IF_ERROR(mp.ReleaseRequestState(request.request_id));
+      return std::vector<uint8_t>{};
+    }
+    default:
+      // Includes every Dp* method: the model provider refuses calls that
+      // would put plaintext tensors in its hands.
+      return Status::ProtocolError(internal::StrCat(
+          WireMethodToString(request.method),
+          " is not served by a model provider"));
+  }
+}
+
+Result<std::vector<uint8_t>> DispatchDataProviderPayload(
+    DataProviderApi& dp, const WireFrame& request, ThreadPool* pool) {
+  BufferReader reader(request.payload);
+  switch (request.method) {
+    case WireMethod::kDpEncryptInput: {
+      PPS_ASSIGN_OR_RETURN(DoubleTensor input,
+                           DeserializeDoubleTensor(request.payload));
+      PPS_ASSIGN_OR_RETURN(std::vector<Ciphertext> out,
+                           pool ? dp.EncryptInputParallel(input, pool)
+                                : dp.EncryptInput(input));
+      return CiphertextPayload(out);
+    }
+    case WireMethod::kDpProcessIntermediate: {
+      PPS_ASSIGN_OR_RETURN(std::vector<Ciphertext> in,
+                           ReadCiphertexts(&reader));
+      PPS_RETURN_IF_ERROR(CheckPayloadConsumed(reader, request.method));
+      PPS_ASSIGN_OR_RETURN(
+          std::vector<Ciphertext> out,
+          dp.ProcessIntermediate(request.round, in, nullptr, pool));
+      return CiphertextPayload(out);
+    }
+    case WireMethod::kDpProcessFinal: {
+      PPS_ASSIGN_OR_RETURN(std::vector<Ciphertext> in,
+                           ReadCiphertexts(&reader));
+      PPS_RETURN_IF_ERROR(CheckPayloadConsumed(reader, request.method));
+      PPS_ASSIGN_OR_RETURN(DoubleTensor out, dp.ProcessFinal(in, pool));
+      return SerializeDoubleTensor(out);
+    }
+    default:
+      return Status::ProtocolError(internal::StrCat(
+          WireMethodToString(request.method),
+          " is not served by a data provider"));
+  }
+}
+
+}  // namespace
+
+WireFrame DispatchModelProviderFrame(ModelProviderApi& mp,
+                                     const WireFrame& request,
+                                     ThreadPool* pool) {
+  if (request.is_response) {
+    return MakeErrorFrame(request,
+                          Status::ProtocolError("expected a request frame"));
+  }
+  Result<std::vector<uint8_t>> payload =
+      DispatchModelProviderPayload(mp, request, pool);
+  if (!payload.ok()) return MakeErrorFrame(request, payload.status());
+  return MakeResponseFrame(request, std::move(payload).value());
+}
+
+WireFrame DispatchDataProviderFrame(DataProviderApi& dp,
+                                    const WireFrame& request,
+                                    ThreadPool* pool) {
+  if (request.is_response) {
+    return MakeErrorFrame(request,
+                          Status::ProtocolError("expected a request frame"));
+  }
+  Result<std::vector<uint8_t>> payload =
+      DispatchDataProviderPayload(dp, request, pool);
+  if (!payload.ok()) return MakeErrorFrame(request, payload.status());
+  return MakeResponseFrame(request, std::move(payload).value());
+}
+
+// ---------------------------------------------------------------- stubs
+
+namespace {
+
+/// Round-trips a request whose response payload is a ciphertext vector.
+Result<std::vector<Ciphertext>> CallForCiphertexts(FrameChannel& channel,
+                                                   WireFrame request) {
+  PPS_ASSIGN_OR_RETURN(WireFrame response,
+                       channel.RoundTrip(std::move(request)));
+  PPS_RETURN_IF_ERROR(FrameStatus(response));
+  return DeserializeCiphertexts(response.payload);
+}
+
+}  // namespace
+
+RemoteModelProvider::RemoteModelProvider(
+    std::shared_ptr<FrameChannel> channel,
+    std::shared_ptr<const InferencePlan> view_plan)
+    : channel_(std::move(channel)), view_plan_(std::move(view_plan)) {
+  PPS_CHECK(channel_ != nullptr);
+  PPS_CHECK(view_plan_ != nullptr);
+}
+
+Result<std::vector<Ciphertext>> RemoteModelProvider::ProcessRound(
+    uint64_t request_id, size_t round, const std::vector<Ciphertext>& in) {
+  return CallForCiphertexts(
+      *channel_, MakeRequestFrame(WireMethod::kMpProcessRound, request_id,
+                                  round, CiphertextPayload(in)));
+}
+
+Result<std::vector<Ciphertext>> RemoteModelProvider::InverseObfuscate(
+    uint64_t request_id, size_t round, std::vector<Ciphertext> in) {
+  return CallForCiphertexts(
+      *channel_, MakeRequestFrame(WireMethod::kMpInverseObfuscate, request_id,
+                                  round, CiphertextPayload(in)));
+}
+
+Result<std::vector<Ciphertext>> RemoteModelProvider::ApplyLinearStage(
+    size_t round, const std::vector<Ciphertext>& in, ThreadPool* pool,
+    bool input_partitioning) {
+  // `pool` is the caller's local parallelism; the remote provider computes
+  // with its own worker pool, so only the partitioning hint crosses.
+  (void)pool;
+  BufferWriter writer;
+  writer.WriteU8(input_partitioning ? 1 : 0);
+  WriteCiphertexts(&writer, in);
+  return CallForCiphertexts(
+      *channel_, MakeRequestFrame(WireMethod::kMpApplyLinearStage, 0, round,
+                                  writer.TakeBytes()));
+}
+
+Result<std::vector<Ciphertext>> RemoteModelProvider::Obfuscate(
+    uint64_t request_id, size_t round, std::vector<Ciphertext> in) {
+  return CallForCiphertexts(
+      *channel_, MakeRequestFrame(WireMethod::kMpObfuscate, request_id, round,
+                                  CiphertextPayload(in)));
+}
+
+Status RemoteModelProvider::ReleaseRequestState(uint64_t request_id) {
+  PPS_ASSIGN_OR_RETURN(
+      WireFrame response,
+      channel_->RoundTrip(MakeRequestFrame(WireMethod::kMpReleaseRequestState,
+                                           request_id, 0, {})));
+  return FrameStatus(response);
+}
+
+RemoteDataProvider::RemoteDataProvider(std::shared_ptr<FrameChannel> channel,
+                                       PaillierPublicKey public_key)
+    : channel_(std::move(channel)), pk_(std::move(public_key)) {
+  PPS_CHECK(channel_ != nullptr);
+}
+
+Result<std::vector<Ciphertext>> RemoteDataProvider::EncryptInput(
+    const DoubleTensor& input) {
+  return CallForCiphertexts(
+      *channel_, MakeRequestFrame(WireMethod::kDpEncryptInput, 0, 0,
+                                  SerializeDoubleTensor(input)));
+}
+
+Result<std::vector<Ciphertext>> RemoteDataProvider::EncryptInputParallel(
+    const DoubleTensor& input, ThreadPool* pool) {
+  (void)pool;  // the remote data provider parallelizes with its own pool
+  return EncryptInput(input);
+}
+
+Result<std::vector<Ciphertext>> RemoteDataProvider::ProcessIntermediate(
+    size_t round, const std::vector<Ciphertext>& in,
+    std::vector<double>* decrypted_view, ThreadPool* pool) {
+  if (decrypted_view != nullptr) {
+    return Status::InvalidArgument(
+        "leakage views require an in-process data provider: plaintext "
+        "never crosses the wire");
+  }
+  (void)pool;
+  return CallForCiphertexts(
+      *channel_, MakeRequestFrame(WireMethod::kDpProcessIntermediate, 0,
+                                  round, CiphertextPayload(in)));
+}
+
+Result<DoubleTensor> RemoteDataProvider::ProcessFinal(
+    const std::vector<Ciphertext>& in, ThreadPool* pool) {
+  (void)pool;
+  PPS_ASSIGN_OR_RETURN(
+      WireFrame response,
+      channel_->RoundTrip(MakeRequestFrame(WireMethod::kDpProcessFinal, 0, 0,
+                                           CiphertextPayload(in))));
+  PPS_RETURN_IF_ERROR(FrameStatus(response));
+  return DeserializeDoubleTensor(response.payload);
+}
+
+// ------------------------------------------------------------- transport
+
+InProcessTransport::InProcessTransport(std::shared_ptr<ModelProvider> mp)
+    : mp_(std::move(mp)) {
+  PPS_CHECK(mp_ != nullptr);
+  // Round-trip the weight-free view even in-process, so both deployments
+  // construct their DataProvider from byte-identical plans.
+  BufferWriter writer;
+  mp_->plan().SerializeDataProviderView(&writer);
+  const std::vector<uint8_t> bytes = writer.TakeBytes();
+  BufferReader reader(bytes);
+  Result<InferencePlan> view = InferencePlan::DeserializeDataProviderView(
+      &reader);
+  PPS_CHECK(view.ok()) << view.status().ToString();
+  view_plan_ =
+      std::make_shared<const InferencePlan>(std::move(view).value());
+}
+
+Result<std::shared_ptr<const InferencePlan>> HandshakeAsDataProvider(
+    FrameChannel& channel, const PaillierPublicKey& pk) {
+  BufferWriter writer;
+  pk.Serialize(&writer);
+  PPS_ASSIGN_OR_RETURN(
+      WireFrame response,
+      channel.RoundTrip(MakeRequestFrame(WireMethod::kHandshake, 0, 0,
+                                         writer.TakeBytes())));
+  PPS_RETURN_IF_ERROR(FrameStatus(response));
+  BufferReader reader(response.payload);
+  PPS_ASSIGN_OR_RETURN(InferencePlan view,
+                       InferencePlan::DeserializeDataProviderView(&reader));
+  PPS_RETURN_IF_ERROR(
+      CheckPayloadConsumed(reader, WireMethod::kHandshake));
+  return std::make_shared<const InferencePlan>(std::move(view));
+}
+
+TcpTransport::TcpTransport(std::shared_ptr<FrameChannel> channel,
+                           std::shared_ptr<const InferencePlan> view_plan)
+    : channel_(std::move(channel)), view_plan_(std::move(view_plan)) {
+  mp_ = std::make_shared<RemoteModelProvider>(channel_, view_plan_);
+}
+
+Result<std::unique_ptr<TcpTransport>> TcpTransport::Connect(
+    const std::string& host, uint16_t port, const PaillierPublicKey& pk,
+    const TcpTransportOptions& options) {
+  Rng rng(options.retry_seed);
+  const double start = MonotonicSeconds();
+  Result<TcpSocket> sock =
+      TcpSocket::Connect(host, port, options.connect_timeout_seconds);
+  for (int retry = 1;
+       !sock.ok() && retry <= options.connect_retry.max_retries; ++retry) {
+    if (options.connect_retry.deadline_seconds > 0 &&
+        MonotonicSeconds() - start >= options.connect_retry.deadline_seconds) {
+      return Status::DeadlineExceeded(internal::StrCat(
+          "could not connect to ", host, ":", port, " within ",
+          options.connect_retry.deadline_seconds, "s: ",
+          sock.status().message()));
+    }
+    const double backoff = options.connect_retry.BackoffSeconds(retry, rng);
+    if (backoff > 0) {
+      std::this_thread::sleep_for(std::chrono::duration<double>(backoff));
+    }
+    sock = TcpSocket::Connect(host, port, options.connect_timeout_seconds);
+  }
+  if (!sock.ok()) return sock.status();
+
+  auto channel = std::make_shared<TcpFrameChannel>(std::move(sock).value(),
+                                                   options.io_timeout_seconds);
+  if (options.fault) channel->SetFaultInjector(options.fault);
+  PPS_ASSIGN_OR_RETURN(std::shared_ptr<const InferencePlan> view,
+                       HandshakeAsDataProvider(*channel, pk));
+  return std::unique_ptr<TcpTransport>(
+      new TcpTransport(std::move(channel), std::move(view)));
+}
+
+}  // namespace ppstream

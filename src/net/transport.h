@@ -1,0 +1,310 @@
+// The party boundary of the two-party protocol (tentpole of DESIGN.md §7).
+//
+// Layering, bottom up:
+//
+//   FrameChannel         blocking request/response exchange of WireFrames.
+//                        Implementations: InProcessFrameChannel (encode →
+//                        dispatch → decode in memory) and TcpFrameChannel
+//                        (blocking sockets with timeouts). Both honour
+//                        FaultInjector sites "net.send" / "net.recv"
+//                        (error + corruption rules) and an optional frame
+//                        observer for capture-based privacy tests.
+//
+//   Dispatch*Frame       server side: decode a request, invoke the local
+//                        ModelProviderApi / DataProviderApi, encode the
+//                        response. Shared by the TCP server and the
+//                        in-process channel.
+//
+//   RemoteModelProvider  client side: ModelProviderApi / DataProviderApi
+//   RemoteDataProvider   implementations that frame every call onto a
+//                        channel. Drop-in replacements for the concrete
+//                        providers in RunProtocolInference and
+//                        PpStreamEngine.
+//
+//   Transport            a data-provider-side connection to a (possibly
+//                        remote) model provider after the handshake.
+//                        InProcessTransport keeps the seed's zero-copy
+//                        direct calls (default for tests/benches);
+//                        TcpTransport speaks the wire format over loopback
+//                        or LAN sockets.
+
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "core/protocol.h"
+#include "net/socket.h"
+#include "net/wire.h"
+#include "stream/retry_policy.h"
+#include "util/fault.h"
+
+namespace ppstream {
+
+/// Traffic counters of a frame channel (header + payload bytes).
+struct TransportStats {
+  uint64_t frames_sent = 0;
+  uint64_t frames_received = 0;
+  uint64_t bytes_sent = 0;
+  uint64_t bytes_received = 0;
+};
+
+/// Observes every frame crossing a channel, after send / before decode-
+/// level validation. `outbound` is true for request frames leaving this
+/// side. Used by tests to assert what the peer can see.
+using FrameObserver =
+    std::function<void(const WireFrame& frame, bool outbound)>;
+
+/// A blocking request/response channel to the peer party. Thread-safe:
+/// concurrent RoundTrip calls are serialized (the two-party protocol is
+/// strictly request/response per connection).
+class FrameChannel {
+ public:
+  virtual ~FrameChannel() = default;
+
+  /// Sends `request`, waits for the matching response. Transport-level
+  /// failures surface as kIoError / kDeadlineExceeded; a peer-side call
+  /// failure comes back as a successful round trip whose frame carries
+  /// the error (unwrapped by the remote stubs).
+  Result<WireFrame> RoundTrip(const WireFrame& request);
+
+  /// Chaos hook, sites "net.send" (before transmit, error + corruption)
+  /// and "net.recv" (before the response is decoded, error + corruption).
+  void SetFaultInjector(std::shared_ptr<FaultInjector> fault) {
+    fault_ = std::move(fault);
+  }
+
+  void SetFrameObserver(FrameObserver observer) {
+    observer_ = std::move(observer);
+  }
+
+  TransportStats stats() const;
+
+  virtual void Close() {}
+
+ protected:
+  /// Implementation: exchange the already-corrupted encoded request for
+  /// an encoded response. Called with the channel lock held.
+  virtual Result<std::vector<uint8_t>> Exchange(
+      std::vector<uint8_t> encoded_request) = 0;
+
+  std::shared_ptr<FaultInjector> fault_;
+
+ private:
+  mutable std::mutex mutex_;
+  FrameObserver observer_;
+  TransportStats stats_;
+};
+
+/// Frames round-trip through a local handler entirely in memory — the full
+/// encode → dispatch → decode path without sockets. Exists for frame
+/// capture, corruption hardening, and wire-overhead benchmarks; the
+/// zero-copy in-process deployment passes concrete providers around
+/// instead (see InProcessTransport).
+class InProcessFrameChannel : public FrameChannel {
+ public:
+  using Handler = std::function<WireFrame(const WireFrame&)>;
+  explicit InProcessFrameChannel(Handler handler)
+      : handler_(std::move(handler)) {}
+
+ protected:
+  Result<std::vector<uint8_t>> Exchange(
+      std::vector<uint8_t> encoded_request) override;
+
+ private:
+  Handler handler_;
+};
+
+/// Blocking sockets with per-operation timeouts. Timeouts surface as
+/// kDeadlineExceeded so the engine's RetryPolicy machinery treats a slow
+/// peer exactly like a slow stage.
+class TcpFrameChannel : public FrameChannel {
+ public:
+  TcpFrameChannel(TcpSocket socket, double io_timeout_seconds)
+      : socket_(std::move(socket)), io_timeout_seconds_(io_timeout_seconds) {}
+
+  void Close() override { socket_.Close(); }
+
+ protected:
+  Result<std::vector<uint8_t>> Exchange(
+      std::vector<uint8_t> encoded_request) override;
+
+ private:
+  TcpSocket socket_;
+  double io_timeout_seconds_;
+};
+
+// ---------------------------------------------------------------- server
+
+/// Sends one frame / receives one whole frame (header + payload) over a
+/// socket. Building blocks of TcpFrameChannel and the TCP servers.
+Status SendFrameBytes(TcpSocket& socket, const std::vector<uint8_t>& bytes,
+                      double timeout_seconds);
+Result<WireFrame> RecvFrame(TcpSocket& socket, double timeout_seconds);
+
+/// Decodes a model-provider-bound request, invokes `mp`, encodes the
+/// response. Any failure (malformed payload, provider error, non-MP
+/// method) becomes an error frame — never a crash. `pool` parallelizes
+/// linear stages with the server's own threads.
+WireFrame DispatchModelProviderFrame(ModelProviderApi& mp,
+                                     const WireFrame& request,
+                                     ThreadPool* pool = nullptr);
+
+/// Data-provider mirror of DispatchModelProviderFrame.
+WireFrame DispatchDataProviderFrame(DataProviderApi& dp,
+                                    const WireFrame& request,
+                                    ThreadPool* pool = nullptr);
+
+// ---------------------------------------------------------------- stubs
+
+/// ModelProviderApi over a FrameChannel. plan() returns the weight-free
+/// data-provider view shipped back by the handshake.
+class RemoteModelProvider : public ModelProviderApi {
+ public:
+  RemoteModelProvider(std::shared_ptr<FrameChannel> channel,
+                      std::shared_ptr<const InferencePlan> view_plan);
+
+  const InferencePlan& plan() const override { return *view_plan_; }
+
+  /// Injects at the channel ("net.*" sites) — provider-side "mp.*" rules
+  /// belong to the remote process.
+  void SetFaultInjector(std::shared_ptr<FaultInjector> fault) override {
+    channel_->SetFaultInjector(std::move(fault));
+  }
+
+  Result<std::vector<Ciphertext>> ProcessRound(
+      uint64_t request_id, size_t round,
+      const std::vector<Ciphertext>& in) override;
+  Result<std::vector<Ciphertext>> InverseObfuscate(
+      uint64_t request_id, size_t round, std::vector<Ciphertext> in) override;
+  Result<std::vector<Ciphertext>> ApplyLinearStage(
+      size_t round, const std::vector<Ciphertext>& in, ThreadPool* pool,
+      bool input_partitioning) override;
+  Result<std::vector<Ciphertext>> Obfuscate(
+      uint64_t request_id, size_t round, std::vector<Ciphertext> in) override;
+  Status ReleaseRequestState(uint64_t request_id) override;
+
+  FrameChannel& channel() { return *channel_; }
+
+ private:
+  std::shared_ptr<FrameChannel> channel_;
+  std::shared_ptr<const InferencePlan> view_plan_;
+};
+
+/// DataProviderApi over a FrameChannel (the reverse deployment: the
+/// engine colocated with the model drives a remote data provider).
+/// Rejects leakage-measurement views: plaintext never crosses the wire.
+class RemoteDataProvider : public DataProviderApi {
+ public:
+  RemoteDataProvider(std::shared_ptr<FrameChannel> channel,
+                     PaillierPublicKey public_key);
+
+  const PaillierPublicKey& public_key() const override { return pk_; }
+
+  void SetFaultInjector(std::shared_ptr<FaultInjector> fault) override {
+    channel_->SetFaultInjector(std::move(fault));
+  }
+
+  Result<std::vector<Ciphertext>> EncryptInput(
+      const DoubleTensor& input) override;
+  Result<std::vector<Ciphertext>> EncryptInputParallel(
+      const DoubleTensor& input, ThreadPool* pool) override;
+  Result<std::vector<Ciphertext>> ProcessIntermediate(
+      size_t round, const std::vector<Ciphertext>& in,
+      std::vector<double>* decrypted_view, ThreadPool* pool) override;
+  Result<DoubleTensor> ProcessFinal(const std::vector<Ciphertext>& in,
+                                    ThreadPool* pool) override;
+
+  FrameChannel& channel() { return *channel_; }
+
+ private:
+  std::shared_ptr<FrameChannel> channel_;
+  PaillierPublicKey pk_;
+};
+
+// ------------------------------------------------------------- transport
+
+/// A data-provider-side connection to a model provider, post-handshake.
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  /// The handle all model-provider calls go through.
+  virtual std::shared_ptr<ModelProviderApi> model_provider() const = 0;
+
+  /// The weight-free plan for constructing the local DataProvider.
+  virtual std::shared_ptr<const InferencePlan> view_plan() const = 0;
+
+  virtual TransportStats stats() const { return {}; }
+  virtual void Close() {}
+};
+
+/// Single-process transport: model_provider() hands back the concrete
+/// local object, so calls stay direct C++ calls with zero serialization —
+/// the seed's behavior and the default for tests and benches. view_plan()
+/// still round-trips SerializeDataProviderView, proving the weight-free
+/// view alone can drive the data-provider side.
+class InProcessTransport : public Transport {
+ public:
+  explicit InProcessTransport(std::shared_ptr<ModelProvider> mp);
+
+  std::shared_ptr<ModelProviderApi> model_provider() const override {
+    return mp_;
+  }
+  std::shared_ptr<const InferencePlan> view_plan() const override {
+    return view_plan_;
+  }
+
+ private:
+  std::shared_ptr<ModelProvider> mp_;
+  std::shared_ptr<const InferencePlan> view_plan_;
+};
+
+struct TcpTransportOptions {
+  double connect_timeout_seconds = 5.0;
+  double io_timeout_seconds = 30.0;
+  /// Connection attempts are spaced by this policy (deadline_seconds
+  /// bounds the total time spent connecting when non-zero) — lets a
+  /// client start before its server finishes binding.
+  RetryPolicy connect_retry = RetryPolicy::FromMaxRetries(0);
+  uint64_t retry_seed = 0x7C9A11EDULL;
+  std::shared_ptr<FaultInjector> fault;
+};
+
+/// TCP client transport. Connect() dials host:port, performs the
+/// version handshake (ships the public key, receives the weight-free
+/// plan view), and exposes a RemoteModelProvider.
+class TcpTransport : public Transport {
+ public:
+  static Result<std::unique_ptr<TcpTransport>> Connect(
+      const std::string& host, uint16_t port, const PaillierPublicKey& pk,
+      const TcpTransportOptions& options = {});
+
+  std::shared_ptr<ModelProviderApi> model_provider() const override {
+    return mp_;
+  }
+  std::shared_ptr<const InferencePlan> view_plan() const override {
+    return view_plan_;
+  }
+  TransportStats stats() const override { return channel_->stats(); }
+  void Close() override { channel_->Close(); }
+
+  FrameChannel& channel() { return *channel_; }
+
+ private:
+  TcpTransport(std::shared_ptr<FrameChannel> channel,
+               std::shared_ptr<const InferencePlan> view_plan);
+
+  std::shared_ptr<FrameChannel> channel_;
+  std::shared_ptr<const InferencePlan> view_plan_;
+  std::shared_ptr<RemoteModelProvider> mp_;
+};
+
+/// Runs the client half of the handshake on an established channel:
+/// sends `pk`, returns the deserialized weight-free plan view.
+Result<std::shared_ptr<const InferencePlan>> HandshakeAsDataProvider(
+    FrameChannel& channel, const PaillierPublicKey& pk);
+
+}  // namespace ppstream

@@ -1,0 +1,157 @@
+#include "net/wire.h"
+
+namespace ppstream {
+
+namespace {
+
+constexpr uint8_t kFlagResponse = 0x01;
+
+bool ValidMethod(uint16_t m) {
+  return m >= static_cast<uint16_t>(WireMethod::kHandshake) &&
+         m <= static_cast<uint16_t>(WireMethod::kDpProcessFinal);
+}
+
+bool ValidStatusCode(uint8_t c) {
+  return c <= static_cast<uint8_t>(StatusCode::kDeadlineExceeded);
+}
+
+}  // namespace
+
+const char* WireMethodToString(WireMethod method) {
+  switch (method) {
+    case WireMethod::kHandshake: return "Handshake";
+    case WireMethod::kMpProcessRound: return "Mp.ProcessRound";
+    case WireMethod::kMpInverseObfuscate: return "Mp.InverseObfuscate";
+    case WireMethod::kMpApplyLinearStage: return "Mp.ApplyLinearStage";
+    case WireMethod::kMpObfuscate: return "Mp.Obfuscate";
+    case WireMethod::kMpReleaseRequestState: return "Mp.ReleaseRequestState";
+    case WireMethod::kDpEncryptInput: return "Dp.EncryptInput";
+    case WireMethod::kDpProcessIntermediate: return "Dp.ProcessIntermediate";
+    case WireMethod::kDpProcessFinal: return "Dp.ProcessFinal";
+  }
+  return "Unknown";
+}
+
+WireFrame MakeRequestFrame(WireMethod method, uint64_t request_id,
+                           uint64_t round, std::vector<uint8_t> payload) {
+  WireFrame frame;
+  frame.method = method;
+  frame.request_id = request_id;
+  frame.round = round;
+  frame.payload = std::move(payload);
+  return frame;
+}
+
+WireFrame MakeResponseFrame(const WireFrame& request,
+                            std::vector<uint8_t> payload) {
+  WireFrame frame;
+  frame.method = request.method;
+  frame.is_response = true;
+  frame.request_id = request.request_id;
+  frame.round = request.round;
+  frame.payload = std::move(payload);
+  return frame;
+}
+
+WireFrame MakeErrorFrame(const WireFrame& request, const Status& error) {
+  WireFrame frame;
+  frame.method = request.method;
+  frame.is_response = true;
+  frame.status = error.ok() ? StatusCode::kInternal : error.code();
+  frame.request_id = request.request_id;
+  frame.round = request.round;
+  const std::string& msg = error.message();
+  frame.payload.assign(msg.begin(), msg.end());
+  return frame;
+}
+
+Status FrameStatus(const WireFrame& frame) {
+  if (frame.status == StatusCode::kOk) return Status::OK();
+  return Status(frame.status,
+                std::string(frame.payload.begin(), frame.payload.end()));
+}
+
+std::vector<uint8_t> EncodeFrame(const WireFrame& frame) {
+  BufferWriter writer;
+  writer.WriteU32(kWireMagic);
+  writer.WriteU32(static_cast<uint32_t>(frame.version) |
+                  (static_cast<uint32_t>(frame.method) << 16));
+  writer.WriteU8(frame.is_response ? kFlagResponse : 0);
+  writer.WriteU8(static_cast<uint8_t>(frame.status));
+  writer.WriteU64(frame.request_id);
+  writer.WriteU64(frame.round);
+  writer.WriteU64(frame.payload.size());
+  std::vector<uint8_t> out = writer.TakeBytes();
+  out.insert(out.end(), frame.payload.begin(), frame.payload.end());
+  return out;
+}
+
+Result<WireFrame> DecodeFrameHeader(const uint8_t* data, size_t size,
+                                    uint64_t* payload_len) {
+  BufferReader reader(data, size);
+  PPS_ASSIGN_OR_RETURN(uint32_t magic, reader.ReadU32());
+  if (magic != kWireMagic) {
+    return Status::ProtocolError("bad frame magic (not a PPS peer?)");
+  }
+  PPS_ASSIGN_OR_RETURN(uint32_t version_method, reader.ReadU32());
+  WireFrame frame;
+  frame.version = static_cast<uint16_t>(version_method & 0xFFFF);
+  const uint16_t method = static_cast<uint16_t>(version_method >> 16);
+  if (frame.version != kWireVersion) {
+    return Status::ProtocolError(internal::StrCat(
+        "unsupported wire version ", frame.version, " (speaking ",
+        kWireVersion, ")"));
+  }
+  if (!ValidMethod(method)) {
+    return Status::ProtocolError(
+        internal::StrCat("unknown wire method ", method));
+  }
+  frame.method = static_cast<WireMethod>(method);
+  PPS_ASSIGN_OR_RETURN(uint8_t flags, reader.ReadU8());
+  if ((flags & ~kFlagResponse) != 0) {
+    return Status::ProtocolError(
+        internal::StrCat("unknown frame flags ", int{flags}));
+  }
+  frame.is_response = (flags & kFlagResponse) != 0;
+  PPS_ASSIGN_OR_RETURN(uint8_t status, reader.ReadU8());
+  if (!ValidStatusCode(status)) {
+    return Status::ProtocolError(
+        internal::StrCat("unknown status code ", int{status}));
+  }
+  frame.status = static_cast<StatusCode>(status);
+  if (!frame.is_response && frame.status != StatusCode::kOk) {
+    return Status::ProtocolError("request frame carries a status code");
+  }
+  PPS_ASSIGN_OR_RETURN(frame.request_id, reader.ReadU64());
+  PPS_ASSIGN_OR_RETURN(frame.round, reader.ReadU64());
+  PPS_ASSIGN_OR_RETURN(uint64_t len, reader.ReadU64());
+  if (len > kMaxFramePayloadBytes) {
+    return Status::OutOfRange(internal::StrCat(
+        "frame payload of ", len, " bytes exceeds the ",
+        kMaxFramePayloadBytes, "-byte bound"));
+  }
+  *payload_len = len;
+  return frame;
+}
+
+Result<WireFrame> DecodeFrame(const std::vector<uint8_t>& bytes) {
+  if (bytes.size() < kFrameHeaderBytes) {
+    return Status::OutOfRange("truncated frame header");
+  }
+  uint64_t payload_len = 0;
+  PPS_ASSIGN_OR_RETURN(
+      WireFrame frame,
+      DecodeFrameHeader(bytes.data(), kFrameHeaderBytes, &payload_len));
+  if (bytes.size() - kFrameHeaderBytes < payload_len) {
+    return Status::OutOfRange(internal::StrCat(
+        "frame payload truncated: header announces ", payload_len,
+        " bytes, buffer holds ", bytes.size() - kFrameHeaderBytes));
+  }
+  if (bytes.size() - kFrameHeaderBytes > payload_len) {
+    return Status::ProtocolError("trailing bytes after frame payload");
+  }
+  frame.payload.assign(bytes.begin() + kFrameHeaderBytes, bytes.end());
+  return frame;
+}
+
+}  // namespace ppstream

@@ -1,0 +1,105 @@
+// Versioned, length-prefixed wire format for the two-party protocol
+// (DESIGN.md §7 "Transport layer & wire format").
+//
+// Every cross-party call is one request frame and one response frame with
+// a fixed 34-byte header:
+//
+//   offset  size  field
+//        0     4  magic        "PPS1" (0x31535050 as little-endian u32)
+//        4     2  version      wire revision; peers reject mismatches
+//        6     2  method       WireMethod of the call
+//        8     1  flags        bit 0: response frame
+//        9     1  status       StatusCode of a response (0 on requests)
+//       10     8  request_id   inference request the call belongs to
+//       18     8  round        protocol round (0 when not applicable)
+//       26     8  payload_len  bytes of payload that follow
+//       34     …  payload      method-specific bytes in BufferWriter
+//                              format; UTF-8 error message when status != 0
+//
+// All integers are little-endian. Payload contents per method are encoded
+// by the RemoteModelProvider / RemoteDataProvider stubs and decoded by the
+// dispatchers in net/transport.h; ciphertext tensors reuse the stream
+// substrate's WriteCiphertexts/ReadCiphertexts encoding, so a stage-
+// boundary payload and a wire payload are byte-identical.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/buffer.h"
+#include "util/status.h"
+
+namespace ppstream {
+
+/// "PPS1" when the u32 is written little-endian.
+constexpr uint32_t kWireMagic = 0x31535050;
+constexpr uint16_t kWireVersion = 1;
+constexpr size_t kFrameHeaderBytes = 34;
+
+/// Sanity bound on payload_len, checked before any allocation: a
+/// corrupted or hostile length field must not OOM the receiver.
+constexpr uint64_t kMaxFramePayloadBytes = 1ULL << 31;
+
+enum class WireMethod : uint16_t {
+  /// Connection setup: request carries the data provider's public key;
+  /// the response carries the weight-free plan view
+  /// (InferencePlan::SerializeDataProviderView). Weights never cross.
+  kHandshake = 1,
+
+  // ---- ModelProviderApi (data provider → model provider).
+  kMpProcessRound = 2,
+  kMpInverseObfuscate = 3,
+  kMpApplyLinearStage = 4,
+  kMpObfuscate = 5,
+  kMpReleaseRequestState = 6,
+
+  // ---- DataProviderApi (model provider → data provider).
+  kDpEncryptInput = 7,
+  kDpProcessIntermediate = 8,
+  kDpProcessFinal = 9,
+};
+
+/// Human-readable method name for logs and error messages.
+const char* WireMethodToString(WireMethod method);
+
+/// One decoded frame. `payload` is the method-specific body; for error
+/// responses it holds the UTF-8 error message instead.
+struct WireFrame {
+  uint16_t version = kWireVersion;
+  WireMethod method = WireMethod::kHandshake;
+  bool is_response = false;
+  StatusCode status = StatusCode::kOk;
+  uint64_t request_id = 0;
+  uint64_t round = 0;
+  std::vector<uint8_t> payload;
+
+  /// Total encoded size (header + payload).
+  size_t WireSize() const { return kFrameHeaderBytes + payload.size(); }
+};
+
+WireFrame MakeRequestFrame(WireMethod method, uint64_t request_id,
+                           uint64_t round, std::vector<uint8_t> payload);
+/// Success response echoing the request's method/request_id/round.
+WireFrame MakeResponseFrame(const WireFrame& request,
+                            std::vector<uint8_t> payload);
+/// Error response: carries `error`'s code and message.
+WireFrame MakeErrorFrame(const WireFrame& request, const Status& error);
+
+/// The Status a response frame carries (OK for success frames).
+Status FrameStatus(const WireFrame& frame);
+
+std::vector<uint8_t> EncodeFrame(const WireFrame& frame);
+
+/// Decodes and validates the fixed-size header (magic, version, method,
+/// flags, status, payload bound). The returned frame has an empty payload;
+/// `payload_len` receives the announced body size.
+Result<WireFrame> DecodeFrameHeader(const uint8_t* data, size_t size,
+                                    uint64_t* payload_len);
+
+/// Decodes a whole frame from a contiguous buffer and rejects trailing
+/// bytes (transports with their own framing read header + payload
+/// separately via DecodeFrameHeader).
+Result<WireFrame> DecodeFrame(const std::vector<uint8_t>& bytes);
+
+}  // namespace ppstream

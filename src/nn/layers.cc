@@ -55,7 +55,11 @@ void WriteDoubles(BufferWriter* out, const std::vector<double>& v) {
 
 Result<std::vector<double>> ReadDoubles(BufferReader* in) {
   PPS_ASSIGN_OR_RETURN(uint64_t n, in->ReadU64());
-  if (n > (1ULL << 32)) return Status::OutOfRange("implausible vector size");
+  // A valid stream must still hold n doubles — checking before the
+  // allocation keeps a corrupted length field from OOMing the receiver.
+  if (n > in->Remaining() / sizeof(double)) {
+    return Status::OutOfRange("vector size exceeds remaining payload");
+  }
   std::vector<double> v(n);
   for (auto& d : v) {
     PPS_ASSIGN_OR_RETURN(d, in->ReadDouble());
@@ -654,6 +658,13 @@ Result<std::unique_ptr<Layer>> DeserializeLayer(BufferReader* in) {
       if (in_f <= 0 || out_f <= 0) {
         return Status::OutOfRange("bad Dense dims");
       }
+      // The constructor allocates in_f*out_f weights; a valid stream must
+      // still hold that many doubles, so bound the dims before allocating.
+      const uint64_t budget = in->Remaining() / sizeof(double);
+      if (static_cast<uint64_t>(out_f) > budget ||
+          static_cast<uint64_t>(in_f) > budget / static_cast<uint64_t>(out_f)) {
+        return Status::OutOfRange("Dense dims exceed remaining payload");
+      }
       auto layer = std::make_unique<DenseLayer>(in_f, out_f);
       PPS_ASSIGN_OR_RETURN(std::vector<double> w, ReadDoubles(in));
       PPS_ASSIGN_OR_RETURN(std::vector<double> b, ReadDoubles(in));
@@ -676,6 +687,17 @@ Result<std::unique_ptr<Layer>> DeserializeLayer(BufferReader* in) {
       PPS_ASSIGN_OR_RETURN(g.stride, in->ReadI64());
       PPS_ASSIGN_OR_RETURN(g.padding, in->ReadI64());
       PPS_RETURN_IF_ERROR(g.Validate());
+      // Same allocation guard as Dense: the filter tensor the constructor
+      // allocates must fit in what the stream can still deliver.
+      const uint64_t filter_budget = in->Remaining() / sizeof(double);
+      uint64_t filter_elems = static_cast<uint64_t>(g.out_channels);
+      for (int64_t d : {g.in_channels, g.kernel_h, g.kernel_w}) {
+        if (filter_elems == 0 ||
+            static_cast<uint64_t>(d) > filter_budget / filter_elems) {
+          return Status::OutOfRange("Conv2D dims exceed remaining payload");
+        }
+        filter_elems *= static_cast<uint64_t>(d);
+      }
       auto layer = std::make_unique<Conv2DLayer>(g);
       PPS_ASSIGN_OR_RETURN(std::vector<double> f, ReadDoubles(in));
       PPS_ASSIGN_OR_RETURN(std::vector<double> b, ReadDoubles(in));
@@ -691,6 +713,10 @@ Result<std::unique_ptr<Layer>> DeserializeLayer(BufferReader* in) {
       PPS_ASSIGN_OR_RETURN(int64_t channels, in->ReadI64());
       PPS_ASSIGN_OR_RETURN(double eps, in->ReadDouble());
       if (channels <= 0) return Status::OutOfRange("bad BatchNorm channels");
+      if (static_cast<uint64_t>(channels) >
+          in->Remaining() / sizeof(double)) {
+        return Status::OutOfRange("BatchNorm channels exceed payload");
+      }
       auto layer = std::make_unique<BatchNormLayer>(channels, eps);
       PPS_ASSIGN_OR_RETURN(std::vector<double> gamma, ReadDoubles(in));
       PPS_ASSIGN_OR_RETURN(std::vector<double> beta, ReadDoubles(in));

@@ -6,7 +6,7 @@
 
 namespace ppstream {
 
-Result<PlanProfile> ProfilePlan(ModelProvider& mp, DataProvider& dp,
+Result<PlanProfile> ProfilePlan(ModelProviderApi& mp, DataProviderApi& dp,
                                 const std::vector<DoubleTensor>& probes) {
   if (probes.empty()) {
     return Status::InvalidArgument("profiling needs at least one probe");
@@ -64,6 +64,7 @@ Result<PlanProfile> ProfilePlan(ModelProvider& mp, DataProvider& dp,
             SerializeDoubleTensor(result).size();
       }
     }
+    (void)mp.ReleaseRequestState(request_id);
     ++request_id;
   }
 

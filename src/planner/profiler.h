@@ -23,8 +23,10 @@ struct PlanProfile {
 };
 
 /// Times each stage over the probe inputs (the paper uses 100 random
-/// training samples; any non-empty set works) and averages.
-Result<PlanProfile> ProfilePlan(ModelProvider& mp, DataProvider& dp,
+/// training samples; any non-empty set works) and averages. Profiling a
+/// remote party through a transport stub measures wire latency too — use
+/// in-process providers to profile pure compute.
+Result<PlanProfile> ProfilePlan(ModelProviderApi& mp, DataProviderApi& dp,
                                 const std::vector<DoubleTensor>& probes);
 
 /// Builds the Eq. 4-8 instance from a profile and a homogeneous testbed:

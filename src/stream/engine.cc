@@ -8,8 +8,8 @@ size_t NumPipelineStages(const InferencePlan& plan) {
   return 2 * plan.NumRounds() + 1;
 }
 
-PpStreamEngine::PpStreamEngine(std::shared_ptr<ModelProvider> mp,
-                               std::shared_ptr<DataProvider> dp,
+PpStreamEngine::PpStreamEngine(std::shared_ptr<ModelProviderApi> mp,
+                               std::shared_ptr<DataProviderApi> dp,
                                EngineConfig config)
     : mp_(std::move(mp)),
       dp_(std::move(dp)),
@@ -106,8 +106,9 @@ Status PpStreamEngine::Start() {
             PPS_ASSIGN_OR_RETURN(DoubleTensor result,
                                  dp->ProcessFinal(tensor, &pool));
             // Completion ACK: the model provider may drop this request's
-            // obfuscation state.
-            mp->ReleaseRequestState(msg.request_id);
+            // obfuscation state. A failed release (e.g. a lost frame on a
+            // remote transport) must not fail the finished inference.
+            (void)mp->ReleaseRequestState(msg.request_id);
             msg.payload = SerializeDoubleTensor(result);
             return msg;
           },
@@ -137,7 +138,7 @@ Result<InferenceResult> PpStreamEngine::NextResult() {
   if (msg->poisoned()) {
     // The request died mid-pipeline; drop the model provider's per-request
     // obfuscation state (the success path releases it in dp-final).
-    mp_->ReleaseRequestState(msg->request_id);
+    (void)mp_->ReleaseRequestState(msg->request_id);
     return Status(msg->status.code(),
                   internal::StrCat("request ", msg->request_id,
                                    " failed at stage ", msg->failed_stage,

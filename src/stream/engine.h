@@ -56,8 +56,13 @@ struct InferenceResult {
 
 class PpStreamEngine {
  public:
-  PpStreamEngine(std::shared_ptr<ModelProvider> mp,
-                 std::shared_ptr<DataProvider> dp, EngineConfig config);
+  /// The engine talks to the parties exclusively through the protocol
+  /// interfaces: pass concrete ModelProvider/DataProvider for the
+  /// single-process zero-copy deployment, or transport stubs
+  /// (RemoteModelProvider / RemoteDataProvider from src/net/) to run the
+  /// pipeline against parties living in other processes.
+  PpStreamEngine(std::shared_ptr<ModelProviderApi> mp,
+                 std::shared_ptr<DataProviderApi> dp, EngineConfig config);
 
   Status Start();
 
@@ -81,8 +86,8 @@ class PpStreamEngine {
   const Pipeline& pipeline() const { return pipeline_; }
 
  private:
-  std::shared_ptr<ModelProvider> mp_;
-  std::shared_ptr<DataProvider> dp_;
+  std::shared_ptr<ModelProviderApi> mp_;
+  std::shared_ptr<DataProviderApi> dp_;
   EngineConfig config_;
   Pipeline pipeline_;
   bool started_ = false;

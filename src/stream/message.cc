@@ -4,34 +4,34 @@ namespace ppstream {
 
 std::vector<uint8_t> SerializeCiphertexts(const std::vector<Ciphertext>& v) {
   BufferWriter writer;
-  writer.WriteU64(v.size());
-  std::vector<uint8_t> scratch;
-  for (const Ciphertext& c : v) {
-    scratch.clear();
-    c.Serialize(&scratch);
-    writer.WriteBytes(scratch);
-  }
+  WriteCiphertexts(&writer, v);
   return writer.TakeBytes();
 }
 
 Result<std::vector<Ciphertext>> DeserializeCiphertexts(
     const std::vector<uint8_t>& bytes) {
   BufferReader reader(bytes);
-  PPS_ASSIGN_OR_RETURN(uint64_t count, reader.ReadU64());
+  PPS_ASSIGN_OR_RETURN(std::vector<Ciphertext> out, ReadCiphertexts(&reader));
+  if (!reader.AtEnd()) {
+    return Status::OutOfRange("trailing bytes after ciphertext vector");
+  }
+  return out;
+}
+
+void WriteCiphertexts(BufferWriter* out, const std::vector<Ciphertext>& v) {
+  out->WriteU64(v.size());
+  for (const Ciphertext& c : v) c.Serialize(out);
+}
+
+Result<std::vector<Ciphertext>> ReadCiphertexts(BufferReader* in) {
+  PPS_ASSIGN_OR_RETURN(uint64_t count, in->ReadU64());
   if (count > (1ULL << 28)) {
     return Status::OutOfRange("implausible ciphertext count");
   }
   std::vector<Ciphertext> out;
   out.reserve(count);
   for (uint64_t i = 0; i < count; ++i) {
-    PPS_ASSIGN_OR_RETURN(std::vector<uint8_t> blob, reader.ReadBytes());
-    size_t consumed = 0;
-    PPS_ASSIGN_OR_RETURN(
-        Ciphertext c,
-        Ciphertext::Deserialize(blob.data(), blob.size(), &consumed));
-    if (consumed != blob.size()) {
-      return Status::OutOfRange("trailing bytes in ciphertext blob");
-    }
+    PPS_ASSIGN_OR_RETURN(Ciphertext c, Ciphertext::Deserialize(in));
     out.push_back(std::move(c));
   }
   return out;

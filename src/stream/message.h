@@ -65,6 +65,11 @@ std::vector<uint8_t> SerializeCiphertexts(const std::vector<Ciphertext>& v);
 Result<std::vector<Ciphertext>> DeserializeCiphertexts(
     const std::vector<uint8_t>& bytes);
 
+/// Composable variants for embedding a ciphertext vector inside a larger
+/// message (the wire frames in src/net/ use these directly).
+void WriteCiphertexts(BufferWriter* out, const std::vector<Ciphertext>& v);
+Result<std::vector<Ciphertext>> ReadCiphertexts(BufferReader* in);
+
 /// Serializes a double tensor (raw input / final result).
 std::vector<uint8_t> SerializeDoubleTensor(const DoubleTensor& t);
 Result<DoubleTensor> DeserializeDoubleTensor(

@@ -242,12 +242,12 @@ TEST_F(PaillierTest, RejectsOversizedPlaintext) {
 }
 
 TEST_F(PaillierTest, PublicKeySerializationRoundTrip) {
-  std::vector<uint8_t> buf;
-  keys_->public_key.Serialize(&buf);
-  size_t consumed = 0;
-  auto pk = PaillierPublicKey::Deserialize(buf.data(), buf.size(), &consumed);
+  BufferWriter writer;
+  keys_->public_key.Serialize(&writer);
+  BufferReader reader(writer.bytes());
+  auto pk = PaillierPublicKey::Deserialize(&reader);
   ASSERT_TRUE(pk.ok());
-  EXPECT_EQ(consumed, buf.size());
+  EXPECT_TRUE(reader.AtEnd());
   EXPECT_EQ(pk.value().n().Compare(keys_->public_key.n()), 0);
 
   // Ciphertext created under the deserialized key decrypts correctly.
@@ -265,12 +265,12 @@ TEST_F(PaillierTest, CiphertextSerializationRoundTrip) {
   SecureRng rng = SecureRng::FromSeed(53);
   auto c = Paillier::Encrypt(keys_->public_key, BigInt(31337), rng);
   ASSERT_TRUE(c.ok());
-  std::vector<uint8_t> buf;
-  c.value().Serialize(&buf);
-  size_t consumed = 0;
-  auto back = Ciphertext::Deserialize(buf.data(), buf.size(), &consumed);
+  BufferWriter writer;
+  c.value().Serialize(&writer);
+  BufferReader reader(writer.bytes());
+  auto back = Ciphertext::Deserialize(&reader);
   ASSERT_TRUE(back.ok());
-  EXPECT_EQ(consumed, buf.size());
+  EXPECT_TRUE(reader.AtEnd());
   EXPECT_EQ(back.value().value.Compare(c.value().value), 0);
 }
 

@@ -1,0 +1,499 @@
+// Tests for the transport boundary: wire-format encode/decode hardening,
+// framed dispatch against real providers, remote stubs, the TCP loopback
+// deployment (bit-exact with the scaled plain reference), and the privacy
+// separation (plaintext never reaches the model provider's side of the
+// wire; weights never reach the data provider).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstring>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "core/protocol.h"
+#include "net/server.h"
+#include "net/transport.h"
+#include "net/wire.h"
+#include "nn/layers.h"
+#include "stream/engine.h"
+#include "stream/message.h"
+#include "util/rng.h"
+
+namespace ppstream {
+namespace {
+
+// ----------------------------------------------------------------- wire
+
+WireFrame SampleRequest() {
+  return MakeRequestFrame(WireMethod::kMpProcessRound, /*request_id=*/42,
+                          /*round=*/3, {1, 2, 3, 4, 5});
+}
+
+TEST(WireTest, RequestFrameRoundTrip) {
+  const WireFrame frame = SampleRequest();
+  const auto bytes = EncodeFrame(frame);
+  EXPECT_EQ(bytes.size(), frame.WireSize());
+  auto back = DecodeFrame(bytes);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(back->version, kWireVersion);
+  EXPECT_EQ(back->method, WireMethod::kMpProcessRound);
+  EXPECT_FALSE(back->is_response);
+  EXPECT_EQ(back->status, StatusCode::kOk);
+  EXPECT_EQ(back->request_id, 42u);
+  EXPECT_EQ(back->round, 3u);
+  EXPECT_EQ(back->payload, frame.payload);
+}
+
+TEST(WireTest, ErrorFrameCarriesStatus) {
+  const WireFrame request = SampleRequest();
+  const WireFrame error =
+      MakeErrorFrame(request, Status::DeadlineExceeded("too slow"));
+  auto back = DecodeFrame(EncodeFrame(error));
+  ASSERT_TRUE(back.ok());
+  EXPECT_TRUE(back->is_response);
+  const Status status = FrameStatus(*back);
+  EXPECT_EQ(status.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(status.message(), "too slow");
+}
+
+TEST(WireTest, RejectsForeignAndMalformedHeaders) {
+  const auto bytes = EncodeFrame(SampleRequest());
+
+  auto corrupted = [&](size_t offset, uint8_t value) {
+    std::vector<uint8_t> copy = bytes;
+    copy[offset] = value;
+    return DecodeFrame(copy);
+  };
+
+  // magic (offset 0), version (offset 4), method (offset 6), flags
+  // (offset 8), status (offset 9) — each validated by name.
+  EXPECT_EQ(corrupted(0, 'X').status().code(), StatusCode::kProtocolError);
+  EXPECT_EQ(corrupted(4, 0xEE).status().code(), StatusCode::kProtocolError);
+  EXPECT_EQ(corrupted(6, 0xEE).status().code(), StatusCode::kProtocolError);
+  EXPECT_EQ(corrupted(8, 0xF0).status().code(), StatusCode::kProtocolError);
+  EXPECT_EQ(corrupted(9, 0xEE).status().code(), StatusCode::kProtocolError);
+
+  // A request frame must not carry an error status.
+  EXPECT_EQ(corrupted(9, 1).status().code(), StatusCode::kProtocolError);
+
+  // Trailing garbage after the announced payload.
+  std::vector<uint8_t> extended = bytes;
+  extended.push_back(0);
+  EXPECT_FALSE(DecodeFrame(extended).ok());
+}
+
+TEST(WireTest, TruncationAtEveryLengthFails) {
+  const auto bytes = EncodeFrame(SampleRequest());
+  for (size_t len = 0; len < bytes.size(); ++len) {
+    std::vector<uint8_t> prefix(bytes.begin(), bytes.begin() + len);
+    EXPECT_FALSE(DecodeFrame(prefix).ok()) << "prefix " << len;
+  }
+}
+
+TEST(WireTest, BitFlipsNeverCrash) {
+  const auto bytes = EncodeFrame(SampleRequest());
+  // Flip every bit of the encoded frame one at a time; decode must return
+  // a Status each time (possibly OK for opaque payload bits) — never UB.
+  for (size_t byte = 0; byte < bytes.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::vector<uint8_t> copy = bytes;
+      copy[byte] ^= static_cast<uint8_t>(1u << bit);
+      (void)DecodeFrame(copy);
+    }
+  }
+}
+
+TEST(WireTest, HostilePayloadLengthIsBoundedBeforeAllocation) {
+  WireFrame frame = SampleRequest();
+  auto bytes = EncodeFrame(frame);
+  // payload_len lives at offset 26; write an absurd value.
+  const uint64_t huge = ~0ULL;
+  std::memcpy(bytes.data() + 26, &huge, sizeof(huge));
+  uint64_t payload_len = 0;
+  auto header =
+      DecodeFrameHeader(bytes.data(), kFrameHeaderBytes, &payload_len);
+  EXPECT_EQ(header.status().code(), StatusCode::kOutOfRange);
+}
+
+// ------------------------------------------------- fixture (tiny model)
+
+class NetTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    Rng rng(7);
+    auto pair = Paillier::GenerateKeyPair(256, rng);
+    ASSERT_TRUE(pair.ok());
+    keys_ = new PaillierKeyPair(std::move(pair).value());
+
+    Rng mrng(8);
+    Model model(Shape{4}, "net");
+    PPS_CHECK_OK(model.Add(DenseLayer::Random(4, 6, mrng)));
+    PPS_CHECK_OK(model.Add(std::make_unique<ReluLayer>()));
+    PPS_CHECK_OK(model.Add(DenseLayer::Random(6, 3, mrng)));
+    PPS_CHECK_OK(model.Add(std::make_unique<SoftmaxLayer>()));
+    auto plan = CompilePlan(model, 1000);
+    ASSERT_TRUE(plan.ok());
+    plan_ = new std::shared_ptr<const InferencePlan>(
+        std::make_shared<const InferencePlan>(std::move(plan).value()));
+  }
+  static void TearDownTestSuite() {
+    delete keys_;
+    delete plan_;
+  }
+
+  static DoubleTensor MakeInput(uint64_t seed) {
+    Rng rng(seed);
+    DoubleTensor x{Shape{4}};
+    for (int64_t j = 0; j < 4; ++j) x[j] = rng.NextUniform(-2, 2);
+    return x;
+  }
+
+  /// A channel whose far end is a real ModelProvider behind the server
+  /// dispatcher — the full wire path without sockets.
+  static std::shared_ptr<InProcessFrameChannel> ChannelTo(
+      std::shared_ptr<ModelProvider> mp) {
+    return std::make_shared<InProcessFrameChannel>(
+        [mp](const WireFrame& request) {
+          return DispatchModelProviderFrame(*mp, request);
+        });
+  }
+
+  static PaillierKeyPair* keys_;
+  static std::shared_ptr<const InferencePlan>* plan_;
+};
+
+PaillierKeyPair* NetTest::keys_ = nullptr;
+std::shared_ptr<const InferencePlan>* NetTest::plan_ = nullptr;
+
+// ----------------------------------------------- serialization hardening
+
+TEST_F(NetTest, DataProviderViewTruncationFails) {
+  BufferWriter writer;
+  (*plan_)->SerializeDataProviderView(&writer);
+  const auto bytes = writer.TakeBytes();
+  for (size_t len = 0; len < bytes.size(); ++len) {
+    BufferReader reader(bytes.data(), len);
+    EXPECT_FALSE(InferencePlan::DeserializeDataProviderView(&reader).ok())
+        << "prefix " << len;
+  }
+}
+
+TEST_F(NetTest, DataProviderViewBitFlipsNeverCrash) {
+  BufferWriter writer;
+  (*plan_)->SerializeDataProviderView(&writer);
+  const auto bytes = writer.TakeBytes();
+  for (size_t byte = 0; byte < bytes.size(); ++byte) {
+    std::vector<uint8_t> copy = bytes;
+    copy[byte] ^= 0x40;
+    BufferReader reader(copy);
+    (void)InferencePlan::DeserializeDataProviderView(&reader);
+  }
+}
+
+// --------------------------------------------------- dispatch and stubs
+
+TEST_F(NetTest, FramedProtocolMatchesPlainReference) {
+  auto local_mp =
+      std::make_shared<ModelProvider>(*plan_, keys_->public_key, 21);
+  RemoteModelProvider mp(ChannelTo(local_mp), *plan_);
+  DataProvider dp(*plan_, *keys_, 23);
+
+  const DoubleTensor input = MakeInput(31);
+  auto output = RunProtocolInference(mp, dp, /*request_id=*/1, input);
+  ASSERT_TRUE(output.ok()) << output.status().ToString();
+  auto expected = RunScaledPlainInference(**plan_, input);
+  ASSERT_TRUE(expected.ok());
+  for (int64_t j = 0; j < expected->NumElements(); ++j) {
+    EXPECT_DOUBLE_EQ(output.value()[j], expected.value()[j]);
+  }
+  // The completion release crossed the wire too.
+  EXPECT_EQ(local_mp->PendingRequestsForTesting(), 0u);
+}
+
+TEST_F(NetTest, EngineRunsOverFramedChannel) {
+  auto local_mp =
+      std::make_shared<ModelProvider>(*plan_, keys_->public_key, 41);
+  auto mp = std::make_shared<RemoteModelProvider>(ChannelTo(local_mp),
+                                                  *plan_);
+  auto dp = std::make_shared<DataProvider>(*plan_, *keys_, 43);
+
+  EngineConfig config;
+  config.stage_threads = {1, 1, 1, 1, 1};
+  PpStreamEngine engine(mp, dp, config);
+  ASSERT_TRUE(engine.Start().ok());
+
+  std::vector<DoubleTensor> inputs;
+  for (uint64_t i = 0; i < 4; ++i) {
+    inputs.push_back(MakeInput(100 + i));
+    ASSERT_TRUE(engine.Submit(i, inputs.back()).ok());
+  }
+  for (int i = 0; i < 4; ++i) {
+    auto result = engine.NextResult();
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    auto expected =
+        RunScaledPlainInference(**plan_, inputs[result->request_id]);
+    ASSERT_TRUE(expected.ok());
+    for (int64_t j = 0; j < expected->NumElements(); ++j) {
+      EXPECT_DOUBLE_EQ(result->output[j], expected.value()[j]);
+    }
+  }
+  engine.Shutdown();
+}
+
+TEST_F(NetTest, RemoteDataProviderMatchesLocal) {
+  // Reverse deployment: the model-provider side drives a remote DP.
+  auto local_dp = std::make_shared<DataProvider>(*plan_, *keys_, 53);
+  auto channel = std::make_shared<InProcessFrameChannel>(
+      [local_dp](const WireFrame& request) {
+        return DispatchDataProviderFrame(*local_dp, request);
+      });
+  RemoteDataProvider dp(channel, keys_->public_key);
+  ModelProvider mp(*plan_, keys_->public_key, 51);
+
+  const DoubleTensor input = MakeInput(61);
+  auto output = RunProtocolInference(mp, dp, /*request_id=*/1, input);
+  ASSERT_TRUE(output.ok()) << output.status().ToString();
+  auto expected = RunScaledPlainInference(**plan_, input);
+  ASSERT_TRUE(expected.ok());
+  for (int64_t j = 0; j < expected->NumElements(); ++j) {
+    EXPECT_DOUBLE_EQ(output.value()[j], expected.value()[j]);
+  }
+
+  // Leakage views would pull plaintext across the wire; refused.
+  std::vector<double> view;
+  auto ct = dp.EncryptInput(input);
+  ASSERT_TRUE(ct.ok());
+  auto stage0 = mp.ProcessRound(2, 0, ct.value());
+  ASSERT_TRUE(stage0.ok());
+  EXPECT_EQ(dp.ProcessIntermediate(1, stage0.value(), &view, nullptr)
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_TRUE(mp.ReleaseRequestState(2).ok());
+}
+
+TEST_F(NetTest, ModelProviderDispatchRejectsPlaintextMethods) {
+  // The privacy separation, enforced at the dispatch layer: a model
+  // provider refuses every method whose payload is a plaintext tensor.
+  auto local_mp =
+      std::make_shared<ModelProvider>(*plan_, keys_->public_key, 71);
+  const DoubleTensor input = MakeInput(73);
+  const WireFrame request = MakeRequestFrame(
+      WireMethod::kDpEncryptInput, 1, 0, SerializeDoubleTensor(input));
+  const WireFrame response = DispatchModelProviderFrame(*local_mp, request);
+  EXPECT_EQ(FrameStatus(response).code(), StatusCode::kProtocolError);
+}
+
+TEST_F(NetTest, DispatchSurvivesCorruptedPayloads) {
+  auto local_mp =
+      std::make_shared<ModelProvider>(*plan_, keys_->public_key, 81);
+  DataProvider dp(*plan_, *keys_, 83);
+  auto ct = dp.EncryptInput(MakeInput(85));
+  ASSERT_TRUE(ct.ok());
+
+  BufferWriter writer;
+  WriteCiphertexts(&writer, ct.value());
+  const auto clean = writer.TakeBytes();
+
+  FaultInjector injector(/*seed=*/87);
+  FaultRule rule;
+  rule.site_pattern = "net.recv";
+  rule.kind = FaultKind::kCorruption;
+  rule.every_nth = 1;
+  rule.corrupt_bytes = 2;
+  injector.AddRule(rule);
+
+  for (int round = 0; round < 32; ++round) {
+    std::vector<uint8_t> payload = clean;
+    ASSERT_TRUE(injector.Corrupt("net.recv", payload));
+    const WireFrame request = MakeRequestFrame(
+        WireMethod::kMpProcessRound, 1000 + round, 0, std::move(payload));
+    // Must produce a response frame (success or error) — never crash.
+    const WireFrame response = DispatchModelProviderFrame(*local_mp, request);
+    EXPECT_TRUE(response.is_response);
+    (void)local_mp->ReleaseRequestState(1000 + round);
+  }
+}
+
+TEST_F(NetTest, ChannelFaultInjectionSurfacesAsStatus) {
+  auto local_mp =
+      std::make_shared<ModelProvider>(*plan_, keys_->public_key, 91);
+  auto channel = ChannelTo(local_mp);
+
+  auto injector = std::make_shared<FaultInjector>(93);
+  FaultRule rule;
+  rule.site_pattern = "net.send";
+  rule.kind = FaultKind::kError;
+  rule.error_code = StatusCode::kIoError;
+  rule.every_nth = 1;
+  injector->AddRule(rule);
+  channel->SetFaultInjector(injector);
+
+  RemoteModelProvider mp(channel, *plan_);
+  DataProvider dp(*plan_, *keys_, 95);
+  auto ct = dp.EncryptInput(MakeInput(97));
+  ASSERT_TRUE(ct.ok());
+  EXPECT_EQ(mp.ProcessRound(1, 0, ct.value()).status().code(),
+            StatusCode::kIoError);
+
+  // Corruption of the response bytes must fail decode, not crash.
+  injector->Clear();
+  rule.site_pattern = "net.recv";
+  rule.kind = FaultKind::kCorruption;
+  rule.corrupt_bytes = 4;
+  injector->AddRule(rule);
+  for (int i = 0; i < 16; ++i) {
+    (void)mp.ProcessRound(2 + i, 0, ct.value());
+    (void)mp.ReleaseRequestState(2 + i);
+  }
+  EXPECT_GT(injector->stats().corruptions, 0u);
+}
+
+// ----------------------------------------------------------- TCP loopback
+
+/// Little-endian byte pattern of each tensor element, for scanning frame
+/// payloads for plaintext leaks.
+std::vector<std::vector<uint8_t>> DoublePatterns(const DoubleTensor& t) {
+  std::vector<std::vector<uint8_t>> patterns;
+  for (int64_t i = 0; i < t.NumElements(); ++i) {
+    std::vector<uint8_t> p(sizeof(double));
+    const double v = t[i];
+    std::memcpy(p.data(), &v, sizeof(double));
+    patterns.push_back(std::move(p));
+  }
+  return patterns;
+}
+
+bool Contains(const std::vector<uint8_t>& haystack,
+              const std::vector<uint8_t>& needle) {
+  return std::search(haystack.begin(), haystack.end(), needle.begin(),
+                     needle.end()) != haystack.end();
+}
+
+TEST_F(NetTest, TcpLoopbackInferenceIsBitExactAndLeakFree) {
+  ModelProviderServerOptions server_options;
+  server_options.worker_threads = 2;
+  ModelProviderTcpServer server(*plan_, server_options);
+  ASSERT_TRUE(server.Listen(0).ok());
+
+  std::thread server_thread(
+      [&server] { ASSERT_TRUE(server.ServeOne(10.0).ok()); });
+
+  auto transport = TcpTransport::Connect("127.0.0.1", server.port(),
+                                         keys_->public_key);
+  ASSERT_TRUE(transport.ok()) << transport.status().ToString();
+
+  // The handshake delivered a weight-free view, not the model.
+  auto view = transport.value()->view_plan();
+  EXPECT_TRUE(view->is_data_provider_view);
+  EXPECT_EQ(view->NumRounds(), (*plan_)->NumRounds());
+
+  // Capture everything this side puts on (and gets off) the wire.
+  std::vector<WireFrame> outbound;
+  transport.value()->channel().SetFrameObserver(
+      [&outbound](const WireFrame& frame, bool out) {
+        if (out) outbound.push_back(frame);
+      });
+
+  DataProvider dp(view, *keys_, 103);
+  ModelProviderApi& mp = *transport.value()->model_provider();
+
+  std::vector<DoubleTensor> inputs = {MakeInput(111), MakeInput(112)};
+  for (size_t i = 0; i < inputs.size(); ++i) {
+    auto output = RunProtocolInference(mp, dp, i + 1, inputs[i]);
+    ASSERT_TRUE(output.ok()) << output.status().ToString();
+    auto expected = RunScaledPlainInference(**plan_, inputs[i]);
+    ASSERT_TRUE(expected.ok());
+    ASSERT_EQ(output->NumElements(), expected->NumElements());
+    for (int64_t j = 0; j < expected->NumElements(); ++j) {
+      EXPECT_DOUBLE_EQ(output.value()[j], expected.value()[j])
+          << "request " << i + 1 << " element " << j;
+    }
+
+    // Frame inspection: every model-provider-bound frame is either the
+    // handshake (public key only) or an Mp method whose payload is
+    // ciphertexts; no frame contains the plaintext input or output bytes.
+    ASSERT_FALSE(outbound.empty());
+    const auto in_patterns = DoublePatterns(inputs[i]);
+    const auto out_patterns = DoublePatterns(expected.value());
+    for (const WireFrame& frame : outbound) {
+      EXPECT_FALSE(frame.is_response);
+      EXPECT_TRUE(frame.method == WireMethod::kHandshake ||
+                  (frame.method >= WireMethod::kMpProcessRound &&
+                   frame.method <= WireMethod::kMpReleaseRequestState))
+          << WireMethodToString(frame.method);
+      for (const auto& p : in_patterns) {
+        EXPECT_FALSE(Contains(frame.payload, p)) << "plaintext input leaked";
+      }
+      for (const auto& p : out_patterns) {
+        EXPECT_FALSE(Contains(frame.payload, p)) << "plaintext output leaked";
+      }
+    }
+  }
+
+  const TransportStats stats = transport.value()->stats();
+  EXPECT_GT(stats.frames_sent, 0u);
+  EXPECT_EQ(stats.frames_sent, stats.frames_received);
+
+  transport.value()->Close();
+  server_thread.join();
+  EXPECT_EQ(server.connections_served(), 1u);
+}
+
+TEST_F(NetTest, TcpConnectToClosedPortFails) {
+  // Bind then immediately close to obtain a port that refuses connections.
+  auto listener = TcpListener::Bind(0);
+  ASSERT_TRUE(listener.ok());
+  const uint16_t port = listener->port();
+  listener->Close();
+
+  auto transport = TcpTransport::Connect("127.0.0.1", port,
+                                         keys_->public_key);
+  EXPECT_FALSE(transport.ok());
+}
+
+TEST_F(NetTest, TcpAcceptTimeoutIsDeadlineExceeded) {
+  auto listener = TcpListener::Bind(0);
+  ASSERT_TRUE(listener.ok());
+  auto socket = listener->Accept(/*timeout_seconds=*/0.05);
+  EXPECT_EQ(socket.status().code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST_F(NetTest, TcpRecvTimeoutIsDeadlineExceeded) {
+  auto listener = TcpListener::Bind(0);
+  ASSERT_TRUE(listener.ok());
+  auto client = TcpSocket::Connect("127.0.0.1", listener->port(), 1.0);
+  ASSERT_TRUE(client.ok());
+  auto accepted = listener->Accept(1.0);
+  ASSERT_TRUE(accepted.ok());
+  // Nobody sends: the read must give up with DeadlineExceeded.
+  uint8_t byte = 0;
+  EXPECT_EQ(client->RecvAll(&byte, 1, /*timeout_seconds=*/0.05).code(),
+            StatusCode::kDeadlineExceeded);
+}
+
+TEST_F(NetTest, ServerRejectsGarbageHandshake) {
+  ModelProviderTcpServer server(*plan_);
+  ASSERT_TRUE(server.Listen(0).ok());
+  std::thread server_thread([&server] {
+    // The connection errors out server-side; that must not crash Serve.
+    EXPECT_FALSE(server.ServeOne(10.0).ok());
+  });
+
+  auto socket = TcpSocket::Connect("127.0.0.1", server.port(), 5.0);
+  ASSERT_TRUE(socket.ok());
+  // A frame that is valid at the wire level but not a handshake.
+  const auto bytes =
+      EncodeFrame(MakeRequestFrame(WireMethod::kMpProcessRound, 1, 0, {}));
+  ASSERT_TRUE(socket->SendAll(bytes.data(), bytes.size(), 5.0).ok());
+  auto reply = RecvFrame(*socket, 5.0);
+  ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+  EXPECT_EQ(FrameStatus(*reply).code(), StatusCode::kProtocolError);
+  socket->Close();
+  server_thread.join();
+}
+
+}  // namespace
+}  // namespace ppstream

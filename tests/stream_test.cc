@@ -177,6 +177,49 @@ TEST(MessageTest, TruncatedPayloadFails) {
   EXPECT_FALSE(DeserializeDoubleTensor(bytes).ok());
 }
 
+TEST(MessageTest, CiphertextsTruncatedAtEveryLengthFails) {
+  std::vector<Ciphertext> v;
+  for (int i = 0; i < 3; ++i) {
+    v.push_back(Ciphertext{BigInt(int64_t{3} << (i * 9))});
+  }
+  const auto bytes = SerializeCiphertexts(v);
+  // Every proper prefix must fail cleanly: the deserializer may never
+  // crash or read out of bounds on a cut-off wire payload.
+  for (size_t len = 0; len < bytes.size(); ++len) {
+    std::vector<uint8_t> prefix(bytes.begin(), bytes.begin() + len);
+    EXPECT_FALSE(DeserializeCiphertexts(prefix).ok()) << "prefix " << len;
+  }
+}
+
+TEST(MessageTest, CiphertextsSurviveInjectedCorruption) {
+  std::vector<Ciphertext> v;
+  for (int i = 0; i < 4; ++i) {
+    v.push_back(Ciphertext{BigInt(int64_t{5} << (i * 8))});
+  }
+  const auto clean = SerializeCiphertexts(v);
+
+  FaultInjector injector(/*seed=*/99);
+  FaultRule rule;
+  rule.site_pattern = "net.";
+  rule.kind = FaultKind::kCorruption;
+  rule.every_nth = 1;
+  rule.corrupt_bytes = 3;
+  injector.AddRule(rule);
+
+  // Each round corrupts different byte positions; every outcome must be a
+  // Status (frequently non-OK), never UB. A flip can land in ciphertext
+  // bytes and still parse — that is the obfuscated payload's job to absorb.
+  for (int round = 0; round < 64; ++round) {
+    std::vector<uint8_t> bytes = clean;
+    ASSERT_TRUE(injector.Corrupt("net.recv", bytes));
+    auto result = DeserializeCiphertexts(bytes);
+    if (result.ok()) {
+      EXPECT_EQ(result.value().size(), v.size());
+    }
+  }
+  EXPECT_EQ(injector.stats().corruptions, 64u);
+}
+
 // ------------------------------------------------------------- pipeline
 
 StreamMessage IntMessage(uint64_t id, int64_t v) {
