@@ -9,13 +9,20 @@
 // We measure per-element op latency over a sample of elements and report
 // the per-tensor (784-element) figure, sweeping key sizes 256..2048.
 
+#include <cstdlib>
+
 #include "bench/bench_common.h"
 #include "crypto/secure_rng.h"
 
 using namespace ppstream;
 using namespace ppstream::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  // Optional cap on the key-size sweep (CI smoke mode skips the minutes of
+  // 1024/2048-bit keygen): bench_fig1_paillier [max_key_bits].
+  int max_bits = 2048;
+  if (argc > 1) max_bits = std::atoi(argv[1]);
+
   std::printf("== Figure 1: Paillier micro-benchmark (28x28 tensor, scalar "
               "10^6) ==\n\n");
   std::printf("%-10s %14s %14s %14s %14s\n", "key bits", "encrypt (s)",
@@ -26,6 +33,7 @@ int main() {
   const BigInt kScalar(1000000);  // the paper's 10^6 multiplier
 
   for (int bits : {256, 512, 1024, 2048}) {
+    if (bits > max_bits) continue;
     const PaillierKeyPair& keys = SharedKeys(bits);
     SecureRng rng = SecureRng::FromSeed(42);
     // Fewer sampled elements at larger (slower) key sizes.

@@ -4,11 +4,14 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bignum/fixed_base.h"
 #include "bignum/montgomery.h"
 #include "bignum/prime.h"
 #include "crypto/paillier.h"
 #include "crypto/permutation.h"
+#include "crypto/randomizer_pool.h"
 #include "crypto/sha256.h"
+#include "util/logging.h"
 #include "util/rng.h"
 
 namespace ppstream {
@@ -94,6 +97,102 @@ void BM_PaillierScalarMul(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_PaillierScalarMul)->Arg(10)->Arg(100000)->Arg(10000000);
+
+// The amortized hot path: the same ciphertext raised to many quantized
+// weights through a precomputed fixed-base table. Compare against
+// BM_PaillierScalarMul at the same weight magnitudes — the gap is what one
+// Eq. (3) term saves once the table exists.
+void BM_PaillierScalarMulFixedBase(benchmark::State& state) {
+  Rng rng(9);
+  auto keys = Paillier::GenerateKeyPair(512, rng);
+  SecureRng srng = SecureRng::FromSeed(10);
+  auto c = Paillier::Encrypt(keys.value().public_key, BigInt(42), srng);
+  const BigInt w(static_cast<int64_t>(state.range(0)));
+  auto base = Paillier::PrecomputeScalarMulBase(
+      keys.value().public_key, c.value(), /*max_weight_bits=*/24,
+      /*allow_negative=*/false, /*fan_out_hint=*/256);
+  PPS_CHECK_OK(base.status());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        Paillier::ScalarMulPrecomputed(base.value(), w));
+  }
+}
+BENCHMARK(BM_PaillierScalarMulFixedBase)->Arg(10)->Arg(100000)->Arg(10000000);
+
+// Table-build cost for one input slot (break-even: this divided by the
+// per-call saving of BM_PaillierScalarMulFixedBase vs BM_PaillierScalarMul
+// gives the fan-out where tables start paying off).
+void BM_PaillierFixedBaseTableBuild(benchmark::State& state) {
+  Rng rng(9);
+  auto keys = Paillier::GenerateKeyPair(512, rng);
+  SecureRng srng = SecureRng::FromSeed(10);
+  auto c = Paillier::Encrypt(keys.value().public_key, BigInt(42), srng);
+  const int64_t fan_out = state.range(0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Paillier::PrecomputeScalarMulBase(
+        keys.value().public_key, c.value(), /*max_weight_bits=*/24,
+        /*allow_negative=*/false, fan_out));
+  }
+}
+BENCHMARK(BM_PaillierFixedBaseTableBuild)->Arg(8)->Arg(64)->Arg(1024);
+
+// Pool-backed encryption: r^n comes precomputed, the request path is one
+// ModMul. Refills happen outside the timed region, mirroring a pool that
+// refills between requests.
+void BM_PaillierEncryptPooled(benchmark::State& state) {
+  const int bits = static_cast<int>(state.range(0));
+  Rng rng(5);
+  auto keys = Paillier::GenerateKeyPair(bits, rng);
+  RandomizerPool::Options options;
+  options.capacity = 512;
+  options.background_refill = false;
+  RandomizerPool pool(keys.value().public_key, 6, options);
+  pool.Fill();
+  for (auto _ : state) {
+    if (pool.available() == 0) {
+      state.PauseTiming();
+      pool.Fill();
+      state.ResumeTiming();
+    }
+    benchmark::DoNotOptimize(pool.Encrypt(BigInt(123456)));
+  }
+}
+BENCHMARK(BM_PaillierEncryptPooled)->Arg(256)->Arg(512)->Arg(1024);
+
+void BM_PaillierRerandomizePooled(benchmark::State& state) {
+  Rng rng(5);
+  auto keys = Paillier::GenerateKeyPair(512, rng);
+  SecureRng srng = SecureRng::FromSeed(6);
+  auto c = Paillier::Encrypt(keys.value().public_key, BigInt(7), srng);
+  RandomizerPool::Options options;
+  options.capacity = 512;
+  options.background_refill = false;
+  RandomizerPool pool(keys.value().public_key, 8, options);
+  pool.Fill();
+  for (auto _ : state) {
+    if (pool.available() == 0) {
+      state.PauseTiming();
+      pool.Fill();
+      state.ResumeTiming();
+    }
+    benchmark::DoNotOptimize(pool.Rerandomize(c.value()));
+  }
+}
+BENCHMARK(BM_PaillierRerandomizePooled);
+
+// Small-exponent ModExp: the adaptive window keeps quantized-weight
+// exponentiations from paying a full 16-entry table build per call.
+void BM_MontgomeryModExpSmallExp(benchmark::State& state) {
+  Rng rng(3);
+  BigInt m = RandomOdd(1024, 4);  // n^2 width for a 512-bit key
+  MontgomeryContext ctx(m);
+  BigInt base = BigInt::RandomBelow(rng, m);
+  BigInt exp(static_cast<int64_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ctx.ModExp(base, exp));
+  }
+}
+BENCHMARK(BM_MontgomeryModExpSmallExp)->Arg(10)->Arg(1000)->Arg(100000);
 
 void BM_PaillierHomAdd(benchmark::State& state) {
   Rng rng(11);

@@ -1,0 +1,92 @@
+#!/usr/bin/env bash
+# Benchmark driver for the crypto hot path.
+#
+# Runs bench_micro_crypto (google-benchmark), bench_fig1_paillier, and
+# bench_table3_models, and distills the micro-benchmark console output into
+# a machine-readable bench/BENCH_crypto.json with one record per op:
+#   {"op": "BM_PaillierEncrypt/512", "ns_per_op": 451234, "key_bits": 512}
+#
+# key_bits is the Paillier key size the op ran under: the benchmark arg for
+# ops that sweep key size, 512 for the remaining Paillier ops (their fixed
+# key, see bench_micro_crypto.cc), and 0 for non-Paillier primitives where
+# the arg is an operand width instead.
+#
+# Usage:
+#   bench/run_benchmarks.sh            # full run (writes BENCH_crypto.json)
+#   bench/run_benchmarks.sh --smoke    # CI smoke: 1-iteration benches,
+#                                      # 256-bit keys only for Figure 1
+#
+# Env overrides: BUILD_DIR (default build), OUT_JSON, MIN_TIME,
+# FIG1_MAX_BITS.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BUILD_DIR=${BUILD_DIR:-build}
+OUT_JSON=${OUT_JSON:-bench/BENCH_crypto.json}
+
+SMOKE=0
+if [[ "${1:-}" == "--smoke" ]]; then
+  SMOKE=1
+fi
+
+if [[ $SMOKE -eq 1 ]]; then
+  # min_time=0 makes google-benchmark settle for a single iteration.
+  MIN_TIME=0
+  FIG1_MAX_BITS=256
+else
+  MIN_TIME=${MIN_TIME:-0.15}
+  FIG1_MAX_BITS=${FIG1_MAX_BITS:-1024}
+fi
+
+for bin in bench_micro_crypto bench_fig1_paillier bench_table3_models; do
+  if [[ ! -x "$BUILD_DIR/bench/$bin" ]]; then
+    echo "error: $BUILD_DIR/bench/$bin not built (cmake --build $BUILD_DIR)" >&2
+    exit 1
+  fi
+done
+
+MICRO_TXT=$(mktemp)
+trap 'rm -f "$MICRO_TXT"' EXIT
+
+echo "== bench_micro_crypto (min_time=${MIN_TIME}s) =="
+"$BUILD_DIR/bench/bench_micro_crypto" \
+  --benchmark_min_time="$MIN_TIME" | tee "$MICRO_TXT"
+
+echo
+echo "== bench_fig1_paillier (max key bits: $FIG1_MAX_BITS) =="
+"$BUILD_DIR/bench/bench_fig1_paillier" "$FIG1_MAX_BITS"
+
+echo
+echo "== bench_table3_models =="
+"$BUILD_DIR/bench/bench_table3_models"
+
+# Console rows look like:  BM_PaillierEncrypt/512   451234 ns   451100 ns   10
+awk '
+  BEGIN { n = 0 }
+  /^BM_/ {
+    name = $1; ns = $2
+    split(name, parts, "/")
+    base = parts[1]
+    arg = (length(parts) > 1) ? parts[2] : ""
+    kb = 0
+    if (base == "BM_PaillierEncrypt" || base == "BM_PaillierDecrypt" ||
+        base == "BM_PaillierEncryptPooled") {
+      kb = arg + 0
+    } else if (base ~ /^BM_Paillier/) {
+      kb = 512
+    }
+    ops[n] = name; nss[n] = ns; kbs[n] = kb; n++
+  }
+  END {
+    printf("[\n")
+    for (i = 0; i < n; i++) {
+      printf("  {\"op\": \"%s\", \"ns_per_op\": %s, \"key_bits\": %d}%s\n",
+             ops[i], nss[i], kbs[i], (i + 1 < n) ? "," : "")
+    }
+    printf("]\n")
+  }
+' "$MICRO_TXT" > "$OUT_JSON"
+
+echo
+echo "wrote $OUT_JSON ($(grep -c '"op"' "$OUT_JSON") ops)"

@@ -1,0 +1,160 @@
+#include "bignum/fixed_base.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace ppstream {
+
+namespace {
+
+int64_t WindowsFor(int bits, int window) {
+  return (static_cast<int64_t>(bits) + window - 1) / window;
+}
+
+/// Table-build MontMuls at window w: every window holds 2^w - 1 digit
+/// entries, each one multiplication from its predecessor; the first entry
+/// of window 0 is the base itself (free).
+int64_t BuildCostAt(int bits, int window) {
+  return WindowsFor(bits, window) * ((int64_t{1} << window) - 1) - 1;
+}
+
+/// Expected per-call MontMuls at window w: one per non-zero digit.
+double PerCallCostAt(int bits, int window) {
+  const double nonzero = 1.0 - 1.0 / static_cast<double>(int64_t{1} << window);
+  return static_cast<double>(WindowsFor(bits, window)) * nonzero;
+}
+
+}  // namespace
+
+int FixedBaseExp::ChooseWindow(int max_exp_bits, int64_t fan_out_hint) {
+  const int64_t calls = std::max<int64_t>(fan_out_hint, 1);
+  int best = 1;
+  double best_cost = 0;
+  for (int w = 1; w <= 8; ++w) {
+    const double cost = static_cast<double>(BuildCostAt(max_exp_bits, w)) +
+                        static_cast<double>(calls) *
+                            PerCallCostAt(max_exp_bits, w);
+    if (w == 1 || cost < best_cost) {
+      best = w;
+      best_cost = cost;
+    }
+  }
+  return best;
+}
+
+int64_t FixedBaseExp::BuildCostMontMuls(int max_exp_bits, bool allow_negative,
+                                        int64_t fan_out_hint) {
+  const int w = ChooseWindow(max_exp_bits, fan_out_hint);
+  return BuildCostAt(max_exp_bits, w) * (allow_negative ? 2 : 1);
+}
+
+int64_t FixedBaseExp::PerCallMontMuls(int max_exp_bits,
+                                      int64_t fan_out_hint) {
+  const int w = ChooseWindow(max_exp_bits, fan_out_hint);
+  return static_cast<int64_t>(PerCallCostAt(max_exp_bits, w)) + 1;
+}
+
+Status FixedBaseExp::BuildTable(const BigInt& base, Table* table) const {
+  const size_t digits = (size_t{1} << window_) - 1;
+  const int64_t windows = WindowsFor(max_exp_bits_, window_);
+  table->assign(static_cast<size_t>(windows), {});
+
+  MontValue base_j = ctx_->ToMontgomery(base);
+  for (int64_t j = 0; j < windows; ++j) {
+    std::vector<MontValue>& win = (*table)[static_cast<size_t>(j)];
+    win.resize(digits);
+    win[0] = base_j;
+    for (size_t d = 1; d < digits; ++d) {
+      ctx_->MulMont(win[d - 1], base_j, &win[d]);
+    }
+    if (j + 1 < windows) {
+      // base_{j+1} = base_j^(2^w) = (last digit entry) * base_j.
+      MontValue next;
+      ctx_->MulMont(win[digits - 1], base_j, &next);
+      base_j.swap(next);
+    }
+  }
+  return Status::OK();
+}
+
+Result<FixedBaseExp> FixedBaseExp::Create(const MontgomeryContext& ctx,
+                                          const BigInt& base,
+                                          int max_exp_bits,
+                                          bool allow_negative,
+                                          int64_t fan_out_hint) {
+  if (max_exp_bits < 1) {
+    return Status::InvalidArgument("max_exp_bits must be >= 1");
+  }
+  if (base.IsNegative()) {
+    return Status::InvalidArgument("fixed base must be non-negative");
+  }
+  FixedBaseExp out;
+  out.ctx_ = &ctx;
+  out.max_exp_bits_ = max_exp_bits;
+  out.window_ = ChooseWindow(max_exp_bits, fan_out_hint);
+
+  PPS_ASSIGN_OR_RETURN(BigInt reduced, base.Mod(ctx.modulus()));
+  PPS_RETURN_IF_ERROR(out.BuildTable(reduced, &out.pos_));
+  if (allow_negative) {
+    PPS_ASSIGN_OR_RETURN(BigInt inv,
+                         BigInt::ModInverse(reduced, ctx.modulus()));
+    PPS_RETURN_IF_ERROR(out.BuildTable(inv, &out.neg_));
+  }
+  return out;
+}
+
+Status FixedBaseExp::PowMontFromTable(const Table& table,
+                                      const BigInt& magnitude,
+                                      MontValue* out) const {
+  if (magnitude.BitLength() > max_exp_bits_) {
+    return Status::InvalidArgument(internal::StrCat(
+        "exponent has ", magnitude.BitLength(),
+        " bits; fixed-base table covers ", max_exp_bits_));
+  }
+  MontValue acc = ctx_->OneMont();
+  MontValue tmp;
+  const int64_t windows = static_cast<int64_t>(table.size());
+  for (int64_t j = 0; j < windows; ++j) {
+    int digit = 0;
+    for (int b = window_ - 1; b >= 0; --b) {
+      digit = (digit << 1) |
+              magnitude.GetBit(static_cast<int>(j) * window_ + b);
+    }
+    if (digit != 0) {
+      ctx_->MulMont(acc, table[static_cast<size_t>(j)][
+                        static_cast<size_t>(digit - 1)], &tmp);
+      acc.swap(tmp);
+    }
+  }
+  out->swap(acc);
+  return Status::OK();
+}
+
+Status FixedBaseExp::PowMont(const BigInt& exp,
+                             MontgomeryContext::MontValue* out) const {
+  if (ctx_ == nullptr) {
+    return Status::FailedPrecondition("FixedBaseExp is uninitialized");
+  }
+  if (exp.IsZero()) {
+    *out = ctx_->OneMont();
+    return Status::OK();
+  }
+  if (exp.IsNegative()) {
+    if (neg_.empty()) {
+      return Status::InvalidArgument(
+          "negative exponent on a table built without allow_negative");
+    }
+    return PowMontFromTable(neg_, -exp, out);
+  }
+  return PowMontFromTable(pos_, exp, out);
+}
+
+Result<BigInt> FixedBaseExp::Pow(const BigInt& exp) const {
+  if (exp.IsZero()) return BigInt(1);
+  MontValue resident;
+  PPS_RETURN_IF_ERROR(PowMont(exp, &resident));
+  return ctx_->FromMontgomery(resident);
+}
+
+}  // namespace ppstream

@@ -1,0 +1,80 @@
+// Fixed-base modular exponentiation tables.
+//
+// The Paillier hot path (paper Eq. 3: prod_i E(m_i)^{w_i} * E(b)) raises
+// the SAME ciphertext to a different small exponent for every output row
+// that taps it — every output neuron in Dense, every overlapping window in
+// Conv2D. A per-call ModExp re-runs all squarings and rebuilds its window
+// table each time. FixedBaseExp instead precomputes, once per base,
+//
+//   table[j][d] = base^(d << (window * j))   (Montgomery-resident)
+//
+// for every window position j and digit d in [1, 2^window), after which
+// each exponentiation is at most ceil(bits/window) Montgomery
+// multiplications — table lookups with ZERO squarings. The window size is
+// chosen from the exponent width and the expected number of reuses
+// (fan-out); break-even math lives in DESIGN.md §8.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "bignum/bigint.h"
+#include "bignum/montgomery.h"
+#include "util/status.h"
+
+namespace ppstream {
+
+class FixedBaseExp {
+ public:
+  FixedBaseExp() = default;
+
+  /// Precomputes tables for `base` modulo ctx.modulus(), covering
+  /// exponents of up to `max_exp_bits` bits. With `allow_negative`, also
+  /// builds tables for base^{-1} (fails if base is not invertible), and
+  /// Pow accepts negative exponents. `fan_out_hint` is the expected number
+  /// of Pow calls; it steers the window choice (more reuse amortizes a
+  /// bigger table). `ctx` must outlive the returned object.
+  static Result<FixedBaseExp> Create(const MontgomeryContext& ctx,
+                                     const BigInt& base, int max_exp_bits,
+                                     bool allow_negative = false,
+                                     int64_t fan_out_hint = 16);
+
+  /// base^exp mod n. exp may be negative only if allow_negative was set;
+  /// |exp| must fit in max_exp_bits bits.
+  Result<BigInt> Pow(const BigInt& exp) const;
+
+  /// Same, leaving the result resident in the Montgomery domain.
+  Status PowMont(const BigInt& exp, MontgomeryContext::MontValue* out) const;
+
+  int max_exp_bits() const { return max_exp_bits_; }
+  int window_bits() const { return window_; }
+  bool allows_negative() const { return !neg_.empty(); }
+
+  // ---- Cost model (units: Montgomery multiplications), used for the
+  //      window choice and by callers deciding whether a table is worth
+  //      building at all (break-even fan-out).
+
+  /// Table-build cost for the window Create would pick.
+  static int64_t BuildCostMontMuls(int max_exp_bits, bool allow_negative,
+                                   int64_t fan_out_hint);
+  /// Expected per-Pow cost for the window Create would pick.
+  static int64_t PerCallMontMuls(int max_exp_bits, int64_t fan_out_hint);
+
+ private:
+  using MontValue = MontgomeryContext::MontValue;
+  using Table = std::vector<std::vector<MontValue>>;
+
+  static int ChooseWindow(int max_exp_bits, int64_t fan_out_hint);
+  Status BuildTable(const BigInt& base, Table* table) const;
+  Status PowMontFromTable(const Table& table, const BigInt& magnitude,
+                          MontValue* out) const;
+
+  const MontgomeryContext* ctx_ = nullptr;
+  int window_ = 0;
+  int max_exp_bits_ = 0;
+  Table pos_;  // pos_[j][d-1] = base^(d << (window_ j))
+  Table neg_;  // same for base^{-1}; empty unless allow_negative
+};
+
+}  // namespace ppstream

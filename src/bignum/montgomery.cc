@@ -35,12 +35,33 @@ MontgomeryContext::MontgomeryContext(const BigInt& modulus)
   const BigInt& rr = reduced.value();
   rr_.assign(k_, 0);
   for (size_t i = 0; i < k_; ++i) rr_[i] = rr.Limb(i);
+
+  Limbs one(k_, 0);
+  one[0] = 1;
+  MontMul(one, rr_, &one_mont_);
+}
+
+int MontgomeryContext::WindowBitsForExp(int exp_bits) {
+  // Thresholds minimize (2^w - 2) table-build multiplications plus the
+  // expected (bits / w) * (1 - 2^-w) window multiplications (squaring
+  // counts are window-independent to first order). Verified against the
+  // BM_MontgomeryModExp sweep in bench_micro_crypto.
+  if (exp_bits <= 5) return 1;
+  if (exp_bits <= 20) return 2;
+  if (exp_bits <= 96) return 3;
+  if (exp_bits <= 512) return 4;
+  if (exp_bits <= 1536) return 5;
+  return 6;
 }
 
 void MontgomeryContext::MontMul(const Limbs& a, const Limbs& b,
                                 Limbs* out) const {
-  // CIOS (coarsely integrated operand scanning), Koç et al.
-  std::vector<uint64_t> t(k_ + 2, 0);
+  // CIOS (coarsely integrated operand scanning), Koç et al. The scratch
+  // accumulator is thread-local so the inner loops of ModExp/ExpMont stop
+  // allocating per call; `out` is only written after the last read of
+  // `a`/`b`/`t`, so aliasing out with an input is safe.
+  thread_local Limbs t;
+  t.assign(k_ + 2, 0);
   for (size_t i = 0; i < k_; ++i) {
     // t += a[i] * b
     uint64_t carry = 0;
@@ -109,16 +130,26 @@ BigInt MontgomeryContext::FromMont(const Limbs& v) const {
   one[0] = 1;
   Limbs out;
   MontMul(v, one, &out);
-  // Assemble a BigInt from limbs (big-endian bytes path keeps BigInt's
-  // internals private without a friend constructor).
-  std::vector<uint8_t> bytes;
-  bytes.reserve(k_ * 8);
-  for (size_t i = k_; i-- > 0;) {
-    for (int shift = 56; shift >= 0; shift -= 8) {
-      bytes.push_back(static_cast<uint8_t>(out[i] >> shift));
-    }
-  }
-  return BigInt::FromBytes(bytes);
+  // Assemble the BigInt directly from limbs (MontgomeryContext is a
+  // friend; this path runs once per resident->canonical conversion).
+  BigInt result;
+  result.limbs_ = std::move(out);
+  result.Normalize();
+  return result;
+}
+
+MontgomeryContext::MontValue MontgomeryContext::ToMontgomery(
+    const BigInt& v) const {
+  return ToMont(v);
+}
+
+BigInt MontgomeryContext::FromMontgomery(const MontValue& v) const {
+  return FromMont(v);
+}
+
+void MontgomeryContext::MulMont(const MontValue& a, const MontValue& b,
+                                MontValue* out) const {
+  MontMul(a, b, out);
 }
 
 BigInt MontgomeryContext::ModMul(const BigInt& a, const BigInt& b) const {
@@ -129,44 +160,55 @@ BigInt MontgomeryContext::ModMul(const BigInt& a, const BigInt& b) const {
   return FromMont(prod);
 }
 
-BigInt MontgomeryContext::ModExp(const BigInt& base, const BigInt& exp) const {
+void MontgomeryContext::ExpMont(const MontValue& base, const BigInt& exp,
+                                MontValue* out) const {
   PPS_CHECK(!exp.IsNegative());
-  if (exp.IsZero()) return BigInt(1);
-
-  // Precompute base^0..base^15 in Montgomery form (4-bit fixed window).
-  constexpr int kWindow = 4;
-  Limbs one_mont;
-  {
-    Limbs one(k_, 0);
-    one[0] = 1;
-    MontMul(one, rr_, &one_mont);
+  if (exp.IsZero()) {
+    *out = one_mont_;
+    return;
   }
-  std::vector<Limbs> table(1 << kWindow);
-  table[0] = one_mont;
-  table[1] = ToMont(base);
+  if (exp.IsOne()) {
+    *out = base;
+    return;
+  }
+
+  const int bits = exp.BitLength();
+  const int window = WindowBitsForExp(bits);
+  // table[d] = base^d resident; entries 0 and 1 are free, so a 1-bit
+  // window (tiny exponents) builds nothing at all.
+  std::vector<Limbs> table(size_t{1} << window);
+  table[0] = one_mont_;
+  table[1] = base;
   for (size_t i = 2; i < table.size(); ++i) {
     MontMul(table[i - 1], table[1], &table[i]);
   }
 
-  const int bits = exp.BitLength();
-  const int windows = (bits + kWindow - 1) / kWindow;
-  Limbs acc = one_mont;
+  const int windows = (bits + window - 1) / window;
+  Limbs acc = one_mont_;
   Limbs tmp;
   for (int w = windows - 1; w >= 0; --w) {
-    for (int sq = 0; sq < kWindow; ++sq) {
+    for (int sq = 0; sq < window; ++sq) {
       MontMul(acc, acc, &tmp);
       acc.swap(tmp);
     }
     int digit = 0;
-    for (int b = kWindow - 1; b >= 0; --b) {
-      digit = (digit << 1) | exp.GetBit(w * kWindow + b);
+    for (int b = window - 1; b >= 0; --b) {
+      digit = (digit << 1) | exp.GetBit(w * window + b);
     }
     if (digit != 0) {
       MontMul(acc, table[digit], &tmp);
       acc.swap(tmp);
     }
   }
-  return FromMont(acc);
+  out->swap(acc);
+}
+
+BigInt MontgomeryContext::ModExp(const BigInt& base, const BigInt& exp) const {
+  PPS_CHECK(!exp.IsNegative());
+  if (exp.IsZero()) return BigInt(1);
+  Limbs result;
+  ExpMont(ToMont(base), exp, &result);
+  return FromMont(result);
 }
 
 }  // namespace ppstream

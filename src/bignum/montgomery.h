@@ -3,6 +3,12 @@
 // Precomputes R^2 mod n and -n^{-1} mod 2^64 once per modulus so repeated
 // ModExp calls against the same modulus (the hot path in Paillier) avoid
 // per-operation divisions. Word-level CIOS reduction.
+//
+// Besides the BigInt-in/BigInt-out API, the context exposes the Montgomery
+// domain itself (`MontValue`): hot paths keep values resident across long
+// Add/ScalarMul chains and convert only at stage boundaries, instead of
+// paying a ToMont/FromMont round trip per operation. Residents of one
+// context are meaningless in another.
 
 #pragma once
 
@@ -16,17 +22,45 @@ namespace ppstream {
 /// Reusable Montgomery domain for a fixed odd modulus n > 1.
 class MontgomeryContext {
  public:
+  /// A value resident in the Montgomery domain: exactly limb_count()
+  /// little-endian 64-bit limbs, always < n.
+  using MontValue = std::vector<uint64_t>;
+
   /// `modulus` must be odd and > 1 (checked).
   explicit MontgomeryContext(const BigInt& modulus);
 
   /// base^exp mod n, with base in [0, n) and exp >= 0.
-  /// Left-to-right 4-bit fixed-window exponentiation.
+  /// Left-to-right fixed-window exponentiation; the window size adapts to
+  /// the exponent bit length (see WindowBitsForExp).
   BigInt ModExp(const BigInt& base, const BigInt& exp) const;
 
   /// (a * b) mod n with a, b in [0, n).
   BigInt ModMul(const BigInt& a, const BigInt& b) const;
 
+  // ---- Montgomery-resident API.
+
+  /// v * R mod n (v is truncated to limb_count() limbs; callers pass
+  /// values already reduced below n).
+  MontValue ToMontgomery(const BigInt& v) const;
+  /// Canonical representative in [0, n) of a resident value.
+  BigInt FromMontgomery(const MontValue& v) const;
+  /// REDC(a * b) for residents a, b; out < n. `out` may alias `a` or `b`.
+  void MulMont(const MontValue& a, const MontValue& b, MontValue* out) const;
+  /// base^exp for a resident base and exp >= 0; *out is resident.
+  void ExpMont(const MontValue& base, const BigInt& exp,
+               MontValue* out) const;
+  /// 1 in Montgomery form (R mod n) — the multiplicative identity.
+  const MontValue& OneMont() const { return one_mont_; }
+
+  size_t limb_count() const { return k_; }
   const BigInt& modulus() const { return modulus_; }
+
+  /// Window size (bits) ExpMont uses for an `exp_bits`-bit exponent.
+  /// Balances the 2^w - 2 table-build multiplications against the
+  /// bits/w-ish saved multiplications, so tiny exponents (quantized
+  /// weights, Negate's exponent 1) stop paying a 16-entry table build.
+  /// Exposed for FixedBaseExp's cost model and for tests.
+  static int WindowBitsForExp(int exp_bits);
 
  private:
   using Limbs = std::vector<uint64_t>;
@@ -41,6 +75,7 @@ class MontgomeryContext {
   size_t k_;         // limb count of n
   uint64_t n0_inv_;  // -n^{-1} mod 2^64
   Limbs rr_;         // R^2 mod n, R = 2^(64 k_)
+  Limbs one_mont_;   // R mod n
 };
 
 }  // namespace ppstream

@@ -1,12 +1,21 @@
 #include "core/affine.h"
 
+#include <algorithm>
 #include <cmath>
+#include <mutex>
 
 #include "core/fixed_point.h"
 #include "nn/layers.h"
 #include "util/logging.h"
 
 namespace ppstream {
+
+// Profiled on 512-bit keys (bench_micro_crypto, EXPERIMENTS.md): a
+// minimal-window table build costs ~24.5us while each table-backed
+// ScalarMul saves ~3us (4-bit weights) to ~15us (17-bit weights) over
+// per-call ExpMont, putting break-even between 2 and 8 reuses. 4 is the
+// measured middle for the 10-20-bit weights quantization produces.
+const int64_t IntegerAffineLayer::kFixedBaseBreakEvenFanOut = 4;
 
 namespace {
 
@@ -211,9 +220,179 @@ Result<Tensor<BigInt>> IntegerAffineLayer::ApplyPlain(
   return out;
 }
 
+namespace {
+
+/// Lazily-built Montgomery residents (and inverses) of the input slots,
+/// local to one row-slice evaluation (one thread).
+class ResidentInputs {
+ public:
+  ResidentInputs(const MontgomeryContext& ctx,
+                 const std::vector<Ciphertext>& in)
+      : ctx_(ctx), in_(in), mont_(in.size()), inv_(in.size()) {}
+
+  const MontgomeryContext::MontValue& Mont(size_t pos) {
+    if (mont_[pos].empty()) mont_[pos] = ctx_.ToMontgomery(in_[pos].value);
+    return mont_[pos];
+  }
+
+  Result<const MontgomeryContext::MontValue*> Inverse(size_t pos) {
+    if (inv_[pos].empty()) {
+      PPS_ASSIGN_OR_RETURN(
+          BigInt v, BigInt::ModInverse(in_[pos].value, ctx_.modulus()));
+      inv_[pos] = ctx_.ToMontgomery(v);
+    }
+    return &inv_[pos];
+  }
+
+ private:
+  const MontgomeryContext& ctx_;
+  const std::vector<Ciphertext>& in_;
+  std::vector<MontgomeryContext::MontValue> mont_;
+  std::vector<MontgomeryContext::MontValue> inv_;
+};
+
+/// Shared row-slice core for the whole-tensor and sub-tensor paths.
+/// `sub_indices == nullptr` means `in` is the full input (slot i at
+/// position i); otherwise `in[p]` holds slot (*sub_indices)[p].
+Result<std::vector<Ciphertext>> EvalEncryptedRows(
+    const PaillierPublicKey& pk, const std::vector<AffineRow>& rows,
+    size_t row_begin, size_t row_end, const std::vector<Ciphertext>& in,
+    const std::vector<uint32_t>* sub_indices,
+    const EncryptedStageCache* cache) {
+  const MontgomeryContext& ctx = pk.ctx_n2();
+  ResidentInputs resident(ctx, in);
+  auto position_of = [&](uint32_t slot) -> size_t {
+    if (sub_indices == nullptr) return slot;
+    return static_cast<size_t>(
+        std::lower_bound(sub_indices->begin(), sub_indices->end(), slot) -
+        sub_indices->begin());
+  };
+
+  std::vector<Ciphertext> out;
+  out.reserve(row_end - row_begin);
+  MontgomeryContext::MontValue acc, term;
+  for (size_t j = row_begin; j < row_end; ++j) {
+    const AffineRow& row = rows[j];
+    // Identity rows (Flatten and friends) forward the ciphertext — the
+    // same bits the generic path yields, since E(0; r=1) * c^1 = c.
+    if (row.terms.size() == 1 && row.terms[0].weight == 1 &&
+        row.bias.IsZero()) {
+      out.push_back(in[position_of(row.terms[0].input_index)]);
+      continue;
+    }
+    // Eq. (3): prod_i E(m_i)^{w_i} * E(b), accumulated in the Montgomery
+    // domain; one conversion back per output element.
+    acc = ctx.OneMont();  // E(0) with r = 1
+    for (const AffineTerm& t : row.terms) {
+      if (t.weight == 0) continue;  // c^0 = 1, the accumulation identity
+      const FixedBaseExp* base =
+          (cache != nullptr && t.input_index < cache->bases.size())
+              ? cache->bases[t.input_index].get()
+              : nullptr;
+      if (base != nullptr) {
+        PPS_RETURN_IF_ERROR(base->PowMont(BigInt(t.weight), &term));
+      } else {
+        const size_t pos = position_of(t.input_index);
+        if (t.weight == 1) {
+          ctx.MulMont(acc, resident.Mont(pos), &acc);
+          continue;
+        }
+        const int64_t mag = t.weight < 0 ? -t.weight : t.weight;
+        if (t.weight < 0) {
+          PPS_ASSIGN_OR_RETURN(const MontgomeryContext::MontValue* inv,
+                               resident.Inverse(pos));
+          ctx.ExpMont(*inv, BigInt(mag), &term);
+        } else {
+          ctx.ExpMont(resident.Mont(pos), BigInt(mag), &term);
+        }
+      }
+      ctx.MulMont(acc, term, &acc);
+    }
+    if (!row.bias.IsZero()) {
+      PPS_ASSIGN_OR_RETURN(
+          MontCiphertext with_bias,
+          Paillier::AddPlainMont(pk, MontCiphertext{std::move(acc)},
+                                 row.bias));
+      acc = std::move(with_bias.m);
+    }
+    out.push_back(Ciphertext{ctx.FromMontgomery(acc)});
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<EncryptedStageCache> IntegerAffineLayer::BuildEncryptedStageCache(
+    const PaillierPublicKey& pk, const std::vector<Ciphertext>& in,
+    ThreadPool* pool, int64_t min_fan_out) const {
+  if (in.size() != static_cast<size_t>(in_shape_.NumElements())) {
+    return Status::InvalidArgument(
+        internal::StrCat(name_, ": cache input has ", in.size(),
+                         " slots, expected ", in_shape_.NumElements()));
+  }
+  if (min_fan_out <= 0) min_fan_out = kFixedBaseBreakEvenFanOut;
+
+  struct SlotProfile {
+    int64_t fan_out = 0;
+    int max_weight_bits = 0;
+    bool has_negative = false;
+  };
+  std::vector<SlotProfile> profile(in.size());
+  for (const AffineRow& row : rows_) {
+    for (const AffineTerm& t : row.terms) {
+      SlotProfile& p = profile[t.input_index];
+      ++p.fan_out;
+      p.max_weight_bits =
+          std::max(p.max_weight_bits, BigInt(t.weight).BitLength());
+      p.has_negative |= t.weight < 0;
+    }
+  }
+
+  EncryptedStageCache cache;
+  cache.bases.resize(in.size());
+  std::vector<size_t> to_build;
+  for (size_t i = 0; i < profile.size(); ++i) {
+    // Weight-(+/-)1 slots never pay squarings, so a table buys nothing.
+    if (profile[i].fan_out >= min_fan_out && profile[i].max_weight_bits >= 2) {
+      to_build.push_back(i);
+    }
+  }
+  if (to_build.empty()) return cache;
+
+  auto build_one = [&](size_t slot) -> Status {
+    const SlotProfile& p = profile[slot];
+    PPS_ASSIGN_OR_RETURN(
+        FixedBaseExp base,
+        Paillier::PrecomputeScalarMulBase(pk, in[slot], p.max_weight_bits,
+                                          p.has_negative, p.fan_out));
+    cache.bases[slot] = std::make_shared<const FixedBaseExp>(std::move(base));
+    return Status::OK();
+  };
+
+  if (pool != nullptr && pool->num_threads() > 1 && to_build.size() > 1) {
+    std::mutex error_mutex;
+    Status first_error;
+    pool->ParallelFor(0, to_build.size(), [&](size_t i) {
+      Status st = build_one(to_build[i]);
+      if (!st.ok()) {
+        std::lock_guard<std::mutex> lock(error_mutex);
+        if (first_error.ok()) first_error = std::move(st);
+      }
+    });
+    PPS_RETURN_IF_ERROR(first_error);
+  } else {
+    for (size_t slot : to_build) {
+      PPS_RETURN_IF_ERROR(build_one(slot));
+    }
+  }
+  cache.tables_built = static_cast<int64_t>(to_build.size());
+  return cache;
+}
+
 Result<std::vector<Ciphertext>> IntegerAffineLayer::ApplyEncryptedRows(
     const PaillierPublicKey& pk, const std::vector<Ciphertext>& in,
-    size_t row_begin, size_t row_end) const {
+    size_t row_begin, size_t row_end,
+    const EncryptedStageCache* cache) const {
   if (in.size() != static_cast<size_t>(in_shape_.NumElements())) {
     return Status::InvalidArgument(
         internal::StrCat(name_, ": encrypted input has ", in.size(),
@@ -222,23 +401,34 @@ Result<std::vector<Ciphertext>> IntegerAffineLayer::ApplyEncryptedRows(
   if (row_begin > row_end || row_end > rows_.size()) {
     return Status::OutOfRange("row slice out of range");
   }
-  std::vector<Ciphertext> out;
-  out.reserve(row_end - row_begin);
-  for (size_t j = row_begin; j < row_end; ++j) {
-    // Eq. (3): prod_i E(m_i)^{w_i} * E(b).
-    Ciphertext acc = Paillier::EncryptZeroDeterministic(pk);
-    for (const AffineTerm& t : rows_[j].terms) {
-      PPS_ASSIGN_OR_RETURN(
-          Ciphertext term,
-          Paillier::ScalarMul(pk, in[t.input_index], BigInt(t.weight)));
-      acc = Paillier::Add(pk, acc, term);
-    }
-    if (!rows_[j].bias.IsZero()) {
-      PPS_ASSIGN_OR_RETURN(acc, Paillier::AddPlain(pk, acc, rows_[j].bias));
-    }
-    out.push_back(std::move(acc));
+  return EvalEncryptedRows(pk, rows_, row_begin, row_end, in,
+                           /*sub_indices=*/nullptr, cache);
+}
+
+Result<std::vector<Ciphertext>> IntegerAffineLayer::ApplyEncryptedRowsSub(
+    const PaillierPublicKey& pk, const std::vector<Ciphertext>& sub,
+    const std::vector<uint32_t>& sub_indices, size_t row_begin,
+    size_t row_end, const EncryptedStageCache* cache) const {
+  if (sub.size() != sub_indices.size()) {
+    return Status::InvalidArgument(
+        internal::StrCat(name_, ": sub-tensor has ", sub.size(),
+                         " slots but ", sub_indices.size(), " indices"));
   }
-  return out;
+  if (row_begin > row_end || row_end > rows_.size()) {
+    return Status::OutOfRange("row slice out of range");
+  }
+  for (size_t j = row_begin; j < row_end; ++j) {
+    for (const AffineTerm& t : rows_[j].terms) {
+      if (!std::binary_search(sub_indices.begin(), sub_indices.end(),
+                              t.input_index)) {
+        return Status::InvalidArgument(internal::StrCat(
+            name_, ": row ", j, " taps slot ", t.input_index,
+            " missing from the sub-tensor"));
+      }
+    }
+  }
+  return EvalEncryptedRows(pk, rows_, row_begin, row_end, sub, &sub_indices,
+                           cache);
 }
 
 Result<Tensor<Ciphertext>> IntegerAffineLayer::ApplyEncrypted(

@@ -14,6 +14,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -22,6 +23,7 @@
 #include "nn/layer.h"
 #include "tensor/tensor.h"
 #include "util/status.h"
+#include "util/thread_pool.h"
 
 namespace ppstream {
 
@@ -36,6 +38,18 @@ struct AffineTerm {
 struct AffineRow {
   std::vector<AffineTerm> terms;
   BigInt bias;  // already at the row's output scale
+};
+
+/// Per-evaluation cache of fixed-base exponent tables, one per input slot
+/// whose fan-out (number of rows tapping it) crosses the break-even
+/// threshold. Tables depend on the ciphertexts, so the cache is built once
+/// per encrypted input tensor and shared read-only by every row slice /
+/// worker thread of that evaluation. Slots below break-even stay null and
+/// fall back to per-call ExpMont.
+struct EncryptedStageCache {
+  /// bases[i] covers input slot i, or null when no table was built for it.
+  std::vector<std::shared_ptr<const FixedBaseExp>> bases;
+  int64_t tables_built = 0;
 };
 
 /// A linear layer lowered to integer form.
@@ -67,13 +81,39 @@ class IntegerAffineLayer {
   /// CipherBase-free fast path in tests).
   Result<Tensor<BigInt>> ApplyPlain(const Tensor<BigInt>& in) const;
 
+  /// Fan-out at which building a fixed-base table for an input slot beats
+  /// per-call ExpMont (profiled on 512-bit keys with quantized-weight
+  /// exponents; see DESIGN.md §8 and bench_micro_crypto).
+  static const int64_t kFixedBaseBreakEvenFanOut;
+
+  /// Profiles the layer's fan-out per input slot and precomputes
+  /// fixed-base tables for every slot tapped by at least `min_fan_out`
+  /// rows (0 means kFixedBaseBreakEvenFanOut). Table builds parallelize
+  /// over `pool` when given. The returned cache is read-only and safe to
+  /// share across the threads evaluating this layer on `in`.
+  Result<EncryptedStageCache> BuildEncryptedStageCache(
+      const PaillierPublicKey& pk, const std::vector<Ciphertext>& in,
+      ThreadPool* pool = nullptr, int64_t min_fan_out = 0) const;
+
   /// Homomorphic evaluation on ciphertexts (model-provider hot path).
   /// `row_begin`/`row_end` select a slice of output elements, enabling
   /// output-tensor partitioning across threads; pass 0, rows().size() for
-  /// the whole output.
+  /// the whole output. Rows accumulate Montgomery-resident and convert
+  /// back once per output element; with a `cache` (built on this exact
+  /// `in`), high-fan-out slots use its fixed-base tables.
   Result<std::vector<Ciphertext>> ApplyEncryptedRows(
       const PaillierPublicKey& pk, const std::vector<Ciphertext>& in,
-      size_t row_begin, size_t row_end) const;
+      size_t row_begin, size_t row_end,
+      const EncryptedStageCache* cache = nullptr) const;
+
+  /// Same, against an input sub-tensor: `sub` holds only the slots listed
+  /// in `sub_indices` (sorted, unique — a ThreadWork::input_indices), and
+  /// rows [row_begin, row_end) may only tap those slots. `cache` is still
+  /// indexed by ORIGINAL input slot.
+  Result<std::vector<Ciphertext>> ApplyEncryptedRowsSub(
+      const PaillierPublicKey& pk, const std::vector<Ciphertext>& sub,
+      const std::vector<uint32_t>& sub_indices, size_t row_begin,
+      size_t row_end, const EncryptedStageCache* cache = nullptr) const;
 
   Result<Tensor<Ciphertext>> ApplyEncrypted(
       const PaillierPublicKey& pk, const Tensor<Ciphertext>& in) const;

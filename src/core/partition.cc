@@ -46,7 +46,8 @@ Result<PartitionPlan> PartitionOp(const IntegerAffineLayer& op,
 Result<std::vector<Ciphertext>> ApplyEncryptedPartitioned(
     const PaillierPublicKey& pk, const IntegerAffineLayer& op,
     const std::vector<Ciphertext>& in, const PartitionPlan& partition,
-    bool input_partitioning, ThreadPool* pool) {
+    bool input_partitioning, ThreadPool* pool,
+    const EncryptedStageCache* cache) {
   if (in.size() != static_cast<size_t>(op.input_shape().NumElements())) {
     return Status::InvalidArgument("partitioned apply: input size mismatch");
   }
@@ -64,50 +65,13 @@ Result<std::vector<Ciphertext>> ApplyEncryptedPartitioned(
       std::vector<Ciphertext> sub;
       sub.reserve(work.input_indices.size());
       for (uint32_t idx : work.input_indices) sub.push_back(in[idx]);
-
-      std::vector<Ciphertext> local(work.row_end - work.row_begin);
-      for (size_t j = work.row_begin; j < work.row_end; ++j) {
-        Ciphertext acc = Paillier::EncryptZeroDeterministic(pk);
-        bool row_ok = true;
-        for (const AffineTerm& term : op.rows()[j].terms) {
-          const auto it = std::lower_bound(work.input_indices.begin(),
-                                           work.input_indices.end(),
-                                           term.input_index);
-          const size_t sub_idx = static_cast<size_t>(
-              it - work.input_indices.begin());
-          auto scaled =
-              Paillier::ScalarMul(pk, sub[sub_idx], BigInt(term.weight));
-          if (!scaled.ok()) {
-            std::lock_guard<std::mutex> lock(error_mutex);
-            if (first_error.ok()) first_error = scaled.status();
-            failed = true;
-            row_ok = false;
-            break;
-          }
-          acc = Paillier::Add(pk, acc, scaled.value());
-        }
-        if (!row_ok) break;
-        if (!op.rows()[j].bias.IsZero()) {
-          auto with_bias = Paillier::AddPlain(pk, acc, op.rows()[j].bias);
-          if (!with_bias.ok()) {
-            std::lock_guard<std::mutex> lock(error_mutex);
-            if (first_error.ok()) first_error = with_bias.status();
-            failed = true;
-            break;
-          }
-          acc = std::move(with_bias).value();
-        }
-        local[j - work.row_begin] = std::move(acc);
-      }
-      if (!failed) {
-        for (size_t j = work.row_begin; j < work.row_end; ++j) {
-          out[j] = std::move(local[j - work.row_begin]);
-        }
-      }
-      return;
+      slice = op.ApplyEncryptedRowsSub(pk, sub, work.input_indices,
+                                       work.row_begin, work.row_end, cache);
+    } else {
+      // Whole-tensor path (the Exp#4 baseline).
+      slice = op.ApplyEncryptedRows(pk, in, work.row_begin, work.row_end,
+                                    cache);
     }
-    // Whole-tensor path (the Exp#4 baseline).
-    slice = op.ApplyEncryptedRows(pk, in, work.row_begin, work.row_end);
     if (!slice.ok()) {
       std::lock_guard<std::mutex> lock(error_mutex);
       if (first_error.ok()) first_error = slice.status();

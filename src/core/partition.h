@@ -53,10 +53,13 @@ Result<PartitionPlan> PartitionOp(const IntegerAffineLayer& op,
 /// If `input_partitioning` is set, each thread first materializes its
 /// input sub-tensor (modelling the per-thread message of a distributed
 /// deployment) and computes from it; otherwise each thread reads the whole
-/// input. The two paths produce identical ciphertext outputs.
+/// input. The two paths produce identical ciphertext outputs. `cache`
+/// (built via op.BuildEncryptedStageCache on this exact `in`) shares
+/// fixed-base tables across all threads; null evaluates without tables.
 Result<std::vector<Ciphertext>> ApplyEncryptedPartitioned(
     const PaillierPublicKey& pk, const IntegerAffineLayer& op,
     const std::vector<Ciphertext>& in, const PartitionPlan& partition,
-    bool input_partitioning, ThreadPool* pool);
+    bool input_partitioning, ThreadPool* pool,
+    const EncryptedStageCache* cache = nullptr);
 
 }  // namespace ppstream

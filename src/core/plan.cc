@@ -19,6 +19,15 @@ const BigInt& InferencePlan::MaxMagnitude() const {
   return *max;
 }
 
+int64_t InferencePlan::EncryptionsPerRequest() const {
+  int64_t total = input_shape.NumElements();
+  // Every non-final stage output comes back re-encrypted.
+  for (size_t r = 0; r + 1 < linear_stages.size(); ++r) {
+    total += linear_stages[r].output_shape.NumElements();
+  }
+  return total;
+}
+
 Status InferencePlan::CheckFitsKey(const BigInt& n) const {
   const BigInt half = n >> 1;
   const BigInt& max = MaxMagnitude();

@@ -69,6 +69,12 @@ struct InferencePlan {
 
   size_t NumRounds() const { return linear_stages.size(); }
 
+  /// Elements the data provider encrypts per request: the input tensor
+  /// plus every re-encrypted intermediate tensor. Sizes the
+  /// RandomizerPool so one request's worth of randomizers is ready.
+  /// Readable on a data-provider view (uses shapes only).
+  int64_t EncryptionsPerRequest() const;
+
   /// Largest magnitude bound across stages; must stay below n/2.
   const BigInt& MaxMagnitude() const;
 

@@ -1,5 +1,6 @@
 #include "core/protocol.h"
 
+#include <algorithm>
 #include <cmath>
 #include <functional>
 
@@ -25,13 +26,27 @@ Status ProbeFault(const std::shared_ptr<FaultInjector>& fault,
 
 ModelProvider::ModelProvider(std::shared_ptr<const InferencePlan> plan,
                              PaillierPublicKey pk, uint64_t obf_seed)
+    : ModelProvider(std::move(plan), std::move(pk), obf_seed, Options()) {}
+
+ModelProvider::ModelProvider(std::shared_ptr<const InferencePlan> plan,
+                             PaillierPublicKey pk, uint64_t obf_seed,
+                             Options options)
     : plan_(std::move(plan)),
       pk_(std::move(pk)),
+      options_(options),
       obf_rng_(SecureRng::FromSeed(obf_seed)) {
   PPS_CHECK(plan_ != nullptr);
   PPS_CHECK(!plan_->is_data_provider_view)
       << "a data-provider view carries no weights and cannot drive the "
          "model provider";
+  if (options_.rerandomize_outputs) {
+    RandomizerPool::Options pool_options;
+    pool_options.capacity =
+        std::max<size_t>(options_.randomizer_pool_capacity, 1);
+    uint64_t pool_seed = obf_seed ^ 0xC2B2AE3D27D4EB4FULL;
+    rerand_pool_ = std::make_unique<RandomizerPool>(
+        pk_, SplitMix64(pool_seed), pool_options);
+  }
 }
 
 Result<std::vector<Ciphertext>> ModelProvider::InverseObfuscate(
@@ -64,15 +79,21 @@ Result<std::vector<Ciphertext>> ModelProvider::ApplyLinearStage(
   const LinearStage& stage = plan_->linear_stages[round];
   std::vector<Ciphertext> current = in;
   for (const IntegerAffineLayer& op : stage.ops) {
+    // Fixed-base tables for the high-fan-out input slots of this op,
+    // shared by every worker thread evaluating it (DESIGN.md §8).
+    PPS_ASSIGN_OR_RETURN(EncryptedStageCache cache,
+                         op.BuildEncryptedStageCache(pk_, current, pool));
     if (pool != nullptr && pool->num_threads() > 1) {
       PPS_ASSIGN_OR_RETURN(PartitionPlan partition,
                            PartitionOp(op, pool->num_threads()));
       PPS_ASSIGN_OR_RETURN(
-          current, ApplyEncryptedPartitioned(pk_, op, current, partition,
-                                             input_partitioning, pool));
+          current,
+          ApplyEncryptedPartitioned(pk_, op, current, partition,
+                                    input_partitioning, pool, &cache));
     } else {
       PPS_ASSIGN_OR_RETURN(
-          current, op.ApplyEncryptedRows(pk_, current, 0, op.rows().size()));
+          current, op.ApplyEncryptedRows(pk_, current, 0, op.rows().size(),
+                                         &cache));
     }
   }
   return current;
@@ -81,6 +102,14 @@ Result<std::vector<Ciphertext>> ModelProvider::ApplyLinearStage(
 Result<std::vector<Ciphertext>> ModelProvider::Obfuscate(
     uint64_t request_id, size_t round, std::vector<Ciphertext> in) {
   PPS_RETURN_IF_ERROR(ProbeFault(fault_, "mp.Obfuscate"));
+  if (rerand_pool_ != nullptr) {
+    // Fresh r^n per slot (one ModMul each) so the bits leaving the model
+    // provider are unlinkable to the stage computation. The plaintexts —
+    // and thus the decrypted protocol output — are untouched.
+    for (Ciphertext& c : in) {
+      c = rerand_pool_->Rerandomize(c);
+    }
+  }
   Permutation perm;
   {
     std::lock_guard<std::mutex> lock(mutex_);
@@ -143,10 +172,17 @@ Result<Permutation> ModelProvider::GetStoredPermutationForTesting(
 
 DataProvider::DataProvider(std::shared_ptr<const InferencePlan> plan,
                            PaillierKeyPair keys, uint64_t enc_seed)
-    : plan_(std::move(plan)),
-      keys_(std::move(keys)),
-      enc_seed_(enc_seed) {
+    : plan_(std::move(plan)), keys_(std::move(keys)) {
   PPS_CHECK(plan_ != nullptr);
+  // One request's worth of randomizers, clamped to keep pathological plans
+  // from pinning unbounded memory (each entry is a full n^2-width value).
+  RandomizerPool::Options pool_options;
+  pool_options.capacity = static_cast<size_t>(
+      std::min<int64_t>(std::max<int64_t>(plan_->EncryptionsPerRequest(), 16),
+                        4096));
+  uint64_t pool_seed = enc_seed ^ 0x9E3779B97F4A7C15ULL;
+  enc_pool_ = std::make_unique<RandomizerPool>(
+      keys_.public_key, SplitMix64(pool_seed), pool_options);
 }
 
 Result<std::vector<Ciphertext>> DataProvider::EncryptInput(
@@ -157,19 +193,19 @@ Result<std::vector<Ciphertext>> DataProvider::EncryptInput(
         internal::StrCat("input shape ", input.shape().ToString(),
                          " != plan input ", plan_->input_shape.ToString()));
   }
-  // Each element derives its own CSPRNG stream from (seed, salt, index) —
-  // the same scheme as the parallel paths — so concurrent stages never
-  // share encryption RNG state.
+  // One batch take covers the tensor: pool-served randomizers make each
+  // encryption a single ModMul, and slot i deterministically receives the
+  // i-th randomizer of the batch.
+  std::vector<BigInt> rns =
+      enc_pool_->TakeMany(static_cast<size_t>(input.NumElements()));
   std::vector<Ciphertext> out;
   out.reserve(static_cast<size_t>(input.NumElements()));
-  const uint64_t salt = rng_salt_.fetch_add(1);
   for (int64_t i = 0; i < input.NumElements(); ++i) {
     const int64_t q = QuantizeValue(input[i], plan_->scale);
-    uint64_t mix = enc_seed_ + salt * 0x9E3779B97F4A7C15ULL +
-                   static_cast<uint64_t>(i);
-    SecureRng rng = SecureRng::FromSeed(SplitMix64(mix));
     PPS_ASSIGN_OR_RETURN(
-        Ciphertext c, Paillier::Encrypt(keys_.public_key, BigInt(q), rng));
+        Ciphertext c,
+        Paillier::EncryptWithRandomizer(keys_.public_key, BigInt(q),
+                                        rns[static_cast<size_t>(i)]));
     out.push_back(std::move(c));
   }
   return out;
@@ -240,20 +276,18 @@ Result<std::vector<Ciphertext>> DataProvider::ProcessIntermediate(
 
   PPS_ASSIGN_OR_RETURN(DoubleTensor activated, ApplySegment(round, values));
 
-  // Re-quantize at F and re-encrypt (Step 2.3). Each element derives its
-  // own CSPRNG stream from (seed, salt, index), so the ciphertext bits do
-  // not depend on pool size and no RNG state is shared with the encrypt
-  // stage running concurrently for other requests.
+  // Re-quantize at F and re-encrypt (Step 2.3). The batch take assigns
+  // pool randomizers to slots in stream order; misses are raised across
+  // `pool`, and the remaining per-element work is one ModMul.
+  std::vector<BigInt> rns = enc_pool_->TakeMany(in.size(), pool);
   std::vector<Ciphertext> out(in.size());
-  const uint64_t salt = rng_salt_.fetch_add(1);
   PPS_RETURN_IF_ERROR(ForEachMaybeParallel(
       in.size(), pool, [&](size_t i) -> Status {
         const int64_t q =
             QuantizeValue(activated[static_cast<int64_t>(i)], plan_->scale);
-        uint64_t mix = enc_seed_ + salt * 0x9E3779B97F4A7C15ULL + i;
-        SecureRng rng = SecureRng::FromSeed(SplitMix64(mix));
         PPS_ASSIGN_OR_RETURN(
-            out[i], Paillier::Encrypt(keys_.public_key, BigInt(q), rng));
+            out[i], Paillier::EncryptWithRandomizer(keys_.public_key,
+                                                    BigInt(q), rns[i]));
         return Status::OK();
       }));
   return out;
@@ -268,16 +302,16 @@ Result<std::vector<Ciphertext>> DataProvider::EncryptInputParallel(
   if (input.shape() != plan_->input_shape) {
     return Status::InvalidArgument("input shape mismatch");
   }
+  std::vector<BigInt> rns =
+      enc_pool_->TakeMany(static_cast<size_t>(input.NumElements()), pool);
   std::vector<Ciphertext> out(static_cast<size_t>(input.NumElements()));
-  const uint64_t salt = rng_salt_.fetch_add(1);
   PPS_RETURN_IF_ERROR(ForEachMaybeParallel(
       out.size(), pool, [&](size_t i) -> Status {
         const int64_t q =
             QuantizeValue(input[static_cast<int64_t>(i)], plan_->scale);
-        uint64_t mix = enc_seed_ + salt * 0x9E3779B97F4A7C15ULL + i;
-        SecureRng rng = SecureRng::FromSeed(SplitMix64(mix));
         PPS_ASSIGN_OR_RETURN(
-            out[i], Paillier::Encrypt(keys_.public_key, BigInt(q), rng));
+            out[i], Paillier::EncryptWithRandomizer(keys_.public_key,
+                                                    BigInt(q), rns[i]));
         return Status::OK();
       }));
   return out;

@@ -36,6 +36,7 @@
 #include "core/plan.h"
 #include "crypto/paillier.h"
 #include "crypto/permutation.h"
+#include "crypto/randomizer_pool.h"
 #include "nn/dataset.h"
 #include "util/fault.h"
 #include "util/status.h"
@@ -147,9 +148,23 @@ class DataProviderApi {
 /// all linear operations homomorphically, and manages obfuscation.
 class ModelProvider : public ModelProviderApi {
  public:
-  /// `obf_seed` seeds the permutation CSPRNG (fresh randomness per round).
+  struct Options {
+    /// Rerandomize stage outputs (pool-backed, one ModMul each) before
+    /// permuting in Obfuscate, so the ciphertext bits leaving the model
+    /// provider carry fresh randomness. Off by default: the permutation
+    /// alone is the paper's obfuscation, and the default keeps the
+    /// protocol output bits unchanged.
+    bool rerandomize_outputs = false;
+    /// Randomizer pool capacity when rerandomize_outputs is set.
+    size_t randomizer_pool_capacity = 256;
+  };
+
+  /// `obf_seed` seeds the permutation CSPRNG (fresh randomness per round)
+  /// and, when enabled, the rerandomizer pool.
   ModelProvider(std::shared_ptr<const InferencePlan> plan,
                 PaillierPublicKey pk, uint64_t obf_seed);
+  ModelProvider(std::shared_ptr<const InferencePlan> plan,
+                PaillierPublicKey pk, uint64_t obf_seed, Options options);
 
   const InferencePlan& plan() const override { return *plan_; }
   const PaillierPublicKey& public_key() const { return pk_; }
@@ -197,10 +212,14 @@ class ModelProvider : public ModelProviderApi {
  private:
   std::shared_ptr<const InferencePlan> plan_;
   PaillierPublicKey pk_;
+  Options options_;
   std::shared_ptr<FaultInjector> fault_;
   mutable std::mutex mutex_;
   SecureRng obf_rng_;
   std::map<std::pair<uint64_t, size_t>, Permutation> permutations_;
+  /// Precomputed r^n values for output rerandomization; null unless
+  /// options_.rerandomize_outputs.
+  std::unique_ptr<RandomizerPool> rerand_pool_;
 };
 
 /// The data provider: owns the key pair and the raw input, executes all
@@ -245,11 +264,13 @@ class DataProvider : public DataProviderApi {
   std::shared_ptr<const InferencePlan> plan_;
   PaillierKeyPair keys_;
   std::shared_ptr<FaultInjector> fault_;
-  // Encryption randomness is derived per (seed, salt, element) rather than
-  // drawn from a shared SecureRng: pipeline stages encrypt concurrently for
-  // different requests, and shared RNG state would race.
-  uint64_t enc_seed_;
-  std::atomic<uint64_t> rng_salt_{1};
+  // Precomputed r^n randomizers, sized for one request's worth of
+  // encryptions (plan->EncryptionsPerRequest()) and refilled by the
+  // pool's background thread between requests — the request path pays one
+  // ModMul per element. Batch takes assign randomizers to tensor slots in
+  // stream order, and the pool serializes production internally, so
+  // concurrent pipeline stages never race on RNG state.
+  std::unique_ptr<RandomizerPool> enc_pool_;
 };
 
 /// Drives the full synchronous protocol for one input (the streaming

@@ -179,4 +179,87 @@ Ciphertext Paillier::EncryptZeroDeterministic(const PaillierPublicKey& pk) {
   return Ciphertext{BigInt(1)};  // g^0 * 1^n = 1
 }
 
+Result<Ciphertext> Paillier::EncryptWithRandomizer(const PaillierPublicKey& pk,
+                                                   const BigInt& m,
+                                                   const BigInt& rn) {
+  PPS_ASSIGN_OR_RETURN(BigInt encoded, EncodeSigned(pk, m));
+  PPS_ASSIGN_OR_RETURN(BigInt gm,
+                       (BigInt(1) + encoded * pk.n()).Mod(pk.n_squared()));
+  return Ciphertext{pk.ctx_n2().ModMul(gm, rn)};
+}
+
+Ciphertext Paillier::RerandomizeWithRandomizer(const PaillierPublicKey& pk,
+                                               const Ciphertext& c,
+                                               const BigInt& rn) {
+  return Ciphertext{pk.ctx_n2().ModMul(c.value, rn)};
+}
+
+Result<FixedBaseExp> Paillier::PrecomputeScalarMulBase(
+    const PaillierPublicKey& pk, const Ciphertext& c, int max_weight_bits,
+    bool allow_negative, int64_t fan_out_hint) {
+  return FixedBaseExp::Create(pk.ctx_n2(), c.value, max_weight_bits,
+                              allow_negative, fan_out_hint);
+}
+
+Result<Ciphertext> Paillier::ScalarMulPrecomputed(const FixedBaseExp& base,
+                                                  const BigInt& w) {
+  PPS_ASSIGN_OR_RETURN(BigInt v, base.Pow(w));
+  return Ciphertext{std::move(v)};
+}
+
+MontCiphertext Paillier::ToMontResident(const PaillierPublicKey& pk,
+                                        const Ciphertext& c) {
+  return MontCiphertext{pk.ctx_n2().ToMontgomery(c.value)};
+}
+
+Ciphertext Paillier::FromMontResident(const PaillierPublicKey& pk,
+                                      const MontCiphertext& c) {
+  return Ciphertext{pk.ctx_n2().FromMontgomery(c.m)};
+}
+
+MontCiphertext Paillier::EncryptZeroMontResident(const PaillierPublicKey& pk) {
+  return MontCiphertext{pk.ctx_n2().OneMont()};
+}
+
+MontCiphertext Paillier::AddMont(const PaillierPublicKey& pk,
+                                 const MontCiphertext& c1,
+                                 const MontCiphertext& c2) {
+  MontCiphertext out;
+  pk.ctx_n2().MulMont(c1.m, c2.m, &out.m);
+  return out;
+}
+
+Result<MontCiphertext> Paillier::AddPlainMont(const PaillierPublicKey& pk,
+                                              const MontCiphertext& c,
+                                              const BigInt& k) {
+  PPS_ASSIGN_OR_RETURN(BigInt encoded, EncodeSigned(pk, k));
+  PPS_ASSIGN_OR_RETURN(BigInt gk,
+                       (BigInt(1) + encoded * pk.n()).Mod(pk.n_squared()));
+  MontCiphertext out;
+  pk.ctx_n2().MulMont(c.m, pk.ctx_n2().ToMontgomery(gk), &out.m);
+  return out;
+}
+
+Result<MontCiphertext> Paillier::ScalarMulMont(const PaillierPublicKey& pk,
+                                               const MontCiphertext& c,
+                                               const BigInt& w) {
+  const MontgomeryContext& ctx = pk.ctx_n2();
+  MontCiphertext out;
+  if (w.IsZero()) {
+    out.m = ctx.OneMont();  // E(0) with r = 1
+    return out;
+  }
+  if (w.IsNegative()) {
+    // Inversion happens on the canonical form; this is one extra
+    // conversion per call, matching what the non-resident path pays.
+    PPS_ASSIGN_OR_RETURN(
+        BigInt inv, BigInt::ModInverse(ctx.FromMontgomery(c.m),
+                                       pk.n_squared()));
+    ctx.ExpMont(ctx.ToMontgomery(inv), -w, &out.m);
+    return out;
+  }
+  ctx.ExpMont(c.m, w, &out.m);
+  return out;
+}
+
 }  // namespace ppstream

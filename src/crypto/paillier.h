@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "bignum/bigint.h"
+#include "bignum/fixed_base.h"
 #include "bignum/montgomery.h"
 #include "crypto/secure_rng.h"
 #include "util/rng.h"
@@ -28,7 +29,9 @@
 
 namespace ppstream {
 
-/// A Paillier ciphertext: a unit of Z*_{n^2}. Value-semantic.
+/// A Paillier ciphertext: a unit of Z*_{n^2}. Value-semantic. Always
+/// carries the canonical representative — this is the form that crosses
+/// party and wire boundaries (the serialized encoding never changes).
 struct Ciphertext {
   BigInt value;
 
@@ -37,6 +40,16 @@ struct Ciphertext {
     PPS_ASSIGN_OR_RETURN(BigInt v, BigInt::Deserialize(in));
     return Ciphertext{std::move(v)};
   }
+};
+
+/// A ciphertext resident in the Montgomery domain of a key's n^2 context —
+/// the stage-internal representation. Long Add/ScalarMul chains on
+/// residents pay one Montgomery multiplication per op instead of a
+/// ToMont/FromMont round trip each; convert back with
+/// Paillier::FromMontResident at stage boundaries (serialization always
+/// sees the canonical Ciphertext, so the wire format is unchanged).
+struct MontCiphertext {
+  MontgomeryContext::MontValue m;
 };
 
 /// Public key: everything the model provider needs for homomorphic ops.
@@ -130,6 +143,53 @@ class Paillier {
   /// Encryption of zero with fixed randomness r = 1 (useful as an additive
   /// identity when accumulating dot products).
   static Ciphertext EncryptZeroDeterministic(const PaillierPublicKey& pk);
+
+  // ---- Amortized hot-path API (DESIGN.md §8).
+
+  /// E(m) with a precomputed randomizer rn = r^n mod n^2 (from a
+  /// RandomizerPool): one ModMul on the request path instead of a
+  /// full-width ModExp.
+  static Result<Ciphertext> EncryptWithRandomizer(const PaillierPublicKey& pk,
+                                                  const BigInt& m,
+                                                  const BigInt& rn);
+
+  /// Rerandomization with a precomputed rn: one ModMul.
+  static Ciphertext RerandomizeWithRandomizer(const PaillierPublicKey& pk,
+                                              const Ciphertext& c,
+                                              const BigInt& rn);
+
+  /// Builds the fixed-base exponent table for E(m), after which every
+  /// ScalarMulPrecomputed against it is table lookups + MontMuls with zero
+  /// squarings. `max_weight_bits` bounds |w|; `allow_negative` enables
+  /// negative weights; `fan_out_hint` is the expected reuse count.
+  static Result<FixedBaseExp> PrecomputeScalarMulBase(
+      const PaillierPublicKey& pk, const Ciphertext& c, int max_weight_bits,
+      bool allow_negative, int64_t fan_out_hint);
+
+  /// E(w * m) through a table from PrecomputeScalarMulBase.
+  static Result<Ciphertext> ScalarMulPrecomputed(const FixedBaseExp& base,
+                                                 const BigInt& w);
+
+  // ---- Montgomery-resident ops (stage-internal; see MontCiphertext).
+
+  static MontCiphertext ToMontResident(const PaillierPublicKey& pk,
+                                       const Ciphertext& c);
+  static Ciphertext FromMontResident(const PaillierPublicKey& pk,
+                                     const MontCiphertext& c);
+  /// Resident E(0) with randomness r = 1, the accumulation identity.
+  static MontCiphertext EncryptZeroMontResident(const PaillierPublicKey& pk);
+  /// E(m1 + m2): one Montgomery multiplication.
+  static MontCiphertext AddMont(const PaillierPublicKey& pk,
+                                const MontCiphertext& c1,
+                                const MontCiphertext& c2);
+  /// E(m + k) for plaintext k (signed).
+  static Result<MontCiphertext> AddPlainMont(const PaillierPublicKey& pk,
+                                             const MontCiphertext& c,
+                                             const BigInt& k);
+  /// E(w * m) for signed scalar w, staying resident.
+  static Result<MontCiphertext> ScalarMulMont(const PaillierPublicKey& pk,
+                                              const MontCiphertext& c,
+                                              const BigInt& w);
 
   /// Encodes a signed value into Z_n (fails if |m| >= n/2).
   static Result<BigInt> EncodeSigned(const PaillierPublicKey& pk,

@@ -1,0 +1,104 @@
+// Pool of precomputed Paillier randomizers.
+//
+// Paillier::Encrypt's cost is dominated by r^n mod n^2 — a full-width
+// modular exponentiation whose value is independent of the plaintext. The
+// pool precomputes these randomizers ahead of need (eagerly via Fill(), or
+// continuously on an optional background thread), so the request path of
+// Encrypt/Rerandomize drops to a single modular multiplication.
+//
+// Determinism: randomizers derive from one seeded CSPRNG stream and
+// production is serialized, so the k-th randomizer PRODUCED is a pure
+// function of the seed — pool size, refill timing, and which thread did
+// the work never change the sequence. (Under concurrent Take() the
+// assignment of sequence elements to callers follows arrival order, as
+// with any shared seeded RNG.) An exhausted pool computes on demand from
+// the same stream — callers never block on a refill.
+
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <thread>
+
+#include <vector>
+
+#include "crypto/paillier.h"
+#include "crypto/secure_rng.h"
+#include "util/thread_pool.h"
+
+namespace ppstream {
+
+class RandomizerPool {
+ public:
+  struct Options {
+    /// Target number of ready randomizers.
+    size_t capacity = 256;
+    /// Background refill starts once the pool drops below this; 0 means
+    /// capacity (top up after every take).
+    size_t low_water = 0;
+    /// Spawn a refill thread on first use. Off: the pool only holds what
+    /// Fill() put there, then computes on demand.
+    bool background_refill = true;
+  };
+
+  struct Stats {
+    uint64_t hits = 0;      // takes served from the pool
+    uint64_t misses = 0;    // takes computed on demand
+    uint64_t produced = 0;  // randomizers computed in total
+  };
+
+  /// `seed` derives the CSPRNG producing the r values.
+  RandomizerPool(PaillierPublicKey pk, uint64_t seed);
+  RandomizerPool(PaillierPublicKey pk, uint64_t seed, Options options);
+  ~RandomizerPool();
+
+  RandomizerPool(const RandomizerPool&) = delete;
+  RandomizerPool& operator=(const RandomizerPool&) = delete;
+
+  /// Next randomizer r^n mod n^2. Pool-served when available, computed
+  /// on demand (same sequence) when not; never blocks on a refill.
+  BigInt Take();
+
+  /// Takes `count` randomizers at once, atomically with respect to the
+  /// stream: position i always receives sequence element base + i, so a
+  /// batch encrypt assigns randomizers to tensor slots deterministically
+  /// no matter how full the pool was. Misses at the tail are raised after
+  /// the lock is dropped, in parallel over `pool` when given.
+  std::vector<BigInt> TakeMany(size_t count, ThreadPool* pool = nullptr);
+
+  /// Synchronously fills the pool to capacity on the calling thread.
+  void Fill();
+
+  /// Pool-backed E(m): one ModMul on the request path.
+  Result<Ciphertext> Encrypt(const BigInt& m);
+  /// Pool-backed rerandomization: one ModMul.
+  Ciphertext Rerandomize(const Ciphertext& c);
+
+  size_t available() const;
+  Stats stats() const;
+  const PaillierPublicKey& public_key() const { return pk_; }
+
+ private:
+  /// Draws the next r from the stream. Caller must hold mutex_.
+  BigInt NextRLocked();
+  /// Computes r^n mod n^2 (expensive; call without the lock held).
+  BigInt Raise(const BigInt& r) const;
+  void EnsureRefillThreadLocked();
+  void RefillLoop();
+
+  const PaillierPublicKey pk_;
+  const Options options_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable refill_cv_;
+  SecureRng rng_;              // guarded by mutex_
+  std::deque<BigInt> ready_;   // guarded by mutex_
+  Stats stats_;                // guarded by mutex_
+  bool stop_ = false;          // guarded by mutex_
+  bool refill_running_ = false;  // guarded by mutex_
+  std::thread refill_thread_;
+};
+
+}  // namespace ppstream

@@ -526,6 +526,110 @@ TEST_F(ProtocolTest, PartitionedApplyMatchesSerial) {
   }
 }
 
+TEST_F(ProtocolTest, StageCacheMatchesNoCacheBitExact) {
+  // Fixed-base tables change how each E(m_i)^{w_i} is computed, never the
+  // canonical residue it produces — outputs must agree bit for bit with
+  // the table-free path, serial and partitioned alike.
+  Model model = SmallDenseModel(111);
+  auto plan_or = CompilePlan(model, 1000);
+  ASSERT_TRUE(plan_or.ok());
+  const IntegerAffineLayer& dense_op =
+      plan_or.value().linear_stages[0].ops[0];
+
+  SecureRng rng = SecureRng::FromSeed(113);
+  std::vector<Ciphertext> in;
+  for (int64_t i = 0; i < dense_op.input_shape().NumElements(); ++i) {
+    auto c = Paillier::Encrypt(keys_->public_key, BigInt(i * 7 - 9), rng);
+    ASSERT_TRUE(c.ok());
+    in.push_back(std::move(c).value());
+  }
+
+  auto no_cache = dense_op.ApplyEncryptedRows(keys_->public_key, in, 0,
+                                              dense_op.rows().size());
+  ASSERT_TRUE(no_cache.ok());
+
+  // min_fan_out=1 forces a table for every slot regardless of break-even.
+  auto cache = dense_op.BuildEncryptedStageCache(keys_->public_key, in,
+                                                 nullptr, /*min_fan_out=*/1);
+  ASSERT_TRUE(cache.ok()) << cache.status().ToString();
+  EXPECT_GT(cache.value().tables_built, 0);
+
+  auto with_cache = dense_op.ApplyEncryptedRows(
+      keys_->public_key, in, 0, dense_op.rows().size(), &cache.value());
+  ASSERT_TRUE(with_cache.ok()) << with_cache.status().ToString();
+  ASSERT_EQ(with_cache.value().size(), no_cache.value().size());
+  for (size_t j = 0; j < no_cache.value().size(); ++j) {
+    EXPECT_EQ(
+        with_cache.value()[j].value.Compare(no_cache.value()[j].value), 0)
+        << "row " << j;
+  }
+
+  ThreadPool pool(2);
+  for (bool input_part : {false, true}) {
+    auto partition = PartitionOp(dense_op, 2);
+    ASSERT_TRUE(partition.ok());
+    auto parallel = ApplyEncryptedPartitioned(
+        keys_->public_key, dense_op, in, partition.value(), input_part,
+        &pool, &cache.value());
+    ASSERT_TRUE(parallel.ok()) << parallel.status().ToString();
+    for (size_t j = 0; j < no_cache.value().size(); ++j) {
+      EXPECT_EQ(
+          parallel.value()[j].value.Compare(no_cache.value()[j].value), 0)
+          << "row " << j << " input_part=" << input_part;
+    }
+  }
+}
+
+TEST_F(ProtocolTest, StageCacheRespectsBreakEvenThreshold) {
+  Model model = SmallDenseModel(117);
+  auto plan_or = CompilePlan(model, 1000);
+  ASSERT_TRUE(plan_or.ok());
+  const IntegerAffineLayer& dense_op =
+      plan_or.value().linear_stages[0].ops[0];
+
+  SecureRng rng = SecureRng::FromSeed(119);
+  std::vector<Ciphertext> in;
+  for (int64_t i = 0; i < dense_op.input_shape().NumElements(); ++i) {
+    auto c = Paillier::Encrypt(keys_->public_key, BigInt(i + 1), rng);
+    ASSERT_TRUE(c.ok());
+    in.push_back(std::move(c).value());
+  }
+  // Fan-out of this op is 5 (out_features): an unreachable threshold must
+  // build nothing, and the evaluation must still work off tables.
+  auto none = dense_op.BuildEncryptedStageCache(keys_->public_key, in,
+                                                nullptr, /*min_fan_out=*/100);
+  ASSERT_TRUE(none.ok());
+  EXPECT_EQ(none.value().tables_built, 0);
+  auto out = dense_op.ApplyEncryptedRows(keys_->public_key, in, 0,
+                                         dense_op.rows().size(),
+                                         &none.value());
+  EXPECT_TRUE(out.ok());
+}
+
+TEST_F(ProtocolTest, ApplyEncryptedRowsSubValidatesCoverage) {
+  Model model = SmallDenseModel(121);
+  auto plan_or = CompilePlan(model, 1000);
+  ASSERT_TRUE(plan_or.ok());
+  const IntegerAffineLayer& dense_op =
+      plan_or.value().linear_stages[0].ops[0];
+
+  SecureRng rng = SecureRng::FromSeed(123);
+  auto c = Paillier::Encrypt(keys_->public_key, BigInt(5), rng);
+  ASSERT_TRUE(c.ok());
+  // Dense rows tap every input slot; a sub-tensor with only slot 0 must be
+  // rejected rather than silently evaluated against the wrong slots.
+  std::vector<Ciphertext> sub = {c.value()};
+  std::vector<uint32_t> indices = {0};
+  auto result = dense_op.ApplyEncryptedRowsSub(keys_->public_key, sub,
+                                               indices, 0, 1);
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+
+  // Mismatched sub/index sizes are rejected too.
+  auto mismatch = dense_op.ApplyEncryptedRowsSub(
+      keys_->public_key, sub, std::vector<uint32_t>{0, 1}, 0, 1);
+  EXPECT_EQ(mismatch.status().code(), StatusCode::kInvalidArgument);
+}
+
 TEST(PartitionTest, ConvReceptiveFieldsShrinkCommunication) {
   Rng rng(101);
   Conv2DGeometry g;

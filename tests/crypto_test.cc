@@ -6,10 +6,12 @@
 #include <algorithm>
 #include <set>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "crypto/paillier.h"
 #include "crypto/permutation.h"
+#include "crypto/randomizer_pool.h"
 #include "crypto/secure_rng.h"
 #include "crypto/sha256.h"
 
@@ -362,6 +364,217 @@ TEST(PermutationTest, UniformityOverS3) {
     EXPECT_GT(count, kTrials / 6 / 2);
     EXPECT_LT(count, kTrials / 6 * 2);
   }
+}
+
+// ------------------------------------------- Amortized Paillier hot path
+
+class AmortizedPaillierTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    Rng rng(57);
+    auto pair = Paillier::GenerateKeyPair(512, rng);
+    ASSERT_TRUE(pair.ok()) << pair.status().ToString();
+    keys_ = new PaillierKeyPair(std::move(pair).value());
+  }
+  static void TearDownTestSuite() {
+    delete keys_;
+    keys_ = nullptr;
+  }
+
+  int64_t DecryptToInt(const Ciphertext& c) {
+    auto m = Paillier::Decrypt(keys_->public_key, keys_->private_key, c);
+    EXPECT_TRUE(m.ok()) << m.status().ToString();
+    auto v = m.value().ToInt64();
+    EXPECT_TRUE(v.ok());
+    return v.value();
+  }
+
+  static PaillierKeyPair* keys_;
+};
+
+PaillierKeyPair* AmortizedPaillierTest::keys_ = nullptr;
+
+TEST_F(AmortizedPaillierTest, PoolSequenceIsDeterministicForSameSeed) {
+  // Without a background thread, consumption order == production order, so
+  // the randomizer stream is a pure function of the seed — regardless of
+  // whether values were pool-served or computed on demand.
+  RandomizerPool::Options no_refill;
+  no_refill.capacity = 8;
+  no_refill.background_refill = false;
+
+  RandomizerPool a(keys_->public_key, 91, no_refill);
+  RandomizerPool b(keys_->public_key, 91, no_refill);
+  a.Fill();  // a serves from the pool; b computes every value on demand
+  for (int i = 0; i < 12; ++i) {
+    EXPECT_EQ(a.Take().Compare(b.Take()), 0) << "position " << i;
+  }
+  EXPECT_GT(a.stats().hits, 0u);
+  EXPECT_EQ(b.stats().hits, 0u);
+
+  RandomizerPool c(keys_->public_key, 92, no_refill);
+  RandomizerPool d(keys_->public_key, 91, no_refill);
+  EXPECT_NE(c.Take().Compare(d.Take()), 0) << "different seeds must diverge";
+}
+
+TEST_F(AmortizedPaillierTest, TakeManyMatchesRepeatedTake) {
+  RandomizerPool::Options no_refill;
+  no_refill.capacity = 4;
+  no_refill.background_refill = false;
+
+  RandomizerPool a(keys_->public_key, 93, no_refill);
+  RandomizerPool b(keys_->public_key, 93, no_refill);
+  a.Fill();
+  std::vector<BigInt> batch = a.TakeMany(7);  // 4 hits + 3 misses
+  ASSERT_EQ(batch.size(), 7u);
+  for (size_t i = 0; i < batch.size(); ++i) {
+    EXPECT_EQ(batch[i].Compare(b.Take()), 0) << "position " << i;
+  }
+  EXPECT_EQ(a.stats().hits, 4u);
+  EXPECT_EQ(a.stats().misses, 3u);
+}
+
+TEST_F(AmortizedPaillierTest, ExhaustedPoolComputesOnDemandAndRefills) {
+  RandomizerPool::Options options;
+  options.capacity = 4;
+  options.low_water = 2;
+  RandomizerPool pool(keys_->public_key, 95, options);
+  pool.Fill();
+  EXPECT_EQ(pool.available(), 4u);
+  // Drain past capacity: the tail is computed on demand, never blocking.
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_FALSE(pool.Take().IsZero());
+  }
+  auto stats = pool.stats();
+  EXPECT_EQ(stats.hits + stats.misses, 10u);
+  EXPECT_GT(stats.misses, 0u);
+}
+
+TEST_F(AmortizedPaillierTest, ConcurrentTakesAreSafeAndValid) {
+  // TSan-targeted: hammer Take/Encrypt from several threads while the
+  // background refill thread runs. Every randomizer must decrypt a valid
+  // encryption of its plaintext.
+  RandomizerPool::Options options;
+  options.capacity = 16;
+  options.low_water = 8;
+  RandomizerPool pool(keys_->public_key, 97, options);
+  pool.Fill();
+
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 8;
+  std::vector<std::thread> threads;
+  std::vector<Status> failures(kThreads, Status::OK());
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        auto c = pool.Encrypt(BigInt(t * 1000 + i));
+        if (!c.ok()) {
+          failures[t] = c.status();
+          return;
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  for (const Status& st : failures) EXPECT_TRUE(st.ok()) << st.ToString();
+  auto stats = pool.stats();
+  EXPECT_EQ(stats.hits + stats.misses,
+            static_cast<uint64_t>(kThreads * kPerThread));
+}
+
+TEST_F(AmortizedPaillierTest, PoolEncryptAndRerandomizeDecryptCorrectly) {
+  RandomizerPool pool(keys_->public_key, 99);
+  for (int64_t m : {int64_t{0}, int64_t{1}, int64_t{-1}, int64_t{424242},
+                    int64_t{-987654321}}) {
+    auto c = pool.Encrypt(BigInt(m));
+    ASSERT_TRUE(c.ok()) << c.status().ToString();
+    EXPECT_EQ(DecryptToInt(c.value()), m);
+
+    Ciphertext fresh = pool.Rerandomize(c.value());
+    EXPECT_NE(fresh.value.Compare(c.value().value), 0)
+        << "rerandomization must change the ciphertext bits";
+    EXPECT_EQ(DecryptToInt(fresh), m) << "but never the plaintext";
+  }
+}
+
+TEST_F(AmortizedPaillierTest, ScalarMulPrecomputedMatchesScalarMulBitExact) {
+  SecureRng rng = SecureRng::FromSeed(101);
+  auto c = Paillier::Encrypt(keys_->public_key, BigInt(777), rng);
+  ASSERT_TRUE(c.ok());
+  auto base = Paillier::PrecomputeScalarMulBase(
+      keys_->public_key, c.value(), /*max_weight_bits=*/16,
+      /*allow_negative=*/true, /*fan_out_hint=*/64);
+  ASSERT_TRUE(base.ok()) << base.status().ToString();
+  for (int64_t w : {int64_t{0}, int64_t{1}, int64_t{-1}, int64_t{2},
+                    int64_t{1000}, int64_t{-1000}, int64_t{65535}}) {
+    auto via_table =
+        Paillier::ScalarMulPrecomputed(base.value(), BigInt(w));
+    auto via_modexp =
+        Paillier::ScalarMul(keys_->public_key, c.value(), BigInt(w));
+    ASSERT_TRUE(via_table.ok() && via_modexp.ok()) << "w " << w;
+    EXPECT_EQ(via_table.value().value.Compare(via_modexp.value().value), 0)
+        << "w " << w;
+  }
+}
+
+TEST_F(AmortizedPaillierTest, MontResidentChainMatchesCanonicalBitExact) {
+  // The same Eq. (3) accumulation, once with canonical-form primitives and
+  // once Montgomery-resident. Canonicalization is unique, so the final
+  // ciphertexts must agree bit for bit — the wire format never changes.
+  SecureRng rng = SecureRng::FromSeed(103);
+  const std::vector<int64_t> values = {37, -12, 255, 1};
+  const std::vector<int64_t> weights = {14, -3, 127, 1};
+  std::vector<Ciphertext> in;
+  for (int64_t v : values) {
+    auto c = Paillier::Encrypt(keys_->public_key, BigInt(v), rng);
+    ASSERT_TRUE(c.ok());
+    in.push_back(std::move(c).value());
+  }
+
+  Ciphertext canonical = Paillier::EncryptZeroDeterministic(keys_->public_key);
+  for (size_t i = 0; i < in.size(); ++i) {
+    auto term =
+        Paillier::ScalarMul(keys_->public_key, in[i], BigInt(weights[i]));
+    ASSERT_TRUE(term.ok());
+    canonical = Paillier::Add(keys_->public_key, canonical, term.value());
+  }
+  auto canonical_biased =
+      Paillier::AddPlain(keys_->public_key, canonical, BigInt(-17));
+  ASSERT_TRUE(canonical_biased.ok());
+
+  MontCiphertext acc = Paillier::EncryptZeroMontResident(keys_->public_key);
+  for (size_t i = 0; i < in.size(); ++i) {
+    MontCiphertext c = Paillier::ToMontResident(keys_->public_key, in[i]);
+    auto term =
+        Paillier::ScalarMulMont(keys_->public_key, c, BigInt(weights[i]));
+    ASSERT_TRUE(term.ok()) << term.status().ToString();
+    acc = Paillier::AddMont(keys_->public_key, acc, term.value());
+  }
+  auto biased = Paillier::AddPlainMont(keys_->public_key, acc, BigInt(-17));
+  ASSERT_TRUE(biased.ok());
+  Ciphertext resident =
+      Paillier::FromMontResident(keys_->public_key, biased.value());
+
+  EXPECT_EQ(resident.value.Compare(canonical_biased.value().value), 0);
+  // And both decrypt to the expected affine form.
+  int64_t expected = -17;
+  for (size_t i = 0; i < values.size(); ++i) expected += values[i] * weights[i];
+  EXPECT_EQ(DecryptToInt(resident), expected);
+}
+
+TEST_F(AmortizedPaillierTest, EncryptWithRandomizerDecrypts) {
+  // A unit randomizer gives the deterministic g^m form; a pool randomizer
+  // gives a semantically identical but randomized ciphertext.
+  auto det = Paillier::EncryptWithRandomizer(keys_->public_key, BigInt(55),
+                                             BigInt(1));
+  ASSERT_TRUE(det.ok());
+  EXPECT_EQ(DecryptToInt(det.value()), 55);
+
+  RandomizerPool pool(keys_->public_key, 105);
+  auto randomized = Paillier::EncryptWithRandomizer(keys_->public_key,
+                                                    BigInt(55), pool.Take());
+  ASSERT_TRUE(randomized.ok());
+  EXPECT_EQ(DecryptToInt(randomized.value()), 55);
+  EXPECT_NE(randomized.value().value.Compare(det.value().value), 0);
 }
 
 }  // namespace
