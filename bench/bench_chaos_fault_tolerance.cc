@@ -17,6 +17,7 @@
 #include "crypto/paillier.h"
 #include "nn/layers.h"
 #include "nn/model.h"
+#include "obs/metrics.h"
 #include "sim/cluster_sim.h"
 #include "stream/engine.h"
 #include "util/fault.h"
@@ -120,6 +121,22 @@ int main() {
                 row.ok, row.failed,
                 static_cast<unsigned long long>(row.retries), row.seconds,
                 static_cast<double>(kRequests) / row.seconds);
+  }
+
+  // Every fired injection across the rate sweep, by kind and site, from
+  // the registry's "fault.injected.<kind>.<site>" counters — the ground
+  // truth for what the chaos run actually did to the pipeline.
+  const auto injected =
+      obs::MetricsRegistry::Global().CounterValues("fault.injected.");
+  std::printf("\n-- injected faults by kind and site --\n");
+  if (injected.empty()) {
+    std::printf("(none fired)\n");
+  } else {
+    std::printf("%-48s %8s\n", "counter", "count");
+    for (const auto& [name, value] : injected) {
+      std::printf("%-48s %8llu\n", name.c_str(),
+                  static_cast<unsigned long long>(value));
+    }
   }
 
   // Simulator sweep: paper-scale stage costs (10GbE, 5 stages, ~100ms

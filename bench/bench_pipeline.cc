@@ -1,0 +1,180 @@
+// End-to-end pipeline telemetry bench (DESIGN.md §9).
+//
+// Runs a stream of MNIST inferences through the full pipelined engine
+// with the model provider behind the framed transport (the same wire
+// path the TCP deployment uses, minus the socket), then distills the
+// metrics registry into bench/BENCH_pipeline.json:
+//
+//   - per-stage latency distributions (count, p50/p95/p99/max/mean ms)
+//     and byte volumes from the "stage.*" histograms/counters;
+//   - crypto totals (encrypts, decrypts, scalar muls, randomizer-pool
+//     hits/misses/produced/refills);
+//   - wire totals (frames and bytes each way, round trips).
+//
+// The Prometheus exposition of the same registry is written next to it
+// (bench/metrics.prom) and self-checked with the exporter linter; a
+// malformed exposition fails the run.
+//
+//   bench_pipeline [--smoke] [--trace FILE]
+//                  [--out bench/BENCH_pipeline.json]
+//                  [--prom bench/metrics.prom]
+
+#include <cstring>
+#include <fstream>
+
+#include "bench/bench_common.h"
+#include "net/transport.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "stream/engine.h"
+
+using namespace ppstream;
+using namespace ppstream::bench;
+
+namespace {
+
+double Ms(double seconds) { return seconds * 1e3; }
+
+/// Strips the "stage." prefix and ".attempt_seconds" suffix.
+std::string StageOf(const std::string& histogram_name) {
+  const std::string prefix = "stage.";
+  const std::string suffix = ".attempt_seconds";
+  return histogram_name.substr(
+      prefix.size(), histogram_name.size() - prefix.size() - suffix.size());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  const char* trace_path = nullptr;
+  const char* out_path = "bench/BENCH_pipeline.json";
+  const char* prom_path = "bench/metrics.prom";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
+      trace_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--prom") == 0 && i + 1 < argc) {
+      prom_path = argv[++i];
+    }
+  }
+  const size_t num_requests = smoke ? 3 : 8;
+  const int key_bits = smoke ? 256 : 512;
+
+  std::printf("== pipeline telemetry (MNIST-2, %zu requests, %d-bit keys%s) "
+              "==\n\n",
+              num_requests, key_bits, smoke ? ", smoke" : "");
+
+  TrainedEntry entry = Train(ZooModelId::kMnist2);
+  ProtocolSetup setup = Setup(entry.model, /*scale=*/10000, key_bits);
+
+  // Clean slate so the report covers exactly this run; tracing on for the
+  // stitched per-request spans.
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  registry.Reset();
+  obs::Tracer::Global().Clear();
+  obs::Tracer::Global().SetEnabled(true);
+
+  // Model provider behind the framed dispatcher — the full wire encode/
+  // decode path, so net.* metrics and rpc spans are exercised.
+  auto local_mp = setup.mp;
+  auto channel = std::make_shared<InProcessFrameChannel>(
+      [local_mp](const WireFrame& request) {
+        return DispatchModelProviderFrame(*local_mp, request);
+      });
+  auto remote_mp =
+      std::make_shared<RemoteModelProvider>(channel, setup.plan);
+
+  EngineConfig config;
+  config.stage_threads.assign(NumPipelineStages(*setup.plan), 1);
+  PpStreamEngine engine(remote_mp, setup.dp, config);
+  PPS_CHECK_OK(engine.Start());
+
+  WallTimer timer;
+  for (size_t i = 0; i < num_requests; ++i) {
+    PPS_CHECK_OK(engine.Submit(
+        i + 1, entry.data.test.samples[i % entry.data.test.samples.size()]));
+  }
+  for (size_t i = 0; i < num_requests; ++i) {
+    PPS_CHECK_OK(engine.NextResult().status());
+  }
+  const double elapsed = timer.ElapsedSeconds();
+  engine.Shutdown();
+  obs::Tracer::Global().SetEnabled(false);
+
+  std::printf("%zu inferences in %.2f s (%.2f s/req pipelined)\n\n",
+              num_requests, elapsed, elapsed / num_requests);
+
+  // ---- JSON report.
+  std::ofstream json(out_path);
+  PPS_CHECK(json.good()) << "cannot write " << out_path;
+  json << "{\n  \"model\": \"MNIST-2\",\n";
+  json << "  \"requests\": " << num_requests << ",\n";
+  json << "  \"key_bits\": " << key_bits << ",\n";
+  json << "  \"wall_seconds\": " << elapsed << ",\n";
+  json << "  \"stages\": [\n";
+  const auto histograms = registry.Histograms("stage.");
+  std::printf("%-16s %6s %10s %10s %10s %10s %12s\n", "stage", "count",
+              "p50(ms)", "p95(ms)", "p99(ms)", "max(ms)", "bytes_out");
+  PrintRule();
+  bool first = true;
+  for (const auto& [name, histogram] : histograms) {
+    const std::string stage = StageOf(name);
+    const uint64_t bytes_out =
+        registry.GetCounter("stage." + stage + ".bytes_out")->Value();
+    if (!first) json << ",\n";
+    first = false;
+    json << "    {\"name\": \"" << stage << "\""
+         << ", \"count\": " << histogram->Count()
+         << ", \"p50_ms\": " << Ms(histogram->Quantile(0.5))
+         << ", \"p95_ms\": " << Ms(histogram->Quantile(0.95))
+         << ", \"p99_ms\": " << Ms(histogram->Quantile(0.99))
+         << ", \"max_ms\": " << Ms(histogram->Max())
+         << ", \"mean_ms\": " << Ms(histogram->Mean())
+         << ", \"bytes_out\": " << bytes_out << "}";
+    std::printf("%-16s %6llu %10.2f %10.2f %10.2f %10.2f %12llu\n",
+                stage.c_str(),
+                static_cast<unsigned long long>(histogram->Count()),
+                Ms(histogram->Quantile(0.5)), Ms(histogram->Quantile(0.95)),
+                Ms(histogram->Quantile(0.99)), Ms(histogram->Max()),
+                static_cast<unsigned long long>(bytes_out));
+  }
+  json << "\n  ],\n  \"counters\": {\n";
+  std::printf("\ncounter totals:\n");
+  first = true;
+  for (const char* prefix : {"crypto.", "net."}) {
+    for (const auto& [name, value] : registry.CounterValues(prefix)) {
+      if (!first) json << ",\n";
+      first = false;
+      json << "    \"" << name << "\": " << value;
+      std::printf("  %-24s %llu\n", name.c_str(),
+                  static_cast<unsigned long long>(value));
+    }
+  }
+  json << "\n  }\n}\n";
+  json.close();
+  std::printf("\nwrote %s\n", out_path);
+
+  // ---- Prometheus exposition + self-lint.
+  const std::string prom = registry.PrometheusText();
+  const Status lint = obs::CheckPrometheusText(prom);
+  PPS_CHECK(lint.ok()) << "Prometheus exposition failed its own linter: "
+                       << lint.ToString();
+  std::ofstream prom_out(prom_path);
+  PPS_CHECK(prom_out.good()) << "cannot write " << prom_path;
+  prom_out << prom;
+  prom_out.close();
+  std::printf("wrote %s (lint OK)\n", prom_path);
+
+  if (trace_path != nullptr) {
+    std::ofstream trace_out(trace_path);
+    obs::Tracer::Global().WriteChromeJson(trace_out);
+    std::printf("wrote %zu span(s) to %s\n",
+                obs::Tracer::Global().Snapshot().size(), trace_path);
+  }
+  std::printf("\nbench_pipeline OK\n");
+  return 0;
+}

@@ -11,19 +11,27 @@
 # key, see bench_micro_crypto.cc), and 0 for non-Paillier primitives where
 # the arg is an operand width instead.
 #
+# Also runs bench_pipeline, which writes bench/BENCH_pipeline.json
+# (per-stage latency quantiles + crypto/net counter totals from the
+# metrics registry) and bench/metrics.prom; the Prometheus exposition is
+# linted both by the bench itself and by the awk check below — a
+# malformed exposition fails the run.
+#
 # Usage:
 #   bench/run_benchmarks.sh            # full run (writes BENCH_crypto.json)
 #   bench/run_benchmarks.sh --smoke    # CI smoke: 1-iteration benches,
 #                                      # 256-bit keys only for Figure 1
 #
-# Env overrides: BUILD_DIR (default build), OUT_JSON, MIN_TIME,
-# FIG1_MAX_BITS.
+# Env overrides: BUILD_DIR (default build), OUT_JSON, PIPELINE_JSON,
+# PROM_OUT, MIN_TIME, FIG1_MAX_BITS.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 BUILD_DIR=${BUILD_DIR:-build}
 OUT_JSON=${OUT_JSON:-bench/BENCH_crypto.json}
+PIPELINE_JSON=${PIPELINE_JSON:-bench/BENCH_pipeline.json}
+PROM_OUT=${PROM_OUT:-bench/metrics.prom}
 
 SMOKE=0
 if [[ "${1:-}" == "--smoke" ]]; then
@@ -39,7 +47,8 @@ else
   FIG1_MAX_BITS=${FIG1_MAX_BITS:-1024}
 fi
 
-for bin in bench_micro_crypto bench_fig1_paillier bench_table3_models; do
+for bin in bench_micro_crypto bench_fig1_paillier bench_table3_models \
+           bench_pipeline; do
   if [[ ! -x "$BUILD_DIR/bench/$bin" ]]; then
     echo "error: $BUILD_DIR/bench/$bin not built (cmake --build $BUILD_DIR)" >&2
     exit 1
@@ -60,6 +69,40 @@ echo "== bench_fig1_paillier (max key bits: $FIG1_MAX_BITS) =="
 echo
 echo "== bench_table3_models =="
 "$BUILD_DIR/bench/bench_table3_models"
+
+echo
+echo "== bench_pipeline (telemetry end-to-end) =="
+PIPELINE_ARGS=(--out "$PIPELINE_JSON" --prom "$PROM_OUT")
+if [[ $SMOKE -eq 1 ]]; then
+  PIPELINE_ARGS+=(--smoke)
+fi
+"$BUILD_DIR/bench/bench_pipeline" "${PIPELINE_ARGS[@]}"
+
+# Second, independent lint of the Prometheus exposition: every sample
+# line must be `name value` with a bare-metric or labeled-metric name and
+# a numeric (or +/-Inf / NaN) value, and every name must carry a # TYPE.
+awk '
+  /^#[ ]TYPE[ ]/ { typed[$3] = 1; next }
+  /^#/ || /^$/ { next }
+  {
+    if (NF != 2) { print "prom lint: bad sample: " $0; exit 1 }
+    name = $1
+    sub(/\{.*\}$/, "", name)
+    if (name !~ /^[a-zA-Z_:][a-zA-Z0-9_:]*$/) {
+      print "prom lint: bad metric name: " $1; exit 1
+    }
+    if ($2 !~ /^[+-]?([0-9]|Inf|NaN)/) {
+      print "prom lint: non-numeric value: " $0; exit 1
+    }
+    # Histogram series (_bucket/_sum/_count) inherit their familys TYPE.
+    base = name
+    sub(/_(bucket|sum|count)$/, "", base)
+    if (!(name in typed) && !(base in typed)) {
+      print "prom lint: sample without # TYPE: " name; exit 1
+    }
+  }
+' "$PROM_OUT"
+echo "prom lint OK ($PROM_OUT)"
 
 # Console rows look like:  BM_PaillierEncrypt/512   451234 ns   451100 ns   10
 awk '

@@ -3,30 +3,78 @@
 // the weight-free plan view from the handshake, and runs real inferences
 // over the versioned wire format:
 //
-//   ./dp_client 19777 [num_requests]
+//   ./dp_client 19777 [num_requests] [--trace dp_trace.json]
+//
+// With --trace, every request's spans (and, via the wire header's trace
+// block, the server's spans under the same trace ids) are dumped as
+// Chrome trace-event JSON, and the first request's span tree is rendered
+// to stdout.
 //
 // The private key and the plaintext inputs never leave this process; the
 // server only ever sees Paillier ciphertexts (in permuted slot order for
 // the values it could otherwise correlate).
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
 #include <memory>
+#include <vector>
 
 #include "core/protocol.h"
 #include "net/transport.h"
 #include "nn/model_zoo.h"
+#include "obs/trace.h"
 #include "tensor/ops.h"
 #include "util/rng.h"
 #include "util/timer.h"
 
 using namespace ppstream;
 
+namespace {
+
+/// Renders one trace's spans as an indented tree (depth from parent ids,
+/// siblings in start order) — the README's "rendered trace" output.
+void PrintTraceTree(const std::vector<obs::SpanRecord>& spans,
+                    uint64_t trace_id) {
+  std::vector<const obs::SpanRecord*> trace;
+  for (const auto& s : spans) {
+    if (s.trace_id == trace_id) trace.push_back(&s);
+  }
+  std::sort(trace.begin(), trace.end(),
+            [](const obs::SpanRecord* a, const obs::SpanRecord* b) {
+              return a->start_seconds < b->start_seconds;
+            });
+  std::map<uint64_t, int> depth;
+  for (const obs::SpanRecord* s : trace) {
+    const auto parent = depth.find(s->parent_span_id);
+    const int d = parent == depth.end() ? 0 : parent->second + 1;
+    depth[s->span_id] = d;
+    std::printf("  %*s%-28s %8.2f ms\n", 2 * d, "", s->name.c_str(),
+                s->duration_seconds * 1e3);
+  }
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
-  const uint16_t port =
-      argc > 1 ? static_cast<uint16_t>(std::atoi(argv[1])) : 19777;
-  const size_t num_requests = argc > 2 ? std::strtoull(argv[2], nullptr, 10)
-                                       : 3;
+  uint16_t port = 19777;
+  size_t num_requests = 3;
+  const char* trace_path = nullptr;
+  int positional = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
+      trace_path = argv[++i];
+    } else if (positional == 0) {
+      port = static_cast<uint16_t>(std::atoi(argv[i]));
+      ++positional;
+    } else {
+      num_requests = std::strtoull(argv[i], nullptr, 10);
+    }
+  }
+  if (trace_path != nullptr) obs::Tracer::Global().SetEnabled(true);
 
   std::printf("== PP-Stream data-provider client ==\n\n");
 
@@ -89,6 +137,29 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(total.bytes_sent),
               static_cast<unsigned long long>(total.frames_received),
               static_cast<unsigned long long>(total.bytes_received));
+
+  if (trace_path != nullptr) {
+    const auto spans = obs::Tracer::Global().Snapshot();
+    // Render the first request's tree (its root is the earliest
+    // "inference" span).
+    const obs::SpanRecord* first_root = nullptr;
+    for (const auto& s : spans) {
+      if (s.name == "inference" &&
+          (first_root == nullptr ||
+           s.start_seconds < first_root->start_seconds)) {
+        first_root = &s;
+      }
+    }
+    if (first_root != nullptr) {
+      std::printf("\ntrace %llx (request %llu):\n",
+                  static_cast<unsigned long long>(first_root->trace_id),
+                  static_cast<unsigned long long>(first_root->request_id));
+      PrintTraceTree(spans, first_root->trace_id);
+    }
+    std::ofstream out(trace_path);
+    obs::Tracer::Global().WriteChromeJson(out);
+    std::printf("wrote %zu span(s) to %s\n", spans.size(), trace_path);
+  }
   std::printf("\ndp client OK\n");
   return 0;
 }

@@ -4,6 +4,11 @@
 //
 //   ./mp_server 19777            # serve until interrupted
 //   ./mp_server 19777 --once     # serve one connection, then exit (CI)
+//   ./mp_server 19777 --once --trace mp_trace.json   # + Chrome trace dump
+//
+// With --trace, incoming frames' trace blocks root this process's spans
+// under the client's trace, so the two dumps merge into one stitched
+// timeline in chrome://tracing.
 //
 // The weights never leave this process: the handshake ships only the
 // plan's weight-free data-provider view.
@@ -11,23 +16,29 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <memory>
 
 #include "net/server.h"
 #include "nn/model_zoo.h"
+#include "obs/trace.h"
 
 using namespace ppstream;
 
 int main(int argc, char** argv) {
   uint16_t port = 19777;
   bool once = false;
+  const char* trace_path = nullptr;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--once") == 0) {
       once = true;
+    } else if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
+      trace_path = argv[++i];
     } else {
       port = static_cast<uint16_t>(std::atoi(argv[i]));
     }
   }
+  if (trace_path != nullptr) obs::Tracer::Global().SetEnabled(true);
 
   std::printf("== PP-Stream model-provider server ==\n\n");
 
@@ -55,6 +66,12 @@ int main(int argc, char** argv) {
     PPS_CHECK_OK(server.ServeOne(/*accept_timeout_seconds=*/60.0));
   } else {
     PPS_CHECK_OK(server.Serve());
+  }
+  if (trace_path != nullptr) {
+    std::ofstream out(trace_path);
+    obs::Tracer::Global().WriteChromeJson(out);
+    std::printf("wrote %zu span(s) to %s\n",
+                obs::Tracer::Global().Snapshot().size(), trace_path);
   }
   std::printf("served %llu connection(s); mp_server OK\n",
               static_cast<unsigned long long>(server.connections_served()));

@@ -6,6 +6,7 @@
 
 #include "core/fixed_point.h"
 #include "nn/layers.h"
+#include "obs/metrics.h"
 #include "util/logging.h"
 
 namespace ppstream {
@@ -270,6 +271,12 @@ Result<std::vector<Ciphertext>> EvalEncryptedRows(
 
   std::vector<Ciphertext> out;
   out.reserve(row_end - row_begin);
+  // Homomorphic weight applications (c^w in the Montgomery domain) count
+  // as scalar muls even though they bypass Paillier::ScalarMul; batched
+  // into one registry increment per call to keep the inner loop clean.
+  static obs::Counter* scalar_muls =
+      obs::MetricsRegistry::Global().GetCounter("crypto.scalar_muls");
+  uint64_t muls_applied = 0;
   MontgomeryContext::MontValue acc, term;
   for (size_t j = row_begin; j < row_end; ++j) {
     const AffineRow& row = rows[j];
@@ -285,6 +292,7 @@ Result<std::vector<Ciphertext>> EvalEncryptedRows(
     acc = ctx.OneMont();  // E(0) with r = 1
     for (const AffineTerm& t : row.terms) {
       if (t.weight == 0) continue;  // c^0 = 1, the accumulation identity
+      ++muls_applied;
       const FixedBaseExp* base =
           (cache != nullptr && t.input_index < cache->bases.size())
               ? cache->bases[t.input_index].get()
@@ -317,6 +325,7 @@ Result<std::vector<Ciphertext>> EvalEncryptedRows(
     }
     out.push_back(Ciphertext{ctx.FromMontgomery(acc)});
   }
+  if (muls_applied != 0) scalar_muls->Increment(muls_applied);
   return out;
 }
 

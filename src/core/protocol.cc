@@ -7,6 +7,7 @@
 #include "core/fixed_point.h"
 #include "core/partition.h"
 #include "nn/dataset.h"
+#include "obs/trace.h"
 #include "tensor/ops.h"
 #include "util/logging.h"
 
@@ -51,6 +52,7 @@ ModelProvider::ModelProvider(std::shared_ptr<const InferencePlan> plan,
 
 Result<std::vector<Ciphertext>> ModelProvider::InverseObfuscate(
     uint64_t request_id, size_t round, std::vector<Ciphertext> in) {
+  obs::ScopedSpan span("inverse_obfuscate", "obf", request_id);
   PPS_RETURN_IF_ERROR(ProbeFault(fault_, "mp.InverseObfuscate"));
   Permutation perm;
   {
@@ -81,8 +83,13 @@ Result<std::vector<Ciphertext>> ModelProvider::ApplyLinearStage(
   for (const IntegerAffineLayer& op : stage.ops) {
     // Fixed-base tables for the high-fan-out input slots of this op,
     // shared by every worker thread evaluating it (DESIGN.md §8).
+    Result<EncryptedStageCache> cache_result = [&] {
+      obs::ScopedSpan cache_span("crypto.stage_cache_build", "crypto");
+      return op.BuildEncryptedStageCache(pk_, current, pool);
+    }();
     PPS_ASSIGN_OR_RETURN(EncryptedStageCache cache,
-                         op.BuildEncryptedStageCache(pk_, current, pool));
+                         std::move(cache_result));
+    obs::ScopedSpan mul_span("crypto.scalar_mul_batch", "crypto");
     if (pool != nullptr && pool->num_threads() > 1) {
       PPS_ASSIGN_OR_RETURN(PartitionPlan partition,
                            PartitionOp(op, pool->num_threads()));
@@ -101,6 +108,7 @@ Result<std::vector<Ciphertext>> ModelProvider::ApplyLinearStage(
 
 Result<std::vector<Ciphertext>> ModelProvider::Obfuscate(
     uint64_t request_id, size_t round, std::vector<Ciphertext> in) {
+  obs::ScopedSpan span("obfuscate", "obf", request_id);
   PPS_RETURN_IF_ERROR(ProbeFault(fault_, "mp.Obfuscate"));
   if (rerand_pool_ != nullptr) {
     // Fresh r^n per slot (one ModMul each) so the bits leaving the model
@@ -187,6 +195,7 @@ DataProvider::DataProvider(std::shared_ptr<const InferencePlan> plan,
 
 Result<std::vector<Ciphertext>> DataProvider::EncryptInput(
     const DoubleTensor& input) {
+  obs::ScopedSpan span("crypto.encrypt_batch", "crypto");
   PPS_RETURN_IF_ERROR(ProbeFault(fault_, "dp.EncryptInput"));
   if (input.shape() != plan_->input_shape) {
     return Status::InvalidArgument(
@@ -262,14 +271,17 @@ Result<std::vector<Ciphertext>> DataProvider::ProcessIntermediate(
   // Decrypt + dequantize. The values are permuted; the non-linear segment
   // is element-wise, so order does not matter (§III-C).
   DoubleTensor values{Shape{static_cast<int64_t>(in.size())}};
-  PPS_RETURN_IF_ERROR(ForEachMaybeParallel(
-      in.size(), pool, [&](size_t i) -> Status {
-        PPS_ASSIGN_OR_RETURN(
-            BigInt m, Paillier::Decrypt(keys_.public_key, keys_.private_key,
-                                        in[i]));
-        values[static_cast<int64_t>(i)] = m.ToDouble() / scale;
-        return Status::OK();
-      }));
+  {
+    obs::ScopedSpan decrypt_span("crypto.decrypt_batch", "crypto");
+    PPS_RETURN_IF_ERROR(ForEachMaybeParallel(
+        in.size(), pool, [&](size_t i) -> Status {
+          PPS_ASSIGN_OR_RETURN(
+              BigInt m, Paillier::Decrypt(keys_.public_key,
+                                          keys_.private_key, in[i]));
+          values[static_cast<int64_t>(i)] = m.ToDouble() / scale;
+          return Status::OK();
+        }));
+  }
   if (decrypted_view != nullptr) {
     decrypted_view->assign(values.data().begin(), values.data().end());
   }
@@ -279,6 +291,7 @@ Result<std::vector<Ciphertext>> DataProvider::ProcessIntermediate(
   // Re-quantize at F and re-encrypt (Step 2.3). The batch take assigns
   // pool randomizers to slots in stream order; misses are raised across
   // `pool`, and the remaining per-element work is one ModMul.
+  obs::ScopedSpan encrypt_span("crypto.encrypt_batch", "crypto");
   std::vector<BigInt> rns = enc_pool_->TakeMany(in.size(), pool);
   std::vector<Ciphertext> out(in.size());
   PPS_RETURN_IF_ERROR(ForEachMaybeParallel(
@@ -298,6 +311,7 @@ Result<std::vector<Ciphertext>> DataProvider::EncryptInputParallel(
   if (pool == nullptr || pool->num_threads() <= 1) {
     return EncryptInput(input);
   }
+  obs::ScopedSpan span("crypto.encrypt_batch", "crypto");
   PPS_RETURN_IF_ERROR(ProbeFault(fault_, "dp.EncryptInput"));
   if (input.shape() != plan_->input_shape) {
     return Status::InvalidArgument("input shape mismatch");
@@ -328,14 +342,17 @@ Result<DoubleTensor> DataProvider::ProcessFinal(
   const double scale =
       ScalePower(plan_->scale, stage.output_scale_power).ToDouble();
   DoubleTensor values{stage.output_shape};
-  PPS_RETURN_IF_ERROR(ForEachMaybeParallel(
-      in.size(), pool, [&](size_t i) -> Status {
-        PPS_ASSIGN_OR_RETURN(
-            BigInt m, Paillier::Decrypt(keys_.public_key, keys_.private_key,
-                                        in[i]));
-        values[static_cast<int64_t>(i)] = m.ToDouble() / scale;
-        return Status::OK();
-      }));
+  {
+    obs::ScopedSpan decrypt_span("crypto.decrypt_batch", "crypto");
+    PPS_RETURN_IF_ERROR(ForEachMaybeParallel(
+        in.size(), pool, [&](size_t i) -> Status {
+          PPS_ASSIGN_OR_RETURN(
+              BigInt m, Paillier::Decrypt(keys_.public_key,
+                                          keys_.private_key, in[i]));
+          values[static_cast<int64_t>(i)] = m.ToDouble() / scale;
+          return Status::OK();
+        }));
+  }
   return ApplySegment(round, values);
 }
 
@@ -356,6 +373,10 @@ Result<DoubleTensor> RunProtocolInference(ModelProviderApi& mp,
     }
   }
   const size_t rounds = mp.plan().NumRounds();
+  // Root span for the whole synchronous inference; batch/crypto/net spans
+  // below all parent (directly or transitively) under it.
+  obs::ScopedSpan root = obs::ScopedSpan::Root("inference", "request",
+                                               request_id);
   PPS_ASSIGN_OR_RETURN(std::vector<Ciphertext> wire, dp.EncryptInput(input));
   for (size_t r = 0; r < rounds; ++r) {
     PPS_ASSIGN_OR_RETURN(wire, mp.ProcessRound(request_id, r, wire));

@@ -1,9 +1,34 @@
 #include "crypto/paillier.h"
 
 #include "bignum/prime.h"
+#include "obs/metrics.h"
 #include "util/logging.h"
 
 namespace ppstream {
+
+namespace {
+
+/// Process-wide primitive-operation counters ("crypto.*"). Handles are
+/// function-local statics so the hot path pays one relaxed atomic add.
+obs::Counter& EncryptCounter() {
+  static obs::Counter* c =
+      obs::MetricsRegistry::Global().GetCounter("crypto.encrypts");
+  return *c;
+}
+
+obs::Counter& DecryptCounter() {
+  static obs::Counter* c =
+      obs::MetricsRegistry::Global().GetCounter("crypto.decrypts");
+  return *c;
+}
+
+obs::Counter& ScalarMulCounter() {
+  static obs::Counter* c =
+      obs::MetricsRegistry::Global().GetCounter("crypto.scalar_muls");
+  return *c;
+}
+
+}  // namespace
 
 PaillierPublicKey::PaillierPublicKey(BigInt n)
     : n_(std::move(n)),
@@ -122,6 +147,7 @@ BigInt Paillier::DecodeSigned(const PaillierPublicKey& pk, const BigInt& v) {
 
 Result<Ciphertext> Paillier::Encrypt(const PaillierPublicKey& pk,
                                      const BigInt& m, SecureRng& rng) {
+  EncryptCounter().Increment();
   PPS_ASSIGN_OR_RETURN(BigInt encoded, EncodeSigned(pk, m));
   // g^m = (1 + n)^m = 1 + m n (mod n^2) since g = n + 1.
   PPS_ASSIGN_OR_RETURN(BigInt gm,
@@ -134,6 +160,7 @@ Result<Ciphertext> Paillier::Encrypt(const PaillierPublicKey& pk,
 Result<BigInt> Paillier::Decrypt(const PaillierPublicKey& pk,
                                  const PaillierPrivateKey& sk,
                                  const Ciphertext& c) {
+  DecryptCounter().Increment();
   PPS_ASSIGN_OR_RETURN(BigInt raw, sk.DecryptRaw(c));
   return DecodeSigned(pk, raw);
 }
@@ -153,6 +180,7 @@ Result<Ciphertext> Paillier::AddPlain(const PaillierPublicKey& pk,
 
 Result<Ciphertext> Paillier::ScalarMul(const PaillierPublicKey& pk,
                                        const Ciphertext& c, const BigInt& w) {
+  ScalarMulCounter().Increment();
   if (w.IsZero()) return Ciphertext{BigInt(1)};  // E(0) with r = 1
   if (w.IsNegative()) {
     PPS_ASSIGN_OR_RETURN(BigInt inv,
@@ -182,6 +210,7 @@ Ciphertext Paillier::EncryptZeroDeterministic(const PaillierPublicKey& pk) {
 Result<Ciphertext> Paillier::EncryptWithRandomizer(const PaillierPublicKey& pk,
                                                    const BigInt& m,
                                                    const BigInt& rn) {
+  EncryptCounter().Increment();
   PPS_ASSIGN_OR_RETURN(BigInt encoded, EncodeSigned(pk, m));
   PPS_ASSIGN_OR_RETURN(BigInt gm,
                        (BigInt(1) + encoded * pk.n()).Mod(pk.n_squared()));
@@ -203,6 +232,7 @@ Result<FixedBaseExp> Paillier::PrecomputeScalarMulBase(
 
 Result<Ciphertext> Paillier::ScalarMulPrecomputed(const FixedBaseExp& base,
                                                   const BigInt& w) {
+  ScalarMulCounter().Increment();
   PPS_ASSIGN_OR_RETURN(BigInt v, base.Pow(w));
   return Ciphertext{std::move(v)};
 }
@@ -243,6 +273,7 @@ Result<MontCiphertext> Paillier::AddPlainMont(const PaillierPublicKey& pk,
 Result<MontCiphertext> Paillier::ScalarMulMont(const PaillierPublicKey& pk,
                                                const MontCiphertext& c,
                                                const BigInt& w) {
+  ScalarMulCounter().Increment();
   const MontgomeryContext& ctx = pk.ctx_n2();
   MontCiphertext out;
   if (w.IsZero()) {

@@ -21,6 +21,14 @@ RandomizerPool::RandomizerPool(PaillierPublicKey pk, uint64_t seed,
         }
         return o;
       }()),
+      registry_([] {
+        obs::MetricsRegistry& r = obs::MetricsRegistry::Global();
+        return RegistryHandles{r.GetCounter("crypto.pool.hits"),
+                               r.GetCounter("crypto.pool.misses"),
+                               r.GetCounter("crypto.pool.produced"),
+                               r.GetCounter("crypto.pool.refills"),
+                               r.GetGauge("crypto.pool.available")};
+      }()),
       rng_(SecureRng::FromSeed(seed)) {}
 
 RandomizerPool::~RandomizerPool() {
@@ -34,6 +42,7 @@ RandomizerPool::~RandomizerPool() {
 
 BigInt RandomizerPool::NextRLocked() {
   ++stats_.produced;
+  registry_.produced->Increment();
   return rng_.NextCoprimeBelow(pk_.n());
 }
 
@@ -49,6 +58,8 @@ BigInt RandomizerPool::Take() {
       BigInt rn = std::move(ready_.front());
       ready_.pop_front();
       ++stats_.hits;
+      registry_.hits->Increment();
+      registry_.available->Set(static_cast<double>(ready_.size()));
       if (options_.background_refill && ready_.size() < options_.low_water) {
         EnsureRefillThreadLocked();
         refill_cv_.notify_one();
@@ -56,6 +67,7 @@ BigInt RandomizerPool::Take() {
       return rn;
     }
     ++stats_.misses;
+    registry_.misses->Increment();
     r = NextRLocked();
     if (options_.background_refill) {
       EnsureRefillThreadLocked();
@@ -78,12 +90,15 @@ std::vector<BigInt> RandomizerPool::TakeMany(size_t count, ThreadPool* pool) {
       out[i] = std::move(ready_.front());
       ready_.pop_front();
       ++stats_.hits;
+      registry_.hits->Increment();
     }
     for (; i < count; ++i) {
       miss_positions.push_back(i);
       miss_r.push_back(NextRLocked());
       ++stats_.misses;
+      registry_.misses->Increment();
     }
+    registry_.available->Set(static_cast<double>(ready_.size()));
     if (options_.background_refill && ready_.size() < options_.low_water) {
       EnsureRefillThreadLocked();
       refill_cv_.notify_one();
@@ -112,6 +127,7 @@ void RandomizerPool::Fill() {
     BigInt rn = Raise(r);
     std::lock_guard<std::mutex> lock(mutex_);
     ready_.push_back(std::move(rn));
+    registry_.available->Set(static_cast<double>(ready_.size()));
   }
 }
 
@@ -128,12 +144,19 @@ void RandomizerPool::RefillLoop() {
       return stop_ || ready_.size() < options_.low_water;
     });
     if (stop_) return;
+    bool topped_up = false;
     while (!stop_ && ready_.size() < options_.capacity) {
       BigInt r = NextRLocked();
       lock.unlock();
       BigInt rn = Raise(r);
       lock.lock();
       ready_.push_back(std::move(rn));
+      registry_.available->Set(static_cast<double>(ready_.size()));
+      topped_up = true;
+    }
+    if (topped_up) {
+      ++stats_.refills;
+      registry_.refills->Increment();
     }
   }
 }

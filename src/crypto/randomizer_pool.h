@@ -26,6 +26,7 @@
 
 #include "crypto/paillier.h"
 #include "crypto/secure_rng.h"
+#include "obs/metrics.h"
 #include "util/thread_pool.h"
 
 namespace ppstream {
@@ -43,10 +44,15 @@ class RandomizerPool {
     bool background_refill = true;
   };
 
+  /// Per-instance counters. The same events are mirrored into the global
+  /// MetricsRegistry under "crypto.pool.hits" / ".misses" / ".produced" /
+  /// ".refills" (aggregated across pools), plus a "crypto.pool.available"
+  /// gauge tracking the most recent ready-queue depth.
   struct Stats {
     uint64_t hits = 0;      // takes served from the pool
     uint64_t misses = 0;    // takes computed on demand
     uint64_t produced = 0;  // randomizers computed in total
+    uint64_t refills = 0;   // background refill passes that topped up
   };
 
   /// `seed` derives the CSPRNG producing the r values.
@@ -90,6 +96,16 @@ class RandomizerPool {
 
   const PaillierPublicKey pk_;
   const Options options_;
+
+  /// Aggregated process-wide mirrors of stats_ (see Stats doc).
+  struct RegistryHandles {
+    obs::Counter* hits;
+    obs::Counter* misses;
+    obs::Counter* produced;
+    obs::Counter* refills;
+    obs::Gauge* available;
+  };
+  const RegistryHandles registry_;
 
   mutable std::mutex mutex_;
   std::condition_variable refill_cv_;

@@ -58,7 +58,8 @@ Status ModelProviderTcpServer::Serve() {
     if (!status.ok()) {
       // A misbehaving client must not take the server down; log and keep
       // accepting.
-      PPS_LOG(Warn) << "connection ended with error: " << status.ToString();
+      PPS_SLOG(Warn, "server.connection_error")
+          .Kv("error", status.ToString());
     }
   }
   return Status::OK();
@@ -67,6 +68,7 @@ Status ModelProviderTcpServer::Serve() {
 Status ModelProviderTcpServer::ServeConnection(TcpSocket socket) {
   const uint64_t conn = connections_.fetch_add(1);
   const double timeout = options_.io_timeout_seconds;
+  PPS_SLOG(Debug, "server.connection_accepted").Kv("connection", conn);
 
   // ---- Handshake: public key in, weight-free plan view out.
   PPS_ASSIGN_OR_RETURN(WireFrame hello, RecvFrame(socket, timeout));

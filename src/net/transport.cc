@@ -3,6 +3,8 @@
 #include <chrono>
 #include <thread>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "stream/message.h"
 #include "util/logging.h"
 #include "util/rng.h"
@@ -16,6 +18,28 @@ double MonotonicSeconds() {
              std::chrono::steady_clock::now().time_since_epoch())
       .count();
 }
+
+/// Channel-level registry metrics, shared by every FrameChannel in the
+/// process (per-channel numbers stay available via FrameChannel::stats).
+struct NetMetrics {
+  obs::Counter* frames_sent;
+  obs::Counter* frames_received;
+  obs::Counter* bytes_sent;
+  obs::Counter* bytes_received;
+  obs::Histogram* roundtrip_seconds;
+
+  static const NetMetrics& Get() {
+    static const NetMetrics metrics = [] {
+      obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+      return NetMetrics{registry.GetCounter("net.frames_sent"),
+                        registry.GetCounter("net.frames_received"),
+                        registry.GetCounter("net.bytes_sent"),
+                        registry.GetCounter("net.bytes_received"),
+                        registry.GetHistogram("net.roundtrip_seconds")};
+    }();
+    return metrics;
+  }
+};
 
 Status CheckPayloadConsumed(const BufferReader& reader, WireMethod method) {
   if (!reader.AtEnd()) {
@@ -36,8 +60,20 @@ std::vector<uint8_t> CiphertextPayload(const std::vector<Ciphertext>& v) {
 // -------------------------------------------------------------- channels
 
 Result<WireFrame> FrameChannel::RoundTrip(const WireFrame& request) {
+  // The span is the caller-visible round trip; its (trace, span) pair is
+  // stamped into the frame header, so the server's rpc.<Method> span
+  // parents to it across the process boundary.
+  obs::ScopedSpan span("net.", "net", request.request_id,
+                       WireMethodToString(request.method));
+  const NetMetrics& net = NetMetrics::Get();
+  const double start = MonotonicSeconds();
+
   std::lock_guard<std::mutex> lock(mutex_);
-  std::vector<uint8_t> encoded = EncodeFrame(request);
+  const obs::TraceContext ctx = span.context();
+  std::vector<uint8_t> encoded =
+      (ctx.active() && !request.traced())
+          ? EncodeFrameWithTrace(request, ctx.trace_id, ctx.span_id)
+          : EncodeFrame(request);
   if (fault_ && fault_->enabled()) {
     PPS_RETURN_IF_ERROR(fault_->Fail("net.send"));
     fault_->Corrupt("net.send", encoded);
@@ -45,11 +81,16 @@ Result<WireFrame> FrameChannel::RoundTrip(const WireFrame& request) {
   if (observer_) observer_(request, /*outbound=*/true);
   stats_.frames_sent++;
   stats_.bytes_sent += encoded.size();
+  net.frames_sent->Increment();
+  net.bytes_sent->Increment(encoded.size());
 
   PPS_ASSIGN_OR_RETURN(std::vector<uint8_t> response_bytes,
                        Exchange(std::move(encoded)));
   stats_.frames_received++;
   stats_.bytes_received += response_bytes.size();
+  net.frames_received->Increment();
+  net.bytes_received->Increment(response_bytes.size());
+  net.roundtrip_seconds->Record(MonotonicSeconds() - start);
   if (fault_ && fault_->enabled()) {
     PPS_RETURN_IF_ERROR(fault_->Fail("net.recv"));
     fault_->Corrupt("net.recv", response_bytes);
@@ -81,23 +122,48 @@ Result<std::vector<uint8_t>> InProcessFrameChannel::Exchange(
   return EncodeFrame(handler_(request));
 }
 
-Result<std::vector<uint8_t>> TcpFrameChannel::Exchange(
-    std::vector<uint8_t> encoded_request) {
-  PPS_RETURN_IF_ERROR(socket_.SendAll(encoded_request.data(),
-                                      encoded_request.size(),
-                                      io_timeout_seconds_));
+namespace {
+
+/// Reads one whole frame (revision 1 or 2 header + payload) into a
+/// contiguous buffer: the fixed 34-byte prefix first, then — once the
+/// validated version says so — the trace block, then the payload.
+Result<std::vector<uint8_t>> RecvFrameBytes(TcpSocket& socket,
+                                            double timeout_seconds) {
   std::vector<uint8_t> bytes(kFrameHeaderBytes);
   PPS_RETURN_IF_ERROR(
-      socket_.RecvAll(bytes.data(), kFrameHeaderBytes, io_timeout_seconds_));
+      socket.RecvAll(bytes.data(), kFrameHeaderBytes, timeout_seconds));
+  PPS_ASSIGN_OR_RETURN(uint16_t version,
+                       PeekFrameVersion(bytes.data(), bytes.size()));
+  const size_t header_bytes = FrameHeaderBytesFor(version);
+  if (header_bytes > kFrameHeaderBytes) {
+    bytes.resize(header_bytes);
+    PPS_RETURN_IF_ERROR(socket.RecvAll(bytes.data() + kFrameHeaderBytes,
+                                       header_bytes - kFrameHeaderBytes,
+                                       timeout_seconds));
+  }
   uint64_t payload_len = 0;
   PPS_RETURN_IF_ERROR(
       DecodeFrameHeader(bytes.data(), bytes.size(), &payload_len).status());
-  bytes.resize(kFrameHeaderBytes + payload_len);
+  bytes.resize(header_bytes + payload_len);
   if (payload_len > 0) {
-    PPS_RETURN_IF_ERROR(socket_.RecvAll(bytes.data() + kFrameHeaderBytes,
-                                        payload_len, io_timeout_seconds_));
+    PPS_RETURN_IF_ERROR(socket.RecvAll(bytes.data() + header_bytes,
+                                       payload_len, timeout_seconds));
   }
   return bytes;
+}
+
+}  // namespace
+
+Result<std::vector<uint8_t>> TcpFrameChannel::Exchange(
+    std::vector<uint8_t> encoded_request) {
+  {
+    obs::ScopedSpan send_span("net.send", "net");
+    PPS_RETURN_IF_ERROR(socket_.SendAll(encoded_request.data(),
+                                        encoded_request.size(),
+                                        io_timeout_seconds_));
+  }
+  obs::ScopedSpan recv_span("net.recv", "net");
+  return RecvFrameBytes(socket_, io_timeout_seconds_);
 }
 
 // ---------------------------------------------------------------- server
@@ -108,19 +174,9 @@ Status SendFrameBytes(TcpSocket& socket, const std::vector<uint8_t>& bytes,
 }
 
 Result<WireFrame> RecvFrame(TcpSocket& socket, double timeout_seconds) {
-  std::vector<uint8_t> header(kFrameHeaderBytes);
-  PPS_RETURN_IF_ERROR(
-      socket.RecvAll(header.data(), header.size(), timeout_seconds));
-  uint64_t payload_len = 0;
-  PPS_ASSIGN_OR_RETURN(
-      WireFrame frame,
-      DecodeFrameHeader(header.data(), header.size(), &payload_len));
-  frame.payload.resize(payload_len);
-  if (payload_len > 0) {
-    PPS_RETURN_IF_ERROR(
-        socket.RecvAll(frame.payload.data(), payload_len, timeout_seconds));
-  }
-  return frame;
+  PPS_ASSIGN_OR_RETURN(std::vector<uint8_t> bytes,
+                       RecvFrameBytes(socket, timeout_seconds));
+  return DecodeFrame(bytes);
 }
 
 namespace {
@@ -224,6 +280,12 @@ WireFrame DispatchModelProviderFrame(ModelProviderApi& mp,
     return MakeErrorFrame(request,
                           Status::ProtocolError("expected a request frame"));
   }
+  // Resume the caller's trace from the wire-carried trace block: this
+  // server-side span (and any crypto spans nested inside the provider)
+  // parents to the client's in-flight net.<Method> span.
+  obs::ScopedSpan span(
+      obs::TraceContext{request.trace_id, request.parent_span_id}, "rpc.",
+      "rpc", request.request_id, WireMethodToString(request.method));
   Result<std::vector<uint8_t>> payload =
       DispatchModelProviderPayload(mp, request, pool);
   if (!payload.ok()) return MakeErrorFrame(request, payload.status());
@@ -237,6 +299,9 @@ WireFrame DispatchDataProviderFrame(DataProviderApi& dp,
     return MakeErrorFrame(request,
                           Status::ProtocolError("expected a request frame"));
   }
+  obs::ScopedSpan span(
+      obs::TraceContext{request.trace_id, request.parent_span_id}, "rpc.",
+      "rpc", request.request_id, WireMethodToString(request.method));
   Result<std::vector<uint8_t>> payload =
       DispatchDataProviderPayload(dp, request, pool);
   if (!payload.ok()) return MakeErrorFrame(request, payload.status());

@@ -49,6 +49,8 @@ WireFrame MakeResponseFrame(const WireFrame& request,
   frame.is_response = true;
   frame.request_id = request.request_id;
   frame.round = request.round;
+  frame.trace_id = request.trace_id;
+  frame.parent_span_id = request.parent_span_id;
   frame.payload = std::move(payload);
   return frame;
 }
@@ -60,6 +62,8 @@ WireFrame MakeErrorFrame(const WireFrame& request, const Status& error) {
   frame.status = error.ok() ? StatusCode::kInternal : error.code();
   frame.request_id = request.request_id;
   frame.round = request.round;
+  frame.trace_id = request.trace_id;
+  frame.parent_span_id = request.parent_span_id;
   const std::string& msg = error.message();
   frame.payload.assign(msg.begin(), msg.end());
   return frame;
@@ -72,18 +76,46 @@ Status FrameStatus(const WireFrame& frame) {
 }
 
 std::vector<uint8_t> EncodeFrame(const WireFrame& frame) {
+  return EncodeFrameWithTrace(frame, frame.trace_id, frame.parent_span_id);
+}
+
+std::vector<uint8_t> EncodeFrameWithTrace(const WireFrame& frame,
+                                          uint64_t trace_id,
+                                          uint64_t parent_span_id) {
+  const bool traced = trace_id != 0 || parent_span_id != 0;
   BufferWriter writer;
   writer.WriteU32(kWireMagic);
-  writer.WriteU32(static_cast<uint32_t>(frame.version) |
-                  (static_cast<uint32_t>(frame.method) << 16));
+  writer.WriteU32(
+      static_cast<uint32_t>(traced ? kWireVersionTraced : kWireVersion) |
+      (static_cast<uint32_t>(frame.method) << 16));
   writer.WriteU8(frame.is_response ? kFlagResponse : 0);
   writer.WriteU8(static_cast<uint8_t>(frame.status));
   writer.WriteU64(frame.request_id);
   writer.WriteU64(frame.round);
   writer.WriteU64(frame.payload.size());
+  if (traced) {
+    writer.WriteU64(trace_id);
+    writer.WriteU64(parent_span_id);
+  }
   std::vector<uint8_t> out = writer.TakeBytes();
   out.insert(out.end(), frame.payload.begin(), frame.payload.end());
   return out;
+}
+
+Result<uint16_t> PeekFrameVersion(const uint8_t* data, size_t size) {
+  BufferReader reader(data, size);
+  PPS_ASSIGN_OR_RETURN(uint32_t magic, reader.ReadU32());
+  if (magic != kWireMagic) {
+    return Status::ProtocolError("bad frame magic (not a PPS peer?)");
+  }
+  PPS_ASSIGN_OR_RETURN(uint32_t version_method, reader.ReadU32());
+  const uint16_t version = static_cast<uint16_t>(version_method & 0xFFFF);
+  if (version != kWireVersion && version != kWireVersionTraced) {
+    return Status::ProtocolError(internal::StrCat(
+        "unsupported wire version ", version, " (speaking ", kWireVersion,
+        "-", kWireVersionTraced, ")"));
+  }
+  return version;
 }
 
 Result<WireFrame> DecodeFrameHeader(const uint8_t* data, size_t size,
@@ -97,10 +129,10 @@ Result<WireFrame> DecodeFrameHeader(const uint8_t* data, size_t size,
   WireFrame frame;
   frame.version = static_cast<uint16_t>(version_method & 0xFFFF);
   const uint16_t method = static_cast<uint16_t>(version_method >> 16);
-  if (frame.version != kWireVersion) {
+  if (frame.version != kWireVersion && frame.version != kWireVersionTraced) {
     return Status::ProtocolError(internal::StrCat(
         "unsupported wire version ", frame.version, " (speaking ",
-        kWireVersion, ")"));
+        kWireVersion, "-", kWireVersionTraced, ")"));
   }
   if (!ValidMethod(method)) {
     return Status::ProtocolError(
@@ -130,6 +162,10 @@ Result<WireFrame> DecodeFrameHeader(const uint8_t* data, size_t size,
         "frame payload of ", len, " bytes exceeds the ",
         kMaxFramePayloadBytes, "-byte bound"));
   }
+  if (frame.version >= kWireVersionTraced) {
+    PPS_ASSIGN_OR_RETURN(frame.trace_id, reader.ReadU64());
+    PPS_ASSIGN_OR_RETURN(frame.parent_span_id, reader.ReadU64());
+  }
   *payload_len = len;
   return frame;
 }
@@ -138,19 +174,26 @@ Result<WireFrame> DecodeFrame(const std::vector<uint8_t>& bytes) {
   if (bytes.size() < kFrameHeaderBytes) {
     return Status::OutOfRange("truncated frame header");
   }
+  PPS_ASSIGN_OR_RETURN(uint16_t version,
+                       PeekFrameVersion(bytes.data(), bytes.size()));
+  const size_t header_bytes = FrameHeaderBytesFor(version);
+  if (bytes.size() < header_bytes) {
+    return Status::OutOfRange("truncated frame header");
+  }
   uint64_t payload_len = 0;
   PPS_ASSIGN_OR_RETURN(
       WireFrame frame,
-      DecodeFrameHeader(bytes.data(), kFrameHeaderBytes, &payload_len));
-  if (bytes.size() - kFrameHeaderBytes < payload_len) {
+      DecodeFrameHeader(bytes.data(), header_bytes, &payload_len));
+  if (bytes.size() - header_bytes < payload_len) {
     return Status::OutOfRange(internal::StrCat(
         "frame payload truncated: header announces ", payload_len,
-        " bytes, buffer holds ", bytes.size() - kFrameHeaderBytes));
+        " bytes, buffer holds ", bytes.size() - header_bytes));
   }
-  if (bytes.size() - kFrameHeaderBytes > payload_len) {
+  if (bytes.size() - header_bytes > payload_len) {
     return Status::ProtocolError("trailing bytes after frame payload");
   }
-  frame.payload.assign(bytes.begin() + kFrameHeaderBytes, bytes.end());
+  frame.payload.assign(
+      bytes.begin() + static_cast<std::ptrdiff_t>(header_bytes), bytes.end());
   return frame;
 }
 

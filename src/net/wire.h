@@ -16,6 +16,19 @@
 //       34     …  payload      method-specific bytes in BufferWriter
 //                              format; UTF-8 error message when status != 0
 //
+// Wire revision 2 (traced frames) extends the header with a 16-byte
+// trace block between payload_len and the payload; the 34-byte prefix is
+// bit-identical to revision 1 (payload_len stays at offset 26):
+//
+//       34     8  trace_id        distributed trace the call belongs to
+//       42     8  parent_span_id  caller-side span awaiting the response
+//       50     …  payload
+//
+// EncodeFrame emits revision 2 only when the frame carries a nonzero
+// trace id, so untraced deployments stay byte-identical to revision 1
+// and interoperate with revision-1-only peers; decoders accept both.
+// Responses echo the request's trace block.
+//
 // All integers are little-endian. Payload contents per method are encoded
 // by the RemoteModelProvider / RemoteDataProvider stubs and decoded by the
 // dispatchers in net/transport.h; ciphertext tensors reuse the stream
@@ -35,7 +48,16 @@ namespace ppstream {
 /// "PPS1" when the u32 is written little-endian.
 constexpr uint32_t kWireMagic = 0x31535050;
 constexpr uint16_t kWireVersion = 1;
+/// Revision 2: revision 1 plus the 16-byte trace block (see above).
+constexpr uint16_t kWireVersionTraced = 2;
 constexpr size_t kFrameHeaderBytes = 34;
+constexpr size_t kFrameTraceBytes = 16;
+
+/// Header size of a given wire revision.
+constexpr size_t FrameHeaderBytesFor(uint16_t version) {
+  return version >= kWireVersionTraced ? kFrameHeaderBytes + kFrameTraceBytes
+                                       : kFrameHeaderBytes;
+}
 
 /// Sanity bound on payload_len, checked before any allocation: a
 /// corrupted or hostile length field must not OOM the receiver.
@@ -72,10 +94,19 @@ struct WireFrame {
   StatusCode status = StatusCode::kOk;
   uint64_t request_id = 0;
   uint64_t round = 0;
+  /// Distributed-trace position of the caller (0 = untraced; the frame
+  /// encodes as revision 1 and is bit-identical to the pre-trace format).
+  uint64_t trace_id = 0;
+  uint64_t parent_span_id = 0;
   std::vector<uint8_t> payload;
 
+  bool traced() const { return trace_id != 0 || parent_span_id != 0; }
+
   /// Total encoded size (header + payload).
-  size_t WireSize() const { return kFrameHeaderBytes + payload.size(); }
+  size_t WireSize() const {
+    return FrameHeaderBytesFor(traced() ? kWireVersionTraced : kWireVersion) +
+           payload.size();
+  }
 };
 
 WireFrame MakeRequestFrame(WireMethod method, uint64_t request_id,
@@ -89,10 +120,26 @@ WireFrame MakeErrorFrame(const WireFrame& request, const Status& error);
 /// The Status a response frame carries (OK for success frames).
 Status FrameStatus(const WireFrame& frame);
 
+/// Encodes at revision 2 when the frame carries trace ids, revision 1
+/// otherwise (frame.version is informational output of decode, not an
+/// encode input).
 std::vector<uint8_t> EncodeFrame(const WireFrame& frame);
 
-/// Decodes and validates the fixed-size header (magic, version, method,
-/// flags, status, payload bound). The returned frame has an empty payload;
+/// EncodeFrame with the trace block stamped from `trace_id` /
+/// `parent_span_id` instead of the frame's own (zero) fields — lets the
+/// channel attach the ambient trace context without copying the payload.
+std::vector<uint8_t> EncodeFrameWithTrace(const WireFrame& frame,
+                                          uint64_t trace_id,
+                                          uint64_t parent_span_id);
+
+/// Validates the magic and version of a header prefix (>= 8 bytes) and
+/// returns the wire revision — tells a streaming receiver how many more
+/// header bytes to read before DecodeFrameHeader.
+Result<uint16_t> PeekFrameVersion(const uint8_t* data, size_t size);
+
+/// Decodes and validates the full header (magic, version, method, flags,
+/// status, payload bound, trace block for revision 2). `size` must cover
+/// FrameHeaderBytesFor(version). The returned frame has an empty payload;
 /// `payload_len` receives the announced body size.
 Result<WireFrame> DecodeFrameHeader(const uint8_t* data, size_t size,
                                     uint64_t* payload_len);

@@ -1,0 +1,309 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+#include <mutex>
+#include <sstream>
+
+namespace ppstream {
+namespace obs {
+
+namespace {
+
+/// Shortest round-trippable decimal for doubles in the exposition.
+std::string FormatDouble(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  // Prefer a shorter form when it round-trips exactly.
+  for (int precision = 1; precision < 17; ++precision) {
+    char shorter[64];
+    std::snprintf(shorter, sizeof(shorter), "%.*g", precision, v);
+    if (std::strtod(shorter, nullptr) == v) return shorter;
+  }
+  return buf;
+}
+
+template <typename Map>
+auto* GetOrCreate(std::mutex& mutex, Map& map, std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex);
+  auto it = map.find(name);
+  if (it == map.end()) {
+    it = map.emplace(std::string(name),
+                     std::make_unique<typename Map::mapped_type::element_type>())
+             .first;
+  }
+  return it->second.get();
+}
+
+bool HasPrefix(std::string_view s, std::string_view prefix) {
+  return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+}  // namespace
+
+double Histogram::BucketUpperBound(size_t i) {
+  if (i + 1 >= kNumBuckets) return std::numeric_limits<double>::infinity();
+  return kHistogramMinBound * static_cast<double>(uint64_t{1} << i);
+}
+
+size_t Histogram::BucketIndex(double v) {
+  if (!(v > kHistogramMinBound)) return 0;  // NaN and negatives land here too
+  const double ratio = v / kHistogramMinBound;
+  // Smallest i with v <= kHistogramMinBound * 2^i.
+  size_t i = static_cast<size_t>(std::ceil(std::log2(ratio)));
+  // Guard the boundary against log2 rounding both ways.
+  while (i > 0 && v <= BucketUpperBound(i - 1)) --i;
+  while (i + 1 < kNumBuckets && v > BucketUpperBound(i)) ++i;
+  return std::min(i, kNumBuckets - 1);
+}
+
+void Histogram::Record(double v) {
+  if (std::isnan(v)) return;
+  buckets_[BucketIndex(v)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(v, std::memory_order_relaxed);
+  double seen = max_.load(std::memory_order_relaxed);
+  while (v > seen &&
+         !max_.compare_exchange_weak(seen, v, std::memory_order_relaxed)) {
+  }
+}
+
+double Histogram::Mean() const {
+  const uint64_t n = Count();
+  return n == 0 ? 0 : Sum() / static_cast<double>(n);
+}
+
+uint64_t Histogram::BucketCount(size_t i) const {
+  return i < kNumBuckets ? buckets_[i].load(std::memory_order_relaxed) : 0;
+}
+
+double Histogram::Quantile(double q) const {
+  const HistogramSnapshot snap = SnapshotHistogram(*this);
+  if (snap.count == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  const uint64_t rank = std::max<uint64_t>(
+      1, static_cast<uint64_t>(std::ceil(q * static_cast<double>(snap.count))));
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < kNumBuckets; ++i) {
+    cumulative += snap.buckets[i];
+    if (cumulative >= rank) return std::min(BucketUpperBound(i), snap.max);
+  }
+  return snap.max;
+}
+
+void Histogram::Reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
+}
+
+HistogramSnapshot SnapshotHistogram(const Histogram& h) {
+  HistogramSnapshot snap;
+  // Bucket reads are individually atomic; a concurrent Record may land
+  // between them, so derive the count from the buckets to keep the
+  // snapshot internally consistent (sum/max stay approximate mid-run).
+  for (size_t i = 0; i < Histogram::kNumBuckets; ++i) {
+    snap.buckets[i] = h.BucketCount(i);
+    snap.count += snap.buckets[i];
+  }
+  snap.sum = h.Sum();
+  snap.max = h.Max();
+  return snap;
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+Counter* MetricsRegistry::GetCounter(std::string_view name) {
+  return GetOrCreate(mutex_, counters_, name);
+}
+
+Gauge* MetricsRegistry::GetGauge(std::string_view name) {
+  return GetOrCreate(mutex_, gauges_, name);
+}
+
+Histogram* MetricsRegistry::GetHistogram(std::string_view name) {
+  return GetOrCreate(mutex_, histograms_, name);
+}
+
+std::vector<std::pair<std::string, uint64_t>> MetricsRegistry::CounterValues(
+    std::string_view prefix) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::pair<std::string, uint64_t>> out;
+  for (const auto& [name, counter] : counters_) {
+    if (HasPrefix(name, prefix)) out.emplace_back(name, counter->Value());
+  }
+  return out;
+}
+
+std::vector<std::pair<std::string, double>> MetricsRegistry::GaugeValues(
+    std::string_view prefix) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::pair<std::string, double>> out;
+  for (const auto& [name, gauge] : gauges_) {
+    if (HasPrefix(name, prefix)) out.emplace_back(name, gauge->Value());
+  }
+  return out;
+}
+
+std::vector<std::pair<std::string, const Histogram*>>
+MetricsRegistry::Histograms(std::string_view prefix) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::pair<std::string, const Histogram*>> out;
+  for (const auto& [name, histogram] : histograms_) {
+    if (HasPrefix(name, prefix)) out.emplace_back(name, histogram.get());
+  }
+  return out;
+}
+
+void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [name, counter] : counters_) counter->Reset();
+  for (auto& [name, gauge] : gauges_) gauge->Reset();
+  for (auto& [name, histogram] : histograms_) histogram->Reset();
+}
+
+std::string PrometheusMetricName(std::string_view name) {
+  std::string out = "pps_";
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+std::string MetricsRegistry::PrometheusText() const {
+  std::ostringstream out;
+  for (const auto& [name, value] : CounterValues()) {
+    const std::string prom = PrometheusMetricName(name);
+    out << "# TYPE " << prom << " counter\n";
+    out << prom << " " << value << "\n";
+  }
+  for (const auto& [name, value] : GaugeValues()) {
+    const std::string prom = PrometheusMetricName(name);
+    out << "# TYPE " << prom << " gauge\n";
+    out << prom << " " << FormatDouble(value) << "\n";
+  }
+  for (const auto& [name, histogram] : Histograms()) {
+    const std::string prom = PrometheusMetricName(name);
+    const HistogramSnapshot snap = SnapshotHistogram(*histogram);
+    out << "# TYPE " << prom << " histogram\n";
+    uint64_t cumulative = 0;
+    for (size_t i = 0; i < Histogram::kNumBuckets; ++i) {
+      cumulative += snap.buckets[i];
+      const double bound = Histogram::BucketUpperBound(i);
+      out << prom << "_bucket{le=\""
+          << (std::isinf(bound) ? "+Inf" : FormatDouble(bound)) << "\"} "
+          << cumulative << "\n";
+    }
+    out << prom << "_sum " << FormatDouble(snap.sum) << "\n";
+    out << prom << "_count " << snap.count << "\n";
+  }
+  return out.str();
+}
+
+namespace {
+
+bool ValidPrometheusName(std::string_view name) {
+  if (name.empty()) return false;
+  if (std::isdigit(static_cast<unsigned char>(name[0]))) return false;
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    if (!ok) return false;
+  }
+  return true;
+}
+
+bool ValidPrometheusValue(std::string_view value) {
+  if (value.empty()) return false;
+  if (value == "+Inf" || value == "-Inf" || value == "NaN") return true;
+  char* end = nullptr;
+  const std::string copy(value);
+  std::strtod(copy.c_str(), &end);
+  return end != nullptr && *end == '\0';
+}
+
+}  // namespace
+
+Status CheckPrometheusText(std::string_view text) {
+  std::istringstream in{std::string(text)};
+  std::string line;
+  size_t line_no = 0;
+  // Base metric names (histogram suffixes stripped) announced by # TYPE.
+  std::map<std::string, std::string> typed;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    if (line[0] == '#') {
+      std::istringstream comment(line);
+      std::string hash, keyword, name, type;
+      comment >> hash >> keyword >> name >> type;
+      if (keyword == "TYPE") {
+        if (!ValidPrometheusName(name) ||
+            (type != "counter" && type != "gauge" && type != "histogram" &&
+             type != "summary" && type != "untyped")) {
+          return Status::InvalidArgument(internal::StrCat(
+              "malformed # TYPE line ", line_no, ": ", line));
+        }
+        typed[name] = type;
+      }
+      continue;
+    }
+    // Sample line: name[{labels}] value
+    size_t name_end = line.find_first_of("{ ");
+    if (name_end == std::string::npos) {
+      return Status::InvalidArgument(
+          internal::StrCat("malformed sample line ", line_no, ": ", line));
+    }
+    std::string name = line.substr(0, name_end);
+    std::string rest = line.substr(name_end);
+    if (!rest.empty() && rest[0] == '{') {
+      const size_t close = rest.find('}');
+      if (close == std::string::npos) {
+        return Status::InvalidArgument(internal::StrCat(
+            "unterminated label set on line ", line_no, ": ", line));
+      }
+      rest = rest.substr(close + 1);
+    }
+    // Trim the separating spaces around the value.
+    const size_t value_begin = rest.find_first_not_of(' ');
+    if (value_begin == std::string::npos) {
+      return Status::InvalidArgument(
+          internal::StrCat("sample without value on line ", line_no));
+    }
+    const std::string value =
+        rest.substr(value_begin, rest.find_last_not_of(" \r") + 1 -
+                                     value_begin);
+    if (!ValidPrometheusName(name) || !ValidPrometheusValue(value)) {
+      return Status::InvalidArgument(
+          internal::StrCat("malformed sample line ", line_no, ": ", line));
+    }
+    std::string base = name;
+    for (const char* suffix : {"_bucket", "_sum", "_count"}) {
+      const std::string s(suffix);
+      if (base.size() > s.size() &&
+          base.compare(base.size() - s.size(), s.size(), s) == 0 &&
+          typed.count(base.substr(0, base.size() - s.size()))) {
+        base = base.substr(0, base.size() - s.size());
+        break;
+      }
+    }
+    if (!typed.count(base)) {
+      return Status::InvalidArgument(internal::StrCat(
+          "sample ", name, " on line ", line_no, " has no # TYPE line"));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace obs
+}  // namespace ppstream

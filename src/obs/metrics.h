@@ -1,0 +1,156 @@
+// Process-wide metrics: lock-cheap counters, gauges, and log-bucketed
+// latency histograms (DESIGN.md §9 "Observability").
+//
+// Every metric is named by a dotted path ("stage.dp-encrypt.messages",
+// "crypto.encrypts", "net.bytes_sent"). Handles returned by the registry
+// are stable for the life of the process — callers fetch them once (at
+// construction or via a function-local static) and then update them with
+// relaxed atomics, so a hot-path increment is one uncontended atomic add.
+//
+// Histograms use log2 buckets: bucket i covers values up to
+// kHistogramMinBound * 2^i, and the last bucket is +Inf. Quantiles are
+// resolved to the upper bound of the containing bucket, clamped to the
+// exact tracked maximum — so Quantile() never under-reports against the
+// bucketed distribution and p100 is exact. Reset() zeroes values but
+// keeps every handle valid.
+
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "util/status.h"
+
+namespace ppstream {
+namespace obs {
+
+class Counter {
+ public:
+  void Increment(uint64_t n = 1) {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  uint64_t Value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+class Gauge {
+ public:
+  void Set(double v) { value_.store(v, std::memory_order_relaxed); }
+  double Value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0};
+};
+
+/// Lower bound of the histogram's log2 bucket ladder, in recorded units
+/// (seconds for latency histograms): bucket 0 holds everything at or
+/// below 100ns.
+constexpr double kHistogramMinBound = 1e-7;
+
+class Histogram {
+ public:
+  /// 40 finite buckets span [1e-7, 1e-7 * 2^39 ≈ 5.5e4]; bucket 40 is
+  /// the +Inf overflow bucket.
+  static constexpr size_t kNumBuckets = 41;
+
+  /// Inclusive upper bound of bucket i (+Inf for the last bucket).
+  static double BucketUpperBound(size_t i);
+  /// Index of the bucket that holds `v`.
+  static size_t BucketIndex(double v);
+
+  void Record(double v);
+
+  uint64_t Count() const { return count_.load(std::memory_order_relaxed); }
+  double Sum() const { return sum_.load(std::memory_order_relaxed); }
+  /// Exact maximum recorded value (0 when empty).
+  double Max() const { return max_.load(std::memory_order_relaxed); }
+  double Mean() const;
+  uint64_t BucketCount(size_t i) const;
+
+  /// Value at quantile q in [0, 1]: the upper bound of the bucket holding
+  /// the ceil(q * count)-th sample, clamped to Max(). 0 when empty.
+  double Quantile(double q) const;
+
+  void Reset();
+
+ private:
+  std::array<std::atomic<uint64_t>, kNumBuckets> buckets_{};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<double> sum_{0};
+  std::atomic<double> max_{0};
+};
+
+/// Point-in-time histogram snapshot (used by exporters and metrics()
+/// deltas).
+struct HistogramSnapshot {
+  std::array<uint64_t, Histogram::kNumBuckets> buckets{};
+  uint64_t count = 0;
+  double sum = 0;
+  double max = 0;
+};
+
+HistogramSnapshot SnapshotHistogram(const Histogram& h);
+
+/// Named metric families. Get* registers on first use and returns a
+/// pointer that stays valid (and keeps its identity) for the registry's
+/// lifetime; concurrent Get* of the same name return the same handle.
+class MetricsRegistry {
+ public:
+  /// The process-wide registry used by all instrumented subsystems.
+  static MetricsRegistry& Global();
+
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter* GetCounter(std::string_view name);
+  Gauge* GetGauge(std::string_view name);
+  Histogram* GetHistogram(std::string_view name);
+
+  /// Sorted name/value lists, optionally filtered to names starting with
+  /// `prefix`.
+  std::vector<std::pair<std::string, uint64_t>> CounterValues(
+      std::string_view prefix = "") const;
+  std::vector<std::pair<std::string, double>> GaugeValues(
+      std::string_view prefix = "") const;
+  std::vector<std::pair<std::string, const Histogram*>> Histograms(
+      std::string_view prefix = "") const;
+
+  /// Zeroes every metric without invalidating handles.
+  void Reset();
+
+  /// Prometheus text exposition (metric names sanitized to
+  /// [a-zA-Z0-9_:] and prefixed "pps_"; histograms expose cumulative
+  /// _bucket{le=...}, _sum, and _count series).
+  std::string PrometheusText() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+/// "stage.dp-encrypt.attempt_seconds" -> "pps_stage_dp_encrypt_attempt_seconds".
+std::string PrometheusMetricName(std::string_view name);
+
+/// Structural check of a Prometheus text exposition: every non-comment
+/// line must be `name{labels} value` with a sane name and a numeric
+/// value, and every series must be preceded by a # TYPE line. Backs the
+/// bench driver's export linter.
+Status CheckPrometheusText(std::string_view text);
+
+}  // namespace obs
+}  // namespace ppstream

@@ -1,0 +1,215 @@
+#include "obs/trace.h"
+
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+
+#ifdef _WIN32
+#include <process.h>
+#else
+#include <unistd.h>
+#endif
+
+namespace ppstream {
+namespace obs {
+
+namespace {
+
+thread_local TraceContext t_context;
+
+uint32_t ThreadOrdinal() {
+  static std::atomic<uint32_t> next{0};
+  thread_local uint32_t ordinal = next.fetch_add(1);
+  return ordinal;
+}
+
+uint64_t SplitMix(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+int ProcessId() {
+#ifdef _WIN32
+  return _getpid();
+#else
+  return static_cast<int>(getpid());
+#endif
+}
+
+void WriteJsonEscaped(std::ostream& out, const std::string& s) {
+  for (char c : s) {
+    switch (c) {
+      case '"': out << "\\\""; break;
+      case '\\': out << "\\\\"; break;
+      case '\n': out << "\\n"; break;
+      case '\t': out << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out << buf;
+        } else {
+          out << c;
+        }
+    }
+  }
+}
+
+std::string HexId(uint64_t id) {
+  char buf[20];
+  std::snprintf(buf, sizeof(buf), "%" PRIx64, id);
+  return buf;
+}
+
+}  // namespace
+
+double MonotonicSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+TraceContext CurrentTraceContext() { return t_context; }
+
+Tracer& Tracer::Global() {
+  static Tracer* tracer = new Tracer();
+  return *tracer;
+}
+
+Tracer::Tracer() {
+  // Salt ids per process so independently-rooted client and server traces
+  // never collide in a merged dump. Uniqueness, not secrecy, is the goal.
+  const uint64_t nanos = static_cast<uint64_t>(
+      std::chrono::steady_clock::now().time_since_epoch().count());
+  id_salt_ = SplitMix(nanos ^ (static_cast<uint64_t>(ProcessId()) << 32));
+}
+
+uint64_t Tracer::NewTraceId() {
+  uint64_t id = 0;
+  while (id == 0) {
+    id = SplitMix(id_salt_ ^ next_id_.fetch_add(1, std::memory_order_relaxed));
+  }
+  return id;
+}
+
+uint64_t Tracer::NewSpanId() { return NewTraceId(); }
+
+void Tracer::Record(SpanRecord span) {
+  if (!enabled()) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (spans_.size() >= capacity_) {
+    ++dropped_;
+    return;
+  }
+  spans_.push_back(std::move(span));
+}
+
+std::vector<SpanRecord> Tracer::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return spans_;
+}
+
+void Tracer::Clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  spans_.clear();
+  dropped_ = 0;
+}
+
+uint64_t Tracer::dropped() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return dropped_;
+}
+
+void Tracer::SetCapacity(size_t capacity) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  capacity_ = capacity > 0 ? capacity : 1;
+}
+
+void Tracer::WriteChromeJson(std::ostream& out) const {
+  const std::vector<SpanRecord> spans = Snapshot();
+  const int pid = ProcessId();
+  out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  for (const SpanRecord& span : spans) {
+    if (!first) out << ",";
+    first = false;
+    char numbers[160];
+    std::snprintf(numbers, sizeof(numbers),
+                  "\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f,\"pid\":%d,"
+                  "\"tid\":%u",
+                  span.start_seconds * 1e6, span.duration_seconds * 1e6, pid,
+                  span.thread_ordinal);
+    out << "\n{\"name\":\"";
+    WriteJsonEscaped(out, span.name);
+    out << "\",\"cat\":\"";
+    WriteJsonEscaped(out, span.category.empty() ? "span" : span.category);
+    out << "\"," << numbers << ",\"args\":{\"trace_id\":\""
+        << HexId(span.trace_id) << "\",\"span_id\":\"" << HexId(span.span_id)
+        << "\",\"parent_span_id\":\"" << HexId(span.parent_span_id)
+        << "\",\"request_id\":" << span.request_id << "}}";
+  }
+  out << "\n]}\n";
+}
+
+ScopedTraceContext::ScopedTraceContext(TraceContext ctx) : saved_(t_context) {
+  t_context = ctx;
+}
+
+ScopedTraceContext::~ScopedTraceContext() { t_context = saved_; }
+
+ScopedSpan::ScopedSpan(std::string_view name, std::string_view category,
+                       uint64_t request_id, std::string_view name_suffix)
+    : ScopedSpan(t_context, /*force_new_trace=*/false, name, category,
+                 request_id, name_suffix) {}
+
+ScopedSpan::ScopedSpan(TraceContext parent, std::string_view name,
+                       std::string_view category, uint64_t request_id,
+                       std::string_view name_suffix)
+    : ScopedSpan(parent, /*force_new_trace=*/false, name, category, request_id,
+                 name_suffix) {}
+
+ScopedSpan ScopedSpan::Root(std::string_view name, std::string_view category,
+                            uint64_t request_id) {
+  // Nest under an already-active context (e.g. a stage span); otherwise
+  // open a fresh trace.
+  return ScopedSpan(t_context, /*force_new_trace=*/!t_context.active(), name,
+                    category, request_id, {});
+}
+
+ScopedSpan::ScopedSpan(TraceContext parent, bool force_new_trace,
+                       std::string_view name, std::string_view category,
+                       uint64_t request_id, std::string_view name_suffix) {
+  Tracer& tracer = Tracer::Global();
+  if (!tracer.enabled()) return;
+  if (!parent.active() && !force_new_trace) return;
+  active_ = true;
+  record_.trace_id = parent.active() ? parent.trace_id : tracer.NewTraceId();
+  record_.parent_span_id = parent.active() ? parent.span_id : 0;
+  record_.span_id = tracer.NewSpanId();
+  record_.name.reserve(name.size() + name_suffix.size());
+  record_.name.assign(name);
+  record_.name.append(name_suffix);
+  record_.category.assign(category);
+  record_.request_id = request_id;
+  record_.thread_ordinal = ThreadOrdinal();
+  saved_ = t_context;
+  t_context = TraceContext{record_.trace_id, record_.span_id};
+  record_.start_seconds = MonotonicSeconds();
+}
+
+ScopedSpan::~ScopedSpan() {
+  if (!active_) return;
+  record_.duration_seconds = MonotonicSeconds() - record_.start_seconds;
+  t_context = saved_;
+  Tracer::Global().Record(std::move(record_));
+}
+
+TraceContext ScopedSpan::context() const {
+  if (!active_) return {};
+  return TraceContext{record_.trace_id, record_.span_id};
+}
+
+}  // namespace obs
+}  // namespace ppstream

@@ -1,0 +1,167 @@
+// Request-scoped tracing (DESIGN.md §9 "Observability").
+//
+// A trace is one inference request; a span is one timed operation inside
+// it (a stage execution, a crypto batch, a network round trip). The
+// active span is tracked per thread, so nested ScopedSpans parent
+// automatically; crossing the wire, the (trace id, span id) pair rides a
+// reserved field of the PPS wire header and the server side resumes the
+// trace with an explicit parent — client and server spans stitch into a
+// single trace viewable in chrome://tracing.
+//
+// Cost discipline: the tracer is disabled by default. A ScopedSpan on a
+// disabled tracer (or outside any active trace) is one relaxed atomic
+// load plus a thread-local read — no allocation, no lock — which keeps
+// instrumented-but-idle hot paths within the repo's ≤2% overhead budget
+// (bench_transport).
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ppstream {
+namespace obs {
+
+/// Monotonic seconds (steady_clock). The same epoch as the stream
+/// engine's StreamClockSeconds, so spans recorded from engine timestamps
+/// and RAII spans line up on one timeline.
+double MonotonicSeconds();
+
+/// The ambient trace position of the current thread. trace_id == 0 means
+/// "not tracing"; span_id is the would-be parent of a new child span.
+struct TraceContext {
+  uint64_t trace_id = 0;
+  uint64_t span_id = 0;
+
+  bool active() const { return trace_id != 0; }
+};
+
+/// The current thread's context (installed by ScopedSpan /
+/// ScopedTraceContext; inactive by default).
+TraceContext CurrentTraceContext();
+
+/// One finished span. start/duration are MonotonicSeconds-based;
+/// thread_ordinal is a small per-process thread number for trace
+/// rendering.
+struct SpanRecord {
+  uint64_t trace_id = 0;
+  uint64_t span_id = 0;
+  uint64_t parent_span_id = 0;
+  std::string name;
+  std::string category;
+  uint64_t request_id = 0;
+  double start_seconds = 0;
+  double duration_seconds = 0;
+  uint32_t thread_ordinal = 0;
+};
+
+/// Process-wide span collector and id source.
+class Tracer {
+ public:
+  static Tracer& Global();
+
+  Tracer();
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  /// Master switch. Off (default): ScopedSpans are no-ops and Record()
+  /// drops. Flipping it on mid-process is safe.
+  void SetEnabled(bool on) {
+    enabled_.store(on, std::memory_order_relaxed);
+  }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Fresh nonzero ids, unique within the process and salted per process
+  /// so two parties' locally-rooted traces do not collide when merged.
+  uint64_t NewTraceId();
+  uint64_t NewSpanId();
+
+  /// Appends a finished span (bounded buffer; drops beyond capacity and
+  /// counts the drops). No-op while disabled.
+  void Record(SpanRecord span);
+
+  std::vector<SpanRecord> Snapshot() const;
+  void Clear();
+  uint64_t dropped() const;
+  /// Caps the span buffer (default 1<<16 spans).
+  void SetCapacity(size_t capacity);
+
+  /// Chrome trace-event JSON ({"traceEvents":[...]} with "X" complete
+  /// events, microsecond timestamps) — load in chrome://tracing or
+  /// Perfetto. Events carry trace/span/parent ids in args, so merged
+  /// multi-process dumps remain stitchable.
+  void WriteChromeJson(std::ostream& out) const;
+
+ private:
+  std::atomic<bool> enabled_{false};
+  std::atomic<uint64_t> next_id_{1};
+  uint64_t id_salt_ = 0;
+
+  mutable std::mutex mutex_;
+  std::vector<SpanRecord> spans_;
+  size_t capacity_ = size_t{1} << 16;
+  uint64_t dropped_ = 0;
+};
+
+/// Installs `ctx` as the current thread's context, restoring the
+/// previous one on destruction. Stages use this to adopt the trace of
+/// the message they picked off a channel.
+class ScopedTraceContext {
+ public:
+  explicit ScopedTraceContext(TraceContext ctx);
+  ~ScopedTraceContext();
+
+  ScopedTraceContext(const ScopedTraceContext&) = delete;
+  ScopedTraceContext& operator=(const ScopedTraceContext&) = delete;
+
+ private:
+  TraceContext saved_;
+};
+
+/// RAII span. Active only when the global tracer is enabled AND the
+/// parent context is active; otherwise every operation is a no-op. While
+/// active it installs itself as the thread's current context so nested
+/// spans parent to it. `name_suffix` is appended to `name` (lets hot
+/// call sites pass "net." + method without allocating when idle).
+class ScopedSpan {
+ public:
+  /// Child of the current thread's context.
+  explicit ScopedSpan(std::string_view name, std::string_view category = "",
+                      uint64_t request_id = 0,
+                      std::string_view name_suffix = {});
+  /// Child of an explicit (typically wire-carried) parent context.
+  ScopedSpan(TraceContext parent, std::string_view name,
+             std::string_view category = "", uint64_t request_id = 0,
+             std::string_view name_suffix = {});
+
+  /// Root-or-child: starts a new trace when no context is active on this
+  /// thread, otherwise nests under it. The per-inference entry point.
+  static ScopedSpan Root(std::string_view name, std::string_view category = "",
+                         uint64_t request_id = 0);
+
+  ~ScopedSpan();
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  bool active() const { return active_; }
+  /// This span's position, for stamping onto outgoing wire frames.
+  TraceContext context() const;
+
+ private:
+  ScopedSpan(TraceContext parent, bool force_new_trace, std::string_view name,
+             std::string_view category, uint64_t request_id,
+             std::string_view name_suffix);
+
+  bool active_ = false;
+  SpanRecord record_;
+  TraceContext saved_;
+};
+
+}  // namespace obs
+}  // namespace ppstream

@@ -1,5 +1,8 @@
 #include "planner/profiler.h"
 
+#include <memory>
+
+#include "obs/metrics.h"
 #include "stream/message.h"
 #include "util/logging.h"
 #include "util/timer.h"
@@ -18,8 +21,19 @@ Result<PlanProfile> ProfilePlan(ModelProviderApi& mp, DataProviderApi& dp,
   PlanProfile profile;
   profile.stage_names.resize(stages);
   profile.stage_seconds.assign(stages, 0);
+  profile.stage_p95_seconds.assign(stages, 0);
+  profile.stage_p99_seconds.assign(stages, 0);
+  profile.stage_mean_seconds.assign(stages, 0);
   profile.stage_class.assign(stages, -1);
   profile.stage_bytes_out.assign(stages, 0);
+
+  // One latency distribution per stage (local to this run: the global
+  // registry would mix probes from earlier profiling calls).
+  std::vector<std::unique_ptr<obs::Histogram>> stage_hist;
+  stage_hist.reserve(stages);
+  for (size_t s = 0; s < stages; ++s) {
+    stage_hist.push_back(std::make_unique<obs::Histogram>());
+  }
 
   profile.stage_names[0] = "dp-encrypt";
   profile.stage_class[0] = -1;
@@ -42,24 +56,24 @@ Result<PlanProfile> ProfilePlan(ModelProviderApi& mp, DataProviderApi& dp,
     WallTimer timer;
     PPS_ASSIGN_OR_RETURN(std::vector<Ciphertext> wire,
                          dp.EncryptInput(probe));
-    profile.stage_seconds[0] += timer.ElapsedSeconds();
+    stage_hist[0]->Record(timer.ElapsedSeconds());
     profile.stage_bytes_out[0] += SerializeCiphertexts(wire).size();
 
     for (size_t r = 0; r < rounds; ++r) {
       timer.Restart();
       PPS_ASSIGN_OR_RETURN(wire, mp.ProcessRound(request_id, r, wire));
-      profile.stage_seconds[2 * r + 1] += timer.ElapsedSeconds();
+      stage_hist[2 * r + 1]->Record(timer.ElapsedSeconds());
       profile.stage_bytes_out[2 * r + 1] += SerializeCiphertexts(wire).size();
 
       timer.Restart();
       if (r + 1 < rounds) {
         PPS_ASSIGN_OR_RETURN(wire, dp.ProcessIntermediate(r, wire));
-        profile.stage_seconds[2 * r + 2] += timer.ElapsedSeconds();
+        stage_hist[2 * r + 2]->Record(timer.ElapsedSeconds());
         profile.stage_bytes_out[2 * r + 2] +=
             SerializeCiphertexts(wire).size();
       } else {
         PPS_ASSIGN_OR_RETURN(DoubleTensor result, dp.ProcessFinal(wire));
-        profile.stage_seconds[2 * r + 2] += timer.ElapsedSeconds();
+        stage_hist[2 * r + 2]->Record(timer.ElapsedSeconds());
         profile.stage_bytes_out[2 * r + 2] +=
             SerializeDoubleTensor(result).size();
       }
@@ -68,9 +82,12 @@ Result<PlanProfile> ProfilePlan(ModelProviderApi& mp, DataProviderApi& dp,
     ++request_id;
   }
 
-  const double n = static_cast<double>(probes.size());
   for (size_t s = 0; s < stages; ++s) {
-    profile.stage_seconds[s] /= n;
+    const obs::Histogram& h = *stage_hist[s];
+    profile.stage_seconds[s] = h.Quantile(0.5);
+    profile.stage_p95_seconds[s] = h.Quantile(0.95);
+    profile.stage_p99_seconds[s] = h.Quantile(0.99);
+    profile.stage_mean_seconds[s] = h.Mean();
     profile.stage_bytes_out[s] =
         static_cast<uint64_t>(profile.stage_bytes_out[s] / probes.size());
     // Zero-cost stages break the allocator's strictly-positive assumption.

@@ -15,11 +15,19 @@ namespace ppstream {
 
 /// Measured cost profile of a compiled plan's pipeline stages
 /// (2R+1 stages: dp-encrypt, then alternating mp-linear / dp-nonlinear).
+///
+/// Per-probe timings feed an obs::Histogram per stage; T_i (stage_seconds)
+/// is the median rather than the mean, so a single cold-start or
+/// scheduler-noise outlier among the probes cannot inflate the ILP input.
+/// The tail quantiles and mean are exported alongside for diagnostics.
 struct PlanProfile {
   std::vector<std::string> stage_names;
-  std::vector<double> stage_seconds;     // T_i, single-thread
-  std::vector<int> stage_class;          // +1 model provider, -1 data
-  std::vector<uint64_t> stage_bytes_out; // serialized output per request
+  std::vector<double> stage_seconds;       // T_i: per-probe p50
+  std::vector<double> stage_p95_seconds;
+  std::vector<double> stage_p99_seconds;
+  std::vector<double> stage_mean_seconds;
+  std::vector<int> stage_class;            // +1 model provider, -1 data
+  std::vector<uint64_t> stage_bytes_out;   // serialized output per request
 };
 
 /// Times each stage over the probe inputs (the paper uses 100 random

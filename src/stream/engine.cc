@@ -1,5 +1,6 @@
 #include "stream/engine.h"
 
+#include "obs/trace.h"
 #include "util/logging.h"
 
 namespace ppstream {
@@ -118,6 +119,9 @@ Status PpStreamEngine::Start() {
 
   PPS_RETURN_IF_ERROR(pipeline_.Start());
   started_ = true;
+  PPS_SLOG(Debug, "engine.start")
+      .Kv("stages", num_stages)
+      .Kv("rounds", rounds);
   return Status::OK();
 }
 
@@ -127,6 +131,14 @@ Status PpStreamEngine::Submit(uint64_t request_id,
   msg.request_id = request_id;
   msg.payload = SerializeDoubleTensor(input);
   msg.submit_time_seconds = StreamClockSeconds();
+  obs::Tracer& tracer = obs::Tracer::Global();
+  if (tracer.enabled()) {
+    // Root the request's trace here; every stage span (and, over the wire,
+    // every server-side rpc span) parents under this pair. The root span
+    // record itself is emitted in NextResult when the duration is known.
+    msg.trace_id = tracer.NewTraceId();
+    msg.root_span_id = tracer.NewSpanId();
+  }
   return pipeline_.Feed(std::move(msg));
 }
 
@@ -134,6 +146,20 @@ Result<InferenceResult> PpStreamEngine::NextResult() {
   std::optional<StreamMessage> msg = pipeline_.NextResult();
   if (!msg.has_value()) {
     return Status::FailedPrecondition("pipeline drained");
+  }
+  if (msg->trace_id != 0) {
+    // Close the request's root span now that the tail reached us.
+    obs::SpanRecord root;
+    root.trace_id = msg->trace_id;
+    root.span_id = msg->root_span_id;
+    root.parent_span_id = 0;
+    root.name = "request";
+    root.category = "request";
+    root.request_id = msg->request_id;
+    root.start_seconds = msg->submit_time_seconds;
+    root.duration_seconds =
+        obs::MonotonicSeconds() - msg->submit_time_seconds;
+    obs::Tracer::Global().Record(std::move(root));
   }
   if (msg->poisoned()) {
     // The request died mid-pipeline; drop the model provider's per-request
@@ -150,6 +176,9 @@ Result<InferenceResult> PpStreamEngine::NextResult() {
   return result;
 }
 
-void PpStreamEngine::Shutdown() { pipeline_.Shutdown(); }
+void PpStreamEngine::Shutdown() {
+  pipeline_.Shutdown();
+  PPS_SLOG(Debug, "engine.shutdown");
+}
 
 }  // namespace ppstream

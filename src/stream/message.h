@@ -46,6 +46,12 @@ struct StreamMessage {
   /// StreamClockSeconds() at submission; 0 when unknown. Retry deadlines
   /// are measured from this point.
   double submit_time_seconds = 0;
+  /// Distributed-trace ids allocated at Submit() when tracing is enabled
+  /// (0 = untraced). Stages adopt the pair as their span parent, so every
+  /// span of the request — across threads and, via the wire header's
+  /// trace block, across processes — lands in one trace.
+  uint64_t trace_id = 0;
+  uint64_t root_span_id = 0;
 
   bool poisoned() const { return !status.ok(); }
 

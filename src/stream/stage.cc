@@ -3,6 +3,7 @@
 #include <chrono>
 #include <functional>
 
+#include "obs/trace.h"
 #include "util/logging.h"
 
 namespace ppstream {
@@ -13,14 +14,28 @@ Stage::Stage(std::string name, size_t num_threads, ProcessFn fn,
       pool_(std::max<size_t>(1, num_threads)),
       fn_(std::move(fn)),
       retry_(retry_policy),
-      backoff_rng_(0x5746A6EULL ^ std::hash<std::string>{}(name_)) {}
+      backoff_rng_(0x5746A6EULL ^ std::hash<std::string>{}(name_)),
+      span_name_(internal::StrCat("stage.", name_)) {
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  const std::string prefix = span_name_ + ".";
+  counters_.messages_processed = registry.GetCounter(prefix + "messages");
+  counters_.errors = registry.GetCounter(prefix + "errors");
+  counters_.retries = registry.GetCounter(prefix + "retries");
+  counters_.poisoned_forwarded =
+      registry.GetCounter(prefix + "poisoned_forwarded");
+  counters_.deadline_exceeded =
+      registry.GetCounter(prefix + "deadline_exceeded");
+  counters_.bytes_in = registry.GetCounter(prefix + "bytes_in");
+  counters_.bytes_out = registry.GetCounter(prefix + "bytes_out");
+  counters_.attempt_seconds = registry.GetHistogram(prefix + "attempt_seconds");
+  baseline_ = RegistryTotals();
+}
 
 Result<StreamMessage> Stage::Attempt(const StreamMessage& msg) {
   if (fault_ != nullptr && fault_->enabled()) {
-    const std::string site = internal::StrCat("stage.", name_);
-    PPS_RETURN_IF_ERROR(fault_->Fail(site));
+    PPS_RETURN_IF_ERROR(fault_->Fail(span_name_));
     StreamMessage copy = msg;  // corrupt a copy so retries see clean bytes
-    if (fault_->Corrupt(site, copy.payload)) {
+    if (fault_->Corrupt(span_name_, copy.payload)) {
       return fn_(std::move(copy), pool_);
     }
   }
@@ -33,7 +48,7 @@ Result<StreamMessage> Stage::ProcessWithRetries(const StreamMessage& msg) {
   const double deadline = msg.submit_time_seconds + retry_.deadline_seconds;
   for (int attempt = 0;; ++attempt) {
     if (has_deadline && StreamClockSeconds() > deadline) {
-      counters_.deadline_exceeded.fetch_add(1, std::memory_order_relaxed);
+      counters_.deadline_exceeded->Increment();
       return Status::DeadlineExceeded(internal::StrCat(
           "request ", msg.request_id, " exceeded its ",
           retry_.deadline_seconds, "s deadline after ", attempt,
@@ -41,18 +56,19 @@ Result<StreamMessage> Stage::ProcessWithRetries(const StreamMessage& msg) {
     }
     WallTimer timer;
     Result<StreamMessage> result = Attempt(msg);
-    counters_.busy_seconds.fetch_add(timer.ElapsedSeconds(),
-                                     std::memory_order_relaxed);
+    counters_.attempt_seconds->Record(timer.ElapsedSeconds());
     if (result.ok() || attempt >= retry_.max_retries) return result;
-    counters_.retries.fetch_add(1, std::memory_order_relaxed);
-    PPS_LOG(Warn) << "stage " << name_ << " retrying request "
-                  << msg.request_id << " (attempt " << attempt + 2 << "/"
-                  << retry_.max_retries + 1
-                  << "): " << result.status().ToString();
+    counters_.retries->Increment();
+    PPS_SLOG(Warn, "stage.retry")
+        .Kv("stage", name_)
+        .Kv("request", msg.request_id)
+        .Kv("attempt", attempt + 2)
+        .Kv("max_attempts", retry_.max_retries + 1)
+        .Kv("error", result.status().ToString());
     const double backoff = retry_.BackoffSeconds(attempt + 1, backoff_rng_);
     if (backoff > 0) {
       if (has_deadline && StreamClockSeconds() + backoff > deadline) {
-        counters_.deadline_exceeded.fetch_add(1, std::memory_order_relaxed);
+        counters_.deadline_exceeded->Increment();
         return Status::DeadlineExceeded(internal::StrCat(
             "request ", msg.request_id, " would exceed its ",
             retry_.deadline_seconds, "s deadline during backoff; last error: ",
@@ -72,29 +88,33 @@ void Stage::Start(Channel<StreamMessage>* in, Channel<StreamMessage>* out) {
       if (!msg.has_value()) break;
       if (msg->poisoned()) {
         // Tombstone from an upstream stage: forward as-is.
-        counters_.poisoned_forwarded.fetch_add(1, std::memory_order_relaxed);
+        counters_.poisoned_forwarded->Increment();
         if (out != nullptr) {
           if (!out->Send(std::move(*msg))) break;
         }
         continue;
       }
-      counters_.bytes_in.fetch_add(msg->ByteSize(),
-                                   std::memory_order_relaxed);
+      counters_.bytes_in->Increment(msg->ByteSize());
+      // Parent the stage's work under the request's root span (no-op when
+      // the message is untraced or tracing is off).
+      obs::ScopedSpan span(
+          obs::TraceContext{msg->trace_id, msg->root_span_id}, span_name_,
+          "stage", msg->request_id);
       Result<StreamMessage> result = ProcessWithRetries(*msg);
-      counters_.messages_processed.fetch_add(1, std::memory_order_relaxed);
+      counters_.messages_processed->Increment();
       if (!result.ok()) {
-        counters_.errors.fetch_add(1, std::memory_order_relaxed);
-        PPS_LOG(Error) << "stage " << name_ << " failed request "
-                       << msg->request_id << ": "
-                       << result.status().ToString();
+        counters_.errors->Increment();
+        PPS_SLOG(Error, "stage.failed")
+            .Kv("stage", name_)
+            .Kv("request", msg->request_id)
+            .Kv("error", result.status().ToString());
         msg->Poison(name_, result.status());
         if (out != nullptr) {
           if (!out->Send(std::move(*msg))) break;
         }
         continue;
       }
-      counters_.bytes_out.fetch_add(result.value().ByteSize(),
-                                    std::memory_order_relaxed);
+      counters_.bytes_out->Increment(result.value().ByteSize());
       if (out != nullptr) {
         if (!out->Send(std::move(result).value())) break;
       }
@@ -107,21 +127,34 @@ void Stage::Join() {
   if (consumer_.joinable()) consumer_.join();
 }
 
+StageMetrics Stage::RegistryTotals() const {
+  StageMetrics totals;
+  totals.messages_processed = counters_.messages_processed->Value();
+  totals.errors = counters_.errors->Value();
+  totals.retries = counters_.retries->Value();
+  totals.poisoned_forwarded = counters_.poisoned_forwarded->Value();
+  totals.deadline_exceeded = counters_.deadline_exceeded->Value();
+  totals.busy_seconds = counters_.attempt_seconds->Sum();
+  totals.bytes_in = counters_.bytes_in->Value();
+  totals.bytes_out = counters_.bytes_out->Value();
+  return totals;
+}
+
 StageMetrics Stage::metrics() const {
-  StageMetrics snapshot;
-  snapshot.messages_processed =
-      counters_.messages_processed.load(std::memory_order_relaxed);
-  snapshot.errors = counters_.errors.load(std::memory_order_relaxed);
-  snapshot.retries = counters_.retries.load(std::memory_order_relaxed);
-  snapshot.poisoned_forwarded =
-      counters_.poisoned_forwarded.load(std::memory_order_relaxed);
-  snapshot.deadline_exceeded =
-      counters_.deadline_exceeded.load(std::memory_order_relaxed);
-  snapshot.busy_seconds =
-      counters_.busy_seconds.load(std::memory_order_relaxed);
-  snapshot.bytes_in = counters_.bytes_in.load(std::memory_order_relaxed);
-  snapshot.bytes_out = counters_.bytes_out.load(std::memory_order_relaxed);
-  return snapshot;
+  const StageMetrics now = RegistryTotals();
+  StageMetrics delta;
+  delta.messages_processed =
+      now.messages_processed - baseline_.messages_processed;
+  delta.errors = now.errors - baseline_.errors;
+  delta.retries = now.retries - baseline_.retries;
+  delta.poisoned_forwarded =
+      now.poisoned_forwarded - baseline_.poisoned_forwarded;
+  delta.deadline_exceeded =
+      now.deadline_exceeded - baseline_.deadline_exceeded;
+  delta.busy_seconds = now.busy_seconds - baseline_.busy_seconds;
+  delta.bytes_in = now.bytes_in - baseline_.bytes_in;
+  delta.bytes_out = now.bytes_out - baseline_.bytes_out;
+  return delta;
 }
 
 }  // namespace ppstream

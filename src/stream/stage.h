@@ -17,12 +17,12 @@
 
 #pragma once
 
-#include <atomic>
 #include <functional>
 #include <memory>
 #include <string>
 #include <thread>
 
+#include "obs/metrics.h"
 #include "stream/channel.h"
 #include "stream/message.h"
 #include "stream/retry_policy.h"
@@ -35,8 +35,14 @@
 namespace ppstream {
 
 /// Snapshot of a stage's counters. Safe to take mid-run (the live counters
-/// are atomics); values are monotone while the stage runs and final after
-/// Join().
+/// are registry atomics); values are monotone while the stage runs and
+/// final after Join().
+///
+/// The backing storage lives in MetricsRegistry::Global() under
+/// "stage.<name>.*" (plus the "stage.<name>.attempt_seconds" latency
+/// histogram); metrics() reports the delta since this Stage was
+/// constructed, so sequential pipelines that reuse stage names still see
+/// their own counts.
 struct StageMetrics {
   uint64_t messages_processed = 0;
   uint64_t errors = 0;   // messages poisoned after exhausting retries
@@ -98,6 +104,9 @@ class Stage {
   /// One attempt: fault probes, then fn_.
   Result<StreamMessage> Attempt(const StreamMessage& msg);
 
+  /// Current registry totals for this stage name (not baseline-adjusted).
+  StageMetrics RegistryTotals() const;
+
   std::string name_;
   ThreadPool pool_;
   ProcessFn fn_;
@@ -106,17 +115,23 @@ class Stage {
   Rng backoff_rng_;
   std::thread consumer_;
 
-  struct Counters {
-    std::atomic<uint64_t> messages_processed{0};
-    std::atomic<uint64_t> errors{0};
-    std::atomic<uint64_t> retries{0};
-    std::atomic<uint64_t> poisoned_forwarded{0};
-    std::atomic<uint64_t> deadline_exceeded{0};
-    std::atomic<double> busy_seconds{0};
-    std::atomic<uint64_t> bytes_in{0};
-    std::atomic<uint64_t> bytes_out{0};
+  /// Handles into MetricsRegistry::Global(), resolved once at
+  /// construction; hot-path updates are relaxed atomic adds.
+  struct Handles {
+    obs::Counter* messages_processed;
+    obs::Counter* errors;
+    obs::Counter* retries;
+    obs::Counter* poisoned_forwarded;
+    obs::Counter* deadline_exceeded;
+    obs::Counter* bytes_in;
+    obs::Counter* bytes_out;
+    obs::Histogram* attempt_seconds;
   };
-  Counters counters_;
+  Handles counters_;
+  /// Registry values at construction; metrics() subtracts these.
+  StageMetrics baseline_;
+  /// "stage.<name>", the per-message span name and fault site.
+  std::string span_name_;
 };
 
 }  // namespace ppstream

@@ -4,12 +4,23 @@
 #include <chrono>
 #include <thread>
 
+#include "obs/metrics.h"
+
 namespace ppstream {
 
 namespace {
 
 bool SiteMatches(const std::string& pattern, std::string_view site) {
   return pattern.empty() || site.find(pattern) != std::string_view::npos;
+}
+
+/// Registry counters "fault.injected.<kind>.<site>" — chaos runs report
+/// exactly what they injected and where. Only fired injections pay the
+/// name lookup.
+void CountInjection(const char* kind, std::string_view site) {
+  obs::MetricsRegistry::Global()
+      .GetCounter(internal::StrCat("fault.injected.", kind, ".", site))
+      ->Increment();
 }
 
 }  // namespace
@@ -57,10 +68,12 @@ Status FaultInjector::Fail(std::string_view site) {
       if (kind == FaultKind::kLatency && sleep_seconds == 0) {
         sleep_seconds = rs.rule.latency_seconds;
         ++stats_.latencies;
+        CountInjection("latency", site);
       } else if (kind == FaultKind::kError && injected.ok()) {
         injected = Status(rs.rule.error_code,
                           internal::StrCat("injected fault at ", site));
         ++stats_.errors;
+        CountInjection("error", site);
       }
     }
   }
@@ -82,6 +95,7 @@ void FaultInjector::Delay(std::string_view site) {
       if (!FiresLocked(rs)) continue;
       sleep_seconds = rs.rule.latency_seconds;
       ++stats_.latencies;
+      CountInjection("latency", site);
       break;
     }
   }
@@ -104,6 +118,7 @@ bool FaultInjector::Corrupt(std::string_view site,
       payload[rng_.NextBounded(payload.size())] ^= 0xFF;
     }
     ++stats_.corruptions;
+    CountInjection("corruption", site);
     return true;
   }
   return false;

@@ -12,6 +12,10 @@
 // stage, channel, and protocol endpoint of an engine. Disabled (no rules)
 // probes are a single relaxed atomic load, so a wired-but-idle injector
 // costs nothing measurable on the hot path.
+//
+// Every fired injection additionally bumps a per-site registry counter
+// "fault.injected.<kind>.<site>" (src/obs/metrics.h), so chaos runs can
+// report what they actually injected alongside the aggregate FaultStats.
 
 #pragma once
 

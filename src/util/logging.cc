@@ -1,8 +1,11 @@
 #include "util/logging.h"
 
 #include <atomic>
+#include <cinttypes>
+#include <cstdio>
 #include <mutex>
 
+#include "obs/trace.h"
 #include "util/status.h"
 
 namespace ppstream {
@@ -46,6 +49,49 @@ LogMessage::LogMessage(LogLevel level, const char* file, int line)
 LogMessage::~LogMessage() {
   std::lock_guard<std::mutex> lock(g_log_mutex);
   std::cerr << stream_.str() << "\n";
+}
+
+StructuredLogMessage::StructuredLogMessage(LogLevel level, const char* file,
+                                           int line, std::string_view event)
+    : level_(level) {
+  const char* base = file;
+  for (const char* p = file; *p; ++p) {
+    if (*p == '/') base = p + 1;
+  }
+  stream_ << "[" << LevelName(level_) << " " << base << ":" << line << "] "
+          << event;
+  const obs::TraceContext ctx = obs::CurrentTraceContext();
+  if (ctx.active()) {
+    char ids[48];
+    std::snprintf(ids, sizeof(ids), " trace=%" PRIx64 " span=%" PRIx64,
+                  ctx.trace_id, ctx.span_id);
+    stream_ << ids;
+  }
+}
+
+StructuredLogMessage::~StructuredLogMessage() {
+  std::lock_guard<std::mutex> lock(g_log_mutex);
+  std::cerr << stream_.str() << "\n";
+}
+
+void StructuredLogMessage::WriteQuotable(std::string_view v) {
+  const bool needs_quotes =
+      v.empty() || v.find_first_of(" =\"\n\t") != std::string_view::npos;
+  if (!needs_quotes) {
+    stream_ << v;
+    return;
+  }
+  stream_ << '"';
+  for (char c : v) {
+    switch (c) {
+      case '"': stream_ << "\\\""; break;
+      case '\\': stream_ << "\\\\"; break;
+      case '\n': stream_ << "\\n"; break;
+      case '\t': stream_ << "\\t"; break;
+      default: stream_ << c;
+    }
+  }
+  stream_ << '"';
 }
 
 FatalMessage::FatalMessage(const char* file, int line, const char* condition) {

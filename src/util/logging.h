@@ -2,6 +2,14 @@
 //
 // PPS_CHECK* abort on violation and are reserved for programmer errors
 // (invariants); recoverable conditions use Status (see util/status.h).
+//
+// PPS_SLOG emits structured key=value lines and automatically prefixes
+// the calling thread's active trace/span ids (see src/obs/trace.h), so
+// a grep for one trace id collects every log line of that inference:
+//
+//   PPS_SLOG(Warn, "stage.retry").Kv("stage", name).Kv("attempt", 2);
+//   -> [WARN stage.cc:48] stage.retry trace=1f3a... span=9c2b...
+//      stage=mp-linear-0 attempt=2   (one line in the actual output)
 
 #pragma once
 
@@ -9,6 +17,7 @@
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <string_view>
 
 namespace ppstream {
 
@@ -43,6 +52,38 @@ class FatalMessage {
   std::ostringstream stream_;
 };
 
+/// One structured log line: "<event> trace=<id> span=<id> k=v k=v ...".
+/// The trace/span pair is read from the calling thread's TraceContext and
+/// omitted when no trace is active. String values containing spaces,
+/// quotes, or '=' are quoted and escaped; everything else prints bare.
+class StructuredLogMessage {
+ public:
+  StructuredLogMessage(LogLevel level, const char* file, int line,
+                       std::string_view event);
+  ~StructuredLogMessage();
+
+  template <typename T>
+  StructuredLogMessage& Kv(std::string_view key, const T& value) {
+    stream_ << ' ' << key << '=';
+    WriteValue(value);
+    return *this;
+  }
+
+ private:
+  void WriteValue(const std::string& v) { WriteQuotable(v); }
+  void WriteValue(std::string_view v) { WriteQuotable(v); }
+  void WriteValue(const char* v) { WriteQuotable(v); }
+  void WriteValue(bool v) { stream_ << (v ? "true" : "false"); }
+  template <typename T>
+  void WriteValue(const T& v) {
+    stream_ << v;
+  }
+  void WriteQuotable(std::string_view v);
+
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
 }  // namespace internal
 }  // namespace ppstream
 
@@ -53,6 +94,14 @@ class FatalMessage {
     ::ppstream::internal::LogMessage(::ppstream::LogLevel::k##level,        \
                                      __FILE__, __LINE__)                    \
         .stream()
+
+/// Structured logging: PPS_SLOG(Warn, "engine.start").Kv("stages", 5);
+#define PPS_SLOG(level, event)                                              \
+  if (static_cast<int>(::ppstream::LogLevel::k##level) <                    \
+      static_cast<int>(::ppstream::GetLogLevel())) {                        \
+  } else                                                                    \
+    ::ppstream::internal::StructuredLogMessage(                             \
+        ::ppstream::LogLevel::k##level, __FILE__, __LINE__, event)
 
 #define PPS_CHECK(cond)                                                     \
   if (cond) {                                                               \
