@@ -85,8 +85,8 @@ inline TrainedEntry Train(ZooModelId id, uint64_t seed = 1000) {
 
 /// One shared key pair per key size (keygen is expensive at 2048 bits).
 inline const PaillierKeyPair& SharedKeys(int bits) {
-  static std::map<int, PaillierKeyPair>* cache =
-      new std::map<int, PaillierKeyPair>();
+  static std::map<int, PaillierKeyPair> cache_storage;
+  auto* cache = &cache_storage;
   auto it = cache->find(bits);
   if (it == cache->end()) {
     Rng rng(0xC0FFEE + static_cast<uint64_t>(bits));

@@ -85,12 +85,12 @@ int main(int argc, char** argv) {
     WallTimer timer;
     volatile int64_t sink = 0;
     for (int rep = 0; rep < 1000; ++rep) {
-      for (auto& x : v) sink += x * 1000000;
+      for (auto& x : v) sink = sink + x * 1000000;
     }
     const double mul_us = timer.ElapsedMicros() / 1000.0;
     timer.Restart();
     for (int rep = 0; rep < 1000; ++rep) {
-      for (auto& x : v) sink += x + 7;
+      for (auto& x : v) sink = sink + x + 7;
     }
     const double add_us = timer.ElapsedMicros() / 1000.0;
     std::printf("measured plaintext per tensor: scalar-mul %.2f us, add "

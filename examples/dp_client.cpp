@@ -116,9 +116,9 @@ int main(int argc, char** argv) {
     PPS_CHECK_OK(output.status());
     const size_t predicted = ArgMax(output.value());
     const TransportStats now = transport.value()->stats();
-    std::printf("request %zu: predicted %zu (label %d), %llu B sent / %llu B "
+    std::printf("request %zu: predicted %zu (label %ld), %llu B sent / %llu B "
                 "received\n",
-                i + 1, predicted, data.test.labels[i],
+                i + 1, predicted, static_cast<long>(data.test.labels[i]),
                 static_cast<unsigned long long>(now.bytes_sent -
                                                 last.bytes_sent),
                 static_cast<unsigned long long>(now.bytes_received -

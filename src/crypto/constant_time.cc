@@ -1,0 +1,15 @@
+#include "crypto/constant_time.h"
+
+namespace ppstream {
+
+bool ConstantTimeEquals(const uint8_t* a, const uint8_t* b, size_t len) {
+  // The volatile accumulator keeps the compiler from strength-reducing
+  // the loop into a memcmp (which may early-exit).
+  volatile uint8_t acc = 0;
+  for (size_t i = 0; i < len; ++i) {
+    acc = acc | static_cast<uint8_t>(a[i] ^ b[i]);
+  }
+  return acc == 0;
+}
+
+}  // namespace ppstream

@@ -1,0 +1,37 @@
+// Constant-time equality for secret buffers (ppslint rule R4,
+// DESIGN.md §10).
+//
+// A data-dependent early exit in a comparison over secret state (keys,
+// digests, permutation mappings) is a timing oracle: the time to reject
+// reveals the length of the matching prefix. These helpers touch every
+// element and fold the difference into one accumulator, so the running
+// time depends only on the (public) length.
+//
+// Length mismatch returns false immediately — container sizes are public
+// in this codebase (tensor shapes and permutation sizes are part of the
+// plan both parties hold).
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <type_traits>
+#include <vector>
+
+namespace ppstream {
+
+/// Byte-wise constant-time compare of two equal-length buffers.
+bool ConstantTimeEquals(const uint8_t* a, const uint8_t* b, size_t len);
+
+/// Constant-time compare of two vectors of trivially copyable scalars.
+template <typename T>
+  requires std::is_trivially_copyable_v<T>
+bool ConstantTimeEquals(const std::vector<T>& a, const std::vector<T>& b) {
+  if (a.size() != b.size()) return false;
+  return ConstantTimeEquals(reinterpret_cast<const uint8_t*>(a.data()),
+                            reinterpret_cast<const uint8_t*>(b.data()),
+                            a.size() * sizeof(T));
+}
+
+}  // namespace ppstream

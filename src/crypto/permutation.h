@@ -13,6 +13,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "crypto/constant_time.h"
 #include "crypto/secure_rng.h"
 #include "util/logging.h"
 #include "util/status.h"
@@ -65,7 +66,11 @@ class Permutation {
   /// The inverse permutation as a standalone object.
   Permutation Inverse() const;
 
-  bool operator==(const Permutation& o) const { return map_ == o.map_; }
+  /// Constant-time: the mapping is obfuscation state, and an early-exit
+  /// compare would leak the length of the matching prefix (ppslint R4).
+  bool operator==(const Permutation& o) const {
+    return ConstantTimeEquals(map_, o.map_);
+  }
 
  private:
   std::vector<uint32_t> map_;

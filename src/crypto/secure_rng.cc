@@ -41,6 +41,7 @@ SecureRng::SecureRng(const Key& key) {
 }
 
 SecureRng SecureRng::FromEntropy() {
+  // ppslint:allow(R2 the one audited OS-entropy source: it only keys the ChaCha20 stream, no engine state escapes this function)
   std::random_device rd;
   Key key;
   for (size_t i = 0; i < key.size(); i += 4) {

@@ -489,6 +489,7 @@ Result<std::unique_ptr<TcpTransport>> TcpTransport::Connect(
   PPS_ASSIGN_OR_RETURN(std::shared_ptr<const InferencePlan> view,
                        HandshakeAsDataProvider(*channel, pk));
   return std::unique_ptr<TcpTransport>(
+      // ppslint:allow(R5 make_unique cannot reach the private ctor; ownership transfers to the unique_ptr on the same line)
       new TcpTransport(std::move(channel), std::move(view)));
 }
 

@@ -117,6 +117,7 @@ HistogramSnapshot SnapshotHistogram(const Histogram& h) {
 }
 
 MetricsRegistry& MetricsRegistry::Global() {
+  // ppslint:allow(R5 intentionally leaked singleton: worker threads may record metrics during static destruction)
   static MetricsRegistry* registry = new MetricsRegistry();
   return *registry;
 }

@@ -74,6 +74,7 @@ double MonotonicSeconds() {
 TraceContext CurrentTraceContext() { return t_context; }
 
 Tracer& Tracer::Global() {
+  // ppslint:allow(R5 intentionally leaked singleton: spans may close during static destruction)
   static Tracer* tracer = new Tracer();
   return *tracer;
 }

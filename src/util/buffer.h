@@ -58,28 +58,31 @@ class BufferReader {
   explicit BufferReader(const std::vector<uint8_t>& bytes)
       : BufferReader(bytes.data(), bytes.size()) {}
 
+  // The = 0/0.0 initializers are dead stores on the success path but keep
+  // GCC's -Wmaybe-uninitialized quiet when ReadRaw's error branch is
+  // inlined into a Result construction.
   Result<uint8_t> ReadU8() {
-    uint8_t v;
+    uint8_t v = 0;
     PPS_RETURN_IF_ERROR(ReadRaw(&v, sizeof(v)));
     return v;
   }
   Result<uint32_t> ReadU32() {
-    uint32_t v;
+    uint32_t v = 0;
     PPS_RETURN_IF_ERROR(ReadRaw(&v, sizeof(v)));
     return v;
   }
   Result<uint64_t> ReadU64() {
-    uint64_t v;
+    uint64_t v = 0;
     PPS_RETURN_IF_ERROR(ReadRaw(&v, sizeof(v)));
     return v;
   }
   Result<int64_t> ReadI64() {
-    int64_t v;
+    int64_t v = 0;
     PPS_RETURN_IF_ERROR(ReadRaw(&v, sizeof(v)));
     return v;
   }
   Result<double> ReadDouble() {
-    double v;
+    double v = 0.0;
     PPS_RETURN_IF_ERROR(ReadRaw(&v, sizeof(v)));
     return v;
   }

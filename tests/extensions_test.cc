@@ -219,9 +219,9 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Values(SweepParam{1, 128}, SweepParam{10, 128},
                       SweepParam{1000, 128}, SweepParam{1000000, 256},
                       SweepParam{100, 512}, SweepParam{10000, 256}),
-    [](const ::testing::TestParamInfo<SweepParam>& info) {
-      return "F" + std::to_string(info.param.scale) + "_k" +
-             std::to_string(info.param.key_bits);
+    [](const ::testing::TestParamInfo<SweepParam>& sweep_info) {
+      return "F" + std::to_string(sweep_info.param.scale) + "_k" +
+             std::to_string(sweep_info.param.key_bits);
     });
 
 }  // namespace

@@ -1,0 +1,199 @@
+// ppslint golden tests (DESIGN.md §10): every rule fires on its positive
+// fixture, stays silent on its negative fixture, and the real tree is
+// clean. Fixtures live in tools/ppslint/fixtures/ and are analyzed under
+// synthetic rel paths so the scope rules (R2's crypto dirs, R1's wire.cc
+// allowlist) engage exactly as they would in src/.
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "ppslint.h"
+
+namespace {
+
+using ppslint::AnalyzeFiles;
+using ppslint::AnalyzeSource;
+using ppslint::Options;
+using ppslint::Report;
+using ppslint::RuleId;
+
+std::string ReadFixture(const std::string& name) {
+  const std::string path = std::string(PPSLINT_FIXTURES_DIR) + "/" + name;
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "missing fixture " << path;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return std::move(ss).str();
+}
+
+Options RepoOptions() {
+  Options opts;
+  opts.root = PPSLINT_REPO_ROOT;
+  opts.include_roots = {"src"};
+  return opts;
+}
+
+size_t CountRule(const Report& report, RuleId rule) {
+  size_t n = 0;
+  for (const auto& v : report.violations) n += v.rule == rule ? 1 : 0;
+  return n;
+}
+
+size_t CountOtherRules(const Report& report, RuleId rule) {
+  return report.violations.size() - CountRule(report, rule);
+}
+
+// Analyzes fixture `name` as if it lived at `rel_path` in the repo.
+Report Analyze(const std::string& name, const std::string& rel_path) {
+  return AnalyzeSource(RepoOptions(), rel_path, ReadFixture(name));
+}
+
+struct RuleCase {
+  RuleId rule;
+  const char* pos_fixture;
+  const char* pos_rel_path;
+  size_t min_pos_findings;
+  const char* neg_fixture;
+  const char* neg_rel_path;
+};
+
+class PpslintRuleTest : public ::testing::TestWithParam<RuleCase> {};
+
+TEST_P(PpslintRuleTest, FiresOnPositiveFixture) {
+  const RuleCase& c = GetParam();
+  const Report report = Analyze(c.pos_fixture, c.pos_rel_path);
+  EXPECT_GE(CountRule(report, c.rule), c.min_pos_findings)
+      << "rule did not fire on " << c.pos_fixture;
+  EXPECT_EQ(CountOtherRules(report, c.rule), 0u)
+      << "fixture " << c.pos_fixture << " tripped an unrelated rule";
+}
+
+TEST_P(PpslintRuleTest, SilentOnNegativeFixture) {
+  const RuleCase& c = GetParam();
+  const Report report = Analyze(c.neg_fixture, c.neg_rel_path);
+  EXPECT_TRUE(report.violations.empty())
+      << "unexpected finding in " << c.neg_fixture << ": "
+      << (report.violations.empty()
+              ? ""
+              : report.violations[0].file + ":" +
+                    std::to_string(report.violations[0].line) + " " +
+                    report.violations[0].message);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllRules, PpslintRuleTest,
+    ::testing::Values(
+        RuleCase{RuleId::kR1, "r1_pos.cc", "src/core/r1_pos.cc", 2,
+                 "r1_neg.cc", "src/core/r1_neg.cc"},
+        RuleCase{RuleId::kR2, "r2_pos.cc", "src/crypto/r2_pos.cc", 4,
+                 "r2_neg.cc", "src/crypto/r2_neg.cc"},
+        RuleCase{RuleId::kR3, "r3_pos.cc", "src/stream/r3_pos.cc", 2,
+                 "r3_neg.cc", "src/stream/r3_neg.cc"},
+        RuleCase{RuleId::kR4, "r4_pos.cc", "src/crypto/r4_pos.cc", 2,
+                 "r4_neg.cc", "src/crypto/r4_neg.cc"},
+        RuleCase{RuleId::kR5, "r5_pos.cc", "src/stream/r5_pos.cc", 3,
+                 "r5_neg.cc", "src/stream/r5_neg.cc"}),
+    [](const ::testing::TestParamInfo<RuleCase>& tpi) {
+      return std::string(ppslint::RuleIdName(tpi.param.rule));
+    });
+
+// ---------------------------------------------------------------- scopes
+
+TEST(PpslintScopeTest, R2OnlyFiresInCryptoCoreMpc) {
+  const std::string content = ReadFixture("r2_pos.cc");
+  EXPECT_FALSE(
+      AnalyzeSource(RepoOptions(), "src/crypto/x.cc", content).violations
+          .empty());
+  EXPECT_FALSE(
+      AnalyzeSource(RepoOptions(), "src/mpc/x.cc", content).violations
+          .empty());
+  // Outside the entropy scopes the same construct is legal (util/rng.h is
+  // the sanctioned non-crypto PRNG home).
+  EXPECT_TRUE(
+      AnalyzeSource(RepoOptions(), "src/util/x.cc", content).violations
+          .empty());
+  EXPECT_TRUE(
+      AnalyzeSource(RepoOptions(), "bench/x.cc", content).violations.empty());
+}
+
+TEST(PpslintScopeTest, R1AllowlistOnlyCoversWireCc) {
+  const std::string content = ReadFixture("r1_allowlisted.cc");
+  EXPECT_TRUE(
+      AnalyzeSource(RepoOptions(), "src/net/wire.cc", content).violations
+          .empty());
+  // The same code anywhere else is a violation.
+  EXPECT_FALSE(
+      AnalyzeSource(RepoOptions(), "src/net/other.cc", content).violations
+          .empty());
+}
+
+TEST(PpslintScopeTest, R5RawNewIsLegalInBignum) {
+  const std::string content = ReadFixture("r5_pos.cc");
+  const Report report =
+      AnalyzeSource(RepoOptions(), "src/bignum/x.cc", content);
+  // new/delete are waived in bignum; the catch (...) finding remains.
+  EXPECT_EQ(CountRule(report, RuleId::kR5), 1u);
+}
+
+// ---------------------------------------------------------- suppressions
+
+TEST(PpslintSuppressionTest, AllowCommentsWaiveCountAndReportUnused) {
+  const Report report =
+      Analyze("suppressed.cc", "src/stream/suppressed.cc");
+  ASSERT_EQ(report.violations.size(), 1u);
+  EXPECT_EQ(report.violations[0].rule, RuleId::kR5);
+  EXPECT_EQ(report.used_suppression_count(), 2u);
+  EXPECT_EQ(report.unused_suppressions().size(), 2u);
+  // Reasons survive parsing.
+  bool found_reason = false;
+  for (const auto& s : report.suppressions) {
+    found_reason |= s.reason.find("next-line suppression") !=
+                    std::string::npos;
+  }
+  EXPECT_TRUE(found_reason);
+}
+
+// -------------------------------------------------------- include cycles
+
+TEST(PpslintIncludeGraphTest, DetectsCycleOnce) {
+  Options opts;
+  opts.root = std::string(PPSLINT_FIXTURES_DIR) + "/cycle";
+  const Report report = AnalyzeFiles(opts, {"cycle_a.h", "cycle_b.h"});
+  ASSERT_EQ(report.violations.size(), 1u);
+  EXPECT_EQ(report.violations[0].rule, RuleId::kR5);
+  EXPECT_NE(report.violations[0].message.find("#include cycle"),
+            std::string::npos);
+}
+
+TEST(PpslintIncludeGraphTest, SilentOnAcyclicChain) {
+  Options opts;
+  opts.root = std::string(PPSLINT_FIXTURES_DIR) + "/acyclic";
+  const Report report = AnalyzeFiles(opts, {"chain_a.h", "chain_b.h"});
+  EXPECT_TRUE(report.violations.empty());
+}
+
+// ----------------------------------------------------------- real tree
+
+TEST(PpslintRepoTest, RealTreeIsCleanWithNoUnusedSuppressions) {
+  const Options opts = RepoOptions();
+  const std::vector<std::string> files =
+      ppslint::CollectSourceFiles(opts, {"src", "examples", "bench"});
+  ASSERT_GT(files.size(), 100u) << "repo scan looks truncated";
+  const Report report = AnalyzeFiles(opts, files);
+  for (const auto& v : report.violations) {
+    ADD_FAILURE() << v.file << ":" << v.line << ": ["
+                  << ppslint::RuleIdName(v.rule) << "] " << v.message;
+  }
+  for (const auto* s : report.unused_suppressions()) {
+    ADD_FAILURE() << s->file << ":" << s->comment_line
+                  << ": unused suppression";
+  }
+  // The audited waivers (secure_rng entropy, obs singletons, transport
+  // factory) stay accounted for.
+  EXPECT_GE(report.used_suppression_count(), 4u);
+}
+
+}  // namespace

@@ -527,6 +527,14 @@ TEST(RandomizerPoolObsTest, BackgroundRefillKeepsPoolAboveLowWater) {
         << "refill thread never restored low water (round " << round << ")";
   }
 
+  // A refill pass only counts once it tops the pool up to full capacity,
+  // which can land well after available() crosses low-water when the
+  // modexp is slow (sanitizer builds) — wait for the pass, not the level.
+  const double refill_deadline = obs::MonotonicSeconds() + 30.0;
+  while (pool.stats().refills == 0 &&
+         obs::MonotonicSeconds() < refill_deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
   const RandomizerPool::Stats stats = pool.stats();
   EXPECT_GT(stats.refills, 0u);
   EXPECT_GT(stats.hits, 0u);

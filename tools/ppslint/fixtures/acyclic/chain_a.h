@@ -1,0 +1,8 @@
+// ppslint fixture: top of an acyclic include chain (R5 negative).
+#pragma once
+
+#include "chain_b.h"
+
+struct ChainA {
+  ChainB b;
+};

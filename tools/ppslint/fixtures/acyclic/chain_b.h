@@ -1,0 +1,6 @@
+// ppslint fixture: bottom of an acyclic include chain (R5 negative).
+#pragma once
+
+struct ChainB {
+  int b = 0;
+};

@@ -1,0 +1,8 @@
+// ppslint fixture: half of an #include cycle (R5 positive).
+#pragma once
+
+#include "cycle_b.h"
+
+struct CycleA {
+  int a = 0;
+};

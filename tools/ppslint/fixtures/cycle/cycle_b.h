@@ -1,0 +1,8 @@
+// ppslint fixture: other half of the #include cycle (R5 positive).
+#pragma once
+
+#include "cycle_a.h"
+
+struct CycleB {
+  int b = 0;
+};

@@ -1,0 +1,30 @@
+// ppslint fixture: R1 must stay SILENT — only public material reaches
+// serialization sinks; secret tags appear, but never in a sink statement.
+// Analyzed under rel path "src/core/r1_neg.cc" by tests/lint_test.cc.
+
+#include "util/buffer.h"
+
+namespace ppstream {
+
+// Ciphertexts are the protocol's wire currency: fine to serialize.
+void SendCiphertext(const Ciphertext& c, BufferWriter* out) {
+  c.Serialize(out);
+}
+
+// Public key crosses during the handshake by design.
+void SendPublicKey(const PaillierPublicKey& pk, BufferWriter* out) {
+  pk.Serialize(out);
+}
+
+// Secret-tagged identifiers in non-sink statements are fine.
+int CountPermutations(const Permutation& permutation) {
+  return static_cast<int>(permutation.size());
+}
+
+// A secret tag inside a string literal is not an identifier.
+const char* Describe(BufferWriter* out) {
+  out->WriteString("private_key stays home");
+  return "ok";
+}
+
+}  // namespace ppstream

@@ -1,0 +1,23 @@
+// ppslint fixture: R1 MUST fire — secret-tagged material reaching a
+// serialization sink outside the audited allowlist.
+// Analyzed under rel path "src/core/r1_pos.cc" by tests/lint_test.cc.
+
+#include "util/buffer.h"
+
+namespace ppstream {
+
+struct PaillierPrivateKey;
+
+// A private key serialized straight into a wire buffer: the exact leak
+// R1 exists to catch.
+void LeakPrivateKey(const PaillierPrivateKey& private_key,
+                    BufferWriter* out) {
+  private_key.Serialize(out);
+}
+
+// Permutation (obfuscation) state framed for sending.
+void LeakPermutation(const Permutation& permutation, BufferWriter* out) {
+  out->WriteBytes(PackBytes(permutation));
+}
+
+}  // namespace ppstream

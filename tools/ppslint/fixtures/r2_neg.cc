@@ -1,0 +1,29 @@
+// ppslint fixture: R2 must stay SILENT — approved randomness only, plus
+// identifiers that merely resemble banned names.
+// Analyzed under rel path "src/crypto/r2_neg.cc".
+
+#include "crypto/randomizer_pool.h"
+#include "crypto/secure_rng.h"
+
+namespace ppstream {
+
+uint64_t GoodDraw() {
+  SecureRng rng = SecureRng::FromSeed(7);
+  return rng.NextU64();
+}
+
+// Longer identifiers containing banned substrings are not matches.
+int randomize_layout(int x) { return x + 1; }
+
+struct Sampler {
+  // Member functions named like libc calls are not the libc calls.
+  int rand() const { return 4; }
+  int time() const { return 0; }
+};
+
+int MemberCalls(const Sampler& s) { return s.rand() + s.time(); }
+
+// Banned names inside strings and comments never fire: mt19937, rand().
+const char* kDoc = "never seed std::mt19937 from time()";
+
+}  // namespace ppstream

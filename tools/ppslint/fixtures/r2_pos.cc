@@ -1,0 +1,23 @@
+// ppslint fixture: R2 MUST fire — banned entropy sources in a crypto
+// scope. Analyzed under rel path "src/crypto/r2_pos.cc".
+
+#include <cstdlib>
+#include <random>
+
+namespace ppstream {
+
+int WeakCoin() {
+  return rand() % 2;  // libc rand: banned
+}
+
+unsigned SeededEngine() {
+  std::mt19937 gen(static_cast<unsigned>(time(nullptr)));  // banned twice
+  return gen();
+}
+
+unsigned DeviceDraw() {
+  std::random_device rd;  // banned outside SecureRng::FromEntropy
+  return rd();
+}
+
+}  // namespace ppstream

@@ -1,0 +1,23 @@
+// ppslint fixture: R3 must stay SILENT — logs carry only public
+// metadata; secrets appear in nearby non-log statements.
+// Analyzed under rel path "src/stream/r3_neg.cc".
+
+#include "util/logging.h"
+
+namespace ppstream {
+
+void LogMetadata(size_t stages, uint64_t request_id) {
+  PPS_SLOG(Debug, "engine.start")
+      .Kv("stages", stages)
+      .Kv("request", request_id);
+}
+
+void UseSecretsElsewhere(const Permutation& permutation) {
+  size_t n = permutation.size();
+  PPS_LOG(Info) << "permutation size only: " << n;
+}
+
+// The word "permutation" in a message string is not an identifier leak.
+void LogString() { PPS_SLOG(Warn, "obf.skip").Kv("why", "no permutation"); }
+
+}  // namespace ppstream

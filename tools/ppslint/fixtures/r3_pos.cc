@@ -1,0 +1,18 @@
+// ppslint fixture: R3 MUST fire — secret-tagged identifiers as log
+// values. Analyzed under rel path "src/stream/r3_pos.cc".
+
+#include "util/logging.h"
+
+namespace ppstream {
+
+void LogSecrets(const Permutation& permutation, uint64_t request_id) {
+  PPS_SLOG(Debug, "obfuscate.applied")
+      .Kv("request", request_id)
+      .Kv("mapping", permutation);
+}
+
+void StreamSecret(const BigInt& private_key) {
+  PPS_LOG(Info) << "loaded key " << private_key;
+}
+
+}  // namespace ppstream

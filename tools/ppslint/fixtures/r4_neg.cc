@@ -1,0 +1,34 @@
+// ppslint fixture: R4 must stay SILENT — constant-time compares,
+// presence checks, and container-position probes are all fine.
+// Analyzed under rel path "src/crypto/r4_neg.cc".
+
+#include "crypto/constant_time.h"
+
+namespace ppstream {
+
+struct Obfuscator {
+  std::vector<uint32_t> map_;
+
+  bool SameMapping(const Obfuscator& o) const {
+    return ConstantTimeEquals(map_, o.map_);
+  }
+};
+
+struct Store {
+  std::map<uint64_t, int> permutations_;
+  std::unique_ptr<int> rerand_pool_;
+
+  bool Has(uint64_t id) const {
+    // Positional probe: leaks which request has state, not its contents.
+    return permutations_.find(id) != permutations_.end();
+  }
+
+  bool Enabled() const {
+    return rerand_pool_ != nullptr;  // pointer presence, not contents
+  }
+};
+
+// Comparisons on untagged values never fire.
+bool PublicCompare(int round, int total) { return round == total; }
+
+}  // namespace ppstream

@@ -1,0 +1,20 @@
+// ppslint fixture: R4 MUST fire — variable-time comparisons on secret
+// state in a crypto scope. Analyzed under rel path "src/crypto/r4_pos.cc".
+
+#include <cstring>
+
+namespace ppstream {
+
+struct Obfuscator {
+  std::vector<uint32_t> map_;
+
+  bool SameMapping(const Obfuscator& o) const {
+    return map_ == o.map_;  // early-exit vector compare on secret state
+  }
+};
+
+bool DigestMatch(const uint8_t* a, const uint8_t* b, size_t n) {
+  return std::memcmp(a, b, n) == 0;  // variable-time compare
+}
+
+}  // namespace ppstream

@@ -1,0 +1,27 @@
+// ppslint fixture: R5 must stay SILENT — smart pointers, deleted
+// members, and a rethrowing catch (...).
+// Analyzed under rel path "src/stream/r5_neg.cc".
+
+#include <memory>
+
+namespace ppstream {
+
+struct Widget {
+  Widget(const Widget&) = delete;             // deleted member, not delete-expr
+  Widget& operator=(const Widget&) = delete;  // ditto
+};
+
+std::unique_ptr<int> MakeCounter() { return std::make_unique<int>(0); }
+
+int Rethrow() {
+  try {
+    return MightThrow();
+  } catch (...) {
+    throw;  // propagates: allowed
+  }
+}
+
+// "new"/"delete" inside strings and comments are not expressions: new.
+const char* kDoc = "never write raw new or delete here";
+
+}  // namespace ppstream

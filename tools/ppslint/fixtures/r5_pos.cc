@@ -1,0 +1,24 @@
+// ppslint fixture: R5 MUST fire — raw new/delete outside src/bignum and
+// an error-swallowing catch (...).
+// Analyzed under rel path "src/stream/r5_pos.cc".
+
+namespace ppstream {
+
+int* MakeCounter() {
+  return new int(0);  // raw new
+}
+
+void DropCounter(int* p) {
+  delete p;  // raw delete
+}
+
+int Swallow() {
+  try {
+    return MightThrow();
+  } catch (...) {
+    // error dropped on the floor
+  }
+  return -1;
+}
+
+}  // namespace ppstream

@@ -1,0 +1,26 @@
+// ppslint fixture: suppression mechanics. The first raw new is waived by
+// a ppslint:allow on its own line (applies to the next code line), the
+// second by an end-of-line comment, the third is NOT waived (wrong rule
+// id), and the final allow() is unused.
+// Analyzed under rel path "src/stream/suppressed.cc".
+
+namespace ppstream {
+
+int* WaivedAbove() {
+  // ppslint:allow(R5 fixture demonstrates next-line suppression)
+  return new int(1);
+}
+
+int* WaivedInline() {
+  return new int(2);  // ppslint:allow(R5 fixture demonstrates same-line suppression)
+}
+
+int* NotWaived() {
+  // ppslint:allow(R2 wrong rule id, so the R5 finding below survives)
+  return new int(3);
+}
+
+// ppslint:allow(R5 nothing fires on the next line, so this is unused)
+int Plain() { return 4; }
+
+}  // namespace ppstream

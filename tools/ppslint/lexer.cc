@@ -1,0 +1,270 @@
+#include "lexer.h"
+
+#include <cctype>
+
+namespace ppslint {
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+// Multi-char punctuation we keep as one token, longest first. Only
+// operators the rules inspect need to be here; everything else may split
+// into single characters without affecting any rule.
+constexpr const char* kMultiPunct[] = {
+    "<<=", ">>=", "...", "->*", "==", "!=", "<=", ">=", "&&", "||",
+    "<<",  ">>",  "->",  "::",  "+=", "-=", "*=", "/=", "%=", "^=",
+    "&=",  "|=",  "++",  "--",
+};
+
+class Lexer {
+ public:
+  explicit Lexer(const std::string& src) : src_(src) {}
+
+  LexResult Run() {
+    while (pos_ < src_.size()) {
+      const char c = src_[pos_];
+      if (c == '\n') {
+        ++line_;
+        ++pos_;
+        line_has_token_ = false;
+        continue;
+      }
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        ++pos_;
+        continue;
+      }
+      if (c == '/' && Peek(1) == '/') {
+        LexLineComment();
+        continue;
+      }
+      if (c == '/' && Peek(1) == '*') {
+        LexBlockComment();
+        continue;
+      }
+      if (c == '#' && !line_has_token_) {
+        LexDirective();
+        continue;
+      }
+      if (c == '"') {
+        // Raw strings are recognized by the R prefix token just emitted.
+        if (!out_.tokens.empty() && out_.tokens.back().kind ==
+                TokenKind::kIdentifier &&
+            (out_.tokens.back().text == "R" ||
+             out_.tokens.back().text.ends_with("R")) &&
+            out_.tokens.back().line == line_ && raw_prefix_adjacent_) {
+          LexRawString();
+        } else {
+          LexString();
+        }
+        continue;
+      }
+      if (c == '\'') {
+        LexCharLiteral();
+        continue;
+      }
+      if (IsIdentStart(c)) {
+        LexIdentifier();
+        continue;
+      }
+      if (std::isdigit(static_cast<unsigned char>(c))) {
+        LexNumber();
+        continue;
+      }
+      LexPunct();
+    }
+    return std::move(out_);
+  }
+
+ private:
+  char Peek(size_t ahead) const {
+    return pos_ + ahead < src_.size() ? src_[pos_ + ahead] : '\0';
+  }
+
+  void Emit(TokenKind kind, std::string text, int line) {
+    out_.tokens.push_back(Token{kind, std::move(text), line});
+    line_has_token_ = true;
+  }
+
+  void LexLineComment() {
+    const int start_line = line_;
+    const bool owns_line = !line_has_token_;
+    pos_ += 2;
+    std::string text;
+    while (pos_ < src_.size() && src_[pos_] != '\n') text += src_[pos_++];
+    out_.comments.push_back(Comment{std::move(text), start_line, owns_line});
+  }
+
+  void LexBlockComment() {
+    const int start_line = line_;
+    const bool owns_line = !line_has_token_;
+    pos_ += 2;
+    std::string text;
+    while (pos_ < src_.size()) {
+      if (src_[pos_] == '*' && Peek(1) == '/') {
+        pos_ += 2;
+        break;
+      }
+      if (src_[pos_] == '\n') ++line_;
+      text += src_[pos_++];
+    }
+    out_.comments.push_back(Comment{std::move(text), start_line, owns_line});
+  }
+
+  // Consumes a whole preprocessor directive including backslash
+  // continuations; only #include paths are surfaced.
+  void LexDirective() {
+    const int start_line = line_;
+    std::string text;
+    while (pos_ < src_.size()) {
+      const char c = src_[pos_];
+      if (c == '\\' && Peek(1) == '\n') {
+        pos_ += 2;
+        ++line_;
+        continue;
+      }
+      if (c == '\n') break;  // newline handled by main loop
+      // Directive bodies can still carry comments ("#endif  // FOO") and
+      // suppressions; hand them to the comment channel.
+      if (c == '/' && Peek(1) == '/') {
+        LexLineComment();
+        break;
+      }
+      if (c == '/' && Peek(1) == '*') {
+        LexBlockComment();
+        continue;
+      }
+      text += c;
+      ++pos_;
+    }
+    ParseInclude(text, start_line);
+  }
+
+  void ParseInclude(const std::string& directive, int line) {
+    size_t i = 1;  // past '#'
+    while (i < directive.size() &&
+           std::isspace(static_cast<unsigned char>(directive[i])))
+      ++i;
+    if (directive.compare(i, 7, "include") != 0) return;
+    i += 7;
+    while (i < directive.size() &&
+           std::isspace(static_cast<unsigned char>(directive[i])))
+      ++i;
+    if (i >= directive.size()) return;
+    const char open = directive[i];
+    const char close = open == '<' ? '>' : open == '"' ? '"' : '\0';
+    if (close == '\0') return;
+    const size_t end = directive.find(close, i + 1);
+    if (end == std::string::npos) return;
+    out_.includes.push_back(IncludeDirective{
+        directive.substr(i + 1, end - i - 1), line, open == '<'});
+  }
+
+  void LexString() {
+    const int start_line = line_;
+    std::string text;
+    ++pos_;  // opening quote
+    while (pos_ < src_.size() && src_[pos_] != '"') {
+      if (src_[pos_] == '\\' && pos_ + 1 < src_.size()) {
+        text += src_[pos_];
+        text += src_[pos_ + 1];
+        if (src_[pos_ + 1] == '\n') ++line_;
+        pos_ += 2;
+        continue;
+      }
+      if (src_[pos_] == '\n') ++line_;  // unterminated; keep going
+      text += src_[pos_++];
+    }
+    if (pos_ < src_.size()) ++pos_;  // closing quote
+    Emit(TokenKind::kString, std::move(text), start_line);
+  }
+
+  void LexRawString() {
+    const int start_line = line_;
+    ++pos_;  // opening quote
+    std::string delim;
+    while (pos_ < src_.size() && src_[pos_] != '(') delim += src_[pos_++];
+    if (pos_ < src_.size()) ++pos_;  // '('
+    const std::string closer = ")" + delim + "\"";
+    std::string text;
+    while (pos_ < src_.size() && src_.compare(pos_, closer.size(), closer) != 0) {
+      if (src_[pos_] == '\n') ++line_;
+      text += src_[pos_++];
+    }
+    pos_ += std::min(closer.size(), src_.size() - pos_);
+    // Replace the R prefix token with the string itself.
+    out_.tokens.pop_back();
+    Emit(TokenKind::kString, std::move(text), start_line);
+  }
+
+  void LexCharLiteral() {
+    const int start_line = line_;
+    std::string text;
+    ++pos_;
+    while (pos_ < src_.size() && src_[pos_] != '\'') {
+      if (src_[pos_] == '\\' && pos_ + 1 < src_.size()) {
+        text += src_[pos_];
+        text += src_[pos_ + 1];
+        pos_ += 2;
+        continue;
+      }
+      if (src_[pos_] == '\n') break;  // digit separator misparse guard
+      text += src_[pos_++];
+    }
+    if (pos_ < src_.size() && src_[pos_] == '\'') ++pos_;
+    Emit(TokenKind::kChar, std::move(text), start_line);
+  }
+
+  void LexIdentifier() {
+    const int start_line = line_;
+    std::string text;
+    while (pos_ < src_.size() && IsIdentChar(src_[pos_])) text += src_[pos_++];
+    raw_prefix_adjacent_ = pos_ < src_.size() && src_[pos_] == '"';
+    Emit(TokenKind::kIdentifier, std::move(text), start_line);
+  }
+
+  void LexNumber() {
+    const int start_line = line_;
+    std::string text;
+    // Good enough for line-oriented rules: digits, hex, separators,
+    // exponents, suffixes all glued into one token.
+    while (pos_ < src_.size() &&
+           (IsIdentChar(src_[pos_]) || src_[pos_] == '.' ||
+            ((src_[pos_] == '+' || src_[pos_] == '-') && !text.empty() &&
+             (text.back() == 'e' || text.back() == 'E' ||
+              text.back() == 'p' || text.back() == 'P')))) {
+      text += src_[pos_++];
+    }
+    Emit(TokenKind::kNumber, std::move(text), start_line);
+  }
+
+  void LexPunct() {
+    for (const char* op : kMultiPunct) {
+      const size_t len = std::char_traits<char>::length(op);
+      if (src_.compare(pos_, len, op) == 0) {
+        Emit(TokenKind::kPunct, op, line_);
+        pos_ += len;
+        return;
+      }
+    }
+    Emit(TokenKind::kPunct, std::string(1, src_[pos_]), line_);
+    ++pos_;
+  }
+
+  const std::string& src_;
+  size_t pos_ = 0;
+  int line_ = 1;
+  bool line_has_token_ = false;
+  bool raw_prefix_adjacent_ = false;
+  LexResult out_;
+};
+
+}  // namespace
+
+LexResult Lex(const std::string& source) { return Lexer(source).Run(); }
+
+}  // namespace ppslint

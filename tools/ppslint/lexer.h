@@ -1,0 +1,62 @@
+// Focused C++ tokenizer for ppslint (tools/ppslint/README in DESIGN.md §10).
+//
+// Not a compiler front end: it produces exactly what the privacy rules
+// need — identifiers, punctuation, literals, line numbers — plus two side
+// channels the rules consume separately:
+//
+//   * comments, so `// ppslint:allow(RULE-ID reason)` suppressions can be
+//     parsed with their anchor line;
+//   * #include directives, so the analyzer can build the include graph
+//     (rule R5 rejects cycles).
+//
+// Preprocessor directive bodies (incl. multi-line #define continuations)
+// are deliberately NOT tokenized into the main stream: rules fire on use
+// sites, not on macro definitions, and skipping them keeps the statement
+// splitter sane. String/char literals survive as single tokens so secret
+// identifiers inside quotes (log messages, key names) never false-match.
+
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace ppslint {
+
+enum class TokenKind {
+  kIdentifier,
+  kNumber,
+  kString,
+  kChar,
+  kPunct,
+};
+
+struct Token {
+  TokenKind kind;
+  std::string text;
+  int line;
+};
+
+struct Comment {
+  std::string text;  // without the // or /* */ markers
+  int line;          // line the comment starts on
+  bool owns_line;    // nothing but whitespace precedes it on its line
+};
+
+struct IncludeDirective {
+  std::string path;  // between the quotes/brackets
+  int line;
+  bool angled;  // <...> (system) vs "..." (project)
+};
+
+struct LexResult {
+  std::vector<Token> tokens;
+  std::vector<Comment> comments;
+  std::vector<IncludeDirective> includes;
+};
+
+/// Tokenizes `source`. Never fails: unrecognized bytes become single-char
+/// punctuation tokens, and an unterminated literal runs to end of file.
+LexResult Lex(const std::string& source);
+
+}  // namespace ppslint

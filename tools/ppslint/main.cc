@@ -1,0 +1,111 @@
+// ppslint CLI. Usage:
+//
+//   ppslint [--root DIR] [--strict] [--list-rules] [paths...]
+//
+// Paths default to src examples bench (relative to --root, which defaults
+// to the current directory). Exit codes: 0 clean, 1 violations (or unused
+// suppressions under --strict), 2 usage/environment error.
+
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "ppslint.h"
+
+namespace {
+
+void PrintUsage(std::ostream& os) {
+  os << "usage: ppslint [--root DIR] [--strict] [--list-rules] [paths...]\n"
+     << "  --root DIR    repo root (default: .)\n"
+     << "  --strict      unused ppslint:allow() suppressions fail the run\n"
+     << "  --list-rules  print the rule set and exit\n"
+     << "  paths         files or directories to scan "
+        "(default: src examples bench)\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string root = ".";
+  bool strict = false;
+  std::vector<std::string> paths;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      PrintUsage(std::cout);
+      return 0;
+    }
+    if (arg == "--list-rules") {
+      using ppslint::RuleId;
+      for (RuleId id : {RuleId::kR1, RuleId::kR2, RuleId::kR3, RuleId::kR4,
+                        RuleId::kR5}) {
+        std::cout << ppslint::RuleIdName(id) << "  "
+                  << ppslint::RuleIdDescription(id) << "\n";
+      }
+      return 0;
+    }
+    if (arg == "--strict") {
+      strict = true;
+      continue;
+    }
+    if (arg == "--root") {
+      if (i + 1 >= argc) {
+        std::cerr << "ppslint: --root needs a value\n";
+        return 2;
+      }
+      root = argv[++i];
+      continue;
+    }
+    if (arg.rfind("--", 0) == 0) {
+      std::cerr << "ppslint: unknown flag '" << arg << "'\n";
+      PrintUsage(std::cerr);
+      return 2;
+    }
+    paths.push_back(arg);
+  }
+  if (paths.empty()) paths = {"src", "examples", "bench"};
+
+  ppslint::Options opts;
+  opts.root = root;
+  opts.include_roots = {"src"};
+
+  const std::vector<std::string> files =
+      ppslint::CollectSourceFiles(opts, paths);
+  if (files.empty()) {
+    std::cerr << "ppslint: no source files under the given paths (root="
+              << root << ")\n";
+    return 2;
+  }
+
+  const ppslint::Report report = ppslint::AnalyzeFiles(opts, files);
+
+  for (const ppslint::Violation& v : report.violations) {
+    std::cout << v.file << ":" << v.line << ": ["
+              << ppslint::RuleIdName(v.rule) << "] " << v.message << "\n";
+  }
+  for (const ppslint::Suppression& s : report.suppressions) {
+    if (s.used) {
+      std::cout << "note: " << s.file << ":" << s.comment_line
+                << ": suppressed [" << ppslint::RuleIdName(s.rule) << "] "
+                << (s.reason.empty() ? "(no reason given)" : s.reason) << "\n";
+    }
+  }
+  const auto unused = report.unused_suppressions();
+  for (const ppslint::Suppression* s : unused) {
+    std::cout << (strict ? "error: " : "warning: ") << s->file << ":"
+              << s->comment_line << ": unused suppression ["
+              << ppslint::RuleIdName(s->rule) << "] — rule no longer fires "
+              << "here; remove the ppslint:allow()\n";
+  }
+
+  std::cout << "ppslint: scanned " << report.files_scanned << " files: "
+            << report.violations.size() << " violation(s), "
+            << report.used_suppression_count() << " suppression(s) honored, "
+            << unused.size() << " unused suppression(s)\n";
+
+  if (!report.violations.empty()) return 1;
+  if (strict && !unused.empty()) return 1;
+  return 0;
+}

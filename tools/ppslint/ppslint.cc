@@ -1,0 +1,748 @@
+#include "ppslint.h"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <functional>
+#include <map>
+#include <set>
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "lexer.h"
+
+namespace fs = std::filesystem;
+
+namespace ppslint {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Configuration: the secret-tag list and rule scopes (DESIGN.md §10).
+// Matching is exact-identifier, so a tag never fires inside a string
+// literal or a longer name.
+
+// Types whose instances hold data that must never cross the transport
+// boundary or reach a log: decryption material, CSPRNG state, permutation
+// (obfuscation) state, precomputed Paillier randomizers.
+const std::unordered_set<std::string>& SecretTypes() {
+  static const std::unordered_set<std::string> kSet = {
+      "PaillierPrivateKey", "PaillierKeyPair", "SecretKey",
+      "SecureRng",          "RandomizerPool",  "Permutation",
+  };
+  return kSet;
+}
+
+// Variable / member spellings the tree uses for the same material. A
+// rename that drops the tag is exactly the regression a reviewer should
+// see in the diff of this list.
+const std::unordered_set<std::string>& SecretValues() {
+  static const std::unordered_set<std::string> kSet = {
+      "private_key", "secret_key",  "keys_",        "permutation",
+      "permutations_", "map_",      "obf_rng_",     "enc_pool_",
+      "rerand_pool_", "randomizer", "randomizers",  "rn",
+      "decrypted",   "decrypted_view", "plaintext",
+  };
+  return kSet;
+}
+
+bool IsSecretTag(const std::string& ident) {
+  return SecretTypes().count(ident) > 0 || SecretValues().count(ident) > 0;
+}
+
+// R1 sinks: a statement that calls one of these is serializing or framing
+// bytes that are headed for a channel.
+const std::unordered_set<std::string>& SinkCalls() {
+  static const std::unordered_set<std::string> kSet = {
+      "Serialize",   "WriteBytes",  "WriteString",   "WriteU8",
+      "WriteU32",    "WriteU64",    "WriteI64",      "WriteDouble",
+      "WriteDoubles", "WriteCiphertexts", "Send",    "SendFrame",
+      "EncodeFrame", "EncodeFrameWithTrace", "MakeRequestFrame",
+      "MakeResponseFrame",
+  };
+  return kSet;
+}
+
+// R1 allowlist: audited (file, method) pairs that may touch both secret
+// tags and sinks. "*" matches every method in the file. Keep this list
+// short and reviewed — it IS the privacy boundary.
+const std::vector<std::pair<std::string, std::string>>& R1Allowlist() {
+  static const std::vector<std::pair<std::string, std::string>> kList = {
+      // The frame codec itself: builds/parses headers, never sees key or
+      // permutation material (audited in PR 2's frame-inspection tests).
+      {"src/net/wire.cc", "EncodeFrame"},
+      {"src/net/wire.cc", "EncodeFrameWithTrace"},
+      {"src/net/wire.cc", "MakeRequestFrame"},
+      {"src/net/wire.cc", "MakeResponseFrame"},
+      {"src/net/wire.cc", "DecodeFrameHeader"},
+      {"src/net/wire.cc", "DecodeFrame"},
+  };
+  return kList;
+}
+
+// R2: directories where only SecureRng / RandomizerPool may produce
+// randomness, and the identifiers that are banned there.
+const std::vector<std::string>& EntropyScopes() {
+  static const std::vector<std::string> kScopes = {"src/crypto/", "src/core/",
+                                                   "src/mpc/"};
+  return kScopes;
+}
+
+// Banned when called: weak libc sources and seeding clocks.
+const std::unordered_set<std::string>& BannedEntropyCalls() {
+  static const std::unordered_set<std::string> kSet = {
+      "rand", "srand", "random", "srandom", "drand48", "lrand48", "time",
+  };
+  return kSet;
+}
+
+// Banned on sight: std <random> engines and the device (std::random_device
+// is OS entropy, but all OS entropy must be drawn through
+// SecureRng::FromEntropy so key material never touches an engine whose
+// state could be logged or serialized).
+const std::unordered_set<std::string>& BannedEntropyTypes() {
+  static const std::unordered_set<std::string> kSet = {
+      "mt19937",        "mt19937_64", "minstd_rand", "minstd_rand0",
+      "random_device",  "default_random_engine", "ranlux24", "ranlux48",
+      "knuth_b",
+  };
+  return kSet;
+}
+
+// R4: scopes where comparisons on secret-tagged state must be constant
+// time. src/bignum is excluded by design: BigInt arithmetic is not
+// constant-time (documented), and the protocol's security argument does
+// not rest on it — R4 polices the *buffer* comparisons (keys, digests,
+// permutation state) where a timing oracle is cheap to exploit.
+const std::vector<std::string>& VartimeScopes() {
+  static const std::vector<std::string> kScopes = {"src/crypto/", "src/core/",
+                                                   "src/mpc/"};
+  return kScopes;
+}
+
+const char* kBignumScope = "src/bignum/";
+
+bool InScope(const std::string& rel_path,
+             const std::vector<std::string>& scopes) {
+  for (const auto& s : scopes) {
+    if (rel_path.rfind(s, 0) == 0) return true;
+  }
+  return false;
+}
+
+bool IsControlKeyword(const std::string& t) {
+  return t == "if" || t == "for" || t == "while" || t == "switch" ||
+         t == "catch" || t == "return" || t == "sizeof";
+}
+
+// ---------------------------------------------------------------------------
+// Per-file scan state.
+
+struct FileScan {
+  std::string rel_path;
+  LexResult lex;
+  std::vector<Suppression> suppressions;
+  std::vector<Violation> violations;
+};
+
+void AddViolation(FileScan* scan, int line, RuleId rule, std::string message) {
+  scan->violations.push_back(
+      Violation{scan->rel_path, line, rule, std::move(message)});
+}
+
+// Parses `ppslint:allow(R-ID reason)` comments. A comment that owns its
+// line waives the next code line; an end-of-line comment waives its own.
+void ParseSuppressions(FileScan* scan) {
+  for (const Comment& c : scan->lex.comments) {
+    size_t pos = c.text.find("ppslint:allow(");
+    if (pos == std::string::npos) continue;
+    pos += std::char_traits<char>::length("ppslint:allow(");
+    const size_t close = c.text.find(')', pos);
+    if (close == std::string::npos) continue;
+    std::string body = c.text.substr(pos, close - pos);
+    const size_t space = body.find(' ');
+    const std::string id = body.substr(0, space);
+    std::string reason =
+        space == std::string::npos ? "" : body.substr(space + 1);
+    RuleId rule;
+    if (id == "R1") rule = RuleId::kR1;
+    else if (id == "R2") rule = RuleId::kR2;
+    else if (id == "R3") rule = RuleId::kR3;
+    else if (id == "R4") rule = RuleId::kR4;
+    else if (id == "R5") rule = RuleId::kR5;
+    else {
+      AddViolation(scan, c.line, RuleId::kR5,
+                   "malformed suppression: unknown rule id '" + id +
+                       "' in ppslint:allow()");
+      continue;
+    }
+    int target = c.line;
+    if (c.owns_line) {
+      // Waive the first code line after the comment.
+      target = c.line + 1;
+      for (const Token& t : scan->lex.tokens) {
+        if (t.line > c.line) {
+          target = t.line;
+          break;
+        }
+      }
+    }
+    scan->suppressions.push_back(
+        Suppression{scan->rel_path, c.line, target, rule, std::move(reason),
+                    /*used=*/false});
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Statement iteration with enclosing-function tracking.
+//
+// A "statement" is a maximal token run between ';' '{' '}' delimiters —
+// exactly the granularity the tag/sink co-occurrence rules need. The
+// tracker infers a function name when a '{' opens a body that follows a
+// parameter list, which is what the R1 allowlist matches against.
+
+struct Statement {
+  size_t begin = 0, end = 0;  // token range [begin, end)
+  std::string enclosing_function;
+};
+
+std::vector<Statement> SplitStatements(const std::vector<Token>& toks) {
+  std::vector<Statement> out;
+  std::vector<std::string> func_stack;
+  size_t stmt_begin = 0;
+
+  auto innermost_function = [&]() -> std::string {
+    for (auto it = func_stack.rbegin(); it != func_stack.rend(); ++it) {
+      if (!it->empty()) return *it;
+    }
+    return "";
+  };
+
+  auto infer_function_name = [&](size_t open_brace) -> std::string {
+    if (open_brace == 0) return "";
+    size_t j = open_brace - 1;
+    // Skip trailing qualifiers between ')' and '{'.
+    while (j > stmt_begin && toks[j].kind == TokenKind::kIdentifier &&
+           (toks[j].text == "const" || toks[j].text == "noexcept" ||
+            toks[j].text == "override" || toks[j].text == "final" ||
+            toks[j].text == "mutable")) {
+      --j;
+    }
+    if (toks[j].kind != TokenKind::kPunct || toks[j].text != ")") return "";
+    int depth = 1;
+    while (j > stmt_begin && depth > 0) {
+      --j;
+      if (toks[j].kind != TokenKind::kPunct) continue;
+      if (toks[j].text == ")") ++depth;
+      else if (toks[j].text == "(") --depth;
+    }
+    if (depth != 0 || j == 0) return "";
+    const Token& name = toks[j - 1];
+    if (name.kind != TokenKind::kIdentifier || IsControlKeyword(name.text))
+      return "";
+    return name.text;
+  };
+
+  // `attribute_to` lets a function signature statement count as part of
+  // the function it opens (the allowlist must cover the declaration too).
+  auto flush = [&](size_t end, const std::string& attribute_to = "") {
+    if (end > stmt_begin) {
+      out.push_back(Statement{
+          stmt_begin, end,
+          attribute_to.empty() ? innermost_function() : attribute_to});
+    }
+  };
+
+  for (size_t i = 0; i < toks.size(); ++i) {
+    if (toks[i].kind != TokenKind::kPunct) continue;
+    if (toks[i].text == "{") {
+      std::string name = infer_function_name(i);
+      flush(i, name);
+      func_stack.push_back(std::move(name));
+      stmt_begin = i + 1;
+    } else if (toks[i].text == "}") {
+      flush(i);
+      if (!func_stack.empty()) func_stack.pop_back();
+      stmt_begin = i + 1;
+    } else if (toks[i].text == ";") {
+      flush(i);
+      stmt_begin = i + 1;
+    }
+  }
+  // Trailing run (should be empty in well-formed files).
+  if (stmt_begin < toks.size()) {
+    out.push_back(Statement{stmt_begin, toks.size(), ""});
+  }
+  return out;
+}
+
+bool IsCall(const std::vector<Token>& toks, size_t i) {
+  return toks[i].kind == TokenKind::kIdentifier && i + 1 < toks.size() &&
+         toks[i + 1].kind == TokenKind::kPunct && toks[i + 1].text == "(";
+}
+
+// ---------------------------------------------------------------------------
+// R1 privacy-boundary.
+
+bool R1Allowed(const std::string& rel_path, const std::string& function) {
+  for (const auto& [file, fn] : R1Allowlist()) {
+    if (rel_path == file && (fn == "*" || fn == function)) return true;
+  }
+  return false;
+}
+
+void CheckR1(FileScan* scan, const std::vector<Statement>& stmts) {
+  const auto& toks = scan->lex.tokens;
+  for (const Statement& s : stmts) {
+    const Token* sink = nullptr;
+    const Token* secret = nullptr;
+    for (size_t i = s.begin; i < s.end; ++i) {
+      if (toks[i].kind != TokenKind::kIdentifier) continue;
+      if (!sink && SinkCalls().count(toks[i].text) && IsCall(toks, i)) {
+        sink = &toks[i];
+      }
+      if (!secret && IsSecretTag(toks[i].text)) secret = &toks[i];
+      if (sink && secret) break;
+    }
+    if (!sink || !secret) continue;
+    if (R1Allowed(scan->rel_path, s.enclosing_function)) continue;
+    AddViolation(scan, sink->line, RuleId::kR1,
+                 "secret-tagged '" + secret->text +
+                     "' reaches serialization/frame sink '" + sink->text +
+                     "()' outside the audited allowlist");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// R2 entropy hygiene.
+
+void CheckR2(FileScan* scan) {
+  if (!InScope(scan->rel_path, EntropyScopes())) return;
+  const auto& toks = scan->lex.tokens;
+  for (size_t i = 0; i < toks.size(); ++i) {
+    if (toks[i].kind != TokenKind::kIdentifier) continue;
+    if (BannedEntropyTypes().count(toks[i].text)) {
+      AddViolation(scan, toks[i].line, RuleId::kR2,
+                   "'" + toks[i].text +
+                       "' is banned here: randomness in crypto/core/mpc "
+                       "must come from SecureRng or RandomizerPool");
+    } else if (BannedEntropyCalls().count(toks[i].text) && IsCall(toks, i)) {
+      // The ban targets the libc free functions; skip member calls
+      // (foo.time(), obj->rand()), declarations (`int rand() const`,
+      // preceded by a type or declarator), and qualified members of other
+      // classes (Sampler::rand()). std:: and ::-global stay banned.
+      if (i > 0) {
+        const Token& prev = toks[i - 1];
+        if (prev.kind == TokenKind::kPunct &&
+            (prev.text == "." || prev.text == "->")) {
+          continue;
+        }
+        if (prev.kind == TokenKind::kIdentifier && prev.text != "return") {
+          continue;  // `int rand(...)` — a declaration, not a call
+        }
+        if (prev.kind == TokenKind::kPunct &&
+            (prev.text == "*" || prev.text == "&")) {
+          continue;  // declarator
+        }
+        if (prev.kind == TokenKind::kPunct && prev.text == "::" && i > 1 &&
+            toks[i - 2].kind == TokenKind::kIdentifier &&
+            toks[i - 2].text != "std") {
+          continue;  // SomeClass::rand() — not libc
+        }
+      }
+      AddViolation(scan, toks[i].line, RuleId::kR2,
+                   "call to '" + toks[i].text +
+                       "()' is banned here: randomness/seeds in "
+                       "crypto/core/mpc must come from SecureRng or "
+                       "RandomizerPool");
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// R3 secret logging.
+
+void CheckR3(FileScan* scan, const std::vector<Statement>& stmts) {
+  const auto& toks = scan->lex.tokens;
+  for (const Statement& s : stmts) {
+    bool has_log = false;
+    for (size_t i = s.begin; i < s.end && !has_log; ++i) {
+      has_log = toks[i].kind == TokenKind::kIdentifier &&
+                (toks[i].text == "PPS_SLOG" || toks[i].text == "PPS_LOG");
+    }
+    if (!has_log) continue;
+    for (size_t i = s.begin; i < s.end; ++i) {
+      if (toks[i].kind == TokenKind::kIdentifier && IsSecretTag(toks[i].text)) {
+        AddViolation(scan, toks[i].line, RuleId::kR3,
+                     "secret-tagged '" + toks[i].text +
+                         "' appears in a log statement");
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// R4 variable-time comparisons.
+
+void CheckR4(FileScan* scan, const std::vector<Statement>& stmts) {
+  if (!InScope(scan->rel_path, VartimeScopes())) return;
+  const auto& toks = scan->lex.tokens;
+  for (const Statement& s : stmts) {
+    for (size_t i = s.begin; i < s.end; ++i) {
+      if (toks[i].kind == TokenKind::kIdentifier && toks[i].text == "memcmp" &&
+          IsCall(toks, i)) {
+        AddViolation(scan, toks[i].line, RuleId::kR4,
+                     "memcmp() in a secret-handling scope is variable-time; "
+                     "use ConstantTimeEquals (src/crypto/constant_time.h)");
+        continue;
+      }
+      if (toks[i].kind != TokenKind::kPunct ||
+          (toks[i].text != "==" && toks[i].text != "!=")) {
+        continue;
+      }
+      // Flag when an operand directly adjacent to the comparison is a
+      // secret tag (e.g. `map_ == o.map_`).
+      const Token* operand = nullptr;
+      bool tagged_left = false;
+      if (i > s.begin && toks[i - 1].kind == TokenKind::kIdentifier &&
+          IsSecretTag(toks[i - 1].text)) {
+        operand = &toks[i - 1];
+        tagged_left = true;
+      } else if (i + 1 < s.end && toks[i + 1].kind == TokenKind::kIdentifier &&
+                 IsSecretTag(toks[i + 1].text)) {
+        operand = &toks[i + 1];
+      }
+      if (!operand) continue;
+      // Presence checks compare a pointer, not secret contents.
+      const size_t other = tagged_left ? i + 1 : i - 1;
+      if (other >= s.begin && other < s.end &&
+          (toks[other].text == "nullptr" || toks[other].text == "NULL")) {
+        continue;
+      }
+      // Container-position probes (`permutations_.find(k) == permutations_
+      // .end()`) leak only which request has live state, which the server
+      // already exposes; skip when the tagged operand is the container of
+      // a positional accessor.
+      if (!tagged_left && i + 3 < s.end &&
+          toks[i + 2].kind == TokenKind::kPunct &&
+          (toks[i + 2].text == "." || toks[i + 2].text == "->") &&
+          toks[i + 3].kind == TokenKind::kIdentifier &&
+          (toks[i + 3].text == "end" || toks[i + 3].text == "begin" ||
+           toks[i + 3].text == "cend" || toks[i + 3].text == "cbegin")) {
+        continue;
+      }
+      AddViolation(scan, toks[i].line, RuleId::kR4,
+                   "variable-time '" + toks[i].text + "' on secret-tagged '" +
+                       operand->text +
+                       "'; use ConstantTimeEquals "
+                       "(src/crypto/constant_time.h)");
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// R5 banned constructs (per-file part): raw new/delete, error-dropping
+// catch (...). Include cycles are checked across files in AnalyzeFiles.
+
+void CheckR5(FileScan* scan) {
+  const auto& toks = scan->lex.tokens;
+  const bool in_bignum = scan->rel_path.rfind(kBignumScope, 0) == 0;
+  for (size_t i = 0; i < toks.size(); ++i) {
+    if (toks[i].kind != TokenKind::kIdentifier) continue;
+    if (!in_bignum && (toks[i].text == "new" || toks[i].text == "delete")) {
+      // `= delete` (deleted member) and `= default` are declarations, not
+      // deallocations.
+      const bool deleted_fn = toks[i].text == "delete" && i > 0 &&
+                              toks[i - 1].kind == TokenKind::kPunct &&
+                              toks[i - 1].text == "=";
+      if (deleted_fn) continue;
+      AddViolation(scan, toks[i].line, RuleId::kR5,
+                   "raw '" + toks[i].text +
+                       "' outside src/bignum; use std::make_unique / "
+                       "std::make_shared or a container");
+    }
+    if (toks[i].text == "catch" && i + 3 < toks.size() &&
+        toks[i + 1].text == "(" && toks[i + 2].text == "..." &&
+        toks[i + 3].text == ")") {
+      // Find the handler body and require a rethrow.
+      size_t j = i + 4;
+      while (j < toks.size() && toks[j].text != "{") ++j;
+      int depth = 0;
+      bool rethrows = false;
+      for (; j < toks.size(); ++j) {
+        if (toks[j].kind == TokenKind::kPunct && toks[j].text == "{") ++depth;
+        else if (toks[j].kind == TokenKind::kPunct && toks[j].text == "}") {
+          if (--depth == 0) break;
+        } else if (toks[j].kind == TokenKind::kIdentifier &&
+                   toks[j].text == "throw") {
+          rethrows = true;
+        }
+      }
+      if (!rethrows) {
+        AddViolation(scan, toks[i].line, RuleId::kR5,
+                     "catch (...) swallows the error; rethrow, convert to "
+                     "Status, or ppslint:allow(R5 ...) with a reason");
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Driver plumbing.
+
+FileScan ScanFile(const std::string& rel_path, const std::string& content) {
+  FileScan scan;
+  scan.rel_path = rel_path;
+  scan.lex = Lex(content);
+  ParseSuppressions(&scan);
+  const std::vector<Statement> stmts = SplitStatements(scan.lex.tokens);
+  CheckR1(&scan, stmts);
+  CheckR2(&scan);
+  CheckR3(&scan, stmts);
+  CheckR4(&scan, stmts);
+  CheckR5(&scan);
+  return scan;
+}
+
+// Applies the file's suppressions to its violations and appends the
+// remainder (plus all suppressions) to `report`.
+void Finalize(FileScan scan, Report* report) {
+  for (Violation& v : scan.violations) {
+    bool suppressed = false;
+    for (Suppression& s : scan.suppressions) {
+      if (s.rule == v.rule && s.target_line == v.line) {
+        s.used = true;
+        suppressed = true;
+      }
+    }
+    if (!suppressed) report->violations.push_back(std::move(v));
+  }
+  for (Suppression& s : scan.suppressions) {
+    report->suppressions.push_back(std::move(s));
+  }
+  ++report->files_scanned;
+}
+
+std::string ReadFileOrEmpty(const fs::path& p, bool* ok) {
+  std::ifstream in(p, std::ios::binary);
+  if (!in) {
+    *ok = false;
+    return "";
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  *ok = true;
+  return std::move(ss).str();
+}
+
+// Resolves a quoted include against the including file's directory, then
+// the configured include roots. Returns a root-relative path or "" when
+// the target is not part of the project.
+std::string ResolveInclude(const Options& opts, const std::string& from_rel,
+                           const std::string& inc_path) {
+  const fs::path root(opts.root);
+  std::vector<fs::path> candidates;
+  candidates.push_back(fs::path(from_rel).parent_path() / inc_path);
+  for (const auto& ir : opts.include_roots) {
+    candidates.push_back(fs::path(ir) / inc_path);
+  }
+  for (const fs::path& rel : candidates) {
+    const fs::path norm = rel.lexically_normal();
+    if (fs::exists(root / norm)) return norm.generic_string();
+  }
+  return "";
+}
+
+// Depth-first search for include cycles; each distinct cycle is reported
+// once, anchored at the include directive that closes it.
+struct IncludeGraph {
+  struct Edge {
+    std::string to;
+    int line;
+  };
+  std::map<std::string, std::vector<Edge>> adj;
+};
+
+void FindCycles(const IncludeGraph& graph,
+                std::map<std::string, FileScan>* scans) {
+  enum class Color { kWhite, kGray, kBlack };
+  std::map<std::string, Color> color;
+  std::vector<std::string> stack;
+  std::set<std::string> reported;  // canonical cycle keys
+
+  std::function<void(const std::string&)> dfs = [&](const std::string& node) {
+    color[node] = Color::kGray;
+    stack.push_back(node);
+    auto it = graph.adj.find(node);
+    if (it != graph.adj.end()) {
+      for (const IncludeGraph::Edge& e : it->second) {
+        if (color[e.to] == Color::kGray) {
+          // Extract the cycle node -> ... -> e.to -> node.
+          auto start = std::find(stack.begin(), stack.end(), e.to);
+          std::vector<std::string> cycle(start, stack.end());
+          std::vector<std::string> key = cycle;
+          std::sort(key.begin(), key.end());
+          std::string canon;
+          for (const auto& k : key) canon += k + "|";
+          if (reported.insert(canon).second) {
+            std::string path;
+            for (const auto& n : cycle) path += n + " -> ";
+            path += e.to;
+            auto scan_it = scans->find(node);
+            if (scan_it != scans->end()) {
+              AddViolation(&scan_it->second, e.line, RuleId::kR5,
+                           "#include cycle: " + path);
+            }
+          }
+        } else if (color[e.to] == Color::kWhite) {
+          dfs(e.to);
+        }
+      }
+    }
+    stack.pop_back();
+    color[node] = Color::kBlack;
+  };
+
+  for (const auto& [node, _] : graph.adj) {
+    if (color[node] == Color::kWhite) dfs(node);
+  }
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Public API.
+
+const char* RuleIdName(RuleId id) {
+  switch (id) {
+    case RuleId::kR1: return "R1";
+    case RuleId::kR2: return "R2";
+    case RuleId::kR3: return "R3";
+    case RuleId::kR4: return "R4";
+    case RuleId::kR5: return "R5";
+  }
+  return "R?";
+}
+
+const char* RuleIdDescription(RuleId id) {
+  switch (id) {
+    case RuleId::kR1:
+      return "privacy-boundary: secret-tagged data must not reach "
+             "serialization/frame sinks outside the audited allowlist";
+    case RuleId::kR2:
+      return "entropy-hygiene: only SecureRng/RandomizerPool may produce "
+             "randomness in src/crypto, src/core, src/mpc";
+    case RuleId::kR3:
+      return "secret-logging: secret-tagged identifiers must not appear in "
+             "PPS_SLOG/PPS_LOG statements";
+    case RuleId::kR4:
+      return "variable-time: comparisons on secret state must use "
+             "ConstantTimeEquals";
+    case RuleId::kR5:
+      return "banned-constructs: raw new/delete outside src/bignum, "
+             "error-swallowing catch (...), #include cycles";
+  }
+  return "";
+}
+
+size_t Report::used_suppression_count() const {
+  size_t n = 0;
+  for (const Suppression& s : suppressions) n += s.used ? 1 : 0;
+  return n;
+}
+
+std::vector<const Suppression*> Report::unused_suppressions() const {
+  std::vector<const Suppression*> out;
+  for (const Suppression& s : suppressions) {
+    if (!s.used) out.push_back(&s);
+  }
+  return out;
+}
+
+void Report::Merge(Report other) {
+  violations.insert(violations.end(),
+                    std::make_move_iterator(other.violations.begin()),
+                    std::make_move_iterator(other.violations.end()));
+  suppressions.insert(suppressions.end(),
+                      std::make_move_iterator(other.suppressions.begin()),
+                      std::make_move_iterator(other.suppressions.end()));
+  files_scanned += other.files_scanned;
+}
+
+Report AnalyzeSource(const Options& opts, const std::string& rel_path,
+                     const std::string& content) {
+  (void)opts;
+  Report report;
+  Finalize(ScanFile(rel_path, content), &report);
+  return report;
+}
+
+std::vector<std::string> CollectSourceFiles(
+    const Options& opts, const std::vector<std::string>& paths) {
+  const fs::path root(opts.root);
+  std::vector<std::string> out;
+  auto is_source = [](const fs::path& p) {
+    const std::string ext = p.extension().string();
+    return ext == ".h" || ext == ".cc" || ext == ".cpp" || ext == ".hpp";
+  };
+  for (const std::string& p : paths) {
+    const fs::path abs = fs::path(p).is_absolute() ? fs::path(p) : root / p;
+    if (fs::is_directory(abs)) {
+      for (const auto& entry : fs::recursive_directory_iterator(abs)) {
+        if (entry.is_regular_file() && is_source(entry.path())) {
+          out.push_back(
+              fs::path(entry.path()).lexically_relative(root).generic_string());
+        }
+      }
+    } else if (fs::exists(abs) && is_source(abs)) {
+      out.push_back(abs.lexically_relative(root).generic_string());
+    }
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+Report AnalyzeFiles(const Options& opts,
+                    const std::vector<std::string>& files) {
+  Report report;
+  std::map<std::string, FileScan> scans;
+  IncludeGraph graph;
+  const fs::path root(opts.root);
+
+  for (const std::string& rel : files) {
+    bool ok = false;
+    const std::string content = ReadFileOrEmpty(root / rel, &ok);
+    if (!ok) {
+      report.violations.push_back(
+          Violation{rel, 0, RuleId::kR5, "unreadable file"});
+      continue;
+    }
+    FileScan scan = ScanFile(rel, content);
+    auto& edges = graph.adj[rel];  // ensure node exists even with no edges
+    for (const IncludeDirective& inc : scan.lex.includes) {
+      if (inc.angled) continue;
+      const std::string target = ResolveInclude(opts, rel, inc.path);
+      if (!target.empty() && target != rel) {
+        edges.push_back(IncludeGraph::Edge{target, inc.line});
+      }
+    }
+    scans.emplace(rel, std::move(scan));
+  }
+
+  FindCycles(graph, &scans);
+
+  for (auto& [rel, scan] : scans) {
+    Finalize(std::move(scan), &report);
+  }
+  std::sort(report.violations.begin(), report.violations.end(),
+            [](const Violation& a, const Violation& b) {
+              if (a.file != b.file) return a.file < b.file;
+              if (a.line != b.line) return a.line < b.line;
+              return static_cast<int>(a.rule) < static_cast<int>(b.rule);
+            });
+  return report;
+}
+
+}  // namespace ppslint

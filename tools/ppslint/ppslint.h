@@ -1,0 +1,97 @@
+// ppslint — privacy-invariant static analyzer for the PP-Stream tree
+// (DESIGN.md §10 "Static privacy analysis").
+//
+// Five rules derived from the paper's threat model:
+//
+//   R1 privacy-boundary   secret-tagged types/values must not reach
+//                         BufferWriter / frame-send sites outside the
+//                         audited allowlist (src/net/wire.cc methods).
+//   R2 entropy-hygiene    rand()/random()/std::mt19937/std::random_device
+//                         and friends are banned in src/crypto, src/core,
+//                         src/mpc — SecureRng / RandomizerPool only.
+//   R3 secret-logging     secret-tagged identifiers must not appear as
+//                         values in PPS_SLOG / PPS_LOG statements.
+//   R4 variable-time      memcmp / operator== / != on secret buffer state
+//                         in crypto scopes must go through
+//                         ConstantTimeEquals (src/crypto/constant_time.h).
+//   R5 banned-constructs  raw new/delete outside src/bignum, catch (...)
+//                         handlers that swallow errors, #include cycles.
+//
+// Violations print as `file:line: [R-ID] message` and the process exits
+// non-zero when any are unsuppressed. A finding is suppressed by
+//
+//   // ppslint:allow(R-ID reason text)
+//
+// on the same line, or on its own line directly above the offending line.
+// Suppressions are counted and reported; unused ones are flagged so stale
+// waivers cannot rot in place.
+
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace ppslint {
+
+enum class RuleId { kR1, kR2, kR3, kR4, kR5 };
+
+/// "R1".."R5".
+const char* RuleIdName(RuleId id);
+
+/// One-line rule summary for --list-rules and reports.
+const char* RuleIdDescription(RuleId id);
+
+struct Violation {
+  std::string file;  // path as passed in (root-relative in normal runs)
+  int line = 0;
+  RuleId rule = RuleId::kR1;
+  std::string message;
+};
+
+struct Suppression {
+  std::string file;
+  int comment_line = 0;  // line of the allow() comment itself
+  int target_line = 0;   // line the waiver applies to
+  RuleId rule = RuleId::kR1;
+  std::string reason;
+  bool used = false;
+};
+
+struct Report {
+  std::vector<Violation> violations;    // unsuppressed only
+  std::vector<Suppression> suppressions;
+  size_t files_scanned = 0;
+
+  size_t used_suppression_count() const;
+  std::vector<const Suppression*> unused_suppressions() const;
+
+  void Merge(Report other);
+};
+
+struct Options {
+  /// Repo root; scope decisions (R2 directories, R5 bignum exemption,
+  /// R1 allowlist) match against paths relative to it.
+  std::string root;
+  /// Directories resolved against for `#include "..."` edges, in order.
+  /// The including file's own directory is always tried first.
+  std::vector<std::string> include_roots;
+};
+
+/// Analyzes one in-memory translation unit. `rel_path` (root-relative,
+/// forward slashes) drives the scope rules; include-cycle analysis is not
+/// performed (it needs the file set — use AnalyzeFiles).
+Report AnalyzeSource(const Options& opts, const std::string& rel_path,
+                     const std::string& content);
+
+/// Analyzes a set of files on disk (paths absolute or relative to
+/// Options::root) including the cross-file include-cycle check.
+Report AnalyzeFiles(const Options& opts,
+                    const std::vector<std::string>& files);
+
+/// Expands directories to the .h/.cc/.cpp files beneath them (sorted),
+/// passing plain files through. Paths are returned root-relative.
+std::vector<std::string> CollectSourceFiles(
+    const Options& opts, const std::vector<std::string>& paths);
+
+}  // namespace ppslint
