@@ -1,0 +1,315 @@
+// Chaos recovery bench for the TCP serving path (DESIGN.md §11).
+//
+// Measures what resilience costs, against a real loopback server:
+//
+//   clean           no faults — per-inference latency and frames baseline;
+//   socket_resets   net.sock.reset tears the connection down under every
+//                   third frame: each reset forces a redial + session
+//                   resume mid-inference. Reports recovery latency (the
+//                   net.reconnect_seconds histogram) and retry-storm
+//                   amplification — frames per inference relative to the
+//                   clean baseline (a well-behaved client re-sends only
+//                   what the reply cache cannot answer);
+//   server_restart  the server is drained away and replaced on the same
+//                   port mid-phase: the session dies with it, the client
+//                   gets kNotFound and restarts the inference from scratch
+//                   on a fresh session.
+//
+// Every phase asserts bit-exactness against RunScaledPlainInference —
+// a recovery that changes the answer is a bug, not a data point.
+//
+// Output: bench/BENCH_chaos.json (per-phase latency/amplification +
+// counter totals) and an optional Prometheus exposition of the same
+// registry (--prom), self-linted, which carries the resilience families
+// (net.session.*, net.reconnects, fault.injected.net.sock.*) that the
+// pipeline bench never exercises — run_benchmarks.sh lints both.
+//
+//   bench_chaos_tcp [--smoke] [--out bench/BENCH_chaos.json] [--prom FILE]
+
+#include <algorithm>
+#include <cstring>
+#include <fstream>
+#include <functional>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "net/server.h"
+#include "net/transport.h"
+#include "nn/layers.h"
+#include "obs/metrics.h"
+#include "util/fault.h"
+
+using namespace ppstream;
+using namespace ppstream::bench;
+
+namespace {
+
+double Ms(double seconds) { return seconds * 1e3; }
+
+std::shared_ptr<const InferencePlan> TinyPlan() {
+  Rng mrng(8);
+  Model model(Shape{4}, "chaos-bench");
+  PPS_CHECK_OK(model.Add(DenseLayer::Random(4, 6, mrng)));
+  PPS_CHECK_OK(model.Add(std::make_unique<ReluLayer>()));
+  PPS_CHECK_OK(model.Add(DenseLayer::Random(6, 3, mrng)));
+  PPS_CHECK_OK(model.Add(std::make_unique<SoftmaxLayer>()));
+  auto plan = CompilePlan(model, 1000);
+  PPS_CHECK_OK(plan.status());
+  return std::make_shared<const InferencePlan>(std::move(plan).value());
+}
+
+DoubleTensor MakeInput(uint64_t seed) {
+  Rng rng(seed);
+  DoubleTensor x{Shape{4}};
+  for (int64_t j = 0; j < 4; ++j) x[j] = rng.NextUniform(-2, 2);
+  return x;
+}
+
+struct PhaseReport {
+  std::string name;
+  size_t inferences = 0;
+  double mean_ms = 0;
+  double p95_ms = 0;
+  double frames_per_inference = 0;
+  /// Physical wire attempts per inference (net.exchange.attempts counts
+  /// resends inside the resilient channel that logical frame counters
+  /// never see).
+  double attempts_per_inference = 0;
+  /// attempts_per_inference / the clean phase's — 1.0 means zero resend
+  /// overhead, 2.0 means the chaos doubled the wire traffic for the same
+  /// work.
+  double amplification = 0;
+  uint64_t reconnects = 0;
+  uint64_t restarts = 0;
+};
+
+/// Runs `count` resilient inferences, asserting bit-exactness, and
+/// returns the phase's latency/traffic profile. `mutate` (optional) runs
+/// between inferences — the server_restart phase swaps processes there.
+PhaseReport RunPhase(const std::string& name, ModelProviderApi& mp,
+                     DataProvider& dp, ResilientTcpChannel& channel,
+                     const InferencePlan& plan, size_t count,
+                     uint64_t request_base,
+                     const std::function<void(size_t)>& mutate = nullptr) {
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  obs::Counter* frames_sent = registry.GetCounter("net.frames_sent");
+  obs::Counter* attempts = registry.GetCounter("net.exchange.attempts");
+  obs::Counter* restarts = registry.GetCounter("net.inference.restarts");
+  const uint64_t frames_before = frames_sent->Value();
+  const uint64_t attempts_before = attempts->Value();
+  const uint64_t reconnects_before = channel.reconnects();
+  const uint64_t restarts_before = restarts->Value();
+
+  ResilientInferenceOptions ropts;
+  ropts.restart = {.max_retries = 5,
+                   .initial_backoff_seconds = 0.02,
+                   .max_backoff_seconds = 0.2};
+  ropts.deadline_seconds = 60.0;
+
+  std::vector<double> latencies;
+  for (size_t i = 0; i < count; ++i) {
+    if (mutate) mutate(i);
+    const DoubleTensor input = MakeInput(0xBE7C4 + request_base + i);
+    auto expected = RunScaledPlainInference(plan, input);
+    PPS_CHECK_OK(expected.status());
+    WallTimer timer;
+    auto output =
+        RunResilientInference(mp, dp, request_base + i + 1, input, ropts);
+    latencies.push_back(timer.ElapsedSeconds());
+    PPS_CHECK(output.ok()) << name << ": " << output.status().ToString();
+    for (int64_t j = 0; j < expected->NumElements(); ++j) {
+      PPS_CHECK(output.value()[j] == expected.value()[j])
+          << name << ": inference diverged from the plain reference";
+    }
+  }
+
+  std::sort(latencies.begin(), latencies.end());
+  double sum = 0;
+  for (double l : latencies) sum += l;
+  PhaseReport report;
+  report.name = name;
+  report.inferences = count;
+  report.mean_ms = Ms(sum / static_cast<double>(count));
+  report.p95_ms = Ms(latencies[(latencies.size() * 95) / 100]);
+  report.frames_per_inference =
+      static_cast<double>(frames_sent->Value() - frames_before) /
+      static_cast<double>(count);
+  report.attempts_per_inference =
+      static_cast<double>(attempts->Value() - attempts_before) /
+      static_cast<double>(count);
+  report.reconnects = channel.reconnects() - reconnects_before;
+  report.restarts = restarts->Value() - restarts_before;
+  return report;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  const char* out_path = "bench/BENCH_chaos.json";
+  const char* prom_path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--prom") == 0 && i + 1 < argc) {
+      prom_path = argv[++i];
+    }
+  }
+  const size_t per_phase = smoke ? 3 : 8;
+  const int key_bits = 256;  // chaos cost is dominated by backoff, not crypto
+
+  std::printf("== chaos recovery over TCP (%zu inferences/phase, %d-bit "
+              "keys%s) ==\n\n",
+              per_phase, key_bits, smoke ? ", smoke" : "");
+
+  auto plan = TinyPlan();
+  const PaillierKeyPair& keys = SharedKeys(key_bits);
+  PPS_CHECK_OK(plan->CheckFitsKey(keys.public_key.n()));
+
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  registry.Reset();
+
+  auto server = std::make_unique<ModelProviderTcpServer>(plan);
+  PPS_CHECK_OK(server->Listen(0));
+  const uint16_t port = server->port();
+  std::thread server_thread([&server] { PPS_CHECK_OK(server->Serve()); });
+
+  auto transport =
+      TcpTransport::Connect("127.0.0.1", port, keys.public_key);
+  PPS_CHECK_OK(transport.status());
+  auto* channel =
+      dynamic_cast<ResilientTcpChannel*>(&transport.value()->channel());
+  PPS_CHECK(channel != nullptr);
+
+  DataProvider dp(transport.value()->view_plan(), keys, 0xBE9C);
+  ModelProviderApi& mp = *transport.value()->model_provider();
+
+  std::vector<PhaseReport> phases;
+
+  // ---- Phase 1: clean baseline.
+  phases.push_back(RunPhase("clean", mp, dp, *channel, *plan, per_phase,
+                            /*request_base=*/100));
+
+  // ---- Phase 2: connection resets under every third frame.
+  auto injector = std::make_shared<FaultInjector>(0xC4A05);
+  {
+    FaultRule reset;
+    reset.site_pattern = "net.sock.reset";
+    reset.kind = FaultKind::kError;
+    reset.error_code = StatusCode::kIoError;
+    reset.every_nth = 3;
+    injector->AddRule(reset);
+  }
+  transport.value()->channel().SetFaultInjector(injector);
+  phases.push_back(RunPhase("socket_resets", mp, dp, *channel, *plan,
+                            per_phase, /*request_base=*/200));
+  transport.value()->channel().SetFaultInjector(nullptr);
+  PPS_CHECK(injector->stats().errors > 0) << "no resets fired";
+  PPS_CHECK(phases.back().reconnects > 0) << "resets never reconnected";
+
+  // ---- Phase 3: the server is replaced mid-phase (session dies with it).
+  auto swap_server = [&](size_t i) {
+    if (i != per_phase / 2) return;
+    server->BeginDrain(0);
+    server_thread.join();
+    server = std::make_unique<ModelProviderTcpServer>(plan);
+    PPS_CHECK_OK(server->Listen(port));
+    server_thread = std::thread([&server] { PPS_CHECK_OK(server->Serve()); });
+  };
+  phases.push_back(RunPhase("server_restart", mp, dp, *channel, *plan,
+                            per_phase, /*request_base=*/300, swap_server));
+  PPS_CHECK(phases.back().restarts > 0)
+      << "the replacement server never forced an inference restart";
+
+  transport.value()->Close();
+  server->Shutdown();
+  server_thread.join();
+
+  const double clean_api = phases[0].attempts_per_inference;
+  for (PhaseReport& phase : phases) {
+    phase.amplification = phase.attempts_per_inference / clean_api;
+  }
+
+  // ---- Console + JSON.
+  std::printf("%-16s %6s %10s %10s %11s %12s %6s %10s %9s\n", "phase",
+              "count", "mean(ms)", "p95(ms)", "frames/inf", "attempts/inf",
+              "amp", "reconnects", "restarts");
+  PrintRule();
+  for (const PhaseReport& p : phases) {
+    std::printf("%-16s %6zu %10.2f %10.2f %11.2f %12.2f %6.2f %10llu "
+                "%9llu\n",
+                p.name.c_str(), p.inferences, p.mean_ms, p.p95_ms,
+                p.frames_per_inference, p.attempts_per_inference,
+                p.amplification, static_cast<unsigned long long>(p.reconnects),
+                static_cast<unsigned long long>(p.restarts));
+  }
+
+  const obs::Histogram* reconnect_seconds =
+      registry.GetHistogram("net.reconnect_seconds");
+  std::printf("\nreconnect latency: count %llu p50 %.2f ms p95 %.2f ms "
+              "max %.2f ms\n",
+              static_cast<unsigned long long>(reconnect_seconds->Count()),
+              Ms(reconnect_seconds->Quantile(0.5)),
+              Ms(reconnect_seconds->Quantile(0.95)),
+              Ms(reconnect_seconds->Max()));
+
+  std::ofstream json(out_path);
+  PPS_CHECK(json.good()) << "cannot write " << out_path;
+  json << "{\n  \"key_bits\": " << key_bits << ",\n  \"phases\": [\n";
+  for (size_t i = 0; i < phases.size(); ++i) {
+    const PhaseReport& p = phases[i];
+    json << "    {\"name\": \"" << p.name << "\""
+         << ", \"inferences\": " << p.inferences
+         << ", \"mean_ms\": " << p.mean_ms << ", \"p95_ms\": " << p.p95_ms
+         << ", \"frames_per_inference\": " << p.frames_per_inference
+         << ", \"attempts_per_inference\": " << p.attempts_per_inference
+         << ", \"amplification_vs_clean\": " << p.amplification
+         << ", \"reconnects\": " << p.reconnects
+         << ", \"inference_restarts\": " << p.restarts << "}"
+         << (i + 1 < phases.size() ? "," : "") << "\n";
+  }
+  json << "  ],\n  \"reconnect_seconds\": {"
+       << "\"count\": " << reconnect_seconds->Count()
+       << ", \"p50_ms\": " << Ms(reconnect_seconds->Quantile(0.5))
+       << ", \"p95_ms\": " << Ms(reconnect_seconds->Quantile(0.95))
+       << ", \"max_ms\": " << Ms(reconnect_seconds->Max()) << "},\n";
+  json << "  \"counters\": {\n";
+  bool first = true;
+  for (const char* prefix : {"net.", "fault."}) {
+    for (const auto& [name, value] : registry.CounterValues(prefix)) {
+      if (!first) json << ",\n";
+      first = false;
+      json << "    \"" << name << "\": " << value;
+    }
+  }
+  json << "\n  }\n}\n";
+  json.close();
+  std::printf("wrote %s\n", out_path);
+
+  if (prom_path != nullptr) {
+    // The chaos registry is the only place the resilience families all
+    // exist at once; the exposition is linted here and again (with
+    // required-family expectations) by run_benchmarks.sh.
+    const std::string prom = registry.PrometheusText();
+    PPS_CHECK_OK(obs::CheckPrometheusText(prom));
+    for (const char* family :
+         {"pps_net_reconnects", "pps_net_session_created",
+          "pps_net_session_lost", "pps_net_inference_restarts",
+          "pps_fault_injected_error_net_sock_reset"}) {
+      PPS_CHECK(prom.find(family) != std::string::npos)
+          << "resilience family missing from the exposition: " << family;
+    }
+    std::ofstream prom_out(prom_path);
+    PPS_CHECK(prom_out.good()) << "cannot write " << prom_path;
+    prom_out << prom;
+    prom_out.close();
+    std::printf("wrote %s (lint OK)\n", prom_path);
+  }
+  std::printf("\nbench_chaos_tcp OK\n");
+  return 0;
+}

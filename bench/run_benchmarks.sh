@@ -17,13 +17,20 @@
 # linted both by the bench itself and by the awk check below — a
 # malformed exposition fails the run.
 #
+# And bench_chaos_tcp, which writes bench/BENCH_chaos.json (recovery
+# latency + retry-storm amplification over a real loopback server under
+# socket resets and a server restart) plus its own Prometheus exposition
+# — the only one where the whole resilience family (net.session.*,
+# net.reconnects, fault.injected.net.sock.*) is live at once; both
+# expositions are held to the required-families expectations below.
+#
 # Usage:
 #   bench/run_benchmarks.sh            # full run (writes BENCH_crypto.json)
 #   bench/run_benchmarks.sh --smoke    # CI smoke: 1-iteration benches,
 #                                      # 256-bit keys only for Figure 1
 #
 # Env overrides: BUILD_DIR (default build), OUT_JSON, PIPELINE_JSON,
-# PROM_OUT, MIN_TIME, FIG1_MAX_BITS.
+# CHAOS_JSON, PROM_OUT, MIN_TIME, FIG1_MAX_BITS.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -31,6 +38,7 @@ cd "$(dirname "$0")/.."
 BUILD_DIR=${BUILD_DIR:-build}
 OUT_JSON=${OUT_JSON:-bench/BENCH_crypto.json}
 PIPELINE_JSON=${PIPELINE_JSON:-bench/BENCH_pipeline.json}
+CHAOS_JSON=${CHAOS_JSON:-bench/BENCH_chaos.json}
 PROM_OUT=${PROM_OUT:-bench/metrics.prom}
 
 SMOKE=0
@@ -48,7 +56,7 @@ else
 fi
 
 for bin in bench_micro_crypto bench_fig1_paillier bench_table3_models \
-           bench_pipeline; do
+           bench_pipeline bench_chaos_tcp; do
   if [[ ! -x "$BUILD_DIR/bench/$bin" ]]; then
     echo "error: $BUILD_DIR/bench/$bin not built (cmake --build $BUILD_DIR)" >&2
     exit 1
@@ -56,7 +64,8 @@ for bin in bench_micro_crypto bench_fig1_paillier bench_table3_models \
 done
 
 MICRO_TXT=$(mktemp)
-trap 'rm -f "$MICRO_TXT"' EXIT
+CHAOS_PROM=$(mktemp)
+trap 'rm -f "$MICRO_TXT" "$CHAOS_PROM"' EXIT
 
 echo "== bench_micro_crypto (min_time=${MIN_TIME}s) =="
 "$BUILD_DIR/bench/bench_micro_crypto" \
@@ -78,31 +87,77 @@ if [[ $SMOKE -eq 1 ]]; then
 fi
 "$BUILD_DIR/bench/bench_pipeline" "${PIPELINE_ARGS[@]}"
 
-# Second, independent lint of the Prometheus exposition: every sample
-# line must be `name value` with a bare-metric or labeled-metric name and
-# a numeric (or +/-Inf / NaN) value, and every name must carry a # TYPE.
-awk '
-  /^#[ ]TYPE[ ]/ { typed[$3] = 1; next }
-  /^#/ || /^$/ { next }
-  {
-    if (NF != 2) { print "prom lint: bad sample: " $0; exit 1 }
-    name = $1
-    sub(/\{.*\}$/, "", name)
-    if (name !~ /^[a-zA-Z_:][a-zA-Z0-9_:]*$/) {
-      print "prom lint: bad metric name: " $1; exit 1
+echo
+echo "== bench_chaos_tcp (recovery latency / retry amplification) =="
+CHAOS_ARGS=(--out "$CHAOS_JSON" --prom "$CHAOS_PROM")
+if [[ $SMOKE -eq 1 ]]; then
+  CHAOS_ARGS+=(--smoke)
+fi
+"$BUILD_DIR/bench/bench_chaos_tcp" "${CHAOS_ARGS[@]}"
+
+# Second, independent lint of a Prometheus exposition: every sample line
+# must be `name value` with a bare-metric or labeled-metric name and a
+# numeric (or +/-Inf / NaN) value, and every name must carry a # TYPE.
+lint_prom() {
+  awk '
+    /^#[ ]TYPE[ ]/ { typed[$3] = 1; next }
+    /^#/ || /^$/ { next }
+    {
+      if (NF != 2) { print "prom lint: bad sample: " $0; exit 1 }
+      name = $1
+      sub(/\{.*\}$/, "", name)
+      if (name !~ /^[a-zA-Z_:][a-zA-Z0-9_:]*$/) {
+        print "prom lint: bad metric name: " $1; exit 1
+      }
+      if ($2 !~ /^[+-]?([0-9]|Inf|NaN)/) {
+        print "prom lint: non-numeric value: " $0; exit 1
+      }
+      # Histogram series (_bucket/_sum/_count) inherit their familys TYPE.
+      base = name
+      sub(/_(bucket|sum|count)$/, "", base)
+      if (!(name in typed) && !(base in typed)) {
+        print "prom lint: sample without # TYPE: " name; exit 1
+      }
     }
-    if ($2 !~ /^[+-]?([0-9]|Inf|NaN)/) {
-      print "prom lint: non-numeric value: " $0; exit 1
-    }
-    # Histogram series (_bucket/_sum/_count) inherit their familys TYPE.
-    base = name
-    sub(/_(bucket|sum|count)$/, "", base)
-    if (!(name in typed) && !(base in typed)) {
-      print "prom lint: sample without # TYPE: " name; exit 1
-    }
-  }
-' "$PROM_OUT"
-echo "prom lint OK ($PROM_OUT)"
+  ' "$1"
+  echo "prom lint OK ($1)"
+}
+
+# Required families. Every channel-opening process registers the
+# resilience counters up front (NetMetrics in src/net/transport.cc), so
+# they must appear — at zero if nothing broke — in ANY exposition,
+# metrics.prom included:
+#   pps_net_reconnects           successful re-dials after a drop
+#   pps_net_reconnect_seconds    recovery latency histogram
+#   pps_net_exchange_attempts    physical wire attempts (resends included)
+#   pps_net_inference_restarts   whole-inference restarts (session lost)
+#   pps_net_pings                liveness probes sent
+# The chaos bench exposition must additionally carry the families only a
+# session-serving + fault-injected process produces:
+#   pps_net_session_{created,resumed,lost,evicted,active} session lifecycle
+#   pps_fault_injected_error_net_sock_reset               fired socket faults
+require_families() {
+  local file=$1; shift
+  for family in "$@"; do
+    if ! grep -q "^$family" "$file"; then
+      echo "prom lint: required family missing from $file: $family" >&2
+      exit 1
+    fi
+  done
+  echo "prom required families OK ($file: $#)"
+}
+
+lint_prom "$PROM_OUT"
+lint_prom "$CHAOS_PROM"
+require_families "$PROM_OUT" \
+  pps_net_reconnects pps_net_reconnect_seconds pps_net_exchange_attempts \
+  pps_net_inference_restarts pps_net_pings
+require_families "$CHAOS_PROM" \
+  pps_net_reconnects pps_net_reconnect_seconds pps_net_exchange_attempts \
+  pps_net_inference_restarts pps_net_pings \
+  pps_net_session_created pps_net_session_resumed pps_net_session_lost \
+  pps_net_session_evicted pps_net_session_active \
+  pps_fault_injected_error_net_sock_reset
 
 # Console rows look like:  BM_PaillierEncrypt/512   451234 ns   451100 ns   10
 awk '

@@ -2,9 +2,15 @@
 // deployment"). Owns the trained model and serves the protocol's linear
 // stages over TCP; pair it with dp_client in another terminal:
 //
-//   ./mp_server 19777            # serve until interrupted
+//   ./mp_server 19777            # serve until SIGTERM (graceful drain)
 //   ./mp_server 19777 --once     # serve one connection, then exit (CI)
 //   ./mp_server 19777 --once --trace mp_trace.json   # + Chrome trace dump
+//
+// SIGTERM/SIGINT begin a graceful drain (DESIGN.md §11): no new
+// connections, the in-flight connection gets a grace period to finish,
+// then Serve() returns and the process exits 0. Parked sessions die with
+// the process; reconnecting clients restart their inference from
+// scratch, bit-exact.
 //
 // With --trace, incoming frames' trace blocks root this process's spans
 // under the client's trace, so the two dumps merge into one stitched
@@ -13,6 +19,7 @@
 // The weights never leave this process: the handshake ships only the
 // plan's weight-free data-provider view.
 
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -24,6 +31,18 @@
 #include "obs/trace.h"
 
 using namespace ppstream;
+
+namespace {
+
+ModelProviderTcpServer* g_server = nullptr;
+
+extern "C" void HandleShutdownSignal(int) {
+  // BeginDrain is async-signal-safe by contract (net/server.h): atomic
+  // stores plus one self-pipe write, no logging, no allocation.
+  if (g_server != nullptr) g_server->BeginDrain(/*grace_seconds=*/2.0);
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   uint16_t port = 19777;
@@ -58,14 +77,18 @@ int main(int argc, char** argv) {
   options.worker_threads = 2;
   ModelProviderTcpServer server(plan, options);
   PPS_CHECK_OK(server.Listen(port));
+  g_server = &server;
+  std::signal(SIGTERM, HandleShutdownSignal);
+  std::signal(SIGINT, HandleShutdownSignal);
   std::printf("listening on 127.0.0.1:%u (%s)\n", server.port(),
-              once ? "single connection" : "ctrl-C to stop");
+              once ? "single connection" : "SIGTERM/ctrl-C drains and stops");
   std::fflush(stdout);
 
   if (once) {
     PPS_CHECK_OK(server.ServeOne(/*accept_timeout_seconds=*/60.0));
   } else {
     PPS_CHECK_OK(server.Serve());
+    if (server.stopping()) std::printf("drained on signal\n");
   }
   if (trace_path != nullptr) {
     std::ofstream out(trace_path);

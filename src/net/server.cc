@@ -1,9 +1,13 @@
 #include "net/server.h"
 
+#include <algorithm>
 #include <utility>
+#include <vector>
 
 #include "net/transport.h"
 #include "net/wire.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/logging.h"
 
 namespace ppstream {
@@ -16,23 +20,52 @@ bool IsCleanDisconnect(const Status& status) {
          status.message() == "connection closed";
 }
 
+struct ServerMetrics {
+  obs::Counter* pings_served;
+  obs::Counter* deadline_shed;
+  obs::Counter* replays_served;
+
+  static const ServerMetrics& Get() {
+    static const ServerMetrics metrics = [] {
+      obs::MetricsRegistry& r = obs::MetricsRegistry::Global();
+      return ServerMetrics{r.GetCounter("net.pings.served"),
+                           r.GetCounter("net.deadline.shed"),
+                           r.GetCounter("net.session.replays")};
+    }();
+    return metrics;
+  }
+};
+
 }  // namespace
 
 ModelProviderTcpServer::ModelProviderTcpServer(
     std::shared_ptr<const InferencePlan> plan,
     ModelProviderServerOptions options)
-    : plan_(std::move(plan)), options_(options) {
+    : plan_(std::move(plan)),
+      options_(options),
+      sessions_(options_.session) {
   PPS_CHECK(plan_ != nullptr);
   PPS_CHECK(!plan_->is_data_provider_view)
       << "a model-provider server needs the full plan (with weights)";
   if (options_.worker_threads > 0) {
     pool_ = std::make_unique<ThreadPool>(options_.worker_threads);
   }
+  // Touch the metric singletons up front so every serving process exports
+  // the resilience families (at zero) even before the first incident.
+  (void)ServerMetrics::Get();
 }
 
 Status ModelProviderTcpServer::Listen(uint16_t port) {
   PPS_ASSIGN_OR_RETURN(listener_, TcpListener::Bind(port));
   return Status::OK();
+}
+
+void ModelProviderTcpServer::BeginDrain(double grace_seconds) {
+  // Async-signal-safe on purpose (atomic stores + one pipe write): the
+  // intended caller is a SIGTERM handler. No logging here.
+  drain_deadline_.store(obs::MonotonicSeconds() +
+                        std::max(0.0, grace_seconds));
+  Shutdown();
 }
 
 Status ModelProviderTcpServer::ServeOne(double accept_timeout_seconds) {
@@ -49,9 +82,17 @@ Status ModelProviderTcpServer::Serve() {
     return Status::FailedPrecondition("server is not listening (call Listen)");
   }
   while (!stopping_.load()) {
-    Result<TcpSocket> socket = listener_.Accept(options_.accept_poll_seconds);
+    Result<TcpSocket> socket =
+        listener_.Accept(options_.accept_poll_seconds, wake_.read_fd());
     if (!socket.ok()) {
-      if (socket.status().code() == StatusCode::kDeadlineExceeded) continue;
+      const StatusCode code = socket.status().code();
+      // Timeout: routine poll tick. Cancelled: Shutdown()/BeginDrain()
+      // woke the accept — the loop condition notices stopping_ and exits
+      // without waiting out the poll interval.
+      if (code == StatusCode::kDeadlineExceeded ||
+          code == StatusCode::kCancelled) {
+        continue;
+      }
       return socket.status();
     }
     const Status status = ServeConnection(std::move(socket).value());
@@ -65,13 +106,62 @@ Status ModelProviderTcpServer::Serve() {
   return Status::OK();
 }
 
+Status ModelProviderTcpServer::WaitForRequest(TcpSocket& socket) {
+  const double idle_deadline =
+      obs::MonotonicSeconds() + options_.io_timeout_seconds;
+  for (;;) {
+    const double drain = drain_deadline_.load();
+    const double now = obs::MonotonicSeconds();
+    if (drain > 0 && now >= drain) {
+      return Status::Unavailable("server draining: connection grace expired");
+    }
+    if (now >= idle_deadline) {
+      return Status::DeadlineExceeded("socket wait timed out");
+    }
+    double wait_deadline = idle_deadline;
+    if (drain > 0) wait_deadline = std::min(wait_deadline, drain);
+    double slice = wait_deadline - now;
+    // The wakeup pipe is sticky and fires on plain Shutdown() too, where
+    // the established connection keeps its legacy serve-until-disconnect
+    // semantics. Once signalled, stop passing the fd and fall back to
+    // short polled slices so a later BeginDrain() still cuts us off.
+    const int cancel_fd = wake_.signalled() ? -1 : wake_.read_fd();
+    if (cancel_fd < 0) slice = std::min(slice, options_.accept_poll_seconds);
+    const Status ready = socket.WaitReadable(slice, cancel_fd);
+    if (ready.code() == StatusCode::kCancelled ||
+        ready.code() == StatusCode::kDeadlineExceeded) {
+      continue;  // re-evaluate drain/idle deadlines, then wait again
+    }
+    return ready;  // readable (OK) or a real socket error
+  }
+}
+
 Status ModelProviderTcpServer::ServeConnection(TcpSocket socket) {
   const uint64_t conn = connections_.fetch_add(1);
   const double timeout = options_.io_timeout_seconds;
   PPS_SLOG(Debug, "server.connection_accepted").Kv("connection", conn);
 
-  // ---- Handshake: public key in, weight-free plan view out.
-  PPS_ASSIGN_OR_RETURN(WireFrame hello, RecvFrame(socket, timeout));
+  // ---- Pre-handshake: liveness probes are answered without credentials
+  // so a circuit-breaker health check never needs a Paillier key.
+  WireFrame hello;
+  for (;;) {
+    Result<WireFrame> recv = RecvFrame(socket, timeout);
+    if (!recv.ok()) {
+      // A probe connection (ping, port scan) hanging up before the
+      // handshake is routine, not a connection error worth a warning.
+      if (IsCleanDisconnect(recv.status())) return Status::OK();
+      return recv.status();
+    }
+    WireFrame frame = std::move(recv).value();
+    if (!frame.is_response && frame.method == WireMethod::kPing) {
+      ServerMetrics::Get().pings_served->Increment();
+      PPS_RETURN_IF_ERROR(SendFrameBytes(
+          socket, EncodeFrame(MakeResponseFrame(frame, {})), timeout));
+      continue;
+    }
+    hello = std::move(frame);
+    break;
+  }
   if (hello.is_response || hello.method != WireMethod::kHandshake) {
     const Status error = Status::ProtocolError(
         "connection must start with a handshake request");
@@ -79,40 +169,137 @@ Status ModelProviderTcpServer::ServeConnection(TcpSocket socket) {
                          timeout);
     return error;
   }
-  BufferReader reader(hello.payload);
-  Result<PaillierPublicKey> pk = PaillierPublicKey::Deserialize(&reader);
-  if (pk.ok() && !reader.AtEnd()) {
-    pk = Status::ProtocolError("trailing bytes after handshake public key");
-  }
-  if (pk.ok()) {
-    const Status fits = plan_->CheckFitsKey(pk->n());
-    if (!fits.ok()) pk = fits;
-  }
-  if (!pk.ok()) {
-    (void)SendFrameBytes(socket,
-                         EncodeFrame(MakeErrorFrame(hello, pk.status())),
-                         timeout);
-    return pk.status();
+
+  std::shared_ptr<ServerSession> session;
+  std::unique_ptr<ModelProvider> local_mp;
+
+  if (hello.session_id != 0) {
+    // ---- Resume: restore the parked provider, replay the plan view.
+    if (!options_.session.enable_sessions) {
+      const Status error = Status::ProtocolError(
+          "server does not accept sessioned handshakes");
+      (void)SendFrameBytes(socket, EncodeFrame(MakeErrorFrame(hello, error)),
+                           timeout);
+      return error;
+    }
+    Result<std::shared_ptr<ServerSession>> resumed =
+        sessions_.Resume(hello.session_id);
+    if (!resumed.ok()) {
+      // Expected after a restart or an LRU eviction: tell the client to
+      // start over; not a server-side failure.
+      PPS_SLOG(Info, "server.session_unknown")
+          .Kv("session", hello.session_id);
+      (void)SendFrameBytes(
+          socket, EncodeFrame(MakeErrorFrame(hello, resumed.status())),
+          timeout);
+      return Status::OK();
+    }
+    session = std::move(resumed).value();
+    PPS_RETURN_IF_ERROR(SendFrameBytes(
+        socket,
+        EncodeFrame(MakeResponseFrame(hello, session->view_payload())),
+        timeout));
+    PPS_SLOG(Debug, "server.session_resumed")
+        .Kv("session", session->id())
+        .Kv("last_sequence", session->last_sequence());
+  } else {
+    // ---- Fresh handshake: public key in, weight-free plan view out.
+    BufferReader reader(hello.payload);
+    Result<PaillierPublicKey> pk = PaillierPublicKey::Deserialize(&reader);
+    if (pk.ok() && !reader.AtEnd()) {
+      pk = Status::ProtocolError("trailing bytes after handshake public key");
+    }
+    if (pk.ok()) {
+      const Status fits = plan_->CheckFitsKey(pk->n());
+      if (!fits.ok()) pk = fits;
+    }
+    if (!pk.ok()) {
+      (void)SendFrameBytes(socket,
+                           EncodeFrame(MakeErrorFrame(hello, pk.status())),
+                           timeout);
+      return pk.status();
+    }
+
+    local_mp = std::make_unique<ModelProvider>(plan_, std::move(pk).value(),
+                                               options_.obf_seed + conn);
+    BufferWriter view;
+    plan_->SerializeDataProviderView(&view);
+    std::vector<uint8_t> view_bytes = view.TakeBytes();
+    if (hello.session_request && options_.session.enable_sessions) {
+      session = sessions_.Create(std::move(local_mp), view_bytes);
+    }
+    WireFrame response = MakeResponseFrame(hello, std::move(view_bytes));
+    if (session) response.session_id = session->id();
+    PPS_RETURN_IF_ERROR(
+        SendFrameBytes(socket, EncodeFrame(response), timeout));
   }
 
-  ModelProvider mp(plan_, std::move(pk).value(), options_.obf_seed + conn);
-  BufferWriter view;
-  plan_->SerializeDataProviderView(&view);
-  PPS_RETURN_IF_ERROR(SendFrameBytes(
-      socket, EncodeFrame(MakeResponseFrame(hello, view.TakeBytes())),
-      timeout));
+  ModelProvider& mp = session ? session->provider() : *local_mp;
 
-  // ---- Request loop until the peer hangs up.
+  // ---- Request loop until the peer hangs up (or drain cuts it off).
   for (;;) {
+    const Status wait = WaitForRequest(socket);
+    if (!wait.ok()) {
+      if (wait.code() == StatusCode::kUnavailable) {
+        // Drain grace expired; the session (if any) stays in the
+        // registry so a client of a merely-draining server can resume
+        // against a replacement process... or this one, if drain is
+        // cancelled. Closing the socket is enough to unblock Serve().
+        PPS_SLOG(Info, "server.drain_cutoff").Kv("connection", conn);
+        return Status::OK();
+      }
+      return wait;  // idle timeout or a real socket error
+    }
+    const double received = obs::MonotonicSeconds();
     Result<WireFrame> request = RecvFrame(socket, timeout);
     if (!request.ok()) {
       if (IsCleanDisconnect(request.status())) return Status::OK();
       return request.status();
     }
+    if (!request->is_response && request->method == WireMethod::kPing) {
+      ServerMetrics::Get().pings_served->Increment();
+      PPS_RETURN_IF_ERROR(SendFrameBytes(
+          socket, EncodeFrame(MakeResponseFrame(*request, {})), timeout));
+      continue;
+    }
+    if (RequestDeadlinePassed(request->deadline_micros, received,
+                              obs::MonotonicSeconds())) {
+      // The client stopped waiting for this answer; don't burn Paillier
+      // CPU producing it.
+      ServerMetrics::Get().deadline_shed->Increment();
+      const Status expired = Status::DeadlineExceeded(
+          "request deadline expired before dispatch; shedding");
+      PPS_RETURN_IF_ERROR(SendFrameBytes(
+          socket, EncodeFrame(MakeErrorFrame(*request, expired)), timeout));
+      continue;
+    }
+    if (session && request->sequence != 0) {
+      if (const std::vector<uint8_t>* cached =
+              session->CachedReply(request->sequence)) {
+        ServerMetrics::Get().replays_served->Increment();
+        PPS_SLOG(Debug, "server.reply_replayed")
+            .Kv("session", session->id())
+            .Kv("sequence", request->sequence);
+        PPS_RETURN_IF_ERROR(SendFrameBytes(socket, *cached, timeout));
+        continue;
+      }
+      if (session->IsStaleSequence(request->sequence)) {
+        const Status stale = Status::ProtocolError(
+            "stale sequence: reply already served and evicted");
+        PPS_RETURN_IF_ERROR(SendFrameBytes(
+            socket, EncodeFrame(MakeErrorFrame(*request, stale)), timeout));
+        continue;
+      }
+    }
     const WireFrame response =
         DispatchModelProviderFrame(mp, *request, pool_.get());
-    PPS_RETURN_IF_ERROR(
-        SendFrameBytes(socket, EncodeFrame(response), timeout));
+    const std::vector<uint8_t> encoded = EncodeFrame(response);
+    if (session && request->sequence != 0) {
+      // Cache before sending: a reply lost in flight must be replayed
+      // from the cache on resend, never re-executed (net/session.h).
+      session->StoreReply(request->sequence, encoded, options_.session);
+    }
+    PPS_RETURN_IF_ERROR(SendFrameBytes(socket, encoded, timeout));
   }
 }
 

@@ -3,13 +3,38 @@
 //
 // Connection lifecycle:
 //   1. accept; the first frame must be a kHandshake request carrying the
-//      client's Paillier public key;
+//      client's Paillier public key (kPing frames are answered even
+//      before the handshake so liveness probes never need credentials);
 //   2. build a fresh ModelProvider for the connection (per-connection
 //      obfuscation seed) and reply with the plan's weight-free
-//      data-provider view — weights never leave the process;
+//      data-provider view — weights never leave the process. When the
+//      hello asks for a session (wire v3, session_request flag) the
+//      provider is parked in a SessionRegistry and the response carries
+//      the server-issued session id;
 //   3. serve kMp* request frames until the peer disconnects. Malformed
 //      frames and provider failures become error frames; only an
 //      unrecoverable socket error ends the connection.
+//
+// Resume: a reconnecting client re-handshakes with its session id; the
+// registry restores the parked ModelProvider (same permutations, same
+// randomizer state) and the request loop continues where it left off.
+// Requests whose sequence number was already served are answered from
+// the session's reply cache instead of being re-executed — see
+// net/session.h for why re-execution is never safe.
+//
+// Deadline shedding: a request frame carrying deadline_micros that has
+// already expired by the time the server would dispatch it gets an
+// error frame (kDeadlineExceeded) instead of burning Paillier CPU on an
+// answer the client stopped waiting for.
+//
+// Shutdown vs drain:
+//   Shutdown()    makes Serve() return promptly — a self-pipe cancels a
+//                 blocked accept instead of riding out the poll timeout.
+//                 An established connection keeps being served until its
+//                 peer hangs up (legacy semantics).
+//   BeginDrain()  additionally bounds in-flight work: no new connections
+//                 are accepted, and the current connection's idle waits
+//                 are cut off at the drain deadline.
 //
 // The server is deliberately single-connection-at-a-time (the two-party
 // protocol is one DP talking to one MP); linear stages parallelize across
@@ -22,6 +47,7 @@
 #include <memory>
 
 #include "core/protocol.h"
+#include "net/session.h"
 #include "net/socket.h"
 #include "util/thread_pool.h"
 
@@ -33,10 +59,14 @@ struct ModelProviderServerOptions {
   /// Per-socket-operation timeout while serving an established connection.
   double io_timeout_seconds = 30.0;
   /// Accept poll granularity; Serve() re-checks the stop flag this often.
+  /// (With the wakeup pipe this is a fallback, not the shutdown latency.)
   double accept_poll_seconds = 0.2;
   /// Base obfuscation seed; connection k uses obf_seed + k so permutation
   /// streams never repeat across connections.
   uint64_t obf_seed = 0x0BF5EEDULL;
+  /// Session-resume layer bounds (enable_sessions = false refuses
+  /// sessioned handshakes and serves exactly like the pre-session wire).
+  SessionLayerOptions session;
 };
 
 class ModelProviderTcpServer {
@@ -56,26 +86,51 @@ class ModelProviderTcpServer {
   /// within `accept_timeout_seconds`.
   Status ServeOne(double accept_timeout_seconds);
 
-  /// Accept-serve loop until Shutdown(). Accept timeouts are not errors —
-  /// the loop polls so the stop flag stays responsive.
+  /// Accept-serve loop until Shutdown()/BeginDrain(). Accept timeouts are
+  /// not errors — the loop polls so the stop flag stays responsive.
   Status Serve();
 
-  /// Makes Serve() return after its current connection. Safe from any
-  /// thread (the intended use: signal handler or controlling thread).
-  void Shutdown() { stopping_.store(true); }
+  /// Makes Serve() return after its current connection, waking a blocked
+  /// accept immediately. Safe from any thread and from signal handlers
+  /// (the wakeup is a single async-signal-safe write()).
+  void Shutdown() {
+    stopping_.store(true);
+    wake_.Signal();
+  }
+
+  /// Graceful drain: stop accepting new connections now; give the
+  /// in-flight connection (if any) `grace_seconds` to finish, then cut
+  /// off its idle waits so Serve() returns. Implies Shutdown(). Safe to
+  /// call from a signal handler (atomic stores and one pipe write).
+  void BeginDrain(double grace_seconds);
+
+  /// True once Shutdown() or BeginDrain() was requested.
+  bool stopping() const { return stopping_.load(); }
 
   /// Connections accepted so far (smoke tests assert progress).
   uint64_t connections_served() const { return connections_.load(); }
+
+  /// Live resumable sessions (tests assert create/evict behavior).
+  size_t sessions_live() const { return sessions_.size(); }
 
  private:
   /// Handshake + request loop for one established connection.
   Status ServeConnection(TcpSocket socket);
 
+  /// Slices a long idle wait into cancellable pieces: returns OK when a
+  /// frame is readable, kDeadlineExceeded after io_timeout_seconds idle,
+  /// kUnavailable once the drain deadline passes.
+  Status WaitForRequest(TcpSocket& socket);
+
   std::shared_ptr<const InferencePlan> plan_;
   ModelProviderServerOptions options_;
   TcpListener listener_;
   std::unique_ptr<ThreadPool> pool_;
+  SessionRegistry sessions_;
+  WakeupPipe wake_;
   std::atomic<bool> stopping_{false};
+  /// Monotonic deadline once draining; 0 = not draining.
+  std::atomic<double> drain_deadline_{0};
   std::atomic<uint64_t> connections_{0};
 };
 

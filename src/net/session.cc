@@ -1,0 +1,128 @@
+#include "net/session.h"
+
+#include <utility>
+
+#include "obs/metrics.h"
+#include "util/logging.h"
+
+namespace ppstream {
+
+namespace {
+
+struct SessionMetrics {
+  obs::Counter* created;
+  obs::Counter* resumed;
+  obs::Counter* lost;
+  obs::Counter* evicted;
+  obs::Gauge* active;
+
+  static const SessionMetrics& Get() {
+    static const SessionMetrics metrics = [] {
+      obs::MetricsRegistry& r = obs::MetricsRegistry::Global();
+      return SessionMetrics{r.GetCounter("net.session.created"),
+                            r.GetCounter("net.session.resumed"),
+                            r.GetCounter("net.session.lost"),
+                            r.GetCounter("net.session.evicted"),
+                            r.GetGauge("net.session.active")};
+    }();
+    return metrics;
+  }
+};
+
+}  // namespace
+
+ServerSession::ServerSession(uint64_t id,
+                             std::unique_ptr<ModelProvider> provider,
+                             std::vector<uint8_t> view_payload)
+    : id_(id),
+      provider_(std::move(provider)),
+      view_payload_(std::move(view_payload)) {
+  PPS_CHECK(provider_ != nullptr);
+}
+
+const std::vector<uint8_t>* ServerSession::CachedReply(
+    uint64_t sequence) const {
+  const auto it = replies_.find(sequence);
+  if (it == replies_.end()) return nullptr;
+  return &it->second;
+}
+
+bool ServerSession::IsStaleSequence(uint64_t sequence) const {
+  return sequence <= max_sequence_ && replies_.count(sequence) == 0;
+}
+
+void ServerSession::StoreReply(uint64_t sequence,
+                               std::vector<uint8_t> encoded,
+                               const SessionLayerOptions& bounds) {
+  if (sequence > max_sequence_) max_sequence_ = sequence;
+  cached_bytes_ += encoded.size();
+  replies_[sequence] = std::move(encoded);
+  // Evict oldest-first past either bound, but never the entry just
+  // stored: the reply most likely to be replayed is the newest one.
+  while (replies_.size() > 1 &&
+         (replies_.size() > bounds.reply_cache_entries ||
+          cached_bytes_ > bounds.reply_cache_bytes)) {
+    const auto oldest = replies_.begin();
+    cached_bytes_ -= oldest->second.size();
+    replies_.erase(oldest);
+  }
+}
+
+SessionRegistry::SessionRegistry(SessionLayerOptions options)
+    : options_(options), id_rng_(SecureRng::FromEntropy()) {}
+
+std::shared_ptr<ServerSession> SessionRegistry::Create(
+    std::unique_ptr<ModelProvider> provider,
+    std::vector<uint8_t> view_payload) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  uint64_t id = 0;
+  while (id == 0 || sessions_.count(id) != 0) id = id_rng_.NextU64();
+  if (options_.max_sessions > 0 &&
+      sessions_.size() >= options_.max_sessions) {
+    auto victim = sessions_.begin();
+    for (auto it = sessions_.begin(); it != sessions_.end(); ++it) {
+      if (it->second.used_tick < victim->second.used_tick) victim = it;
+    }
+    PPS_SLOG(Debug, "session.evicted").Kv("session", victim->first);
+    SessionMetrics::Get().evicted->Increment();
+    sessions_.erase(victim);
+  }
+  auto session = std::make_shared<ServerSession>(
+      id, std::move(provider), std::move(view_payload));
+  sessions_[id] = Entry{session, ++tick_};
+  SessionMetrics::Get().created->Increment();
+  SessionMetrics::Get().active->Set(static_cast<double>(sessions_.size()));
+  return session;
+}
+
+Result<std::shared_ptr<ServerSession>> SessionRegistry::Resume(uint64_t id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = sessions_.find(id);
+  if (it == sessions_.end()) {
+    SessionMetrics::Get().lost->Increment();
+    return Status::NotFound("unknown or expired session");
+  }
+  it->second.used_tick = ++tick_;
+  SessionMetrics::Get().resumed->Increment();
+  return it->second.session;
+}
+
+void SessionRegistry::Remove(uint64_t id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  sessions_.erase(id);
+  SessionMetrics::Get().active->Set(static_cast<double>(sessions_.size()));
+}
+
+size_t SessionRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return sessions_.size();
+}
+
+bool RequestDeadlinePassed(uint64_t deadline_micros, double received_seconds,
+                           double now_seconds) {
+  if (deadline_micros == 0) return false;
+  return now_seconds - received_seconds >
+         static_cast<double>(deadline_micros) * 1e-6;
+}
+
+}  // namespace ppstream

@@ -1,0 +1,145 @@
+// Server-side session layer: the state that lets a data provider
+// reconnect mid-inference and resume instead of starting over
+// (DESIGN.md §11 "Distributed failure model").
+//
+// A session owns exactly the per-connection state the pre-session server
+// kept on the stack: the connection's ModelProvider (and with it the
+// request-scoped permutations and the key-bound randomizer machinery)
+// plus the serialized weight-free plan view sent back by the handshake.
+// Holding it in a registry keyed by a server-issued id decouples that
+// state's lifetime from any one TCP connection.
+//
+// Idempotent resume relies on two mechanisms:
+//   - a bounded reply cache keyed by the client's per-session sequence
+//     number: a re-sent request whose reply was already computed is
+//     answered from the cache, never re-executed (ModelProvider::Obfuscate
+//     draws fresh permutations per call, so re-execution would desync the
+//     two parties);
+//   - stale-sequence detection: a sequence at or below the session's
+//     high-water mark whose reply has been evicted is refused with
+//     kProtocolError — the client restarts the inference rather than
+//     risking divergent state.
+//
+// Session ids come from the process entropy pool (SecureRng::FromEntropy):
+// they gate access to key-bound crypto state, so they must not be
+// guessable from previous ids. Nothing else about a session is secret —
+// the id only ever protects ciphertext state, never plaintext.
+//
+// Thread-safety: SessionRegistry is fully locked. ServerSession's cache
+// accessors are NOT internally synchronized — the server serves one
+// connection at a time, and a session is only touched by the connection
+// that resumed it (the registry hands out shared_ptrs so eviction during
+// use stays safe).
+
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "core/protocol.h"
+#include "crypto/secure_rng.h"
+#include "util/status.h"
+
+namespace ppstream {
+
+/// Bounds and knobs of the server's session layer.
+struct SessionLayerOptions {
+  /// Master switch; disabled servers reject sessioned handshakes.
+  bool enable_sessions = true;
+  /// Live sessions kept; creating one more evicts the least recently
+  /// resumed (its crypto state drops, so a client holding that id must
+  /// restart its inference from scratch).
+  size_t max_sessions = 32;
+  /// Cached replies per session. The protocol is strictly sequential per
+  /// session, so a handful covers every reconnect pattern short of a
+  /// client replaying ancient history (which should be refused anyway).
+  size_t reply_cache_entries = 4;
+  /// Byte bound across one session's cached replies; the largest protocol
+  /// replies are ciphertext vectors of one stage boundary. Exceeding the
+  /// bound evicts oldest-first but always keeps the newest reply.
+  size_t reply_cache_bytes = 64 * 1024 * 1024;
+};
+
+/// One resumable connection's worth of server state.
+class ServerSession {
+ public:
+  ServerSession(uint64_t id, std::unique_ptr<ModelProvider> provider,
+                std::vector<uint8_t> view_payload);
+
+  uint64_t id() const { return id_; }
+  ModelProvider& provider() { return *provider_; }
+  /// The handshake response body (weight-free plan view), re-sent
+  /// verbatim on every resume so reconnecting clients can verify they
+  /// are talking to the same model.
+  const std::vector<uint8_t>& view_payload() const { return view_payload_; }
+
+  /// The cached encoded reply for `sequence`, or nullptr.
+  const std::vector<uint8_t>* CachedReply(uint64_t sequence) const;
+
+  /// True when `sequence` was already served but its reply is gone from
+  /// the cache — replaying it would re-execute a non-idempotent call.
+  bool IsStaleSequence(uint64_t sequence) const;
+
+  /// Records the encoded reply for `sequence` and advances the
+  /// high-water mark, evicting oldest entries past the bounds.
+  void StoreReply(uint64_t sequence, std::vector<uint8_t> encoded,
+                  const SessionLayerOptions& bounds);
+
+  /// Highest sequence number served (0 before the first sessioned call).
+  uint64_t last_sequence() const { return max_sequence_; }
+
+ private:
+  const uint64_t id_;
+  std::unique_ptr<ModelProvider> provider_;
+  const std::vector<uint8_t> view_payload_;
+  std::map<uint64_t, std::vector<uint8_t>> replies_;  // sequence → reply
+  size_t cached_bytes_ = 0;
+  uint64_t max_sequence_ = 0;
+};
+
+/// Registry of live sessions with LRU eviction; owned by the TCP server.
+class SessionRegistry {
+ public:
+  explicit SessionRegistry(SessionLayerOptions options = {});
+
+  const SessionLayerOptions& options() const { return options_; }
+
+  /// Issues a fresh session around `provider`. Evicts the least recently
+  /// resumed session when full.
+  std::shared_ptr<ServerSession> Create(
+      std::unique_ptr<ModelProvider> provider,
+      std::vector<uint8_t> view_payload);
+
+  /// Looks up a session by id and marks it most recently used.
+  /// kNotFound when the id is unknown or was evicted — the client's cue
+  /// to restart the inference on a fresh session.
+  Result<std::shared_ptr<ServerSession>> Resume(uint64_t id);
+
+  /// Drops a session (no-op when absent).
+  void Remove(uint64_t id);
+
+  size_t size() const;
+
+ private:
+  struct Entry {
+    std::shared_ptr<ServerSession> session;
+    uint64_t used_tick = 0;  // registry-local LRU clock
+  };
+
+  const SessionLayerOptions options_;
+  mutable std::mutex mutex_;
+  SecureRng id_rng_;
+  std::map<uint64_t, Entry> sessions_;
+  uint64_t tick_ = 0;
+};
+
+/// True when a request's propagated deadline (header deadline_micros,
+/// measured from `received_seconds` — the moment the frame arrived) has
+/// already passed at `now_seconds`. Deadline-free frames never expire.
+bool RequestDeadlinePassed(uint64_t deadline_micros, double received_seconds,
+                           double now_seconds);
+
+}  // namespace ppstream

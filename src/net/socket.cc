@@ -35,21 +35,36 @@ Status Errno(const char* what) {
   return Status::IoError(internal::StrCat(what, ": ", std::strerror(errno)));
 }
 
-/// Polls `fd` for `events` until the deadline. OK when ready.
-Status PollFor(int fd, short events, double deadline) {
+/// Polls `fd` for `events` until the deadline. OK when ready; kCancelled
+/// when `cancel_fd` (>= 0) turned readable first — the self-pipe wakeup
+/// used by ModelProviderTcpServer::Shutdown for prompt termination.
+Status PollFor(int fd, short events, double deadline, int cancel_fd = -1) {
   for (;;) {
     const int millis = RemainingMillis(deadline);
     if (millis == 0) return Status::DeadlineExceeded("socket wait timed out");
-    struct pollfd pfd;
-    pfd.fd = fd;
-    pfd.events = events;
-    pfd.revents = 0;
-    const int rc = ::poll(&pfd, 1, millis);
+    struct pollfd pfds[2];
+    pfds[0].fd = fd;
+    pfds[0].events = events;
+    pfds[0].revents = 0;
+    nfds_t nfds = 1;
+    if (cancel_fd >= 0) {
+      pfds[1].fd = cancel_fd;
+      pfds[1].events = POLLIN;
+      pfds[1].revents = 0;
+      nfds = 2;
+    }
+    const int rc = ::poll(pfds, nfds, millis);
     if (rc < 0) {
       if (errno == EINTR) continue;
       return Errno("poll");
     }
-    if (rc > 0) return Status::OK();
+    if (rc == 0) continue;
+    // Deliver pending socket readiness even when cancelled in the same
+    // poll: the cancel only wins when the socket has nothing to say.
+    if (pfds[0].revents != 0) return Status::OK();
+    if (nfds == 2 && pfds[1].revents != 0) {
+      return Status::Cancelled("socket wait cancelled");
+    }
   }
 }
 
@@ -70,6 +85,43 @@ void SetNoDelay(int fd) {
 }
 
 }  // namespace
+
+WakeupPipe::WakeupPipe() {
+  if (::pipe(fds_) != 0) {
+    fds_[0] = fds_[1] = -1;
+    return;
+  }
+  for (int fd : fds_) {
+    const int flags = ::fcntl(fd, F_GETFL, 0);
+    ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+    ::fcntl(fd, F_SETFD, FD_CLOEXEC);
+  }
+}
+
+WakeupPipe::~WakeupPipe() {
+  for (int fd : fds_) {
+    if (fd >= 0) ::close(fd);
+  }
+}
+
+void WakeupPipe::Signal() {
+  if (fds_[1] < 0) return;
+  // The byte is intentionally never drained: once signalled, every
+  // current and future wait on read_fd() cancels immediately. A full
+  // pipe (EAGAIN) already means "sticky-readable", so the result of the
+  // write is irrelevant.
+  const uint8_t byte = 1;
+  [[maybe_unused]] ssize_t rc = ::write(fds_[1], &byte, 1);
+}
+
+bool WakeupPipe::signalled() const {
+  if (fds_[0] < 0) return false;
+  struct pollfd pfd;
+  pfd.fd = fds_[0];
+  pfd.events = POLLIN;
+  pfd.revents = 0;
+  return ::poll(&pfd, 1, 0) > 0;
+}
 
 TcpSocket::~TcpSocket() { Close(); }
 
@@ -173,6 +225,12 @@ Status TcpSocket::RecvAll(uint8_t* data, size_t len,
   return Status::OK();
 }
 
+Status TcpSocket::WaitReadable(double timeout_seconds, int cancel_fd) {
+  if (!valid()) return Status::FailedPrecondition("socket is closed");
+  return PollFor(fd_, POLLIN, MonotonicSeconds() + timeout_seconds,
+                 cancel_fd);
+}
+
 TcpListener::~TcpListener() { Close(); }
 
 TcpListener::TcpListener(TcpListener&& other) noexcept
@@ -227,10 +285,11 @@ Result<TcpListener> TcpListener::Bind(uint16_t port) {
   return listener;
 }
 
-Result<TcpSocket> TcpListener::Accept(double timeout_seconds) {
+Result<TcpSocket> TcpListener::Accept(double timeout_seconds,
+                                      int cancel_fd) {
   if (!valid()) return Status::FailedPrecondition("listener is closed");
   const double deadline = MonotonicSeconds() + timeout_seconds;
-  PPS_RETURN_IF_ERROR(PollFor(fd_, POLLIN, deadline));
+  PPS_RETURN_IF_ERROR(PollFor(fd_, POLLIN, deadline, cancel_fd));
   const int fd = ::accept(fd_, nullptr, nullptr);
   if (fd < 0) return Errno("accept");
   SetNoDelay(fd);

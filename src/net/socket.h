@@ -4,9 +4,16 @@
 // Error mapping (consumed by the stream runtime's retry machinery):
 //   timeout elapsed              → kDeadlineExceeded
 //   peer closed / reset / error  → kIoError
+//   cancel fd became readable    → kCancelled
 // A clean end-of-stream before any byte of a read is reported as kIoError
 // with message "connection closed" — the frame loop uses it to detect an
 // orderly disconnect.
+//
+// WakeupPipe is the self-pipe half of prompt shutdown: a blocked
+// Accept/WaitReadable that was given the pipe's read fd returns
+// kCancelled the instant another thread calls Signal(), instead of
+// waiting out its poll timeout. Signal() is sticky (the byte is never
+// drained), so every wait after a shutdown signal cancels immediately.
 
 #pragma once
 
@@ -16,6 +23,31 @@
 #include "util/status.h"
 
 namespace ppstream {
+
+/// Self-pipe for waking poll-based waits from another thread (or from a
+/// signal handler: Signal() is a single async-signal-safe write()).
+/// Non-copyable, non-movable; waiters hold its read fd by value.
+class WakeupPipe {
+ public:
+  WakeupPipe();
+  ~WakeupPipe();
+  WakeupPipe(const WakeupPipe&) = delete;
+  WakeupPipe& operator=(const WakeupPipe&) = delete;
+
+  /// Makes read_fd() readable forever (sticky). Idempotent, thread- and
+  /// signal-safe.
+  void Signal();
+
+  /// True once Signal() has been called.
+  bool signalled() const;
+
+  /// Pollable fd for WaitReadable / Accept cancel parameters; -1 when
+  /// pipe creation failed (waits then degrade to plain timeouts).
+  int read_fd() const { return fds_[0]; }
+
+ private:
+  int fds_[2] = {-1, -1};
+};
 
 /// A connected TCP stream socket. Move-only; closes on destruction.
 class TcpSocket {
@@ -40,6 +72,12 @@ class TcpSocket {
 
   /// Reads exactly `len` bytes or fails (see header for EOF semantics).
   Status RecvAll(uint8_t* data, size_t len, double timeout_seconds);
+
+  /// Waits until at least one byte is readable (or the peer hung up),
+  /// without consuming anything — lets a server slice a long idle wait
+  /// into cancellable pieces before committing to a full frame read.
+  /// kCancelled when `cancel_fd` (>= 0) became readable first.
+  Status WaitReadable(double timeout_seconds, int cancel_fd = -1);
 
   bool valid() const { return fd_ >= 0; }
   int fd() const { return fd_; }
@@ -69,7 +107,9 @@ class TcpListener {
 
   /// Waits up to `timeout_seconds` for one connection. DeadlineExceeded
   /// when nothing arrived — callers poll in a loop to stay stoppable.
-  Result<TcpSocket> Accept(double timeout_seconds);
+  /// kCancelled when `cancel_fd` (>= 0) became readable first, so a
+  /// shutdown signal interrupts the wait instead of riding it out.
+  Result<TcpSocket> Accept(double timeout_seconds, int cancel_fd = -1);
 
   void Close();
 

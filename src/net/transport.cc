@@ -1,6 +1,8 @@
 #include "net/transport.h"
 
+#include <algorithm>
 #include <chrono>
+#include <limits>
 #include <thread>
 
 #include "obs/metrics.h"
@@ -21,12 +23,23 @@ double MonotonicSeconds() {
 
 /// Channel-level registry metrics, shared by every FrameChannel in the
 /// process (per-channel numbers stay available via FrameChannel::stats).
+/// The resilience counters (reconnects, pings, restarts, replays) are
+/// registered here too, so every process that opens a channel exports
+/// the full family at 0 — chaos dashboards never miss a series.
 struct NetMetrics {
   obs::Counter* frames_sent;
   obs::Counter* frames_received;
   obs::Counter* bytes_sent;
   obs::Counter* bytes_received;
   obs::Histogram* roundtrip_seconds;
+  obs::Counter* reconnects;
+  obs::Histogram* reconnect_seconds;
+  obs::Counter* pings;
+  obs::Counter* inference_restarts;
+  /// Physical wire attempts by the resilient channel — one logical round
+  /// trip can burn several. attempts / frames_sent is the retry-storm
+  /// amplification the chaos bench reports.
+  obs::Counter* exchange_attempts;
 
   static const NetMetrics& Get() {
     static const NetMetrics metrics = [] {
@@ -35,7 +48,12 @@ struct NetMetrics {
                         registry.GetCounter("net.frames_received"),
                         registry.GetCounter("net.bytes_sent"),
                         registry.GetCounter("net.bytes_received"),
-                        registry.GetHistogram("net.roundtrip_seconds")};
+                        registry.GetHistogram("net.roundtrip_seconds"),
+                        registry.GetCounter("net.reconnects"),
+                        registry.GetHistogram("net.reconnect_seconds"),
+                        registry.GetCounter("net.pings"),
+                        registry.GetCounter("net.inference.restarts"),
+                        registry.GetCounter("net.exchange.attempts")};
     }();
     return metrics;
   }
@@ -55,9 +73,49 @@ std::vector<uint8_t> CiphertextPayload(const std::vector<Ciphertext>& v) {
   return writer.TakeBytes();
 }
 
+/// Absolute monotonic deadline of the innermost active DeadlineScope on
+/// this thread; 0 = none.
+thread_local double tls_deadline_seconds = 0;
+
 }  // namespace
 
+// -------------------------------------------------------- deadline scope
+
+DeadlineScope::DeadlineScope(double budget_seconds)
+    : previous_deadline_(tls_deadline_seconds) {
+  if (budget_seconds <= 0) return;  // inherit the enclosing scope
+  const double candidate = MonotonicSeconds() + budget_seconds;
+  tls_deadline_seconds = previous_deadline_ == 0
+                             ? candidate
+                             : std::min(previous_deadline_, candidate);
+}
+
+DeadlineScope::~DeadlineScope() { tls_deadline_seconds = previous_deadline_; }
+
+bool DeadlineScope::active() { return tls_deadline_seconds != 0; }
+
+double DeadlineScope::RemainingSeconds() {
+  if (!active()) return std::numeric_limits<double>::infinity();
+  return tls_deadline_seconds - MonotonicSeconds();
+}
+
+uint64_t DeadlineScope::RemainingMicros() {
+  if (!active()) return 0;
+  const double remaining = RemainingSeconds();
+  if (remaining <= 1e-6) return 1;  // expired still reads as "a deadline"
+  return static_cast<uint64_t>(remaining * 1e6);
+}
+
+bool DeadlineScope::Expired() { return active() && RemainingSeconds() <= 0; }
+
 // -------------------------------------------------------------- channels
+
+FrameStamp FrameChannel::Stamp(const WireFrame& request) {
+  // Pass the frame's own session fields through; trace ids are resolved
+  // by RoundTrip (ambient context wins over an untraced frame).
+  return FrameStamp{0, 0, request.session_id, request.sequence,
+                    request.deadline_micros};
+}
 
 Result<WireFrame> FrameChannel::RoundTrip(const WireFrame& request) {
   // The span is the caller-visible round trip; its (trace, span) pair is
@@ -70,10 +128,15 @@ Result<WireFrame> FrameChannel::RoundTrip(const WireFrame& request) {
 
   std::lock_guard<std::mutex> lock(mutex_);
   const obs::TraceContext ctx = span.context();
-  std::vector<uint8_t> encoded =
-      (ctx.active() && !request.traced())
-          ? EncodeFrameWithTrace(request, ctx.trace_id, ctx.span_id)
-          : EncodeFrame(request);
+  FrameStamp stamp = Stamp(request);
+  if (ctx.active() && !request.traced()) {
+    stamp.trace_id = ctx.trace_id;
+    stamp.parent_span_id = ctx.span_id;
+  } else {
+    stamp.trace_id = request.trace_id;
+    stamp.parent_span_id = request.parent_span_id;
+  }
+  std::vector<uint8_t> encoded = EncodeFrameStamped(request, stamp);
   if (fault_ && fault_->enabled()) {
     PPS_RETURN_IF_ERROR(fault_->Fail("net.send"));
     fault_->Corrupt("net.send", encoded);
@@ -436,6 +499,15 @@ InProcessTransport::InProcessTransport(std::shared_ptr<ModelProvider> mp)
       std::make_shared<const InferencePlan>(std::move(view).value());
 }
 
+Result<std::shared_ptr<const InferencePlan>> ParseDataProviderView(
+    const std::vector<uint8_t>& payload) {
+  BufferReader reader(payload);
+  PPS_ASSIGN_OR_RETURN(InferencePlan view,
+                       InferencePlan::DeserializeDataProviderView(&reader));
+  PPS_RETURN_IF_ERROR(CheckPayloadConsumed(reader, WireMethod::kHandshake));
+  return std::make_shared<const InferencePlan>(std::move(view));
+}
+
 Result<std::shared_ptr<const InferencePlan>> HandshakeAsDataProvider(
     FrameChannel& channel, const PaillierPublicKey& pk) {
   BufferWriter writer;
@@ -445,13 +517,277 @@ Result<std::shared_ptr<const InferencePlan>> HandshakeAsDataProvider(
       channel.RoundTrip(MakeRequestFrame(WireMethod::kHandshake, 0, 0,
                                          writer.TakeBytes())));
   PPS_RETURN_IF_ERROR(FrameStatus(response));
-  BufferReader reader(response.payload);
-  PPS_ASSIGN_OR_RETURN(InferencePlan view,
-                       InferencePlan::DeserializeDataProviderView(&reader));
-  PPS_RETURN_IF_ERROR(
-      CheckPayloadConsumed(reader, WireMethod::kHandshake));
-  return std::make_shared<const InferencePlan>(std::move(view));
+  return ParseDataProviderView(response.payload);
 }
+
+// ----------------------------------------------------- resilient channel
+
+namespace {
+
+std::vector<uint8_t> SerializePublicKey(const PaillierPublicKey& pk) {
+  BufferWriter writer;
+  pk.Serialize(&writer);
+  return writer.TakeBytes();
+}
+
+/// Sleep bounded by the active DeadlineScope (never sleeps past it).
+void BackoffSleep(double seconds) {
+  seconds = std::min(seconds, std::max(0.0, DeadlineScope::RemainingSeconds()));
+  if (seconds <= 0) return;
+  std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+}
+
+}  // namespace
+
+Result<std::shared_ptr<ResilientTcpChannel>> ResilientTcpChannel::Dial(
+    const std::string& host, uint16_t port, const PaillierPublicKey& pk,
+    const TcpTransportOptions& options) {
+  std::shared_ptr<ResilientTcpChannel> channel(
+      // ppslint:allow(R5 make_shared cannot reach the private ctor; ownership transfers to the shared_ptr on the same line)
+      new ResilientTcpChannel(host, port, pk, options));
+  if (options.fault) channel->SetFaultInjector(options.fault);
+
+  // Initial dial, paced by connect_retry — lets a client start before
+  // its server finishes binding (reconnect_retry takes over once a
+  // connection has ever been established).
+  Rng rng(options.retry_seed);
+  const double start = MonotonicSeconds();
+  Status status = channel->EnsureConnected();
+  for (int retry = 1; !status.ok() && retry <= options.connect_retry.max_retries;
+       ++retry) {
+    if (options.connect_retry.deadline_seconds > 0 &&
+        MonotonicSeconds() - start >= options.connect_retry.deadline_seconds) {
+      return Status::DeadlineExceeded(internal::StrCat(
+          "could not connect to ", host, ":", port, " within ",
+          options.connect_retry.deadline_seconds, "s: ", status.message()));
+    }
+    const double backoff = options.connect_retry.BackoffSeconds(retry, rng);
+    if (backoff > 0) {
+      std::this_thread::sleep_for(std::chrono::duration<double>(backoff));
+    }
+    status = channel->EnsureConnected();
+  }
+  PPS_RETURN_IF_ERROR(status);
+  return channel;
+}
+
+ResilientTcpChannel::ResilientTcpChannel(std::string host, uint16_t port,
+                                         PaillierPublicKey pk,
+                                         const TcpTransportOptions& options)
+    : host_(std::move(host)),
+      port_(port),
+      pk_(std::move(pk)),
+      options_(options),
+      breaker_(options.breaker),
+      backoff_rng_(options.retry_seed ^ 0x5E55C4A1ULL) {}
+
+void ResilientTcpChannel::Close() {
+  socket_.Close();
+  connected_ = false;
+}
+
+FrameStamp ResilientTcpChannel::Stamp(const WireFrame& request) {
+  FrameStamp stamp;
+  stamp.session_id = session_id_;
+  // Pings are liveness probes, not protocol calls: they skip the
+  // sequence stream so they never occupy reply-cache slots.
+  if (!request.is_response && request.method != WireMethod::kPing) {
+    stamp.sequence = ++next_sequence_;
+  }
+  stamp.deadline_micros = DeadlineScope::RemainingMicros();
+  return stamp;
+}
+
+Status ResilientTcpChannel::HandshakeOnSocket(bool initial_dial) {
+  WireFrame hello =
+      MakeRequestFrame(WireMethod::kHandshake, 0, 0, SerializePublicKey(pk_));
+  hello.session_id = session_id_;
+  hello.session_request = session_id_ == 0;
+  PPS_RETURN_IF_ERROR(SendFrameBytes(socket_, EncodeFrame(hello),
+                                     options_.io_timeout_seconds));
+  PPS_ASSIGN_OR_RETURN(WireFrame response,
+                       RecvFrame(socket_, options_.io_timeout_seconds));
+  if (!response.is_response || response.method != WireMethod::kHandshake) {
+    return Status::ProtocolError("peer did not answer the handshake");
+  }
+  const Status status = FrameStatus(response);
+  if (!status.ok()) {
+    if (status.code() == StatusCode::kNotFound && session_id_ != 0) {
+      // The server no longer knows our session (restart or eviction):
+      // its permutations and our sequence history are gone. Clear the id
+      // so the next handshake starts fresh, and tell the caller to
+      // restart the inference.
+      session_id_ = 0;
+      session_id_atomic_.store(0, std::memory_order_relaxed);
+      obs::MetricsRegistry::Global()
+          .GetCounter("net.session.lost")
+          ->Increment();
+      return Status::NotFound(internal::StrCat(
+          "session lost, restart the inference: ", status.message()));
+    }
+    return status;
+  }
+  if (view_payload_.empty()) {
+    view_payload_ = response.payload;
+  } else if (view_payload_ != response.payload) {
+    // A resumed or re-handshaken connection must serve the same model.
+    return Status::ProtocolError(
+        "plan view changed across reconnect; refusing to resume");
+  }
+  session_id_ = response.session_id;
+  session_id_atomic_.store(session_id_, std::memory_order_relaxed);
+  if (!initial_dial) {
+    PPS_SLOG(Info, "net.reconnected")
+        .Kv("session", session_id_)
+        .Kv("resumed", response.session_id != 0);
+  }
+  return Status::OK();
+}
+
+Status ResilientTcpChannel::EnsureConnected() {
+  if (connected_) return Status::OK();
+  if (DeadlineScope::Expired()) {
+    return Status::DeadlineExceeded("request deadline expired before redial");
+  }
+  const double start = MonotonicSeconds();
+  const bool initial_dial = !ever_connected_;
+  PPS_ASSIGN_OR_RETURN(
+      socket_,
+      TcpSocket::Connect(host_, port_, options_.connect_timeout_seconds));
+  const Status handshake = HandshakeOnSocket(initial_dial);
+  if (!handshake.ok()) {
+    socket_.Close();
+    return handshake;
+  }
+  connected_ = true;
+  ever_connected_ = true;
+  if (!initial_dial) {
+    reconnects_atomic_.fetch_add(1, std::memory_order_relaxed);
+    NetMetrics::Get().reconnects->Increment();
+    NetMetrics::Get().reconnect_seconds->Record(MonotonicSeconds() - start);
+  }
+  return Status::OK();
+}
+
+bool ResilientTcpChannel::PeerAlive() {
+  // Bounded and out-of-band: a throwaway connection and a ping frame.
+  // The server answers pings before any handshake, so this works even
+  // while our half-open session sits in its accept backlog.
+  const double timeout = std::min(2.0, options_.connect_timeout_seconds);
+  Result<TcpSocket> probe = TcpSocket::Connect(host_, port_, timeout);
+  if (!probe.ok()) return false;
+  NetMetrics::Get().pings->Increment();
+  const WireFrame ping = MakeRequestFrame(WireMethod::kPing, 0, 0, {});
+  if (!SendFrameBytes(*probe, EncodeFrame(ping),
+                      std::min(2.0, options_.io_timeout_seconds))
+           .ok()) {
+    return false;
+  }
+  Result<WireFrame> pong =
+      RecvFrame(*probe, std::min(2.0, options_.io_timeout_seconds));
+  return pong.ok() && pong->is_response &&
+         pong->method == WireMethod::kPing;
+}
+
+Status ResilientTcpChannel::Ping() {
+  PPS_ASSIGN_OR_RETURN(
+      WireFrame pong,
+      RoundTrip(MakeRequestFrame(WireMethod::kPing, 0, 0, {})));
+  NetMetrics::Get().pings->Increment();
+  return FrameStatus(pong);
+}
+
+Result<std::vector<uint8_t>> ResilientTcpChannel::Exchange(
+    std::vector<uint8_t> encoded_request) {
+  Status last = Status::IoError("exchange never attempted");
+  const int max_attempts = std::max(0, options_.reconnect_retry.max_retries);
+  for (int attempt = 0; attempt <= max_attempts; ++attempt) {
+    if (attempt > 0) {
+      BackoffSleep(
+          options_.reconnect_retry.BackoffSeconds(attempt, backoff_rng_));
+    }
+    if (DeadlineScope::Expired()) {
+      return Status::DeadlineExceeded(internal::StrCat(
+          "request deadline expired mid-call: ", last.message()));
+    }
+    if (!breaker_.Allow()) {
+      return Status::Unavailable(internal::StrCat(
+          "circuit breaker open to ", host_, ":", port_, " after: ",
+          last.message()));
+    }
+
+    const Status conn = EnsureConnected();
+    if (!conn.ok()) {
+      if (conn.code() == StatusCode::kNotFound) {
+        // Session lost is not retryable at this layer: the inference
+        // must restart. The peer answered, so the breaker is healthy.
+        breaker_.RecordSuccess();
+        return conn;
+      }
+      breaker_.RecordFailure();
+      last = conn;
+      continue;
+    }
+
+    // Connected: everything past here is one physical wire attempt
+    // (injected resets/truncations model that attempt dying on the wire).
+    NetMetrics::Get().exchange_attempts->Increment();
+
+    // Socket-level chaos, injected below the frame layer: stalls, RSTs,
+    // and truncated frames the reconnect path must absorb.
+    bool truncate = false;
+    if (fault_ && fault_->enabled()) {
+      fault_->Delay("net.sock.stall");
+      const Status reset = fault_->Fail("net.sock.reset");
+      if (!reset.ok()) {
+        Close();
+        breaker_.RecordFailure();
+        last = Status::IoError(internal::StrCat(
+            "injected connection reset: ", reset.message()));
+        continue;
+      }
+      std::vector<uint8_t> coin{0};
+      truncate = fault_->Corrupt("net.sock.truncate", coin);
+    }
+    if (truncate) {
+      const size_t half = encoded_request.size() / 2;
+      (void)socket_.SendAll(encoded_request.data(), half,
+                            options_.io_timeout_seconds);
+      Close();  // the peer sees a frame cut off mid-stream
+      breaker_.RecordFailure();
+      last = Status::IoError("injected truncated frame");
+      continue;
+    }
+
+    const Status sent = SendFrameBytes(socket_, encoded_request,
+                                       options_.io_timeout_seconds);
+    if (!sent.ok()) {
+      Close();
+      breaker_.RecordFailure();
+      last = sent;
+      continue;
+    }
+    Result<std::vector<uint8_t>> response =
+        RecvFrameBytes(socket_, options_.io_timeout_seconds);
+    if (response.ok()) {
+      breaker_.RecordSuccess();
+      return response;
+    }
+    last = response.status();
+    Close();
+    if (last.code() == StatusCode::kDeadlineExceeded && PeerAlive()) {
+      // Slow, not dead: keep the breaker closed and let the retry loop
+      // (and the caller's deadline) decide how long to keep waiting.
+      continue;
+    }
+    breaker_.RecordFailure();
+  }
+  return Status(last.code(),
+                internal::StrCat(last.message(), " (after ", max_attempts + 1,
+                                 " attempts)"));
+}
+
+// ------------------------------------------------------------- transport
 
 TcpTransport::TcpTransport(std::shared_ptr<FrameChannel> channel,
                            std::shared_ptr<const InferencePlan> view_plan)
@@ -462,6 +798,16 @@ TcpTransport::TcpTransport(std::shared_ptr<FrameChannel> channel,
 Result<std::unique_ptr<TcpTransport>> TcpTransport::Connect(
     const std::string& host, uint16_t port, const PaillierPublicKey& pk,
     const TcpTransportOptions& options) {
+  if (options.enable_session_resume) {
+    PPS_ASSIGN_OR_RETURN(std::shared_ptr<ResilientTcpChannel> channel,
+                         ResilientTcpChannel::Dial(host, port, pk, options));
+    PPS_ASSIGN_OR_RETURN(std::shared_ptr<const InferencePlan> view,
+                         ParseDataProviderView(channel->view_payload()));
+    return std::unique_ptr<TcpTransport>(
+        // ppslint:allow(R5 make_unique cannot reach the private ctor; ownership transfers to the unique_ptr on the same line)
+        new TcpTransport(std::move(channel), std::move(view)));
+  }
+
   Rng rng(options.retry_seed);
   const double start = MonotonicSeconds();
   Result<TcpSocket> sock =
@@ -491,6 +837,76 @@ Result<std::unique_ptr<TcpTransport>> TcpTransport::Connect(
   return std::unique_ptr<TcpTransport>(
       // ppslint:allow(R5 make_unique cannot reach the private ctor; ownership transfers to the unique_ptr on the same line)
       new TcpTransport(std::move(channel), std::move(view)));
+}
+
+// ----------------------------------------------------- resilient driver
+
+namespace {
+
+/// Failures worth a whole-inference restart: the transport (or the
+/// peer's session state) died, not the computation itself.
+bool RestartableFailure(const Status& status) {
+  switch (status.code()) {
+    case StatusCode::kIoError:      // connection died past resume retries
+    case StatusCode::kUnavailable:  // breaker open / server draining
+    case StatusCode::kNotFound:     // session lost (server restarted)
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+Result<DoubleTensor> RunResilientInference(
+    ModelProviderApi& mp, DataProviderApi& dp, uint64_t request_id,
+    const DoubleTensor& input, const ResilientInferenceOptions& options) {
+  Rng rng(options.retry_seed ^ request_id);
+  const double start = MonotonicSeconds();
+  Status last = Status::OK();
+  const int max_restarts = std::max(0, options.restart.max_retries);
+  for (int attempt = 0; attempt <= max_restarts; ++attempt) {
+    if (attempt > 0) {
+      NetMetrics::Get().inference_restarts->Increment();
+      const double backoff = options.restart.BackoffSeconds(attempt, rng);
+      if (backoff > 0) {
+        std::this_thread::sleep_for(std::chrono::duration<double>(backoff));
+      }
+    }
+    double budget = 0;
+    if (options.deadline_seconds > 0) {
+      budget = options.deadline_seconds - (MonotonicSeconds() - start);
+      if (budget <= 0) {
+        return Status::DeadlineExceeded(internal::StrCat(
+            "inference deadline of ", options.deadline_seconds,
+            "s expired after ", attempt, " attempt(s): ", last.message()));
+      }
+    }
+    DeadlineScope scope(budget);
+    // Restarts run under a derived request id: the failed attempt may
+    // have left per-request permutation state on a surviving server, and
+    // the two must never alias. Bit-exactness is unaffected — the output
+    // is invariant to permutation and randomizer choices.
+    const uint64_t effective_id =
+        attempt == 0 ? request_id
+                     : request_id ^ (0xA77E000000000000ULL +
+                                     (static_cast<uint64_t>(attempt) << 48));
+    Result<DoubleTensor> out =
+        RunProtocolInference(mp, dp, effective_id, input);
+    if (out.ok()) return out;
+    last = out.status();
+    if (!RestartableFailure(last)) return last;
+    // Best effort: drop any half-built state for the failed id so a
+    // surviving server does not accumulate orphaned permutations.
+    (void)mp.ReleaseRequestState(effective_id);
+    PPS_SLOG(Warn, "net.inference_restart")
+        .Kv("request", request_id)
+        .Kv("attempt", attempt + 1)
+        .Kv("error", last.ToString());
+  }
+  return Status(last.code(),
+                internal::StrCat(last.message(), " (after ", max_restarts + 1,
+                                 " inference attempts)"));
 }
 
 }  // namespace ppstream

@@ -30,6 +30,7 @@
 
 #pragma once
 
+#include <atomic>
 #include <functional>
 #include <memory>
 #include <mutex>
@@ -38,10 +39,38 @@
 #include "core/protocol.h"
 #include "net/socket.h"
 #include "net/wire.h"
+#include "stream/circuit_breaker.h"
 #include "stream/retry_policy.h"
 #include "util/fault.h"
 
 namespace ppstream {
+
+/// Thread-local request deadline, propagated down through every transport
+/// call made while the scope is alive: the channel stamps the remaining
+/// budget into each frame's deadline_micros so the server can shed work
+/// the client has already given up on. Scopes nest (the effective
+/// deadline is the tightest enclosing one); a budget of 0 inherits the
+/// enclosing scope unchanged.
+class DeadlineScope {
+ public:
+  explicit DeadlineScope(double budget_seconds);
+  ~DeadlineScope();
+
+  DeadlineScope(const DeadlineScope&) = delete;
+  DeadlineScope& operator=(const DeadlineScope&) = delete;
+
+  /// True when some enclosing scope set a deadline on this thread.
+  static bool active();
+  /// Remaining budget; infinity when no scope is active.
+  static double RemainingSeconds();
+  /// Remaining budget for the wire (0 = no deadline; clamped to at least
+  /// 1µs while a scope is active so "expired" never reads as "none").
+  static uint64_t RemainingMicros();
+  static bool Expired();
+
+ private:
+  double previous_deadline_;
+};
 
 /// Traffic counters of a frame channel (header + payload bytes).
 struct TransportStats {
@@ -89,6 +118,12 @@ class FrameChannel {
   /// an encoded response. Called with the channel lock held.
   virtual Result<std::vector<uint8_t>> Exchange(
       std::vector<uint8_t> encoded_request) = 0;
+
+  /// Header fields stamped at encode time. The base channel attaches the
+  /// ambient trace context (or the frame's own); session-aware channels
+  /// extend the stamp with session id, sequence number, and the
+  /// remaining DeadlineScope budget. Called with the channel lock held.
+  virtual FrameStamp Stamp(const WireFrame& request);
 
   std::shared_ptr<FaultInjector> fault_;
 
@@ -271,11 +306,120 @@ struct TcpTransportOptions {
   RetryPolicy connect_retry = RetryPolicy::FromMaxRetries(0);
   uint64_t retry_seed = 0x7C9A11EDULL;
   std::shared_ptr<FaultInjector> fault;
+
+  /// Session resume (wire revision 3): the handshake asks the server for
+  /// a resumable session, calls carry sequence numbers and deadlines, and
+  /// a dropped connection is transparently redialed and resumed
+  /// mid-inference. Disabled, the transport is the pre-session
+  /// TcpFrameChannel — bit-identical to wire revisions 1/2 on the wire.
+  bool enable_session_resume = true;
+  /// Backoff between reconnect attempts after an established connection
+  /// dies (distinct from connect_retry, which paces the initial dial).
+  RetryPolicy reconnect_retry = {.max_retries = 4,
+                                 .initial_backoff_seconds = 0.05,
+                                 .max_backoff_seconds = 0.5};
+  /// Per-endpoint circuit breaker (closed → open → half-open) consulted
+  /// before every dial/exchange; an open breaker fails calls fast with
+  /// kUnavailable instead of rewaiting io timeouts against a dead peer.
+  CircuitBreaker::Options breaker;
+};
+
+/// Session-resuming TCP channel: a TcpFrameChannel that survives the
+/// network. Dial() connects and performs a session-requesting handshake;
+/// after that, every RoundTrip is stamped with the session id, a fresh
+/// sequence number, and the remaining DeadlineScope budget, and a
+/// connection loss mid-call transparently redials, resumes the session,
+/// and re-sends the same encoded frame (the server's reply cache
+/// deduplicates by sequence, so non-idempotent calls never re-execute).
+///
+/// Failure taxonomy surfaced to callers:
+///   kUnavailable       circuit breaker open — peer looks dead, fail fast
+///   kNotFound          session lost (server restarted / evicted) — the
+///                      crypto state is gone; restart the inference
+///                      (RunResilientInference does exactly that)
+///   kDeadlineExceeded  DeadlineScope expired, or the peer is alive but
+///                      slower than the io timeout (verified via a ping
+///                      probe, which does NOT penalize the breaker)
+///
+/// Chaos sites probed per exchange attempt (socket-level faults, below
+/// the "net.send"/"net.recv" frame sites of the base channel):
+///   net.sock.stall     latency rule: delay before the send
+///   net.sock.reset     error rule: the connection is torn down as if the
+///                      peer sent RST; the call reconnects and resends
+///   net.sock.truncate  corruption rule: half the frame is sent, then the
+///                      connection closes — the peer sees a truncated
+///                      frame mid-stream
+class ResilientTcpChannel : public FrameChannel {
+ public:
+  static Result<std::shared_ptr<ResilientTcpChannel>> Dial(
+      const std::string& host, uint16_t port, const PaillierPublicKey& pk,
+      const TcpTransportOptions& options = {});
+
+  void Close() override;
+
+  /// Server-issued session id (0 when the server declined sessions).
+  uint64_t session_id() const {
+    return session_id_atomic_.load(std::memory_order_relaxed);
+  }
+  /// Successful re-dials after the initial connect.
+  uint64_t reconnects() const {
+    return reconnects_atomic_.load(std::memory_order_relaxed);
+  }
+
+  /// Liveness probe through the resilient path (kPing round trip).
+  Status Ping();
+
+  CircuitBreaker& breaker() { return breaker_; }
+
+  /// The handshake response body (weight-free plan view bytes).
+  const std::vector<uint8_t>& view_payload() const { return view_payload_; }
+
+ protected:
+  FrameStamp Stamp(const WireFrame& request) override;
+  Result<std::vector<uint8_t>> Exchange(
+      std::vector<uint8_t> encoded_request) override;
+
+ private:
+  ResilientTcpChannel(std::string host, uint16_t port, PaillierPublicKey pk,
+                      const TcpTransportOptions& options);
+
+  /// Dial + handshake when not connected. kNotFound means the server no
+  /// longer knows our session; the local session id is cleared so the
+  /// next attempt starts a fresh session.
+  Status EnsureConnected();
+  Status HandshakeOnSocket(bool initial_dial);
+  /// Out-of-band liveness check on a throwaway connection: distinguishes
+  /// a slow peer (alive: retry without penalizing the breaker) from a
+  /// dead one after an io timeout.
+  bool PeerAlive();
+
+  const std::string host_;
+  const uint16_t port_;
+  const PaillierPublicKey pk_;
+  const TcpTransportOptions options_;
+  CircuitBreaker breaker_;
+
+  // ---- guarded by the FrameChannel round-trip lock (Stamp/Exchange are
+  // only called with it held).
+  Rng backoff_rng_;
+  TcpSocket socket_;
+  bool connected_ = false;
+  bool ever_connected_ = false;
+  uint64_t session_id_ = 0;
+  uint64_t next_sequence_ = 0;
+  std::vector<uint8_t> view_payload_;
+
+  // Mirrors for lock-free external reads.
+  std::atomic<uint64_t> session_id_atomic_{0};
+  std::atomic<uint64_t> reconnects_atomic_{0};
 };
 
 /// TCP client transport. Connect() dials host:port, performs the
 /// version handshake (ships the public key, receives the weight-free
-/// plan view), and exposes a RemoteModelProvider.
+/// plan view), and exposes a RemoteModelProvider. With
+/// enable_session_resume (the default) the underlying channel is a
+/// ResilientTcpChannel; disabled, it is the plain TcpFrameChannel and
+/// the wire stays bit-identical to revisions 1/2.
 class TcpTransport : public Transport {
  public:
   static Result<std::unique_ptr<TcpTransport>> Connect(
@@ -306,5 +450,35 @@ class TcpTransport : public Transport {
 /// sends `pk`, returns the deserialized weight-free plan view.
 Result<std::shared_ptr<const InferencePlan>> HandshakeAsDataProvider(
     FrameChannel& channel, const PaillierPublicKey& pk);
+
+/// Parses a handshake response body into a plan view.
+Result<std::shared_ptr<const InferencePlan>> ParseDataProviderView(
+    const std::vector<uint8_t>& payload);
+
+// ----------------------------------------------------- resilient driver
+
+struct ResilientInferenceOptions {
+  /// Whole-inference restarts after a non-resumable transport failure
+  /// (session lost, connection refused, breaker open). Each restart uses
+  /// a derived request id, so no per-request server state is shared
+  /// between attempts.
+  RetryPolicy restart = {.max_retries = 2,
+                         .initial_backoff_seconds = 0.05,
+                         .max_backoff_seconds = 0.5};
+  /// End-to-end budget across all attempts (0 = none). Published to the
+  /// server via DeadlineScope → frame deadline_micros.
+  double deadline_seconds = 0;
+  uint64_t retry_seed = 0x5E55105EULL;
+};
+
+/// RunProtocolInference hardened against the network: opens a
+/// DeadlineScope, and when an attempt dies of a transport-level failure
+/// (kIoError / kUnavailable / kNotFound session loss) restarts the whole
+/// inference under a derived request id. The protocol output is a pure
+/// function of (plan, input) — permutation and randomizer choices cancel
+/// out — so a restarted inference is bit-exact with an undisturbed one.
+Result<DoubleTensor> RunResilientInference(
+    ModelProviderApi& mp, DataProviderApi& dp, uint64_t request_id,
+    const DoubleTensor& input, const ResilientInferenceOptions& options = {});
 
 }  // namespace ppstream

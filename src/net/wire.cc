@@ -5,14 +5,26 @@ namespace ppstream {
 namespace {
 
 constexpr uint8_t kFlagResponse = 0x01;
+constexpr uint8_t kFlagSessionRequest = 0x02;
+constexpr uint8_t kKnownFlags = kFlagResponse | kFlagSessionRequest;
 
 bool ValidMethod(uint16_t m) {
   return m >= static_cast<uint16_t>(WireMethod::kHandshake) &&
-         m <= static_cast<uint16_t>(WireMethod::kDpProcessFinal);
+         m <= static_cast<uint16_t>(WireMethod::kPing);
 }
 
 bool ValidStatusCode(uint8_t c) {
-  return c <= static_cast<uint8_t>(StatusCode::kDeadlineExceeded);
+  return c <= static_cast<uint8_t>(StatusCode::kCancelled);
+}
+
+bool ValidVersion(uint16_t v) {
+  return v >= kWireVersion && v <= kWireVersionSession;
+}
+
+Status UnsupportedVersion(uint16_t v) {
+  return Status::ProtocolError(internal::StrCat(
+      "unsupported wire version ", v, " (speaking ", kWireVersion, "-",
+      kWireVersionSession, ")"));
 }
 
 }  // namespace
@@ -28,6 +40,7 @@ const char* WireMethodToString(WireMethod method) {
     case WireMethod::kDpEncryptInput: return "Dp.EncryptInput";
     case WireMethod::kDpProcessIntermediate: return "Dp.ProcessIntermediate";
     case WireMethod::kDpProcessFinal: return "Dp.ProcessFinal";
+    case WireMethod::kPing: return "Ping";
   }
   return "Unknown";
 }
@@ -51,6 +64,8 @@ WireFrame MakeResponseFrame(const WireFrame& request,
   frame.round = request.round;
   frame.trace_id = request.trace_id;
   frame.parent_span_id = request.parent_span_id;
+  frame.session_id = request.session_id;
+  frame.sequence = request.sequence;
   frame.payload = std::move(payload);
   return frame;
 }
@@ -64,6 +79,8 @@ WireFrame MakeErrorFrame(const WireFrame& request, const Status& error) {
   frame.round = request.round;
   frame.trace_id = request.trace_id;
   frame.parent_span_id = request.parent_span_id;
+  frame.session_id = request.session_id;
+  frame.sequence = request.sequence;
   const std::string& msg = error.message();
   frame.payload.assign(msg.begin(), msg.end());
   return frame;
@@ -76,26 +93,47 @@ Status FrameStatus(const WireFrame& frame) {
 }
 
 std::vector<uint8_t> EncodeFrame(const WireFrame& frame) {
-  return EncodeFrameWithTrace(frame, frame.trace_id, frame.parent_span_id);
+  return EncodeFrameStamped(
+      frame, FrameStamp{frame.trace_id, frame.parent_span_id,
+                        frame.session_id, frame.sequence,
+                        frame.deadline_micros});
 }
 
 std::vector<uint8_t> EncodeFrameWithTrace(const WireFrame& frame,
                                           uint64_t trace_id,
                                           uint64_t parent_span_id) {
-  const bool traced = trace_id != 0 || parent_span_id != 0;
+  return EncodeFrameStamped(
+      frame, FrameStamp{trace_id, parent_span_id, frame.session_id,
+                        frame.sequence, frame.deadline_micros});
+}
+
+std::vector<uint8_t> EncodeFrameStamped(const WireFrame& frame,
+                                        const FrameStamp& stamp) {
+  const bool traced = stamp.trace_id != 0 || stamp.parent_span_id != 0;
+  const bool sessioned = stamp.session_id != 0 || stamp.sequence != 0 ||
+                         stamp.deadline_micros != 0 || frame.session_request;
+  uint16_t version = kWireVersion;
+  if (traced) version = kWireVersionTraced;
+  if (sessioned) version = kWireVersionSession;
   BufferWriter writer;
   writer.WriteU32(kWireMagic);
-  writer.WriteU32(
-      static_cast<uint32_t>(traced ? kWireVersionTraced : kWireVersion) |
-      (static_cast<uint32_t>(frame.method) << 16));
-  writer.WriteU8(frame.is_response ? kFlagResponse : 0);
+  writer.WriteU32(static_cast<uint32_t>(version) |
+                  (static_cast<uint32_t>(frame.method) << 16));
+  uint8_t flags = frame.is_response ? kFlagResponse : 0;
+  if (frame.session_request) flags |= kFlagSessionRequest;
+  writer.WriteU8(flags);
   writer.WriteU8(static_cast<uint8_t>(frame.status));
   writer.WriteU64(frame.request_id);
   writer.WriteU64(frame.round);
   writer.WriteU64(frame.payload.size());
-  if (traced) {
-    writer.WriteU64(trace_id);
-    writer.WriteU64(parent_span_id);
+  if (version >= kWireVersionTraced) {
+    writer.WriteU64(stamp.trace_id);
+    writer.WriteU64(stamp.parent_span_id);
+  }
+  if (version >= kWireVersionSession) {
+    writer.WriteU64(stamp.session_id);
+    writer.WriteU64(stamp.sequence);
+    writer.WriteU64(stamp.deadline_micros);
   }
   std::vector<uint8_t> out = writer.TakeBytes();
   out.insert(out.end(), frame.payload.begin(), frame.payload.end());
@@ -110,11 +148,7 @@ Result<uint16_t> PeekFrameVersion(const uint8_t* data, size_t size) {
   }
   PPS_ASSIGN_OR_RETURN(uint32_t version_method, reader.ReadU32());
   const uint16_t version = static_cast<uint16_t>(version_method & 0xFFFF);
-  if (version != kWireVersion && version != kWireVersionTraced) {
-    return Status::ProtocolError(internal::StrCat(
-        "unsupported wire version ", version, " (speaking ", kWireVersion,
-        "-", kWireVersionTraced, ")"));
-  }
+  if (!ValidVersion(version)) return UnsupportedVersion(version);
   return version;
 }
 
@@ -129,22 +163,29 @@ Result<WireFrame> DecodeFrameHeader(const uint8_t* data, size_t size,
   WireFrame frame;
   frame.version = static_cast<uint16_t>(version_method & 0xFFFF);
   const uint16_t method = static_cast<uint16_t>(version_method >> 16);
-  if (frame.version != kWireVersion && frame.version != kWireVersionTraced) {
-    return Status::ProtocolError(internal::StrCat(
-        "unsupported wire version ", frame.version, " (speaking ",
-        kWireVersion, "-", kWireVersionTraced, ")"));
-  }
+  if (!ValidVersion(frame.version)) return UnsupportedVersion(frame.version);
   if (!ValidMethod(method)) {
     return Status::ProtocolError(
         internal::StrCat("unknown wire method ", method));
   }
   frame.method = static_cast<WireMethod>(method);
   PPS_ASSIGN_OR_RETURN(uint8_t flags, reader.ReadU8());
-  if ((flags & ~kFlagResponse) != 0) {
+  // The session-request bit only exists in revision 3: older revisions
+  // keep their original strict flag set.
+  const uint8_t known = frame.version >= kWireVersionSession
+                            ? kKnownFlags
+                            : kFlagResponse;
+  if ((flags & ~known) != 0) {
     return Status::ProtocolError(
         internal::StrCat("unknown frame flags ", int{flags}));
   }
   frame.is_response = (flags & kFlagResponse) != 0;
+  frame.session_request = (flags & kFlagSessionRequest) != 0;
+  if (frame.session_request &&
+      (frame.is_response || frame.method != WireMethod::kHandshake)) {
+    return Status::ProtocolError(
+        "session-request flag outside a handshake request");
+  }
   PPS_ASSIGN_OR_RETURN(uint8_t status, reader.ReadU8());
   if (!ValidStatusCode(status)) {
     return Status::ProtocolError(
@@ -165,6 +206,14 @@ Result<WireFrame> DecodeFrameHeader(const uint8_t* data, size_t size,
   if (frame.version >= kWireVersionTraced) {
     PPS_ASSIGN_OR_RETURN(frame.trace_id, reader.ReadU64());
     PPS_ASSIGN_OR_RETURN(frame.parent_span_id, reader.ReadU64());
+  }
+  if (frame.version >= kWireVersionSession) {
+    PPS_ASSIGN_OR_RETURN(frame.session_id, reader.ReadU64());
+    PPS_ASSIGN_OR_RETURN(frame.sequence, reader.ReadU64());
+    PPS_ASSIGN_OR_RETURN(frame.deadline_micros, reader.ReadU64());
+    if (frame.is_response && frame.deadline_micros != 0) {
+      return Status::ProtocolError("response frame carries a deadline");
+    }
   }
   *payload_len = len;
   return frame;

@@ -29,6 +29,25 @@
 // and interoperate with revision-1-only peers; decoders accept both.
 // Responses echo the request's trace block.
 //
+// Wire revision 3 (sessioned frames) appends a 24-byte session block
+// after the trace block (which is present but zero-filled when the frame
+// is sessioned but untraced):
+//
+//       50     8  session_id      server-issued resume token (0 = none)
+//       58     8  sequence        per-session idempotency sequence number
+//       66     8  deadline_micros client's remaining per-request budget in
+//                                 microseconds at send time (0 = none);
+//                                 the server sheds work whose deadline
+//                                 passed while the frame sat in flight
+//       74     …  payload
+//
+// Like the trace block, the session block is opt-in per frame: EncodeFrame
+// emits revision 3 only when the frame carries session state (nonzero
+// session id / sequence / deadline, or the session-request flag), so
+// session-off peers stay bit-identical to revisions 1 and 2. Flag bit 1
+// marks a handshake that asks the server to open a resumable session.
+// Responses echo the request's session id and sequence number.
+//
 // All integers are little-endian. Payload contents per method are encoded
 // by the RemoteModelProvider / RemoteDataProvider stubs and decoded by the
 // dispatchers in net/transport.h; ciphertext tensors reuse the stream
@@ -50,13 +69,18 @@ constexpr uint32_t kWireMagic = 0x31535050;
 constexpr uint16_t kWireVersion = 1;
 /// Revision 2: revision 1 plus the 16-byte trace block (see above).
 constexpr uint16_t kWireVersionTraced = 2;
+/// Revision 3: revision 2 plus the 24-byte session block (see above).
+constexpr uint16_t kWireVersionSession = 3;
 constexpr size_t kFrameHeaderBytes = 34;
 constexpr size_t kFrameTraceBytes = 16;
+constexpr size_t kFrameSessionBytes = 24;
 
 /// Header size of a given wire revision.
 constexpr size_t FrameHeaderBytesFor(uint16_t version) {
-  return version >= kWireVersionTraced ? kFrameHeaderBytes + kFrameTraceBytes
-                                       : kFrameHeaderBytes;
+  size_t bytes = kFrameHeaderBytes;
+  if (version >= kWireVersionTraced) bytes += kFrameTraceBytes;
+  if (version >= kWireVersionSession) bytes += kFrameSessionBytes;
+  return bytes;
 }
 
 /// Sanity bound on payload_len, checked before any allocation: a
@@ -80,6 +104,11 @@ enum class WireMethod : uint16_t {
   kDpEncryptInput = 7,
   kDpProcessIntermediate = 8,
   kDpProcessFinal = 9,
+
+  /// Liveness probe: empty request, empty response, no session state
+  /// touched. Served even before the handshake and while draining, so a
+  /// client's circuit breaker can tell a slow peer from a dead one.
+  kPing = 10,
 };
 
 /// Human-readable method name for logs and error messages.
@@ -98,15 +127,42 @@ struct WireFrame {
   /// encodes as revision 1 and is bit-identical to the pre-trace format).
   uint64_t trace_id = 0;
   uint64_t parent_span_id = 0;
+  /// Session block (0s = unsessioned; the frame encodes as revision 1/2
+  /// and is bit-identical to the pre-session format).
+  uint64_t session_id = 0;
+  uint64_t sequence = 0;
+  uint64_t deadline_micros = 0;
+  /// Handshake-only flag: asks the server to issue a resumable session.
+  bool session_request = false;
   std::vector<uint8_t> payload;
 
   bool traced() const { return trace_id != 0 || parent_span_id != 0; }
+  bool sessioned() const {
+    return session_id != 0 || sequence != 0 || deadline_micros != 0 ||
+           session_request;
+  }
+
+  /// Wire revision this frame encodes at.
+  uint16_t EncodedVersion() const {
+    if (sessioned()) return kWireVersionSession;
+    return traced() ? kWireVersionTraced : kWireVersion;
+  }
 
   /// Total encoded size (header + payload).
   size_t WireSize() const {
-    return FrameHeaderBytesFor(traced() ? kWireVersionTraced : kWireVersion) +
-           payload.size();
+    return FrameHeaderBytesFor(EncodedVersion()) + payload.size();
   }
+};
+
+/// Channel-stamped header fields: the transport attaches the ambient trace
+/// context and its session state at encode time, without copying the
+/// payload or mutating the caller's frame.
+struct FrameStamp {
+  uint64_t trace_id = 0;
+  uint64_t parent_span_id = 0;
+  uint64_t session_id = 0;
+  uint64_t sequence = 0;
+  uint64_t deadline_micros = 0;
 };
 
 WireFrame MakeRequestFrame(WireMethod method, uint64_t request_id,
@@ -132,14 +188,21 @@ std::vector<uint8_t> EncodeFrameWithTrace(const WireFrame& frame,
                                           uint64_t trace_id,
                                           uint64_t parent_span_id);
 
+/// EncodeFrame with the trace *and* session blocks taken from `stamp`
+/// (the frame's own trace/session fields are ignored; its
+/// session_request flag still participates). A zero stamp on an
+/// unsessioned frame encodes bit-identically to revision 1.
+std::vector<uint8_t> EncodeFrameStamped(const WireFrame& frame,
+                                        const FrameStamp& stamp);
+
 /// Validates the magic and version of a header prefix (>= 8 bytes) and
 /// returns the wire revision — tells a streaming receiver how many more
 /// header bytes to read before DecodeFrameHeader.
 Result<uint16_t> PeekFrameVersion(const uint8_t* data, size_t size);
 
 /// Decodes and validates the full header (magic, version, method, flags,
-/// status, payload bound, trace block for revision 2). `size` must cover
-/// FrameHeaderBytesFor(version). The returned frame has an empty payload;
+/// status, payload bound, trace block for revision 2, session block for
+/// revision 3). `size` must cover FrameHeaderBytesFor(version). The returned frame has an empty payload;
 /// `payload_len` receives the announced body size.
 Result<WireFrame> DecodeFrameHeader(const uint8_t* data, size_t size,
                                     uint64_t* payload_len);

@@ -1,0 +1,88 @@
+#include "stream/circuit_breaker.h"
+
+#include <chrono>
+#include <utility>
+
+namespace ppstream {
+
+namespace {
+
+double SteadyNowSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+std::string StateGaugeName(const std::string& name) {
+  if (name.empty()) return "net.breaker.state";
+  return "net.breaker." + name + ".state";
+}
+
+}  // namespace
+
+CircuitBreaker::CircuitBreaker(Options options, Clock clock)
+    : options_(std::move(options)),
+      clock_(clock ? std::move(clock) : Clock(&SteadyNowSeconds)),
+      state_gauge_(obs::MetricsRegistry::Global().GetGauge(
+          StateGaugeName(options_.name))),
+      opens_counter_(
+          obs::MetricsRegistry::Global().GetCounter("net.breaker.opens")) {
+  state_gauge_->Set(0);
+}
+
+bool CircuitBreaker::Allow() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  switch (state_) {
+    case State::kClosed:
+      return true;
+    case State::kOpen:
+      if (clock_() - opened_at_seconds_ < options_.open_seconds) return false;
+      TransitionLocked(State::kHalfOpen);
+      probe_in_flight_ = true;
+      return true;
+    case State::kHalfOpen:
+      if (probe_in_flight_) return false;
+      probe_in_flight_ = true;
+      return true;
+  }
+  return false;
+}
+
+void CircuitBreaker::RecordSuccess() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  consecutive_failures_ = 0;
+  probe_in_flight_ = false;
+  if (state_ != State::kClosed) TransitionLocked(State::kClosed);
+}
+
+void CircuitBreaker::RecordFailure() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  probe_in_flight_ = false;
+  consecutive_failures_++;
+  const bool trip = state_ == State::kHalfOpen ||
+                    (state_ == State::kClosed &&
+                     consecutive_failures_ >= options_.failure_threshold);
+  if (trip) {
+    opened_at_seconds_ = clock_();
+    opens_++;
+    opens_counter_->Increment();
+    TransitionLocked(State::kOpen);
+  }
+}
+
+CircuitBreaker::State CircuitBreaker::state() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return state_;
+}
+
+uint64_t CircuitBreaker::opens() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return opens_;
+}
+
+void CircuitBreaker::TransitionLocked(State next) {
+  state_ = next;
+  state_gauge_->Set(static_cast<double>(next));
+}
+
+}  // namespace ppstream

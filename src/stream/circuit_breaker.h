@@ -1,0 +1,84 @@
+// Per-endpoint circuit breaker: lets retry machinery distinguish a slow
+// peer (keep waiting, RetryPolicy backoff applies) from a dead one (fail
+// fast, stop hammering the endpoint while it restarts).
+//
+// Classic three-state machine:
+//
+//   kClosed    normal operation. `failure_threshold` consecutive
+//              failures trip the breaker to kOpen.
+//   kOpen      Allow() refuses immediately (callers surface
+//              kUnavailable) until `open_seconds` have elapsed.
+//   kHalfOpen  exactly one probe call is admitted; its success closes
+//              the breaker, its failure re-opens it (and re-arms the
+//              full open_seconds cooldown).
+//
+// State is exported through the metrics registry: a gauge
+// "net.breaker.<name>.state" (0 closed, 1 half-open, 2 open) and a
+// counter "net.breaker.opens" shared across breakers. The clock is
+// injectable so tests drive the cooldown without sleeping.
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace ppstream {
+
+struct CircuitBreakerOptions {
+  /// Consecutive failures that trip a closed breaker.
+  int failure_threshold = 3;
+  /// Cooldown before an open breaker admits its half-open probe.
+  double open_seconds = 0.5;
+  /// Endpoint label for the state gauge ("net.breaker.<name>.state");
+  /// empty uses "net.breaker.state".
+  std::string name;
+};
+
+class CircuitBreaker {
+ public:
+  enum class State : uint8_t { kClosed = 0, kHalfOpen = 1, kOpen = 2 };
+
+  using Options = CircuitBreakerOptions;
+
+  /// Monotonic seconds; the default reads std::chrono::steady_clock.
+  using Clock = std::function<double()>;
+
+  explicit CircuitBreaker(Options options = {}, Clock clock = nullptr);
+
+  CircuitBreaker(const CircuitBreaker&) = delete;
+  CircuitBreaker& operator=(const CircuitBreaker&) = delete;
+
+  /// True when a call may proceed. An open breaker past its cooldown
+  /// transitions to half-open and admits exactly one probe; concurrent
+  /// callers are refused until that probe reports back.
+  bool Allow();
+
+  /// Reports the outcome of an admitted call.
+  void RecordSuccess();
+  void RecordFailure();
+
+  State state() const;
+  /// Times the breaker has tripped open (including half-open → open).
+  uint64_t opens() const;
+
+ private:
+  void TransitionLocked(State next);
+
+  const Options options_;
+  const Clock clock_;
+  obs::Gauge* state_gauge_;
+  obs::Counter* opens_counter_;
+
+  mutable std::mutex mutex_;
+  State state_ = State::kClosed;
+  int consecutive_failures_ = 0;
+  double opened_at_seconds_ = 0;
+  bool probe_in_flight_ = false;
+  uint64_t opens_ = 0;
+};
+
+}  // namespace ppstream

@@ -32,6 +32,10 @@ const char* StatusCodeToString(StatusCode code) {
       return "Infeasible";
     case StatusCode::kDeadlineExceeded:
       return "DeadlineExceeded";
+    case StatusCode::kUnavailable:
+      return "Unavailable";
+    case StatusCode::kCancelled:
+      return "Cancelled";
   }
   return "Unknown";
 }

@@ -30,6 +30,8 @@ enum class StatusCode : uint8_t {
   kIoError = 11,
   kInfeasible = 12,  // planner: ILP has no feasible assignment
   kDeadlineExceeded = 13,  // stream: request exceeded its retry deadline
+  kUnavailable = 14,  // net: peer refuses work (drain, open circuit breaker)
+  kCancelled = 15,    // net: wait interrupted by a local shutdown/drain wake
 };
 
 /// Human-readable name for a StatusCode ("OK", "InvalidArgument", ...).
@@ -84,6 +86,12 @@ class Status {
   }
   static Status DeadlineExceeded(std::string msg) {
     return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

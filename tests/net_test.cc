@@ -14,6 +14,7 @@
 
 #include "core/protocol.h"
 #include "net/server.h"
+#include "net/session.h"
 #include "net/transport.h"
 #include "net/wire.h"
 #include "nn/layers.h"
@@ -103,6 +104,114 @@ TEST(WireTest, BitFlipsNeverCrash) {
       (void)DecodeFrame(copy);
     }
   }
+}
+
+// ------------------------------------------------- wire revision 3
+
+WireFrame SampleSessionedRequest() {
+  WireFrame frame = SampleRequest();
+  frame.session_id = 0x1122334455667788ULL;
+  frame.sequence = 9;
+  frame.deadline_micros = 250'000;
+  return frame;
+}
+
+TEST(WireTest, SessionedFrameRoundTripV3) {
+  const WireFrame frame = SampleSessionedRequest();
+  const auto bytes = EncodeFrame(frame);
+  EXPECT_EQ(bytes.size(),
+            FrameHeaderBytesFor(kWireVersionSession) + frame.payload.size());
+  auto back = DecodeFrame(bytes);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(back->version, kWireVersionSession);
+  EXPECT_EQ(back->session_id, frame.session_id);
+  EXPECT_EQ(back->sequence, frame.sequence);
+  EXPECT_EQ(back->deadline_micros, frame.deadline_micros);
+  EXPECT_EQ(back->payload, frame.payload);
+  // The trace block is present but zero for an untraced sessioned frame.
+  EXPECT_EQ(back->trace_id, 0u);
+  EXPECT_EQ(back->parent_span_id, 0u);
+}
+
+TEST(WireTest, SessionBlockIsOptInPerFrame) {
+  // Session-off frames stay bit-identical to the pre-session encoding:
+  // stamping all-zero session state must not change a single byte.
+  const WireFrame untraced = SampleRequest();
+  EXPECT_EQ(EncodeFrame(untraced), EncodeFrameStamped(untraced, {}));
+  EXPECT_EQ(EncodeFrame(untraced).size(),
+            kFrameHeaderBytes + untraced.payload.size());
+
+  WireFrame traced = SampleRequest();
+  traced.trace_id = 5;
+  traced.parent_span_id = 6;
+  EXPECT_EQ(traced.EncodedVersion(), kWireVersionTraced);
+  EXPECT_EQ(EncodeFrame(traced).size(),
+            FrameHeaderBytesFor(kWireVersionTraced) + traced.payload.size());
+
+  // A session-requesting handshake encodes at revision 3 even with all
+  // numeric session fields still zero.
+  WireFrame hello = MakeRequestFrame(WireMethod::kHandshake, 0, 0, {});
+  hello.session_request = true;
+  auto back = DecodeFrame(EncodeFrame(hello));
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(back->version, kWireVersionSession);
+  EXPECT_TRUE(back->session_request);
+}
+
+TEST(WireTest, SessionedFrameTruncationAtEveryLengthFails) {
+  const auto bytes = EncodeFrame(SampleSessionedRequest());
+  for (size_t len = 0; len < bytes.size(); ++len) {
+    std::vector<uint8_t> prefix(bytes.begin(), bytes.begin() + len);
+    EXPECT_FALSE(DecodeFrame(prefix).ok()) << "prefix " << len;
+  }
+}
+
+TEST(WireTest, SessionedFrameBitFlipsNeverCrash) {
+  const auto bytes = EncodeFrame(SampleSessionedRequest());
+  for (size_t byte = 0; byte < bytes.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::vector<uint8_t> copy = bytes;
+      copy[byte] ^= static_cast<uint8_t>(1u << bit);
+      (void)DecodeFrame(copy);
+    }
+  }
+}
+
+TEST(WireTest, SessionRequestFlagOnlyValidOnHandshakeRequests) {
+  // On a non-handshake request the flag is a protocol violation.
+  WireFrame request = SampleSessionedRequest();
+  request.session_request = true;
+  EXPECT_EQ(DecodeFrame(EncodeFrame(request)).status().code(),
+            StatusCode::kProtocolError);
+
+  // On a response it is too (the server issues ids in the body of the
+  // handshake response, never via the flag).
+  WireFrame response =
+      MakeResponseFrame(MakeRequestFrame(WireMethod::kHandshake, 0, 0, {}),
+                        {});
+  response.session_request = true;
+  EXPECT_EQ(DecodeFrame(EncodeFrame(response)).status().code(),
+            StatusCode::kProtocolError);
+}
+
+TEST(WireTest, ResponseMustNotCarryDeadline) {
+  // Deadlines propagate client → server only; a response claiming one is
+  // malformed.
+  WireFrame response = MakeResponseFrame(SampleSessionedRequest(), {1, 2});
+  response.deadline_micros = 77;
+  EXPECT_EQ(DecodeFrame(EncodeFrame(response)).status().code(),
+            StatusCode::kProtocolError);
+}
+
+TEST(WireTest, ResponsesEchoSessionIdAndSequence) {
+  const WireFrame request = SampleSessionedRequest();
+  const WireFrame response = MakeResponseFrame(request, {9});
+  EXPECT_EQ(response.session_id, request.session_id);
+  EXPECT_EQ(response.sequence, request.sequence);
+  EXPECT_EQ(response.deadline_micros, 0u);
+  const WireFrame error = MakeErrorFrame(request, Status::Internal("x"));
+  EXPECT_EQ(error.session_id, request.session_id);
+  EXPECT_EQ(error.sequence, request.sequence);
 }
 
 TEST(WireTest, HostilePayloadLengthIsBoundedBeforeAllocation) {
@@ -492,6 +601,395 @@ TEST_F(NetTest, ServerRejectsGarbageHandshake) {
   ASSERT_TRUE(reply.ok()) << reply.status().ToString();
   EXPECT_EQ(FrameStatus(*reply).code(), StatusCode::kProtocolError);
   socket->Close();
+  server_thread.join();
+}
+
+// --------------------------------------------------------- session layer
+
+TEST(SessionTest, RequestDeadlinePassedSemantics) {
+  // 0 means "no deadline" — it never expires.
+  EXPECT_FALSE(RequestDeadlinePassed(0, 100.0, 500.0));
+  // 1s budget, 0.5s elapsed since the frame arrived: still live.
+  EXPECT_FALSE(RequestDeadlinePassed(1'000'000, 100.0, 100.5));
+  // 1s budget, 1.5s elapsed: shed.
+  EXPECT_TRUE(RequestDeadlinePassed(1'000'000, 100.0, 101.5));
+}
+
+TEST(DeadlineScopeTest, NestsToTightestAndClampsExpired) {
+  EXPECT_FALSE(DeadlineScope::active());
+  EXPECT_EQ(DeadlineScope::RemainingMicros(), 0u);  // no deadline on wire
+  {
+    DeadlineScope outer(10.0);
+    EXPECT_TRUE(DeadlineScope::active());
+    EXPECT_GT(DeadlineScope::RemainingMicros(), 1'000'000u);
+    {
+      DeadlineScope inner(0.5);  // tighter wins
+      EXPECT_LE(DeadlineScope::RemainingMicros(), 500'000u);
+      DeadlineScope inherit(0);  // 0 inherits the enclosing deadline
+      EXPECT_LE(DeadlineScope::RemainingMicros(), 500'000u);
+    }
+    // Popping the inner scopes restores the outer deadline.
+    EXPECT_GT(DeadlineScope::RemainingMicros(), 1'000'000u);
+  }
+  EXPECT_FALSE(DeadlineScope::active());
+  {
+    DeadlineScope tiny(1e-9);
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    EXPECT_TRUE(DeadlineScope::Expired());
+    // Expired-but-active must still read as "has a deadline" on the wire,
+    // never as "no deadline".
+    EXPECT_EQ(DeadlineScope::RemainingMicros(), 1u);
+  }
+}
+
+TEST_F(NetTest, SessionRegistryReplayAndStaleSequence) {
+  SessionLayerOptions bounds;
+  bounds.reply_cache_entries = 2;
+  SessionRegistry registry(bounds);
+  auto session = registry.Create(
+      std::make_unique<ModelProvider>(*plan_, keys_->public_key, 7),
+      {1, 2, 3});
+  ASSERT_NE(session, nullptr);
+  EXPECT_NE(session->id(), 0u);
+  EXPECT_EQ(registry.size(), 1u);
+  EXPECT_EQ(session->view_payload(), (std::vector<uint8_t>{1, 2, 3}));
+
+  session->StoreReply(1, {10}, bounds);
+  session->StoreReply(2, {20}, bounds);
+  ASSERT_NE(session->CachedReply(2), nullptr);
+  EXPECT_EQ(*session->CachedReply(2), (std::vector<uint8_t>{20}));
+  EXPECT_FALSE(session->IsStaleSequence(3));  // never served: not stale
+  session->StoreReply(3, {30}, bounds);       // evicts sequence 1
+  EXPECT_EQ(session->CachedReply(1), nullptr);
+  EXPECT_TRUE(session->IsStaleSequence(1));  // served, reply evicted
+  EXPECT_EQ(session->last_sequence(), 3u);
+
+  EXPECT_TRUE(registry.Resume(session->id()).ok());
+  EXPECT_EQ(registry.Resume(session->id() ^ 1).status().code(),
+            StatusCode::kNotFound);
+  registry.Remove(session->id());
+  EXPECT_EQ(registry.size(), 0u);
+}
+
+TEST_F(NetTest, SessionRegistryEvictsLeastRecentlyResumed) {
+  SessionLayerOptions bounds;
+  bounds.max_sessions = 2;
+  SessionRegistry registry(bounds);
+  auto make_mp = [this](uint64_t seed) {
+    return std::make_unique<ModelProvider>(*plan_, keys_->public_key, seed);
+  };
+  auto a = registry.Create(make_mp(1), {});
+  auto b = registry.Create(make_mp(2), {});
+  ASSERT_TRUE(registry.Resume(a->id()).ok());  // a is now most recent
+  auto c = registry.Create(make_mp(3), {});    // evicts b, not a
+  EXPECT_EQ(registry.size(), 2u);
+  EXPECT_TRUE(registry.Resume(a->id()).ok());
+  EXPECT_TRUE(registry.Resume(c->id()).ok());
+  EXPECT_EQ(registry.Resume(b->id()).status().code(), StatusCode::kNotFound);
+}
+
+// ------------------------------------------------------- TCP resilience
+
+TEST_F(NetTest, TcpSessionResumeSurvivesSocketResets) {
+  ModelProviderTcpServer server(*plan_);
+  ASSERT_TRUE(server.Listen(0).ok());
+  std::thread server_thread([&server] { EXPECT_TRUE(server.Serve().ok()); });
+
+  auto transport = TcpTransport::Connect("127.0.0.1", server.port(),
+                                         keys_->public_key);
+  ASSERT_TRUE(transport.ok()) << transport.status().ToString();
+  auto* channel =
+      dynamic_cast<ResilientTcpChannel*>(&transport.value()->channel());
+  ASSERT_NE(channel, nullptr);
+  const uint64_t session_id = channel->session_id();
+  EXPECT_NE(session_id, 0u);
+
+  // Tear the connection down below every other frame: each reset forces
+  // a redial + session resume mid-inference.
+  auto injector = std::make_shared<FaultInjector>(171);
+  FaultRule rule;
+  rule.site_pattern = "net.sock.reset";
+  rule.kind = FaultKind::kError;
+  rule.error_code = StatusCode::kIoError;
+  rule.every_nth = 2;
+  injector->AddRule(rule);
+  transport.value()->channel().SetFaultInjector(injector);
+
+  std::vector<WireFrame> outbound;
+  std::vector<WireFrame> inbound;
+  transport.value()->channel().SetFrameObserver(
+      [&](const WireFrame& frame, bool out) {
+        (out ? outbound : inbound).push_back(frame);
+      });
+
+  DataProvider dp(transport.value()->view_plan(), *keys_, 173);
+  ModelProviderApi& mp = *transport.value()->model_provider();
+
+  for (uint64_t request = 1; request <= 2; ++request) {
+    const DoubleTensor input = MakeInput(175 + request);
+    auto output = RunProtocolInference(mp, dp, request, input);
+    ASSERT_TRUE(output.ok()) << output.status().ToString();
+    auto expected = RunScaledPlainInference(**plan_, input);
+    ASSERT_TRUE(expected.ok());
+    for (int64_t j = 0; j < expected->NumElements(); ++j) {
+      EXPECT_DOUBLE_EQ(output.value()[j], expected.value()[j])
+          << "request " << request << " element " << j;
+    }
+    // Resume is transparent: no plaintext crossed the wire around the
+    // reconnects.
+    for (const WireFrame& frame : outbound) {
+      for (const auto& p : DoublePatterns(input)) {
+        EXPECT_FALSE(Contains(frame.payload, p)) << "plaintext input leaked";
+      }
+      for (const auto& p : DoublePatterns(expected.value())) {
+        EXPECT_FALSE(Contains(frame.payload, p)) << "plaintext output leaked";
+      }
+    }
+  }
+
+  EXPECT_GT(injector->stats().errors, 0u) << "no resets actually fired";
+  EXPECT_GE(channel->reconnects(), 1u);
+  EXPECT_EQ(channel->session_id(), session_id) << "session must survive";
+  // The server echoes the session id on every served reply.
+  ASSERT_FALSE(inbound.empty());
+  for (const WireFrame& frame : inbound) {
+    EXPECT_EQ(frame.session_id, session_id);
+  }
+
+  transport.value()->Close();
+  server.Shutdown();
+  server_thread.join();
+  EXPECT_GE(server.connections_served(), 2u) << "resets never reconnected";
+}
+
+TEST_F(NetTest, TcpServerRestartLosesSessionButInferenceRecovers) {
+  auto server_a = std::make_unique<ModelProviderTcpServer>(*plan_);
+  ASSERT_TRUE(server_a->Listen(0).ok());
+  const uint16_t port = server_a->port();
+  std::thread thread_a([&] { EXPECT_TRUE(server_a->Serve().ok()); });
+
+  auto transport =
+      TcpTransport::Connect("127.0.0.1", port, keys_->public_key);
+  ASSERT_TRUE(transport.ok()) << transport.status().ToString();
+  auto* channel =
+      dynamic_cast<ResilientTcpChannel*>(&transport.value()->channel());
+  ASSERT_NE(channel, nullptr);
+  const uint64_t first_session = channel->session_id();
+  EXPECT_NE(first_session, 0u);
+
+  DataProvider dp(transport.value()->view_plan(), *keys_, 183);
+  ModelProviderApi& mp = *transport.value()->model_provider();
+  const DoubleTensor input = MakeInput(185);
+  auto expected = RunScaledPlainInference(**plan_, input);
+  ASSERT_TRUE(expected.ok());
+
+  auto first = RunResilientInference(mp, dp, 1, input);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+
+  // Kill server A (drain cuts the idle connection loose) and start a
+  // replacement on the same port. All session state dies with A.
+  server_a->BeginDrain(0);
+  thread_a.join();
+  server_a.reset();
+
+  ModelProviderTcpServer server_b(*plan_);
+  ASSERT_TRUE(server_b.Listen(port).ok());
+  std::thread thread_b([&] { EXPECT_TRUE(server_b.Serve().ok()); });
+
+  // B answers the resume with kNotFound; the resilient driver restarts
+  // the whole inference on a fresh session — bit-exact, because the
+  // protocol output is invariant to permutation/randomizer choices.
+  auto second = RunResilientInference(mp, dp, 2, input);
+  ASSERT_TRUE(second.ok()) << second.status().ToString();
+  for (int64_t j = 0; j < expected->NumElements(); ++j) {
+    EXPECT_DOUBLE_EQ(first.value()[j], expected.value()[j]);
+    EXPECT_DOUBLE_EQ(second.value()[j], expected.value()[j]);
+  }
+  EXPECT_NE(channel->session_id(), 0u);
+  EXPECT_NE(channel->session_id(), first_session)
+      << "the lost session must not be reused";
+  EXPECT_GE(channel->reconnects(), 1u);
+
+  transport.value()->Close();
+  server_b.Shutdown();
+  thread_b.join();
+}
+
+TEST_F(NetTest, ShutdownWakesBlockedAcceptImmediately) {
+  ModelProviderServerOptions options;
+  options.accept_poll_seconds = 30.0;  // shutdown must not wait this out
+  ModelProviderTcpServer server(*plan_, options);
+  ASSERT_TRUE(server.Listen(0).ok());
+  std::thread thread([&server] { EXPECT_TRUE(server.Serve().ok()); });
+  // Let Serve() commit to its long accept wait before signalling.
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  const auto begin = std::chrono::steady_clock::now();
+  server.Shutdown();
+  thread.join();
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - begin)
+          .count();
+  EXPECT_LT(elapsed, 2.0) << "shutdown rode out the accept poll";
+}
+
+TEST_F(NetTest, BeginDrainCutsOffIdleConnectionPromptly) {
+  ModelProviderTcpServer server(*plan_);
+  ASSERT_TRUE(server.Listen(0).ok());
+  std::thread thread([&server] { EXPECT_TRUE(server.ServeOne(10.0).ok()); });
+  auto transport = TcpTransport::Connect("127.0.0.1", server.port(),
+                                         keys_->public_key);
+  ASSERT_TRUE(transport.ok()) << transport.status().ToString();
+  // The connection is established and idle; its io timeout (30s) is far
+  // away. Drain must cut it off at the grace deadline instead.
+  const auto begin = std::chrono::steady_clock::now();
+  server.BeginDrain(0.1);
+  thread.join();
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - begin)
+          .count();
+  EXPECT_LT(elapsed, 2.0) << "drain did not interrupt the idle wait";
+  EXPECT_TRUE(server.stopping());
+  transport.value()->Close();
+}
+
+TEST_F(NetTest, PingIsServedBeforeHandshakeAndDuringSession) {
+  ModelProviderTcpServer server(*plan_);
+  ASSERT_TRUE(server.Listen(0).ok());
+  std::thread server_thread([&server] { EXPECT_TRUE(server.Serve().ok()); });
+
+  // Pre-handshake, credential-free ping: what a liveness probe sends.
+  auto socket = TcpSocket::Connect("127.0.0.1", server.port(), 5.0);
+  ASSERT_TRUE(socket.ok());
+  const auto ping = EncodeFrame(MakeRequestFrame(WireMethod::kPing, 0, 0, {}));
+  ASSERT_TRUE(socket->SendAll(ping.data(), ping.size(), 5.0).ok());
+  auto pong = RecvFrame(*socket, 5.0);
+  ASSERT_TRUE(pong.ok()) << pong.status().ToString();
+  EXPECT_TRUE(pong->is_response);
+  EXPECT_EQ(pong->method, WireMethod::kPing);
+  EXPECT_TRUE(FrameStatus(*pong).ok());
+  socket->Close();
+
+  // Mid-session ping through the resilient channel.
+  auto transport = TcpTransport::Connect("127.0.0.1", server.port(),
+                                         keys_->public_key);
+  ASSERT_TRUE(transport.ok()) << transport.status().ToString();
+  auto* channel =
+      dynamic_cast<ResilientTcpChannel*>(&transport.value()->channel());
+  ASSERT_NE(channel, nullptr);
+  EXPECT_TRUE(channel->Ping().ok());
+
+  transport.value()->Close();
+  server.Shutdown();
+  server_thread.join();
+}
+
+TEST_F(NetTest, UnknownSessionResumeIsCleanNotFound) {
+  ModelProviderTcpServer server(*plan_);
+  ASSERT_TRUE(server.Listen(0).ok());
+  // A resume miss is the client's problem, not a server error.
+  std::thread server_thread(
+      [&server] { EXPECT_TRUE(server.ServeOne(10.0).ok()); });
+
+  auto socket = TcpSocket::Connect("127.0.0.1", server.port(), 5.0);
+  ASSERT_TRUE(socket.ok());
+  BufferWriter writer;
+  keys_->public_key.Serialize(&writer);
+  WireFrame hello =
+      MakeRequestFrame(WireMethod::kHandshake, 0, 0, writer.TakeBytes());
+  hello.session_id = 0xDEADBEEFULL;  // no server ever issued this
+  const auto bytes = EncodeFrame(hello);
+  ASSERT_TRUE(socket->SendAll(bytes.data(), bytes.size(), 5.0).ok());
+  auto reply = RecvFrame(*socket, 5.0);
+  ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+  EXPECT_EQ(FrameStatus(*reply).code(), StatusCode::kNotFound);
+  socket->Close();
+  server_thread.join();
+}
+
+TEST_F(NetTest, ServerShedsRequestsWhoseDeadlineExpiredInFlight) {
+  ModelProviderTcpServer server(*plan_);
+  ASSERT_TRUE(server.Listen(0).ok());
+  std::thread server_thread(
+      [&server] { EXPECT_TRUE(server.ServeOne(10.0).ok()); });
+
+  auto socket = TcpSocket::Connect("127.0.0.1", server.port(), 5.0);
+  ASSERT_TRUE(socket.ok());
+  BufferWriter writer;
+  keys_->public_key.Serialize(&writer);
+  const auto hello = EncodeFrame(
+      MakeRequestFrame(WireMethod::kHandshake, 0, 0, writer.TakeBytes()));
+  ASSERT_TRUE(socket->SendAll(hello.data(), hello.size(), 5.0).ok());
+  auto view = RecvFrame(*socket, 5.0);
+  ASSERT_TRUE(view.ok()) << view.status().ToString();
+  ASSERT_TRUE(FrameStatus(*view).ok());
+
+  // A frame with a 1ms budget that takes ~50ms to arrive: the server
+  // must shed it instead of dispatching.
+  WireFrame late = MakeRequestFrame(WireMethod::kMpProcessRound, 9, 0,
+                                    std::vector<uint8_t>(64, 0));
+  late.deadline_micros = 1000;
+  const auto bytes = EncodeFrame(late);
+  ASSERT_TRUE(socket->SendAll(bytes.data(), 10, 5.0).ok());
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  ASSERT_TRUE(
+      socket->SendAll(bytes.data() + 10, bytes.size() - 10, 5.0).ok());
+  auto reply = RecvFrame(*socket, 5.0);
+  ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+  EXPECT_EQ(FrameStatus(*reply).code(), StatusCode::kDeadlineExceeded);
+
+  // Shedding refuses the request, not the connection.
+  const auto ping = EncodeFrame(MakeRequestFrame(WireMethod::kPing, 0, 0, {}));
+  ASSERT_TRUE(socket->SendAll(ping.data(), ping.size(), 5.0).ok());
+  auto pong = RecvFrame(*socket, 5.0);
+  ASSERT_TRUE(pong.ok()) << pong.status().ToString();
+  EXPECT_TRUE(FrameStatus(*pong).ok());
+  socket->Close();
+  server_thread.join();
+}
+
+TEST_F(NetTest, SessionResumeDisabledKeepsLegacyWire) {
+  ModelProviderTcpServer server(*plan_);
+  ASSERT_TRUE(server.Listen(0).ok());
+  std::thread server_thread(
+      [&server] { EXPECT_TRUE(server.ServeOne(10.0).ok()); });
+
+  TcpTransportOptions options;
+  options.enable_session_resume = false;
+  auto transport = TcpTransport::Connect("127.0.0.1", server.port(),
+                                         keys_->public_key, options);
+  ASSERT_TRUE(transport.ok()) << transport.status().ToString();
+  // The legacy transport is the plain channel, not the resilient one.
+  EXPECT_EQ(dynamic_cast<ResilientTcpChannel*>(&transport.value()->channel()),
+            nullptr);
+
+  std::vector<WireFrame> inbound;
+  transport.value()->channel().SetFrameObserver(
+      [&inbound](const WireFrame& frame, bool out) {
+        if (!out) inbound.push_back(frame);
+      });
+
+  DataProvider dp(transport.value()->view_plan(), *keys_, 193);
+  ModelProviderApi& mp = *transport.value()->model_provider();
+  const DoubleTensor input = MakeInput(195);
+  auto output = RunProtocolInference(mp, dp, 1, input);
+  ASSERT_TRUE(output.ok()) << output.status().ToString();
+  auto expected = RunScaledPlainInference(**plan_, input);
+  ASSERT_TRUE(expected.ok());
+  for (int64_t j = 0; j < expected->NumElements(); ++j) {
+    EXPECT_DOUBLE_EQ(output.value()[j], expected.value()[j]);
+  }
+
+  // Nothing session-shaped reached the wire: every response decoded at a
+  // pre-session revision with an empty session block.
+  ASSERT_FALSE(inbound.empty());
+  for (const WireFrame& frame : inbound) {
+    EXPECT_LT(frame.version, kWireVersionSession);
+    EXPECT_EQ(frame.session_id, 0u);
+    EXPECT_EQ(frame.sequence, 0u);
+    EXPECT_FALSE(frame.session_request);
+  }
+
+  transport.value()->Close();
   server_thread.join();
 }
 

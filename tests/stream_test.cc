@@ -10,9 +10,11 @@
 #include "core/protocol.h"
 #include "nn/layers.h"
 #include "stream/channel.h"
+#include "stream/circuit_breaker.h"
 #include "stream/engine.h"
 #include "stream/message.h"
 #include "stream/pipeline.h"
+#include "stream/retry_policy.h"
 #include "tensor/ops.h"
 #include "util/rng.h"
 
@@ -421,6 +423,141 @@ TEST(PipelineTest, RetryBusyTimeIsCounted) {
 TEST(PipelineTest, StartWithoutStagesFails) {
   Pipeline pipeline;
   EXPECT_FALSE(pipeline.Start().ok());
+}
+
+// --------------------------------------------------------- retry policy
+
+TEST(RetryPolicyTest, PreExpiredDeadlineFailsWithoutInvokingTheStage) {
+  // A message whose deadline already passed before the first attempt must
+  // be failed up front — never handed to the (possibly expensive) stage.
+  auto invocations = std::make_shared<std::atomic<int>>(0);
+  RetryPolicy policy;
+  policy.max_retries = 3;
+  policy.deadline_seconds = 0.001;
+  Pipeline pipeline(2);
+  pipeline.AddStage(std::make_unique<Stage>(
+      "never-runs", 1,
+      [invocations](StreamMessage msg, ThreadPool&) -> Result<StreamMessage> {
+        invocations->fetch_add(1);
+        return msg;
+      },
+      policy));
+  ASSERT_TRUE(pipeline.Start().ok());
+  StreamMessage msg = IntMessage(0, 0);
+  msg.submit_time_seconds = StreamClockSeconds() - 1.0;  // long expired
+  ASSERT_TRUE(pipeline.Feed(std::move(msg)).ok());
+  auto result = pipeline.NextResult();
+  ASSERT_TRUE(result.has_value());
+  EXPECT_TRUE(result->poisoned());
+  EXPECT_EQ(result->status.code(), StatusCode::kDeadlineExceeded);
+  pipeline.Shutdown();
+  EXPECT_EQ(invocations->load(), 0);
+  EXPECT_EQ(pipeline.stage(0).metrics().deadline_exceeded, 1u);
+}
+
+TEST(RetryPolicyTest, FromMaxRetriesZeroFailsFastEvenWithJitter) {
+  RetryPolicy policy = RetryPolicy::FromMaxRetries(0);
+  policy.jitter = 0.9;  // jitter without a base backoff must not sleep
+  Rng rng(11);
+  EXPECT_EQ(policy.BackoffSeconds(1, rng), 0.0);
+  EXPECT_EQ(policy.BackoffSeconds(100, rng), 0.0);
+
+  Pipeline pipeline(2);
+  pipeline.AddStage(std::make_unique<Stage>(
+      "fail-fast", 1,
+      [](StreamMessage, ThreadPool&) -> Result<StreamMessage> {
+        return Status::Internal("boom");
+      },
+      policy));
+  ASSERT_TRUE(pipeline.Start().ok());
+  ASSERT_TRUE(pipeline.Feed(IntMessage(0, 0)).ok());
+  auto result = pipeline.NextResult();
+  ASSERT_TRUE(result.has_value());
+  EXPECT_TRUE(result->poisoned());
+  pipeline.Shutdown();
+  EXPECT_EQ(pipeline.stage(0).metrics().retries, 0u);
+}
+
+TEST(RetryPolicyTest, BackoffSaturatesAtCapWithoutOverflow) {
+  RetryPolicy policy;
+  policy.initial_backoff_seconds = 0.01;
+  policy.backoff_multiplier = 10.0;
+  policy.max_backoff_seconds = 0.05;
+  policy.jitter = 0;
+  Rng rng(13);
+  EXPECT_DOUBLE_EQ(policy.BackoffSeconds(1, rng), 0.01);
+  EXPECT_DOUBLE_EQ(policy.BackoffSeconds(2, rng), 0.05);  // capped
+  EXPECT_DOUBLE_EQ(policy.BackoffSeconds(3, rng), 0.05);
+  // Huge retry counts would overflow the exponential; the cap must hold
+  // and the result must stay finite.
+  EXPECT_DOUBLE_EQ(policy.BackoffSeconds(5000, rng), 0.05);
+
+  // With full jitter the sleep stays within [0, cap].
+  policy.jitter = 1.0;
+  for (int retry = 1; retry <= 64; ++retry) {
+    const double backoff = policy.BackoffSeconds(retry, rng);
+    EXPECT_GE(backoff, 0.0);
+    EXPECT_LE(backoff, 0.05);
+  }
+}
+
+// ------------------------------------------------------- circuit breaker
+
+TEST(CircuitBreakerTest, TripsAfterConsecutiveFailuresOnly) {
+  double now = 0;
+  CircuitBreaker::Options options;
+  options.failure_threshold = 3;
+  options.open_seconds = 1.0;
+  options.name = "unit";
+  CircuitBreaker breaker(options, [&now] { return now; });
+
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+  // Failures interleaved with a success never reach the threshold.
+  EXPECT_TRUE(breaker.Allow());
+  breaker.RecordFailure();
+  EXPECT_TRUE(breaker.Allow());
+  breaker.RecordFailure();
+  EXPECT_TRUE(breaker.Allow());
+  breaker.RecordSuccess();
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+  EXPECT_EQ(breaker.opens(), 0u);
+
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(breaker.Allow());
+    breaker.RecordFailure();
+  }
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kOpen);
+  EXPECT_EQ(breaker.opens(), 1u);
+}
+
+TEST(CircuitBreakerTest, HalfOpenAdmitsOneProbeAfterCooldown) {
+  double now = 0;
+  CircuitBreaker::Options options;
+  options.failure_threshold = 1;
+  options.open_seconds = 1.0;
+  CircuitBreaker breaker(options, [&now] { return now; });
+
+  ASSERT_TRUE(breaker.Allow());
+  breaker.RecordFailure();  // trips immediately (threshold 1)
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kOpen);
+  EXPECT_FALSE(breaker.Allow()) << "open breaker must refuse";
+  now = 0.5;
+  EXPECT_FALSE(breaker.Allow()) << "cooldown not over yet";
+
+  now = 1.5;
+  EXPECT_TRUE(breaker.Allow());  // the half-open probe
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kHalfOpen);
+  EXPECT_FALSE(breaker.Allow()) << "only one probe may be in flight";
+  breaker.RecordFailure();  // probe failed: reopen, cooldown re-arms
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kOpen);
+  EXPECT_EQ(breaker.opens(), 2u);
+  EXPECT_FALSE(breaker.Allow());
+
+  now = 3.0;
+  EXPECT_TRUE(breaker.Allow());
+  breaker.RecordSuccess();  // probe succeeded: closed again
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+  EXPECT_TRUE(breaker.Allow());
 }
 
 // ------------------------------------------------------------- engine

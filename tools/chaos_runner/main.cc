@@ -1,0 +1,535 @@
+// Process-level chaos harness for the TCP serving path (DESIGN.md §11).
+//
+// One binary, two roles:
+//
+//   chaos_runner [flags]                 orchestrator (the default)
+//   chaos_runner --serve <port> <epoch>  server child, exec'd by the
+//                                        orchestrator and SIGKILLed at will
+//
+// The orchestrator launches a real model-provider server as a separate
+// process, drives inferences through the session-resuming TCP transport,
+// and — at FaultInjector-seeded points in the frame stream — SIGKILLs the
+// server mid-inference and immediately respawns a replacement on the same
+// port. The in-process chaos tests (tests/net_test.cc) cover socket resets
+// and cooperative server swaps; this harness is the uncooperative version:
+// a real kernel-delivered SIGKILL, a real half-open TCP connection, a real
+// process respawn racing the client's reconnect.
+//
+// What must hold, or the run fails (exit code 1):
+//   * every inference completes bit-exact against RunScaledPlainInference
+//     — the protocol output is a pure function of (plan, input), so a
+//     restart onto a fresh session (different permutations, different
+//     randomizers) must not change a single bit;
+//   * the client actually reconnected (channel reconnects >= 1 and the
+//     net.reconnects counter agrees) — otherwise no chaos happened and
+//     the run proved nothing;
+//   * no plaintext input or output bytes ever appeared in an outbound
+//     frame payload, reconnects and resumes included.
+//
+// The run writes a JSON trace (events + a metrics snapshot) for CI
+// artifact upload; see --trace-out.
+
+#include <sys/types.h>
+#include <sys/wait.h>
+
+#include <algorithm>
+#include <csignal>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <unistd.h>
+
+#include "core/protocol.h"
+#include "net/server.h"
+#include "net/transport.h"
+#include "nn/layers.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/fault.h"
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace ppstream {
+namespace {
+
+// ------------------------------------------------------------ fixed model
+//
+// Both processes rebuild the same tiny model from the same seeds, so the
+// child never needs weights shipped to it and the orchestrator can compute
+// the plain reference locally. 256-bit keys keep a sanitized CI run fast;
+// key size does not change any of the failure paths under test.
+
+constexpr uint64_t kKeySeed = 7;
+constexpr uint64_t kModelSeed = 8;
+constexpr int kKeyBits = 256;
+
+std::shared_ptr<const InferencePlan> BuildPlan() {
+  Rng mrng(kModelSeed);
+  Model model(Shape{4}, "chaos-net");
+  PPS_CHECK_OK(model.Add(DenseLayer::Random(4, 6, mrng)));
+  PPS_CHECK_OK(model.Add(std::make_unique<ReluLayer>()));
+  PPS_CHECK_OK(model.Add(DenseLayer::Random(6, 3, mrng)));
+  PPS_CHECK_OK(model.Add(std::make_unique<SoftmaxLayer>()));
+  auto plan = CompilePlan(model, 1000);
+  PPS_CHECK(plan.ok()) << plan.status().ToString();
+  return std::make_shared<const InferencePlan>(std::move(plan).value());
+}
+
+DoubleTensor MakeInput(uint64_t seed) {
+  Rng rng(seed);
+  DoubleTensor x{Shape{4}};
+  for (int64_t j = 0; j < 4; ++j) x[j] = rng.NextUniform(-2, 2);
+  return x;
+}
+
+// ------------------------------------------------------------ server child
+
+ModelProviderTcpServer* g_server = nullptr;
+
+extern "C" void ChaosServerSigterm(int) {
+  // BeginDrain is async-signal-safe by contract (net/server.h).
+  if (g_server != nullptr) g_server->BeginDrain(0.5);
+}
+
+// `--serve <port> <epoch>`: serve the deterministic plan on `port` until
+// SIGTERM (graceful drain) or SIGKILL (the whole point). `epoch` varies
+// the obfuscation seed so a respawned server picks different permutation
+// streams — the bit-exactness assertion then proves restart recovery does
+// not depend on the replacement making the same random choices.
+int RunServerChild(uint16_t port, uint64_t epoch) {
+  auto plan = BuildPlan();
+  ModelProviderServerOptions options;
+  options.obf_seed = 0x0BF5EEDULL + epoch * 0x10000ULL;
+  options.io_timeout_seconds = 30.0;
+  ModelProviderTcpServer server(plan, options);
+  g_server = &server;
+  std::signal(SIGTERM, ChaosServerSigterm);
+
+  // The predecessor was SIGKILLed moments ago; even with SO_REUSEADDR a
+  // bind can transiently lose the race with the kernel tearing the old
+  // socket down, so retry briefly instead of dying.
+  Status listening = Status::Unavailable("never tried");
+  for (int attempt = 0; attempt < 40; ++attempt) {
+    listening = server.Listen(port);
+    if (listening.ok()) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  if (!listening.ok()) {
+    std::fprintf(stderr, "chaos child: bind failed: %s\n",
+                 listening.ToString().c_str());
+    return 1;
+  }
+  const Status served = server.Serve();
+  if (!served.ok()) {
+    std::fprintf(stderr, "chaos child: serve failed: %s\n",
+                 served.ToString().c_str());
+    return 1;
+  }
+  return 0;
+}
+
+// ------------------------------------------------------------ orchestrator
+
+struct ChaosOptions {
+  int inferences = 5;
+  int min_kills = 1;
+  uint64_t seed = 0xC4A05ULL;
+  /// Per-outbound-frame probability that the server is SIGKILLed before
+  /// the frame is sent (FaultInjector site "chaos.kill").
+  double kill_probability = 0.05;
+  /// Also inject net.sock.reset/stall/truncate on the client channel, so
+  /// process death and socket-level chaos overlap.
+  bool socket_faults = false;
+  std::string trace_out;
+};
+
+struct ChaosEvent {
+  double at_seconds;
+  std::string kind;
+  std::string detail;
+};
+
+class ChaosRun {
+ public:
+  ChaosRun(ChaosOptions options, std::string self_exe)
+      : options_(options), self_exe_(std::move(self_exe)) {}
+
+  int Run();
+
+ private:
+  void Record(const std::string& kind, const std::string& detail) {
+    events_.push_back({obs::MonotonicSeconds() - start_seconds_, kind,
+                       detail});
+    std::printf("[chaos %7.3fs] %-10s %s\n", events_.back().at_seconds,
+                kind.c_str(), detail.c_str());
+  }
+
+  /// fork + execv of our own binary in --serve mode. execv immediately
+  /// after fork keeps this safe in a multi-threaded (and sanitized)
+  /// parent.
+  bool SpawnServer();
+  void KillServer();
+  /// SIGKILL the current server and start its replacement (next epoch).
+  void KillAndRespawn(const char* why);
+
+  bool WriteTrace(bool ok) const;
+
+  const ChaosOptions options_;
+  const std::string self_exe_;
+
+  uint16_t port_ = 0;
+  pid_t server_pid_ = -1;
+  uint64_t epoch_ = 0;
+  int kills_ = 0;
+  double start_seconds_ = 0;
+  std::vector<ChaosEvent> events_;
+  std::vector<std::string> failures_;
+};
+
+bool ChaosRun::SpawnServer() {
+  const std::string port_str = std::to_string(port_);
+  const std::string epoch_str = std::to_string(epoch_);
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    std::perror("fork");
+    return false;
+  }
+  if (pid == 0) {
+    // Child: become the server. execv of /proc/self/exe rather than
+    // calling RunServerChild directly — the parent is multi-threaded by
+    // now, and only exec resets the child to a sane single-threaded world.
+    const char* argv[] = {self_exe_.c_str(), "--serve", port_str.c_str(),
+                          epoch_str.c_str(), nullptr};
+    ::execv(self_exe_.c_str(), const_cast<char* const*>(argv));
+    std::perror("execv");
+    _exit(127);
+  }
+  server_pid_ = pid;
+  Record("spawn", "server pid " + std::to_string(pid) + " epoch " +
+                      epoch_str + " port " + port_str);
+  return true;
+}
+
+void ChaosRun::KillServer() {
+  if (server_pid_ <= 0) return;
+  ::kill(server_pid_, SIGKILL);
+  int status = 0;
+  ::waitpid(server_pid_, &status, 0);
+  server_pid_ = -1;
+}
+
+void ChaosRun::KillAndRespawn(const char* why) {
+  ++kills_;
+  Record("kill", std::string("SIGKILL server pid ") +
+                     std::to_string(server_pid_) + " (" + why + ")");
+  KillServer();
+  ++epoch_;
+  PPS_CHECK(SpawnServer()) << "could not respawn the chaos server";
+}
+
+int ChaosRun::Run() {
+  start_seconds_ = obs::MonotonicSeconds();
+
+  // Generate keys and the plain reference before any process chaos.
+  Rng krng(kKeySeed);
+  auto pair = Paillier::GenerateKeyPair(kKeyBits, krng);
+  PPS_CHECK(pair.ok()) << pair.status().ToString();
+  const PaillierKeyPair keys = std::move(pair).value();
+  auto plan = BuildPlan();
+
+  // Pick a free port by binding an ephemeral listener and releasing it.
+  // The tiny race with another process is acceptable for a test harness
+  // (the child retries its bind; a hard conflict fails the run loudly).
+  {
+    auto probe = TcpListener::Bind(0);
+    PPS_CHECK(probe.ok()) << probe.status().ToString();
+    port_ = probe->port();
+  }
+
+  if (!SpawnServer()) return 1;
+
+  // Dial with a patient retry policy: the child has to exec and bind
+  // first, and respawns race the reconnect the same way.
+  TcpTransportOptions topts;
+  topts.connect_retry = {.max_retries = 40,
+                         .initial_backoff_seconds = 0.05,
+                         .max_backoff_seconds = 0.25,
+                         .deadline_seconds = 15.0};
+  topts.reconnect_retry = {.max_retries = 6,
+                           .initial_backoff_seconds = 0.05,
+                           .max_backoff_seconds = 0.5};
+  auto transport =
+      TcpTransport::Connect("127.0.0.1", port_, keys.public_key, topts);
+  if (!transport.ok()) {
+    std::fprintf(stderr, "chaos: connect failed: %s\n",
+                 transport.status().ToString().c_str());
+    KillServer();
+    return 1;
+  }
+  auto* channel =
+      dynamic_cast<ResilientTcpChannel*>(&transport.value()->channel());
+  PPS_CHECK(channel != nullptr)
+      << "chaos needs the session-resuming channel";
+  Record("connect", "session " + std::to_string(channel->session_id()));
+
+  // The kill coin: every outbound frame probes "chaos.kill"; when the
+  // rule fires, the server dies by SIGKILL before the frame hits the
+  // wire, and a replacement is spawned immediately — so the client's very
+  // next write or read meets a dead connection mid-inference.
+  auto injector = std::make_shared<FaultInjector>(options_.seed);
+  {
+    FaultRule kill_rule;
+    kill_rule.site_pattern = "chaos.kill";
+    kill_rule.kind = FaultKind::kError;
+    kill_rule.probability = options_.kill_probability;
+    injector->AddRule(kill_rule);
+  }
+  if (options_.socket_faults) {
+    FaultRule reset;
+    reset.site_pattern = "net.sock.reset";
+    reset.kind = FaultKind::kError;
+    reset.error_code = StatusCode::kIoError;
+    reset.probability = 0.05;
+    injector->AddRule(reset);
+    FaultRule stall;
+    stall.site_pattern = "net.sock.stall";
+    stall.kind = FaultKind::kLatency;
+    stall.latency_seconds = 0.05;
+    stall.probability = 0.05;
+    injector->AddRule(stall);
+    transport.value()->channel().SetFaultInjector(injector);
+  }
+
+  // Privacy watch: capture outbound payloads; scanned after each
+  // inference for the raw little-endian bytes of every input/output
+  // double. The observer also flips the kill coin — it runs before the
+  // frame is transmitted, which is exactly when we want the server dead.
+  std::vector<std::vector<uint8_t>> outbound_payloads;
+  transport.value()->channel().SetFrameObserver(
+      [&](const WireFrame& frame, bool out) {
+        if (!out) return;
+        outbound_payloads.push_back(frame.payload);
+        if (frame.method == WireMethod::kPing) return;
+        if (!injector->Fail("chaos.kill").ok()) {
+          KillAndRespawn("coin");
+        }
+      });
+
+  DataProvider dp(transport.value()->view_plan(), keys, 0xD4717ULL);
+  ModelProviderApi& mp = *transport.value()->model_provider();
+
+  ResilientInferenceOptions ropts;
+  ropts.restart = {.max_retries = 6,
+                   .initial_backoff_seconds = 0.05,
+                   .max_backoff_seconds = 0.5};
+  ropts.deadline_seconds = 60.0;
+
+  obs::Counter* reconnects =
+      obs::MetricsRegistry::Global().GetCounter("net.reconnects");
+
+  bool ok = true;
+  for (int i = 0; i < options_.inferences; ++i) {
+    // If the coin has been cold, force the guaranteed kills at inference
+    // boundaries so every run — any seed — exercises a real SIGKILL.
+    const int remaining = options_.inferences - i;
+    if (kills_ < options_.min_kills &&
+        remaining <= options_.min_kills - kills_) {
+      KillAndRespawn("forced");
+    }
+
+    const DoubleTensor input = MakeInput(0x17A9E + i);
+    auto expected = RunScaledPlainInference(*plan, input);
+    PPS_CHECK(expected.ok()) << expected.status().ToString();
+
+    const double infer_start = obs::MonotonicSeconds();
+    auto output = RunResilientInference(mp, dp, /*request_id=*/i + 1, input,
+                                        ropts);
+    const double infer_seconds = obs::MonotonicSeconds() - infer_start;
+    if (!output.ok()) {
+      failures_.push_back("inference " + std::to_string(i) + " failed: " +
+                          output.status().ToString());
+      Record("fail", failures_.back());
+      ok = false;
+      continue;
+    }
+    bool exact = output->NumElements() == expected->NumElements();
+    for (int64_t j = 0; exact && j < expected->NumElements(); ++j) {
+      exact = output.value()[j] == expected.value()[j];
+    }
+    if (!exact) {
+      failures_.push_back("inference " + std::to_string(i) +
+                          " diverged from the plain reference");
+      Record("fail", failures_.back());
+      ok = false;
+    }
+    Record("inference",
+           "request " + std::to_string(i + 1) + " done in " +
+               std::to_string(infer_seconds) + "s, reconnects so far " +
+               std::to_string(channel->reconnects()));
+
+    // Privacy sweep over everything sent so far: neither the plaintext
+    // input nor the plaintext output may appear byte-for-byte in any
+    // outbound payload, chaos or no chaos.
+    std::vector<std::vector<uint8_t>> patterns;
+    for (const DoubleTensor* t :
+         std::initializer_list<const DoubleTensor*>{&input,
+                                                    &expected.value()}) {
+      for (int64_t j = 0; j < t->NumElements(); ++j) {
+        std::vector<uint8_t> p(sizeof(double));
+        const double v = (*t)[j];
+        std::memcpy(p.data(), &v, sizeof(double));
+        patterns.push_back(std::move(p));
+      }
+    }
+    for (const auto& payload : outbound_payloads) {
+      for (const auto& p : patterns) {
+        if (std::search(payload.begin(), payload.end(), p.begin(),
+                        p.end()) != payload.end()) {
+          failures_.push_back("plaintext bytes found in an outbound frame "
+                              "(inference " +
+                              std::to_string(i) + ")");
+          Record("fail", failures_.back());
+          ok = false;
+        }
+      }
+    }
+  }
+
+  if (kills_ < options_.min_kills) {
+    failures_.push_back("only " + std::to_string(kills_) + " of " +
+                        std::to_string(options_.min_kills) +
+                        " required kills happened");
+    ok = false;
+  }
+  if (kills_ > 0 && channel->reconnects() == 0) {
+    failures_.push_back("server died but the channel never reconnected");
+    ok = false;
+  }
+  if (kills_ > 0 && reconnects->Value() == 0) {
+    failures_.push_back("net.reconnects stayed 0 across a server kill");
+    ok = false;
+  }
+
+  // Graceful epilogue: SIGTERM (not KILL) the survivor and make sure the
+  // drain path lets it exit cleanly — the cooperative half of the
+  // lifecycle, end to end.
+  transport.value()->Close();
+  if (server_pid_ > 0) {
+    ::kill(server_pid_, SIGTERM);
+    int status = 0;
+    ::waitpid(server_pid_, &status, 0);
+    const bool clean = WIFEXITED(status) && WEXITSTATUS(status) == 0;
+    Record("drain", std::string("SIGTERM exit ") +
+                        (clean ? "clean" : "UNCLEAN"));
+    if (!clean) {
+      failures_.push_back("server did not drain cleanly on SIGTERM");
+      ok = false;
+    }
+    server_pid_ = -1;
+  }
+
+  Record("summary", std::string(ok ? "PASS" : "FAIL") + ": " +
+                        std::to_string(options_.inferences) +
+                        " inferences, " + std::to_string(kills_) +
+                        " kills, " +
+                        std::to_string(channel->reconnects()) +
+                        " reconnects");
+  for (const auto& f : failures_) {
+    std::fprintf(stderr, "chaos failure: %s\n", f.c_str());
+  }
+  if (!options_.trace_out.empty() && !WriteTrace(ok)) {
+    std::fprintf(stderr, "chaos: could not write trace to %s\n",
+                 options_.trace_out.c_str());
+    ok = false;
+  }
+  return ok ? 0 : 1;
+}
+
+bool ChaosRun::WriteTrace(bool ok) const {
+  std::ofstream out(options_.trace_out);
+  if (!out) return false;
+  out << "{\n  \"ok\": " << (ok ? "true" : "false")
+      << ",\n  \"kills\": " << kills_ << ",\n  \"events\": [\n";
+  for (size_t i = 0; i < events_.size(); ++i) {
+    out << "    {\"t\": " << events_[i].at_seconds << ", \"kind\": \""
+        << events_[i].kind << "\", \"detail\": \"" << events_[i].detail
+        << "\"}" << (i + 1 < events_.size() ? "," : "") << "\n";
+  }
+  out << "  ],\n  \"metrics\": {\n";
+  bool first = true;
+  for (const char* prefix : {"net.", "fault."}) {
+    for (const auto& [name, value] :
+         obs::MetricsRegistry::Global().CounterValues(prefix)) {
+      out << (first ? "" : ",\n") << "    \"" << name << "\": " << value;
+      first = false;
+    }
+  }
+  out << "\n  }\n}\n";
+  return out.good();
+}
+
+int ChaosMain(int argc, char** argv) {
+  if (argc >= 2 && std::strcmp(argv[1], "--serve") == 0) {
+    if (argc != 4) {
+      std::fprintf(stderr, "usage: %s --serve <port> <epoch>\n", argv[0]);
+      return 2;
+    }
+    return RunServerChild(
+        static_cast<uint16_t>(std::strtoul(argv[2], nullptr, 10)),
+        std::strtoull(argv[3], nullptr, 10));
+  }
+
+  ChaosOptions options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      PPS_CHECK(i + 1 < argc) << arg << " needs a value";
+      return argv[++i];
+    };
+    if (arg == "--inferences") {
+      options.inferences = std::atoi(next());
+    } else if (arg == "--kills") {
+      options.min_kills = std::atoi(next());
+    } else if (arg == "--seed") {
+      options.seed = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--kill-probability") {
+      options.kill_probability = std::atof(next());
+    } else if (arg == "--socket-faults") {
+      options.socket_faults = true;
+    } else if (arg == "--trace-out") {
+      options.trace_out = next();
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--inferences N] [--kills N] [--seed S]\n"
+                   "          [--kill-probability P] [--socket-faults]\n"
+                   "          [--trace-out PATH]\n"
+                   "       %s --serve <port> <epoch>\n",
+                   argv[0], argv[0]);
+      return 2;
+    }
+  }
+  PPS_CHECK(options.min_kills <= options.inferences)
+      << "--kills cannot exceed --inferences (forced kills happen at "
+         "inference boundaries)";
+
+  // Resolve our own binary once, up front: /proc/self/exe is the reliable
+  // respawn path regardless of how argv[0] was spelled.
+  char self[4096];
+  const ssize_t n = ::readlink("/proc/self/exe", self, sizeof(self) - 1);
+  PPS_CHECK(n > 0) << "readlink(/proc/self/exe) failed";
+  self[n] = '\0';
+
+  ChaosRun run(options, self);
+  return run.Run();
+}
+
+}  // namespace
+}  // namespace ppstream
+
+int main(int argc, char** argv) { return ppstream::ChaosMain(argc, argv); }
