@@ -108,6 +108,81 @@ int main(int argc, char** argv) {
   std::printf("%zu inferences in %.2f s (%.2f s/req pipelined)\n\n",
               num_requests, elapsed, elapsed / num_requests);
 
+  // Snapshot the engine run's counters before the fusion probe below
+  // adds its own crypto traffic: the report covers exactly the run.
+  const auto crypto_counters = registry.CounterValues("crypto.");
+  const auto net_counters = registry.CounterValues("net.");
+
+  // ---- fusion comparison: each probe model compiled with the default
+  // FuseAffineChains policy vs. --fusion never, one encrypted inference
+  // each, reading the live crypto.scalar_muls counter. Outputs must be
+  // bit-identical (fusion is exact integer composition). MNIST-2's
+  // Flatten+Dense fold shrinks the op count; Heart's Dense+ScalarScale
+  // chains (from ScaledSigmoid decomposition) also shrink scalar muls.
+  const PaillierKeyPair& keys = SharedKeys(key_bits);
+  struct FusionRecord {
+    std::string model;
+    int64_t ops_before = 0, ops_after = 0;
+    planner::PlanCompileStats stats;
+    uint64_t muls_unfused = 0, muls_fused = 0;
+  };
+  auto compare_fusion = [&](const std::string& name, const Model& model,
+                            const DoubleTensor& probe, uint64_t request_id) {
+    auto fused_or = CompilePlan(model, /*scale=*/10000);
+    CompileOptions unfused_opts;
+    unfused_opts.fusion = planner::FusionPolicy::kNever;
+    auto unfused_or = CompilePlan(model, /*scale=*/10000, unfused_opts);
+    PPS_CHECK_OK(fused_or.status());
+    PPS_CHECK_OK(unfused_or.status());
+    FusionRecord rec;
+    rec.model = name;
+    rec.stats = fused_or.value().compile_stats;
+    DoubleTensor outs[2];
+    const std::shared_ptr<InferencePlan> plans[2] = {
+        std::make_shared<InferencePlan>(std::move(fused_or).value()),
+        std::make_shared<InferencePlan>(std::move(unfused_or).value())};
+    for (int p = 0; p < 2; ++p) {
+      PPS_CHECK_OK(plans[p]->CheckFitsKey(keys.public_key.n()));
+      ModelProvider mp(plans[p], keys.public_key, /*obf_seed=*/91);
+      DataProvider dp(plans[p], keys, /*enc_seed=*/92);
+      obs::Counter* muls = registry.GetCounter("crypto.scalar_muls");
+      const uint64_t before = muls->Value();
+      auto result = RunProtocolInference(mp, dp, request_id + p, probe);
+      PPS_CHECK_OK(result.status());
+      outs[p] = std::move(result).value();
+      (p == 0 ? rec.muls_fused : rec.muls_unfused) = muls->Value() - before;
+    }
+    PPS_CHECK_EQ(outs[0].NumElements(), outs[1].NumElements());
+    for (int64_t i = 0; i < outs[0].NumElements(); ++i) {
+      PPS_CHECK(outs[0][i] == outs[1][i])
+          << name << ": fused plan diverged at element " << i;
+    }
+    for (const auto& s : plans[0]->linear_stages)
+      rec.ops_after += s.ops.size();
+    for (const auto& s : plans[1]->linear_stages)
+      rec.ops_before += s.ops.size();
+    std::printf("fusion[%s]: %lld -> %lld linear ops, measured scalar "
+                "muls %llu -> %llu (bit-identical outputs)\n",
+                name.c_str(), static_cast<long long>(rec.ops_before),
+                static_cast<long long>(rec.ops_after),
+                static_cast<unsigned long long>(rec.muls_unfused),
+                static_cast<unsigned long long>(rec.muls_fused));
+    return rec;
+  };
+  std::vector<FusionRecord> fusion;
+  fusion.push_back(compare_fusion("MNIST-2", entry.model,
+                                  entry.data.test.samples[0], 9001));
+  {
+    auto heart = MakeZooModel(ZooModelId::kHeart, /*seed=*/5);
+    PPS_CHECK_OK(heart.status());
+    DoubleTensor probe(Shape{13});
+    for (int64_t i = 0; i < probe.NumElements(); ++i) {
+      probe.data()[static_cast<size_t>(i)] = 0.125 * static_cast<double>(i % 8) - 0.5;
+    }
+    fusion.push_back(compare_fusion("Heart", *heart, probe, 9003));
+  }
+  std::printf("\n");
+
   // ---- JSON report.
   std::ofstream json(out_path);
   PPS_CHECK(json.good()) << "cannot write " << out_path;
@@ -142,11 +217,29 @@ int main(int argc, char** argv) {
                 Ms(histogram->Quantile(0.99)), Ms(histogram->Max()),
                 static_cast<unsigned long long>(bytes_out));
   }
-  json << "\n  ],\n  \"counters\": {\n";
+  json << "\n  ],\n  \"fusion\": [\n";
+  for (size_t i = 0; i < fusion.size(); ++i) {
+    const FusionRecord& rec = fusion[i];
+    json << "    {\"model\": \"" << rec.model << "\""
+         << ", \"policy\": \"scalar-mul-count\""
+         << ", \"linear_ops_before\": " << rec.ops_before
+         << ", \"linear_ops_after\": " << rec.ops_after
+         << ", \"ops_fused\": " << rec.stats.ops_fused
+         << ", \"dead_tensors_removed\": " << rec.stats.dead_tensors_removed
+         << ", \"plan_scalar_muls_before\": "
+         << rec.stats.scalar_muls_before_fusion
+         << ", \"plan_scalar_muls_after\": "
+         << rec.stats.scalar_muls_after_fusion
+         << ", \"measured_scalar_muls_unfused\": " << rec.muls_unfused
+         << ", \"measured_scalar_muls_fused\": " << rec.muls_fused
+         << ", \"outputs_bit_identical\": true}"
+         << (i + 1 < fusion.size() ? ",\n" : "\n");
+  }
+  json << "  ],\n  \"counters\": {\n";
   std::printf("\ncounter totals:\n");
   first = true;
-  for (const char* prefix : {"crypto.", "net."}) {
-    for (const auto& [name, value] : registry.CounterValues(prefix)) {
+  for (const auto* counters : {&crypto_counters, &net_counters}) {
+    for (const auto& [name, value] : *counters) {
       if (!first) json << ",\n";
       first = false;
       json << "    \"" << name << "\": " << value;

@@ -132,6 +132,10 @@ lint_prom() {
 #   pps_net_exchange_attempts    physical wire attempts (resends included)
 #   pps_net_inference_restarts   whole-inference restarts (session lost)
 #   pps_net_pings                liveness probes sent
+# The pipeline bench compiles plans through the pass pipeline, so its
+# exposition must carry the planner families (pps_planner_pass_runs,
+# pps_planner_ir_{nodes,tensors}, pps_planner_fuse_ops_fused,
+# pps_planner_dce_tensors_removed, per-pass seconds histograms).
 # The chaos bench exposition must additionally carry the families only a
 # session-serving + fault-injected process produces:
 #   pps_net_session_{created,resumed,lost,evicted,active} session lifecycle
@@ -151,7 +155,10 @@ lint_prom "$PROM_OUT"
 lint_prom "$CHAOS_PROM"
 require_families "$PROM_OUT" \
   pps_net_reconnects pps_net_reconnect_seconds pps_net_exchange_attempts \
-  pps_net_inference_restarts pps_net_pings
+  pps_net_inference_restarts pps_net_pings \
+  pps_planner_pass_runs pps_planner_ir_nodes pps_planner_ir_tensors \
+  pps_planner_fuse_ops_fused pps_planner_dce_tensors_removed \
+  pps_planner_pass_fuse_affine_chains_seconds
 require_families "$CHAOS_PROM" \
   pps_net_reconnects pps_net_reconnect_seconds pps_net_exchange_attempts \
   pps_net_inference_restarts pps_net_pings \

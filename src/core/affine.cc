@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <map>
 #include <mutex>
 
 #include "core/fixed_point.h"
@@ -469,6 +470,74 @@ int64_t IntegerAffineLayer::TotalTerms() const {
     total += static_cast<int64_t>(row.terms.size());
   }
   return total;
+}
+
+int64_t IntegerAffineLayer::EncryptedScalarMuls() const {
+  int64_t total = 0;
+  for (const AffineRow& row : rows_) {
+    if (row.terms.size() == 1 && row.terms[0].weight == 1 &&
+        row.bias.IsZero()) {
+      continue;  // identity fast path: ciphertext forwarded, no mul
+    }
+    for (const AffineTerm& t : row.terms) {
+      if (t.weight != 0) ++total;
+    }
+  }
+  return total;
+}
+
+Result<IntegerAffineLayer> IntegerAffineLayer::Compose(
+    const IntegerAffineLayer& first, const IntegerAffineLayer& second) {
+  if (first.out_shape_.NumElements() != second.in_shape_.NumElements()) {
+    return Status::InvalidArgument(internal::StrCat(
+        "cannot compose ", first.name_, " (", first.out_shape_.NumElements(),
+        " outputs) with ", second.name_, " (",
+        second.in_shape_.NumElements(), " inputs)"));
+  }
+  if (first.output_scale_power() != second.input_scale_power_) {
+    return Status::InvalidArgument(internal::StrCat(
+        "scale power mismatch composing ", first.name_, " (out F^",
+        first.output_scale_power(), ") with ", second.name_, " (in F^",
+        second.input_scale_power_, ")"));
+  }
+
+  IntegerAffineLayer out;
+  out.name_ = first.name_ + "*" + second.name_;
+  out.in_shape_ = first.in_shape_;
+  out.out_shape_ = second.out_shape_;
+  out.input_scale_power_ = first.input_scale_power_;
+  out.weight_scale_power_ =
+      first.weight_scale_power_ + second.weight_scale_power_;
+  out.rows_.resize(second.rows_.size());
+
+  // Sparse row-times-matrix: composed row j taps slot i with weight
+  // Σ_k w2[j,k]·w1[k,i]; composed bias is b2[j] + Σ_k w2[j,k]·b1[k].
+  // std::map keeps terms sorted by input slot for a deterministic layout.
+  std::map<uint32_t, BigInt> acc;
+  for (size_t j = 0; j < second.rows_.size(); ++j) {
+    const AffineRow& r2 = second.rows_[j];
+    AffineRow& dst = out.rows_[j];
+    dst.bias = r2.bias;
+    acc.clear();
+    for (const AffineTerm& t2 : r2.terms) {
+      if (t2.weight == 0) continue;
+      const AffineRow& r1 = first.rows_[t2.input_index];
+      const BigInt w2(t2.weight);
+      if (!r1.bias.IsZero()) dst.bias = dst.bias + w2 * r1.bias;
+      for (const AffineTerm& t1 : r1.terms) {
+        if (t1.weight == 0) continue;
+        BigInt& slot = acc[t1.input_index];
+        slot = slot + w2 * BigInt(t1.weight);
+      }
+    }
+    dst.terms.reserve(acc.size());
+    for (const auto& [slot, weight] : acc) {
+      if (weight.IsZero()) continue;  // cancellation across paths
+      PPS_ASSIGN_OR_RETURN(int64_t w, weight.ToInt64());
+      dst.terms.push_back({slot, w});
+    }
+  }
+  return out;
 }
 
 }  // namespace ppstream

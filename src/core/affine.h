@@ -125,6 +125,22 @@ class IntegerAffineLayer {
   /// Total number of weighted taps (drives the profiler cost model).
   int64_t TotalTerms() const;
 
+  /// Homomorphic cost of one evaluation: weighted taps that actually pay a
+  /// ciphertext exponentiation. Mirrors EvalEncryptedRows exactly — identity
+  /// rows (single weight-1 term, zero bias) forward the ciphertext for free,
+  /// and zero-weight terms are skipped. The fusion pass optimizes this.
+  int64_t EncryptedScalarMuls() const;
+
+  /// Exact integer composition `second ∘ first`: the affine map that sends
+  /// x to second(first(x)). Composed weights are Σ w2·w1 accumulated in
+  /// BigInt; returns kOutOfRange if any composed weight overflows int64
+  /// (callers treat that as "don't fuse"). Requires first's output to feed
+  /// second elementwise (equal element counts, matching scale powers).
+  /// Since both maps are exact over integers, evaluating the composite is
+  /// bit-identical to evaluating the two layers in sequence.
+  static Result<IntegerAffineLayer> Compose(const IntegerAffineLayer& first,
+                                            const IntegerAffineLayer& second);
+
  private:
   Shape in_shape_, out_shape_;
   std::vector<AffineRow> rows_;

@@ -1,9 +1,7 @@
 #include "core/plan.h"
 
-#include <cmath>
-
-#include "core/fixed_point.h"
-#include "nn/layers.h"
+#include "planner/pass.h"
+#include "planner/passes.h"
 #include "util/logging.h"
 
 namespace ppstream {
@@ -30,12 +28,14 @@ int64_t InferencePlan::EncryptionsPerRequest() const {
 
 Status InferencePlan::CheckFitsKey(const BigInt& n) const {
   const BigInt half = n >> 1;
-  const BigInt& max = MaxMagnitude();
-  if (max.Compare(half) >= 0) {
-    return Status::OutOfRange(internal::StrCat(
-        "plan magnitude bound needs ", max.BitLength(),
-        " bits but n/2 has only ", half.BitLength(),
-        "; increase the Paillier key size or reduce the scaling factor"));
+  for (const LinearStage& stage : linear_stages) {
+    if (stage.magnitude_bound.Compare(half) >= 0) {
+      return Status::FailedPrecondition(internal::StrCat(
+          "stage '", stage.name, "' magnitude bound needs ",
+          stage.magnitude_bound.BitLength(), " bits but n/2 has only ",
+          half.BitLength(),
+          "; increase the Paillier key size or reduce the scaling factor"));
+    }
   }
   return Status::OK();
 }
@@ -119,143 +119,128 @@ Result<InferencePlan> InferencePlan::DeserializeDataProviderView(
   return plan;
 }
 
-Result<Model> PrepareModel(const Model& model) {
-  PPS_ASSIGN_OR_RETURN(Model no_pool, model.ReplaceMaxPooling());
-  Model out(no_pool.input_shape(), no_pool.name());
-  for (size_t i = 0; i < no_pool.NumLayers(); ++i) {
-    const Layer& layer = no_pool.layer(i);
-    if (layer.kind() == LayerKind::kScaledSigmoid) {
-      const auto& mixed = static_cast<const ScaledSigmoidLayer&>(layer);
-      PPS_RETURN_IF_ERROR(
-          out.Add(std::make_unique<ScalarScaleLayer>(mixed.alpha())));
-      PPS_RETURN_IF_ERROR(out.Add(std::make_unique<SigmoidLayer>()));
-    } else {
-      PPS_RETURN_IF_ERROR(out.Add(layer.Clone()));
+namespace {
+
+/// Rebuilds a float model from the chain's concatenated layer sequences.
+/// Fused nodes still carry every original layer, so this reconstructs the
+/// prepared model no matter which optimizing passes ran.
+Result<Model> EmitModel(const planner::StageGraph& graph) {
+  PPS_ASSIGN_OR_RETURN(std::vector<int64_t> order, graph.ChainOrder());
+  Model out(graph.tensor(graph.input()).shape, graph.model_name());
+  for (int64_t id : order) {
+    for (const auto& layer : graph.node(id).layers) {
+      PPS_RETURN_IF_ERROR(out.Add(layer->Clone()));
     }
   }
   return out;
 }
 
-namespace {
-
-/// Real-unit output bound of a non-linear layer given a real-unit input
-/// bound (coarse interval analysis for key sizing).
-double NonLinearBound(const Layer& layer, double in_bound) {
-  switch (layer.kind()) {
-    case LayerKind::kRelu:
-      return in_bound;
-    case LayerKind::kSigmoid:
-    case LayerKind::kSoftmax:
-      return 1.0;
-    default:
-      return in_bound;
-  }
-}
-
-}  // namespace
-
-Result<InferencePlan> CompilePlan(const Model& model, int64_t scale,
-                                  const CompileOptions& options) {
-  if (scale < 1) return Status::InvalidArgument("scale must be >= 1");
-  PPS_ASSIGN_OR_RETURN(Model prepared, PrepareModel(model));
-  if (prepared.NumLayers() == 0) {
-    return Status::InvalidArgument("model has no layers");
-  }
-
-  // The deployable structure must start linear and end non-linear (§III-A).
-  if (prepared.layer(0).op_class() != OpClass::kLinear) {
-    return Status::FailedPrecondition(
-        "model must start with a linear layer (paper §III-A assumption)");
-  }
-  if (prepared.layer(prepared.NumLayers() - 1).op_class() !=
-      OpClass::kNonLinear) {
-    return Status::FailedPrecondition(
-        "model must end with a non-linear layer (paper §III-A assumption)");
-  }
+/// Lowers the merged, verified graph to the deployable plan structure.
+Result<InferencePlan> EmitPlan(const planner::StageGraph& graph) {
+  PPS_ASSIGN_OR_RETURN(std::vector<int64_t> order, graph.ChainOrder());
 
   InferencePlan plan;
-  plan.scale = scale;
-  plan.input_shape = prepared.input_shape();
-  PPS_ASSIGN_OR_RETURN(plan.output_shape, prepared.OutputShape());
+  plan.scale = graph.scale();
+  plan.input_shape = graph.tensor(graph.input()).shape;
+  plan.output_shape = graph.tensor(graph.output()).shape;
 
-  Shape shape = prepared.input_shape();
-  double real_bound = options.input_bound;
-
-  size_t i = 0;
-  while (i < prepared.NumLayers()) {
-    // ---- Merge a maximal run of linear layers into one stage.
+  for (size_t i = 0; i < order.size();) {
+    // ---- One linear stage: the round's run of (possibly fused) ops.
     LinearStage stage;
-    stage.input_shape = shape;
-    int scale_power = 1;
-    BigInt int_bound =
-        BigInt(QuantizeValue(real_bound, scale) + 1);  // |x_int| <= X*F
-    while (i < prepared.NumLayers() &&
-           prepared.layer(i).op_class() == OpClass::kLinear) {
-      const Layer& layer = prepared.layer(i);
-      PPS_ASSIGN_OR_RETURN(
-          IntegerAffineLayer op,
-          IntegerAffineLayer::FromLayer(layer, shape, scale, scale_power));
-      scale_power = op.output_scale_power();
-      int_bound = op.OutputMagnitudeBound(int_bound);
-      PPS_ASSIGN_OR_RETURN(shape, layer.OutputShape(shape));
+    stage.input_shape = graph.tensor(graph.node(order[i]).input).shape;
+    while (i < order.size() &&
+           graph.node(order[i]).op_class == OpClass::kLinear) {
+      const planner::IrNode& n = graph.node(order[i]);
+      if (!n.affine.has_value()) {
+        return Status::Internal(internal::StrCat(
+            "linear node ", n.name, " was never lowered"));
+      }
+      const planner::IrTensor& out = graph.tensor(n.output);
+      stage.output_shape = out.shape;
+      stage.output_scale_power = out.scale_power;
+      // Soundness: the stage bound covers EVERY op output inside the
+      // stage, not just the last — an intermediate can exceed the final.
+      if (out.magnitude_bound.Compare(stage.magnitude_bound) > 0) {
+        stage.magnitude_bound = out.magnitude_bound;
+      }
       if (!stage.name.empty()) stage.name += "+";
-      stage.name += layer.name();
-      stage.ops.push_back(std::move(op));
+      stage.name += n.name;
+      stage.ops.push_back(*n.affine);
       ++i;
     }
     if (stage.ops.empty()) {
-      return Status::Internal("empty linear stage during compilation");
+      return Status::Internal("empty linear stage during emission");
     }
-    stage.output_shape = shape;
-    stage.output_scale_power = scale_power;
-    stage.magnitude_bound = std::move(int_bound);
-    // Real-unit bound after dequantization by F^scale_power.
-    real_bound =
-        stage.magnitude_bound.ToDouble() /
-        ScalePower(scale, scale_power).ToDouble();
     plan.linear_stages.push_back(std::move(stage));
 
-    // ---- Merge the following run of non-linear layers into one segment.
-    if (i >= prepared.NumLayers()) {
+    // ---- The non-linear segment that follows it.
+    if (i >= order.size()) {
       return Status::FailedPrecondition(
           "model ends with a linear stage; append a non-linear layer");
     }
     NonLinearSegment segment;
-    segment.shape = shape;
-    while (i < prepared.NumLayers() &&
-           prepared.layer(i).op_class() == OpClass::kNonLinear) {
-      const Layer& layer = prepared.layer(i);
-      PPS_ASSIGN_OR_RETURN(Shape next, layer.OutputShape(shape));
-      if (next != shape) {
-        return Status::FailedPrecondition(internal::StrCat(
-            "non-linear layer ", layer.name(),
-            " changes the tensor shape; only element-wise non-linear "
-            "operations are deployable (rewrite pooling first)"));
-      }
-      real_bound = NonLinearBound(layer, real_bound);
+    segment.shape = graph.tensor(graph.node(order[i]).input).shape;
+    while (i < order.size() &&
+           graph.node(order[i]).op_class == OpClass::kNonLinear) {
+      const planner::IrNode& n = graph.node(order[i]);
+      segment.is_final = n.final_segment;
       if (!segment.name.empty()) segment.name += "+";
-      segment.name += layer.name();
-      segment.layers.push_back(layer.Clone());
-      shape = next;
+      segment.name += n.name;
+      for (const auto& layer : n.layers) {
+        segment.layers.push_back(layer->Clone());
+      }
       ++i;
     }
-    segment.is_final = i >= prepared.NumLayers();
     plan.nonlinear_segments.push_back(std::move(segment));
   }
 
-  // SoftMax (position-dependent) may only appear in the final, never-
-  // obfuscated segment (§III-C).
-  for (size_t s = 0; s + 1 < plan.nonlinear_segments.size(); ++s) {
-    for (const auto& layer : plan.nonlinear_segments[s].layers) {
-      if (layer->kind() == LayerKind::kSoftmax) {
-        return Status::FailedPrecondition(
-            "SoftMax in a non-final segment would be obfuscated and is "
-            "position-dependent");
-      }
-    }
-  }
+  PPS_ASSIGN_OR_RETURN(plan.prepared_model, EmitModel(graph));
+  return plan;
+}
 
-  plan.prepared_model = std::move(prepared);
+}  // namespace
+
+Result<Model> PrepareModel(const Model& model) {
+  // Scale/bound are irrelevant to the two structural passes; use inert
+  // values. (The model must still have at least one layer to import.)
+  PPS_ASSIGN_OR_RETURN(
+      planner::StageGraph graph,
+      planner::StageGraph::FromModel(model, /*scale=*/1, /*input_bound=*/1));
+  planner::PassManager pipeline;
+  pipeline.Add(planner::MakeRewriteMaxPoolPass())
+      .Add(planner::MakeDecomposeMixedPass());
+  PPS_RETURN_IF_ERROR(pipeline.Run(&graph));
+  return EmitModel(graph);
+}
+
+Result<InferencePlan> CompilePlan(const Model& model, int64_t scale,
+                                  const CompileOptions& options) {
+  if (scale < 1) return Status::InvalidArgument("scale must be >= 1");
+  PPS_ASSIGN_OR_RETURN(
+      planner::StageGraph graph,
+      planner::StageGraph::FromModel(model, scale, options.input_bound));
+
+  planner::PlanCompileStats stats;
+  planner::PlanPlacement placement;
+  planner::PassManager pipeline;
+  pipeline.Add(planner::MakeRewriteMaxPoolPass())
+      .Add(planner::MakeDecomposeMixedPass())
+      .Add(planner::MakeClassifyPass())
+      .Add(planner::MakeLowerToIntegerPass())
+      .Add(planner::MakeFuseAffineChainsPass(options.fusion, &stats))
+      .Add(planner::MakeDeadTensorElimPass(&stats))
+      .Add(planner::MakeMergeAdjacentPass())
+      .Add(planner::MakeVerifyBoundsPass());
+  if (options.placement.has_value()) {
+    pipeline.Add(planner::MakePlacementPass(*options.placement, &placement));
+  }
+  PPS_RETURN_IF_ERROR(pipeline.Run(&graph, options.pass_observer));
+
+  PPS_ASSIGN_OR_RETURN(InferencePlan plan, EmitPlan(graph));
+  plan.compile_stats = stats;
+  if (options.placement.has_value()) {
+    plan.placement = std::move(placement);
+  }
   return plan;
 }
 

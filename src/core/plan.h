@@ -1,26 +1,29 @@
 // Inference-plan compilation (paper Section IV-B, "operation
 // encapsulation").
 //
-// CompilePlan transforms a trained float model into the deployable form:
-//   1. MaxPool2D layers are rewritten to stride-2 conv + ReLU (§III-C);
-//   2. mixed layers are decomposed into a linear primitive + a non-linear
-//      primitive (ScaledSigmoid -> ScalarScale + Sigmoid);
-//   3. each layer is classified linear / non-linear;
-//   4. maximal runs of same-class primitive layers are merged, producing
-//      the alternating stage structure of Figure 4: linear stages run at
-//      the model provider on ciphertexts, non-linear segments run at the
-//      data provider on (obfuscated) plaintext;
-//   5. linear layers are lowered to IntegerAffineLayer at scale F, and a
-//      worst-case magnitude bound is propagated to verify all values stay
-//      below n/2 for the chosen key size.
+// CompilePlan is a thin driver over the stage-graph IR (planner/ir.h):
+// it imports the float model, runs the standard pass pipeline
+// (planner/passes.h — MaxPool rewrite, mixed-layer decomposition,
+// classification, integer lowering, affine-chain fusion, dead-tensor
+// elimination, merge-adjacent, bound re-verification, optional Eq. 4-8
+// placement) and emits the deployable plan below: the alternating stage
+// structure of Figure 4, where linear stages run at the model provider on
+// ciphertexts and non-linear segments run at the data provider on
+// (obfuscated) plaintext. The wire format and provider contracts are
+// unchanged by the IR — a plan compiled with every optimization disabled
+// is identical to the pre-IR compiler's output, and fusion only replaces
+// sequences of affine ops by their exact integer composition, so
+// inference outputs stay bit-exact either way.
 
 #pragma once
 
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "core/affine.h"
 #include "nn/model.h"
+#include "planner/passes.h"
 #include "util/status.h"
 
 namespace ppstream {
@@ -67,6 +70,14 @@ struct InferencePlan {
   /// can drive a DataProvider but never a ModelProvider.
   bool is_data_provider_view = false;
 
+  /// What the optimizing passes did (op/scalar-mul counts before and
+  /// after fusion, dead tensors reaped). In-memory only, not serialized.
+  planner::PlanCompileStats compile_stats;
+
+  /// Solved Eq. 4-8 server/thread assignment when CompileOptions
+  /// requested placement. In-memory only, not serialized.
+  std::optional<planner::PlanPlacement> placement;
+
   size_t NumRounds() const { return linear_stages.size(); }
 
   /// Elements the data provider encrypts per request: the input tensor
@@ -78,7 +89,11 @@ struct InferencePlan {
   /// Largest magnitude bound across stages; must stay below n/2.
   const BigInt& MaxMagnitude() const;
 
-  /// Verifies the plan fits a key with the given modulus.
+  /// Verifies the plan fits a key with the given modulus. The bounds it
+  /// checks are recomputed by the verify-bounds pass *after* every other
+  /// pass has run (so no transform can silently invalidate them) and each
+  /// stage's bound covers every op output inside the stage, not just the
+  /// last. Returns kFailedPrecondition naming the offending stage.
   Status CheckFitsKey(const BigInt& n) const;
 
   /// Serializes exactly what the data provider needs for deployment:
@@ -92,15 +107,24 @@ struct InferencePlan {
 struct CompileOptions {
   /// Bound on |input element| in real units, used for magnitude analysis.
   double input_bound = 16.0;
+  /// Whether (and when) FuseAffineChains folds adjacent linear ops.
+  planner::FusionPolicy fusion = planner::FusionPolicy::kScalarMulCount;
+  /// When set, the placement pass solves Eq. 4-8 over the merged rounds
+  /// and the result lands in InferencePlan::placement.
+  std::optional<planner::PlacementSpec> placement;
+  /// Sees the IR after every pass (tools/plan_dump --pass-trace). Not
+  /// owned; must outlive the CompilePlan call.
+  planner::PassObserver* pass_observer = nullptr;
 };
 
 /// Compiles a trained model at scale F = `scale`.
 Result<InferencePlan> CompilePlan(const Model& model, int64_t scale,
                                   const CompileOptions& options = {});
 
-/// Step 1+2 only: MaxPool rewrite + mixed-layer decomposition. Exposed for
-/// tests and for the parameter-scaling search (which evaluates accuracy on
-/// the prepared model).
+/// Step 1+2 only: MaxPool rewrite + mixed-layer decomposition (the
+/// rewrite-maxpool and decompose-mixed passes). Exposed for tests and for
+/// the parameter-scaling search (which evaluates accuracy on the prepared
+/// model).
 Result<Model> PrepareModel(const Model& model);
 
 }  // namespace ppstream

@@ -12,6 +12,7 @@
 #include <functional>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "tensor/tensor.h"
 #include "util/buffer.h"
@@ -88,6 +89,16 @@ class Layer {
 
   /// Deep copy.
   virtual std::unique_ptr<Layer> Clone() const = 0;
+
+  /// Deployment introspection hook: the sequence of primitive layers this
+  /// layer lowers to before protocol compilation (paper §III-C). Most
+  /// layers are already primitive and return a single clone; MaxPool2D
+  /// returns its stride-2 averaging conv + ReLU rewrite, and mixed layers
+  /// (ScaledSigmoid) return their linear + non-linear decomposition. The
+  /// planner's RewriteMaxPool / DecomposeMixed passes and
+  /// Model::ReplaceMaxPooling all go through this hook.
+  virtual Result<std::vector<std::unique_ptr<Layer>>> DecomposeForDeployment(
+      const Shape& input_shape) const;
 };
 
 /// Deserializes any layer (dispatches on the kind tag written first).

@@ -773,4 +773,56 @@ Result<std::unique_ptr<Layer>> DeserializeLayer(BufferReader* in) {
       internal::StrCat("unknown layer kind tag ", static_cast<int>(tag)));
 }
 
+// ------------------------------------------------- Deployment decomposition
+
+Result<std::vector<std::unique_ptr<Layer>>> Layer::DecomposeForDeployment(
+    const Shape& input_shape) const {
+  PPS_RETURN_IF_ERROR(OutputShape(input_shape).status());
+  std::vector<std::unique_ptr<Layer>> out;
+  out.push_back(Clone());
+  return out;
+}
+
+Result<std::vector<std::unique_ptr<Layer>>>
+MaxPool2DLayer::DecomposeForDeployment(const Shape& input_shape) const {
+  if (input_shape.rank() != 3) {
+    return Status::InvalidArgument("MaxPool input must be CHW");
+  }
+  PPS_RETURN_IF_ERROR(OutputShape(input_shape).status());
+  Conv2DGeometry geom;
+  geom.in_channels = input_shape.dim(0);
+  geom.in_height = input_shape.dim(1);
+  geom.in_width = input_shape.dim(2);
+  geom.out_channels = input_shape.dim(0);
+  geom.kernel_h = size_;
+  geom.kernel_w = size_;
+  geom.stride = stride_;
+  geom.padding = 0;
+  auto conv = std::make_unique<Conv2DLayer>(geom);
+  // Depthwise averaging kernels: channel c averages only channel c.
+  const double w = 1.0 / static_cast<double>(size_ * size_);
+  for (int64_t oc = 0; oc < geom.out_channels; ++oc) {
+    for (int64_t ky = 0; ky < geom.kernel_h; ++ky) {
+      for (int64_t kx = 0; kx < geom.kernel_w; ++kx) {
+        conv->filters()[((oc * geom.in_channels + oc) * geom.kernel_h + ky) *
+                            geom.kernel_w +
+                        kx] = w;
+      }
+    }
+  }
+  std::vector<std::unique_ptr<Layer>> out;
+  out.push_back(std::move(conv));
+  out.push_back(std::make_unique<ReluLayer>());
+  return out;
+}
+
+Result<std::vector<std::unique_ptr<Layer>>>
+ScaledSigmoidLayer::DecomposeForDeployment(const Shape& input_shape) const {
+  PPS_RETURN_IF_ERROR(OutputShape(input_shape).status());
+  std::vector<std::unique_ptr<Layer>> out;
+  out.push_back(std::make_unique<ScalarScaleLayer>(alpha_));
+  out.push_back(std::make_unique<SigmoidLayer>());
+  return out;
+}
+
 }  // namespace ppstream

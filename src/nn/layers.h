@@ -189,6 +189,10 @@ class MaxPool2DLayer : public Layer {
   std::unique_ptr<Layer> Clone() const override {
     return std::make_unique<MaxPool2DLayer>(size_, stride_);
   }
+  /// The §III-C rewrite: a stride-`stride()` depthwise averaging
+  /// convolution followed by ReLU (usable without retraining).
+  Result<std::vector<std::unique_ptr<Layer>>> DecomposeForDeployment(
+      const Shape& input_shape) const override;
 
   int64_t size() const { return size_; }
   int64_t stride() const { return stride_; }
@@ -271,6 +275,9 @@ class ScaledSigmoidLayer : public Layer {
   std::unique_ptr<Layer> Clone() const override {
     return std::make_unique<ScaledSigmoidLayer>(alpha_);
   }
+  /// Mixed-layer decomposition: ScalarScale(alpha) + Sigmoid.
+  Result<std::vector<std::unique_ptr<Layer>>> DecomposeForDeployment(
+      const Shape& input_shape) const override;
 
   double alpha() const { return alpha_; }
 

@@ -74,34 +74,12 @@ Result<Model> Model::ReplaceMaxPooling() const {
   Shape shape = input_shape_;
   for (const auto& layer : layers_) {
     if (layer->kind() == LayerKind::kMaxPool2D) {
-      const auto* pool = static_cast<const MaxPool2DLayer*>(layer.get());
-      if (shape.rank() != 3) {
-        return Status::InvalidArgument("MaxPool input must be CHW");
+      // The §III-C rewrite lives on the layer itself now.
+      PPS_ASSIGN_OR_RETURN(auto replacements,
+                           layer->DecomposeForDeployment(shape));
+      for (auto& replacement : replacements) {
+        PPS_RETURN_IF_ERROR(out.Add(std::move(replacement)));
       }
-      Conv2DGeometry geom;
-      geom.in_channels = shape.dim(0);
-      geom.in_height = shape.dim(1);
-      geom.in_width = shape.dim(2);
-      geom.out_channels = shape.dim(0);
-      geom.kernel_h = pool->size();
-      geom.kernel_w = pool->size();
-      geom.stride = pool->stride();
-      geom.padding = 0;
-      auto conv = std::make_unique<Conv2DLayer>(geom);
-      // Depthwise averaging kernels: channel c averages only channel c.
-      const double w = 1.0 / static_cast<double>(pool->size() * pool->size());
-      for (int64_t oc = 0; oc < geom.out_channels; ++oc) {
-        for (int64_t ky = 0; ky < geom.kernel_h; ++ky) {
-          for (int64_t kx = 0; kx < geom.kernel_w; ++kx) {
-            conv->filters()[((oc * geom.in_channels + oc) * geom.kernel_h +
-                             ky) *
-                                geom.kernel_w +
-                            kx] = w;
-          }
-        }
-      }
-      PPS_RETURN_IF_ERROR(out.Add(std::move(conv)));
-      PPS_RETURN_IF_ERROR(out.Add(std::make_unique<ReluLayer>()));
     } else {
       PPS_RETURN_IF_ERROR(out.Add(layer->Clone()));
     }

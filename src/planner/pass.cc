@@ -1,0 +1,63 @@
+#include "planner/pass.h"
+
+#include <chrono>
+
+#include "obs/metrics.h"
+#include "util/logging.h"
+
+namespace ppstream {
+namespace planner {
+
+PassManager& PassManager::Add(std::unique_ptr<Pass> pass) {
+  passes_.push_back(std::move(pass));
+  return *this;
+}
+
+Status PassManager::Run(StageGraph* graph, PassObserver* observer) const {
+  auto& registry = obs::MetricsRegistry::Global();
+  obs::Counter* runs = registry.GetCounter("planner.pass.runs");
+
+  if (verify_each_) {
+    Status st = graph->Verify();
+    if (!st.ok()) {
+      return Status::Internal(internal::StrCat(
+          "IR invalid before the pipeline: ", st.message()));
+    }
+  }
+  if (observer != nullptr) observer->AfterPass("initial", *graph);
+
+  for (const auto& pass : passes_) {
+    const std::string pass_name = pass->name();
+    const auto start = std::chrono::steady_clock::now();
+    Status st = pass->Run(graph);
+    const double seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count();
+    registry.GetHistogram(
+                internal::StrCat("planner.pass.", pass_name, ".seconds"))
+        ->Record(seconds);
+    runs->Increment();
+    if (!st.ok()) {
+      return Status(st.code(), internal::StrCat("pass ", pass_name, ": ",
+                                                st.message()));
+    }
+    if (verify_each_) {
+      st = graph->Verify();
+      if (!st.ok()) {
+        return Status::Internal(internal::StrCat(
+            "pass ", pass_name, " left the IR invalid: ", st.message()));
+      }
+    }
+    if (observer != nullptr) observer->AfterPass(pass_name, *graph);
+  }
+
+  registry.GetGauge("planner.ir.nodes")
+      ->Set(static_cast<double>(graph->NumLiveNodes()));
+  registry.GetGauge("planner.ir.tensors")
+      ->Set(static_cast<double>(graph->NumLiveTensors()));
+  return Status::OK();
+}
+
+}  // namespace planner
+}  // namespace ppstream

@@ -1,0 +1,66 @@
+// Pass pipeline over the stage-graph IR.
+//
+// A Pass is a named graph-to-graph transform; the PassManager runs an
+// ordered pipeline, verifying the IR after every pass (a pass that leaves
+// the graph structurally broken fails compilation with its name attached,
+// instead of surfacing later as a corrupt plan) and exporting per-pass
+// telemetry through the obs registry:
+//
+//   planner.pass.<name>.seconds   histogram  wall time per run
+//   planner.pass.runs             counter    passes executed
+//   planner.ir.nodes / .tensors   gauge      live sizes after the pipeline
+//
+// An optional PassObserver sees the graph after each pass — tools/plan_dump
+// uses it for --pass-trace, and golden tests snapshot the dumps.
+
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "planner/ir.h"
+#include "util/status.h"
+
+namespace ppstream {
+namespace planner {
+
+class Pass {
+ public:
+  virtual ~Pass() = default;
+  /// Stable kebab-case identifier ("fuse-affine-chains"); used in error
+  /// messages, metric names and --pass-trace headers.
+  virtual std::string name() const = 0;
+  virtual Status Run(StageGraph* graph) = 0;
+};
+
+/// Hook into the pipeline; AfterPass also fires once with pass_name
+/// "initial" before any pass runs, so a trace shows the imported graph.
+class PassObserver {
+ public:
+  virtual ~PassObserver() = default;
+  virtual void AfterPass(const std::string& pass_name,
+                         const StageGraph& graph) = 0;
+};
+
+class PassManager {
+ public:
+  /// `verify_each` controls the post-pass IR verification (on by default;
+  /// tests switch it off to prove the verifier catches specific breaks).
+  explicit PassManager(bool verify_each = true) : verify_each_(verify_each) {}
+
+  PassManager& Add(std::unique_ptr<Pass> pass);
+
+  const std::vector<std::unique_ptr<Pass>>& passes() const { return passes_; }
+
+  /// Runs the pipeline in order. On failure the status message names the
+  /// offending pass. The input graph must already verify.
+  Status Run(StageGraph* graph, PassObserver* observer = nullptr) const;
+
+ private:
+  bool verify_each_;
+  std::vector<std::unique_ptr<Pass>> passes_;
+};
+
+}  // namespace planner
+}  // namespace ppstream

@@ -4,6 +4,7 @@
 
 #include <vector>
 
+#include "core/plan.h"
 #include "planner/allocation.h"
 #include "planner/profiler.h"
 #include "sim/cluster_sim.h"
@@ -15,6 +16,20 @@ namespace ppstream {
 std::vector<SimStageSpec> BuildSimStages(const PlanProfile& profile,
                                          const Allocation& allocation,
                                          double parallel_fraction = 0.97);
+
+/// Analytic variant for plans that have never run: derives the 2R stage
+/// costs from the compiled plan's IR statistics — homomorphic scalar-mul
+/// counts for linear stages, element counts for non-linear segments —
+/// so what-if simulation reflects fusion (fused plans cost fewer muls).
+/// Stage order is round-major (lin0, nonlin0, lin1, ...), matching
+/// planner::PlanPlacement; when the plan carries a solved placement its
+/// servers/threads are applied, otherwise everything runs single-threaded
+/// on server 0 (linear) / 1 (non-linear). `bytes_per_ciphertext` sizes
+/// inter-stage messages (128 B ~ a 512-bit-key Paillier ciphertext).
+Result<std::vector<SimStageSpec>> BuildSimStagesFromPlan(
+    const InferencePlan& plan, double seconds_per_scalar_mul,
+    double seconds_per_element, uint64_t bytes_per_ciphertext = 128,
+    double parallel_fraction = 0.97);
 
 /// Centralized single-thread variant of the same profile (for the
 /// CipherBase baseline).

@@ -171,7 +171,10 @@ TEST(PlanTest, SmallModelCompiles) {
 
 TEST(PlanTest, MixedLayerIsDecomposed) {
   Model model = ConvMixedModel(12);
-  auto plan = CompilePlan(model, 100);
+  // Without fusion, each primitive layer stays its own op.
+  CompileOptions unfused;
+  unfused.fusion = planner::FusionPolicy::kNever;
+  auto plan = CompilePlan(model, 100, unfused);
   ASSERT_TRUE(plan.ok()) << plan.status().ToString();
   // Stages: [Conv+BN] [ReLU] [Flatten+Dense+ScalarScale]? No — Flatten and
   // Dense follow ReLU, then ScaledSigmoid decomposes to ScalarScale +
@@ -184,6 +187,28 @@ TEST(PlanTest, MixedLayerIsDecomposed) {
   EXPECT_EQ(plan.value().linear_stages[0].output_scale_power, 3);
   // Flatten (power 0) + Dense + ScalarScale -> 1+0+1+1 = 3.
   EXPECT_EQ(plan.value().linear_stages[1].output_scale_power, 3);
+}
+
+TEST(PlanTest, FusionCollapsesLinearChains) {
+  Model model = ConvMixedModel(12);
+  // The default policy folds Conv*BatchNorm, Flatten*Dense*ScalarScale:
+  // none of these compositions adds scalar muls.
+  auto plan = CompilePlan(model, 100);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  EXPECT_EQ(plan.value().NumRounds(), 3u);
+  EXPECT_EQ(plan.value().linear_stages[0].ops.size(), 1u);
+  EXPECT_EQ(plan.value().linear_stages[1].ops.size(), 1u);
+  // Fusion never changes the arithmetic, so scale powers are untouched.
+  EXPECT_EQ(plan.value().linear_stages[0].output_scale_power, 3);
+  EXPECT_EQ(plan.value().linear_stages[1].output_scale_power, 3);
+  const auto& stats = plan.value().compile_stats;
+  EXPECT_EQ(stats.linear_ops_before_fusion, 6);
+  EXPECT_EQ(stats.linear_ops_after_fusion, 3);
+  EXPECT_EQ(stats.ops_fused, 3);
+  EXPECT_EQ(stats.dead_tensors_removed, 3);
+  EXPECT_LE(stats.scalar_muls_after_fusion, stats.scalar_muls_before_fusion);
+  // The prepared reference model still lists every primitive layer.
+  EXPECT_EQ(plan.value().prepared_model.NumLayers(), 9u);
 }
 
 TEST(PlanTest, MaxPoolIsRewritten) {

@@ -1,0 +1,397 @@
+// Tests for the stage-graph IR, the pass manager, and the optimizing
+// passes: structural verification, fused-vs-unfused bit-exactness on the
+// model zoo, randomized models through the verifier, placement, and the
+// post-pipeline key-size check.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/affine.h"
+#include "core/plan.h"
+#include "core/protocol.h"
+#include "nn/layers.h"
+#include "nn/model.h"
+#include "nn/model_zoo.h"
+#include "planner/ir.h"
+#include "planner/pass.h"
+#include "planner/passes.h"
+#include "util/rng.h"
+
+namespace ppstream {
+namespace {
+
+using planner::FusionPolicy;
+using planner::PassManager;
+using planner::StageGraph;
+
+DoubleTensor RandomTensor(const Shape& shape, uint64_t seed, double lo = -1,
+                          double hi = 1) {
+  Rng rng(seed);
+  DoubleTensor t(shape);
+  for (auto& v : t.data()) v = rng.NextUniform(lo, hi);
+  return t;
+}
+
+// Dense -> ReLU -> Dense -> SoftMax with seeded random weights.
+Model SmallModel(uint64_t seed, int64_t in = 4, int64_t hidden = 5,
+                 int64_t out = 3) {
+  Rng rng(seed);
+  Model model(Shape{in}, "small");
+  PPS_CHECK_OK(model.Add(DenseLayer::Random(in, hidden, rng)));
+  PPS_CHECK_OK(model.Add(std::make_unique<ReluLayer>()));
+  PPS_CHECK_OK(model.Add(DenseLayer::Random(hidden, out, rng)));
+  PPS_CHECK_OK(model.Add(std::make_unique<SoftmaxLayer>()));
+  return model;
+}
+
+// ------------------------------------------------------------ StageGraph
+
+TEST(StageGraphTest, FromModelBuildsVerifiableChain) {
+  Model model = SmallModel(3);
+  auto graph = StageGraph::FromModel(model, 100, 1.0);
+  ASSERT_TRUE(graph.ok()) << graph.status().ToString();
+  EXPECT_TRUE(graph->Verify().ok()) << graph->Verify().ToString();
+  EXPECT_EQ(graph->NumLiveNodes(), 4);
+  EXPECT_EQ(graph->NumLiveTensors(), 5);
+  auto order = graph->ChainOrder();
+  ASSERT_TRUE(order.ok());
+  EXPECT_EQ(order->size(), 4u);
+  // The dump names every node and returns the output tensor.
+  const std::string dump = graph->ToString();
+  EXPECT_NE(dump.find("graph small"), std::string::npos);
+  EXPECT_NE(dump.find("Dense"), std::string::npos);
+  EXPECT_NE(dump.find("return"), std::string::npos);
+}
+
+TEST(StageGraphTest, VerifierCatchesDeadOutputTensor) {
+  Model model = SmallModel(5);
+  auto graph = StageGraph::FromModel(model, 100, 1.0);
+  ASSERT_TRUE(graph.ok());
+  graph->tensor(graph->output()).live = false;
+  EXPECT_FALSE(graph->Verify().ok());
+}
+
+TEST(StageGraphTest, VerifierCatchesDefUseMismatch) {
+  Model model = SmallModel(7);
+  auto graph = StageGraph::FromModel(model, 100, 1.0);
+  ASSERT_TRUE(graph.ok());
+  // Claim node 0 writes the graph input: def/use symmetry breaks.
+  graph->node(0).output = graph->input();
+  EXPECT_FALSE(graph->Verify().ok());
+}
+
+TEST(StageGraphTest, VerifierCatchesBrokenChain) {
+  Model model = SmallModel(9);
+  auto graph = StageGraph::FromModel(model, 100, 1.0);
+  ASSERT_TRUE(graph.ok());
+  // Killing a middle node (without rewiring) disconnects the chain.
+  graph->node(1).live = false;
+  EXPECT_FALSE(graph->Verify().ok());
+}
+
+TEST(StageGraphTest, VerifierCatchesShapeMismatch) {
+  Model model = SmallModel(11);
+  auto graph = StageGraph::FromModel(model, 100, 1.0);
+  ASSERT_TRUE(graph.ok());
+  graph->tensor(graph->output()).shape = Shape{17};
+  EXPECT_FALSE(graph->Verify().ok());
+}
+
+// ------------------------------------------------------------ PassManager
+
+// A deliberately broken pass: kills the output tensor and reports success.
+class VandalPass : public planner::Pass {
+ public:
+  std::string name() const override { return "vandal"; }
+  Status Run(StageGraph* graph) override {
+    graph->tensor(graph->output()).live = false;
+    return Status();
+  }
+};
+
+TEST(PassManagerTest, CatchesPassThatLeavesIrInvalid) {
+  Model model = SmallModel(13);
+  auto graph = StageGraph::FromModel(model, 100, 1.0);
+  ASSERT_TRUE(graph.ok());
+  PassManager pm;
+  pm.Add(std::make_unique<VandalPass>());
+  Status st = pm.Run(&*graph, nullptr);
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kInternal);
+  EXPECT_NE(st.message().find("vandal"), std::string::npos);
+  EXPECT_NE(st.message().find("left the IR invalid"), std::string::npos);
+}
+
+TEST(PassManagerTest, ObserverSeesInitialAndEveryPass) {
+  Model model = SmallModel(15);
+  auto graph = StageGraph::FromModel(model, 100, 1.0);
+  ASSERT_TRUE(graph.ok());
+
+  class Recorder : public planner::PassObserver {
+   public:
+    void AfterPass(const std::string& name, const StageGraph&) override {
+      names.push_back(name);
+    }
+    std::vector<std::string> names;
+  } recorder;
+
+  PassManager pm;
+  pm.Add(planner::MakeRewriteMaxPoolPass())
+      .Add(planner::MakeClassifyPass());
+  ASSERT_TRUE(pm.Run(&*graph, &recorder).ok());
+  ASSERT_EQ(recorder.names.size(), 3u);
+  EXPECT_EQ(recorder.names[0], "initial");
+  EXPECT_EQ(recorder.names[1], "rewrite-maxpool");
+  EXPECT_EQ(recorder.names[2], "classify");
+}
+
+// ------------------------------------------------------------ Compose
+
+TEST(AffineComposeTest, RejectsScalePowerMismatch) {
+  ScalarScaleLayer a(0.5), b(2.0);
+  auto fa = IntegerAffineLayer::FromLayer(a, Shape{3}, 100, 1);
+  auto fb = IntegerAffineLayer::FromLayer(b, Shape{3}, 100, 1);
+  ASSERT_TRUE(fa.ok() && fb.ok());
+  // fa outputs power 2 but fb expects power-1 input: not composable.
+  EXPECT_FALSE(IntegerAffineLayer::Compose(*fa, *fb).ok());
+  // With the right continuity it composes, and muls don't grow.
+  auto fb2 = IntegerAffineLayer::FromLayer(b, Shape{3}, 100, 2);
+  ASSERT_TRUE(fb2.ok());
+  auto composed = IntegerAffineLayer::Compose(*fa, *fb2);
+  ASSERT_TRUE(composed.ok()) << composed.status().ToString();
+  EXPECT_EQ(composed->output_scale_power(), 3);
+  EXPECT_LE(composed->EncryptedScalarMuls(),
+            fa->EncryptedScalarMuls() + fb2->EncryptedScalarMuls());
+}
+
+TEST(AffineComposeTest, RejectsInt64WeightOverflow) {
+  // Two scalar scales of 2^40 at scale 2^40 compose to a 2^80 weight,
+  // which cannot be held in an int64 term: Compose must refuse (and the
+  // fusion pass then simply keeps the ops separate).
+  const double big = 1099511627776.0;  // 2^40
+  ScalarScaleLayer a(big), b(big);
+  auto fa = IntegerAffineLayer::FromLayer(a, Shape{2}, 1099511627776, 1);
+  auto fb = IntegerAffineLayer::FromLayer(b, Shape{2}, 1099511627776, 2);
+  ASSERT_TRUE(fa.ok() && fb.ok());
+  auto composed = IntegerAffineLayer::Compose(*fa, *fb);
+  ASSERT_FALSE(composed.ok());
+  EXPECT_EQ(composed.status().code(), StatusCode::kOutOfRange);
+}
+
+// ------------------------------------------------ fused-vs-unfused zoo
+
+// Compiles the model both ways and requires bit-identical scaled-plain
+// outputs on `trials` random inputs. Returns the two plans for further
+// inspection.
+struct PlanPair {
+  InferencePlan fused;
+  InferencePlan unfused;
+};
+
+PlanPair CompileBothWays(const Model& model, int64_t scale,
+                         const Shape& input_shape, int trials,
+                         uint64_t seed) {
+  CompileOptions fused_opts;
+  fused_opts.fusion = FusionPolicy::kScalarMulCount;
+  CompileOptions unfused_opts;
+  unfused_opts.fusion = FusionPolicy::kNever;
+  auto fused = CompilePlan(model, scale, fused_opts);
+  auto unfused = CompilePlan(model, scale, unfused_opts);
+  EXPECT_TRUE(fused.ok()) << fused.status().ToString();
+  EXPECT_TRUE(unfused.ok()) << unfused.status().ToString();
+  for (int t = 0; t < trials; ++t) {
+    DoubleTensor x = RandomTensor(input_shape, seed + t);
+    auto yf = RunScaledPlainInference(*fused, x);
+    auto yu = RunScaledPlainInference(*unfused, x);
+    EXPECT_TRUE(yf.ok() && yu.ok());
+    if (!yf.ok() || !yu.ok()) break;
+    EXPECT_EQ(yf->NumElements(), yu->NumElements());
+    for (int64_t i = 0; i < yf->NumElements(); ++i) {
+      // Bit-identical, not merely close: fusion composes the same
+      // integers exactly.
+      EXPECT_EQ((*yf)[i], (*yu)[i]) << "trial " << t << " element " << i;
+    }
+  }
+  return PlanPair{std::move(fused).value(), std::move(unfused).value()};
+}
+
+TEST(FusionTest, Mnist1FusedPlanIsBitIdenticalAndSmaller) {
+  auto model = MakeZooModel(ZooModelId::kMnist1, /*seed=*/21);
+  ASSERT_TRUE(model.ok());
+  PlanPair plans =
+      CompileBothWays(*model, 100, Shape{1, 28, 28}, /*trials=*/2, 900);
+  // Flatten+Dense folds: fewer linear ops, no more scalar muls.
+  const auto& stats = plans.fused.compile_stats;
+  EXPECT_GT(stats.ops_fused, 0);
+  EXPECT_LT(stats.linear_ops_after_fusion, stats.linear_ops_before_fusion);
+  EXPECT_LE(stats.scalar_muls_after_fusion, stats.scalar_muls_before_fusion);
+  EXPECT_GT(stats.dead_tensors_removed, 0);
+  // Rounds (the Figure 4 alternation) are preserved either way.
+  EXPECT_EQ(plans.fused.NumRounds(), plans.unfused.NumRounds());
+  // The prepared float model is reconstructed identically from fused IR.
+  EXPECT_EQ(plans.fused.prepared_model.NumLayers(),
+            plans.unfused.prepared_model.NumLayers());
+}
+
+TEST(FusionTest, Mnist2ConvModelIsBitIdentical) {
+  auto model = MakeZooModel(ZooModelId::kMnist2, /*seed=*/22);
+  ASSERT_TRUE(model.ok());
+  PlanPair plans =
+      CompileBothWays(*model, 100, Shape{1, 28, 28}, /*trials=*/1, 910);
+  EXPECT_GT(plans.fused.compile_stats.ops_fused, 0);
+}
+
+TEST(FusionTest, ZooAccuracyIsIdenticalFusedVsUnfused) {
+  // Table IV/V style accuracy on a small synthetic split must not move
+  // by a single sample when fusion is on.
+  for (ZooModelId id : {ZooModelId::kBreast, ZooModelId::kHeart}) {
+    DatasetSplit data = MakeZooDataset(id, /*size_scale=*/0.02, 77);
+    auto model = MakeTrainedZooModel(id, data.train, 78);
+    ASSERT_TRUE(model.ok()) << model.status().ToString();
+    CompileOptions fused_opts;
+    CompileOptions unfused_opts;
+    unfused_opts.fusion = FusionPolicy::kNever;
+    auto fused = CompilePlan(*model, 1000, fused_opts);
+    auto unfused = CompilePlan(*model, 1000, unfused_opts);
+    ASSERT_TRUE(fused.ok() && unfused.ok());
+    auto acc_fused = EvaluateScaledPlanAccuracy(*fused, data.test);
+    auto acc_unfused = EvaluateScaledPlanAccuracy(*unfused, data.test);
+    ASSERT_TRUE(acc_fused.ok() && acc_unfused.ok());
+    EXPECT_EQ(*acc_fused, *acc_unfused);
+  }
+}
+
+// Heart's 3FC uses the mixed ScaledSigmoid: its ScalarScale half fuses
+// into the preceding Dense, shrinking encrypted op count with bit-exact
+// outputs (the acceptance scenario).
+TEST(FusionTest, HeartScaledSigmoidChainFuses) {
+  auto model = MakeZooModel(ZooModelId::kHeart, /*seed=*/25);
+  ASSERT_TRUE(model.ok());
+  PlanPair plans = CompileBothWays(*model, 1000, Shape{13}, /*trials=*/3, 40);
+  const auto& stats = plans.fused.compile_stats;
+  EXPECT_GT(stats.ops_fused, 0);
+  // Dense+ScalarScale composition strictly reduces scalar muls (the
+  // scale taps disappear into the dense weights).
+  EXPECT_LT(stats.scalar_muls_after_fusion, stats.scalar_muls_before_fusion);
+  int64_t fused_ops = 0, unfused_ops = 0;
+  for (const auto& s : plans.fused.linear_stages) fused_ops += s.ops.size();
+  for (const auto& s : plans.unfused.linear_stages)
+    unfused_ops += s.ops.size();
+  EXPECT_LT(fused_ops, unfused_ops);
+}
+
+// ------------------------------------------------------------ fuzz
+
+// Random valid models (linear runs of random length, random activations)
+// must compile under every fusion policy with the per-pass verifier on,
+// and fused inference must stay bit-identical to unfused.
+TEST(FusionFuzzTest, RandomModelsCompileAndStayExact) {
+  for (uint64_t seed = 1; seed <= 12; ++seed) {
+    Rng rng(1000 + seed);
+    const int64_t features = 3 + static_cast<int64_t>(rng.NextBounded(5));
+    Model model(Shape{features}, "fuzz");
+    int64_t width = features;
+    const int rounds = 1 + static_cast<int>(rng.NextBounded(3));
+    for (int r = 0; r < rounds; ++r) {
+      const int linear_len = 1 + static_cast<int>(rng.NextBounded(3));
+      for (int l = 0; l < linear_len; ++l) {
+        switch (rng.NextBounded(3)) {
+          case 0: {
+            int64_t next = 2 + static_cast<int64_t>(rng.NextBounded(5));
+            PPS_CHECK_OK(model.Add(DenseLayer::Random(width, next, rng)));
+            width = next;
+            break;
+          }
+          case 1:
+            PPS_CHECK_OK(model.Add(std::make_unique<ScalarScaleLayer>(
+                0.25 + rng.NextDouble())));
+            break;
+          default:
+            PPS_CHECK_OK(model.Add(std::make_unique<FlattenLayer>()));
+            break;
+        }
+      }
+      const bool last = r == rounds - 1;
+      if (last) {
+        PPS_CHECK_OK(model.Add(std::make_unique<SoftmaxLayer>()));
+      } else if (rng.NextBounded(2) == 0) {
+        PPS_CHECK_OK(model.Add(std::make_unique<ReluLayer>()));
+      } else {
+        PPS_CHECK_OK(model.Add(std::make_unique<SigmoidLayer>()));
+      }
+    }
+
+    for (FusionPolicy policy :
+         {FusionPolicy::kScalarMulCount, FusionPolicy::kAlways}) {
+      CompileOptions opts;
+      opts.fusion = policy;
+      auto fused = CompilePlan(model, 100, opts);
+      ASSERT_TRUE(fused.ok())
+          << "seed " << seed << ": " << fused.status().ToString();
+      CompileOptions never;
+      never.fusion = FusionPolicy::kNever;
+      auto unfused = CompilePlan(model, 100, never);
+      ASSERT_TRUE(unfused.ok());
+      DoubleTensor x = RandomTensor(Shape{features}, 2000 + seed);
+      auto yf = RunScaledPlainInference(*fused, x);
+      auto yu = RunScaledPlainInference(*unfused, x);
+      ASSERT_TRUE(yf.ok() && yu.ok()) << "seed " << seed;
+      for (int64_t i = 0; i < yf->NumElements(); ++i) {
+        EXPECT_EQ((*yf)[i], (*yu)[i]) << "seed " << seed;
+      }
+    }
+  }
+}
+
+// ------------------------------------------------------------ placement
+
+TEST(PlacementTest, CompileWithPlacementAnnotatesEveryStage) {
+  auto model = MakeZooModel(ZooModelId::kMnist1, /*seed=*/31);
+  ASSERT_TRUE(model.ok());
+  CompileOptions opts;
+  planner::PlacementSpec spec;
+  spec.model_servers = 2;
+  spec.data_servers = 1;
+  spec.cores_per_server = 4;
+  opts.placement = spec;
+  auto plan = CompilePlan(*model, 100, opts);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  ASSERT_TRUE(plan->placement.has_value());
+  const auto& pl = *plan->placement;
+  const size_t stages = 2 * plan->NumRounds();
+  ASSERT_EQ(pl.server_of_stage.size(), stages);
+  ASSERT_EQ(pl.threads_of_stage.size(), stages);
+  for (size_t i = 0; i < stages; ++i) {
+    const bool linear = (i % 2) == 0;
+    // Model-provider servers come first: linear stages land on [0,2),
+    // non-linear segments on [2,3).
+    if (linear) {
+      EXPECT_GE(pl.server_of_stage[i], 0);
+      EXPECT_LT(pl.server_of_stage[i], 2);
+    } else {
+      EXPECT_EQ(pl.server_of_stage[i], 2);
+    }
+    EXPECT_GE(pl.threads_of_stage[i], 1);
+  }
+}
+
+// ------------------------------------------------------------ key check
+
+TEST(CheckFitsKeyTest, NamesTheOffendingStage) {
+  Model model = SmallModel(17);
+  auto plan = CompilePlan(model, 1000);
+  ASSERT_TRUE(plan.ok());
+  Status st = plan->CheckFitsKey(BigInt(1000));  // absurdly small modulus
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(st.message().find("stage '"), std::string::npos)
+      << st.ToString();
+  EXPECT_NE(st.message().find("key size"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ppstream

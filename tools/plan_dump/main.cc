@@ -1,0 +1,202 @@
+// plan_dump: prints the planner IR of a compiled model in a stable
+// textual format, optionally after every optimizer pass (--pass-trace).
+// The golden test compiles the deterministic hand-weighted "tiny" model
+// and diffs the trace against tools/plan_dump/golden/tiny_pass_trace.txt,
+// so any change to the IR printer, pass order, or pass behavior shows up
+// as a reviewable text diff.
+//
+// Usage:
+//   plan_dump --model tiny|Breast|Heart|...|MNIST-1|...
+//             [--scale N] [--fusion count|always|never] [--pass-trace]
+//             [--write-golden FILE | --check-golden FILE]
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/plan.h"
+#include "nn/layers.h"
+#include "nn/model.h"
+#include "nn/model_zoo.h"
+#include "planner/ir.h"
+#include "planner/pass.h"
+
+namespace ppstream {
+namespace {
+
+// Fixed-weight model exercising decomposition (ScaledSigmoid) and fusion
+// (Dense + ScalarScale). Hand-set weights keep the dump bit-stable across
+// platforms: no RNG, no libm in weight generation.
+Result<Model> MakeTinyModel() {
+  Model model(Shape({4}), "tiny");
+  auto d1 = std::make_unique<DenseLayer>(4, 3);
+  for (int64_t o = 0; o < 3; ++o) {
+    for (int64_t i = 0; i < 4; ++i) {
+      d1->weights().At({o, i}) = 0.25 * static_cast<double>(o - i);
+    }
+    d1->bias().At({o}) = 0.125 * static_cast<double>(o);
+  }
+  PPS_RETURN_IF_ERROR(model.Add(std::move(d1)));
+  PPS_RETURN_IF_ERROR(model.Add(std::make_unique<ScaledSigmoidLayer>(0.5)));
+  auto d2 = std::make_unique<DenseLayer>(3, 2);
+  for (int64_t o = 0; o < 2; ++o) {
+    for (int64_t i = 0; i < 3; ++i) {
+      d2->weights().At({o, i}) = 0.5 * static_cast<double>(i - o);
+    }
+    d2->bias().At({o}) = -0.25 * static_cast<double>(o);
+  }
+  PPS_RETURN_IF_ERROR(model.Add(std::move(d2)));
+  PPS_RETURN_IF_ERROR(model.Add(std::make_unique<SoftmaxLayer>()));
+  return model;
+}
+
+Result<Model> ResolveModel(const std::string& name) {
+  if (name == "tiny") return MakeTinyModel();
+  for (const ZooInfo& info : AllZooInfos()) {
+    if (name == info.dataset_name) return MakeZooModel(info.id, /*seed=*/7);
+  }
+  return Status::InvalidArgument("unknown model '" + name +
+                                 "'; use tiny or a zoo dataset name");
+}
+
+// Collects a dump after every pass; the PassManager fires "initial" first.
+class TraceCollector : public planner::PassObserver {
+ public:
+  void AfterPass(const std::string& pass_name,
+                 const planner::StageGraph& graph) override {
+    sections_.emplace_back(pass_name, graph.ToString());
+  }
+
+  std::string Render(bool pass_trace) const {
+    std::ostringstream out;
+    if (pass_trace) {
+      for (const auto& [name, dump] : sections_) {
+        out << "==== " << name << "\n" << dump;
+      }
+    } else if (!sections_.empty()) {
+      out << sections_.back().second;
+    }
+    return out.str();
+  }
+
+ private:
+  std::vector<std::pair<std::string, std::string>> sections_;
+};
+
+int Fail(const std::string& msg) {
+  std::fprintf(stderr, "plan_dump: %s\n", msg.c_str());
+  return 1;
+}
+
+int RunMain(int argc, char** argv) {
+  std::string model_name = "tiny";
+  std::string write_golden, check_golden;
+  int64_t scale = 100;
+  bool pass_trace = false;
+  CompileOptions options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--model") {
+      const char* v = next();
+      if (!v) return Fail("--model needs a value");
+      model_name = v;
+    } else if (arg == "--scale") {
+      const char* v = next();
+      if (!v) return Fail("--scale needs a value");
+      scale = std::atoll(v);
+    } else if (arg == "--fusion") {
+      const char* v = next();
+      if (!v) return Fail("--fusion needs count|always|never");
+      if (std::strcmp(v, "count") == 0) {
+        options.fusion = planner::FusionPolicy::kScalarMulCount;
+      } else if (std::strcmp(v, "always") == 0) {
+        options.fusion = planner::FusionPolicy::kAlways;
+      } else if (std::strcmp(v, "never") == 0) {
+        options.fusion = planner::FusionPolicy::kNever;
+      } else {
+        return Fail("--fusion needs count|always|never");
+      }
+    } else if (arg == "--pass-trace") {
+      pass_trace = true;
+    } else if (arg == "--write-golden") {
+      const char* v = next();
+      if (!v) return Fail("--write-golden needs a path");
+      write_golden = v;
+    } else if (arg == "--check-golden") {
+      const char* v = next();
+      if (!v) return Fail("--check-golden needs a path");
+      check_golden = v;
+    } else {
+      return Fail("unknown argument '" + arg + "'");
+    }
+  }
+
+  Result<Model> model = ResolveModel(model_name);
+  if (!model.ok()) return Fail(model.status().message());
+
+  TraceCollector trace;
+  options.pass_observer = &trace;
+  options.input_bound = 1.0;
+  Result<InferencePlan> plan = CompilePlan(*model, scale, options);
+  if (!plan.ok()) return Fail(plan.status().message());
+
+  const std::string text = trace.Render(pass_trace);
+  if (!write_golden.empty()) {
+    std::ofstream out(write_golden, std::ios::trunc);
+    if (!out) return Fail("cannot write " + write_golden);
+    out << text;
+    std::fprintf(stderr, "plan_dump: wrote %zu bytes to %s\n", text.size(),
+                 write_golden.c_str());
+    return 0;
+  }
+  if (!check_golden.empty()) {
+    std::ifstream in(check_golden);
+    if (!in) return Fail("cannot read " + check_golden);
+    std::stringstream buf;
+    buf << in.rdbuf();
+    const std::string want = buf.str();
+    if (want == text) {
+      std::fprintf(stderr, "plan_dump: %s matches (%zu bytes)\n",
+                   check_golden.c_str(), text.size());
+      return 0;
+    }
+    // Report the first differing line so CI logs are actionable.
+    std::istringstream got_lines(text), want_lines(want);
+    std::string g, w;
+    int line = 0;
+    while (true) {
+      ++line;
+      const bool has_g = static_cast<bool>(std::getline(got_lines, g));
+      const bool has_w = static_cast<bool>(std::getline(want_lines, w));
+      if (!has_g && !has_w) break;
+      if (!has_g || !has_w || g != w) {
+        std::fprintf(stderr,
+                     "plan_dump: golden mismatch at line %d\n"
+                     "  want: %s\n  got:  %s\n",
+                     line, has_w ? w.c_str() : "<eof>",
+                     has_g ? g.c_str() : "<eof>");
+        break;
+      }
+    }
+    std::fprintf(stderr,
+                 "plan_dump: regenerate with --write-golden %s if the "
+                 "change is intentional\n",
+                 check_golden.c_str());
+    return 1;
+  }
+  std::fwrite(text.data(), 1, text.size(), stdout);
+  return 0;
+}
+
+}  // namespace
+}  // namespace ppstream
+
+int main(int argc, char** argv) { return ppstream::RunMain(argc, argv); }
