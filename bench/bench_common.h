@@ -105,7 +105,8 @@ struct ProtocolSetup {
 };
 
 inline ProtocolSetup Setup(const Model& model, int64_t scale, int key_bits,
-                           uint64_t seed = 1) {
+                           uint64_t seed = 1,
+                           DataProvider::Options dp_options = {}) {
   auto plan_or = CompilePlan(model, scale);
   PPS_CHECK_OK(plan_or.status());
   auto plan = std::make_shared<InferencePlan>(std::move(plan_or).value());
@@ -114,7 +115,7 @@ inline ProtocolSetup Setup(const Model& model, int64_t scale, int key_bits,
   return ProtocolSetup{
       plan,
       std::make_shared<ModelProvider>(plan, keys.public_key, seed),
-      std::make_shared<DataProvider>(plan, keys, seed + 1)};
+      std::make_shared<DataProvider>(plan, keys, seed + 1, dp_options)};
 }
 
 /// The paper's testbed constants (§VI-A): nine servers, 24-core Xeons,

@@ -7,7 +7,14 @@
 //   * the selection rule (0.01% threshold on the training set, f <= 6)
 //     picks a factor whose TEST accuracy matches the unscaled model.
 
+// The compressed-variant table extends Exp#1 to the packing path's
+// compression lever: per model, magnitude pruning and k-bit weight
+// quantization (nn/compress.h) with the accuracy delta re-checked the
+// same way — the deltas must stay bounded, since every distinct weight
+// value removed is a homomorphic scalar-mul saved per packed row.
+
 #include "bench/bench_common.h"
+#include "nn/compress.h"
 
 using namespace ppstream;
 using namespace ppstream::bench;
@@ -21,8 +28,20 @@ int main() {
     std::vector<double> test_acc;
     double train_orig, test_orig;
     int selected_f;
+    // Compressed variants (prune 0.3 / 5-bit quant / both), test set.
+    std::vector<double> comp_acc;
+    std::vector<double> comp_distinct_ratio;  // distinct values kept
   };
   std::vector<Row> rows;
+
+  const struct {
+    const char* label;
+    CompressionSpec spec;
+  } kVariants[] = {
+      {"prune30", {0.3, 0}},
+      {"quant5b", {0.0, 5}},
+      {"both", {0.3, 5}},
+  };
 
   for (const ZooInfo& info : AllZooInfos()) {
     TrainedEntry entry = Train(info.id);
@@ -49,6 +68,20 @@ int main() {
     auto selection = SelectScalingFactor(entry.model, entry.data.train);
     PPS_CHECK_OK(selection.status());
     row.selected_f = selection.value().f;
+
+    for (const auto& variant : kVariants) {
+      CompressionReport report;
+      auto compressed = CompressModel(entry.model, variant.spec, &report);
+      PPS_CHECK_OK(compressed.status());
+      auto acc = EvaluateAccuracy(compressed.value(), entry.data.test);
+      PPS_CHECK_OK(acc.status());
+      row.comp_acc.push_back(acc.value());
+      row.comp_distinct_ratio.push_back(
+          report.distinct_before == 0
+              ? 1.0
+              : static_cast<double>(report.distinct_after) /
+                    static_cast<double>(report.distinct_before));
+    }
     rows.push_back(std::move(row));
     std::printf("trained %s\n", info.dataset_name);
   }
@@ -73,8 +106,36 @@ int main() {
   print_table("Table IV: accuracy (%) on the TRAINING set", true);
   print_table("Table V: accuracy (%) on the TESTING set", false);
 
+  std::printf("\nCompressed variants: TEST accuracy (%%) and distinct weight "
+              "values kept\n");
+  std::printf("%-12s %7s", "Model", "Orig.");
+  for (const auto& variant : kVariants) {
+    std::printf(" %9s %6s", variant.label, "kept");
+  }
+  std::printf("\n");
+  PrintRule();
+  double worst_delta = 0;
+  for (const Row& row : rows) {
+    std::printf("%-12s %7.2f", row.name, 100 * row.test_orig);
+    for (size_t v = 0; v < row.comp_acc.size(); ++v) {
+      std::printf(" %9.2f %5.1f%%", 100 * row.comp_acc[v],
+                  100 * row.comp_distinct_ratio[v]);
+      worst_delta = std::max(worst_delta, row.test_orig - row.comp_acc[v]);
+    }
+    std::printf("\n");
+  }
+  std::printf("\nworst compressed-variant test accuracy drop: %.2f%%\n",
+              100 * worst_delta);
+  // Bounded-delta shape check: moderate pruning + 5-bit quantization must
+  // not collapse any model toward chance.
+  PPS_CHECK(worst_delta < 0.20)
+      << "a compressed variant lost " << 100 * worst_delta
+      << "% test accuracy; compression defaults are too aggressive";
+
   std::printf("\nshape checks: low-F accuracy collapses toward chance; "
               "accuracy is monotone-ish in F;\nthe selected factor's test "
-              "accuracy equals the original (rightmost column).\n");
+              "accuracy equals the original (rightmost column);\ncompressed "
+              "variants (packing's group-mul lever) stay within a bounded "
+              "accuracy delta.\n");
   return 0;
 }

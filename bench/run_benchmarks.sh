@@ -136,6 +136,13 @@ lint_prom() {
 # exposition must carry the planner families (pps_planner_pass_runs,
 # pps_planner_ir_{nodes,tensors}, pps_planner_fuse_ops_fused,
 # pps_planner_dce_tensors_removed, per-pass seconds histograms).
+# Its packing probe runs the packed-ciphertext path and the compression
+# pass, so the packing codec, packed-kernel, packing-pass, and
+# quantization families must be live too:
+#   pps_crypto_pack_{packs,unpacks,hom_adds}       codec + kernel fold ops
+#   pps_planner_pack_{rounds_packed,rounds_fallback,kernels_lowered}
+#   pps_nn_quant_{weights_pruned,layers_compressed} compression pass
+#   pps_nn_quant_distinct_values_{before,after}     group-mul lever
 # The chaos bench exposition must additionally carry the families only a
 # session-serving + fault-injected process produces:
 #   pps_net_session_{created,resumed,lost,evicted,active} session lifecycle
@@ -158,7 +165,12 @@ require_families "$PROM_OUT" \
   pps_net_inference_restarts pps_net_pings \
   pps_planner_pass_runs pps_planner_ir_nodes pps_planner_ir_tensors \
   pps_planner_fuse_ops_fused pps_planner_dce_tensors_removed \
-  pps_planner_pass_fuse_affine_chains_seconds
+  pps_planner_pass_fuse_affine_chains_seconds \
+  pps_crypto_pack_packs pps_crypto_pack_unpacks pps_crypto_pack_hom_adds \
+  pps_planner_pack_rounds_packed pps_planner_pack_rounds_fallback \
+  pps_planner_pack_kernels_lowered \
+  pps_nn_quant_weights_pruned pps_nn_quant_layers_compressed \
+  pps_nn_quant_distinct_values_before pps_nn_quant_distinct_values_after
 require_families "$CHAOS_PROM" \
   pps_net_reconnects pps_net_reconnect_seconds pps_net_exchange_attempts \
   pps_net_inference_restarts pps_net_pings \

@@ -486,6 +486,147 @@ int64_t IntegerAffineLayer::EncryptedScalarMuls() const {
   return total;
 }
 
+Result<PackedAffineKernel> PackedAffineKernel::Build(
+    const IntegerAffineLayer& layer, const PackedLayout& layout,
+    const BigInt& input_magnitude_bound) {
+  PPS_RETURN_IF_ERROR(layout.Validate());
+  // One bound covers every accumulation point: partial sums of
+  // sum_t w_t x_t + b are bounded by the full row's magnitude bound
+  // (sum of |w_t| * bound + |b|), so checking the worst row suffices.
+  const BigInt worst = layer.OutputMagnitudeBound(input_magnitude_bound);
+  if (worst > layout.SlotCapacity()) {
+    return Status::OutOfRange(internal::StrCat(
+        layer.name(), ": output bound of ", worst.BitLength(),
+        " bits overflows a ", layout.slot_bits, "-bit packed slot"));
+  }
+  PPS_RETURN_IF_ERROR(CheckSlotFits(layout, input_magnitude_bound));
+
+  PackedAffineKernel kernel;
+  kernel.layout_ = layout;
+  kernel.num_inputs_ =
+      static_cast<size_t>(layer.input_shape().NumElements());
+  const BigInt replicate = layout.ReplicationConstant();
+  kernel.rows_.reserve(layer.rows().size());
+  std::map<int64_t, std::vector<uint32_t>> by_weight;
+  for (const AffineRow& row : layer.rows()) {
+    PackedRowPlan plan;
+    if (row.terms.size() == 1 && row.terms[0].weight == 1 &&
+        row.bias.IsZero()) {
+      plan.identity = true;
+      plan.identity_input = row.terms[0].input_index;
+      kernel.rows_.push_back(std::move(plan));
+      continue;
+    }
+    by_weight.clear();
+    for (const AffineTerm& t : row.terms) {
+      if (t.weight == 0) continue;
+      by_weight[t.weight].push_back(t.input_index);
+    }
+    plan.groups.reserve(by_weight.size());
+    for (auto& [weight, inputs] : by_weight) {
+      plan.groups.push_back({weight, std::move(inputs)});
+    }
+    if (!row.bias.IsZero()) plan.packed_bias = row.bias * replicate;
+    kernel.rows_.push_back(std::move(plan));
+  }
+  return kernel;
+}
+
+int64_t PackedAffineKernel::GroupScalarMuls() const {
+  int64_t total = 0;
+  for (const PackedRowPlan& row : rows_) {
+    total += static_cast<int64_t>(row.groups.size());
+  }
+  return total;
+}
+
+Result<std::vector<Ciphertext>> PackedAffineKernel::ApplyEncryptedRowsPacked(
+    const PaillierPublicKey& pk, const std::vector<Ciphertext>& in,
+    size_t row_begin, size_t row_end, const EncryptedStageCache* cache) const {
+  if (in.size() != num_inputs_) {
+    return Status::InvalidArgument(
+        internal::StrCat("packed input has ", in.size(), " words, expected ",
+                         num_inputs_));
+  }
+  if (row_begin > row_end || row_end > rows_.size()) {
+    return Status::OutOfRange("row slice out of range");
+  }
+  const MontgomeryContext& ctx = pk.ctx_n2();
+  ResidentInputs resident(ctx, in);
+
+  std::vector<Ciphertext> out;
+  out.reserve(row_end - row_begin);
+  // A group pays one weight application (counted under crypto.scalar_muls,
+  // same semantics as the scalar path) after |group|-1 ciphertext
+  // multiplications that fold its members together (crypto.pack.hom_adds).
+  static obs::Counter* scalar_muls =
+      obs::MetricsRegistry::Global().GetCounter("crypto.scalar_muls");
+  static obs::Counter* hom_adds =
+      obs::MetricsRegistry::Global().GetCounter("crypto.pack.hom_adds");
+  uint64_t muls_applied = 0, adds_applied = 0;
+  MontgomeryContext::MontValue acc, gacc, term;
+  for (size_t j = row_begin; j < row_end; ++j) {
+    const PackedRowPlan& row = rows_[j];
+    if (row.identity) {
+      out.push_back(in[row.identity_input]);
+      continue;
+    }
+    acc = ctx.OneMont();  // E(0) with r = 1
+    for (const PackedWeightGroup& group : row.groups) {
+      ++muls_applied;
+      const int64_t mag = group.weight < 0 ? -group.weight : group.weight;
+      const bool negative = group.weight < 0;
+      // Singleton groups with a cached fixed-base table skip the fold and
+      // the resident conversion entirely.
+      const FixedBaseExp* base =
+          (group.inputs.size() == 1 && cache != nullptr &&
+           group.inputs[0] < cache->bases.size())
+              ? cache->bases[group.inputs[0]].get()
+              : nullptr;
+      if (base != nullptr) {
+        PPS_RETURN_IF_ERROR(base->PowMont(BigInt(group.weight), &term));
+        ctx.MulMont(acc, term, &acc);
+        continue;
+      }
+      // Fold the group: E(sum of members), slot-parallel across lanes.
+      // Negative weights fold inverses so gacc^|w| = (prod c_i)^w.
+      bool first = true;
+      for (uint32_t input : group.inputs) {
+        const MontgomeryContext::MontValue* value;
+        if (negative) {
+          PPS_ASSIGN_OR_RETURN(value, resident.Inverse(input));
+        } else {
+          value = &resident.Mont(input);
+        }
+        if (first) {
+          gacc = *value;
+          first = false;
+        } else {
+          ctx.MulMont(gacc, *value, &gacc);
+          ++adds_applied;
+        }
+      }
+      if (mag == 1) {
+        ctx.MulMont(acc, gacc, &acc);
+      } else {
+        ctx.ExpMont(gacc, BigInt(mag), &term);
+        ctx.MulMont(acc, term, &acc);
+      }
+    }
+    if (!row.packed_bias.IsZero()) {
+      PPS_ASSIGN_OR_RETURN(
+          MontCiphertext with_bias,
+          Paillier::AddPlainMont(pk, MontCiphertext{std::move(acc)},
+                                 row.packed_bias));
+      acc = std::move(with_bias.m);
+    }
+    out.push_back(Ciphertext{ctx.FromMontgomery(acc)});
+  }
+  if (muls_applied != 0) scalar_muls->Increment(muls_applied);
+  if (adds_applied != 0) hom_adds->Increment(adds_applied);
+  return out;
+}
+
 Result<IntegerAffineLayer> IntegerAffineLayer::Compose(
     const IntegerAffineLayer& first, const IntegerAffineLayer& second) {
   if (first.out_shape_.NumElements() != second.in_shape_.NumElements()) {

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "bignum/bigint.h"
+#include "crypto/packing.h"
 #include "crypto/paillier.h"
 #include "nn/layer.h"
 #include "tensor/tensor.h"
@@ -147,6 +148,60 @@ class IntegerAffineLayer {
   std::string name_;
   int weight_scale_power_ = 1;
   int input_scale_power_ = 1;
+};
+
+/// One distinct nonzero quantized weight value of a row and every input
+/// slot sharing it. The packed kernel multiplies the group's ciphertexts
+/// together (slot-wise hom-adds) and applies the weight ONCE to the
+/// product — one scalar-mul per (row, distinct weight value) instead of
+/// one per term, which is where pruning/quantization pays off (Popcorn).
+struct PackedWeightGroup {
+  int64_t weight;
+  std::vector<uint32_t> inputs;
+};
+
+/// Execution plan for one output row over packed inputs.
+struct PackedRowPlan {
+  bool identity = false;       // single weight-1 term, zero bias: forward
+  uint32_t identity_input = 0;
+  std::vector<PackedWeightGroup> groups;  // sorted by weight, deterministic
+  BigInt packed_bias;  // row bias replicated into every lane's slot
+};
+
+/// A linear layer lowered for packed-ciphertext evaluation (DESIGN.md §13).
+/// Input word t carries tensor element t for `layout.lanes` inference
+/// lanes; the same row arithmetic then lands slot-parallel in all lanes.
+class PackedAffineKernel {
+ public:
+  /// Groups the layer's rows by distinct weight value and pre-replicates
+  /// biases. Fails (kOutOfRange) if the layer's worst-case output for
+  /// `input_magnitude_bound` — which also bounds every partial sum the
+  /// evaluation can form — does not fit the layout's slot capacity.
+  static Result<PackedAffineKernel> Build(const IntegerAffineLayer& layer,
+                                          const PackedLayout& layout,
+                                          const BigInt& input_magnitude_bound);
+
+  const PackedLayout& layout() const { return layout_; }
+  const std::vector<PackedRowPlan>& rows() const { return rows_; }
+  size_t num_inputs() const { return num_inputs_; }
+
+  /// Scalar-muls one evaluation pays: one per non-identity (row, group).
+  int64_t GroupScalarMuls() const;
+
+  /// Homomorphic evaluation over packed words (same slicing contract as
+  /// ApplyEncryptedRows; `cache` tables must be built on this exact `in`).
+  /// Per-lane decoded outputs are bit-exact with the scalar path because
+  /// ciphertext multiplication is commutative and slot arithmetic never
+  /// overflows (guaranteed by the Build-time bound check).
+  Result<std::vector<Ciphertext>> ApplyEncryptedRowsPacked(
+      const PaillierPublicKey& pk, const std::vector<Ciphertext>& in,
+      size_t row_begin, size_t row_end,
+      const EncryptedStageCache* cache = nullptr) const;
+
+ private:
+  PackedLayout layout_;
+  std::vector<PackedRowPlan> rows_;
+  size_t num_inputs_ = 0;
 };
 
 }  // namespace ppstream

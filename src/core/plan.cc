@@ -17,6 +17,17 @@ const BigInt& InferencePlan::MaxMagnitude() const {
   return *max;
 }
 
+int64_t InferencePlan::PackedBatchLanes() const {
+  int64_t lanes = 0;
+  for (const LinearStage& stage : linear_stages) {
+    if (!stage.packed_layout.has_value()) continue;
+    if (lanes == 0 || stage.packed_layout->lanes < lanes) {
+      lanes = stage.packed_layout->lanes;
+    }
+  }
+  return lanes;
+}
+
 int64_t InferencePlan::EncryptionsPerRequest() const {
   int64_t total = input_shape.NumElements();
   // Every non-final stage output comes back re-encrypted.
@@ -70,6 +81,10 @@ void InferencePlan::SerializeDataProviderView(BufferWriter* out) const {
     out->WriteI64(stage.output_scale_power);
     WriteShape(out, stage.input_shape);
     WriteShape(out, stage.output_shape);
+    out->WriteU8(stage.packed_layout.has_value() ? 1 : 0);
+    if (stage.packed_layout.has_value()) {
+      stage.packed_layout->Serialize(out);
+    }
     const NonLinearSegment& segment = nonlinear_segments[r];
     out->WriteU8(segment.is_final ? 1 : 0);
     out->WriteString(segment.name);
@@ -100,6 +115,13 @@ Result<InferencePlan> InferencePlan::DeserializeDataProviderView(
     PPS_ASSIGN_OR_RETURN(stage.input_shape, ReadShape(in));
     PPS_ASSIGN_OR_RETURN(stage.output_shape, ReadShape(in));
     stage.name = "view";
+    PPS_ASSIGN_OR_RETURN(uint8_t has_packed, in->ReadU8());
+    if (has_packed > 1) return Status::OutOfRange("bad packed-layout flag");
+    if (has_packed != 0) {
+      PPS_ASSIGN_OR_RETURN(PackedLayout layout,
+                           PackedLayout::Deserialize(in));
+      stage.packed_layout = layout;
+    }
     plan.linear_stages.push_back(std::move(stage));
 
     NonLinearSegment segment;
@@ -166,10 +188,21 @@ Result<InferencePlan> EmitPlan(const planner::StageGraph& graph) {
       if (!stage.name.empty()) stage.name += "+";
       stage.name += n.name;
       stage.ops.push_back(*n.affine);
+      if (n.packed_kernel.has_value()) {
+        stage.packed_kernels.push_back(*n.packed_kernel);
+      }
       ++i;
     }
     if (stage.ops.empty()) {
       return Status::Internal("empty linear stage during emission");
+    }
+    // A stage is packed only when EVERY op in the round lowered packed
+    // (the analyze pass annotates whole rounds, so this is all-or-none).
+    if (stage.packed_kernels.size() == stage.ops.size() &&
+        !stage.packed_kernels.empty()) {
+      stage.packed_layout = stage.packed_kernels.front().layout();
+    } else {
+      stage.packed_kernels.clear();
     }
     plan.linear_stages.push_back(std::move(stage));
 
@@ -231,6 +264,11 @@ Result<InferencePlan> CompilePlan(const Model& model, int64_t scale,
       .Add(planner::MakeDeadTensorElimPass(&stats))
       .Add(planner::MakeMergeAdjacentPass())
       .Add(planner::MakeVerifyBoundsPass());
+  if (options.packing.has_value()) {
+    pipeline.Add(
+        planner::MakeAnalyzePackingLegalityPass(*options.packing, &stats));
+    pipeline.Add(planner::MakeLowerToPackedKernelsPass(&stats));
+  }
   if (options.placement.has_value()) {
     pipeline.Add(planner::MakePlacementPass(*options.placement, &placement));
   }

@@ -39,6 +39,13 @@ struct LinearStage {
   /// Worst-case |integer value| this stage can emit (for key sizing).
   BigInt magnitude_bound;
   std::string name;
+  /// Slot layout covering this round's input and every op output, when
+  /// the packing passes found one (DESIGN.md §13). Absent = scalar round.
+  /// Present on data-provider views so both parties pack identically.
+  std::optional<PackedLayout> packed_layout;
+  /// Weight-value-dedup kernels, one per op, iff packed_layout is set.
+  /// Model-provider side only (kernels derive from weights).
+  std::vector<PackedAffineKernel> packed_kernels;
 };
 
 /// One merged non-linear primitive layer — a pipeline stage at the data
@@ -89,6 +96,11 @@ struct InferencePlan {
   /// Largest magnitude bound across stages; must stay below n/2.
   const BigInt& MaxMagnitude() const;
 
+  /// Lanes a packed batch can carry end to end: the minimum `lanes` over
+  /// packed stages (every lane must survive the narrowest round), or 0
+  /// when no stage packs. Readable on a data-provider view.
+  int64_t PackedBatchLanes() const;
+
   /// Verifies the plan fits a key with the given modulus. The bounds it
   /// checks are recomputed by the verify-bounds pass *after* every other
   /// pass has run (so no transform can silently invalidate them) and each
@@ -112,6 +124,10 @@ struct CompileOptions {
   /// When set, the placement pass solves Eq. 4-8 over the merged rounds
   /// and the result lands in InferencePlan::placement.
   std::optional<planner::PlacementSpec> placement;
+  /// When set, the packing passes choose per-round slot layouts and lower
+  /// weight-value-dedup packed kernels (DESIGN.md §13). Plans become
+  /// key-size specific: spec.key_bits must match the deployment key.
+  std::optional<planner::PackingSpec> packing;
   /// Sees the IR after every pass (tools/plan_dump --pass-trace). Not
   /// owned; must outlive the CompilePlan call.
   planner::PassObserver* pass_observer = nullptr;

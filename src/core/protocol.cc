@@ -6,6 +6,7 @@
 
 #include "core/fixed_point.h"
 #include "core/partition.h"
+#include "crypto/packing.h"
 #include "nn/dataset.h"
 #include "obs/trace.h"
 #include "tensor/ops.h"
@@ -21,6 +22,21 @@ Status ProbeFault(const std::shared_ptr<FaultInjector>& fault,
                   std::string_view site) {
   if (fault == nullptr) return Status::OK();
   return fault->Fail(site);
+}
+
+/// Expands an element-level permutation to an interleaved scalar wire:
+/// block p (the `lanes` consecutive positions of element p) moves as one
+/// unit to block perm(p), so lanes never mix under obfuscation.
+Result<Permutation> ExpandBlockwise(const Permutation& perm, int64_t lanes) {
+  std::vector<uint32_t> mapping(perm.size() * static_cast<size_t>(lanes));
+  for (size_t p = 0; p < perm.size(); ++p) {
+    for (int64_t i = 0; i < lanes; ++i) {
+      mapping[p * static_cast<size_t>(lanes) + static_cast<size_t>(i)] =
+          perm.MapIndex(p) * static_cast<uint32_t>(lanes) +
+          static_cast<uint32_t>(i);
+    }
+  }
+  return Permutation::FromMapping(std::move(mapping));
 }
 
 }  // namespace
@@ -146,6 +162,156 @@ Result<std::vector<Ciphertext>> ModelProvider::ProcessRound(
   return current;
 }
 
+Result<std::vector<Ciphertext>> ModelProvider::ApplyLinearStagePacked(
+    size_t round, const std::vector<Ciphertext>& in, int64_t lanes,
+    ThreadPool* pool) {
+  if (round >= plan_->linear_stages.size()) {
+    return Status::OutOfRange("linear stage index out of range");
+  }
+  if (lanes < 1) return Status::InvalidArgument("lanes must be >= 1");
+  const LinearStage& stage = plan_->linear_stages[round];
+
+  if (!stage.packed_layout.has_value()) {
+    // Scalar fallback: de-interleave the lanes, run the scalar stage per
+    // lane, re-interleave element-major. Pays the full per-lane price —
+    // exactly `lanes` independent scalar stage evaluations.
+    if (in.size() % static_cast<size_t>(lanes) != 0) {
+      return Status::ProtocolError(
+          "interleaved tensor size is not a multiple of the lane count");
+    }
+    const size_t elements = in.size() / static_cast<size_t>(lanes);
+    std::vector<Ciphertext> out;
+    for (int64_t lane = 0; lane < lanes; ++lane) {
+      std::vector<Ciphertext> lane_in;
+      lane_in.reserve(elements);
+      for (size_t p = 0; p < elements; ++p) {
+        lane_in.push_back(in[p * static_cast<size_t>(lanes) +
+                             static_cast<size_t>(lane)]);
+      }
+      PPS_ASSIGN_OR_RETURN(std::vector<Ciphertext> lane_out,
+                           ApplyLinearStage(round, lane_in, pool));
+      if (lane == 0) {
+        out.resize(lane_out.size() * static_cast<size_t>(lanes));
+      }
+      for (size_t p = 0; p < lane_out.size(); ++p) {
+        out[p * static_cast<size_t>(lanes) + static_cast<size_t>(lane)] =
+            std::move(lane_out[p]);
+      }
+    }
+    return out;
+  }
+
+  PPS_RETURN_IF_ERROR(ProbeFault(fault_, "mp.ApplyLinearStage"));
+  if (lanes > stage.packed_layout->lanes) {
+    return Status::InvalidArgument("batch exceeds the stage's lane count");
+  }
+  if (stage.packed_kernels.size() != stage.ops.size()) {
+    return Status::Internal(
+        "packed stage is missing its lowered kernels");
+  }
+  std::vector<Ciphertext> current = in;
+  for (size_t k = 0; k < stage.ops.size(); ++k) {
+    // The fixed-base tables key off input fan-out, which is a property of
+    // the op's term structure — identical for packed words and scalars.
+    Result<EncryptedStageCache> cache_result = [&] {
+      obs::ScopedSpan cache_span("crypto.stage_cache_build", "crypto");
+      return stage.ops[k].BuildEncryptedStageCache(pk_, current, pool);
+    }();
+    PPS_ASSIGN_OR_RETURN(EncryptedStageCache cache, std::move(cache_result));
+    obs::ScopedSpan mul_span("crypto.scalar_mul_batch", "crypto");
+    const PackedAffineKernel& kernel = stage.packed_kernels[k];
+    PPS_ASSIGN_OR_RETURN(
+        current, kernel.ApplyEncryptedRowsPacked(pk_, current, 0,
+                                                 kernel.rows().size(),
+                                                 &cache));
+  }
+  return current;
+}
+
+Result<std::vector<Ciphertext>> ModelProvider::ObfuscatePackedBatch(
+    uint64_t request_id, size_t round, std::vector<Ciphertext> in,
+    int64_t lanes) {
+  obs::ScopedSpan span("obfuscate", "obf", request_id);
+  PPS_RETURN_IF_ERROR(ProbeFault(fault_, "mp.Obfuscate"));
+  if (rerand_pool_ != nullptr) {
+    for (Ciphertext& c : in) {
+      c = rerand_pool_->Rerandomize(c);
+    }
+  }
+  const LinearStage& stage = plan_->linear_stages[round];
+  const bool packed_round = stage.packed_layout.has_value();
+  if (!packed_round && in.size() % static_cast<size_t>(lanes) != 0) {
+    return Status::ProtocolError(
+        "interleaved tensor size is not a multiple of the lane count");
+  }
+  const size_t elements =
+      packed_round ? in.size() : in.size() / static_cast<size_t>(lanes);
+  // Always store the ELEMENT-level permutation: the representation may
+  // change between this round's output and the next round's input (the
+  // data provider re-packs), and the element permutation converts to
+  // either granularity.
+  Permutation perm;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    perm = Permutation::Random(elements, obf_rng_);
+    permutations_[{request_id, round}] = perm;
+  }
+  if (packed_round) return perm.Apply(in);
+  PPS_ASSIGN_OR_RETURN(Permutation expanded, ExpandBlockwise(perm, lanes));
+  return expanded.Apply(in);
+}
+
+Result<std::vector<Ciphertext>> ModelProvider::InverseObfuscatePackedBatch(
+    uint64_t request_id, size_t round, std::vector<Ciphertext> in,
+    int64_t lanes) {
+  obs::ScopedSpan span("inverse_obfuscate", "obf", request_id);
+  PPS_RETURN_IF_ERROR(ProbeFault(fault_, "mp.InverseObfuscate"));
+  Permutation perm;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = permutations_.find({request_id, round - 1});
+    if (it == permutations_.end()) {
+      return Status::ProtocolError(internal::StrCat(
+          "no stored permutation for request ", request_id, " round ",
+          round - 1));
+    }
+    perm = it->second;
+  }
+  // The stored permutation is element-level; the incoming vector is words
+  // (packed round ahead) or interleaved scalars (fallback round ahead).
+  if (in.size() == perm.size()) {
+    return perm.ApplyInverse(in);
+  }
+  if (in.size() == perm.size() * static_cast<size_t>(lanes)) {
+    PPS_ASSIGN_OR_RETURN(Permutation expanded, ExpandBlockwise(perm, lanes));
+    return expanded.ApplyInverse(in);
+  }
+  return Status::ProtocolError("tensor size changed across rounds");
+}
+
+Result<std::vector<Ciphertext>> ModelProvider::ProcessRoundPackedBatch(
+    uint64_t request_id, size_t round, const std::vector<Ciphertext>& in,
+    int64_t lanes, ThreadPool* pool) {
+  if (round >= plan_->NumRounds()) {
+    return Status::OutOfRange("round out of range");
+  }
+  if (lanes < 1) return Status::InvalidArgument("lanes must be >= 1");
+  std::vector<Ciphertext> current = in;
+  if (round > 0) {
+    PPS_ASSIGN_OR_RETURN(
+        current, InverseObfuscatePackedBatch(request_id, round,
+                                             std::move(current), lanes));
+  }
+  PPS_ASSIGN_OR_RETURN(current,
+                       ApplyLinearStagePacked(round, current, lanes, pool));
+  if (round + 1 < plan_->NumRounds()) {
+    PPS_ASSIGN_OR_RETURN(
+        current, ObfuscatePackedBatch(request_id, round, std::move(current),
+                                      lanes));
+  }
+  return current;
+}
+
 Status ModelProvider::ReleaseRequestState(uint64_t request_id) {
   std::lock_guard<std::mutex> lock(mutex_);
   auto it = permutations_.lower_bound({request_id, 0});
@@ -180,17 +346,37 @@ Result<Permutation> ModelProvider::GetStoredPermutationForTesting(
 
 DataProvider::DataProvider(std::shared_ptr<const InferencePlan> plan,
                            PaillierKeyPair keys, uint64_t enc_seed)
+    : DataProvider(std::move(plan), std::move(keys), enc_seed, Options()) {}
+
+DataProvider::DataProvider(std::shared_ptr<const InferencePlan> plan,
+                           PaillierKeyPair keys, uint64_t enc_seed,
+                           Options options)
     : plan_(std::move(plan)), keys_(std::move(keys)) {
   PPS_CHECK(plan_ != nullptr);
-  // One request's worth of randomizers, clamped to keep pathological plans
-  // from pinning unbounded memory (each entry is a full n^2-width value).
+  // Size the pool for the expected number of in-flight requests, not one:
+  // concurrent requests drain a per-request-sized pool faster than the
+  // background producer can refill it (~48% misses at 8-way in the seed
+  // bench). Clamped to keep pathological plans from pinning unbounded
+  // memory (each entry is a full n^2-width value). Packed batches only
+  // ever need FEWER randomizers per logical request (word counts divide
+  // by the lane count), so the scalar per-request count is a sound upper
+  // bound either way.
+  const int64_t concurrency =
+      std::max<int64_t>(options.expected_concurrency, 1);
   RandomizerPool::Options pool_options;
-  pool_options.capacity = static_cast<size_t>(
-      std::min<int64_t>(std::max<int64_t>(plan_->EncryptionsPerRequest(), 16),
-                        4096));
+  pool_options.capacity = static_cast<size_t>(std::min<int64_t>(
+      std::max<int64_t>(plan_->EncryptionsPerRequest() * concurrency, 16),
+      16384));
+  // Default low_water (== capacity) keeps the background producer topping
+  // up after every take; a lower trigger would let bursts race ahead.
   uint64_t pool_seed = enc_seed ^ 0x9E3779B97F4A7C15ULL;
   enc_pool_ = std::make_unique<RandomizerPool>(
       keys_.public_key, SplitMix64(pool_seed), pool_options);
+  if (options.prefill) enc_pool_->Fill();
+}
+
+RandomizerPool::Stats DataProvider::PoolStatsForTesting() const {
+  return enc_pool_->stats();
 }
 
 Result<std::vector<Ciphertext>> DataProvider::EncryptInput(
@@ -356,6 +542,169 @@ Result<DoubleTensor> DataProvider::ProcessFinal(
   return ApplySegment(round, values);
 }
 
+Result<std::vector<DoubleTensor>> DataProvider::DecodeStageOutput(
+    size_t round, const std::vector<Ciphertext>& in, int64_t lanes,
+    const Shape& shape, ThreadPool* pool) const {
+  const LinearStage& stage = plan_->linear_stages[round];
+  const double scale =
+      ScalePower(plan_->scale, stage.output_scale_power).ToDouble();
+  const size_t elements = static_cast<size_t>(shape.NumElements());
+  std::vector<DoubleTensor> values(static_cast<size_t>(lanes),
+                                   DoubleTensor{shape});
+  obs::ScopedSpan decrypt_span("crypto.decrypt_batch", "crypto");
+  if (stage.packed_layout.has_value()) {
+    const PackedLayout& layout = *stage.packed_layout;
+    if (lanes > layout.lanes) {
+      return Status::InvalidArgument("batch exceeds the stage's lane count");
+    }
+    if (in.size() != elements) {
+      return Status::ProtocolError("packed word count mismatch");
+    }
+    PPS_RETURN_IF_ERROR(ForEachMaybeParallel(
+        in.size(), pool, [&](size_t j) -> Status {
+          PPS_ASSIGN_OR_RETURN(
+              BigInt word, Paillier::Decrypt(keys_.public_key,
+                                             keys_.private_key, in[j]));
+          PPS_ASSIGN_OR_RETURN(std::vector<BigInt> slots,
+                               UnpackSigned(layout, word));
+          for (int64_t i = 0; i < lanes; ++i) {
+            values[static_cast<size_t>(i)][static_cast<int64_t>(j)] =
+                slots[static_cast<size_t>(i)].ToDouble() / scale;
+          }
+          return Status::OK();
+        }));
+    return values;
+  }
+  if (in.size() != elements * static_cast<size_t>(lanes)) {
+    return Status::ProtocolError("interleaved tensor size mismatch");
+  }
+  PPS_RETURN_IF_ERROR(ForEachMaybeParallel(
+      in.size(), pool, [&](size_t p) -> Status {
+        PPS_ASSIGN_OR_RETURN(
+            BigInt m, Paillier::Decrypt(keys_.public_key, keys_.private_key,
+                                        in[p]));
+        values[p % static_cast<size_t>(lanes)]
+              [static_cast<int64_t>(p / static_cast<size_t>(lanes))] =
+            m.ToDouble() / scale;
+        return Status::OK();
+      }));
+  return values;
+}
+
+Result<std::vector<Ciphertext>> DataProvider::EncodeForRound(
+    size_t round, const std::vector<DoubleTensor>& values, ThreadPool* pool) {
+  const LinearStage& stage = plan_->linear_stages[round];
+  const int64_t lanes = static_cast<int64_t>(values.size());
+  const size_t elements =
+      static_cast<size_t>(stage.input_shape.NumElements());
+  for (const DoubleTensor& lane : values) {
+    if (static_cast<size_t>(lane.NumElements()) != elements) {
+      return Status::ProtocolError("lane tensor size mismatch");
+    }
+  }
+  obs::ScopedSpan encrypt_span("crypto.encrypt_batch", "crypto");
+  if (stage.packed_layout.has_value()) {
+    const PackedLayout& layout = *stage.packed_layout;
+    if (lanes > layout.lanes) {
+      return Status::InvalidArgument("batch exceeds the stage's lane count");
+    }
+    std::vector<BigInt> rns = enc_pool_->TakeMany(elements, pool);
+    std::vector<Ciphertext> out(elements);
+    PPS_RETURN_IF_ERROR(ForEachMaybeParallel(
+        elements, pool, [&](size_t j) -> Status {
+          std::vector<BigInt> slots;
+          slots.reserve(static_cast<size_t>(lanes));
+          for (int64_t i = 0; i < lanes; ++i) {
+            slots.emplace_back(QuantizeValue(
+                values[static_cast<size_t>(i)][static_cast<int64_t>(j)],
+                plan_->scale));
+          }
+          PPS_ASSIGN_OR_RETURN(BigInt word, PackSigned(layout, slots));
+          PPS_ASSIGN_OR_RETURN(
+              out[j], Paillier::EncryptWithRandomizer(keys_.public_key, word,
+                                                      rns[j]));
+          return Status::OK();
+        }));
+    return out;
+  }
+  const size_t total = elements * static_cast<size_t>(lanes);
+  std::vector<BigInt> rns = enc_pool_->TakeMany(total, pool);
+  std::vector<Ciphertext> out(total);
+  PPS_RETURN_IF_ERROR(ForEachMaybeParallel(
+      total, pool, [&](size_t p) -> Status {
+        const size_t lane = p % static_cast<size_t>(lanes);
+        const int64_t element =
+            static_cast<int64_t>(p / static_cast<size_t>(lanes));
+        const int64_t q = QuantizeValue(values[lane][element], plan_->scale);
+        PPS_ASSIGN_OR_RETURN(
+            out[p], Paillier::EncryptWithRandomizer(keys_.public_key,
+                                                    BigInt(q), rns[p]));
+        return Status::OK();
+      }));
+  return out;
+}
+
+Result<std::vector<Ciphertext>> DataProvider::EncryptInputPackedBatch(
+    const std::vector<DoubleTensor>& inputs, ThreadPool* pool) {
+  PPS_RETURN_IF_ERROR(ProbeFault(fault_, "dp.EncryptInput"));
+  if (inputs.empty()) {
+    return Status::InvalidArgument("packed batch needs at least one lane");
+  }
+  for (const DoubleTensor& input : inputs) {
+    if (input.shape() != plan_->input_shape) {
+      return Status::InvalidArgument(
+          internal::StrCat("input shape ", input.shape().ToString(),
+                           " != plan input ", plan_->input_shape.ToString()));
+    }
+  }
+  const int64_t max_lanes = plan_->PackedBatchLanes();
+  if (max_lanes > 0 && static_cast<int64_t>(inputs.size()) > max_lanes) {
+    return Status::InvalidArgument(internal::StrCat(
+        "batch of ", inputs.size(), " lanes exceeds the plan's ", max_lanes,
+        " packed lanes"));
+  }
+  return EncodeForRound(0, inputs, pool);
+}
+
+Result<std::vector<Ciphertext>> DataProvider::ProcessIntermediatePackedBatch(
+    size_t round, const std::vector<Ciphertext>& in, int64_t lanes,
+    ThreadPool* pool) {
+  if (round + 1 >= plan_->NumRounds()) {
+    return Status::OutOfRange(
+        "intermediate round index must precede the final round");
+  }
+  if (lanes < 1) return Status::InvalidArgument("lanes must be >= 1");
+  PPS_RETURN_IF_ERROR(ProbeFault(fault_, "dp.ProcessIntermediate"));
+  const LinearStage& stage = plan_->linear_stages[round];
+  // Values arrive permuted at element granularity; the segment is
+  // element-wise, so per-lane application commutes with the permutation
+  // (§III-C), exactly as in the scalar path.
+  const Shape flat{stage.output_shape.NumElements()};
+  PPS_ASSIGN_OR_RETURN(std::vector<DoubleTensor> values,
+                       DecodeStageOutput(round, in, lanes, flat, pool));
+  for (auto& lane_values : values) {
+    PPS_ASSIGN_OR_RETURN(lane_values, ApplySegment(round, lane_values));
+  }
+  // Re-encode in the NEXT round's representation — packed<->scalar
+  // transitions happen here because only the key holder can re-pack.
+  return EncodeForRound(round + 1, values, pool);
+}
+
+Result<std::vector<DoubleTensor>> DataProvider::ProcessFinalPackedBatch(
+    const std::vector<Ciphertext>& in, int64_t lanes, ThreadPool* pool) {
+  PPS_RETURN_IF_ERROR(ProbeFault(fault_, "dp.ProcessFinal"));
+  if (lanes < 1) return Status::InvalidArgument("lanes must be >= 1");
+  const size_t round = plan_->NumRounds() - 1;
+  const LinearStage& stage = plan_->linear_stages[round];
+  PPS_ASSIGN_OR_RETURN(
+      std::vector<DoubleTensor> values,
+      DecodeStageOutput(round, in, lanes, stage.output_shape, pool));
+  for (auto& lane_values : values) {
+    PPS_ASSIGN_OR_RETURN(lane_values, ApplySegment(round, lane_values));
+  }
+  return values;
+}
+
 Result<DoubleTensor> RunProtocolInference(ModelProviderApi& mp,
                                           DataProviderApi& dp,
                                           uint64_t request_id,
@@ -400,6 +749,30 @@ Result<DoubleTensor> RunProtocolInference(ModelProviderApi& mp,
   }
   PPS_RETURN_IF_ERROR(mp.ReleaseRequestState(request_id));
   return dp.ProcessFinal(wire);
+}
+
+Result<std::vector<DoubleTensor>> RunPackedBatchInference(
+    ModelProvider& mp, DataProvider& dp, uint64_t request_id,
+    const std::vector<DoubleTensor>& inputs, ThreadPool* pool) {
+  if (inputs.empty()) {
+    return Status::InvalidArgument("packed batch needs at least one lane");
+  }
+  const int64_t lanes = static_cast<int64_t>(inputs.size());
+  const size_t rounds = mp.plan().NumRounds();
+  obs::ScopedSpan root =
+      obs::ScopedSpan::Root("inference_packed", "request", request_id);
+  PPS_ASSIGN_OR_RETURN(std::vector<Ciphertext> wire,
+                       dp.EncryptInputPackedBatch(inputs, pool));
+  for (size_t r = 0; r < rounds; ++r) {
+    PPS_ASSIGN_OR_RETURN(
+        wire, mp.ProcessRoundPackedBatch(request_id, r, wire, lanes, pool));
+    if (r + 1 < rounds) {
+      PPS_ASSIGN_OR_RETURN(
+          wire, dp.ProcessIntermediatePackedBatch(r, wire, lanes, pool));
+    }
+  }
+  PPS_RETURN_IF_ERROR(mp.ReleaseRequestState(request_id));
+  return dp.ProcessFinalPackedBatch(wire, lanes, pool);
 }
 
 Result<DoubleTensor> RunScaledPlainInference(const InferencePlan& plan,

@@ -209,7 +209,43 @@ class ModelProvider : public ModelProviderApi {
   Result<Permutation> GetStoredPermutationForTesting(uint64_t request_id,
                                                      size_t round) const;
 
+  // ---- Packed-batch path (DESIGN.md §13). Not on the virtual API yet:
+  //      lane batching is an in-process engine feature in this revision.
+
+  /// Lane-batched round processing. `in` carries stage `round`'s input in
+  /// the round's wire representation: one packed word per tensor element
+  /// (packed round) or `lanes` interleaved scalar lanes, element-major —
+  /// position p * lanes + i is element p of lane i (scalar-fallback
+  /// round). Obfuscation always permutes tensor ELEMENTS: packed rounds
+  /// permute words directly, fallback rounds expand the stored element
+  /// permutation blockwise, so lanes never mix and the data provider can
+  /// re-pack across representation changes. Note the leakage granularity:
+  /// on packed rounds a word's `lanes` values move together (positions
+  /// are still shuffled; lane-to-slot binding is not hidden).
+  Result<std::vector<Ciphertext>> ProcessRoundPackedBatch(
+      uint64_t request_id, size_t round, const std::vector<Ciphertext>& in,
+      int64_t lanes, ThreadPool* pool = nullptr);
+
+  /// Applies linear stage `round` over packed words via the stage's
+  /// weight-value-dedup kernels, or — when the round fell back to scalar
+  /// — de-interleaves the lanes, applies the scalar stage per lane, and
+  /// re-interleaves. Decoded outputs are bit-exact with `lanes`
+  /// independent scalar inferences either way.
+  Result<std::vector<Ciphertext>> ApplyLinearStagePacked(
+      size_t round, const std::vector<Ciphertext>& in, int64_t lanes,
+      ThreadPool* pool = nullptr);
+
  private:
+  /// Obfuscate/InverseObfuscate for the packed-batch path: permutations
+  /// are stored at element granularity and expanded blockwise when the
+  /// wire representation is interleaved scalars.
+  Result<std::vector<Ciphertext>> ObfuscatePackedBatch(
+      uint64_t request_id, size_t round, std::vector<Ciphertext> in,
+      int64_t lanes);
+  Result<std::vector<Ciphertext>> InverseObfuscatePackedBatch(
+      uint64_t request_id, size_t round, std::vector<Ciphertext> in,
+      int64_t lanes);
+
   std::shared_ptr<const InferencePlan> plan_;
   PaillierPublicKey pk_;
   Options options_;
@@ -226,8 +262,22 @@ class ModelProvider : public ModelProviderApi {
 /// non-linear operations on decrypted (permuted) values.
 class DataProvider : public DataProviderApi {
  public:
+  struct Options {
+    /// Requests expected in flight at once. The randomizer pool is sized
+    /// for `expected_concurrency` simultaneous requests' encryptions (the
+    /// old per-request sizing starved 8-way benches into ~48% misses).
+    int expected_concurrency = 1;
+    /// Synchronously fill the pool at construction so the first burst is
+    /// served from precomputed randomizers instead of computing on
+    /// demand. Off by default: construction stays cheap for tests; the
+    /// serving path and benches opt in.
+    bool prefill = false;
+  };
+
   DataProvider(std::shared_ptr<const InferencePlan> plan,
                PaillierKeyPair keys, uint64_t enc_seed);
+  DataProvider(std::shared_ptr<const InferencePlan> plan,
+               PaillierKeyPair keys, uint64_t enc_seed, Options options);
 
   const PaillierPublicKey& public_key() const override {
     return keys_.public_key;
@@ -256,20 +306,61 @@ class DataProvider : public DataProviderApi {
   Result<std::vector<Ciphertext>> EncryptInputParallel(
       const DoubleTensor& input, ThreadPool* pool) override;
 
+  // ---- Packed-batch path (DESIGN.md §13), mirror of the ModelProvider
+  //      methods: `lanes` independent inferences ride one wire vector.
+
+  /// Lane-batched round-0 send: element t of every lane packs into word t
+  /// under stage 0's slot layout (or interleaves element-major when stage
+  /// 0 fell back to scalar). All inputs must match the plan input shape,
+  /// and `inputs.size()` must not exceed plan->PackedBatchLanes() when
+  /// any stage packs.
+  Result<std::vector<Ciphertext>> EncryptInputPackedBatch(
+      const std::vector<DoubleTensor>& inputs, ThreadPool* pool = nullptr);
+
+  /// Lane-batched intermediate round: decode stage `round`'s wire
+  /// representation (unpack words / de-interleave lanes), apply the
+  /// non-linear segment per lane, and re-encode in stage `round + 1`'s
+  /// representation — this is where packed<->scalar representation
+  /// changes happen, because only the data provider can re-pack.
+  Result<std::vector<Ciphertext>> ProcessIntermediatePackedBatch(
+      size_t round, const std::vector<Ciphertext>& in, int64_t lanes,
+      ThreadPool* pool = nullptr);
+
+  /// Lane-batched last round: one inference result per lane.
+  Result<std::vector<DoubleTensor>> ProcessFinalPackedBatch(
+      const std::vector<Ciphertext>& in, int64_t lanes,
+      ThreadPool* pool = nullptr);
+
+  /// Pool statistics (hit/miss accounting for bench assertions).
+  RandomizerPool::Stats PoolStatsForTesting() const;
+
  private:
   /// Applies segment `round` to real values element-wise.
   Result<DoubleTensor> ApplySegment(size_t round,
                                     const DoubleTensor& values) const;
 
+  /// Decrypts stage `round`'s output wire vector into per-lane real
+  /// values of `shape` (dequantized by the stage's scale power).
+  Result<std::vector<DoubleTensor>> DecodeStageOutput(
+      size_t round, const std::vector<Ciphertext>& in, int64_t lanes,
+      const Shape& shape, ThreadPool* pool) const;
+
+  /// Quantizes per-lane values at F and encrypts them in stage `round`'s
+  /// wire representation (packed words or interleaved scalars).
+  Result<std::vector<Ciphertext>> EncodeForRound(
+      size_t round, const std::vector<DoubleTensor>& values,
+      ThreadPool* pool);
+
   std::shared_ptr<const InferencePlan> plan_;
   PaillierKeyPair keys_;
   std::shared_ptr<FaultInjector> fault_;
-  // Precomputed r^n randomizers, sized for one request's worth of
-  // encryptions (plan->EncryptionsPerRequest()) and refilled by the
-  // pool's background thread between requests — the request path pays one
-  // ModMul per element. Batch takes assign randomizers to tensor slots in
-  // stream order, and the pool serializes production internally, so
-  // concurrent pipeline stages never race on RNG state.
+  // Precomputed r^n randomizers, sized for Options::expected_concurrency
+  // requests' worth of encryptions (plan->EncryptionsPerRequest() each)
+  // and refilled by the pool's background thread between requests — the
+  // request path pays one ModMul per element. Batch takes assign
+  // randomizers to tensor slots in stream order, and the pool serializes
+  // production internally, so concurrent pipeline stages never race on
+  // RNG state.
   std::unique_ptr<RandomizerPool> enc_pool_;
 };
 
@@ -286,6 +377,17 @@ Result<DoubleTensor> RunProtocolInference(ModelProviderApi& mp,
                                           const DoubleTensor& input,
                                           LeakageTranscript* transcript =
                                               nullptr);
+
+/// Drives the full synchronous protocol for `inputs.size()` lanes riding
+/// one packed wire (DESIGN.md §13). Per-lane outputs are bit-exact with
+/// `inputs.size()` independent RunProtocolInference calls, while
+/// encrypts, decrypts, scalar-muls, and wire words divide by the lane
+/// count on packed rounds (scalar-fallback rounds interleave and pay full
+/// price). Takes the concrete providers: lane batching is not on the
+/// remote wire format yet.
+Result<std::vector<DoubleTensor>> RunPackedBatchInference(
+    ModelProvider& mp, DataProvider& dp, uint64_t request_id,
+    const std::vector<DoubleTensor>& inputs, ThreadPool* pool = nullptr);
 
 /// Bit-exact plaintext reference of the protocol: the same integer linear
 /// algebra and the same quantization points, without encryption or

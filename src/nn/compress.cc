@@ -1,0 +1,118 @@
+#include "nn/compress.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "nn/layers.h"
+#include "obs/metrics.h"
+
+namespace ppstream {
+namespace {
+
+int64_t CountDistinctNonzero(const DoubleTensor& w) {
+  std::set<double> values;
+  for (int64_t i = 0; i < w.NumElements(); ++i) {
+    if (w[i] != 0.0) values.insert(w[i]);
+  }
+  return static_cast<int64_t>(values.size());
+}
+
+/// Zeroes the `fraction` smallest-magnitude nonzero entries of `w`.
+int64_t PruneTensor(DoubleTensor* w, double fraction) {
+  if (fraction <= 0.0) return 0;
+  std::vector<double> magnitudes;
+  magnitudes.reserve(static_cast<size_t>(w->NumElements()));
+  for (int64_t i = 0; i < w->NumElements(); ++i) {
+    magnitudes.push_back(std::fabs((*w)[i]));
+  }
+  const size_t cut = std::min(
+      magnitudes.size() - 1,
+      static_cast<size_t>(fraction * static_cast<double>(magnitudes.size())));
+  if (cut == 0) return 0;
+  std::nth_element(magnitudes.begin(), magnitudes.begin() + (cut - 1),
+                   magnitudes.end());
+  const double threshold = magnitudes[cut - 1];
+  int64_t pruned = 0;
+  for (int64_t i = 0; i < w->NumElements(); ++i) {
+    if ((*w)[i] != 0.0 && std::fabs((*w)[i]) <= threshold) {
+      (*w)[i] = 0.0;
+      ++pruned;
+    }
+  }
+  return pruned;
+}
+
+/// Snaps every nonzero entry to the symmetric k-bit grid
+/// {q * step : |q| <= 2^(bits-1) - 1}, step = max|w| / (2^(bits-1) - 1).
+/// Entries that round to q == 0 become exact zeros (implicit extra prune).
+void QuantizeTensor(DoubleTensor* w, int bits) {
+  if (bits < 2) return;
+  double max_mag = 0.0;
+  for (int64_t i = 0; i < w->NumElements(); ++i) {
+    max_mag = std::max(max_mag, std::fabs((*w)[i]));
+  }
+  if (max_mag == 0.0) return;
+  const double levels =
+      static_cast<double>((int64_t{1} << (bits - 1)) - 1);
+  const double step = max_mag / levels;
+  for (int64_t i = 0; i < w->NumElements(); ++i) {
+    (*w)[i] = std::round((*w)[i] / step) * step;
+  }
+}
+
+void CompressTensor(DoubleTensor* w, const CompressionSpec& spec,
+                    CompressionReport* report) {
+  report->weights_total += w->NumElements();
+  report->distinct_before += CountDistinctNonzero(*w);
+  report->weights_pruned += PruneTensor(w, spec.prune_fraction);
+  QuantizeTensor(w, spec.weight_bits);
+  report->distinct_after += CountDistinctNonzero(*w);
+  ++report->layers_compressed;
+}
+
+}  // namespace
+
+Result<Model> CompressModel(const Model& model, const CompressionSpec& spec,
+                            CompressionReport* report) {
+  if (spec.prune_fraction < 0.0 || spec.prune_fraction >= 1.0) {
+    return Status::InvalidArgument(
+        "compress: prune_fraction must be in [0, 1)");
+  }
+  if (spec.weight_bits < 0 || spec.weight_bits > 32) {
+    return Status::InvalidArgument(
+        "compress: weight_bits must be in [0, 32]");
+  }
+  if (spec.weight_bits == 1) {
+    return Status::InvalidArgument(
+        "compress: 1-bit quantization leaves no nonzero level");
+  }
+  Model out = model.Clone();
+  CompressionReport local;
+  for (size_t i = 0; i < out.NumLayers(); ++i) {
+    Layer& layer = out.layer(i);
+    if (auto* dense = dynamic_cast<DenseLayer*>(&layer)) {
+      CompressTensor(&dense->weights(), spec, &local);
+    } else if (auto* conv = dynamic_cast<Conv2DLayer*>(&layer)) {
+      CompressTensor(&conv->filters(), spec, &local);
+    }
+  }
+  static obs::Counter* pruned =
+      obs::MetricsRegistry::Global().GetCounter("nn.quant.weights_pruned");
+  static obs::Counter* layers =
+      obs::MetricsRegistry::Global().GetCounter("nn.quant.layers_compressed");
+  static obs::Counter* distinct_before = obs::MetricsRegistry::Global()
+      .GetCounter("nn.quant.distinct_values_before");
+  static obs::Counter* distinct_after = obs::MetricsRegistry::Global()
+      .GetCounter("nn.quant.distinct_values_after");
+  pruned->Increment(local.weights_pruned);
+  layers->Increment(local.layers_compressed);
+  distinct_before->Increment(local.distinct_before);
+  distinct_after->Increment(local.distinct_after);
+  if (report != nullptr) *report = local;
+  return out;
+}
+
+}  // namespace ppstream

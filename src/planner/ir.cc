@@ -194,6 +194,23 @@ Status StageGraph::Verify() const {
       return Status::Internal(internal::StrCat(
           "node n", n.id, " has no round after merge-adjacent"));
     }
+    if (n.packed_kernel.has_value()) {
+      if (!n.affine.has_value()) {
+        return Status::Internal(internal::StrCat(
+            "node n", n.id, " has a packed kernel but no affine form"));
+      }
+      if (!in.packed.has_value() || !out.packed.has_value() ||
+          *in.packed != n.packed_kernel->layout() ||
+          *out.packed != n.packed_kernel->layout()) {
+        return Status::Internal(internal::StrCat(
+            "node n", n.id,
+            " packed kernel layout disagrees with its tensors"));
+      }
+      if (n.packed_kernel->rows().size() != n.affine->rows().size()) {
+        return Status::Internal(internal::StrCat(
+            "node n", n.id, " packed kernel row count disagrees with affine"));
+      }
+    }
   }
 
   for (const IrTensor& t : tensors_) {
@@ -263,6 +280,11 @@ std::string StageGraph::ToString() const {
     if (!t.magnitude_bound.IsZero()) {
       out += internal::StrCat(" bound_bits=", t.magnitude_bound.BitLength());
     }
+    if (t.packed.has_value()) {
+      out += internal::StrCat(" packed{lanes=", t.packed->lanes,
+                              " slot_bits=", t.packed->slot_bits,
+                              " guard=", t.packed->guard_bits, "}");
+    }
     out += "\n";
   };
 
@@ -289,6 +311,12 @@ std::string StageGraph::ToString() const {
                               " terms=", n.affine->TotalTerms(),
                               " muls=", n.affine->EncryptedScalarMuls(),
                               " wpow=", n.affine->weight_scale_power(), "}");
+    }
+    if (n.packed_kernel.has_value()) {
+      out += internal::StrCat(" packed{lanes=",
+                              n.packed_kernel->layout().lanes,
+                              " group_muls=",
+                              n.packed_kernel->GroupScalarMuls(), "}");
     }
     if (n.server >= 0) {
       out += internal::StrCat(" server=", n.server, " threads=", n.threads);

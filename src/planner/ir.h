@@ -53,6 +53,9 @@ struct IrTensor {
   /// Consuming node ids. Orphan tensors (no uses, not the graph output)
   /// are tolerated by the verifier and reaped by DeadTensorElim.
   std::vector<int64_t> uses;
+  /// Slot layout when this tensor crosses the crypto boundary packed
+  /// (set by the analyze-packing-legality pass; absent = scalar).
+  std::optional<PackedLayout> packed;
   bool live = true;
 };
 
@@ -76,6 +79,9 @@ struct IrNode {
   /// linear stage r and the non-linear segment that follows it share r.
   int round = -1;
   bool final_segment = false;
+  /// Packed execution plan (linear nodes, set by lower-to-packed-kernels
+  /// when the node's input/output layouts are legal; absent = scalar).
+  std::optional<PackedAffineKernel> packed_kernel;
   /// Placement annotations (set by the placement pass).
   int server = -1;
   int threads = 1;

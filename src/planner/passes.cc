@@ -1,6 +1,7 @@
 #include "planner/passes.h"
 
 #include <algorithm>
+#include <map>
 #include <utility>
 
 #include "nn/layers.h"
@@ -334,6 +335,114 @@ class VerifyBoundsPass : public Pass {
   Status Run(StageGraph* graph) override { return PropagateBounds(graph); }
 };
 
+class AnalyzePackingLegalityPass : public Pass {
+ public:
+  AnalyzePackingLegalityPass(PackingSpec spec, PlanCompileStats* stats)
+      : spec_(spec), stats_(stats) {}
+
+  std::string name() const override { return "analyze-packing-legality"; }
+
+  Status Run(StageGraph* graph) override {
+    if (!graph->merged()) {
+      return Status::FailedPrecondition(
+          "packing legality requires merge-adjacent to have grouped rounds");
+    }
+    PPS_ASSIGN_OR_RETURN(std::vector<int64_t> order, graph->ChainOrder());
+    // Linear nodes of each round, in chain order. The layout must cover
+    // the round's input AND every linear output (the DataProvider encrypts
+    // once per round, and intermediate tensors of an unfused round stay
+    // ciphertext), so the slot width is sized to the round's max bound.
+    std::map<int, std::vector<int64_t>> rounds;
+    for (int64_t id : order) {
+      const IrNode& n = graph->node(id);
+      if (n.op_class == OpClass::kLinear && n.affine.has_value()) {
+        rounds[n.round].push_back(id);
+      }
+    }
+    int64_t packed = 0, fallback = 0;
+    for (const auto& [round, ids] : rounds) {
+      BigInt max_bound = graph->tensor(graph->node(ids[0]).input)
+                             .magnitude_bound;
+      for (int64_t id : ids) {
+        const BigInt& out_bound =
+            graph->tensor(graph->node(id).output).magnitude_bound;
+        if (out_bound > max_bound) max_bound = out_bound;
+      }
+      if (max_bound.IsZero()) {
+        return Status::FailedPrecondition(
+            "packing legality requires propagated bounds; run verify-bounds");
+      }
+      Result<PackedLayout> layout = ChoosePackedLayout(
+          spec_.key_bits, max_bound, spec_.guard_bits, spec_.max_lanes);
+      if (!layout.ok()) {
+        ++fallback;  // this round runs the scalar path
+        continue;
+      }
+      graph->tensor(graph->node(ids[0]).input).packed = *layout;
+      for (int64_t id : ids) {
+        graph->tensor(graph->node(id).output).packed = *layout;
+      }
+      ++packed;
+    }
+    if (stats_ != nullptr) {
+      stats_->rounds_packed = packed;
+      stats_->rounds_packing_fallback = fallback;
+    }
+    obs::MetricsRegistry::Global()
+        .GetCounter("planner.pack.rounds_packed")
+        ->Increment(static_cast<uint64_t>(packed));
+    obs::MetricsRegistry::Global()
+        .GetCounter("planner.pack.rounds_fallback")
+        ->Increment(static_cast<uint64_t>(fallback));
+    return Status::OK();
+  }
+
+ private:
+  PackingSpec spec_;
+  PlanCompileStats* stats_;
+};
+
+class LowerToPackedKernelsPass : public Pass {
+ public:
+  explicit LowerToPackedKernelsPass(PlanCompileStats* stats)
+      : stats_(stats) {}
+
+  std::string name() const override { return "lower-to-packed-kernels"; }
+
+  Status Run(StageGraph* graph) override {
+    PPS_ASSIGN_OR_RETURN(std::vector<int64_t> order, graph->ChainOrder());
+    int64_t kernels = 0, group_muls = 0;
+    for (int64_t id : order) {
+      IrNode& n = graph->node(id);
+      if (n.op_class != OpClass::kLinear || !n.affine.has_value()) continue;
+      const IrTensor& in = graph->tensor(n.input);
+      const IrTensor& out = graph->tensor(n.output);
+      if (!in.packed.has_value() || !out.packed.has_value()) continue;
+      if (*in.packed != *out.packed) {
+        return Status::Internal(internal::StrCat(
+            "node n", n.id, " straddles two slot layouts"));
+      }
+      PPS_ASSIGN_OR_RETURN(
+          PackedAffineKernel kernel,
+          PackedAffineKernel::Build(*n.affine, *out.packed,
+                                    in.magnitude_bound));
+      group_muls += kernel.GroupScalarMuls();
+      n.packed_kernel.emplace(std::move(kernel));
+      ++kernels;
+    }
+    if (stats_ != nullptr) stats_->packed_group_muls = group_muls;
+    if (kernels > 0) {
+      obs::MetricsRegistry::Global()
+          .GetCounter("planner.pack.kernels_lowered")
+          ->Increment(static_cast<uint64_t>(kernels));
+    }
+    return Status::OK();
+  }
+
+ private:
+  PlanCompileStats* stats_;
+};
+
 class PlacementPass : public Pass {
  public:
   PlacementPass(PlacementSpec spec, PlanPlacement* result)
@@ -442,6 +551,13 @@ std::unique_ptr<Pass> MakeMergeAdjacentPass() {
 }
 std::unique_ptr<Pass> MakeVerifyBoundsPass() {
   return std::make_unique<VerifyBoundsPass>();
+}
+std::unique_ptr<Pass> MakeAnalyzePackingLegalityPass(PackingSpec spec,
+                                                     PlanCompileStats* stats) {
+  return std::make_unique<AnalyzePackingLegalityPass>(spec, stats);
+}
+std::unique_ptr<Pass> MakeLowerToPackedKernelsPass(PlanCompileStats* stats) {
+  return std::make_unique<LowerToPackedKernelsPass>(stats);
 }
 std::unique_ptr<Pass> MakePlacementPass(PlacementSpec spec,
                                         PlanPlacement* result) {

@@ -11,6 +11,8 @@
 //   dead-tensor-elim     reap tensors orphaned by fusion
 //   merge-adjacent       group runs into alternating rounds (Figure 4)
 //   verify-bounds        recompute all bounds from scratch post-transform
+//   analyze-packing-legality  (optional) choose a slot layout per round
+//   lower-to-packed-kernels   (optional) weight-value-dedup packed kernels
 //   placement            (optional) Eq. 4-8 server/thread assignment
 
 #pragma once
@@ -50,6 +52,21 @@ struct PlanCompileStats {
   int64_t scalar_muls_after_fusion = 0;
   int64_t ops_fused = 0;
   int64_t dead_tensors_removed = 0;
+  // Packing pass results (zero when the packing passes did not run).
+  int64_t rounds_packed = 0;
+  int64_t rounds_packing_fallback = 0;
+  int64_t packed_group_muls = 0;  // muls one packed evaluation pays, total
+};
+
+/// Inputs for the packing passes (DESIGN.md §13). `key_bits` is the
+/// Paillier key the plan will execute under — slot budgets derive from it,
+/// so packed plans are key-size specific. `guard_bits` is per-slot
+/// headroom on top of the propagated magnitude bound; `max_lanes` caps
+/// slots per plaintext (also the largest useful inference batch).
+struct PackingSpec {
+  int key_bits = 512;
+  int guard_bits = 2;
+  int max_lanes = 64;
 };
 
 /// Inputs for the optional placement pass: the Table III style testbed
@@ -98,6 +115,17 @@ std::unique_ptr<Pass> MakeMergeAdjacentPass();
 /// Recomputes every scale power / magnitude bound from the graph input —
 /// the post-pipeline soundness anchor CheckFitsKey relies on.
 std::unique_ptr<Pass> MakeVerifyBoundsPass();
+/// Chooses a packed slot layout per merged round from the propagated
+/// magnitude bounds and `spec` (key bits, guard bits, lane cap), and
+/// annotates the round's crypto-boundary tensors. Rounds whose bounds
+/// leave fewer than 2 lanes stay scalar (per-round fallback). Requires
+/// merge-adjacent and verify-bounds. `stats` may be null.
+std::unique_ptr<Pass> MakeAnalyzePackingLegalityPass(PackingSpec spec,
+                                                     PlanCompileStats* stats);
+/// Builds a weight-value-dedup PackedAffineKernel for every linear node
+/// whose tensors carry a slot layout (one scalar-mul per (row, distinct
+/// weight value)). `stats` may be null.
+std::unique_ptr<Pass> MakeLowerToPackedKernelsPass(PlanCompileStats* stats);
 /// Wraps IlpAllocator: solves Eq. 4-8 over the merged rounds and writes
 /// server/thread annotations onto the nodes and `*result`. Requires
 /// merge-adjacent to have run. `result` must outlive the pipeline.

@@ -16,6 +16,7 @@
 #include "nn/layers.h"
 #include "nn/model.h"
 #include "nn/model_zoo.h"
+#include "nn/trainer.h"
 #include "planner/ir.h"
 #include "planner/pass.h"
 #include "planner/passes.h"
@@ -243,6 +244,40 @@ TEST(FusionTest, Mnist2ConvModelIsBitIdentical) {
   PlanPair plans =
       CompileBothWays(*model, 100, Shape{1, 28, 28}, /*trials=*/1, 910);
   EXPECT_GT(plans.fused.compile_stats.ops_fused, 0);
+}
+
+// Pins the MNIST-2 fusion cost model (the bench_pipeline fusion probe
+// uses the identical dataset/training seeds, so these literals must match
+// bench/BENCH_pipeline.json). The Flatten+Dense fold removes one linear
+// op and one dead tensor but genuinely saves ZERO scalar muls: Flatten is
+// a pure permutation (weight-1 rows cost no encrypted mul), so composing
+// it into the Dense just relabels the same 33,137 weighted terms. The
+// cost model must record that honestly — expected_savings: 0 — rather
+// than credit the fusion with crypto wins it does not deliver.
+TEST(FusionTest, Mnist2FusionCostModelPinsScalarMuls) {
+  DatasetSplit data = MakeZooDataset(ZooModelId::kMnist2, 0.02, 1000);
+  auto model = MakeTrainedZooModel(ZooModelId::kMnist2, data.train, 1001);
+  ASSERT_TRUE(model.ok()) << model.status().ToString();
+  // bench_common::Train keeps this first attempt only when it clears the
+  // plateau threshold; assert so a drift from the bench model is loud.
+  auto acc = EvaluateAccuracy(*model, data.train);
+  ASSERT_TRUE(acc.ok());
+  ASSERT_GE(*acc, 0.6);
+
+  auto plan = CompilePlan(*model, /*scale=*/10000);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  const auto& stats = plan->compile_stats;
+  EXPECT_EQ(stats.ops_fused, 1);
+  // 33,137 = 14,400 (Conv2D) + 18,417 (Flatten*Dense) + 320 (Dense),
+  // where a handful of trained weights quantize to exact zero at F=1e4.
+  EXPECT_EQ(stats.scalar_muls_before_fusion, 33137);
+  EXPECT_EQ(stats.scalar_muls_after_fusion, 33137);
+  EXPECT_EQ(stats.scalar_muls_before_fusion - stats.scalar_muls_after_fusion,
+            0);
+  // The fusion still pays for itself structurally: one fewer linear op
+  // and the intermediate flatten tensor eliminated.
+  EXPECT_LT(stats.linear_ops_after_fusion, stats.linear_ops_before_fusion);
+  EXPECT_GT(stats.dead_tensors_removed, 0);
 }
 
 TEST(FusionTest, ZooAccuracyIsIdenticalFusedVsUnfused) {

@@ -7,8 +7,8 @@
 //
 // Usage:
 //   plan_dump --model tiny|Breast|Heart|...|MNIST-1|...
-//             [--scale N] [--fusion count|always|never] [--pass-trace]
-//             [--write-golden FILE | --check-golden FILE]
+//             [--scale N] [--fusion count|always|never] [--packing KEYBITS]
+//             [--pass-trace] [--write-golden FILE | --check-golden FILE]
 
 #include <cstdio>
 #include <cstring>
@@ -124,6 +124,13 @@ int RunMain(int argc, char** argv) {
       } else {
         return Fail("--fusion needs count|always|never");
       }
+    } else if (arg == "--packing") {
+      const char* v = next();
+      if (!v) return Fail("--packing needs a key size in bits");
+      planner::PackingSpec spec;
+      spec.key_bits = std::atoi(v);
+      if (spec.key_bits < 16) return Fail("--packing key size too small");
+      options.packing = spec;
     } else if (arg == "--pass-trace") {
       pass_trace = true;
     } else if (arg == "--write-golden") {
