@@ -295,8 +295,9 @@ int main(int argc, char** argv) {
     // The chaos registry is the only place the resilience families all
     // exist at once; the exposition is linted here and again (with
     // required-family expectations) by run_benchmarks.sh.
-    const std::string prom = registry.PrometheusText();
-    PPS_CHECK_OK(obs::CheckPrometheusText(prom));
+    auto prom_or = obs::CheckedPrometheusText(registry);
+    PPS_CHECK_OK(prom_or.status());
+    const std::string& prom = prom_or.value();
     for (const char* family :
          {"pps_net_reconnects", "pps_net_session_created",
           "pps_net_session_lost", "pps_net_inference_restarts",

@@ -466,11 +466,13 @@ int main(int argc, char** argv) {
   json.close();
   std::printf("\nwrote %s\n", out_path);
 
-  // ---- Prometheus exposition + self-lint.
-  const std::string prom = registry.PrometheusText();
-  const Status lint = obs::CheckPrometheusText(prom);
-  PPS_CHECK(lint.ok()) << "Prometheus exposition failed its own linter: "
-                       << lint.ToString();
+  // ---- Prometheus exposition through the shared render-and-validate
+  // path (the admin endpoint's live /metrics uses the same one, so the
+  // file dump can never drift from what a scraper sees).
+  auto prom_or = obs::CheckedPrometheusText(registry);
+  PPS_CHECK(prom_or.ok()) << "Prometheus exposition failed its own linter: "
+                          << prom_or.status().ToString();
+  const std::string& prom = prom_or.value();
   std::ofstream prom_out(prom_path);
   PPS_CHECK(prom_out.good()) << "cannot write " << prom_path;
   prom_out << prom;

@@ -24,13 +24,22 @@
 # net.reconnects, fault.injected.net.sock.*) is live at once; both
 # expositions are held to the required-families expectations below.
 #
+# And bench_serving, which sweeps 1..N concurrent client sessions against
+# a live TCP server with the admin endpoint on, writes
+# bench/BENCH_serving.json (per-level p50/p99 latency, throughput, pool
+# miss rate, cost-attribution outcome) and a Prometheus exposition
+# scraped LIVE from /metrics mid-sweep — that file must carry the
+# serving + cost families and pass the same awk lint.
+#
 # Usage:
 #   bench/run_benchmarks.sh            # full run (writes BENCH_crypto.json)
 #   bench/run_benchmarks.sh --smoke    # CI smoke: 1-iteration benches,
-#                                      # 256-bit keys only for Figure 1
+#                                      # 256-bit keys only for Figure 1,
+#                                      # serving sweep capped at 8 sessions
 #
 # Env overrides: BUILD_DIR (default build), OUT_JSON, PIPELINE_JSON,
-# CHAOS_JSON, PROM_OUT, MIN_TIME, FIG1_MAX_BITS.
+# CHAOS_JSON, SERVING_JSON, PROM_OUT, SERVING_PROM, MIN_TIME,
+# FIG1_MAX_BITS.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -39,7 +48,9 @@ BUILD_DIR=${BUILD_DIR:-build}
 OUT_JSON=${OUT_JSON:-bench/BENCH_crypto.json}
 PIPELINE_JSON=${PIPELINE_JSON:-bench/BENCH_pipeline.json}
 CHAOS_JSON=${CHAOS_JSON:-bench/BENCH_chaos.json}
+SERVING_JSON=${SERVING_JSON:-bench/BENCH_serving.json}
 PROM_OUT=${PROM_OUT:-bench/metrics.prom}
+SERVING_PROM=${SERVING_PROM:-bench/serving_metrics.prom}
 
 SMOKE=0
 if [[ "${1:-}" == "--smoke" ]]; then
@@ -56,7 +67,7 @@ else
 fi
 
 for bin in bench_micro_crypto bench_fig1_paillier bench_table3_models \
-           bench_pipeline bench_chaos_tcp; do
+           bench_pipeline bench_chaos_tcp bench_serving; do
   if [[ ! -x "$BUILD_DIR/bench/$bin" ]]; then
     echo "error: $BUILD_DIR/bench/$bin not built (cmake --build $BUILD_DIR)" >&2
     exit 1
@@ -94,6 +105,14 @@ if [[ $SMOKE -eq 1 ]]; then
   CHAOS_ARGS+=(--smoke)
 fi
 "$BUILD_DIR/bench/bench_chaos_tcp" "${CHAOS_ARGS[@]}"
+
+echo
+echo "== bench_serving (concurrency sweep + live /metrics scrape) =="
+SERVING_ARGS=(--out "$SERVING_JSON" --prom "$SERVING_PROM")
+if [[ $SMOKE -eq 1 ]]; then
+  SERVING_ARGS+=(--smoke)
+fi
+"$BUILD_DIR/bench/bench_serving" "${SERVING_ARGS[@]}"
 
 # Second, independent lint of a Prometheus exposition: every sample line
 # must be `name value` with a bare-metric or labeled-metric name and a
@@ -177,6 +196,17 @@ require_families "$CHAOS_PROM" \
   pps_net_session_created pps_net_session_resumed pps_net_session_lost \
   pps_net_session_evicted pps_net_session_active \
   pps_fault_injected_error_net_sock_reset
+# The serving exposition is scraped live from the admin endpoint while
+# the sweep is in flight, so it must carry the serving-path and
+# cost-attribution families a dashboard would alert on.
+lint_prom "$SERVING_PROM"
+require_families "$SERVING_PROM" \
+  pps_serving_requests pps_serving_request_seconds pps_serving_frames \
+  pps_serving_inflight \
+  pps_cost_reconciled pps_cost_contended_skips pps_cost_overrun \
+  pps_cost_scalar_mul_ratio pps_cost_encrypt_ratio \
+  pps_crypto_scalar_muls pps_crypto_encrypts pps_crypto_pool_hits \
+  pps_net_session_created pps_net_session_active
 
 # Console rows look like:  BM_PaillierEncrypt/512   451234 ns   451100 ns   10
 awk '

@@ -5,6 +5,20 @@
 //   ./mp_server 19777            # serve until SIGTERM (graceful drain)
 //   ./mp_server 19777 --once     # serve one connection, then exit (CI)
 //   ./mp_server 19777 --once --trace mp_trace.json   # + Chrome trace dump
+//   ./mp_server 19777 --admin-port 19778             # + /metrics, /statusz
+//   ./mp_server 19777 --flightrec mp_flightrec.json  # failure recorder
+//
+// With --admin-port, a side HTTP endpoint (obs/admin.h) serves live
+// /metrics (Prometheus), /healthz (503 while draining), /statusz
+// (non-secret serving state as JSON), and /debug/flightrec:
+//
+//   curl -s http://127.0.0.1:19778/metrics | head
+//   curl -s http://127.0.0.1:19778/statusz
+//
+// With --flightrec, the flight recorder arms: trigger events (deadline
+// sheds, replay refusals, breaker opens, drain) dump the last ~4096
+// spans/logs/events to the given path, and a final dump is written after
+// drain so post-mortems always have the tail of the timeline.
 //
 // SIGTERM/SIGINT begin a graceful drain (DESIGN.md §11): no new
 // connections, the in-flight connection gets a grace period to finish,
@@ -28,6 +42,7 @@
 
 #include "net/server.h"
 #include "nn/model_zoo.h"
+#include "obs/flightrec.h"
 #include "obs/trace.h"
 
 using namespace ppstream;
@@ -48,16 +63,26 @@ int main(int argc, char** argv) {
   uint16_t port = 19777;
   bool once = false;
   const char* trace_path = nullptr;
+  const char* flightrec_path = nullptr;
+  int admin_port = -1;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--once") == 0) {
       once = true;
     } else if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
       trace_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--admin-port") == 0 && i + 1 < argc) {
+      admin_port = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--flightrec") == 0 && i + 1 < argc) {
+      flightrec_path = argv[++i];
     } else {
       port = static_cast<uint16_t>(std::atoi(argv[i]));
     }
   }
   if (trace_path != nullptr) obs::Tracer::Global().SetEnabled(true);
+  if (flightrec_path != nullptr) {
+    obs::FlightRecorder::Global().SetDumpPath(flightrec_path);
+    obs::FlightRecorder::Global().SetEnabled(true);
+  }
 
   std::printf("== PP-Stream model-provider server ==\n\n");
 
@@ -75,6 +100,7 @@ int main(int argc, char** argv) {
 
   ModelProviderServerOptions options;
   options.worker_threads = 2;
+  options.admin_port = admin_port;
   ModelProviderTcpServer server(plan, options);
   PPS_CHECK_OK(server.Listen(port));
   g_server = &server;
@@ -82,6 +108,11 @@ int main(int argc, char** argv) {
   std::signal(SIGINT, HandleShutdownSignal);
   std::printf("listening on 127.0.0.1:%u (%s)\n", server.port(),
               once ? "single connection" : "SIGTERM/ctrl-C drains and stops");
+  if (server.admin_port() != 0) {
+    std::printf("admin endpoint on http://127.0.0.1:%u (/metrics /healthz "
+                "/statusz /debug/flightrec)\n",
+                server.admin_port());
+  }
   std::fflush(stdout);
 
   if (once) {
@@ -95,6 +126,13 @@ int main(int argc, char** argv) {
     obs::Tracer::Global().WriteChromeJson(out);
     std::printf("wrote %zu span(s) to %s\n",
                 obs::Tracer::Global().Snapshot().size(), trace_path);
+  }
+  if (flightrec_path != nullptr) {
+    // Post-drain dump: the recorder's tail is this process's black box.
+    obs::FlightRecorder::Global().TriggerDump("mp_server.exit");
+    std::printf("flight recorder dump at %s (%llu dump(s))\n", flightrec_path,
+                static_cast<unsigned long long>(
+                    obs::FlightRecorder::Global().dumps()));
   }
   std::printf("served %llu connection(s); mp_server OK\n",
               static_cast<unsigned long long>(server.connections_served()));

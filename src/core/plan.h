@@ -23,6 +23,7 @@
 
 #include "core/affine.h"
 #include "nn/model.h"
+#include "obs/cost.h"
 #include "planner/passes.h"
 #include "util/status.h"
 
@@ -136,6 +137,21 @@ struct CompileOptions {
 /// Compiles a trained model at scale F = `scale`.
 Result<InferencePlan> CompilePlan(const Model& model, int64_t scale,
                                   const CompileOptions& options = {});
+
+/// Expected per-request crypto cost of the scalar protocol path, priced
+/// from the plan: encrypts = EncryptionsPerRequest(); scalar_muls = the
+/// sum of every stage op's EncryptedScalarMuls() (exactly what
+/// crypto.scalar_muls counts during ApplyEncryptedRows). On a
+/// data-provider view the weights are absent, so scalar_muls prices to 0
+/// ("unknown, don't reconcile") while encrypts stays exact.
+obs::RequestCostBudget ExpectedRequestCost(const InferencePlan& plan);
+
+/// Expected cost of one `lanes`-wide packed batch
+/// (RunPackedBatchInference): packed rounds price one encrypt per word
+/// (element) and GroupScalarMuls() per kernel; scalar-fallback rounds
+/// price the scalar cost times `lanes`.
+obs::RequestCostBudget ExpectedPackedBatchCost(const InferencePlan& plan,
+                                               int64_t lanes);
 
 /// Step 1+2 only: MaxPool rewrite + mixed-layer decomposition (the
 /// rewrite-maxpool and decompose-mixed passes). Exposed for tests and for

@@ -8,6 +8,7 @@
 #include "core/partition.h"
 #include "crypto/packing.h"
 #include "nn/dataset.h"
+#include "obs/cost.h"
 #include "obs/trace.h"
 #include "tensor/ops.h"
 #include "util/logging.h"
@@ -726,6 +727,10 @@ Result<DoubleTensor> RunProtocolInference(ModelProviderApi& mp,
   // below all parent (directly or transitively) under it.
   obs::ScopedSpan root = obs::ScopedSpan::Root("inference", "request",
                                                request_id);
+  // Cost attribution: against a data-provider view (remote MP) the budget
+  // prices encrypts only; in-process, scalar muls reconcile too. A failed
+  // attempt finishes unreconciled via the ledger destructor.
+  obs::RequestCostLedger ledger(request_id, ExpectedRequestCost(mp.plan()));
   PPS_ASSIGN_OR_RETURN(std::vector<Ciphertext> wire, dp.EncryptInput(input));
   for (size_t r = 0; r < rounds; ++r) {
     PPS_ASSIGN_OR_RETURN(wire, mp.ProcessRound(request_id, r, wire));
@@ -748,7 +753,9 @@ Result<DoubleTensor> RunProtocolInference(ModelProviderApi& mp,
     }
   }
   PPS_RETURN_IF_ERROR(mp.ReleaseRequestState(request_id));
-  return dp.ProcessFinal(wire);
+  Result<DoubleTensor> out = dp.ProcessFinal(wire);
+  ledger.Finish(out.ok());
+  return out;
 }
 
 Result<std::vector<DoubleTensor>> RunPackedBatchInference(
@@ -761,6 +768,8 @@ Result<std::vector<DoubleTensor>> RunPackedBatchInference(
   const size_t rounds = mp.plan().NumRounds();
   obs::ScopedSpan root =
       obs::ScopedSpan::Root("inference_packed", "request", request_id);
+  obs::RequestCostLedger ledger(request_id,
+                                ExpectedPackedBatchCost(mp.plan(), lanes));
   PPS_ASSIGN_OR_RETURN(std::vector<Ciphertext> wire,
                        dp.EncryptInputPackedBatch(inputs, pool));
   for (size_t r = 0; r < rounds; ++r) {
@@ -772,7 +781,10 @@ Result<std::vector<DoubleTensor>> RunPackedBatchInference(
     }
   }
   PPS_RETURN_IF_ERROR(mp.ReleaseRequestState(request_id));
-  return dp.ProcessFinalPackedBatch(wire, lanes, pool);
+  Result<std::vector<DoubleTensor>> out =
+      dp.ProcessFinalPackedBatch(wire, lanes, pool);
+  ledger.Finish(out.ok());
+  return out;
 }
 
 Result<DoubleTensor> RunScaledPlainInference(const InferencePlan& plan,

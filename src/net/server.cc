@@ -1,11 +1,19 @@
 #include "net/server.h"
 
 #include <algorithm>
+#include <chrono>
+#include <list>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <thread>
 #include <utility>
 #include <vector>
 
 #include "net/transport.h"
 #include "net/wire.h"
+#include "obs/cost.h"
+#include "obs/flightrec.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "util/logging.h"
@@ -24,15 +32,61 @@ struct ServerMetrics {
   obs::Counter* pings_served;
   obs::Counter* deadline_shed;
   obs::Counter* replays_served;
+  obs::Counter* requests_completed;  // serving.requests
+  obs::Counter* frames;              // serving.frames
+  obs::Histogram* request_seconds;   // serving.request_seconds
+  obs::Gauge* inflight;              // serving.inflight
 
   static const ServerMetrics& Get() {
     static const ServerMetrics metrics = [] {
       obs::MetricsRegistry& r = obs::MetricsRegistry::Global();
       return ServerMetrics{r.GetCounter("net.pings.served"),
                            r.GetCounter("net.deadline.shed"),
-                           r.GetCounter("net.session.replays")};
+                           r.GetCounter("net.session.replays"),
+                           r.GetCounter("serving.requests"),
+                           r.GetCounter("serving.frames"),
+                           r.GetHistogram("serving.request_seconds"),
+                           r.GetGauge("serving.inflight")};
     }();
     return metrics;
+  }
+};
+
+/// Records a flight-recorder event and triggers a dump when the recorder
+/// is armed; trigger sites are the moments worth explaining post-hoc.
+void FlightRecordIncident(std::string_view kind, std::string_view detail,
+                          uint64_t request_id) {
+  obs::FlightRecorder& recorder = obs::FlightRecorder::Global();
+  if (!recorder.enabled()) return;
+  recorder.RecordEvent(kind, detail, request_id);
+  recorder.TriggerDump(kind);
+}
+
+/// Tracks one in-progress request across its frames on a connection:
+/// dispatch deltas accumulate until kMpReleaseRequestState reconciles
+/// them against the plan-priced budget.
+struct RequestCostTracker {
+  uint64_t request_id = 0;
+  bool active = false;
+  uint32_t contended_mask = 0;
+  double start_seconds = 0;
+  obs::CryptoCostSnapshot accumulated;
+
+  void BeginIfNew(uint64_t id, double now) {
+    if (active && request_id == id) return;
+    request_id = id;
+    active = true;
+    contended_mask = 0;
+    start_seconds = now;
+    accumulated = obs::CryptoCostSnapshot{};
+  }
+
+  void Accumulate(const obs::CryptoCostSnapshot& delta, uint32_t contended) {
+    accumulated.encrypts += delta.encrypts;
+    accumulated.decrypts += delta.decrypts;
+    accumulated.scalar_muls += delta.scalar_muls;
+    accumulated.pack_hom_adds += delta.pack_hom_adds;
+    contended_mask |= contended;
   }
 };
 
@@ -55,9 +109,77 @@ ModelProviderTcpServer::ModelProviderTcpServer(
   (void)ServerMetrics::Get();
 }
 
+ModelProviderTcpServer::~ModelProviderTcpServer() {
+  if (admin_) admin_->Stop();
+}
+
 Status ModelProviderTcpServer::Listen(uint16_t port) {
   PPS_ASSIGN_OR_RETURN(listener_, TcpListener::Bind(port));
+  if (options_.admin_port >= 0 && !admin_) {
+    auto admin = std::make_unique<obs::AdminServer>();
+    obs::AdminState state;
+    // metrics_text stays unset: the endpoint's default is the shared
+    // CheckedPrometheusText path (validated exposition or a 500).
+    state.statusz_json = [this] { return StatusJson(); };
+    state.healthy = [this] { return !stopping(); };
+    state.flightrec_json = [] {
+      return obs::FlightRecorder::Global().DumpJson();
+    };
+    PPS_RETURN_IF_ERROR(admin->Start(
+        static_cast<uint16_t>(options_.admin_port), std::move(state)));
+    admin_ = std::move(admin);
+  }
   return Status::OK();
+}
+
+std::string ModelProviderTcpServer::StatusJson() const {
+  // Everything below is non-secret by construction: session rows carry
+  // registry ordinals (never the entropy-derived resume ids), and the
+  // plan section is shape/count data already public in the DP view.
+  obs::MetricsRegistry& r = obs::MetricsRegistry::Global();
+  const double now = obs::MonotonicSeconds();
+  std::ostringstream out;
+  out << "{";
+  out << "\"serving\":{"
+      << "\"connections_served\":" << connections_.load()
+      << ",\"inflight\":" << inflight_.load()
+      << ",\"draining\":" << (drain_deadline_.load() > 0 ? "true" : "false")
+      << ",\"stopping\":" << (stopping_.load() ? "true" : "false")
+      << ",\"max_concurrent_connections\":"
+      << options_.max_concurrent_connections << "},";
+  out << "\"plan\":{"
+      << "\"rounds\":" << plan_->NumRounds()
+      << ",\"encryptions_per_request\":" << plan_->EncryptionsPerRequest()
+      << ",\"packed_lanes\":" << plan_->PackedBatchLanes()
+      << ",\"expected_scalar_muls\":" << ExpectedRequestCost(*plan_).scalar_muls
+      << "},";
+  out << "\"sessions\":{"
+      << "\"live\":" << sessions_.size()
+      << ",\"max\":" << sessions_.options().max_sessions << ",\"entries\":[";
+  const std::vector<SessionStatusEntry> rows = sessions_.StatusSnapshot(now);
+  for (size_t i = 0; i < rows.size(); ++i) {
+    if (i > 0) out << ",";
+    out << "{\"ordinal\":" << rows[i].ordinal
+        << ",\"last_sequence\":" << rows[i].last_sequence
+        << ",\"cached_replies\":" << rows[i].cached_replies
+        << ",\"cached_bytes\":" << rows[i].cached_bytes
+        << ",\"age_seconds\":" << rows[i].age_seconds
+        << ",\"idle_seconds\":" << rows[i].idle_seconds << "}";
+  }
+  out << "]},";
+  out << "\"randomizer_pool\":{"
+      << "\"hits\":" << r.GetCounter("crypto.pool.hits")->Value()
+      << ",\"misses\":" << r.GetCounter("crypto.pool.misses")->Value()
+      << ",\"produced\":" << r.GetCounter("crypto.pool.produced")->Value()
+      << ",\"refills\":" << r.GetCounter("crypto.pool.refills")->Value()
+      << ",\"available\":" << r.GetGauge("crypto.pool.available")->Value()
+      << "},";
+  out << "\"breaker\":{"
+      << "\"opens\":" << r.GetCounter("net.breaker.opens")->Value()
+      << ",\"state\":" << r.GetGauge("net.breaker.state")->Value() << "},";
+  out << "\"wire\":{\"version\":" << kWireVersionSession << "}";
+  out << "}";
+  return out.str();
 }
 
 void ModelProviderTcpServer::BeginDrain(double grace_seconds) {
@@ -81,6 +203,7 @@ Status ModelProviderTcpServer::Serve() {
   if (!listener_.valid()) {
     return Status::FailedPrecondition("server is not listening (call Listen)");
   }
+  if (options_.max_concurrent_connections > 1) return ServeConcurrent();
   while (!stopping_.load()) {
     Result<TcpSocket> socket =
         listener_.Accept(options_.accept_poll_seconds, wake_.read_fd());
@@ -103,6 +226,61 @@ Status ModelProviderTcpServer::Serve() {
           .Kv("error", status.ToString());
     }
   }
+  return Status::OK();
+}
+
+Status ModelProviderTcpServer::ServeConcurrent() {
+  // One thread per established connection, bounded by the option. Each
+  // connection owns its ModelProvider (or resumed session), so the only
+  // cross-thread state is the locked registry, the atomic counters, and
+  // the shared linear-stage worker pool.
+  struct Worker {
+    std::thread thread;
+    std::shared_ptr<std::atomic<bool>> done;
+  };
+  std::list<Worker> workers;
+  const size_t max_conns = options_.max_concurrent_connections;
+  while (!stopping_.load()) {
+    // Reap finished threads so a long-lived server stays bounded.
+    for (auto it = workers.begin(); it != workers.end();) {
+      if (it->done->load()) {
+        it->thread.join();
+        it = workers.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    if (workers.size() >= max_conns) {
+      // Saturated: let an in-flight connection finish before accepting.
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+      continue;
+    }
+    Result<TcpSocket> socket =
+        listener_.Accept(options_.accept_poll_seconds, wake_.read_fd());
+    if (!socket.ok()) {
+      const StatusCode code = socket.status().code();
+      if (code == StatusCode::kDeadlineExceeded ||
+          code == StatusCode::kCancelled) {
+        continue;
+      }
+      break;
+    }
+    auto done = std::make_shared<std::atomic<bool>>(false);
+    Worker worker;
+    worker.done = done;
+    worker.thread = std::thread(
+        [this, done](TcpSocket conn) {
+          const Status status = ServeConnection(std::move(conn));
+          if (!status.ok()) {
+            PPS_SLOG(Warn, "server.connection_error")
+                .Kv("error", status.ToString());
+          }
+          done->store(true);
+        },
+        std::move(socket).value());
+    workers.push_back(std::move(worker));
+  }
+  for (Worker& worker : workers) worker.thread.join();
   return Status::OK();
 }
 
@@ -236,6 +414,16 @@ Status ModelProviderTcpServer::ServeConnection(TcpSocket socket) {
 
   ModelProvider& mp = session ? session->provider() : *local_mp;
 
+  // Serving-path attribution state for this connection: the plan prices
+  // the model provider's own work (scalar muls; encrypts are the data
+  // provider's side of the split), and the session ordinal labels the
+  // per-tenant metric series.
+  const obs::RequestCostBudget mp_budget{
+      0, ExpectedRequestCost(*plan_).scalar_muls};
+  const std::string session_label =
+      session ? std::to_string(session->ordinal()) : std::string();
+  RequestCostTracker cost_tracker;
+
   // ---- Request loop until the peer hangs up (or drain cuts it off).
   for (;;) {
     const Status wait = WaitForRequest(socket);
@@ -246,6 +434,8 @@ Status ModelProviderTcpServer::ServeConnection(TcpSocket socket) {
         // against a replacement process... or this one, if drain is
         // cancelled. Closing the socket is enough to unblock Serve().
         PPS_SLOG(Info, "server.drain_cutoff").Kv("connection", conn);
+        FlightRecordIncident("drain.cutoff", "connection grace expired",
+                             cost_tracker.request_id);
         return Status::OK();
       }
       return wait;  // idle timeout or a real socket error
@@ -267,6 +457,9 @@ Status ModelProviderTcpServer::ServeConnection(TcpSocket socket) {
       // The client stopped waiting for this answer; don't burn Paillier
       // CPU producing it.
       ServerMetrics::Get().deadline_shed->Increment();
+      FlightRecordIncident("deadline.shed",
+                           WireMethodToString(request->method),
+                           request->request_id);
       const Status expired = Status::DeadlineExceeded(
           "request deadline expired before dispatch; shedding");
       PPS_RETURN_IF_ERROR(SendFrameBytes(
@@ -284,6 +477,9 @@ Status ModelProviderTcpServer::ServeConnection(TcpSocket socket) {
         continue;
       }
       if (session->IsStaleSequence(request->sequence)) {
+        FlightRecordIncident("replay.refused",
+                             "stale sequence: reply evicted",
+                             request->request_id);
         const Status stale = Status::ProtocolError(
             "stale sequence: reply already served and evicted");
         PPS_RETURN_IF_ERROR(SendFrameBytes(
@@ -291,8 +487,51 @@ Status ModelProviderTcpServer::ServeConnection(TcpSocket socket) {
         continue;
       }
     }
-    const WireFrame response =
-        DispatchModelProviderFrame(mp, *request, pool_.get());
+    // ---- Dispatch, attributing the crypto-counter delta to the frame's
+    // request. The interval declares scalar muls as this side's mutation
+    // set, so a loopback client's encrypt-side ledger never contends it.
+    const double dispatch_start = obs::MonotonicSeconds();
+    if (request->request_id != 0) {
+      cost_tracker.BeginIfNew(request->request_id, dispatch_start);
+    }
+    ServerMetrics::Get().frames->Increment();
+    ServerMetrics::Get().inflight->Set(
+        static_cast<double>(inflight_.fetch_add(1) + 1));
+    WireFrame response;
+    {
+      obs::CostInterval interval(obs::kCostScalarMuls);
+      response = DispatchModelProviderFrame(mp, *request, pool_.get());
+      interval.End();
+      if (request->request_id != 0) {
+        cost_tracker.Accumulate(interval.Delta(), interval.contended_mask());
+      }
+    }
+    ServerMetrics::Get().inflight->Set(
+        static_cast<double>(inflight_.fetch_sub(1) - 1));
+    if (cost_tracker.active &&
+        request->method == WireMethod::kMpReleaseRequestState &&
+        response.status == StatusCode::kOk) {
+      // End of the request: reconcile the accumulated dispatch deltas
+      // against the plan's price and publish the serving-path series.
+      const double elapsed =
+          obs::MonotonicSeconds() - cost_tracker.start_seconds;
+      ServerMetrics::Get().requests_completed->Increment();
+      ServerMetrics::Get().request_seconds->Record(elapsed);
+      if (!session_label.empty()) {
+        obs::MetricsRegistry& r = obs::MetricsRegistry::Global();
+        r.GetCounter(obs::LabeledMetricName("serving.requests",
+                                            {{"session", session_label}}))
+            ->Increment();
+        r.GetHistogram(obs::LabeledMetricName(
+                           "serving.request_seconds",
+                           {{"session", session_label}}))
+            ->Record(elapsed);
+      }
+      obs::ReconcileRequestCost(cost_tracker.request_id, mp_budget,
+                                cost_tracker.accumulated,
+                                cost_tracker.contended_mask, session_label);
+      cost_tracker.active = false;
+    }
     const std::vector<uint8_t> encoded = EncodeFrame(response);
     if (session && request->sequence != 0) {
       // Cache before sending: a reply lost in flight must be replayed

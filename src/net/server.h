@@ -45,10 +45,12 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <string>
 
 #include "core/protocol.h"
 #include "net/session.h"
 #include "net/socket.h"
+#include "obs/admin.h"
 #include "util/thread_pool.h"
 
 namespace ppstream {
@@ -67,6 +69,16 @@ struct ModelProviderServerOptions {
   /// Session-resume layer bounds (enable_sessions = false refuses
   /// sessioned handshakes and serves exactly like the pre-session wire).
   SessionLayerOptions session;
+  /// Observability side port (DESIGN.md §14): -1 disables the admin
+  /// endpoint, 0 binds an ephemeral port (read back with admin_port()),
+  /// >0 binds that port. Served by its own thread; see obs/admin.h.
+  int admin_port = -1;
+  /// Connections served concurrently by Serve(). 1 (the default) keeps
+  /// the legacy single-connection-at-a-time behavior; >1 dispatches each
+  /// accepted connection to its own thread — the saturation regime
+  /// bench_serving sweeps. Each connection still gets its own
+  /// ModelProvider/session, so protocol state never crosses threads.
+  size_t max_concurrent_connections = 1;
 };
 
 class ModelProviderTcpServer {
@@ -75,11 +87,22 @@ class ModelProviderTcpServer {
   /// served. `port` 0 binds an ephemeral port — read it back with port().
   ModelProviderTcpServer(std::shared_ptr<const InferencePlan> plan,
                          ModelProviderServerOptions options = {});
+  ~ModelProviderTcpServer();
 
-  /// Binds and listens on 127.0.0.1:`port`.
+  /// Binds and listens on 127.0.0.1:`port`; also starts the admin
+  /// endpoint when options.admin_port >= 0.
   Status Listen(uint16_t port);
 
   uint16_t port() const { return listener_.port(); }
+
+  /// Bound admin port (0 when the admin endpoint is disabled).
+  uint16_t admin_port() const { return admin_ ? admin_->port() : 0; }
+
+  /// The /statusz JSON body: non-secret serving state only (session
+  /// ordinals, occupancy, in-flight count, plan shape, pool counters —
+  /// never session ids, keys, or randomizer state). Public so tests can
+  /// assert its contents without a socket.
+  std::string StatusJson() const;
 
   /// Accepts one connection and serves it to completion (peer disconnect
   /// or fatal socket error). DeadlineExceeded when nothing connected
@@ -113,9 +136,16 @@ class ModelProviderTcpServer {
   /// Live resumable sessions (tests assert create/evict behavior).
   size_t sessions_live() const { return sessions_.size(); }
 
+  /// Requests currently being dispatched (serving.inflight mirror).
+  uint64_t inflight() const { return inflight_.load(); }
+
  private:
   /// Handshake + request loop for one established connection.
   Status ServeConnection(TcpSocket socket);
+
+  /// Serve() body for max_concurrent_connections > 1: accepted sockets
+  /// fan out to per-connection threads, bounded by the option.
+  Status ServeConcurrent();
 
   /// Slices a long idle wait into cancellable pieces: returns OK when a
   /// frame is readable, kDeadlineExceeded after io_timeout_seconds idle,
@@ -132,6 +162,8 @@ class ModelProviderTcpServer {
   /// Monotonic deadline once draining; 0 = not draining.
   std::atomic<double> drain_deadline_{0};
   std::atomic<uint64_t> connections_{0};
+  std::atomic<uint64_t> inflight_{0};
+  std::unique_ptr<obs::AdminServer> admin_;
 };
 
 }  // namespace ppstream

@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/logging.h"
 
 namespace ppstream {
@@ -31,10 +32,11 @@ struct SessionMetrics {
 
 }  // namespace
 
-ServerSession::ServerSession(uint64_t id,
+ServerSession::ServerSession(uint64_t id, uint64_t ordinal,
                              std::unique_ptr<ModelProvider> provider,
                              std::vector<uint8_t> view_payload)
     : id_(id),
+      ordinal_(ordinal),
       provider_(std::move(provider)),
       view_payload_(std::move(view_payload)) {
   PPS_CHECK(provider_ != nullptr);
@@ -48,24 +50,29 @@ const std::vector<uint8_t>* ServerSession::CachedReply(
 }
 
 bool ServerSession::IsStaleSequence(uint64_t sequence) const {
-  return sequence <= max_sequence_ && replies_.count(sequence) == 0;
+  return sequence <= last_sequence() && replies_.count(sequence) == 0;
 }
 
 void ServerSession::StoreReply(uint64_t sequence,
                                std::vector<uint8_t> encoded,
                                const SessionLayerOptions& bounds) {
-  if (sequence > max_sequence_) max_sequence_ = sequence;
-  cached_bytes_ += encoded.size();
+  if (sequence > last_sequence()) {
+    max_sequence_.store(sequence, std::memory_order_relaxed);
+  }
+  uint64_t bytes = cached_bytes_.load(std::memory_order_relaxed);
+  bytes += encoded.size();
   replies_[sequence] = std::move(encoded);
   // Evict oldest-first past either bound, but never the entry just
   // stored: the reply most likely to be replayed is the newest one.
   while (replies_.size() > 1 &&
          (replies_.size() > bounds.reply_cache_entries ||
-          cached_bytes_ > bounds.reply_cache_bytes)) {
+          bytes > bounds.reply_cache_bytes)) {
     const auto oldest = replies_.begin();
-    cached_bytes_ -= oldest->second.size();
+    bytes -= oldest->second.size();
     replies_.erase(oldest);
   }
+  cached_bytes_.store(bytes, std::memory_order_relaxed);
+  cached_entries_.store(replies_.size(), std::memory_order_relaxed);
 }
 
 SessionRegistry::SessionRegistry(SessionLayerOptions options)
@@ -83,13 +90,16 @@ std::shared_ptr<ServerSession> SessionRegistry::Create(
     for (auto it = sessions_.begin(); it != sessions_.end(); ++it) {
       if (it->second.used_tick < victim->second.used_tick) victim = it;
     }
-    PPS_SLOG(Debug, "session.evicted").Kv("session", victim->first);
+    // Log the public ordinal, never the resume-gating id.
+    PPS_SLOG(Debug, "session.evicted")
+        .Kv("session", victim->second.session->ordinal());
     SessionMetrics::Get().evicted->Increment();
     sessions_.erase(victim);
   }
+  const double now = obs::MonotonicSeconds();
   auto session = std::make_shared<ServerSession>(
-      id, std::move(provider), std::move(view_payload));
-  sessions_[id] = Entry{session, ++tick_};
+      id, ++next_ordinal_, std::move(provider), std::move(view_payload));
+  sessions_[id] = Entry{session, ++tick_, now, now};
   SessionMetrics::Get().created->Increment();
   SessionMetrics::Get().active->Set(static_cast<double>(sessions_.size()));
   return session;
@@ -103,6 +113,7 @@ Result<std::shared_ptr<ServerSession>> SessionRegistry::Resume(uint64_t id) {
     return Status::NotFound("unknown or expired session");
   }
   it->second.used_tick = ++tick_;
+  it->second.used_seconds = obs::MonotonicSeconds();
   SessionMetrics::Get().resumed->Increment();
   return it->second.session;
 }
@@ -116,6 +127,25 @@ void SessionRegistry::Remove(uint64_t id) {
 size_t SessionRegistry::size() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return sessions_.size();
+}
+
+std::vector<SessionStatusEntry> SessionRegistry::StatusSnapshot(
+    double now_seconds) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<SessionStatusEntry> rows;
+  rows.reserve(sessions_.size());
+  for (const auto& [id, entry] : sessions_) {
+    (void)id;  // deliberately unused: status rows carry ordinals only
+    SessionStatusEntry row;
+    row.ordinal = entry.session->ordinal();
+    row.last_sequence = entry.session->last_sequence();
+    row.cached_replies = entry.session->cached_replies();
+    row.cached_bytes = entry.session->cached_bytes();
+    row.age_seconds = now_seconds - entry.created_seconds;
+    row.idle_seconds = now_seconds - entry.used_seconds;
+    rows.push_back(row);
+  }
+  return rows;
 }
 
 bool RequestDeadlinePassed(uint64_t deadline_micros, double received_seconds,

@@ -33,6 +33,7 @@
 
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -66,10 +67,16 @@ struct SessionLayerOptions {
 /// One resumable connection's worth of server state.
 class ServerSession {
  public:
-  ServerSession(uint64_t id, std::unique_ptr<ModelProvider> provider,
+  ServerSession(uint64_t id, uint64_t ordinal,
+                std::unique_ptr<ModelProvider> provider,
                 std::vector<uint8_t> view_payload);
 
   uint64_t id() const { return id_; }
+  /// Registry-assigned creation ordinal (1, 2, 3, ...). The *public*
+  /// name of the session: status pages, logs, and metric labels use the
+  /// ordinal so the entropy-derived id (which gates resume) never leaks
+  /// through an observability surface.
+  uint64_t ordinal() const { return ordinal_; }
   ModelProvider& provider() { return *provider_; }
   /// The handshake response body (weight-free plan view), re-sent
   /// verbatim on every resume so reconnecting clients can verify they
@@ -89,15 +96,44 @@ class ServerSession {
                   const SessionLayerOptions& bounds);
 
   /// Highest sequence number served (0 before the first sessioned call).
-  uint64_t last_sequence() const { return max_sequence_; }
+  /// Atomic so a concurrent /statusz scrape reads a torn-free value
+  /// while the owning connection is mid-StoreReply.
+  uint64_t last_sequence() const {
+    return max_sequence_.load(std::memory_order_relaxed);
+  }
+
+  /// Reply-cache occupancy, readable concurrently with StoreReply.
+  uint64_t cached_replies() const {
+    return cached_entries_.load(std::memory_order_relaxed);
+  }
+  uint64_t cached_bytes() const {
+    return cached_bytes_.load(std::memory_order_relaxed);
+  }
 
  private:
   const uint64_t id_;
+  const uint64_t ordinal_;
   std::unique_ptr<ModelProvider> provider_;
   const std::vector<uint8_t> view_payload_;
   std::map<uint64_t, std::vector<uint8_t>> replies_;  // sequence → reply
-  size_t cached_bytes_ = 0;
-  uint64_t max_sequence_ = 0;
+  // The map is only touched by the owning connection; these mirrors are
+  // atomic solely so the admin thread's StatusSnapshot can read them.
+  std::atomic<uint64_t> cached_bytes_{0};
+  std::atomic<uint64_t> cached_entries_{0};
+  std::atomic<uint64_t> max_sequence_{0};
+};
+
+/// Non-secret status row for one live session (/statusz). Deliberately
+/// excludes the session id: ordinals order and name sessions publicly,
+/// ids authenticate resumes.
+struct SessionStatusEntry {
+  uint64_t ordinal = 0;
+  uint64_t last_sequence = 0;
+  uint64_t cached_replies = 0;
+  uint64_t cached_bytes = 0;
+  /// Seconds since the session was created / last resumed.
+  double age_seconds = 0;
+  double idle_seconds = 0;
 };
 
 /// Registry of live sessions with LRU eviction; owned by the TCP server.
@@ -123,10 +159,18 @@ class SessionRegistry {
 
   size_t size() const;
 
+  /// Non-secret rows for every live session, ages measured against
+  /// `now_seconds` (obs::MonotonicSeconds). Takes the registry lock
+  /// briefly; per-session fields come from the sessions' atomics, so a
+  /// snapshot during active inference never tears.
+  std::vector<SessionStatusEntry> StatusSnapshot(double now_seconds) const;
+
  private:
   struct Entry {
     std::shared_ptr<ServerSession> session;
     uint64_t used_tick = 0;  // registry-local LRU clock
+    double created_seconds = 0;  // MonotonicSeconds at Create
+    double used_seconds = 0;     // MonotonicSeconds at Create/last Resume
   };
 
   const SessionLayerOptions options_;
@@ -134,6 +178,7 @@ class SessionRegistry {
   SecureRng id_rng_;
   std::map<uint64_t, Entry> sessions_;
   uint64_t tick_ = 0;
+  uint64_t next_ordinal_ = 0;
 };
 
 /// True when a request's propagated deadline (header deadline_micros,

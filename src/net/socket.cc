@@ -225,6 +225,25 @@ Status TcpSocket::RecvAll(uint8_t* data, size_t len,
   return Status::OK();
 }
 
+Result<size_t> TcpSocket::RecvSome(uint8_t* data, size_t max,
+                                   double timeout_seconds) {
+  if (!valid()) return Status::FailedPrecondition("socket is closed");
+  if (max == 0) return size_t{0};
+  const double deadline = MonotonicSeconds() + timeout_seconds;
+  for (;;) {
+    PPS_RETURN_IF_ERROR(PollFor(fd_, POLLIN, deadline));
+    const ssize_t n = ::recv(fd_, data, max, 0);
+    if (n < 0) {
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) {
+        continue;
+      }
+      return Errno("recv");
+    }
+    if (n == 0) return Status::IoError("connection closed");
+    return static_cast<size_t>(n);
+  }
+}
+
 Status TcpSocket::WaitReadable(double timeout_seconds, int cancel_fd) {
   if (!valid()) return Status::FailedPrecondition("socket is closed");
   return PollFor(fd_, POLLIN, MonotonicSeconds() + timeout_seconds,
@@ -274,7 +293,9 @@ Result<TcpListener> TcpListener::Bind(uint16_t port) {
       0) {
     return Errno("bind");
   }
-  if (::listen(fd, /*backlog=*/4) < 0) return Errno("listen");
+  // Deep enough for a saturation bench's burst of concurrent dials plus
+  // admin scrapes; pre-PR-9 the backlog was 4, sized for one client.
+  if (::listen(fd, /*backlog=*/64) < 0) return Errno("listen");
 
   socklen_t len = sizeof(addr);
   if (::getsockname(fd, reinterpret_cast<struct sockaddr*>(&addr), &len) <

@@ -73,6 +73,13 @@ class TcpSocket {
   /// Reads exactly `len` bytes or fails (see header for EOF semantics).
   Status RecvAll(uint8_t* data, size_t len, double timeout_seconds);
 
+  /// Reads whatever is available, up to `max` bytes (at least one).
+  /// Returns the byte count; kIoError "connection closed" on a clean
+  /// EOF. The building block for delimiter-framed protocols (the admin
+  /// endpoint's HTTP request line) where the length is not known up
+  /// front.
+  Result<size_t> RecvSome(uint8_t* data, size_t max, double timeout_seconds);
+
   /// Waits until at least one byte is readable (or the peer hung up),
   /// without consuming anything — lets a server slice a long idle wait
   /// into cancellable pieces before committing to a full frame read.

@@ -5,6 +5,7 @@
 #include <limits>
 #include <thread>
 
+#include "obs/flightrec.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "stream/message.h"
@@ -637,8 +638,9 @@ Status ResilientTcpChannel::HandshakeOnSocket(bool initial_dial) {
   session_id_ = response.session_id;
   session_id_atomic_.store(session_id_, std::memory_order_relaxed);
   if (!initial_dial) {
+    // The resume-gating session id stays out of logs; whether a session
+    // was resumed at all is the operationally interesting bit.
     PPS_SLOG(Info, "net.reconnected")
-        .Kv("session", session_id_)
         .Kv("resumed", response.session_id != 0);
   }
   return Status::OK();
@@ -665,6 +667,14 @@ Status ResilientTcpChannel::EnsureConnected() {
     reconnects_atomic_.fetch_add(1, std::memory_order_relaxed);
     NetMetrics::Get().reconnects->Increment();
     NetMetrics::Get().reconnect_seconds->Record(MonotonicSeconds() - start);
+    // A successful reconnect marks the end of an incident window — worth
+    // a flight-recorder breadcrumb next to the failure that caused it.
+    obs::FlightRecorder& recorder = obs::FlightRecorder::Global();
+    if (recorder.enabled()) {
+      recorder.RecordEvent("net.reconnect", session_id_ != 0
+                                                ? "session resumed"
+                                                : "fresh handshake");
+    }
   }
   return Status::OK();
 }

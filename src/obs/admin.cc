@@ -1,0 +1,182 @@
+#include "obs/admin.h"
+
+#include <cstring>
+#include <string_view>
+#include <utility>
+
+#include "obs/flightrec.h"
+#include "obs/metrics.h"
+#include "util/logging.h"
+
+namespace ppstream {
+namespace obs {
+
+namespace {
+
+// Scrape clients are local and fast; generous but bounded waits.
+constexpr double kIoTimeoutSeconds = 5.0;
+constexpr double kAcceptPollSeconds = 0.2;
+
+struct AdminMetrics {
+  Counter* requests;
+  Counter* bad_requests;
+
+  static const AdminMetrics& Get() {
+    static const AdminMetrics metrics = [] {
+      MetricsRegistry& r = MetricsRegistry::Global();
+      return AdminMetrics{r.GetCounter("admin.requests"),
+                          r.GetCounter("admin.bad_requests")};
+    }();
+    return metrics;
+  }
+};
+
+std::string HttpResponse(int code, std::string_view reason,
+                         std::string_view content_type,
+                         std::string_view body) {
+  std::string out = "HTTP/1.0 " + std::to_string(code) + " ";
+  out.append(reason);
+  out += "\r\nContent-Type: ";
+  out.append(content_type);
+  out += "\r\nContent-Length: " + std::to_string(body.size());
+  out += "\r\nConnection: close\r\n\r\n";
+  out.append(body);
+  return out;
+}
+
+}  // namespace
+
+AdminServer::AdminServer() = default;
+
+AdminServer::~AdminServer() { Stop(); }
+
+Status AdminServer::Start(uint16_t port, AdminState state) {
+  if (started_) {
+    return Status::FailedPrecondition("admin server already started");
+  }
+  PPS_ASSIGN_OR_RETURN(listener_, TcpListener::Bind(port));
+  port_ = listener_.port();
+  state_ = std::move(state);
+  started_ = true;
+  thread_ = std::thread([this] { AcceptLoop(); });
+  PPS_SLOG(Info, "admin.started").Kv("port", port_);
+  return Status::OK();
+}
+
+void AdminServer::Stop() {
+  if (!started_) return;
+  stop_.Signal();
+  if (thread_.joinable()) thread_.join();
+  listener_.Close();
+  started_ = false;
+}
+
+uint64_t AdminServer::requests_served() const {
+  return requests_served_.load(std::memory_order_relaxed);
+}
+
+std::string AdminServer::RouteRequest(const std::string& request_line,
+                                      bool oversized) const {
+  if (oversized) {
+    AdminMetrics::Get().bad_requests->Increment();
+    return HttpResponse(431, "Request Header Fields Too Large", "text/plain",
+                        "request too large\n");
+  }
+  // "GET <path> HTTP/x.y" — anything else (garbage bytes, other methods,
+  // missing version) is a 400.
+  std::string_view line(request_line);
+  if (line.substr(0, 4) != "GET ") {
+    AdminMetrics::Get().bad_requests->Increment();
+    return HttpResponse(400, "Bad Request", "text/plain", "bad request\n");
+  }
+  line.remove_prefix(4);
+  const size_t space = line.find(' ');
+  if (space == std::string_view::npos ||
+      line.substr(space + 1, 5) != "HTTP/") {
+    AdminMetrics::Get().bad_requests->Increment();
+    return HttpResponse(400, "Bad Request", "text/plain", "bad request\n");
+  }
+  const std::string_view path = line.substr(0, space);
+
+  if (path == "/metrics") {
+    // Same render-and-validate path as the benches' metrics.prom dumps
+    // (CheckedPrometheusText): a live scrape and a file dump can never
+    // disagree on format, and a malformed exposition is a loud 500
+    // instead of a quietly broken scrape.
+    std::string body;
+    if (state_.metrics_text) {
+      body = state_.metrics_text();
+    } else {
+      auto checked = CheckedPrometheusText();
+      if (!checked.ok()) {
+        return HttpResponse(500, "Internal Server Error", "text/plain",
+                            checked.status().ToString() + "\n");
+      }
+      body = std::move(checked).value();
+    }
+    return HttpResponse(200, "OK", "text/plain; version=0.0.4", body);
+  }
+  if (path == "/healthz") {
+    const bool healthy = !state_.healthy || state_.healthy();
+    if (healthy) return HttpResponse(200, "OK", "text/plain", "ok\n");
+    return HttpResponse(503, "Service Unavailable", "text/plain",
+                        "draining\n");
+  }
+  if (path == "/statusz") {
+    std::string body = state_.statusz_json ? state_.statusz_json() : "{}";
+    return HttpResponse(200, "OK", "application/json", body);
+  }
+  if (path == "/debug/flightrec") {
+    if (!state_.flightrec_json) {
+      return HttpResponse(404, "Not Found", "text/plain", "not found\n");
+    }
+    return HttpResponse(200, "OK", "application/json",
+                        state_.flightrec_json());
+  }
+  return HttpResponse(404, "Not Found", "text/plain", "not found\n");
+}
+
+void AdminServer::AcceptLoop() {
+  while (!stop_.signalled()) {
+    Result<TcpSocket> conn =
+        listener_.Accept(kAcceptPollSeconds, stop_.read_fd());
+    if (!conn.ok()) {
+      if (conn.status().code() == StatusCode::kCancelled) break;
+      continue;  // poll timeout or transient accept error: keep waiting
+    }
+    ServeOne(std::move(conn).value());
+  }
+}
+
+void AdminServer::ServeOne(TcpSocket socket) {
+  // Read until the end of the request line, a bounded number of bytes.
+  // HTTP/1.0 GETs have no body, so everything past the first CR/LF is
+  // ignorable headers; we stop at the line or the cap.
+  std::string head;
+  bool oversized = false;
+  uint8_t chunk[512];
+  while (head.find('\n') == std::string::npos) {
+    if (head.size() >= kMaxRequestBytes) {
+      oversized = true;
+      break;
+    }
+    Result<size_t> n =
+        socket.RecvSome(chunk, sizeof(chunk), kIoTimeoutSeconds);
+    if (!n.ok()) return;  // slow/broken client: drop without reply
+    head.append(reinterpret_cast<const char*>(chunk), n.value());
+  }
+  std::string line = head.substr(0, head.find('\n'));
+  while (!line.empty() && (line.back() == '\r' || line.back() == '\n')) {
+    line.pop_back();
+  }
+  AdminMetrics::Get().requests->Increment();
+  requests_served_.fetch_add(1, std::memory_order_relaxed);
+  const std::string response = RouteRequest(line, oversized);
+  // Best effort: a scrape client that vanished mid-reply is not an error
+  // worth surfacing.
+  (void)socket.SendAll(reinterpret_cast<const uint8_t*>(response.data()),
+                       response.size(), kIoTimeoutSeconds);
+}
+
+}  // namespace obs
+}  // namespace ppstream

@@ -1,0 +1,101 @@
+// Admin/observability HTTP endpoint (DESIGN.md §14).
+//
+// A deliberately tiny HTTP/1.0 responder on top of net/socket, hosted by
+// ModelProviderTcpServer on a side port so operators can scrape live
+// state without speaking the binary frame protocol:
+//
+//   GET /metrics          Prometheus exposition of the MetricsRegistry
+//   GET /healthz          "ok" while serving; 503 while draining or
+//                         otherwise unhealthy (load balancers key on it)
+//   GET /statusz          one JSON object of non-secret serving state:
+//                         session-registry occupancy (ordinals only —
+//                         never session ids, which gate replay), cache
+//                         bytes, in-flight requests, build/plan info
+//   GET /debug/flightrec  Chrome-trace JSON dump of the flight recorder
+//
+// The responder is synchronous and single-connection: one accept thread,
+// one request per connection, bounded request-line read (no bodies, no
+// keep-alive, no TLS). That is the right amount of HTTP for a scrape
+// target on a loopback/management network; anything fancier belongs in a
+// reverse proxy. Content callbacks run on the admin thread — they must be
+// safe to call concurrently with the serving path (the registry and
+// flight recorder are lock-free readers by design).
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "net/socket.h"
+#include "util/status.h"
+
+namespace ppstream {
+namespace obs {
+
+/// Content providers wired by the hosting server. Every callback may be
+/// invoked from the admin thread at any moment between Start and Stop.
+struct AdminState {
+  /// Prometheus exposition body (text/plain). Defaults to the global
+  /// registry when unset.
+  std::function<std::string()> metrics_text;
+  /// JSON object for /statusz. Must contain no secret material (session
+  /// ids, keys, randomizers, permutations). Unset → "{}".
+  std::function<std::string()> statusz_json;
+  /// Liveness for /healthz: false → 503 (draining / breaker floored).
+  /// Unset → always healthy.
+  std::function<bool()> healthy;
+  /// Chrome-trace JSON for /debug/flightrec. Unset → 404.
+  std::function<std::string()> flightrec_json;
+};
+
+/// Bounded HTTP/1.0 scrape endpoint. Start binds and spawns the accept
+/// thread; Stop (or destruction) signals and joins it.
+class AdminServer {
+ public:
+  AdminServer();
+  ~AdminServer();
+
+  AdminServer(const AdminServer&) = delete;
+  AdminServer& operator=(const AdminServer&) = delete;
+
+  /// Binds 127.0.0.1:`port` (0 = ephemeral, read back with port()) and
+  /// starts serving. Fails if already started or the bind fails.
+  Status Start(uint16_t port, AdminState state);
+
+  /// Signals the accept thread and joins it. Idempotent.
+  void Stop();
+
+  /// Bound port after a successful Start (0 before).
+  uint16_t port() const { return port_; }
+
+  /// Requests served so far (tests poll it).
+  uint64_t requests_served() const;
+
+  /// Pure request router, exposed for tests: maps one request line (e.g.
+  /// "GET /metrics HTTP/1.0") to a full HTTP response byte string.
+  /// `oversized` forces the 431 path for callers whose read overflowed.
+  std::string RouteRequest(const std::string& request_line,
+                           bool oversized = false) const;
+
+  /// Longest request head (line + headers) accepted before replying 431.
+  static constexpr size_t kMaxRequestBytes = 4096;
+
+ private:
+  void AcceptLoop();
+  void ServeOne(TcpSocket socket);
+
+  AdminState state_;
+  TcpListener listener_;
+  WakeupPipe stop_;
+  std::thread thread_;
+  uint16_t port_ = 0;
+  bool started_ = false;
+  std::atomic<uint64_t> requests_served_{0};
+};
+
+}  // namespace obs
+}  // namespace ppstream

@@ -1,0 +1,222 @@
+#include "obs/cost.h"
+
+#include <atomic>
+#include <utility>
+
+#include "obs/metrics.h"
+
+namespace ppstream {
+namespace obs {
+
+namespace {
+
+struct CostCounters {
+  Counter* encrypts;
+  Counter* decrypts;
+  Counter* scalar_muls;
+  Counter* pack_hom_adds;
+  Counter* bytes_sent;
+  Counter* bytes_received;
+
+  static const CostCounters& Get() {
+    static const CostCounters counters = [] {
+      MetricsRegistry& r = MetricsRegistry::Global();
+      return CostCounters{r.GetCounter("crypto.encrypts"),
+                          r.GetCounter("crypto.decrypts"),
+                          r.GetCounter("crypto.scalar_muls"),
+                          r.GetCounter("crypto.pack.hom_adds"),
+                          r.GetCounter("net.bytes_sent"),
+                          r.GetCounter("net.bytes_received")};
+    }();
+    return counters;
+  }
+};
+
+struct CostMetrics {
+  Histogram* scalar_mul_ratio;
+  Histogram* encrypt_ratio;
+  Counter* reconciled;
+  Counter* contended_skips;
+  Counter* overrun;
+
+  static const CostMetrics& Get() {
+    static const CostMetrics metrics = [] {
+      MetricsRegistry& r = MetricsRegistry::Global();
+      return CostMetrics{r.GetHistogram("cost.scalar_mul_ratio"),
+                         r.GetHistogram("cost.encrypt_ratio"),
+                         r.GetCounter("cost.reconciled"),
+                         r.GetCounter("cost.contended_skips"),
+                         r.GetCounter("cost.overrun")};
+    }();
+    return metrics;
+  }
+};
+
+// Overlap detection, per priced component: a mutator count plus an
+// epoch that bumps whenever a second mutator of the component begins
+// while one is live. An interval whose component epoch moved between
+// Begin and End shared that component's counter with a neighbor.
+struct ComponentState {
+  std::atomic<uint64_t> mutators{0};
+  std::atomic<uint64_t> epoch{0};
+};
+ComponentState g_components[2];
+
+constexpr uint32_t kComponentBits[2] = {kCostEncrypts, kCostScalarMuls};
+
+}  // namespace
+
+CryptoCostSnapshot CryptoCostSnapshot::Capture() {
+  const CostCounters& c = CostCounters::Get();
+  CryptoCostSnapshot snap;
+  snap.encrypts = c.encrypts->Value();
+  snap.decrypts = c.decrypts->Value();
+  snap.scalar_muls = c.scalar_muls->Value();
+  snap.pack_hom_adds = c.pack_hom_adds->Value();
+  snap.bytes_sent = c.bytes_sent->Value();
+  snap.bytes_received = c.bytes_received->Value();
+  return snap;
+}
+
+CryptoCostSnapshot CryptoCostSnapshot::operator-(
+    const CryptoCostSnapshot& rhs) const {
+  CryptoCostSnapshot d;
+  d.encrypts = encrypts - rhs.encrypts;
+  d.decrypts = decrypts - rhs.decrypts;
+  d.scalar_muls = scalar_muls - rhs.scalar_muls;
+  d.pack_hom_adds = pack_hom_adds - rhs.pack_hom_adds;
+  d.bytes_sent = bytes_sent - rhs.bytes_sent;
+  d.bytes_received = bytes_received - rhs.bytes_received;
+  return d;
+}
+
+CostInterval::CostInterval(uint32_t mutates_mask) : mask_(mutates_mask) {
+  for (size_t c = 0; c < 2; ++c) {
+    if ((mask_ & kComponentBits[c]) == 0) continue;
+    const uint64_t prior =
+        g_components[c].mutators.fetch_add(1, std::memory_order_acq_rel);
+    if (prior > 0) {
+      // A neighbor mutating the same counter is live: both it (via the
+      // epoch move) and we are contended on this component.
+      g_components[c].epoch.fetch_add(1, std::memory_order_acq_rel);
+      contended_.fetch_or(kComponentBits[c], std::memory_order_relaxed);
+    }
+    epochs_[c] = g_components[c].epoch.load(std::memory_order_acquire);
+  }
+  begin_ = CryptoCostSnapshot::Capture();
+}
+
+CostInterval::~CostInterval() { End(); }
+
+void CostInterval::End() {
+  if (ended_) return;
+  frozen_delta_ = CryptoCostSnapshot::Capture() - begin_;
+  (void)contended_mask();  // latch epoch moves before leaving the sets
+  for (size_t c = 0; c < 2; ++c) {
+    if ((mask_ & kComponentBits[c]) == 0) continue;
+    g_components[c].mutators.fetch_sub(1, std::memory_order_acq_rel);
+  }
+  ended_ = true;
+}
+
+CryptoCostSnapshot CostInterval::Delta() const {
+  if (ended_) return frozen_delta_;
+  return CryptoCostSnapshot::Capture() - begin_;
+}
+
+uint32_t CostInterval::contended_mask() const {
+  if (!ended_) {
+    for (size_t c = 0; c < 2; ++c) {
+      if ((mask_ & kComponentBits[c]) == 0) continue;
+      if (g_components[c].epoch.load(std::memory_order_acquire) !=
+          epochs_[c]) {
+        contended_.fetch_or(kComponentBits[c], std::memory_order_relaxed);
+      }
+    }
+  }
+  return contended_.load(std::memory_order_relaxed);
+}
+
+void ReconcileRequestCost(uint64_t request_id, const RequestCostBudget& budget,
+                          const CryptoCostSnapshot& measured,
+                          uint32_t contended_mask,
+                          std::string_view session_label) {
+  (void)request_id;
+  const uint32_t priced = CostComponentsOf(budget);
+  if (priced == 0) return;
+  const CostMetrics& m = CostMetrics::Get();
+  if ((priced & ~contended_mask) == 0) {
+    // Every priced component overlapped a foreign mutator; nothing in
+    // this sample is attributable.
+    m.contended_skips->Increment();
+    return;
+  }
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  bool overrun = false;
+  const double tolerance = 1.0 + RequestCostLedger::kOverrunTolerance;
+  if ((priced & kCostScalarMuls) != 0 &&
+      (contended_mask & kCostScalarMuls) == 0) {
+    const double ratio = static_cast<double>(measured.scalar_muls) /
+                         static_cast<double>(budget.scalar_muls);
+    m.scalar_mul_ratio->Record(ratio);
+    if (!session_label.empty()) {
+      registry
+          .GetHistogram(LabeledMetricName("cost.scalar_mul_ratio",
+                                          {{"session", session_label}}))
+          ->Record(ratio);
+    }
+    overrun |= ratio > tolerance;
+  }
+  if ((priced & kCostEncrypts) != 0 &&
+      (contended_mask & kCostEncrypts) == 0) {
+    const double ratio = static_cast<double>(measured.encrypts) /
+                         static_cast<double>(budget.encrypts);
+    m.encrypt_ratio->Record(ratio);
+    if (!session_label.empty()) {
+      registry
+          .GetHistogram(LabeledMetricName("cost.encrypt_ratio",
+                                          {{"session", session_label}}))
+          ->Record(ratio);
+    }
+    overrun |= ratio > tolerance;
+  }
+  m.reconciled->Increment();
+  if (overrun) m.overrun->Increment();
+}
+
+RequestCostLedger::RequestCostLedger(uint64_t request_id,
+                                     RequestCostBudget budget,
+                                     std::string_view session_label)
+    : request_id_(request_id),
+      budget_(budget),
+      session_label_(session_label),
+      interval_(CostComponentsOf(budget)) {
+  // Touch the family singletons so every instrumented process exports
+  // the cost.* families (at zero) from its first exposition.
+  (void)CostMetrics::Get();
+}
+
+RequestCostLedger::~RequestCostLedger() {
+  if (!finished_) Finish(/*success=*/false);
+}
+
+void RequestCostLedger::Finish(bool success) {
+  if (finished_) return;
+  finished_ = true;
+  interval_.End();
+  measured_ = interval_.Delta();
+  if (!success) return;  // failed requests have undefined partial cost
+  if (budget_.scalar_muls != 0) {
+    scalar_mul_ratio_ = static_cast<double>(measured_.scalar_muls) /
+                        static_cast<double>(budget_.scalar_muls);
+  }
+  if (budget_.encrypts != 0) {
+    encrypt_ratio_ = static_cast<double>(measured_.encrypts) /
+                     static_cast<double>(budget_.encrypts);
+  }
+  ReconcileRequestCost(request_id_, budget_, measured_,
+                       interval_.contended_mask(), session_label_);
+}
+
+}  // namespace obs
+}  // namespace ppstream

@@ -1,0 +1,165 @@
+// Per-request crypto cost attribution (DESIGN.md §14): snapshots of the
+// process-wide crypto counters taken around one request, reconciled
+// against the plan-derived budget — the runtime generalization of the
+// bench-time measured==expected checks (PR 8).
+//
+// Attribution model. The crypto counters are process-global, so a delta
+// across a request is only attributable to that request when no other
+// mutator of the same counters ran concurrently. CostInterval therefore
+// tracks, per priced component (encrypts / scalar muls), a global
+// mutator count + overlap epoch: a component whose window overlapped
+// another mutator of that component is contended, and reconciliation
+// skips it (counted under cost.contended_skips) rather than reporting a
+// ratio polluted by a neighbor's work. Tracking per component keeps the
+// common loopback topology fully attributable: a data-provider-side
+// ledger mutates only encrypts while the in-process server's dispatch
+// intervals mutate only scalar muls, so neither poisons the other even
+// though their windows nest. Uncontended samples — every single-stream
+// client, the saturation bench's concurrency-1 level, and any serving
+// lull — reconcile exactly.
+//
+// Exported families (all through MetricsRegistry):
+//   cost.scalar_mul_ratio   histogram of measured/expected scalar muls
+//   cost.encrypt_ratio      histogram of measured/expected encrypts
+//   cost.reconciled         requests whose sample reconciled
+//   cost.contended_skips    samples skipped for overlap
+//   cost.overrun            measured > 1.05 x expected on any component
+// With a session label, the ratio histograms gain a per-session series
+// (cost.scalar_mul_ratio{session="3"}) so a tenant's overruns are
+// attributable from /metrics.
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace ppstream {
+namespace obs {
+
+/// Point-in-time reading of the global crypto + wire counters.
+struct CryptoCostSnapshot {
+  uint64_t encrypts = 0;
+  uint64_t decrypts = 0;
+  uint64_t scalar_muls = 0;
+  uint64_t pack_hom_adds = 0;
+  uint64_t bytes_sent = 0;
+  uint64_t bytes_received = 0;
+
+  static CryptoCostSnapshot Capture();
+
+  CryptoCostSnapshot operator-(const CryptoCostSnapshot& rhs) const;
+};
+
+/// Plan-derived expected cost of one request. A zero component means
+/// "unknown on this side, do not reconcile it" — a data-provider view
+/// plan prices encrypts but not scalar muls (the weights live with the
+/// model provider); the model-provider side prices the reverse.
+struct RequestCostBudget {
+  uint64_t encrypts = 0;
+  uint64_t scalar_muls = 0;
+};
+
+/// Bitmask of priced counter components an interval's owner mutates
+/// (and may reconcile). Contention is tracked per component.
+enum CostComponent : uint32_t {
+  kCostEncrypts = 1u << 0,
+  kCostScalarMuls = 1u << 1,
+};
+constexpr uint32_t kAllCostComponents = kCostEncrypts | kCostScalarMuls;
+
+/// The components a budget prices (the ledger's mutation declaration:
+/// in practice a party only reconciles counters its own work drives).
+constexpr uint32_t CostComponentsOf(const RequestCostBudget& budget) {
+  return (budget.encrypts != 0 ? kCostEncrypts : 0u) |
+         (budget.scalar_muls != 0 ? kCostScalarMuls : 0u);
+}
+
+/// Measures the global counter delta across a scope and detects, per
+/// component, whether any other mutator of that component overlapped it
+/// (making that component's delta unattributable).
+class CostInterval {
+ public:
+  /// `mutates_mask` declares which priced components this scope's work
+  /// drives (CostComponent bits).
+  explicit CostInterval(uint32_t mutates_mask = kAllCostComponents);
+  ~CostInterval();
+
+  CostInterval(const CostInterval&) = delete;
+  CostInterval& operator=(const CostInterval&) = delete;
+
+  /// Freezes the delta and leaves the in-flight sets. Idempotent.
+  void End();
+
+  /// Counter delta since construction (frozen after End()).
+  CryptoCostSnapshot Delta() const;
+
+  /// Components that overlapped a foreign mutator (CostComponent bits).
+  uint32_t contended_mask() const;
+
+  /// True when any declared component was contended.
+  bool contended() const { return contended_mask() != 0; }
+
+ private:
+  const uint32_t mask_;
+  CryptoCostSnapshot begin_;
+  uint64_t epochs_[2] = {0, 0};
+  mutable std::atomic<uint32_t> contended_{0};
+  bool ended_ = false;
+  CryptoCostSnapshot frozen_delta_;
+};
+
+/// RAII reconciliation of one request against its budget. Construct at
+/// request start, Finish(success) at the end (the destructor finishes
+/// with success=false, which records nothing). `session_label` (may be
+/// empty) adds a per-session series to the ratio histograms.
+class RequestCostLedger {
+ public:
+  explicit RequestCostLedger(uint64_t request_id,
+                             RequestCostBudget budget,
+                             std::string_view session_label = {});
+  ~RequestCostLedger();
+
+  RequestCostLedger(const RequestCostLedger&) = delete;
+  RequestCostLedger& operator=(const RequestCostLedger&) = delete;
+
+  /// Ends the interval; on success and an uncontended sample, records the
+  /// measured/expected ratios and fires cost.overrun past the tolerance.
+  /// Idempotent (later calls are no-ops).
+  void Finish(bool success);
+
+  /// Ratio tolerance: measured > expected * (1 + kOverrunTolerance) on a
+  /// priced component counts as an overrun.
+  static constexpr double kOverrunTolerance = 0.05;
+
+  /// Test accessors, valid after Finish (0 for unpriced components).
+  double scalar_mul_ratio() const { return scalar_mul_ratio_; }
+  double encrypt_ratio() const { return encrypt_ratio_; }
+  bool contended() const { return interval_.contended(); }
+  const CryptoCostSnapshot& measured() const { return measured_; }
+
+ private:
+  const uint64_t request_id_;
+  const RequestCostBudget budget_;
+  const std::string session_label_;
+  CostInterval interval_;
+  bool finished_ = false;
+  CryptoCostSnapshot measured_;
+  double scalar_mul_ratio_ = 0;
+  double encrypt_ratio_ = 0;
+};
+
+/// Reconciles an externally-measured delta (e.g. the server's per-frame
+/// accumulation across one request's dispatches) against a budget,
+/// recording the same families as RequestCostLedger::Finish.
+/// `contended_mask` names the components whose delta is polluted
+/// (CostComponent bits); those are skipped. When every priced component
+/// is contended the sample counts under cost.contended_skips instead.
+void ReconcileRequestCost(uint64_t request_id, const RequestCostBudget& budget,
+                          const CryptoCostSnapshot& measured,
+                          uint32_t contended_mask,
+                          std::string_view session_label);
+
+}  // namespace obs
+}  // namespace ppstream

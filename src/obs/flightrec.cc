@@ -1,0 +1,250 @@
+#include "obs/flightrec.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#ifndef _WIN32
+#include <unistd.h>
+#endif
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/logging.h"
+
+namespace ppstream {
+namespace obs {
+
+namespace {
+
+/// Packs a (truncated) string into NUL-padded atomic words; the final
+/// byte is always NUL so readers can treat the unpacked bytes as a
+/// C string regardless of torn interleavings.
+template <size_t N>
+void StoreString(std::array<std::atomic<uint64_t>, N>& words,
+                 std::string_view s) {
+  char buf[N * 8];
+  std::memset(buf, 0, sizeof(buf));
+  const size_t n = std::min(s.size(), sizeof(buf) - 1);
+  std::memcpy(buf, s.data(), n);
+  for (size_t i = 0; i < N; ++i) {
+    uint64_t w = 0;
+    std::memcpy(&w, buf + i * 8, 8);
+    words[i].store(w, std::memory_order_relaxed);
+  }
+}
+
+template <size_t N>
+std::string LoadString(const std::array<std::atomic<uint64_t>, N>& words) {
+  char buf[N * 8];
+  for (size_t i = 0; i < N; ++i) {
+    const uint64_t w = words[i].load(std::memory_order_relaxed);
+    std::memcpy(buf + i * 8, &w, 8);
+  }
+  buf[sizeof(buf) - 1] = '\0';
+  return std::string(buf);
+}
+
+void WriteJsonEscaped(std::ostream& out, const std::string& s) {
+  for (char c : s) {
+    switch (c) {
+      case '"': out << "\\\""; break;
+      case '\\': out << "\\\\"; break;
+      case '\n': out << "\\n"; break;
+      case '\t': out << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out << buf;
+        } else {
+          out << c;
+        }
+    }
+  }
+}
+
+std::string HexId(uint64_t id) {
+  char buf[20];
+  std::snprintf(buf, sizeof(buf), "%" PRIx64, id);
+  return buf;
+}
+
+int FlightPid() {
+#ifdef _WIN32
+  return 0;
+#else
+  return static_cast<int>(getpid());
+#endif
+}
+
+}  // namespace
+
+FlightRecorder& FlightRecorder::Global() {
+  // ppslint:allow(R5 intentionally leaked singleton: spans and log lines may record during static destruction)
+  static FlightRecorder* recorder = new FlightRecorder();
+  return *recorder;
+}
+
+void FlightRecorder::SetDumpPath(std::string path) {
+  std::lock_guard<std::mutex> lock(dump_mutex_);
+  dump_path_ = std::move(path);
+}
+
+std::string FlightRecorder::dump_path() const {
+  std::lock_guard<std::mutex> lock(dump_mutex_);
+  return dump_path_;
+}
+
+FlightRecorder::Slot& FlightRecorder::BeginWrite(Kind kind,
+                                                 uint64_t* publish_version) {
+  const uint64_t seq = next_.fetch_add(1, std::memory_order_relaxed);
+  Slot& slot = slots_[seq % kCapacity];
+  slot.version.store(2 * seq + 1, std::memory_order_release);
+  slot.kind.store(static_cast<uint8_t>(kind), std::memory_order_relaxed);
+  *publish_version = 2 * seq + 2;
+  return slot;
+}
+
+void FlightRecorder::RecordSpan(std::string_view name,
+                                std::string_view category, uint64_t trace_id,
+                                uint64_t span_id, uint64_t request_id,
+                                double start_seconds, double duration_seconds,
+                                uint32_t thread_ordinal) {
+  if (!enabled()) return;
+  uint64_t publish = 0;
+  Slot& slot = BeginWrite(Kind::kSpan, &publish);
+  slot.trace_id.store(trace_id, std::memory_order_relaxed);
+  slot.span_id.store(span_id, std::memory_order_relaxed);
+  slot.request_id.store(request_id, std::memory_order_relaxed);
+  slot.start_seconds.store(start_seconds, std::memory_order_relaxed);
+  slot.duration_seconds.store(duration_seconds, std::memory_order_relaxed);
+  slot.thread_ordinal.store(thread_ordinal, std::memory_order_relaxed);
+  StoreString(slot.name, name);
+  StoreString(slot.detail, category);
+  Publish(slot, publish);
+}
+
+void FlightRecorder::RecordLog(std::string_view line) {
+  if (!enabled()) return;
+  uint64_t publish = 0;
+  Slot& slot = BeginWrite(Kind::kLog, &publish);
+  slot.trace_id.store(0, std::memory_order_relaxed);
+  slot.span_id.store(0, std::memory_order_relaxed);
+  slot.request_id.store(0, std::memory_order_relaxed);
+  slot.start_seconds.store(MonotonicSeconds(), std::memory_order_relaxed);
+  slot.duration_seconds.store(0, std::memory_order_relaxed);
+  slot.thread_ordinal.store(0, std::memory_order_relaxed);
+  StoreString(slot.name, "log");
+  StoreString(slot.detail, line);
+  Publish(slot, publish);
+}
+
+void FlightRecorder::RecordEvent(std::string_view kind, std::string_view detail,
+                                 uint64_t request_id) {
+  if (!enabled()) return;
+  uint64_t publish = 0;
+  Slot& slot = BeginWrite(Kind::kEvent, &publish);
+  slot.trace_id.store(0, std::memory_order_relaxed);
+  slot.span_id.store(0, std::memory_order_relaxed);
+  slot.request_id.store(request_id, std::memory_order_relaxed);
+  slot.start_seconds.store(MonotonicSeconds(), std::memory_order_relaxed);
+  slot.duration_seconds.store(0, std::memory_order_relaxed);
+  slot.thread_ordinal.store(0, std::memory_order_relaxed);
+  StoreString(slot.name, kind);
+  StoreString(slot.detail, detail);
+  Publish(slot, publish);
+}
+
+std::string FlightRecorder::DumpJson() const {
+  const uint64_t end = next_.load(std::memory_order_acquire);
+  const uint64_t begin = end > kCapacity ? end - kCapacity : 0;
+  std::ostringstream out;
+  out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  const int pid = FlightPid();
+  bool first = true;
+  for (uint64_t seq = begin; seq < end; ++seq) {
+    const Slot& slot = slots_[seq % kCapacity];
+    if (slot.version.load(std::memory_order_acquire) != 2 * seq + 2) {
+      continue;  // Torn mid-write or already overwritten — skip.
+    }
+    const Kind kind =
+        static_cast<Kind>(slot.kind.load(std::memory_order_relaxed));
+    const std::string name = LoadString(slot.name);
+    const std::string detail = LoadString(slot.detail);
+    const uint64_t trace_id = slot.trace_id.load(std::memory_order_relaxed);
+    const uint64_t span_id = slot.span_id.load(std::memory_order_relaxed);
+    const uint64_t request_id = slot.request_id.load(std::memory_order_relaxed);
+    const double start = slot.start_seconds.load(std::memory_order_relaxed);
+    const double dur = slot.duration_seconds.load(std::memory_order_relaxed);
+    const uint32_t tid = slot.thread_ordinal.load(std::memory_order_relaxed);
+    // Re-check before emitting: if the slot was overwritten while we read
+    // its fields, drop the (possibly mixed) record.
+    if (slot.version.load(std::memory_order_acquire) != 2 * seq + 2) continue;
+    if (!first) out << ",";
+    first = false;
+    char numbers[96];
+    if (kind == Kind::kSpan) {
+      std::snprintf(numbers, sizeof(numbers),
+                    "\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f,\"pid\":%d,"
+                    "\"tid\":%u",
+                    start * 1e6, dur * 1e6, pid, tid);
+      out << "\n{\"name\":\"";
+      WriteJsonEscaped(out, name);
+      out << "\",\"cat\":\"";
+      WriteJsonEscaped(out, detail.empty() ? "span" : detail);
+      out << "\"," << numbers << ",\"args\":{\"trace_id\":\""
+          << HexId(trace_id) << "\",\"span_id\":\"" << HexId(span_id)
+          << "\",\"request_id\":" << request_id << "}}";
+    } else {
+      std::snprintf(numbers, sizeof(numbers),
+                    "\"ph\":\"i\",\"s\":\"g\",\"ts\":%.3f,\"pid\":%d,"
+                    "\"tid\":%u",
+                    start * 1e6, pid, tid);
+      out << "\n{\"name\":\"";
+      WriteJsonEscaped(out, name);
+      out << "\",\"cat\":\"" << (kind == Kind::kLog ? "log" : "event") << "\","
+          << numbers << ",\"args\":{\"detail\":\"";
+      WriteJsonEscaped(out, detail);
+      out << "\",\"request_id\":" << request_id << "}}";
+    }
+  }
+  out << "\n]}\n";
+  return out.str();
+}
+
+void FlightRecorder::TriggerDump(std::string_view reason) {
+  if (!enabled()) return;
+  RecordEvent("flightrec.dump", reason);
+  std::lock_guard<std::mutex> lock(dump_mutex_);
+  if (dump_path_.empty()) return;
+  std::ofstream out(dump_path_, std::ios::trunc);
+  if (!out) {
+    PPS_SLOG(Warn, "flightrec.dump_failed").Kv("path", dump_path_);
+    return;
+  }
+  out << DumpJson();
+  out.flush();
+  if (out.good()) {
+    dumps_.fetch_add(1, std::memory_order_relaxed);
+    MetricsRegistry::Global().GetCounter("flightrec.dumps")->Increment();
+    PPS_SLOG(Info, "flightrec.dumped")
+        .Kv("path", dump_path_)
+        .Kv("reason", reason);
+  }
+}
+
+void FlightRecorder::Reset() {
+  for (Slot& slot : slots_) {
+    slot.version.store(0, std::memory_order_relaxed);
+    slot.kind.store(0, std::memory_order_relaxed);
+  }
+  next_.store(0, std::memory_order_release);
+}
+
+}  // namespace obs
+}  // namespace ppstream

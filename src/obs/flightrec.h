@@ -1,0 +1,120 @@
+// Failure flight recorder (DESIGN.md §14 "Observability plane").
+//
+// A fixed-size lock-free ring of the most recent spans, PPS_SLOG lines,
+// and discrete events (reconnects, breaker opens, deadline sheds, replay
+// refusals, fault injections). Disabled it costs one relaxed atomic load
+// per would-be record; enabled, a record is a seqlock-protected write of
+// fixed-size atomic fields — no allocation, no lock, safe from any
+// thread including span destructors inside the serving hot path.
+//
+// On a trigger event (or on demand via the admin endpoint's
+// /debug/flightrec) the ring is dumped as Chrome-trace-compatible JSON:
+// spans become "X" complete events, logs and events become "i" instant
+// events, so the last few thousand things the process did before a
+// failure load directly into chrome://tracing / Perfetto next to any
+// full trace dumps.
+//
+// Readers never block writers: each slot carries a version stamped
+// 2*seq+1 while being written and 2*seq+2 when complete; a dump skips
+// slots whose version is odd or no longer matches the sequence window it
+// is iterating (torn or already overwritten) — so a scrape during a
+// storm yields a consistent, possibly slightly shorter, history.
+
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+namespace ppstream {
+namespace obs {
+
+class FlightRecorder {
+ public:
+  /// Ring capacity (entries). ~1MiB resident for the whole recorder.
+  static constexpr size_t kCapacity = 4096;
+  static constexpr size_t kNameWords = 6;     // 48 bytes, NUL-padded
+  static constexpr size_t kDetailWords = 14;  // 112 bytes, NUL-padded
+
+  /// The process-wide recorder (leaked singleton, same lifetime policy
+  /// as the metrics registry).
+  static FlightRecorder& Global();
+
+  FlightRecorder() = default;
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  /// Master switch. Off (default): every Record* is one relaxed load.
+  /// Enabling also arms span capture: ScopedSpan records into the ring
+  /// even when the full Tracer is disabled.
+  void SetEnabled(bool on) { enabled_.store(on, std::memory_order_relaxed); }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Where TriggerDump writes. Empty (default) disables file dumps;
+  /// DumpJson() still serves the admin endpoint.
+  void SetDumpPath(std::string path);
+  std::string dump_path() const;
+
+  void RecordSpan(std::string_view name, std::string_view category,
+                  uint64_t trace_id, uint64_t span_id, uint64_t request_id,
+                  double start_seconds, double duration_seconds,
+                  uint32_t thread_ordinal);
+  /// A rendered structured-log line (already secret-free by ppslint R3).
+  void RecordLog(std::string_view line);
+  /// A discrete named event ("net.reconnect", "breaker.open", ...).
+  void RecordEvent(std::string_view kind, std::string_view detail,
+                   uint64_t request_id = 0);
+
+  /// Chrome-trace JSON of the ring's current consistent contents.
+  std::string DumpJson() const;
+
+  /// Records a "flightrec.dump" event carrying `reason`, then writes
+  /// DumpJson() to the configured path. Serialized; a write failure is
+  /// logged, never thrown — the serving path must survive its own
+  /// observability. No-op while disabled or without a dump path.
+  void TriggerDump(std::string_view reason);
+
+  /// Completed file dumps since process start.
+  uint64_t dumps() const { return dumps_.load(std::memory_order_relaxed); }
+
+  /// Clears the ring (handles and enablement survive). Test helper.
+  void Reset();
+
+ private:
+  enum class Kind : uint8_t { kEmpty = 0, kSpan = 1, kLog = 2, kEvent = 3 };
+
+  struct Slot {
+    std::atomic<uint64_t> version{0};
+    std::atomic<uint8_t> kind{0};
+    std::atomic<uint32_t> thread_ordinal{0};
+    std::atomic<uint64_t> trace_id{0};
+    std::atomic<uint64_t> span_id{0};
+    std::atomic<uint64_t> request_id{0};
+    std::atomic<double> start_seconds{0};
+    std::atomic<double> duration_seconds{0};
+    std::array<std::atomic<uint64_t>, kNameWords> name{};
+    std::array<std::atomic<uint64_t>, kDetailWords> detail{};
+  };
+
+  /// Claims the next slot, stamps it write-locked (odd version), fills
+  /// common fields, and returns it; the caller finishes field writes and
+  /// must call Publish.
+  Slot& BeginWrite(Kind kind, uint64_t* publish_version);
+  static void Publish(Slot& slot, uint64_t publish_version) {
+    slot.version.store(publish_version, std::memory_order_release);
+  }
+
+  std::atomic<bool> enabled_{false};
+  std::atomic<uint64_t> next_{0};
+  std::atomic<uint64_t> dumps_{0};
+  std::array<Slot, kCapacity> slots_{};
+
+  mutable std::mutex dump_mutex_;  // guards dump_path_ + file writes only
+  std::string dump_path_;
+};
+
+}  // namespace obs
+}  // namespace ppstream

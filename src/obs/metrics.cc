@@ -172,41 +172,128 @@ void MetricsRegistry::Reset() {
 }
 
 std::string PrometheusMetricName(std::string_view name) {
+  const size_t brace = name.find('{');
+  const std::string_view base =
+      name.substr(0, brace == std::string_view::npos ? name.size() : brace);
   std::string out = "pps_";
-  for (char c : name) {
+  for (char c : base) {
     const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
                     (c >= '0' && c <= '9') || c == '_' || c == ':';
     out.push_back(ok ? c : '_');
   }
+  if (brace != std::string_view::npos) out.append(name.substr(brace));
   return out;
 }
 
+std::string PrometheusLabelEscape(std::string_view value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '"':
+        out += "\\\"";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::string LabeledMetricName(
+    std::string_view base,
+    std::initializer_list<std::pair<std::string_view, std::string_view>>
+        labels) {
+  std::string out(base);
+  if (labels.size() == 0) return out;
+  out.push_back('{');
+  bool first = true;
+  for (const auto& [key, value] : labels) {
+    if (!first) out.push_back(',');
+    first = false;
+    for (char c : key) {
+      const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                      (c >= '0' && c <= '9') || c == '_';
+      out.push_back(ok ? c : '_');
+    }
+    out += "=\"";
+    out += PrometheusLabelEscape(value);
+    out.push_back('"');
+  }
+  out.push_back('}');
+  return out;
+}
+
+namespace {
+
+/// Splits a rendered Prometheus name into the family name and the inner
+/// label list (without braces, empty when unlabeled).
+void SplitPromName(const std::string& prom, std::string* family,
+                   std::string* inner_labels) {
+  const size_t brace = prom.find('{');
+  if (brace == std::string::npos) {
+    *family = prom;
+    inner_labels->clear();
+    return;
+  }
+  *family = prom.substr(0, brace);
+  // Everything between the braces; the trailing '}' is always last.
+  *inner_labels = prom.substr(brace + 1, prom.size() - brace - 2);
+}
+
+/// Emits `# TYPE family type` once per family: labeled series of one
+/// family share a single TYPE line.
+void EmitType(std::ostringstream& out, std::map<std::string, bool>& typed,
+              const std::string& family, const char* type) {
+  if (typed.emplace(family, true).second) {
+    out << "# TYPE " << family << " " << type << "\n";
+  }
+}
+
+}  // namespace
+
 std::string MetricsRegistry::PrometheusText() const {
   std::ostringstream out;
+  std::map<std::string, bool> typed;
+  std::string family, labels;
   for (const auto& [name, value] : CounterValues()) {
-    const std::string prom = PrometheusMetricName(name);
-    out << "# TYPE " << prom << " counter\n";
-    out << prom << " " << value << "\n";
+    SplitPromName(PrometheusMetricName(name), &family, &labels);
+    EmitType(out, typed, family, "counter");
+    out << family << (labels.empty() ? "" : "{" + labels + "}") << " " << value
+        << "\n";
   }
   for (const auto& [name, value] : GaugeValues()) {
-    const std::string prom = PrometheusMetricName(name);
-    out << "# TYPE " << prom << " gauge\n";
-    out << prom << " " << FormatDouble(value) << "\n";
+    SplitPromName(PrometheusMetricName(name), &family, &labels);
+    EmitType(out, typed, family, "gauge");
+    out << family << (labels.empty() ? "" : "{" + labels + "}") << " "
+        << FormatDouble(value) << "\n";
   }
   for (const auto& [name, histogram] : Histograms()) {
-    const std::string prom = PrometheusMetricName(name);
+    SplitPromName(PrometheusMetricName(name), &family, &labels);
     const HistogramSnapshot snap = SnapshotHistogram(*histogram);
-    out << "# TYPE " << prom << " histogram\n";
+    EmitType(out, typed, family, "histogram");
+    // `le` joins any series labels inside one brace block.
+    const std::string le_prefix =
+        labels.empty() ? "{le=\"" : "{" + labels + ",le=\"";
     uint64_t cumulative = 0;
     for (size_t i = 0; i < Histogram::kNumBuckets; ++i) {
       cumulative += snap.buckets[i];
       const double bound = Histogram::BucketUpperBound(i);
-      out << prom << "_bucket{le=\""
+      out << family << "_bucket" << le_prefix
           << (std::isinf(bound) ? "+Inf" : FormatDouble(bound)) << "\"} "
           << cumulative << "\n";
     }
-    out << prom << "_sum " << FormatDouble(snap.sum) << "\n";
-    out << prom << "_count " << snap.count << "\n";
+    const std::string suffix_labels =
+        labels.empty() ? "" : "{" + labels + "}";
+    out << family << "_sum" << suffix_labels << " " << FormatDouble(snap.sum)
+        << "\n";
+    out << family << "_count" << suffix_labels << " " << snap.count << "\n";
   }
   return out.str();
 }
@@ -231,6 +318,67 @@ bool ValidPrometheusValue(std::string_view value) {
   const std::string copy(value);
   std::strtod(copy.c_str(), &end);
   return end != nullptr && *end == '\0';
+}
+
+bool ValidPrometheusLabelName(std::string_view name) {
+  if (name.empty()) return false;
+  if (std::isdigit(static_cast<unsigned char>(name[0]))) return false;
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_';
+    if (!ok) return false;
+  }
+  return true;
+}
+
+/// Strictly parses a `{key="value",...}` block starting at s[0] == '{'.
+/// Values must escape `\` and `"` (as `\\` / `\"`; `\n` is the only other
+/// legal escape). On success sets *consumed to one past the closing '}'.
+bool ParseLabelBlock(std::string_view s, size_t* consumed) {
+  size_t i = 1;
+  if (i < s.size() && s[i] == '}') {
+    *consumed = i + 1;
+    return true;
+  }
+  while (true) {
+    // Label name.
+    const size_t name_start = i;
+    while (i < s.size() &&
+           ((s[i] >= 'a' && s[i] <= 'z') || (s[i] >= 'A' && s[i] <= 'Z') ||
+            (s[i] >= '0' && s[i] <= '9') || s[i] == '_')) {
+      ++i;
+    }
+    if (i == name_start ||
+        !ValidPrometheusLabelName(s.substr(name_start, i - name_start))) {
+      return false;
+    }
+    if (i >= s.size() || s[i] != '=') return false;
+    ++i;
+    if (i >= s.size() || s[i] != '"') return false;
+    ++i;
+    // Label value: only \\, \", and \n escapes; no raw quote/backslash.
+    while (i < s.size() && s[i] != '"') {
+      if (s[i] == '\\') {
+        if (i + 1 >= s.size()) return false;
+        const char escaped = s[i + 1];
+        if (escaped != '\\' && escaped != '"' && escaped != 'n') return false;
+        i += 2;
+      } else {
+        ++i;
+      }
+    }
+    if (i >= s.size()) return false;  // Unterminated value.
+    ++i;                              // Closing quote.
+    if (i < s.size() && s[i] == ',') {
+      ++i;
+      continue;
+    }
+    if (i < s.size() && s[i] == '}') {
+      *consumed = i + 1;
+      return true;
+    }
+    return false;  // Unescaped quote ended the value early, or junk.
+  }
 }
 
 }  // namespace
@@ -268,12 +416,12 @@ Status CheckPrometheusText(std::string_view text) {
     std::string name = line.substr(0, name_end);
     std::string rest = line.substr(name_end);
     if (!rest.empty() && rest[0] == '{') {
-      const size_t close = rest.find('}');
-      if (close == std::string::npos) {
+      size_t consumed = 0;
+      if (!ParseLabelBlock(rest, &consumed)) {
         return Status::InvalidArgument(internal::StrCat(
-            "unterminated label set on line ", line_no, ": ", line));
+            "malformed label set on line ", line_no, ": ", line));
       }
-      rest = rest.substr(close + 1);
+      rest = rest.substr(consumed);
     }
     // Trim the separating spaces around the value.
     const size_t value_begin = rest.find_first_not_of(' ');
@@ -304,6 +452,13 @@ Status CheckPrometheusText(std::string_view text) {
     }
   }
   return Status::OK();
+}
+
+Result<std::string> CheckedPrometheusText(const MetricsRegistry& registry) {
+  std::string text = registry.PrometheusText();
+  Status check = CheckPrometheusText(text);
+  if (!check.ok()) return check;
+  return text;
 }
 
 }  // namespace obs

@@ -19,6 +19,7 @@
 #include <array>
 #include <atomic>
 #include <cstdint>
+#include <initializer_list>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -106,6 +107,13 @@ HistogramSnapshot SnapshotHistogram(const Histogram& h);
 /// Named metric families. Get* registers on first use and returns a
 /// pointer that stays valid (and keeps its identity) for the registry's
 /// lifetime; concurrent Get* of the same name return the same handle.
+///
+/// A name may carry a Prometheus-style label suffix —
+/// `serving.requests{session="3"}` — in which case each distinct label
+/// set is its own series under one family. Always build labeled names
+/// through LabeledMetricName so label values are escaped; the exposition
+/// passes the label block through verbatim and CheckPrometheusText
+/// rejects unescaped quotes/backslashes.
 class MetricsRegistry {
  public:
   /// The process-wide registry used by all instrumented subsystems.
@@ -144,13 +152,39 @@ class MetricsRegistry {
 };
 
 /// "stage.dp-encrypt.attempt_seconds" -> "pps_stage_dp_encrypt_attempt_seconds".
+/// A `{...}` label suffix (built by LabeledMetricName) is preserved
+/// verbatim; only the base name is sanitized.
 std::string PrometheusMetricName(std::string_view name);
+
+/// Escapes a label value for the Prometheus text exposition: `\` -> `\\`,
+/// `"` -> `\"`, newline -> `\n`. Everything else passes through.
+std::string PrometheusLabelEscape(std::string_view value);
+
+/// Builds a registry name carrying a label set:
+///   LabeledMetricName("serving.requests", {{"session", "3"}})
+///     -> serving.requests{session="3"}
+/// Label keys are sanitized like metric names; values are escaped via
+/// PrometheusLabelEscape. With an empty list, returns `base` unchanged.
+std::string LabeledMetricName(
+    std::string_view base,
+    std::initializer_list<std::pair<std::string_view, std::string_view>>
+        labels);
 
 /// Structural check of a Prometheus text exposition: every non-comment
 /// line must be `name{labels} value` with a sane name and a numeric
-/// value, and every series must be preceded by a # TYPE line. Backs the
-/// bench driver's export linter.
+/// value, label blocks must be well-formed `key="value"` lists whose
+/// values contain no unescaped `"` / `\` (raw newlines terminate the
+/// line and surface as an unterminated label set), and every series must
+/// be preceded by a # TYPE line. Backs the bench driver's export linter
+/// and the admin endpoint's live scrape.
 Status CheckPrometheusText(std::string_view text);
+
+/// The single exposition path shared by the benches' metrics.prom dumps
+/// and the admin endpoint's live /metrics: renders `registry` and
+/// structurally validates the result before handing it out, so a file
+/// dump and a live scrape can never disagree on format.
+Result<std::string> CheckedPrometheusText(
+    const MetricsRegistry& registry = MetricsRegistry::Global());
 
 }  // namespace obs
 }  // namespace ppstream

@@ -4,6 +4,8 @@
 #include <cinttypes>
 #include <cstdio>
 
+#include "obs/flightrec.h"
+
 #ifdef _WIN32
 #include <process.h>
 #else
@@ -183,7 +185,9 @@ ScopedSpan::ScopedSpan(TraceContext parent, bool force_new_trace,
                        std::string_view name, std::string_view category,
                        uint64_t request_id, std::string_view name_suffix) {
   Tracer& tracer = Tracer::Global();
-  if (!tracer.enabled()) return;
+  // The flight recorder arms span capture on its own: a process with
+  // tracing off but the recorder on still gets spans into the ring.
+  if (!tracer.enabled() && !FlightRecorder::Global().enabled()) return;
   if (!parent.active() && !force_new_trace) return;
   active_ = true;
   record_.trace_id = parent.active() ? parent.trace_id : tracer.NewTraceId();
@@ -204,6 +208,13 @@ ScopedSpan::~ScopedSpan() {
   if (!active_) return;
   record_.duration_seconds = MonotonicSeconds() - record_.start_seconds;
   t_context = saved_;
+  FlightRecorder& recorder = FlightRecorder::Global();
+  if (recorder.enabled()) {
+    recorder.RecordSpan(record_.name, record_.category, record_.trace_id,
+                        record_.span_id, record_.request_id,
+                        record_.start_seconds, record_.duration_seconds,
+                        record_.thread_ordinal);
+  }
   Tracer::Global().Record(std::move(record_));
 }
 

@@ -123,7 +123,8 @@ class ScopedTraceContext {
   TraceContext saved_;
 };
 
-/// RAII span. Active only when the global tracer is enabled AND the
+/// RAII span. Active only when the global tracer (or the flight
+/// recorder, which captures spans into its ring) is enabled AND the
 /// parent context is active; otherwise every operation is a no-op. While
 /// active it installs itself as the thread's current context so nested
 /// spans parent to it. `name_suffix` is appended to `name` (lets hot

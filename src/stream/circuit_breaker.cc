@@ -3,6 +3,8 @@
 #include <chrono>
 #include <utility>
 
+#include "obs/flightrec.h"
+
 namespace ppstream {
 
 namespace {
@@ -67,6 +69,13 @@ void CircuitBreaker::RecordFailure() {
     opens_++;
     opens_counter_->Increment();
     TransitionLocked(State::kOpen);
+    // Breaker-open is a flight-recorder trigger: the last few seconds of
+    // spans and logs explain *why* the peer started failing.
+    obs::FlightRecorder& recorder = obs::FlightRecorder::Global();
+    if (recorder.enabled()) {
+      recorder.RecordEvent("breaker.open", options_.name);
+      recorder.TriggerDump("breaker.open");
+    }
   }
 }
 

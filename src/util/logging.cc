@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <mutex>
 
+#include "obs/flightrec.h"
 #include "obs/trace.h"
 #include "util/status.h"
 
@@ -70,8 +71,13 @@ StructuredLogMessage::StructuredLogMessage(LogLevel level, const char* file,
 }
 
 StructuredLogMessage::~StructuredLogMessage() {
+  const std::string line = stream_.str();
+  // Structured lines feed the flight recorder's ring (no-op while
+  // disabled); they are secret-free by construction (ppslint R3).
+  obs::FlightRecorder& recorder = obs::FlightRecorder::Global();
+  if (recorder.enabled()) recorder.RecordLog(line);
   std::lock_guard<std::mutex> lock(g_log_mutex);
-  std::cerr << stream_.str() << "\n";
+  std::cerr << line << "\n";
 }
 
 void StructuredLogMessage::WriteQuotable(std::string_view v) {

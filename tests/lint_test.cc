@@ -53,6 +53,7 @@ Report Analyze(const std::string& name, const std::string& rel_path) {
 
 struct RuleCase {
   RuleId rule;
+  const char* test_name;  // unique per row; rules can have several rows
   const char* pos_fixture;
   const char* pos_rel_path;
   size_t min_pos_findings;
@@ -86,18 +87,25 @@ TEST_P(PpslintRuleTest, SilentOnNegativeFixture) {
 INSTANTIATE_TEST_SUITE_P(
     AllRules, PpslintRuleTest,
     ::testing::Values(
-        RuleCase{RuleId::kR1, "r1_pos.cc", "src/core/r1_pos.cc", 2,
+        RuleCase{RuleId::kR1, "R1", "r1_pos.cc", "src/core/r1_pos.cc", 2,
                  "r1_neg.cc", "src/core/r1_neg.cc"},
-        RuleCase{RuleId::kR2, "r2_pos.cc", "src/crypto/r2_pos.cc", 4,
+        RuleCase{RuleId::kR2, "R2", "r2_pos.cc", "src/crypto/r2_pos.cc", 4,
                  "r2_neg.cc", "src/crypto/r2_neg.cc"},
-        RuleCase{RuleId::kR3, "r3_pos.cc", "src/stream/r3_pos.cc", 2,
+        RuleCase{RuleId::kR3, "R3", "r3_pos.cc", "src/stream/r3_pos.cc", 2,
                  "r3_neg.cc", "src/stream/r3_neg.cc"},
-        RuleCase{RuleId::kR4, "r4_pos.cc", "src/crypto/r4_pos.cc", 2,
+        // The /statusz contract as a lint case: a status renderer that
+        // logs key/randomizer material fires; one that emits only
+        // ordinals, counts, and ages (secret WORDS confined to JSON-key
+        // string literals) stays silent.
+        RuleCase{RuleId::kR3, "R3Statusz", "r3_statusz_pos.cc",
+                 "src/net/r3_statusz_pos.cc", 2, "r3_statusz_neg.cc",
+                 "src/net/r3_statusz_neg.cc"},
+        RuleCase{RuleId::kR4, "R4", "r4_pos.cc", "src/crypto/r4_pos.cc", 2,
                  "r4_neg.cc", "src/crypto/r4_neg.cc"},
-        RuleCase{RuleId::kR5, "r5_pos.cc", "src/stream/r5_pos.cc", 3,
+        RuleCase{RuleId::kR5, "R5", "r5_pos.cc", "src/stream/r5_pos.cc", 3,
                  "r5_neg.cc", "src/stream/r5_neg.cc"}),
     [](const ::testing::TestParamInfo<RuleCase>& tpi) {
-      return std::string(ppslint::RuleIdName(tpi.param.rule));
+      return std::string(tpi.param.test_name);
     });
 
 // ---------------------------------------------------------------- scopes

@@ -6,8 +6,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cmath>
+#include <cstdio>
+#include <fstream>
 #include <memory>
 #include <set>
 #include <sstream>
@@ -17,9 +20,14 @@
 #include "core/protocol.h"
 #include "crypto/randomizer_pool.h"
 #include "net/server.h"
+#include "net/socket.h"
 #include "net/transport.h"
 #include "net/wire.h"
 #include "nn/layers.h"
+#include "nn/model_zoo.h"
+#include "obs/admin.h"
+#include "obs/cost.h"
+#include "obs/flightrec.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "stream/engine.h"
@@ -546,6 +554,440 @@ TEST(RandomizerPoolObsTest, BackgroundRefillKeepsPoolAboveLowWater) {
   EXPECT_GE(registry.GetCounter("crypto.pool.hits")->Value(), stats.hits);
   EXPECT_GE(registry.GetCounter("crypto.pool.produced")->Value(),
             stats.produced);
+}
+
+// ------------------------------------------- per-request cost attribution
+
+TEST(CostIntervalTest, DisjointComponentsNestWithoutContention) {
+  // The loopback topology: a client-side interval mutating only encrypts
+  // encloses a server-side dispatch interval mutating only scalar muls.
+  obs::CostInterval outer(obs::kCostEncrypts);
+  {
+    obs::CostInterval inner(obs::kCostScalarMuls);
+    inner.End();
+    EXPECT_EQ(inner.contended_mask(), 0u);
+  }
+  outer.End();
+  EXPECT_EQ(outer.contended_mask(), 0u);
+  EXPECT_FALSE(outer.contended());
+}
+
+TEST(CostIntervalTest, SameComponentOverlapMarksBothContended) {
+  obs::CostInterval first(obs::kCostScalarMuls);
+  obs::CostInterval second(obs::kCostScalarMuls);
+  second.End();
+  first.End();
+  EXPECT_EQ(first.contended_mask(), obs::kCostScalarMuls);
+  EXPECT_EQ(second.contended_mask(), obs::kCostScalarMuls);
+  // A later interval with the sets drained again is clean.
+  obs::CostInterval third(obs::kCostScalarMuls);
+  third.End();
+  EXPECT_EQ(third.contended_mask(), 0u);
+}
+
+TEST(CostLedgerTest, OverrunFiresOnMispricedBudget) {
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  obs::Counter* overrun = registry.GetCounter("cost.overrun");
+  obs::Counter* reconciled = registry.GetCounter("cost.reconciled");
+  const uint64_t overrun0 = overrun->Value();
+  const uint64_t reconciled0 = reconciled->Value();
+  {
+    // A plan that claims 10 scalar muls against work that does 100: the
+    // mispriced-plan negative case.
+    obs::RequestCostLedger ledger(/*request_id=*/71,
+                                  obs::RequestCostBudget{0, 10});
+    registry.GetCounter("crypto.scalar_muls")->Increment(100);
+    ledger.Finish(/*success=*/true);
+    EXPECT_FALSE(ledger.contended());
+    EXPECT_NEAR(ledger.scalar_mul_ratio(), 10.0, 1e-9);
+  }
+  EXPECT_EQ(overrun->Value(), overrun0 + 1);
+  EXPECT_EQ(reconciled->Value(), reconciled0 + 1);
+}
+
+TEST(CostLedgerTest, FailedRequestRecordsNothing) {
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  obs::Counter* reconciled = registry.GetCounter("cost.reconciled");
+  obs::Counter* overrun = registry.GetCounter("cost.overrun");
+  const uint64_t reconciled0 = reconciled->Value();
+  const uint64_t overrun0 = overrun->Value();
+  {
+    obs::RequestCostLedger ledger(/*request_id=*/72,
+                                  obs::RequestCostBudget{0, 1});
+    registry.GetCounter("crypto.scalar_muls")->Increment(50);
+    // No Finish(true): the destructor finishes as a failure.
+  }
+  EXPECT_EQ(reconciled->Value(), reconciled0);
+  EXPECT_EQ(overrun->Value(), overrun0);
+}
+
+TEST(CostLedgerTest, ContendedSampleIsSkippedNotMispriced) {
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  obs::Counter* skips = registry.GetCounter("cost.contended_skips");
+  obs::Counter* reconciled = registry.GetCounter("cost.reconciled");
+  const uint64_t skips0 = skips->Value();
+  const uint64_t reconciled0 = reconciled->Value();
+  {
+    obs::RequestCostLedger a(/*request_id=*/73,
+                             obs::RequestCostBudget{0, 10});
+    obs::RequestCostLedger b(/*request_id=*/74,
+                             obs::RequestCostBudget{0, 10});
+    registry.GetCounter("crypto.scalar_muls")->Increment(20);
+    b.Finish(/*success=*/true);
+    a.Finish(/*success=*/true);
+    EXPECT_TRUE(a.contended());
+    EXPECT_TRUE(b.contended());
+  }
+  EXPECT_EQ(skips->Value(), skips0 + 2);
+  EXPECT_EQ(reconciled->Value(), reconciled0);
+}
+
+/// MNIST-2, trained and compiled once: the acceptance model for the
+/// measured-vs-expected reconciliation band.
+class CostMnist2Test : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    DatasetSplit data = MakeZooDataset(ZooModelId::kMnist2,
+                                       /*size_scale=*/0.005, /*seed=*/3);
+    auto model = MakeTrainedZooModel(ZooModelId::kMnist2, data.train, 4);
+    PPS_CHECK_OK(model.status());
+    input_ = new DoubleTensor(data.test.samples.at(0));
+
+    Rng rng(11);
+    auto pair = Paillier::GenerateKeyPair(256, rng);
+    PPS_CHECK_OK(pair.status());
+    keys_ = new PaillierKeyPair(std::move(pair).value());
+
+    auto plan = CompilePlan(model.value(), /*scale=*/10000);
+    PPS_CHECK_OK(plan.status());
+    plan_ = new std::shared_ptr<const InferencePlan>(
+        std::make_shared<const InferencePlan>(std::move(plan).value()));
+    PPS_CHECK_OK((*plan_)->CheckFitsKey(keys_->public_key.n()));
+
+    CompileOptions pack_opts;
+    pack_opts.packing = planner::PackingSpec{};
+    pack_opts.packing->key_bits = 256;
+    auto packed = CompilePlan(model.value(), /*scale=*/10000, pack_opts);
+    PPS_CHECK_OK(packed.status());
+    packed_plan_ = new std::shared_ptr<const InferencePlan>(
+        std::make_shared<const InferencePlan>(std::move(packed).value()));
+    PPS_CHECK_OK((*packed_plan_)->CheckFitsKey(keys_->public_key.n()));
+  }
+  static void TearDownTestSuite() {
+    delete input_;
+    delete keys_;
+    delete plan_;
+    delete packed_plan_;
+  }
+
+  static DoubleTensor* input_;
+  static PaillierKeyPair* keys_;
+  static std::shared_ptr<const InferencePlan>* plan_;
+  static std::shared_ptr<const InferencePlan>* packed_plan_;
+};
+
+DoubleTensor* CostMnist2Test::input_ = nullptr;
+PaillierKeyPair* CostMnist2Test::keys_ = nullptr;
+std::shared_ptr<const InferencePlan>* CostMnist2Test::plan_ = nullptr;
+std::shared_ptr<const InferencePlan>* CostMnist2Test::packed_plan_ = nullptr;
+
+TEST_F(CostMnist2Test, ScalarRequestReconcilesWithinFivePercent) {
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  const obs::RequestCostBudget budget = ExpectedRequestCost(**plan_);
+  ASSERT_GT(budget.scalar_muls, 0u);
+  ASSERT_GT(budget.encrypts, 0u);
+  obs::Counter* reconciled = registry.GetCounter("cost.reconciled");
+  obs::Counter* overrun = registry.GetCounter("cost.overrun");
+  const obs::Histogram* ratio_hist =
+      registry.GetHistogram("cost.scalar_mul_ratio");
+  const uint64_t reconciled0 = reconciled->Value();
+  const uint64_t overrun0 = overrun->Value();
+  const uint64_t hist_count0 = ratio_hist->Count();
+  const double hist_sum0 = ratio_hist->Sum();
+
+  ModelProvider mp(*plan_, keys_->public_key, /*obf_seed=*/301);
+  DataProvider dp(*plan_, *keys_, /*enc_seed=*/302);
+  const obs::CryptoCostSnapshot before = obs::CryptoCostSnapshot::Capture();
+  auto out = RunProtocolInference(mp, dp, /*request_id=*/81, *input_);
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  const obs::CryptoCostSnapshot delta =
+      obs::CryptoCostSnapshot::Capture() - before;
+
+  const double mul_ratio = static_cast<double>(delta.scalar_muls) /
+                           static_cast<double>(budget.scalar_muls);
+  const double enc_ratio = static_cast<double>(delta.encrypts) /
+                           static_cast<double>(budget.encrypts);
+  EXPECT_GE(mul_ratio, 0.95);
+  EXPECT_LE(mul_ratio, 1.05);
+  EXPECT_GE(enc_ratio, 0.95);
+  EXPECT_LE(enc_ratio, 1.05);
+  // The driver's own ledger must have reconciled the same sample into
+  // the exported families, without an overrun.
+  EXPECT_EQ(reconciled->Value(), reconciled0 + 1);
+  EXPECT_EQ(overrun->Value(), overrun0);
+  EXPECT_EQ(ratio_hist->Count(), hist_count0 + 1);
+  EXPECT_NEAR(ratio_hist->Sum() - hist_sum0, mul_ratio, 1e-9);
+}
+
+TEST_F(CostMnist2Test, PackedBatchReconcilesWithinFivePercent) {
+  const int64_t lanes = (*packed_plan_)->PackedBatchLanes();
+  ASSERT_GE(lanes, 2);
+  const int64_t batch = std::min<int64_t>(lanes, 4);
+  std::vector<DoubleTensor> inputs(static_cast<size_t>(batch), *input_);
+  const obs::RequestCostBudget budget =
+      ExpectedPackedBatchCost(**packed_plan_, batch);
+  ASSERT_GT(budget.scalar_muls, 0u);
+  ASSERT_GT(budget.encrypts, 0u);
+
+  ModelProvider mp(*packed_plan_, keys_->public_key, /*obf_seed=*/303);
+  DataProvider dp(*packed_plan_, *keys_, /*enc_seed=*/304);
+  const obs::CryptoCostSnapshot before = obs::CryptoCostSnapshot::Capture();
+  auto outs = RunPackedBatchInference(mp, dp, /*request_id=*/82, inputs);
+  ASSERT_TRUE(outs.ok()) << outs.status().ToString();
+  const obs::CryptoCostSnapshot delta =
+      obs::CryptoCostSnapshot::Capture() - before;
+
+  const double mul_ratio = static_cast<double>(delta.scalar_muls) /
+                           static_cast<double>(budget.scalar_muls);
+  const double enc_ratio = static_cast<double>(delta.encrypts) /
+                           static_cast<double>(budget.encrypts);
+  EXPECT_GE(mul_ratio, 0.95);
+  EXPECT_LE(mul_ratio, 1.05);
+  EXPECT_GE(enc_ratio, 0.95);
+  EXPECT_LE(enc_ratio, 1.05);
+}
+
+// -------------------------------------------------------- admin endpoint
+
+namespace admin_http {
+
+/// One-shot HTTP/1.0 GET; the endpoint closes after the response, so EOF
+/// delimits it.
+std::string Get(uint16_t port, const std::string& target) {
+  auto sock = TcpSocket::Connect("127.0.0.1", port, 5.0);
+  PPS_CHECK_OK(sock.status());
+  const std::string request = "GET " + target + " HTTP/1.0\r\n\r\n";
+  PPS_CHECK_OK(sock->SendAll(reinterpret_cast<const uint8_t*>(request.data()),
+                             request.size(), 5.0));
+  std::string response;
+  uint8_t buf[2048];
+  for (;;) {
+    auto n = sock->RecvSome(buf, sizeof(buf), 5.0);
+    if (!n.ok()) break;
+    response.append(reinterpret_cast<const char*>(buf), *n);
+  }
+  return response;
+}
+
+std::string Body(const std::string& response) {
+  const size_t split = response.find("\r\n\r\n");
+  PPS_CHECK(split != std::string::npos);
+  return response.substr(split + 4);
+}
+
+}  // namespace admin_http
+
+TEST(AdminRouteTest, EdgeRequestsGetPreciseErrorCodes) {
+  obs::AdminServer admin;  // routing needs no socket
+  EXPECT_EQ(admin.RouteRequest("GET /nope HTTP/1.0").substr(0, 16),
+            "HTTP/1.0 404 Not");
+  EXPECT_EQ(admin.RouteRequest("complete garbage").substr(0, 12),
+            "HTTP/1.0 400");
+  EXPECT_EQ(admin.RouteRequest("POST /metrics HTTP/1.0").substr(0, 12),
+            "HTTP/1.0 400");
+  EXPECT_EQ(admin.RouteRequest("GET /metrics").substr(0, 12),
+            "HTTP/1.0 400");  // no HTTP version token
+  EXPECT_EQ(admin
+                .RouteRequest(std::string(obs::AdminServer::kMaxRequestBytes,
+                                          'x'),
+                              /*oversized=*/true)
+                .substr(0, 12),
+            "HTTP/1.0 431");
+  // /metrics routes through CheckedPrometheusText even with no state.
+  const std::string metrics = admin.RouteRequest("GET /metrics HTTP/1.0");
+  EXPECT_EQ(metrics.substr(0, 12), "HTTP/1.0 200");
+  // /debug/flightrec without a provider is absent, not empty.
+  EXPECT_EQ(admin.RouteRequest("GET /debug/flightrec HTTP/1.0").substr(0, 12),
+            "HTTP/1.0 404");
+}
+
+TEST_F(ObsNetTest, AdminEndpointServesLiveScrapeDuringSession) {
+  ModelProviderServerOptions options;
+  options.admin_port = 0;  // ephemeral
+  ModelProviderTcpServer server(*plan_, options);
+  ASSERT_TRUE(server.Listen(0).ok());
+  const uint16_t admin_port = server.admin_port();
+  ASSERT_NE(admin_port, 0);
+  std::thread server_thread([&server] { ASSERT_TRUE(server.Serve().ok()); });
+
+  auto transport = TcpTransport::Connect("127.0.0.1", server.port(),
+                                         keys_->public_key);
+  ASSERT_TRUE(transport.ok()) << transport.status().ToString();
+  DataProvider dp(transport.value()->view_plan(), *keys_, 401);
+  auto out = RunProtocolInference(*transport.value()->model_provider(), dp,
+                                  /*request_id=*/91, MakeInput(92));
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+
+  // Scrape while the connection and its session are still live.
+  const std::string metrics = admin_http::Get(admin_port, "/metrics");
+  ASSERT_EQ(metrics.substr(0, 12), "HTTP/1.0 200") << metrics.substr(0, 64);
+  const std::string body = admin_http::Body(metrics);
+  EXPECT_TRUE(obs::CheckPrometheusText(body).ok());
+  for (const char* family :
+       {"pps_serving_requests", "pps_serving_inflight", "pps_cost_reconciled",
+        "pps_crypto_scalar_muls"}) {
+    EXPECT_NE(body.find(family), std::string::npos)
+        << "live scrape missing " << family;
+  }
+
+  const std::string statusz = admin_http::Get(admin_port, "/statusz");
+  ASSERT_EQ(statusz.substr(0, 12), "HTTP/1.0 200");
+  const std::string status_body = admin_http::Body(statusz);
+  // A live session row, named by its public ordinal...
+  EXPECT_NE(status_body.find("\"sessions\":{\"live\":1"), std::string::npos)
+      << status_body;
+  EXPECT_NE(status_body.find("\"ordinal\":1"), std::string::npos);
+  // ...and zero secret material: no session id, key, or randomizer field.
+  EXPECT_EQ(status_body.find("session_id"), std::string::npos);
+  EXPECT_EQ(status_body.find("key"), std::string::npos) << status_body;
+  EXPECT_EQ(status_body.find("randomizer\":"), std::string::npos);
+
+  EXPECT_EQ(admin_http::Get(admin_port, "/healthz").substr(0, 12),
+            "HTTP/1.0 200");
+  EXPECT_EQ(admin_http::Get(admin_port, "/nothing-here").substr(0, 12),
+            "HTTP/1.0 404");
+
+  transport.value()->Close();
+  server.BeginDrain(/*grace_seconds=*/1.0);
+  // Draining flips /healthz to 503 while the admin plane stays up.
+  EXPECT_EQ(admin_http::Get(admin_port, "/healthz").substr(0, 12),
+            "HTTP/1.0 503");
+  server_thread.join();
+  EXPECT_GE(server.connections_served(), 1u);
+}
+
+TEST(AdminServerTest, StandaloneStartStopAndCounters) {
+  obs::AdminServer admin;
+  obs::AdminState state;
+  state.statusz_json = [] { return std::string("{\"ok\":true}"); };
+  ASSERT_TRUE(admin.Start(0, std::move(state)).ok());
+  ASSERT_NE(admin.port(), 0);
+
+  EXPECT_EQ(admin_http::Body(admin_http::Get(admin.port(), "/statusz")),
+            "{\"ok\":true}");
+  EXPECT_EQ(admin_http::Get(admin.port(), "/bogus").substr(0, 12),
+            "HTTP/1.0 404");
+  EXPECT_EQ(admin.requests_served(), 2u);
+  admin.Stop();
+  admin.Stop();  // idempotent
+}
+
+// ------------------------------------------------------- flight recorder
+
+TEST(FlightRecorderTest, DisabledRecorderKeepsRingEmpty) {
+  obs::FlightRecorder& rec = obs::FlightRecorder::Global();
+  rec.SetEnabled(false);
+  rec.Reset();
+  rec.RecordEvent("should.not.appear", "off");
+  EXPECT_EQ(rec.DumpJson().find("should.not.appear"), std::string::npos);
+}
+
+TEST(FlightRecorderTest, DumpCarriesSpansLogsAndEventsWithRequestIds) {
+  obs::FlightRecorder& rec = obs::FlightRecorder::Global();
+  rec.Reset();
+  rec.SetEnabled(true);
+  rec.RecordSpan("proto.round", "round", /*trace_id=*/0x71DE, /*span_id=*/7,
+                 /*request_id=*/55, /*start_seconds=*/1.0,
+                 /*duration_seconds=*/0.25, /*thread_ordinal=*/3);
+  rec.RecordLog("drain.begin grace=2");
+  rec.RecordEvent("breaker.open", "mp-endpoint", /*request_id=*/55);
+  const std::string json = rec.DumpJson();
+  rec.SetEnabled(false);
+  EXPECT_NE(json.find("proto.round"), std::string::npos);
+  EXPECT_NE(json.find("drain.begin grace=2"), std::string::npos);
+  EXPECT_NE(json.find("breaker.open"), std::string::npos);
+  EXPECT_NE(json.find("\"request_id\":55"), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);  // span
+  EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);  // instants
+}
+
+TEST(FlightRecorderTest, EnablingArmsSpanCaptureWithoutTracer) {
+  obs::FlightRecorder& rec = obs::FlightRecorder::Global();
+  rec.Reset();
+  rec.SetEnabled(true);
+  ASSERT_FALSE(Tracer::Global().enabled());
+  { ScopedSpan span = ScopedSpan::Root("flightrec.armed.span"); }
+  const std::string json = rec.DumpJson();
+  rec.SetEnabled(false);
+  EXPECT_NE(json.find("flightrec.armed.span"), std::string::npos)
+      << "enabled recorder must capture spans even with the tracer off";
+}
+
+TEST(FlightRecorderTest, RingSurvivesWraparound) {
+  obs::FlightRecorder& rec = obs::FlightRecorder::Global();
+  rec.Reset();
+  rec.SetEnabled(true);
+  for (size_t i = 0; i < obs::FlightRecorder::kCapacity + 32; ++i) {
+    rec.RecordEvent("wrap.event", "n", /*request_id=*/i + 1);
+  }
+  const std::string json = rec.DumpJson();
+  rec.SetEnabled(false);
+  // The newest entry survived; the overwritten head is gone, not torn.
+  EXPECT_NE(json.find("\"request_id\":" +
+                      std::to_string(obs::FlightRecorder::kCapacity + 32)),
+            std::string::npos);
+  EXPECT_EQ(json.find("\"request_id\":1}"), std::string::npos);
+}
+
+TEST(FlightRecorderTest, TriggerDumpWritesFileAndCountsIt) {
+  obs::FlightRecorder& rec = obs::FlightRecorder::Global();
+  rec.Reset();
+  rec.SetEnabled(true);
+  const std::string path =
+      ::testing::TempDir() + "/flightrec_trigger_test.json";
+  rec.SetDumpPath(path);
+  rec.RecordEvent("deadline.shed", "kMpProcessRound", /*request_id=*/99);
+  const uint64_t dumps0 = rec.dumps();
+  rec.TriggerDump("unit-test");
+  EXPECT_EQ(rec.dumps(), dumps0 + 1);
+  rec.SetDumpPath("");
+  rec.SetEnabled(false);
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream contents;
+  contents << in.rdbuf();
+  EXPECT_NE(contents.str().find("deadline.shed"), std::string::npos);
+  EXPECT_NE(contents.str().find("flightrec.dump"), std::string::npos)
+      << "the dump must record its own trigger reason event";
+  EXPECT_NE(contents.str().find("\"request_id\":99"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(FlightRecorderTest, ConcurrentWritersAndDumperStayConsistent) {
+  obs::FlightRecorder& rec = obs::FlightRecorder::Global();
+  rec.Reset();
+  rec.SetEnabled(true);
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> writers;
+  for (int t = 0; t < 4; ++t) {
+    writers.emplace_back([&rec, &stop, t] {
+      uint64_t i = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        rec.RecordEvent("storm.event", "concurrent",
+                        static_cast<uint64_t>(t) * 1000000 + ++i);
+        rec.RecordLog("storm line");
+      }
+    });
+  }
+  for (int i = 0; i < 20; ++i) {
+    const std::string json = rec.DumpJson();
+    EXPECT_NE(json.find("traceEvents"), std::string::npos);
+  }
+  stop.store(true);
+  for (std::thread& t : writers) t.join();
+  rec.SetEnabled(false);
+  rec.Reset();
 }
 
 }  // namespace

@@ -24,7 +24,11 @@
 //     net.reconnects counter agrees) — otherwise no chaos happened and
 //     the run proved nothing;
 //   * no plaintext input or output bytes ever appeared in an outbound
-//     frame payload, reconnects and resumes included.
+//     frame payload, reconnects and resumes included;
+//   * the flight recorder (obs/flightrec.h) captured the SIGKILLed
+//     inference: after a kill scenario completes, the dump written to
+//     --flightrec-out must contain spans carrying that inference's
+//     request id — proving the black box survives real process chaos.
 //
 // The run writes a JSON trace (events + a metrics snapshot) for CI
 // artifact upload; see --trace-out.
@@ -38,6 +42,7 @@
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <iterator>
 #include <memory>
 #include <string>
 #include <thread>
@@ -49,6 +54,7 @@
 #include "net/server.h"
 #include "net/transport.h"
 #include "nn/layers.h"
+#include "obs/flightrec.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "util/fault.h"
@@ -147,6 +153,8 @@ struct ChaosOptions {
   /// process death and socket-level chaos overlap.
   bool socket_faults = false;
   std::string trace_out;
+  /// Flight-recorder dump target; the post-kill assertion reads it back.
+  std::string flightrec_out = "chaos_flightrec.json";
 };
 
 struct ChaosEvent {
@@ -187,6 +195,9 @@ class ChaosRun {
   pid_t server_pid_ = -1;
   uint64_t epoch_ = 0;
   int kills_ = 0;
+  /// Request in flight (or about to start) when the last kill happened.
+  uint64_t current_request_id_ = 0;
+  uint64_t killed_request_id_ = 0;
   double start_seconds_ = 0;
   std::vector<ChaosEvent> events_;
   std::vector<std::string> failures_;
@@ -226,6 +237,9 @@ void ChaosRun::KillServer() {
 
 void ChaosRun::KillAndRespawn(const char* why) {
   ++kills_;
+  killed_request_id_ = current_request_id_;
+  obs::FlightRecorder::Global().RecordEvent("chaos.kill", why,
+                                            current_request_id_);
   Record("kill", std::string("SIGKILL server pid ") +
                      std::to_string(server_pid_) + " (" + why + ")");
   KillServer();
@@ -235,6 +249,14 @@ void ChaosRun::KillAndRespawn(const char* why) {
 
 int ChaosRun::Run() {
   start_seconds_ = obs::MonotonicSeconds();
+
+  // Arm the black box: spans and events of every inference land in the
+  // ring, and kill scenarios dump it for the post-run assertion.
+  obs::FlightRecorder& recorder = obs::FlightRecorder::Global();
+  recorder.SetEnabled(true);
+  if (!options_.flightrec_out.empty()) {
+    recorder.SetDumpPath(options_.flightrec_out);
+  }
 
   // Generate keys and the plain reference before any process chaos.
   Rng krng(kKeySeed);
@@ -335,6 +357,7 @@ int ChaosRun::Run() {
 
   bool ok = true;
   for (int i = 0; i < options_.inferences; ++i) {
+    current_request_id_ = static_cast<uint64_t>(i) + 1;
     // If the coin has been cold, force the guaranteed kills at inference
     // boundaries so every run — any seed — exercises a real SIGKILL.
     const int remaining = options_.inferences - i;
@@ -414,6 +437,33 @@ int ChaosRun::Run() {
   if (kills_ > 0 && reconnects->Value() == 0) {
     failures_.push_back("net.reconnects stayed 0 across a server kill");
     ok = false;
+  }
+
+  // Black-box assertion: dump the recorder now that every interrupted
+  // inference's spans have closed, then prove the dump really holds the
+  // killed request's timeline (root span + chaos.kill event carry its
+  // request id).
+  if (kills_ > 0 && !options_.flightrec_out.empty()) {
+    recorder.TriggerDump("chaos.post_kill");
+    std::ifstream dump_in(options_.flightrec_out);
+    std::string dump((std::istreambuf_iterator<char>(dump_in)),
+                     std::istreambuf_iterator<char>());
+    const std::string needle =
+        "\"request_id\":" + std::to_string(killed_request_id_);
+    if (dump.empty()) {
+      failures_.push_back("flight recorder wrote no dump to " +
+                          options_.flightrec_out);
+      ok = false;
+    } else if (dump.find(needle) == std::string::npos) {
+      failures_.push_back(
+          "flight recorder dump is missing the killed inference (request " +
+          std::to_string(killed_request_id_) + ")");
+      ok = false;
+    } else {
+      Record("flightrec", "dump holds request " +
+                              std::to_string(killed_request_id_) + " at " +
+                              options_.flightrec_out);
+    }
   }
 
   // Graceful epilogue: SIGTERM (not KILL) the survivor and make sure the
@@ -504,11 +554,13 @@ int ChaosMain(int argc, char** argv) {
       options.socket_faults = true;
     } else if (arg == "--trace-out") {
       options.trace_out = next();
+    } else if (arg == "--flightrec-out") {
+      options.flightrec_out = next();
     } else {
       std::fprintf(stderr,
                    "usage: %s [--inferences N] [--kills N] [--seed S]\n"
                    "          [--kill-probability P] [--socket-faults]\n"
-                   "          [--trace-out PATH]\n"
+                   "          [--trace-out PATH] [--flightrec-out PATH]\n"
                    "       %s --serve <port> <epoch>\n",
                    argv[0], argv[0]);
       return 2;

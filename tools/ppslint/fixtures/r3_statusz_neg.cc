@@ -1,0 +1,34 @@
+// ppslint fixture: R3 must stay SILENT — a /statusz-style renderer that
+// honors the non-secret contract: the JSON and its logs carry only
+// ordinals, counts, and ages. Secret-flavored WORDS appear, but only
+// inside string literals (JSON keys), never as identifiers reaching a
+// log. Analyzed under rel path "src/net/r3_statusz_neg.cc".
+
+#include <sstream>
+#include <string>
+
+#include "util/logging.h"
+
+namespace ppstream {
+
+std::string RenderStatusz(size_t live, size_t max_sessions, uint64_t ordinal,
+                          double age_seconds, size_t pool_depth) {
+  std::ostringstream out;
+  out << "{\"sessions\":{\"live\":" << live << ",\"max\":" << max_sessions
+      << ",\"entries\":[{\"ordinal\":" << ordinal
+      << ",\"age_seconds\":" << age_seconds << "}]}"
+      << ",\"randomizer_pool\":{\"depth\":" << pool_depth << "}}";
+  // Public metadata only: counts and the public session ordinal.
+  PPS_SLOG(Debug, "statusz.render")
+      .Kv("live", live)
+      .Kv("ordinal", ordinal)
+      .Kv("pool_depth", pool_depth);
+  return out.str();
+}
+
+void LogPoolShape(size_t depth, size_t capacity) {
+  // The word "randomizer" in the message string is not an identifier leak.
+  PPS_LOG(Info) << "randomizer pool at " << depth << "/" << capacity;
+}
+
+}  // namespace ppstream

@@ -1,0 +1,30 @@
+// ppslint fixture: R3 MUST fire — a /statusz-style renderer that leaks
+// secret material into its debug log. The JSON body itself is built from
+// public fields, but the "helpful" render-trace logs the key pair and a
+// pool randomizer, which is exactly the leak the admin endpoint's
+// non-secret contract forbids. Analyzed under rel path
+// "src/net/r3_statusz_pos.cc".
+
+#include <sstream>
+#include <string>
+
+#include "util/logging.h"
+
+namespace ppstream {
+
+std::string RenderStatusz(const PaillierKeyPair& keys_, size_t live,
+                          uint64_t ordinal) {
+  std::ostringstream out;
+  out << "{\"sessions\":{\"live\":" << live
+      << ",\"entries\":[{\"ordinal\":" << ordinal << "}]}}";
+  // BAD: the whole key pair as a structured log value.
+  PPS_SLOG(Debug, "statusz.render").Kv("live", live).Kv("keys", keys_);
+  return out.str();
+}
+
+void TraceRandomizerRefill(const BigInt& randomizer, size_t depth) {
+  // BAD: streaming a pool randomizer alongside the (public) depth.
+  PPS_LOG(Info) << "pool refilled to " << depth << " head " << randomizer;
+}
+
+}  // namespace ppstream
