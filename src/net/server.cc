@@ -284,10 +284,15 @@ Status ModelProviderTcpServer::ServeConcurrent() {
   return Status::OK();
 }
 
-Status ModelProviderTcpServer::WaitForRequest(TcpSocket& socket) {
+Status ModelProviderTcpServer::WaitForRequest(TcpSocket& socket,
+                                              const ServerSession* session) {
   const double idle_deadline =
       obs::MonotonicSeconds() + options_.io_timeout_seconds;
   for (;;) {
+    if (session != nullptr && session->kicked()) {
+      return Status::Unavailable(
+          "session kicked: a newer connection is resuming it");
+    }
     const double drain = drain_deadline_.load();
     const double now = obs::MonotonicSeconds();
     if (drain > 0 && now >= drain) {
@@ -303,8 +308,12 @@ Status ModelProviderTcpServer::WaitForRequest(TcpSocket& socket) {
     // the established connection keeps its legacy serve-until-disconnect
     // semantics. Once signalled, stop passing the fd and fall back to
     // short polled slices so a later BeginDrain() still cuts us off.
+    // Sessioned connections always poll in short slices: a kick has no
+    // fd to cancel the wait, so it must be noticed within one slice.
     const int cancel_fd = wake_.signalled() ? -1 : wake_.read_fd();
-    if (cancel_fd < 0) slice = std::min(slice, options_.accept_poll_seconds);
+    if (cancel_fd < 0 || session != nullptr) {
+      slice = std::min(slice, options_.accept_poll_seconds);
+    }
     const Status ready = socket.WaitReadable(slice, cancel_fd);
     if (ready.code() == StatusCode::kCancelled ||
         ready.code() == StatusCode::kDeadlineExceeded) {
@@ -351,6 +360,16 @@ Status ModelProviderTcpServer::ServeConnection(TcpSocket socket) {
   std::shared_ptr<ServerSession> session;
   std::unique_ptr<ModelProvider> local_mp;
 
+  // While attached, this connection is the session's sole owner: the
+  // registry refuses to hand it to a resuming connection until the guard
+  // detaches on every exit path below (net/session.h).
+  struct AttachGuard {
+    std::shared_ptr<ServerSession> session;
+    ~AttachGuard() {
+      if (session) session->Detach();
+    }
+  } attached;
+
   if (hello.session_id != 0) {
     // ---- Resume: restore the parked provider, replay the plan view.
     if (!options_.session.enable_sessions) {
@@ -363,16 +382,20 @@ Status ModelProviderTcpServer::ServeConnection(TcpSocket socket) {
     Result<std::shared_ptr<ServerSession>> resumed =
         sessions_.Resume(hello.session_id);
     if (!resumed.ok()) {
-      // Expected after a restart or an LRU eviction: tell the client to
-      // start over; not a server-side failure.
-      PPS_SLOG(Info, "server.session_unknown")
-          .Kv("session", hello.session_id);
+      // kNotFound after a restart or LRU eviction (client starts over),
+      // kUnavailable while the previous connection is still attached
+      // (client retries once it detaches). Neither is a server-side
+      // failure. The id stays out of the log: on the busy path it still
+      // gates a live session.
+      PPS_SLOG(Info, "server.session_resume_refused")
+          .Kv("code", static_cast<int>(resumed.status().code()));
       (void)SendFrameBytes(
           socket, EncodeFrame(MakeErrorFrame(hello, resumed.status())),
           timeout);
       return Status::OK();
     }
     session = std::move(resumed).value();
+    attached.session = session;
     PPS_RETURN_IF_ERROR(SendFrameBytes(
         socket,
         EncodeFrame(MakeResponseFrame(hello, session->view_payload())),
@@ -405,6 +428,7 @@ Status ModelProviderTcpServer::ServeConnection(TcpSocket socket) {
     std::vector<uint8_t> view_bytes = view.TakeBytes();
     if (hello.session_request && options_.session.enable_sessions) {
       session = sessions_.Create(std::move(local_mp), view_bytes);
+      attached.session = session;
     }
     WireFrame response = MakeResponseFrame(hello, std::move(view_bytes));
     if (session) response.session_id = session->id();
@@ -420,15 +444,33 @@ Status ModelProviderTcpServer::ServeConnection(TcpSocket socket) {
   // per-tenant metric series.
   const obs::RequestCostBudget mp_budget{
       0, ExpectedRequestCost(*plan_).scalar_muls};
+  // Label recycled modulo the configured cap so session churn can't grow
+  // the registry's labeled-series set without bound (server.h).
   const std::string session_label =
-      session ? std::to_string(session->ordinal()) : std::string();
+      session && options_.session_metric_labels > 0
+          ? std::to_string(session->ordinal() %
+                           options_.session_metric_labels)
+          : std::string();
   RequestCostTracker cost_tracker;
 
   // ---- Request loop until the peer hangs up (or drain cuts it off).
   for (;;) {
-    const Status wait = WaitForRequest(socket);
+    const Status wait = WaitForRequest(socket, session.get());
     if (!wait.ok()) {
       if (wait.code() == StatusCode::kUnavailable) {
+        if (session && session->kicked()) {
+          // A resuming connection wants this session; yield it. The
+          // registry refused the resume while we were attached, so the
+          // provider and reply cache never crossed threads — once the
+          // attach guard detaches, the client's retry succeeds.
+          PPS_SLOG(Info, "server.session_yielded")
+              .Kv("connection", conn)
+              .Kv("session", session->ordinal());
+          FlightRecordIncident("session.yield",
+                               "kicked by a resuming connection",
+                               cost_tracker.request_id);
+          return Status::OK();
+        }
         // Drain grace expired; the session (if any) stays in the
         // registry so a client of a merely-draining server can resume
         // against a replacement process... or this one, if drain is

@@ -77,8 +77,19 @@ struct ModelProviderServerOptions {
   /// the legacy single-connection-at-a-time behavior; >1 dispatches each
   /// accepted connection to its own thread — the saturation regime
   /// bench_serving sweeps. Each connection still gets its own
-  /// ModelProvider/session, so protocol state never crosses threads.
+  /// ModelProvider/session, and sessions are exclusively attached to one
+  /// connection at a time (a resume against a still-attached session is
+  /// refused and the holder kicked — see SessionRegistry::Resume), so
+  /// protocol state never crosses threads.
   size_t max_concurrent_connections = 1;
+  /// Cardinality cap for the per-session labeled metric series
+  /// (serving.*{session=...}, cost.*{session=...}). Labeled series live
+  /// in the process-wide registry forever, so labeling by raw ordinal
+  /// would grow the registry without bound under session churn; instead
+  /// the label is `ordinal % session_metric_labels`, recycling at most
+  /// this many label values per family. 0 disables per-session labels
+  /// entirely (the unlabeled families still record every request).
+  size_t session_metric_labels = 32;
 };
 
 class ModelProviderTcpServer {
@@ -149,8 +160,9 @@ class ModelProviderTcpServer {
 
   /// Slices a long idle wait into cancellable pieces: returns OK when a
   /// frame is readable, kDeadlineExceeded after io_timeout_seconds idle,
-  /// kUnavailable once the drain deadline passes.
-  Status WaitForRequest(TcpSocket& socket);
+  /// kUnavailable once the drain deadline passes or `session` (may be
+  /// null) was kicked by a resuming connection.
+  Status WaitForRequest(TcpSocket& socket, const ServerSession* session);
 
   std::shared_ptr<const InferencePlan> plan_;
   ModelProviderServerOptions options_;

@@ -15,6 +15,7 @@ struct SessionMetrics {
   obs::Counter* resumed;
   obs::Counter* lost;
   obs::Counter* evicted;
+  obs::Counter* resume_busy;
   obs::Gauge* active;
 
   static const SessionMetrics& Get() {
@@ -24,6 +25,7 @@ struct SessionMetrics {
                             r.GetCounter("net.session.resumed"),
                             r.GetCounter("net.session.lost"),
                             r.GetCounter("net.session.evicted"),
+                            r.GetCounter("net.session.resume_busy"),
                             r.GetGauge("net.session.active")};
     }();
     return metrics;
@@ -47,6 +49,16 @@ const std::vector<uint8_t>* ServerSession::CachedReply(
   const auto it = replies_.find(sequence);
   if (it == replies_.end()) return nullptr;
   return &it->second;
+}
+
+bool ServerSession::TryAttach() {
+  bool expected = false;
+  if (!attached_.compare_exchange_strong(expected, true,
+                                         std::memory_order_acq_rel)) {
+    return false;
+  }
+  kicked_.store(false, std::memory_order_release);
+  return true;
 }
 
 bool ServerSession::IsStaleSequence(uint64_t sequence) const {
@@ -99,6 +111,7 @@ std::shared_ptr<ServerSession> SessionRegistry::Create(
   const double now = obs::MonotonicSeconds();
   auto session = std::make_shared<ServerSession>(
       id, ++next_ordinal_, std::move(provider), std::move(view_payload));
+  PPS_CHECK(session->TryAttach());  // the creating connection owns it
   sessions_[id] = Entry{session, ++tick_, now, now};
   SessionMetrics::Get().created->Increment();
   SessionMetrics::Get().active->Set(static_cast<double>(sessions_.size()));
@@ -111,6 +124,19 @@ Result<std::shared_ptr<ServerSession>> SessionRegistry::Resume(uint64_t id) {
   if (it == sessions_.end()) {
     SessionMetrics::Get().lost->Increment();
     return Status::NotFound("unknown or expired session");
+  }
+  if (!it->second.session->TryAttach()) {
+    // Another connection still owns this session (typically a half-open
+    // socket whose idle timeout has not hit). Handing the session out
+    // anyway would put two threads on the same provider and reply map,
+    // so kick the holder off its idle wait and make the client retry:
+    // by its next redial the old connection has detached.
+    it->second.session->Kick();
+    SessionMetrics::Get().resume_busy->Increment();
+    PPS_SLOG(Info, "session.resume_busy")
+        .Kv("session", it->second.session->ordinal());
+    return Status::Unavailable(
+        "session still attached to another connection; retry");
   }
   it->second.used_tick = ++tick_;
   it->second.used_seconds = obs::MonotonicSeconds();

@@ -26,10 +26,17 @@
 // the id only ever protects ciphertext state, never plaintext.
 //
 // Thread-safety: SessionRegistry is fully locked. ServerSession's cache
-// accessors are NOT internally synchronized — the server serves one
-// connection at a time, and a session is only touched by the connection
-// that resumed it (the registry hands out shared_ptrs so eviction during
-// use stays safe).
+// accessors are NOT internally synchronized — they rely on exclusive
+// attachment instead: Create/Resume attach the session to the acquiring
+// connection under the registry lock, and Resume refuses (kUnavailable,
+// after kicking the holder) while another connection is still attached.
+// With concurrent connections a crashed client's half-open connection
+// may outlive its socket; without the attach gate a resume would put two
+// threads on the same provider and reply map. The owning connection
+// Detach()es when it stops serving (the release/acquire pair on the
+// attach flag orders its last cache writes before the next owner's
+// reads), and the registry hands out shared_ptrs so eviction during use
+// stays safe.
 
 #pragma once
 
@@ -110,6 +117,24 @@ class ServerSession {
     return cached_bytes_.load(std::memory_order_relaxed);
   }
 
+  /// Claims exclusive ownership of the session's provider and reply
+  /// cache for one connection; false when another connection still holds
+  /// it. Clears any pending kick on success. Called by the registry
+  /// (under its lock) from Create and Resume.
+  bool TryAttach();
+
+  /// Releases the attachment so a later Resume can re-attach. The store
+  /// is a release, pairing with TryAttach's acquire: every cache write
+  /// by this owner happens-before the next owner's first read.
+  void Detach() { attached_.store(false, std::memory_order_release); }
+
+  /// Asks the attached connection to stop serving (a newer connection is
+  /// trying to resume). The server's idle-wait loop polls kicked() and
+  /// closes the old connection, which then detaches.
+  void Kick() { kicked_.store(true, std::memory_order_release); }
+  bool kicked() const { return kicked_.load(std::memory_order_acquire); }
+  bool attached() const { return attached_.load(std::memory_order_acquire); }
+
  private:
   const uint64_t id_;
   const uint64_t ordinal_;
@@ -121,6 +146,8 @@ class ServerSession {
   std::atomic<uint64_t> cached_bytes_{0};
   std::atomic<uint64_t> cached_entries_{0};
   std::atomic<uint64_t> max_sequence_{0};
+  std::atomic<bool> attached_{false};
+  std::atomic<bool> kicked_{false};
 };
 
 /// Non-secret status row for one live session (/statusz). Deliberately
@@ -143,15 +170,20 @@ class SessionRegistry {
 
   const SessionLayerOptions& options() const { return options_; }
 
-  /// Issues a fresh session around `provider`. Evicts the least recently
-  /// resumed session when full.
+  /// Issues a fresh session around `provider`, already attached to the
+  /// creating connection. Evicts the least recently resumed session when
+  /// full.
   std::shared_ptr<ServerSession> Create(
       std::unique_ptr<ModelProvider> provider,
       std::vector<uint8_t> view_payload);
 
-  /// Looks up a session by id and marks it most recently used.
-  /// kNotFound when the id is unknown or was evicted — the client's cue
-  /// to restart the inference on a fresh session.
+  /// Looks up a session by id, attaches it to the calling connection,
+  /// and marks it most recently used. kNotFound when the id is unknown
+  /// or was evicted — the client's cue to restart the inference on a
+  /// fresh session. kUnavailable when another connection is still
+  /// attached (its half-open socket has not timed out yet): the holder
+  /// is kicked and the client should retry, by which time the old
+  /// connection has detached.
   Result<std::shared_ptr<ServerSession>> Resume(uint64_t id);
 
   /// Drops a session (no-op when absent).

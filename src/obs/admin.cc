@@ -6,6 +6,7 @@
 
 #include "obs/flightrec.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/logging.h"
 
 namespace ppstream {
@@ -14,7 +15,6 @@ namespace obs {
 namespace {
 
 // Scrape clients are local and fast; generous but bounded waits.
-constexpr double kIoTimeoutSeconds = 5.0;
 constexpr double kAcceptPollSeconds = 0.2;
 
 struct AdminMetrics {
@@ -149,6 +149,11 @@ void AdminServer::AcceptLoop() {
 }
 
 void AdminServer::ServeOne(TcpSocket socket) {
+  // One overall deadline for the whole connection, not per socket call:
+  // a client trickling one byte per recv would otherwise hold the
+  // single accept thread for kMaxRequestBytes * timeout — hours — and
+  // starve every other scrape (including /healthz).
+  const double deadline = MonotonicSeconds() + connection_deadline_seconds_;
   // Read until the end of the request line, a bounded number of bytes.
   // HTTP/1.0 GETs have no body, so everything past the first CR/LF is
   // ignorable headers; we stop at the line or the cap.
@@ -160,8 +165,13 @@ void AdminServer::ServeOne(TcpSocket socket) {
       oversized = true;
       break;
     }
-    Result<size_t> n =
-        socket.RecvSome(chunk, sizeof(chunk), kIoTimeoutSeconds);
+    const double remaining = deadline - MonotonicSeconds();
+    if (remaining <= 0) {
+      // Slow client: drop without reply so the accept thread moves on.
+      AdminMetrics::Get().bad_requests->Increment();
+      return;
+    }
+    Result<size_t> n = socket.RecvSome(chunk, sizeof(chunk), remaining);
     if (!n.ok()) return;  // slow/broken client: drop without reply
     head.append(reinterpret_cast<const char*>(chunk), n.value());
   }
@@ -172,10 +182,12 @@ void AdminServer::ServeOne(TcpSocket socket) {
   AdminMetrics::Get().requests->Increment();
   requests_served_.fetch_add(1, std::memory_order_relaxed);
   const std::string response = RouteRequest(line, oversized);
+  const double send_remaining = deadline - MonotonicSeconds();
+  if (send_remaining <= 0) return;
   // Best effort: a scrape client that vanished mid-reply is not an error
   // worth surfacing.
   (void)socket.SendAll(reinterpret_cast<const uint8_t*>(response.data()),
-                       response.size(), kIoTimeoutSeconds);
+                       response.size(), send_remaining);
 }
 
 }  // namespace obs

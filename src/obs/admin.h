@@ -84,6 +84,15 @@ class AdminServer {
   /// Longest request head (line + headers) accepted before replying 431.
   static constexpr size_t kMaxRequestBytes = 4096;
 
+  /// Overall per-connection budget (read + reply combined, not per
+  /// socket call): the responder is single-threaded, so a client
+  /// trickling one byte at a time must not be able to occupy the accept
+  /// thread — and starve /healthz — longer than one slow scrape would.
+  /// Tests shrink it; operators shouldn't need to.
+  void set_connection_deadline_seconds(double seconds) {
+    connection_deadline_seconds_ = seconds;
+  }
+
  private:
   void AcceptLoop();
   void ServeOne(TcpSocket socket);
@@ -94,6 +103,7 @@ class AdminServer {
   std::thread thread_;
   uint16_t port_ = 0;
   bool started_ = false;
+  double connection_deadline_seconds_ = 5.0;
   std::atomic<uint64_t> requests_served_{0};
 };
 

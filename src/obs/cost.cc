@@ -93,6 +93,14 @@ CryptoCostSnapshot CryptoCostSnapshot::operator-(
 CostInterval::CostInterval(uint32_t mutates_mask) : mask_(mutates_mask) {
   for (size_t c = 0; c < 2; ++c) {
     if ((mask_ & kComponentBits[c]) == 0) continue;
+    // Baseline the epoch BEFORE joining the mutator set: a neighbor
+    // whose bump landed between our join and a later baseline load would
+    // be absorbed into the baseline and the overlap missed. Taken first,
+    // any bump concurrent with this interval moves the epoch past the
+    // baseline — conservatively flagging, never missing, an overlap
+    // (the worst case is an extra cost.contended_skips, never a
+    // mispriced sample).
+    epochs_[c] = g_components[c].epoch.load(std::memory_order_acquire);
     const uint64_t prior =
         g_components[c].mutators.fetch_add(1, std::memory_order_acq_rel);
     if (prior > 0) {
@@ -101,7 +109,6 @@ CostInterval::CostInterval(uint32_t mutates_mask) : mask_(mutates_mask) {
       g_components[c].epoch.fetch_add(1, std::memory_order_acq_rel);
       contended_.fetch_or(kComponentBits[c], std::memory_order_relaxed);
     }
-    epochs_[c] = g_components[c].epoch.load(std::memory_order_acquire);
   }
   begin_ = CryptoCostSnapshot::Capture();
 }

@@ -100,14 +100,24 @@ std::string FlightRecorder::dump_path() const {
   return dump_path_;
 }
 
-FlightRecorder::Slot& FlightRecorder::BeginWrite(Kind kind,
+FlightRecorder::Slot* FlightRecorder::BeginWrite(Kind kind,
                                                  uint64_t* publish_version) {
   const uint64_t seq = next_.fetch_add(1, std::memory_order_relaxed);
   Slot& slot = slots_[seq % kCapacity];
-  slot.version.store(2 * seq + 1, std::memory_order_release);
+  // Claim by CAS so two writers a full ring apart can never interleave
+  // field writes in one slot: if the slot is still write-locked by a
+  // lapped writer (odd version) or the ring already moved past this
+  // sequence, drop this record rather than corrupt the holder's.
+  uint64_t expected = slot.version.load(std::memory_order_relaxed);
+  if (expected % 2 != 0 || expected >= 2 * seq + 1 ||
+      !slot.version.compare_exchange_strong(expected, 2 * seq + 1,
+                                            std::memory_order_acq_rel)) {
+    drops_.fetch_add(1, std::memory_order_relaxed);
+    return nullptr;
+  }
   slot.kind.store(static_cast<uint8_t>(kind), std::memory_order_relaxed);
   *publish_version = 2 * seq + 2;
-  return slot;
+  return &slot;
 }
 
 void FlightRecorder::RecordSpan(std::string_view name,
@@ -117,47 +127,50 @@ void FlightRecorder::RecordSpan(std::string_view name,
                                 uint32_t thread_ordinal) {
   if (!enabled()) return;
   uint64_t publish = 0;
-  Slot& slot = BeginWrite(Kind::kSpan, &publish);
-  slot.trace_id.store(trace_id, std::memory_order_relaxed);
-  slot.span_id.store(span_id, std::memory_order_relaxed);
-  slot.request_id.store(request_id, std::memory_order_relaxed);
-  slot.start_seconds.store(start_seconds, std::memory_order_relaxed);
-  slot.duration_seconds.store(duration_seconds, std::memory_order_relaxed);
-  slot.thread_ordinal.store(thread_ordinal, std::memory_order_relaxed);
-  StoreString(slot.name, name);
-  StoreString(slot.detail, category);
-  Publish(slot, publish);
+  Slot* slot = BeginWrite(Kind::kSpan, &publish);
+  if (slot == nullptr) return;
+  slot->trace_id.store(trace_id, std::memory_order_relaxed);
+  slot->span_id.store(span_id, std::memory_order_relaxed);
+  slot->request_id.store(request_id, std::memory_order_relaxed);
+  slot->start_seconds.store(start_seconds, std::memory_order_relaxed);
+  slot->duration_seconds.store(duration_seconds, std::memory_order_relaxed);
+  slot->thread_ordinal.store(thread_ordinal, std::memory_order_relaxed);
+  StoreString(slot->name, name);
+  StoreString(slot->detail, category);
+  Publish(*slot, publish);
 }
 
 void FlightRecorder::RecordLog(std::string_view line) {
   if (!enabled()) return;
   uint64_t publish = 0;
-  Slot& slot = BeginWrite(Kind::kLog, &publish);
-  slot.trace_id.store(0, std::memory_order_relaxed);
-  slot.span_id.store(0, std::memory_order_relaxed);
-  slot.request_id.store(0, std::memory_order_relaxed);
-  slot.start_seconds.store(MonotonicSeconds(), std::memory_order_relaxed);
-  slot.duration_seconds.store(0, std::memory_order_relaxed);
-  slot.thread_ordinal.store(0, std::memory_order_relaxed);
-  StoreString(slot.name, "log");
-  StoreString(slot.detail, line);
-  Publish(slot, publish);
+  Slot* slot = BeginWrite(Kind::kLog, &publish);
+  if (slot == nullptr) return;
+  slot->trace_id.store(0, std::memory_order_relaxed);
+  slot->span_id.store(0, std::memory_order_relaxed);
+  slot->request_id.store(0, std::memory_order_relaxed);
+  slot->start_seconds.store(MonotonicSeconds(), std::memory_order_relaxed);
+  slot->duration_seconds.store(0, std::memory_order_relaxed);
+  slot->thread_ordinal.store(0, std::memory_order_relaxed);
+  StoreString(slot->name, "log");
+  StoreString(slot->detail, line);
+  Publish(*slot, publish);
 }
 
 void FlightRecorder::RecordEvent(std::string_view kind, std::string_view detail,
                                  uint64_t request_id) {
   if (!enabled()) return;
   uint64_t publish = 0;
-  Slot& slot = BeginWrite(Kind::kEvent, &publish);
-  slot.trace_id.store(0, std::memory_order_relaxed);
-  slot.span_id.store(0, std::memory_order_relaxed);
-  slot.request_id.store(request_id, std::memory_order_relaxed);
-  slot.start_seconds.store(MonotonicSeconds(), std::memory_order_relaxed);
-  slot.duration_seconds.store(0, std::memory_order_relaxed);
-  slot.thread_ordinal.store(0, std::memory_order_relaxed);
-  StoreString(slot.name, kind);
-  StoreString(slot.detail, detail);
-  Publish(slot, publish);
+  Slot* slot = BeginWrite(Kind::kEvent, &publish);
+  if (slot == nullptr) return;
+  slot->trace_id.store(0, std::memory_order_relaxed);
+  slot->span_id.store(0, std::memory_order_relaxed);
+  slot->request_id.store(request_id, std::memory_order_relaxed);
+  slot->start_seconds.store(MonotonicSeconds(), std::memory_order_relaxed);
+  slot->duration_seconds.store(0, std::memory_order_relaxed);
+  slot->thread_ordinal.store(0, std::memory_order_relaxed);
+  StoreString(slot->name, kind);
+  StoreString(slot->detail, detail);
+  Publish(*slot, publish);
 }
 
 std::string FlightRecorder::DumpJson() const {
@@ -244,6 +257,7 @@ void FlightRecorder::Reset() {
     slot.kind.store(0, std::memory_order_relaxed);
   }
   next_.store(0, std::memory_order_release);
+  drops_.store(0, std::memory_order_relaxed);
 }
 
 }  // namespace obs

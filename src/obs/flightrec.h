@@ -19,6 +19,13 @@
 // slots whose version is odd or no longer matches the sequence window it
 // is iterating (torn or already overwritten) — so a scrape during a
 // storm yields a consistent, possibly slightly shorter, history.
+//
+// Writers never block each other either: a slot is claimed by CAS on its
+// version, so when two writers a full ring apart collide on one slot
+// (one stalled mid-write while the ring lapped it), the loser drops its
+// record (counted under dropped_records) instead of interleaving field
+// writes with the holder's — a published version always stamps one
+// writer's complete record.
 
 #pragma once
 
@@ -80,6 +87,13 @@ class FlightRecorder {
   /// Completed file dumps since process start.
   uint64_t dumps() const { return dumps_.load(std::memory_order_relaxed); }
 
+  /// Records dropped because their slot was still claimed by a writer a
+  /// full ring behind/ahead (only possible when ~kCapacity records land
+  /// during one stalled write). Bounded collateral of wait-free writers.
+  uint64_t dropped_records() const {
+    return drops_.load(std::memory_order_relaxed);
+  }
+
   /// Clears the ring (handles and enablement survive). Test helper.
   void Reset();
 
@@ -99,10 +113,11 @@ class FlightRecorder {
     std::array<std::atomic<uint64_t>, kDetailWords> detail{};
   };
 
-  /// Claims the next slot, stamps it write-locked (odd version), fills
-  /// common fields, and returns it; the caller finishes field writes and
-  /// must call Publish.
-  Slot& BeginWrite(Kind kind, uint64_t* publish_version);
+  /// Claims the next slot by CAS, stamps it write-locked (odd version),
+  /// fills common fields, and returns it; the caller finishes field
+  /// writes and must call Publish. Returns nullptr (record dropped) when
+  /// the slot is still held by a lapped writer.
+  Slot* BeginWrite(Kind kind, uint64_t* publish_version);
   static void Publish(Slot& slot, uint64_t publish_version) {
     slot.version.store(publish_version, std::memory_order_release);
   }
@@ -110,6 +125,7 @@ class FlightRecorder {
   std::atomic<bool> enabled_{false};
   std::atomic<uint64_t> next_{0};
   std::atomic<uint64_t> dumps_{0};
+  std::atomic<uint64_t> drops_{0};
   std::array<Slot, kCapacity> slots_{};
 
   mutable std::mutex dump_mutex_;  // guards dump_path_ + file writes only

@@ -664,11 +664,32 @@ TEST_F(NetTest, SessionRegistryReplayAndStaleSequence) {
   EXPECT_TRUE(session->IsStaleSequence(1));  // served, reply evicted
   EXPECT_EQ(session->last_sequence(), 3u);
 
+  session->Detach();  // the creating connection hangs up
   EXPECT_TRUE(registry.Resume(session->id()).ok());
   EXPECT_EQ(registry.Resume(session->id() ^ 1).status().code(),
             StatusCode::kNotFound);
   registry.Remove(session->id());
   EXPECT_EQ(registry.size(), 0u);
+}
+
+TEST_F(NetTest, SessionRegistryResumeIsExclusiveWhileAttached) {
+  SessionRegistry registry;
+  auto session = registry.Create(
+      std::make_unique<ModelProvider>(*plan_, keys_->public_key, 9), {});
+  // Created sessions come attached to the creating connection; a resume
+  // from a second connection must be refused (never handing the same
+  // provider/reply cache to two threads) and must kick the holder.
+  EXPECT_TRUE(session->attached());
+  EXPECT_FALSE(session->kicked());
+  EXPECT_EQ(registry.Resume(session->id()).status().code(),
+            StatusCode::kUnavailable);
+  EXPECT_TRUE(session->kicked());
+  // Once the holder detaches, the retry succeeds and re-attaches with a
+  // clean kick flag.
+  session->Detach();
+  ASSERT_TRUE(registry.Resume(session->id()).ok());
+  EXPECT_TRUE(session->attached());
+  EXPECT_FALSE(session->kicked());
 }
 
 TEST_F(NetTest, SessionRegistryEvictsLeastRecentlyResumed) {
@@ -680,15 +701,81 @@ TEST_F(NetTest, SessionRegistryEvictsLeastRecentlyResumed) {
   };
   auto a = registry.Create(make_mp(1), {});
   auto b = registry.Create(make_mp(2), {});
+  a->Detach();
+  b->Detach();
   ASSERT_TRUE(registry.Resume(a->id()).ok());  // a is now most recent
+  a->Detach();
   auto c = registry.Create(make_mp(3), {});    // evicts b, not a
+  c->Detach();
   EXPECT_EQ(registry.size(), 2u);
   EXPECT_TRUE(registry.Resume(a->id()).ok());
+  a->Detach();
   EXPECT_TRUE(registry.Resume(c->id()).ok());
   EXPECT_EQ(registry.Resume(b->id()).status().code(), StatusCode::kNotFound);
 }
 
 // ------------------------------------------------------- TCP resilience
+
+TEST_F(NetTest, ConcurrentResumeKicksHalfOpenConnection) {
+  ModelProviderServerOptions options;
+  options.max_concurrent_connections = 2;
+  options.accept_poll_seconds = 0.05;
+  ModelProviderTcpServer server(*plan_, options);
+  ASSERT_TRUE(server.Listen(0).ok());
+  std::thread server_thread([&server] { EXPECT_TRUE(server.Serve().ok()); });
+
+  BufferWriter key;
+  keys_->public_key.Serialize(&key);
+  const std::vector<uint8_t> key_bytes = key.TakeBytes();
+
+  // Connection A: sessioned handshake, then go silent — from the
+  // server's point of view, a half-open connection still attached to
+  // its session.
+  auto a = TcpSocket::Connect("127.0.0.1", server.port(), 5.0);
+  ASSERT_TRUE(a.ok());
+  WireFrame hello = MakeRequestFrame(WireMethod::kHandshake, 0, 0, key_bytes);
+  hello.session_request = true;
+  const auto hello_bytes = EncodeFrame(hello);
+  ASSERT_TRUE(a->SendAll(hello_bytes.data(), hello_bytes.size(), 5.0).ok());
+  auto a_resp = RecvFrame(*a, 5.0);
+  ASSERT_TRUE(a_resp.ok()) << a_resp.status().ToString();
+  ASSERT_TRUE(FrameStatus(*a_resp).ok());
+  const uint64_t session_id = a_resp->session_id;
+  ASSERT_NE(session_id, 0u);
+
+  // Connection B resumes the same session while A is attached: the
+  // registry must refuse (kUnavailable) rather than hand the same
+  // provider to a second thread, and must kick A so a retry succeeds.
+  Status resume_status = Status::IoError("never attempted");
+  bool saw_busy = false;
+  for (int attempt = 0; attempt < 100; ++attempt) {
+    auto b = TcpSocket::Connect("127.0.0.1", server.port(), 5.0);
+    ASSERT_TRUE(b.ok());
+    WireFrame resume =
+        MakeRequestFrame(WireMethod::kHandshake, 0, 0, key_bytes);
+    resume.session_id = session_id;
+    const auto resume_bytes = EncodeFrame(resume);
+    ASSERT_TRUE(
+        b->SendAll(resume_bytes.data(), resume_bytes.size(), 5.0).ok());
+    auto b_resp = RecvFrame(*b, 5.0);
+    ASSERT_TRUE(b_resp.ok()) << b_resp.status().ToString();
+    resume_status = FrameStatus(*b_resp);
+    if (resume_status.ok()) break;
+    ASSERT_EQ(resume_status.code(), StatusCode::kUnavailable)
+        << resume_status.ToString();
+    saw_busy = true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  EXPECT_TRUE(resume_status.ok()) << resume_status.ToString();
+  EXPECT_TRUE(saw_busy);  // the attach gate refused at least once
+
+  // The kicked connection was closed by the server, not left serving.
+  uint8_t byte = 0;
+  EXPECT_FALSE(a->RecvAll(&byte, 1, 2.0).ok());
+
+  server.Shutdown();
+  server_thread.join();
+}
 
 TEST_F(NetTest, TcpSessionResumeSurvivesSocketResets) {
   ModelProviderTcpServer server(*plan_);

@@ -882,6 +882,32 @@ TEST(AdminServerTest, StandaloneStartStopAndCounters) {
   admin.Stop();  // idempotent
 }
 
+TEST(AdminServerTest, TricklingClientCannotStarveTheEndpoint) {
+  obs::AdminServer admin;
+  // The budget is per connection, not per received byte: shrink it so
+  // the test observes the drop without waiting out the real 5s.
+  admin.set_connection_deadline_seconds(0.3);
+  ASSERT_TRUE(admin.Start(0, obs::AdminState{}).ok());
+
+  // A client that sends a partial request line and then stalls occupies
+  // the single accept thread only until the overall deadline...
+  auto slow = TcpSocket::Connect("127.0.0.1", admin.port(), 5.0);
+  ASSERT_TRUE(slow.ok());
+  const char partial[] = "GET /met";
+  ASSERT_TRUE(slow
+                  ->SendAll(reinterpret_cast<const uint8_t*>(partial),
+                            sizeof(partial) - 1, 5.0)
+                  .ok());
+  // ...so a well-behaved scrape queued behind it is still answered
+  // promptly instead of waiting minutes for the trickler to finish.
+  const double start = obs::MonotonicSeconds();
+  const std::string healthz = admin_http::Get(admin.port(), "/healthz");
+  const double elapsed = obs::MonotonicSeconds() - start;
+  EXPECT_EQ(healthz.substr(0, 12), "HTTP/1.0 200") << healthz.substr(0, 64);
+  EXPECT_LT(elapsed, 3.0) << "healthz starved behind a trickling client";
+  admin.Stop();
+}
+
 // ------------------------------------------------------- flight recorder
 
 TEST(FlightRecorderTest, DisabledRecorderKeepsRingEmpty) {
@@ -937,6 +963,9 @@ TEST(FlightRecorderTest, RingSurvivesWraparound) {
                       std::to_string(obs::FlightRecorder::kCapacity + 32)),
             std::string::npos);
   EXPECT_EQ(json.find("\"request_id\":1}"), std::string::npos);
+  // Sequential writers publish before the ring can lap them: the CAS
+  // slot claim must never drop a record on this path.
+  EXPECT_EQ(rec.dropped_records(), 0u);
 }
 
 TEST(FlightRecorderTest, TriggerDumpWritesFileAndCountsIt) {
