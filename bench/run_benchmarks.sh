@@ -37,6 +37,10 @@
 #                                      # 256-bit keys only for Figure 1,
 #                                      # serving sweep capped at 8 sessions
 #
+# This driver is self-contained: it does not build or invoke ppslint (the
+# lint_prom check below is its own awk, unrelated to the source linter),
+# so --smoke runs green whether or not CI's lint job has even started.
+#
 # Env overrides: BUILD_DIR (default build), OUT_JSON, PIPELINE_JSON,
 # CHAOS_JSON, SERVING_JSON, PROM_OUT, SERVING_PROM, MIN_TIME,
 # FIG1_MAX_BITS.

@@ -27,6 +27,7 @@
 #include "crypto/paillier.h"
 #include "crypto/secure_rng.h"
 #include "obs/metrics.h"
+#include "util/thread_annotations.h"
 #include "util/thread_pool.h"
 
 namespace ppstream {
@@ -88,11 +89,14 @@ class RandomizerPool {
 
  private:
   /// Draws the next r from the stream. Caller must hold mutex_.
-  BigInt NextRLocked();
-  /// Computes r^n mod n^2 (expensive; call without the lock held).
-  BigInt Raise(const BigInt& r) const;
-  void EnsureRefillThreadLocked();
-  void RefillLoop();
+  BigInt NextRLocked() PPS_REQUIRES(mutex_);
+  /// Computes r^n mod n^2 (expensive; never call with the lock held —
+  /// every Take would stall behind the exponentiation).
+  BigInt Raise(const BigInt& r) const PPS_EXCLUDES(mutex_);
+  void EnsureRefillThreadLocked() PPS_REQUIRES(mutex_);
+  /// unique_lock/cv juggling Clang's analysis cannot model; ppslint R6
+  /// still checks it lexically.
+  void RefillLoop() PPS_NO_THREAD_SAFETY_ANALYSIS;
 
   const PaillierPublicKey pk_;
   const Options options_;
@@ -109,11 +113,11 @@ class RandomizerPool {
 
   mutable std::mutex mutex_;
   std::condition_variable refill_cv_;
-  SecureRng rng_;              // guarded by mutex_
-  std::deque<BigInt> ready_;   // guarded by mutex_
-  Stats stats_;                // guarded by mutex_
-  bool stop_ = false;          // guarded by mutex_
-  bool refill_running_ = false;  // guarded by mutex_
+  SecureRng rng_ PPS_GUARDED_BY(mutex_);
+  std::deque<BigInt> ready_ PPS_GUARDED_BY(mutex_);
+  Stats stats_ PPS_GUARDED_BY(mutex_);
+  bool stop_ PPS_GUARDED_BY(mutex_) = false;
+  bool refill_running_ PPS_GUARDED_BY(mutex_) = false;
   std::thread refill_thread_;
 };
 

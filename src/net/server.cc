@@ -141,10 +141,14 @@ std::string ModelProviderTcpServer::StatusJson() const {
   std::ostringstream out;
   out << "{";
   out << "\"serving\":{"
-      << "\"connections_served\":" << connections_.load()
-      << ",\"inflight\":" << inflight_.load()
-      << ",\"draining\":" << (drain_deadline_.load() > 0 ? "true" : "false")
-      << ",\"stopping\":" << (stopping_.load() ? "true" : "false")
+      << "\"connections_served\":"
+      << connections_.load(std::memory_order_relaxed)
+      << ",\"inflight\":" << inflight_.load(std::memory_order_relaxed)
+      << ",\"draining\":"
+      << (drain_deadline_.load(std::memory_order_acquire) > 0 ? "true"
+                                                              : "false")
+      << ",\"stopping\":"
+      << (stopping_.load(std::memory_order_acquire) ? "true" : "false")
       << ",\"max_concurrent_connections\":"
       << options_.max_concurrent_connections << "},";
   out << "\"plan\":{"
@@ -185,8 +189,11 @@ std::string ModelProviderTcpServer::StatusJson() const {
 void ModelProviderTcpServer::BeginDrain(double grace_seconds) {
   // Async-signal-safe on purpose (atomic stores + one pipe write): the
   // intended caller is a SIGTERM handler. No logging here.
-  drain_deadline_.store(obs::MonotonicSeconds() +
-                        std::max(0.0, grace_seconds));
+  // Release so Shutdown's flag (also release) and WaitForRequest's
+  // acquire load agree on the deadline value.
+  drain_deadline_.store(
+      obs::MonotonicSeconds() + std::max(0.0, grace_seconds),
+      std::memory_order_release);
   Shutdown();
 }
 
@@ -204,7 +211,7 @@ Status ModelProviderTcpServer::Serve() {
     return Status::FailedPrecondition("server is not listening (call Listen)");
   }
   if (options_.max_concurrent_connections > 1) return ServeConcurrent();
-  while (!stopping_.load()) {
+  while (!stopping_.load(std::memory_order_acquire)) {
     Result<TcpSocket> socket =
         listener_.Accept(options_.accept_poll_seconds, wake_.read_fd());
     if (!socket.ok()) {
@@ -240,10 +247,12 @@ Status ModelProviderTcpServer::ServeConcurrent() {
   };
   std::list<Worker> workers;
   const size_t max_conns = options_.max_concurrent_connections;
-  while (!stopping_.load()) {
+  while (!stopping_.load(std::memory_order_acquire)) {
     // Reap finished threads so a long-lived server stays bounded.
     for (auto it = workers.begin(); it != workers.end();) {
-      if (it->done->load()) {
+      // Acquire pairs with the worker's release store; join() then
+      // provides the full synchronization for the reaped thread.
+      if (it->done->load(std::memory_order_acquire)) {
         it->thread.join();
         it = workers.erase(it);
       } else {
@@ -275,7 +284,7 @@ Status ModelProviderTcpServer::ServeConcurrent() {
             PPS_SLOG(Warn, "server.connection_error")
                 .Kv("error", status.ToString());
           }
-          done->store(true);
+          done->store(true, std::memory_order_release);
         },
         std::move(socket).value());
     workers.push_back(std::move(worker));
@@ -293,7 +302,7 @@ Status ModelProviderTcpServer::WaitForRequest(TcpSocket& socket,
       return Status::Unavailable(
           "session kicked: a newer connection is resuming it");
     }
-    const double drain = drain_deadline_.load();
+    const double drain = drain_deadline_.load(std::memory_order_acquire);
     const double now = obs::MonotonicSeconds();
     if (drain > 0 && now >= drain) {
       return Status::Unavailable("server draining: connection grace expired");
@@ -324,7 +333,7 @@ Status ModelProviderTcpServer::WaitForRequest(TcpSocket& socket,
 }
 
 Status ModelProviderTcpServer::ServeConnection(TcpSocket socket) {
-  const uint64_t conn = connections_.fetch_add(1);
+  const uint64_t conn = connections_.fetch_add(1, std::memory_order_relaxed);
   const double timeout = options_.io_timeout_seconds;
   PPS_SLOG(Debug, "server.connection_accepted").Kv("connection", conn);
 
@@ -538,7 +547,8 @@ Status ModelProviderTcpServer::ServeConnection(TcpSocket socket) {
     }
     ServerMetrics::Get().frames->Increment();
     ServerMetrics::Get().inflight->Set(
-        static_cast<double>(inflight_.fetch_add(1) + 1));
+        static_cast<double>(
+            inflight_.fetch_add(1, std::memory_order_relaxed) + 1));
     WireFrame response;
     {
       obs::CostInterval interval(obs::kCostScalarMuls);
@@ -549,7 +559,8 @@ Status ModelProviderTcpServer::ServeConnection(TcpSocket socket) {
       }
     }
     ServerMetrics::Get().inflight->Set(
-        static_cast<double>(inflight_.fetch_sub(1) - 1));
+        static_cast<double>(
+            inflight_.fetch_sub(1, std::memory_order_relaxed) - 1));
     if (cost_tracker.active &&
         request->method == WireMethod::kMpReleaseRequestState &&
         response.status == StatusCode::kOk) {

@@ -128,7 +128,10 @@ class ModelProviderTcpServer {
   /// accept immediately. Safe from any thread and from signal handlers
   /// (the wakeup is a single async-signal-safe write()).
   void Shutdown() {
-    stopping_.store(true);
+    // Release pairs with the serve loops' acquire loads: anything the
+    // stopping thread wrote (e.g. BeginDrain's deadline) is visible once
+    // a loop observes the flag.
+    stopping_.store(true, std::memory_order_release);
     wake_.Signal();
   }
 
@@ -139,16 +142,20 @@ class ModelProviderTcpServer {
   void BeginDrain(double grace_seconds);
 
   /// True once Shutdown() or BeginDrain() was requested.
-  bool stopping() const { return stopping_.load(); }
+  bool stopping() const { return stopping_.load(std::memory_order_acquire); }
 
   /// Connections accepted so far (smoke tests assert progress).
-  uint64_t connections_served() const { return connections_.load(); }
+  uint64_t connections_served() const {
+    return connections_.load(std::memory_order_relaxed);
+  }
 
   /// Live resumable sessions (tests assert create/evict behavior).
   size_t sessions_live() const { return sessions_.size(); }
 
   /// Requests currently being dispatched (serving.inflight mirror).
-  uint64_t inflight() const { return inflight_.load(); }
+  uint64_t inflight() const {
+    return inflight_.load(std::memory_order_relaxed);
+  }
 
  private:
   /// Handshake + request loop for one established connection.

@@ -50,6 +50,7 @@
 #include "core/protocol.h"
 #include "crypto/secure_rng.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace ppstream {
 
@@ -138,9 +139,14 @@ class ServerSession {
  private:
   const uint64_t id_;
   const uint64_t ordinal_;
-  std::unique_ptr<ModelProvider> provider_;
+  // Owned by whichever connection holds the attach flag: TryAttach's
+  // acquire / Detach's release CAS protocol — not a mutex — orders one
+  // owner's writes before the next owner's reads (ppslint R7 enforces
+  // that every non-atomic sibling of the CAS flag carries this marker).
+  std::unique_ptr<ModelProvider> provider_ PPS_CAS_GUARDED_BY(attached_);
   const std::vector<uint8_t> view_payload_;
-  std::map<uint64_t, std::vector<uint8_t>> replies_;  // sequence → reply
+  std::map<uint64_t, std::vector<uint8_t>> replies_
+      PPS_CAS_GUARDED_BY(attached_);  // sequence → reply
   // The map is only touched by the owning connection; these mirrors are
   // atomic solely so the admin thread's StatusSnapshot can read them.
   std::atomic<uint64_t> cached_bytes_{0};
@@ -207,10 +213,10 @@ class SessionRegistry {
 
   const SessionLayerOptions options_;
   mutable std::mutex mutex_;
-  SecureRng id_rng_;
-  std::map<uint64_t, Entry> sessions_;
-  uint64_t tick_ = 0;
-  uint64_t next_ordinal_ = 0;
+  SecureRng id_rng_ PPS_GUARDED_BY(mutex_);
+  std::map<uint64_t, Entry> sessions_ PPS_GUARDED_BY(mutex_);
+  uint64_t tick_ PPS_GUARDED_BY(mutex_) = 0;
+  uint64_t next_ordinal_ PPS_GUARDED_BY(mutex_) = 0;
 };
 
 /// True when a request's propagated deadline (header deadline_micros,

@@ -148,7 +148,12 @@ Result<WireFrame> FrameChannel::RoundTrip(const WireFrame& request) {
   net.frames_sent->Increment();
   net.bytes_sent->Increment(encoded.size());
 
+  // Deliberately blocking under the channel lock: a FrameChannel is one
+  // logical wire, and serializing round trips end-to-end is what keeps
+  // responses from interleaving across threads. Concurrency comes from
+  // using multiple channels, not from pipelining one.
   PPS_ASSIGN_OR_RETURN(std::vector<uint8_t> response_bytes,
+                       // ppslint:allow(R8 one in-flight exchange per channel by design; callers needing concurrency open more channels)
                        Exchange(std::move(encoded)));
   stats_.frames_received++;
   stats_.bytes_received += response_bytes.size();

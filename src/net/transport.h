@@ -41,6 +41,7 @@
 #include "net/wire.h"
 #include "stream/circuit_breaker.h"
 #include "stream/retry_policy.h"
+#include "util/thread_annotations.h"
 #include "util/fault.h"
 
 namespace ppstream {
@@ -102,10 +103,12 @@ class FrameChannel {
   /// Chaos hook, sites "net.send" (before transmit, error + corruption)
   /// and "net.recv" (before the response is decoded, error + corruption).
   void SetFaultInjector(std::shared_ptr<FaultInjector> fault) {
+    std::lock_guard<std::mutex> lock(mutex_);
     fault_ = std::move(fault);
   }
 
   void SetFrameObserver(FrameObserver observer) {
+    std::lock_guard<std::mutex> lock(mutex_);
     observer_ = std::move(observer);
   }
 
@@ -125,12 +128,17 @@ class FrameChannel {
   /// remaining DeadlineScope budget. Called with the channel lock held.
   virtual FrameStamp Stamp(const WireFrame& request);
 
+  // Written under mutex_ (SetFaultInjector); read by RoundTrip under the
+  // lock and by derived Exchange bodies, which run with the channel lock
+  // already held (see Exchange's contract). That cross-class contract is
+  // not expressible as a guarded_by a derived override could satisfy.
+  // ppslint:allow(R6 derived Exchange reads run under the channel lock per the virtual's contract)
   std::shared_ptr<FaultInjector> fault_;
 
  private:
   mutable std::mutex mutex_;
-  FrameObserver observer_;
-  TransportStats stats_;
+  FrameObserver observer_ PPS_GUARDED_BY(mutex_);
+  TransportStats stats_ PPS_GUARDED_BY(mutex_);
 };
 
 /// Frames round-trip through a local handler entirely in memory — the full

@@ -253,8 +253,11 @@ void FlightRecorder::TriggerDump(std::string_view reason) {
 
 void FlightRecorder::Reset() {
   for (Slot& slot : slots_) {
-    slot.version.store(0, std::memory_order_relaxed);
     slot.kind.store(0, std::memory_order_relaxed);
+    // Release, not relaxed: version is the seqlock publish word — a
+    // reader that observes the zeroed version must not pair it with the
+    // slot's pre-reset field values (the flightrec interleave bug shape).
+    slot.version.store(0, std::memory_order_release);
   }
   next_.store(0, std::memory_order_release);
   drops_.store(0, std::memory_order_relaxed);

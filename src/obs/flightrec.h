@@ -36,6 +36,8 @@
 #include <string>
 #include <string_view>
 
+#include "util/thread_annotations.h"
+
 namespace ppstream {
 namespace obs {
 
@@ -126,10 +128,13 @@ class FlightRecorder {
   std::atomic<uint64_t> next_{0};
   std::atomic<uint64_t> dumps_{0};
   std::atomic<uint64_t> drops_{0};
-  std::array<Slot, kCapacity> slots_{};
+  // Slot contents are seqlock-protected by each slot's own version word
+  // (odd = write-locked), not by any mutex: BeginWrite's CAS and
+  // Publish's release store bracket every field write.
+  std::array<Slot, kCapacity> slots_ PPS_CAS_GUARDED_BY(version){};
 
   mutable std::mutex dump_mutex_;  // guards dump_path_ + file writes only
-  std::string dump_path_;
+  std::string dump_path_ PPS_GUARDED_BY(dump_mutex_);
 };
 
 }  // namespace obs

@@ -27,9 +27,10 @@ std::string FormatDouble(double v) {
   return buf;
 }
 
+// Caller holds the registry mutex (the accessors below lock inline so
+// the lock scope is visible at the map-touching call site).
 template <typename Map>
-auto* GetOrCreate(std::mutex& mutex, Map& map, std::string_view name) {
-  std::lock_guard<std::mutex> lock(mutex);
+auto* GetOrCreateLocked(Map& map, std::string_view name) {
   auto it = map.find(name);
   if (it == map.end()) {
     it = map.emplace(std::string(name),
@@ -99,7 +100,9 @@ void Histogram::Reset() {
   for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
   count_.store(0, std::memory_order_relaxed);
   sum_.store(0, std::memory_order_relaxed);
-  max_.store(0, std::memory_order_relaxed);
+  // max_ is CAS-published by Record; reset with release so a racing
+  // snapshot never pairs the zeroed max with pre-reset bucket reads.
+  max_.store(0, std::memory_order_release);
 }
 
 HistogramSnapshot SnapshotHistogram(const Histogram& h) {
@@ -123,15 +126,18 @@ MetricsRegistry& MetricsRegistry::Global() {
 }
 
 Counter* MetricsRegistry::GetCounter(std::string_view name) {
-  return GetOrCreate(mutex_, counters_, name);
+  std::lock_guard<std::mutex> lock(mutex_);
+  return GetOrCreateLocked(counters_, name);
 }
 
 Gauge* MetricsRegistry::GetGauge(std::string_view name) {
-  return GetOrCreate(mutex_, gauges_, name);
+  std::lock_guard<std::mutex> lock(mutex_);
+  return GetOrCreateLocked(gauges_, name);
 }
 
 Histogram* MetricsRegistry::GetHistogram(std::string_view name) {
-  return GetOrCreate(mutex_, histograms_, name);
+  std::lock_guard<std::mutex> lock(mutex_);
+  return GetOrCreateLocked(histograms_, name);
 }
 
 std::vector<std::pair<std::string, uint64_t>> MetricsRegistry::CounterValues(

@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace ppstream {
 namespace obs {
@@ -146,9 +147,14 @@ class MetricsRegistry {
 
  private:
   mutable std::mutex mutex_;
-  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+  // The maps (not the pointed-to metrics, which are internally atomic)
+  // are what the mutex protects: handles stay lock-free after lookup.
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_
+      PPS_GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_
+      PPS_GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_
+      PPS_GUARDED_BY(mutex_);
 };
 
 /// "stage.dp-encrypt.attempt_seconds" -> "pps_stage_dp_encrypt_attempt_seconds".

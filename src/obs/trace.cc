@@ -21,7 +21,8 @@ thread_local TraceContext t_context;
 
 uint32_t ThreadOrdinal() {
   static std::atomic<uint32_t> next{0};
-  thread_local uint32_t ordinal = next.fetch_add(1);
+  // Pure ticket counter; nothing is published under the ordinal.
+  thread_local uint32_t ordinal = next.fetch_add(1, std::memory_order_relaxed);
   return ordinal;
 }
 
@@ -65,6 +66,14 @@ std::string HexId(uint64_t id) {
   return buf;
 }
 
+// Salts ids per process so independently-rooted client and server traces
+// never collide in a merged dump. Uniqueness, not secrecy, is the goal.
+uint64_t MakeIdSalt() {
+  const uint64_t nanos = static_cast<uint64_t>(
+      std::chrono::steady_clock::now().time_since_epoch().count());
+  return SplitMix(nanos ^ (static_cast<uint64_t>(ProcessId()) << 32));
+}
+
 }  // namespace
 
 double MonotonicSeconds() {
@@ -81,13 +90,7 @@ Tracer& Tracer::Global() {
   return *tracer;
 }
 
-Tracer::Tracer() {
-  // Salt ids per process so independently-rooted client and server traces
-  // never collide in a merged dump. Uniqueness, not secrecy, is the goal.
-  const uint64_t nanos = static_cast<uint64_t>(
-      std::chrono::steady_clock::now().time_since_epoch().count());
-  id_salt_ = SplitMix(nanos ^ (static_cast<uint64_t>(ProcessId()) << 32));
-}
+Tracer::Tracer() : id_salt_(MakeIdSalt()) {}
 
 uint64_t Tracer::NewTraceId() {
   uint64_t id = 0;

@@ -24,6 +24,8 @@
 #include <string_view>
 #include <vector>
 
+#include "util/thread_annotations.h"
+
 namespace ppstream {
 namespace obs {
 
@@ -100,12 +102,13 @@ class Tracer {
  private:
   std::atomic<bool> enabled_{false};
   std::atomic<uint64_t> next_id_{1};
-  uint64_t id_salt_ = 0;
+  // Immutable after construction: read lock-free by every NewTraceId.
+  const uint64_t id_salt_;
 
   mutable std::mutex mutex_;
-  std::vector<SpanRecord> spans_;
-  size_t capacity_ = size_t{1} << 16;
-  uint64_t dropped_ = 0;
+  std::vector<SpanRecord> spans_ PPS_GUARDED_BY(mutex_);
+  size_t capacity_ PPS_GUARDED_BY(mutex_) = size_t{1} << 16;
+  uint64_t dropped_ PPS_GUARDED_BY(mutex_) = 0;
 };
 
 /// Installs `ctx` as the current thread's context, restoring the

@@ -9,6 +9,7 @@
 #include <optional>
 
 #include "util/logging.h"
+#include "util/thread_annotations.h"
 
 namespace ppstream {
 
@@ -30,7 +31,8 @@ class Channel {
   }
 
   /// Returns false if the channel was closed (the item is dropped).
-  bool Send(T item) {
+  /// (unique_lock/cv juggling; ppslint R6 still checks it lexically.)
+  bool Send(T item) PPS_NO_THREAD_SAFETY_ANALYSIS {
     if (fault_hook_) fault_hook_();
     std::unique_lock<std::mutex> lock(mutex_);
     send_cv_.wait(lock,
@@ -42,7 +44,8 @@ class Channel {
   }
 
   /// Blocks until an item is available or the channel is closed and empty.
-  std::optional<T> Recv() {
+  /// (unique_lock/cv juggling; ppslint R6 still checks it lexically.)
+  std::optional<T> Recv() PPS_NO_THREAD_SAFETY_ANALYSIS {
     std::unique_lock<std::mutex> lock(mutex_);
     recv_cv_.wait(lock, [this] { return closed_ || !queue_.empty(); });
     if (queue_.empty()) return std::nullopt;
@@ -71,11 +74,13 @@ class Channel {
 
  private:
   const size_t capacity_;
+  // Set once before concurrent use (see SetFaultHook) and invoked outside
+  // the lock; no mutex guards it by design.
   std::function<void()> fault_hook_;
   mutable std::mutex mutex_;
   std::condition_variable send_cv_, recv_cv_;
-  std::deque<T> queue_;
-  bool closed_ = false;
+  std::deque<T> queue_ PPS_GUARDED_BY(mutex_);
+  bool closed_ PPS_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace ppstream

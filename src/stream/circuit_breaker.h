@@ -25,6 +25,7 @@
 #include <string>
 
 #include "obs/metrics.h"
+#include "util/thread_annotations.h"
 
 namespace ppstream {
 
@@ -66,19 +67,19 @@ class CircuitBreaker {
   uint64_t opens() const;
 
  private:
-  void TransitionLocked(State next);
+  void TransitionLocked(State next) PPS_REQUIRES(mutex_);
 
   const Options options_;
   const Clock clock_;
-  obs::Gauge* state_gauge_;
-  obs::Counter* opens_counter_;
+  obs::Gauge* const state_gauge_;
+  obs::Counter* const opens_counter_;
 
   mutable std::mutex mutex_;
-  State state_ = State::kClosed;
-  int consecutive_failures_ = 0;
-  double opened_at_seconds_ = 0;
-  bool probe_in_flight_ = false;
-  uint64_t opens_ = 0;
+  State state_ PPS_GUARDED_BY(mutex_) = State::kClosed;
+  int consecutive_failures_ PPS_GUARDED_BY(mutex_) = 0;
+  double opened_at_seconds_ PPS_GUARDED_BY(mutex_) = 0;
+  bool probe_in_flight_ PPS_GUARDED_BY(mutex_) = false;
+  uint64_t opens_ PPS_GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace ppstream

@@ -1,0 +1,68 @@
+// Thread-safety annotation macros (DESIGN.md §15).
+//
+// Every mutex-guarded field and lock-requiring method in the tree
+// carries one of these markers. They are consumed twice:
+//
+//   * ppslint R6 (lock discipline) checks, lexically, that each access
+//     to a PPS_GUARDED_BY field happens inside a lock scope naming the
+//     right mutex or inside a method annotated PPS_REQUIRES on it —
+//     on every build of every compiler, including the gcc CI legs.
+//   * Under Clang with an annotated standard library (libc++ built with
+//     -D_LIBCPP_ENABLE_THREAD_SAFETY_ANNOTATIONS, or an explicit
+//     -DPPS_THREAD_SAFETY_ANALYSIS opt-in), the macros expand to the
+//     native thread-safety attributes so -Wthread-safety performs the
+//     same check flow-sensitively. The dedicated clang CI leg builds
+//     the library targets this way with -Werror=thread-safety.
+//
+// The expansion is deliberately gated on the opt-in define and not just
+// __clang__: with libstdc++ (whose std::mutex is not a Clang
+// "capability"), expanding the attributes would only produce
+// -Wthread-safety-attributes noise on every developer clang build.
+//
+// PPS_CAS_GUARDED_BY is ppslint-only and always expands to nothing:
+// it documents fields protected by a CAS/seqlock discipline on a
+// sibling atomic (exclusive session attachment, flight-recorder slot
+// versions) — a protocol Clang's analysis cannot express, but whose
+// *presence* ppslint R7 enforces on every non-atomic sibling of a
+// CAS-owned atomic.
+
+#pragma once
+
+#if defined(__clang__) && (defined(PPS_THREAD_SAFETY_ANALYSIS) || \
+                           defined(_LIBCPP_ENABLE_THREAD_SAFETY_ANNOTATIONS))
+#define PPS_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define PPS_THREAD_ANNOTATION(x)
+#endif
+
+/// Field is protected by the given mutex: every read/write must hold it.
+#define PPS_GUARDED_BY(x) PPS_THREAD_ANNOTATION(guarded_by(x))
+
+/// Pointed-to data (not the pointer itself) is protected by the mutex.
+#define PPS_PT_GUARDED_BY(x) PPS_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Caller must hold the mutex(es) before invoking this function.
+#define PPS_REQUIRES(...) \
+  PPS_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/// Caller must NOT hold the mutex(es) when invoking this function
+/// (the function acquires them itself, or would self-deadlock).
+#define PPS_EXCLUDES(...) PPS_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Function acquires the mutex(es) and returns with them held.
+#define PPS_ACQUIRE(...) \
+  PPS_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/// Function releases the mutex(es) it was called with held.
+#define PPS_RELEASE(...) \
+  PPS_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/// Opt a function out of Clang's analysis (std::unique_lock juggling,
+/// condition-variable loops — patterns the attributes cannot model).
+/// ppslint R6 still checks the function lexically.
+#define PPS_NO_THREAD_SAFETY_ANALYSIS \
+  PPS_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+/// ppslint-only (always empty): field is protected by a CAS/seqlock
+/// discipline on sibling atomic `x`, not by a mutex. See header comment.
+#define PPS_CAS_GUARDED_BY(x)

@@ -103,7 +103,20 @@ INSTANTIATE_TEST_SUITE_P(
         RuleCase{RuleId::kR4, "R4", "r4_pos.cc", "src/crypto/r4_pos.cc", 2,
                  "r4_neg.cc", "src/crypto/r4_neg.cc"},
         RuleCase{RuleId::kR5, "R5", "r5_pos.cc", "src/stream/r5_pos.cc", 3,
-                 "r5_neg.cc", "src/stream/r5_neg.cc"}),
+                 "r5_neg.cc", "src/stream/r5_neg.cc"},
+        // Lock discipline: unlocked access, wrong-mutex access, an
+        // un-annotated sibling, and a held-EXCLUDES call all fire; the
+        // disciplined mirror is silent.
+        RuleCase{RuleId::kR6, "R6", "r6_pos.cc", "src/net/r6_pos.cc", 3,
+                 "r6_neg.cc", "src/net/r6_neg.cc"},
+        // Atomics hygiene: implicit seq_cst, relaxed store to a CAS
+        // target, and a CAS-owned atomic next to unmarked plain state.
+        RuleCase{RuleId::kR7, "R7", "r7_pos.cc", "src/obs/r7_pos.cc", 3,
+                 "r7_neg.cc", "src/obs/r7_neg.cc"},
+        // Blocking-under-lock: a direct sleep under a lock_guard and a
+        // transitive helper reached through the call-graph fixpoint.
+        RuleCase{RuleId::kR8, "R8", "r8_pos.cc", "src/net/r8_pos.cc", 2,
+                 "r8_neg.cc", "src/net/r8_neg.cc"}),
     [](const ::testing::TestParamInfo<RuleCase>& tpi) {
       return std::string(tpi.param.test_name);
     });
@@ -138,6 +151,18 @@ TEST(PpslintScopeTest, R1AllowlistOnlyCoversWireCc) {
           .empty());
 }
 
+TEST(PpslintScopeTest, R7OnlyFiresInNetObsStream) {
+  const std::string content = ReadFixture("r7_pos.cc");
+  EXPECT_FALSE(
+      AnalyzeSource(RepoOptions(), "src/stream/x.cc", content).violations
+          .empty());
+  // Outside the concurrency-hot directories the same atomics are legal
+  // (bignum/crypto kernels are single-threaded by contract).
+  EXPECT_TRUE(
+      AnalyzeSource(RepoOptions(), "src/crypto/x.cc", content).violations
+          .empty());
+}
+
 TEST(PpslintScopeTest, R5RawNewIsLegalInBignum) {
   const std::string content = ReadFixture("r5_pos.cc");
   const Report report =
@@ -162,6 +187,42 @@ TEST(PpslintSuppressionTest, AllowCommentsWaiveCountAndReportUnused) {
                     std::string::npos;
   }
   EXPECT_TRUE(found_reason);
+}
+
+// ------------------------------------------------------------- vandalism
+
+// Un-annotating a guarded field must not pass silently: strip the first
+// PPS_GUARDED_BY from the clean R6 fixture and the sibling-completeness
+// check has to start firing on the now-bare member.
+TEST(PpslintVandalTest, RemovingAGuardAnnotationTripsR6) {
+  std::string content = ReadFixture("r6_neg.cc");
+  const std::string annotation = " PPS_GUARDED_BY(mutex_)";
+  const size_t at = content.find(annotation);
+  ASSERT_NE(at, std::string::npos) << "fixture lost its annotations";
+  content.erase(at, annotation.size());
+  const Report report =
+      AnalyzeSource(RepoOptions(), "src/net/r6_neg.cc", content);
+  EXPECT_GE(CountRule(report, RuleId::kR6), 1u)
+      << "un-annotated guarded field went unnoticed";
+  bool names_field = false;
+  for (const auto& v : report.violations) {
+    names_field |= v.message.find("entries_") != std::string::npos;
+  }
+  EXPECT_TRUE(names_field);
+}
+
+// ----------------------------------------------------------- rule metadata
+
+TEST(PpslintExplainTest, EveryRuleHasNameDescriptionAndExplanation) {
+  const auto& rules = ppslint::AllRules();
+  EXPECT_EQ(rules.size(), 8u);
+  for (RuleId rule : rules) {
+    EXPECT_FALSE(std::string(ppslint::RuleIdName(rule)).empty());
+    EXPECT_FALSE(std::string(ppslint::RuleIdDescription(rule)).empty());
+    // --explain backs each rule with a rationale long enough to actually
+    // explain the historical bug it encodes.
+    EXPECT_GT(std::string(ppslint::RuleIdExplanation(rule)).size(), 80u);
+  }
 }
 
 // -------------------------------------------------------- include cycles
@@ -200,8 +261,8 @@ TEST(PpslintRepoTest, RealTreeIsCleanWithNoUnusedSuppressions) {
                   << ": unused suppression";
   }
   // The audited waivers (secure_rng entropy, obs singletons, transport
-  // factory) stay accounted for.
-  EXPECT_GE(report.used_suppression_count(), 4u);
+  // factory + the concurrency-plane R6/R8 contracts) stay accounted for.
+  EXPECT_GE(report.used_suppression_count(), 6u);
 }
 
 }  // namespace

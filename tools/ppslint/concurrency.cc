@@ -1,0 +1,1042 @@
+#include "concurrency.h"
+
+#include <algorithm>
+#include <deque>
+#include <unordered_set>
+
+namespace ppslint {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Vocabulary.
+
+const std::unordered_set<std::string>& LockScopeTypes() {
+  static const std::unordered_set<std::string> kSet = {
+      "lock_guard",      "unique_lock",     "scoped_lock", "shared_lock",
+      "MutexLock",       "ReaderMutexLock", "WriterMutexLock",
+  };
+  return kSet;
+}
+
+// Blocking free functions (libc I/O, multiplexers, sleeps). Lowercase
+// libc names get the same declaration guards R2 uses so `int read(...)`
+// in a class is never mistaken for a call.
+const std::unordered_set<std::string>& FreeBlockingSinks() {
+  static const std::unordered_set<std::string> kSet = {
+      "poll",      "select",      "connect", "accept",   "read",
+      "write",     "recv",        "send",    "usleep",   "nanosleep",
+      "sleep_for", "sleep_until",
+  };
+  return kSet;
+}
+
+// Blocking methods of the tree's own net layer plus std::thread::join.
+// Wrapper helpers (SendFrameBytes, Exchange, ...) are reached through
+// intra-file call-graph propagation, not by listing.
+const std::unordered_set<std::string>& MethodBlockingSinks() {
+  static const std::unordered_set<std::string> kSet = {
+      "SendAll", "RecvAll", "RecvSome", "WaitReadable",
+      "Accept",  "Connect", "join",
+  };
+  return kSet;
+}
+
+const std::unordered_set<std::string>& AtomicOrderedOps() {
+  static const std::unordered_set<std::string> kSet = {
+      "load",      "store",     "exchange",  "fetch_add",
+      "fetch_sub", "fetch_and", "fetch_or",  "fetch_xor",
+  };
+  return kSet;
+}
+
+// Member declarations containing one of these identifiers are
+// synchronization primitives or thread handles, exempt from the R6/R7
+// sibling-completeness checks (they ARE the protection / lifecycle).
+const std::unordered_set<std::string>& SyncTypeTokens() {
+  static const std::unordered_set<std::string> kSet = {
+      "mutex",       "shared_mutex",       "recursive_mutex",
+      "timed_mutex", "condition_variable", "condition_variable_any",
+      "thread",      "jthread",            "once_flag",
+      "atomic_flag",
+  };
+  return kSet;
+}
+
+bool IsControlKeyword(const std::string& t) {
+  return t == "if" || t == "for" || t == "while" || t == "switch" ||
+         t == "catch" || t == "return" || t == "sizeof" || t == "constexpr" ||
+         t == "consteval";
+}
+
+// R7's directory scope: the concurrent serving plane.
+bool InR7Scope(const std::string& rel_path) {
+  return rel_path.rfind("src/net/", 0) == 0 ||
+         rel_path.rfind("src/obs/", 0) == 0 ||
+         rel_path.rfind("src/stream/", 0) == 0;
+}
+
+bool IsIdent(const Token& t, const char* s) {
+  return t.kind == TokenKind::kIdentifier && t.text == s;
+}
+
+bool IsPunct(const Token& t, const char* s) {
+  return t.kind == TokenKind::kPunct && t.text == s;
+}
+
+// ---------------------------------------------------------------------------
+// The walker. One forward pass over the token stream maintaining a
+// lexical frame stack (namespace / class / function / lambda / block),
+// per-frame held-lock state, and a per-file call graph for R8.
+
+struct Member {
+  std::string name;
+  int line = 0;
+  bool atomic_member = false;
+  bool exempt = false;       // const/static/sync-type/reference/etc.
+  bool annotated = false;    // PPS_GUARDED_BY or PPS_CAS_GUARDED_BY
+  std::string guard_mutex;   // for PPS_GUARDED_BY
+  bool cas_guarded = false;  // PPS_CAS_GUARDED_BY
+};
+
+struct Frame {
+  enum class Kind { kNamespace, kClass, kEnum, kFunction, kLambda, kBlock };
+  Kind kind = Kind::kBlock;
+  std::string name;  // class name / function name
+  std::string cls;   // function frames: owning class ("" = free function)
+  bool ctor_dtor = false;
+  std::set<std::string> required;  // PPS_REQUIRES mutexes (function frames)
+  std::set<std::string> held;      // mutexes locked in this frame, still held
+  std::map<std::string, std::vector<std::string>> lock_vars;
+  std::vector<Member> members;  // class frames only
+};
+
+struct FnInfo {
+  bool blocking = false;
+  std::string blocking_via;  // first sink that made it blocking
+  std::set<std::string> callees;
+};
+
+struct PendingCall {
+  std::string callee;
+  int line = 0;
+  std::vector<std::string> held;
+};
+
+class Walker {
+ public:
+  Walker(std::string rel_path, const LexResult& lex,
+         const ConcurrencyFacts* facts, ConcurrencyFacts* collect,
+         std::vector<Violation>* out)
+      : rel_path_(std::move(rel_path)),
+        toks_(lex.tokens),
+        facts_(facts),
+        collect_(collect),
+        out_(out),
+        r7_scope_(InR7Scope(rel_path_)) {}
+
+  void Run() {
+    size_t stmt_begin = 0;
+    for (size_t i = 0; i < toks_.size(); ++i) {
+      if (toks_[i].kind != TokenKind::kPunct) continue;
+      const std::string& t = toks_[i].text;
+      if (t == "{") {
+        HandleOpen(stmt_begin, i);
+        stmt_begin = i + 1;
+      } else if (t == "}") {
+        ProcessStatement(stmt_begin, i, CurrentFrame());
+        HandleClose();
+        stmt_begin = i + 1;
+      } else if (t == ";") {
+        ProcessStatement(stmt_begin, i, CurrentFrame());
+        stmt_begin = i + 1;
+      }
+    }
+    ResolveCallGraph();
+  }
+
+ private:
+  bool collecting() const { return collect_ != nullptr; }
+
+  Frame* CurrentFrame() { return frames_.empty() ? nullptr : &frames_.back(); }
+
+  Frame* InnermostCallable() {
+    for (auto it = frames_.rbegin(); it != frames_.rend(); ++it) {
+      if (it->kind == Frame::Kind::kFunction ||
+          it->kind == Frame::Kind::kLambda) {
+        return &*it;
+      }
+      if (it->kind == Frame::Kind::kClass ||
+          it->kind == Frame::Kind::kNamespace) {
+        return nullptr;
+      }
+    }
+    return nullptr;
+  }
+
+  Frame* InnermostClass() {
+    for (auto it = frames_.rbegin(); it != frames_.rend(); ++it) {
+      if (it->kind == Frame::Kind::kClass) return &*it;
+    }
+    return nullptr;
+  }
+
+  // Mutexes lexically held at this point for FIELD-ACCESS purposes.
+  // Lambdas are transparent: a cv-wait predicate or locked callback runs
+  // under its caller's lock, and flagging `[&]{ return queue_.empty(); }`
+  // inside a held scope would be pure noise.
+  std::set<std::string> HeldForAccess() {
+    std::set<std::string> held;
+    for (auto it = frames_.rbegin(); it != frames_.rend(); ++it) {
+      held.insert(it->held.begin(), it->held.end());
+      if (it->kind == Frame::Kind::kFunction) {
+        held.insert(it->required.begin(), it->required.end());
+        break;
+      }
+      if (it->kind == Frame::Kind::kClass ||
+          it->kind == Frame::Kind::kNamespace) {
+        break;
+      }
+    }
+    return held;
+  }
+
+  // Mutexes held for CALL purposes. Lambdas are a boundary here: a
+  // lambda handed to std::thread runs long after the spawning scope's
+  // lock is gone, so blocking inside it is not blocking-under-lock.
+  std::set<std::string> HeldForCalls() {
+    std::set<std::string> held;
+    for (auto it = frames_.rbegin(); it != frames_.rend(); ++it) {
+      held.insert(it->held.begin(), it->held.end());
+      if (it->kind == Frame::Kind::kLambda) break;
+      if (it->kind == Frame::Kind::kFunction) {
+        held.insert(it->required.begin(), it->required.end());
+        break;
+      }
+      if (it->kind == Frame::Kind::kClass ||
+          it->kind == Frame::Kind::kNamespace) {
+        break;
+      }
+    }
+    return held;
+  }
+
+  void Emit(int line, RuleId rule, std::string message) {
+    if (!out_) return;
+    out_->push_back(Violation{rel_path_, line, rule, std::move(message)});
+  }
+
+  static std::string JoinNames(const std::set<std::string>& names) {
+    std::string s;
+    for (const auto& n : names) {
+      if (!s.empty()) s += ", ";
+      s += "'" + n + "'";
+    }
+    return s;
+  }
+
+  // Matches backwards from the ')' at index j to its '(' within
+  // [begin, j]. Returns the '(' index or SIZE_MAX.
+  size_t MatchOpenParen(size_t begin, size_t j) const {
+    int depth = 1;
+    while (j > begin) {
+      --j;
+      if (toks_[j].kind != TokenKind::kPunct) continue;
+      if (toks_[j].text == ")") ++depth;
+      else if (toks_[j].text == "(" && --depth == 0) return j;
+    }
+    return static_cast<size_t>(-1);
+  }
+
+  // Matches forward from the '(' at index j to its ')' within [j, end).
+  size_t MatchCloseParen(size_t j, size_t end) const {
+    int depth = 1;
+    while (++j < end) {
+      if (toks_[j].kind != TokenKind::kPunct) continue;
+      if (toks_[j].text == "(") ++depth;
+      else if (toks_[j].text == ")" && --depth == 0) return j;
+    }
+    return static_cast<size_t>(-1);
+  }
+
+  // Last identifier of each top-level comma-separated argument in
+  // (open, close) — `&mu_`, `this->mu_`, `registry.mutex_` all reduce to
+  // their final identifier, matching how annotations name their guard.
+  std::vector<std::string> ArgTailIdents(size_t open, size_t close) const {
+    std::vector<std::string> out;
+    std::string last;
+    int depth = 0;
+    for (size_t j = open + 1; j < close; ++j) {
+      const Token& t = toks_[j];
+      if (t.kind == TokenKind::kPunct) {
+        if (t.text == "(" || t.text == "[" || t.text == "<") ++depth;
+        else if (t.text == ")" || t.text == "]" || t.text == ">") --depth;
+        else if (t.text == "," && depth == 0) {
+          if (!last.empty()) out.push_back(last);
+          last.clear();
+        }
+        continue;
+      }
+      if (t.kind == TokenKind::kIdentifier) last = t.text;
+    }
+    if (!last.empty()) out.push_back(last);
+    return out;
+  }
+
+  bool RangeHasMemoryOrder(size_t open, size_t close) const {
+    for (size_t j = open + 1; j < close; ++j) {
+      if (toks_[j].kind == TokenKind::kIdentifier &&
+          toks_[j].text.rfind("memory_order", 0) == 0) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  // -------------------------------------------------------------------------
+  // Scope classification.
+
+  struct OpenInfo {
+    Frame::Kind kind = Frame::Kind::kBlock;
+    std::string name;
+    std::string cls;
+    bool ctor_dtor = false;
+    std::set<std::string> required;
+  };
+
+  // Harvests `NAME(args)` where NAME is PPS_REQUIRES / PPS_EXCLUDES and
+  // the annotated function name precedes the parameter list. Works on
+  // both declarations (`void F() PPS_REQUIRES(m);`) and definitions.
+  void HarvestRequiresAnnotations(size_t begin, size_t end) {
+    if (!collecting()) return;
+    for (size_t j = begin; j < end; ++j) {
+      const bool req = IsIdent(toks_[j], "PPS_REQUIRES");
+      const bool exc = IsIdent(toks_[j], "PPS_EXCLUDES");
+      if (!req && !exc) continue;
+      if (j + 1 >= end || !IsPunct(toks_[j + 1], "(")) continue;
+      const size_t close = MatchCloseParen(j + 1, end);
+      if (close == static_cast<size_t>(-1)) continue;
+      // Function name: identifier before the ')' that precedes the macro.
+      if (j < begin + 2 || !IsPunct(toks_[j - 1], ")")) continue;
+      const size_t params_open = MatchOpenParen(begin, j - 1);
+      if (params_open == static_cast<size_t>(-1) || params_open <= begin)
+        continue;
+      const Token& fn = toks_[params_open - 1];
+      if (fn.kind != TokenKind::kIdentifier) continue;
+      auto mutexes = ArgTailIdents(j + 1, close);
+      auto& dst =
+          req ? collect_->requires_fns[fn.text] : collect_->excludes_fns[fn.text];
+      dst.insert(mutexes.begin(), mutexes.end());
+    }
+  }
+
+  OpenInfo Classify(size_t begin, size_t open_brace) {
+    OpenInfo info;
+    if (open_brace == begin) return info;  // bare block
+    const Token& prev = toks_[open_brace - 1];
+    if (IsIdent(prev, "try") || IsIdent(prev, "do") || IsIdent(prev, "else")) {
+      return info;
+    }
+    const Token& first = toks_[begin];
+    if (IsIdent(first, "namespace")) {
+      info.kind = Frame::Kind::kNamespace;
+      return info;
+    }
+    if (IsIdent(first, "enum")) {
+      info.kind = Frame::Kind::kEnum;
+      return info;
+    }
+    // class / struct / union, possibly behind a template prefix.
+    size_t c = begin;
+    if (IsIdent(first, "template")) {
+      size_t j = begin + 1;
+      if (j < open_brace && IsPunct(toks_[j], "<")) {
+        int depth = 0;
+        for (; j < open_brace; ++j) {
+          if (toks_[j].kind != TokenKind::kPunct) continue;
+          if (toks_[j].text == "<") ++depth;
+          else if (toks_[j].text == ">") { if (--depth == 0) { ++j; break; } }
+          else if (toks_[j].text == ">>") { depth -= 2; if (depth <= 0) { ++j; break; } }
+        }
+      }
+      c = j;
+    }
+    if (c < open_brace && (IsIdent(toks_[c], "class") ||
+                           IsIdent(toks_[c], "struct") ||
+                           IsIdent(toks_[c], "union"))) {
+      if (c + 1 < open_brace &&
+          toks_[c + 1].kind == TokenKind::kIdentifier) {
+        info.kind = Frame::Kind::kClass;
+        info.name = toks_[c + 1].text;
+      }
+      return info;  // anonymous struct → block; named → class
+    }
+    return ClassifyCallable(begin, open_brace, &info);
+  }
+
+  // Walks backwards from the '{' over trailing qualifiers, annotation
+  // macros, and constructor init lists to decide whether this brace
+  // opens a function (or lambda) body, and if so which one.
+  OpenInfo ClassifyCallable(size_t begin, size_t open_brace, OpenInfo* info) {
+    size_t j = open_brace - 1;
+    bool saw_init_list = false;
+    while (true) {
+      const Token& t = toks_[j];
+      if (t.kind == TokenKind::kIdentifier &&
+          (t.text == "const" || t.text == "noexcept" || t.text == "override" ||
+           t.text == "final" || t.text == "mutable" ||
+           t.text == "PPS_NO_THREAD_SAFETY_ANALYSIS")) {
+        if (j == begin) return *info;
+        --j;
+        continue;
+      }
+      if (IsPunct(t, ":")) {
+        // Constructor init-list marker; the parameter list precedes it.
+        saw_init_list = true;
+        if (j == begin) return *info;
+        --j;
+        continue;
+      }
+      if (IsPunct(t, ",")) {
+        if (j == begin) return *info;
+        --j;
+        continue;
+      }
+      if (IsPunct(t, "]")) {
+        // Lambda without a parameter list: `[this] { ... }`.
+        info->kind = Frame::Kind::kLambda;
+        return *info;
+      }
+      if (!IsPunct(t, ")")) return *info;  // not a callable shape
+      const size_t open = MatchOpenParen(begin, j);
+      if (open == static_cast<size_t>(-1) || open == begin) return *info;
+      const Token& before = toks_[open - 1];
+      if (IsPunct(before, "]")) {
+        info->kind = Frame::Kind::kLambda;
+        return *info;
+      }
+      if (before.kind == TokenKind::kIdentifier) {
+        if (before.text == "PPS_REQUIRES" || before.text == "PPS_EXCLUDES") {
+          // Harvest into the frame (REQUIRES) and keep scanning left.
+          if (before.text == "PPS_REQUIRES") {
+            auto mutexes = ArgTailIdents(open, j);
+            info->required.insert(mutexes.begin(), mutexes.end());
+          }
+          if (open < begin + 2) return *info;
+          j = open - 2;
+          continue;
+        }
+        if (before.text == "noexcept") {
+          if (open < begin + 2) return *info;
+          j = open - 2;
+          continue;
+        }
+        if (IsControlKeyword(before.text)) return *info;  // if/for/... block
+        // Init-list entry (`: name(expr)` / `, name(expr)`) — keep going
+        // left toward the real parameter list.
+        if (open >= begin + 2 && (IsPunct(toks_[open - 2], ",") ||
+                                  IsPunct(toks_[open - 2], ":"))) {
+          j = open - 2;
+          continue;
+        }
+        // Found the parameter list; `before` is the function name.
+        info->kind = Frame::Kind::kFunction;
+        info->name = before.text;
+        size_t q = open - 1;  // index of the name
+        if (q >= begin + 1 && IsPunct(toks_[q - 1], "~")) {
+          info->ctor_dtor = true;
+          if (q >= begin + 2) q -= 1;  // step to '~' for qualifier check
+        }
+        if (q >= begin + 2 && IsPunct(toks_[q - 1], "::") &&
+            toks_[q - 2].kind == TokenKind::kIdentifier) {
+          info->cls = toks_[q - 2].text;
+        }
+        if (!info->cls.empty() && info->cls == info->name) {
+          info->ctor_dtor = true;
+        }
+        (void)saw_init_list;
+        return *info;
+      }
+      return *info;
+    }
+  }
+
+  // -------------------------------------------------------------------------
+  // Frame transitions.
+
+  void HandleOpen(size_t stmt_begin, size_t open_brace) {
+    OpenInfo info = Classify(stmt_begin, open_brace);
+    Frame* parent = CurrentFrame();
+
+    if (info.kind == Frame::Kind::kBlock && parent &&
+        parent->kind == Frame::Kind::kClass && open_brace > stmt_begin) {
+      // Default member initializer: `std::atomic<bool> x_{false};`.
+      RecordMember(stmt_begin, open_brace, parent);
+      frames_.push_back(Frame{});  // the initializer braces, contents inert
+      return;
+    }
+
+    if (info.kind == Frame::Kind::kLambda) {
+      // The tokens before the lambda belong to the enclosing statement
+      // (`cv_.wait(lock, [&]{...})`): process them in the enclosing
+      // frame so cv-wait/blocking/access checks still see them.
+      ProcessStatement(stmt_begin, open_brace, parent);
+    }
+
+    Frame frame;
+    frame.kind = info.kind;
+    frame.name = info.name;
+    frame.ctor_dtor = info.ctor_dtor;
+    frame.required = info.required;
+
+    if (info.kind == Frame::Kind::kFunction) {
+      frame.cls = !info.cls.empty()
+                      ? info.cls
+                      : (InnermostClass() ? InnermostClass()->name : "");
+      if (frame.cls == frame.name) frame.ctor_dtor = true;
+      // Merge PPS_REQUIRES from the declaration (usually in the header).
+      if (facts_) {
+        auto it = facts_->requires_fns.find(frame.name);
+        if (it != facts_->requires_fns.end()) {
+          frame.required.insert(it->second.begin(), it->second.end());
+        }
+      }
+      if (collecting() && !info.required.empty()) {
+        collect_->requires_fns[frame.name].insert(info.required.begin(),
+                                                  info.required.end());
+      }
+      current_fn_ = frame.name;
+    } else if (info.kind == Frame::Kind::kLambda) {
+      Frame* callable = InnermostCallable();
+      frame.cls = callable ? callable->cls
+                           : (InnermostClass() ? InnermostClass()->name : "");
+      if (callable) frame.ctor_dtor = callable->ctor_dtor;
+    } else if (info.kind == Frame::Kind::kBlock && parent) {
+      // Control-statement header (`if (...)`, `for (...)`): process its
+      // tokens attached to the NEW frame so an init-statement lock
+      // (`if (std::lock_guard l(m); ...)`) scopes to the block.
+      frames_.push_back(frame);
+      ProcessStatement(stmt_begin, open_brace, &frames_.back());
+      return;
+    }
+    frames_.push_back(std::move(frame));
+  }
+
+  void HandleClose() {
+    if (frames_.empty()) return;
+    Frame frame = std::move(frames_.back());
+    frames_.pop_back();
+    if (frame.kind == Frame::Kind::kClass) EvaluateClass(frame);
+  }
+
+  // -------------------------------------------------------------------------
+  // Class members (R6 completeness + R7 CAS-sibling checks).
+
+  void RecordMember(size_t begin, size_t end, Frame* cls) {
+    if (begin >= end) return;
+    // Strip access labels glued to the front (`public : int x_`).
+    while (end - begin >= 2 && toks_[begin].kind == TokenKind::kIdentifier &&
+           (toks_[begin].text == "public" || toks_[begin].text == "private" ||
+            toks_[begin].text == "protected") &&
+           IsPunct(toks_[begin + 1], ":")) {
+      begin += 2;
+    }
+    if (begin >= end) return;
+
+    HarvestRequiresAnnotations(begin, end);
+
+    Member m;
+    bool skip = false;
+    bool has_paren = false;
+    bool has_eq = false;
+    size_t eq_pos = end;
+    for (size_t j = begin; j < end; ++j) {
+      const Token& t = toks_[j];
+      if (t.kind == TokenKind::kIdentifier) {
+        const std::string& s = t.text;
+        if ((s == "PPS_GUARDED_BY" || s == "PPS_PT_GUARDED_BY" ||
+             s == "PPS_CAS_GUARDED_BY") &&
+            j + 1 < end && IsPunct(toks_[j + 1], "(")) {
+          // The annotation's own parens are not a method declarator.
+          const size_t close = MatchCloseParen(j + 1, end);
+          if (close != static_cast<size_t>(-1)) {
+            j = close;
+            continue;
+          }
+        }
+        if (s == "using" || s == "typedef" || s == "friend" ||
+            s == "static_assert" || s == "operator" || s == "template" ||
+            s == "enum" || s == "class" || s == "struct" || s == "union") {
+          skip = true;
+          break;
+        }
+        if (s == "static" || s == "constexpr" || s == "const") m.exempt = true;
+        if (s == "atomic") m.atomic_member = true;
+        if (SyncTypeTokens().count(s)) m.exempt = true;
+      } else if (t.kind == TokenKind::kPunct) {
+        if (t.text == "(" || t.text == ")") has_paren = true;
+        if (t.text == "=" && !has_eq) {
+          has_eq = true;
+          eq_pos = j;
+        }
+      }
+    }
+    if (skip || has_paren) return;  // method declaration / non-member
+
+    // Annotation wins the naming question: `T name_ PPS_GUARDED_BY(m)`.
+    for (size_t j = begin + 1; j < end; ++j) {
+      const bool g = IsIdent(toks_[j], "PPS_GUARDED_BY") ||
+                     IsIdent(toks_[j], "PPS_PT_GUARDED_BY");
+      const bool c = IsIdent(toks_[j], "PPS_CAS_GUARDED_BY");
+      if (!g && !c) continue;
+      if (toks_[j - 1].kind != TokenKind::kIdentifier) continue;
+      if (j + 1 >= end || !IsPunct(toks_[j + 1], "(")) continue;
+      const size_t close = MatchCloseParen(j + 1, end);
+      if (close == static_cast<size_t>(-1)) continue;
+      m.name = toks_[j - 1].text;
+      m.line = toks_[j - 1].line;
+      m.annotated = true;
+      m.cas_guarded = c;
+      auto args = ArgTailIdents(j + 1, close);
+      if (!args.empty()) m.guard_mutex = args.back();
+      break;
+    }
+    if (!m.annotated) {
+      // Plain member: last identifier before the initializer (if any).
+      const size_t scan_end = has_eq ? eq_pos : end;
+      for (size_t j = scan_end; j > begin;) {
+        --j;
+        if (toks_[j].kind == TokenKind::kIdentifier) {
+          m.name = toks_[j].text;
+          m.line = toks_[j].line;
+          break;
+        }
+        if (IsPunct(toks_[j], "]")) {
+          // Array declarator `T name[N]` — skip to the matching '['.
+          while (j > begin && !IsPunct(toks_[j], "[")) --j;
+          continue;
+        }
+        break;  // trailing punctuation we don't model (bitfields, refs)
+      }
+    }
+    if (m.name.empty()) return;
+
+    if (collecting() && m.annotated) {
+      ConcurrencyFacts::Guard guard;
+      guard.mutex = m.guard_mutex;
+      guard.cas = m.cas_guarded;
+      collect_->guarded[{cls->name, m.name}] = guard;
+    }
+    cls->members.push_back(std::move(m));
+  }
+
+  void EvaluateClass(const Frame& frame) {
+    if (collecting() || frame.members.empty()) return;
+    bool armed_r6 = false;
+    for (const Member& m : frame.members) {
+      if (m.annotated && !m.cas_guarded) armed_r6 = true;
+    }
+    std::set<std::string> r6_flagged;
+    if (armed_r6) {
+      for (const Member& m : frame.members) {
+        if (m.annotated || m.exempt || m.atomic_member) continue;
+        r6_flagged.insert(m.name);
+        Emit(m.line, RuleId::kR6,
+             "class '" + frame.name +
+                 "' has PPS_GUARDED_BY members but '" + m.name +
+                 "' carries no annotation; add PPS_GUARDED_BY / "
+                 "PPS_CAS_GUARDED_BY, or make it const/atomic");
+      }
+    }
+    if (!r7_scope_ || !facts_) return;
+    // R7c: a CAS-owned atomic (its name is a compare_exchange target)
+    // must not share the class with unmarked non-atomic state — the
+    // flight-recorder interleave shape.
+    std::string cas_owner;
+    for (const Member& m : frame.members) {
+      if (m.atomic_member && facts_->cas_fields.count(m.name)) {
+        cas_owner = m.name;
+        break;
+      }
+    }
+    if (cas_owner.empty()) return;
+    for (const Member& m : frame.members) {
+      if (m.atomic_member || m.annotated || m.exempt) continue;
+      if (r6_flagged.count(m.name)) continue;  // already reported under R6
+      Emit(m.line, RuleId::kR7,
+           "class '" + frame.name + "' mixes CAS-owned atomic '" + cas_owner +
+               "' with non-atomic '" + m.name +
+               "'; mark it PPS_CAS_GUARDED_BY(" + cas_owner +
+               ") if the CAS protocol covers it, or make it atomic");
+    }
+  }
+
+  // -------------------------------------------------------------------------
+  // Statement processing inside functions.
+
+  void ProcessStatement(size_t begin, size_t end, Frame* target) {
+    if (begin >= end) return;
+    Frame* parent = CurrentFrame();
+    if (parent && parent->kind == Frame::Kind::kClass && target == parent) {
+      RecordMember(begin, end, parent);
+      return;
+    }
+    HarvestRequiresAnnotations(begin, end);
+    if (collecting()) {
+      CollectCasTargets(begin, end);
+      return;
+    }
+    if (!InnermostCallable()) return;  // namespace-scope statement
+
+    DetectLockDeclaration(begin, end, target ? target : CurrentFrame());
+    DetectLockToggles(begin, end);
+    ScanOps(begin, end);
+  }
+
+  void CollectCasTargets(size_t begin, size_t end) {
+    for (size_t j = begin + 2; j < end; ++j) {
+      if (toks_[j].kind != TokenKind::kIdentifier) continue;
+      if (toks_[j].text != "compare_exchange_strong" &&
+          toks_[j].text != "compare_exchange_weak") {
+        continue;
+      }
+      if (!IsPunct(toks_[j - 1], ".") && !IsPunct(toks_[j - 1], "->")) continue;
+      if (toks_[j - 2].kind != TokenKind::kIdentifier) continue;
+      collect_->cas_fields.insert(toks_[j - 2].text);
+    }
+  }
+
+  void DetectLockDeclaration(size_t begin, size_t end, Frame* target) {
+    if (!target) return;
+    bool is_lock_decl = false;
+    for (size_t j = begin; j < end; ++j) {
+      if (toks_[j].kind == TokenKind::kIdentifier &&
+          LockScopeTypes().count(toks_[j].text)) {
+        // Require declaration position: preceded by :: (std::lock_guard)
+        // or at statement start — never `.lock_guard` member access.
+        if (j == begin || IsPunct(toks_[j - 1], "::") ||
+            toks_[j - 1].kind == TokenKind::kIdentifier) {
+          is_lock_decl = true;
+        }
+        break;
+      }
+    }
+    if (!is_lock_decl) return;
+    // The declarator is the last top-level `var(args)` group.
+    size_t close = static_cast<size_t>(-1);
+    for (size_t j = end; j > begin;) {
+      --j;
+      if (IsPunct(toks_[j], ")")) {
+        close = j;
+        break;
+      }
+    }
+    if (close == static_cast<size_t>(-1)) return;
+    const size_t open = MatchOpenParen(begin, close);
+    if (open == static_cast<size_t>(-1) || open == begin) return;
+    const Token& var = toks_[open - 1];
+    if (var.kind != TokenKind::kIdentifier) return;
+    auto mutexes = ArgTailIdents(open, close);
+    bool deferred = false;
+    for (auto it = mutexes.begin(); it != mutexes.end();) {
+      if (*it == "defer_lock" || *it == "try_to_lock") {
+        deferred = deferred || *it == "defer_lock";
+        it = mutexes.erase(it);
+      } else if (*it == "adopt_lock") {
+        it = mutexes.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    if (mutexes.empty()) return;
+    target->lock_vars[var.text] = mutexes;
+    if (!deferred) {
+      target->held.insert(mutexes.begin(), mutexes.end());
+    }
+  }
+
+  void DetectLockToggles(size_t begin, size_t end) {
+    for (size_t j = begin + 2; j < end; ++j) {
+      if (toks_[j].kind != TokenKind::kIdentifier) continue;
+      const bool is_lock = toks_[j].text == "lock";
+      const bool is_unlock = toks_[j].text == "unlock";
+      if (!is_lock && !is_unlock) continue;
+      if (!IsPunct(toks_[j - 1], ".") && !IsPunct(toks_[j - 1], "->")) continue;
+      if (j + 1 >= end || !IsPunct(toks_[j + 1], "(")) continue;
+      if (toks_[j - 2].kind != TokenKind::kIdentifier) continue;
+      const std::string& obj = toks_[j - 2].text;
+      // Resolve a known lock variable anywhere up the callable's frames;
+      // otherwise treat the object as the mutex itself.
+      std::vector<std::string> mutexes{obj};
+      Frame* owner = nullptr;
+      for (auto it = frames_.rbegin(); it != frames_.rend(); ++it) {
+        auto lv = it->lock_vars.find(obj);
+        if (lv != it->lock_vars.end()) {
+          mutexes = lv->second;
+          owner = &*it;
+          break;
+        }
+        if (it->kind == Frame::Kind::kFunction ||
+            it->kind == Frame::Kind::kClass) {
+          break;
+        }
+      }
+      Frame* target = owner ? owner : CurrentFrame();
+      if (!target) continue;
+      if (is_lock) {
+        target->held.insert(mutexes.begin(), mutexes.end());
+      } else {
+        for (auto it = frames_.rbegin(); it != frames_.rend(); ++it) {
+          for (const auto& m : mutexes) it->held.erase(m);
+          if (it->kind == Frame::Kind::kFunction) break;
+        }
+      }
+    }
+  }
+
+  void MarkBlocking(const std::string& via) {
+    Frame* callable = InnermostCallable();
+    if (!callable || callable->kind != Frame::Kind::kFunction) return;
+    FnInfo& info = fns_[callable->name];
+    if (!info.blocking) {
+      info.blocking = true;
+      info.blocking_via = via;
+    }
+  }
+
+  void RecordCallee(const std::string& callee) {
+    Frame* callable = InnermostCallable();
+    if (!callable || callable->kind != Frame::Kind::kFunction) return;
+    fns_[callable->name].callees.insert(callee);
+  }
+
+  void ScanOps(size_t begin, size_t end) {
+    for (size_t j = begin; j < end; ++j) {
+      if (toks_[j].kind != TokenKind::kIdentifier) continue;
+      const std::string& name = toks_[j].text;
+      const bool has_call = j + 1 < end && IsPunct(toks_[j + 1], "(");
+      const Token* prev = j > 0 ? &toks_[j - 1] : nullptr;
+      const bool member_access =
+          prev && (IsPunct(*prev, ".") || IsPunct(*prev, "->"));
+
+      if (has_call && member_access && AtomicOrderedOps().count(name)) {
+        CheckAtomicOp(j, end);
+        continue;
+      }
+      if (has_call && member_access &&
+          (name == "wait" || name == "wait_for" || name == "wait_until")) {
+        CheckCvWait(j, end);
+        continue;
+      }
+      if (has_call) {
+        HandleCall(j, name, member_access, prev);
+        continue;
+      }
+      CheckFieldAccess(j, name, prev);
+    }
+  }
+
+  void CheckAtomicOp(size_t j, size_t end) {
+    if (!r7_scope_) return;
+    const size_t close = MatchCloseParen(j + 1, end);
+    const size_t arg_end = close == static_cast<size_t>(-1) ? end : close;
+    const std::string& op = toks_[j].text;
+    if (!RangeHasMemoryOrder(j + 1, arg_end)) {
+      Emit(toks_[j].line, RuleId::kR7,
+           "'." + op + "()' without an explicit memory order defaults to "
+           "seq_cst; state the intended order (and say why in a comment "
+           "if it is not the obvious one)");
+      return;
+    }
+    // R7b: relaxed store into a CAS-owned field publishes state the CAS
+    // protocol on that field is supposed to order.
+    if (op == "store" && facts_ && j >= 2 &&
+        toks_[j - 2].kind == TokenKind::kIdentifier &&
+        facts_->cas_fields.count(toks_[j - 2].text)) {
+      for (size_t k = j + 2; k < arg_end; ++k) {
+        if (IsIdent(toks_[k], "memory_order_relaxed")) {
+          Emit(toks_[j].line, RuleId::kR7,
+               "relaxed store to '" + toks_[j - 2].text +
+                   "', which is a compare_exchange target elsewhere; "
+                   "CAS-owned fields publish with release (or stronger)");
+          return;
+        }
+      }
+    }
+  }
+
+  void CheckCvWait(size_t j, size_t end) {
+    MarkBlocking(toks_[j].text);
+    const size_t close = MatchCloseParen(j + 1, end);
+    const size_t arg_end = close == static_cast<size_t>(-1) ? end : close;
+    // The wait's own lock is exempt — waiting releases it.
+    std::set<std::string> exempt;
+    auto args = ArgTailIdents(j + 1, arg_end);
+    if (!args.empty()) {
+      const std::string& lock_arg = args.front();
+      for (auto it = frames_.rbegin(); it != frames_.rend(); ++it) {
+        auto lv = it->lock_vars.find(lock_arg);
+        if (lv != it->lock_vars.end()) {
+          exempt.insert(lv->second.begin(), lv->second.end());
+          break;
+        }
+      }
+      exempt.insert(lock_arg);  // direct `cv.wait(lock_on_mutex)` fallback
+    }
+    std::set<std::string> held = HeldForCalls();
+    for (const auto& m : exempt) held.erase(m);
+    if (!held.empty()) {
+      Emit(toks_[j].line, RuleId::kR8,
+           "condition-variable '" + toks_[j].text +
+               "' while still holding " + JoinNames(held) +
+               "; a waiter parks with a foreign lock held");
+    }
+  }
+
+  void HandleCall(size_t j, const std::string& name, bool member_access,
+                  const Token* prev) {
+    if (IsControlKeyword(name) || name == "while") return;
+    if (!member_access && prev) {
+      // Declaration guards, mirroring R2: `int read(...)`, `void *fn(`.
+      if (prev->kind == TokenKind::kIdentifier && prev->text != "return" &&
+          prev->text != "co_return" && prev->text != "case") {
+        return;
+      }
+      if (IsPunct(*prev, "*") || IsPunct(*prev, "&") || IsPunct(*prev, "~")) {
+        return;
+      }
+    }
+    const bool blocking_sink =
+        member_access
+            ? MethodBlockingSinks().count(name) > 0
+            : (FreeBlockingSinks().count(name) > 0 ||
+               MethodBlockingSinks().count(name) > 0);
+    const std::set<std::string> held = HeldForCalls();
+    if (blocking_sink) {
+      MarkBlocking(name);
+      if (!held.empty()) {
+        Emit(toks_[j].line, RuleId::kR8,
+             "blocking '" + name + "()' called while holding " +
+                 JoinNames(held) +
+                 "; release the lock before I/O, sleeps, or joins");
+      }
+      return;
+    }
+    RecordCallee(name);
+    if (facts_) {
+      auto it = facts_->excludes_fns.find(name);
+      if (it != facts_->excludes_fns.end()) {
+        std::set<std::string> inter;
+        for (const auto& m : it->second) {
+          if (held.count(m)) inter.insert(m);
+        }
+        if (!inter.empty()) {
+          Emit(toks_[j].line, RuleId::kR6,
+               "call to '" + name + "()' which PPS_EXCLUDES " +
+                   JoinNames(inter) + " while holding " + JoinNames(inter) +
+                   " — it acquires that mutex itself (self-deadlock)");
+        }
+      }
+    }
+    if (!held.empty()) {
+      pending_calls_.push_back(
+          PendingCall{name, toks_[j].line,
+                      std::vector<std::string>(held.begin(), held.end())});
+    }
+  }
+
+  void CheckFieldAccess(size_t j, const std::string& name, const Token* prev) {
+    if (!facts_) return;
+    if (prev) {
+      if (IsPunct(*prev, "::")) return;
+      if (IsPunct(*prev, ".") || IsPunct(*prev, "->")) {
+        // `this->field_` is an own-field access; `obj.field_` is not ours
+        // to judge (the annotation names the owner's mutex).
+        if (!(j >= 2 && IsIdent(toks_[j - 2], "this"))) return;
+      }
+    }
+    Frame* callable = InnermostCallable();
+    if (!callable || callable->cls.empty() || callable->ctor_dtor) return;
+    auto it = facts_->guarded.find({callable->cls, name});
+    if (it == facts_->guarded.end() || it->second.cas) return;
+    const std::set<std::string> held = HeldForAccess();
+    if (held.count(it->second.mutex)) return;
+    const auto key = std::make_pair(toks_[j].line, name);
+    if (!r6_emitted_.insert(key).second) return;
+    Emit(toks_[j].line, RuleId::kR6,
+         "'" + name + "' is PPS_GUARDED_BY(" + it->second.mutex +
+             ") but no enclosing scope holds it; take a std::lock_guard/"
+             "std::unique_lock on '" + it->second.mutex +
+             "' or annotate the method PPS_REQUIRES(" + it->second.mutex +
+             ")");
+  }
+
+  // -------------------------------------------------------------------------
+  // R8 transitive resolution over the per-file call graph.
+
+  void ResolveCallGraph() {
+    if (collecting()) return;
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (auto& [name, info] : fns_) {
+        if (info.blocking) continue;
+        for (const auto& callee : info.callees) {
+          auto it = fns_.find(callee);
+          if (it != fns_.end() && it->second.blocking) {
+            info.blocking = true;
+            info.blocking_via = callee + " -> " + it->second.blocking_via;
+            changed = true;
+            break;
+          }
+        }
+      }
+    }
+    for (const PendingCall& call : pending_calls_) {
+      auto it = fns_.find(call.callee);
+      if (it == fns_.end() || !it->second.blocking) continue;
+      std::set<std::string> held(call.held.begin(), call.held.end());
+      Emit(call.line, RuleId::kR8,
+           "'" + call.callee + "()' blocks (via " + it->second.blocking_via +
+               ") and is called while holding " + JoinNames(held) +
+               "; release the lock before I/O, sleeps, or waits");
+    }
+  }
+
+  const std::string rel_path_;
+  const std::vector<Token>& toks_;
+  const ConcurrencyFacts* facts_;
+  ConcurrencyFacts* collect_;
+  std::vector<Violation>* out_;
+  const bool r7_scope_;
+
+  std::deque<Frame> frames_;
+  std::string current_fn_;
+  std::map<std::string, FnInfo> fns_;
+  std::vector<PendingCall> pending_calls_;
+  std::set<std::pair<int, std::string>> r6_emitted_;
+};
+
+}  // namespace
+
+void ConcurrencyFacts::Merge(const ConcurrencyFacts& other) {
+  guarded.insert(other.guarded.begin(), other.guarded.end());
+  for (const auto& [fn, mutexes] : other.requires_fns) {
+    requires_fns[fn].insert(mutexes.begin(), mutexes.end());
+  }
+  for (const auto& [fn, mutexes] : other.excludes_fns) {
+    excludes_fns[fn].insert(mutexes.begin(), mutexes.end());
+  }
+  cas_fields.insert(other.cas_fields.begin(), other.cas_fields.end());
+}
+
+void CollectConcurrencyFacts(const LexResult& lex, ConcurrencyFacts* facts) {
+  Walker("", lex, nullptr, facts, nullptr).Run();
+}
+
+void CheckConcurrency(const std::string& rel_path, const LexResult& lex,
+                      const ConcurrencyFacts& facts,
+                      std::vector<Violation>* out) {
+  Walker(rel_path, lex, &facts, nullptr, out).Run();
+}
+
+}  // namespace ppslint

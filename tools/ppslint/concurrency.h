@@ -1,0 +1,73 @@
+// ppslint concurrency-discipline pass (rules R6/R7/R8, DESIGN.md §15).
+//
+// Internal interface between the driver (ppslint.cc) and the
+// concurrency walker (concurrency.cc). The pass runs in two phases:
+//
+//   1. CollectConcurrencyFacts over every file in the scan set gathers
+//      the cross-file knowledge the rules need: which (class, field)
+//      pairs carry PPS_GUARDED_BY / PPS_CAS_GUARDED_BY annotations and
+//      name which mutex, which functions are annotated PPS_REQUIRES /
+//      PPS_EXCLUDES, and which field names are targets of
+//      compare_exchange loops. Annotations live in headers while the
+//      accesses live in .cc files, so facts must span the file set.
+//
+//   2. CheckConcurrency re-walks each file with the merged facts and
+//      emits violations:
+//        R6 lock discipline   — guarded-field access outside a lexical
+//                               lock scope naming the right mutex (or a
+//                               PPS_REQUIRES method), un-annotated
+//                               mutable siblings in annotated classes,
+//                               calls into PPS_EXCLUDES functions with
+//                               the excluded mutex held.
+//        R7 atomics hygiene   — .load()/.store()/fetch_* without an
+//                               explicit memory order in src/net,
+//                               src/obs, src/stream; relaxed stores to
+//                               CAS-owned fields; non-atomic unmarked
+//                               siblings of a CAS-owned atomic.
+//        R8 blocking-under-lock — intra-TU call-graph taint from
+//                               blocking sinks (socket ops, poll,
+//                               sleeps, cv waits, join) to any scope
+//                               lexically holding a lock.
+
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "lexer.h"
+#include "ppslint.h"
+
+namespace ppslint {
+
+struct ConcurrencyFacts {
+  struct Guard {
+    std::string mutex;  // guard expression (last identifier, e.g. "mutex_")
+    bool cas = false;   // PPS_CAS_GUARDED_BY (CAS/seqlock discipline)
+  };
+  /// (class name, field name) -> guard. Class-scoped so an annotated
+  /// `state_` in one class never taints a same-named field elsewhere.
+  std::map<std::pair<std::string, std::string>, Guard> guarded;
+  /// Function name -> mutexes it PPS_REQUIRES callers to hold.
+  std::map<std::string, std::set<std::string>> requires_fns;
+  /// Function name -> mutexes it PPS_EXCLUDES (caller must NOT hold).
+  std::map<std::string, std::set<std::string>> excludes_fns;
+  /// Field names that appear as compare_exchange_{strong,weak} targets
+  /// anywhere in the scan set (the CAS-owned atomics).
+  std::set<std::string> cas_fields;
+
+  void Merge(const ConcurrencyFacts& other);
+};
+
+/// Phase 1: harvest annotations and CAS targets from one file.
+void CollectConcurrencyFacts(const LexResult& lex, ConcurrencyFacts* facts);
+
+/// Phase 2: append R6/R7/R8 violations for one file. `rel_path` drives
+/// the R7 directory scope; `file` is the path recorded on violations.
+void CheckConcurrency(const std::string& rel_path, const LexResult& lex,
+                      const ConcurrencyFacts& facts,
+                      std::vector<Violation>* out);
+
+}  // namespace ppslint

@@ -1,0 +1,41 @@
+// R6 negative fixture: the disciplined mirror of r6_pos.cc. Every guarded
+// access happens under the right lock or inside a PPS_REQUIRES method,
+// every mutable member carries an annotation, and the PPS_EXCLUDES callee
+// is invoked lock-free. The vandal test in lint_test.cc strips the first
+// PPS_GUARDED_BY from this file and asserts R6 starts firing.
+
+#include <mutex>
+#include <string>
+
+#include "util/thread_annotations.h"
+
+namespace ppstream {
+
+class RouteTable {
+ public:
+  void Insert(const std::string& route) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    entries_ += 1;
+    label_ = route;
+  }
+
+  int Snapshot() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return entries_;
+  }
+
+  void Rebuild() PPS_EXCLUDES(mutex_);
+
+  void Flush() {
+    Rebuild();  // mutex_ not held: the EXCLUDES contract is honored
+  }
+
+ private:
+  void CompactLocked() PPS_REQUIRES(mutex_) { entries_ = 0; }
+
+  mutable std::mutex mutex_;
+  int entries_ PPS_GUARDED_BY(mutex_) = 0;
+  std::string label_ PPS_GUARDED_BY(mutex_);
+};
+
+}  // namespace ppstream

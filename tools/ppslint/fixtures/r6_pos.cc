@@ -1,0 +1,39 @@
+// R6 positive fixture: lock-discipline violations. Every access pattern
+// here is a shape the rule must catch: an unlocked write, a write under
+// the WRONG mutex, an un-annotated sibling in an annotated class, and a
+// call into a PPS_EXCLUDES function with its mutex held.
+
+#include <mutex>
+#include <string>
+
+#include "util/thread_annotations.h"
+
+namespace ppstream {
+
+class RouteTable {
+ public:
+  void Insert(const std::string& route) {
+    entries_ += 1;  // R6: guarded field, no lock held
+    label_ = route;
+  }
+
+  void Touch() {
+    std::lock_guard<std::mutex> lock(aux_mutex_);
+    entries_ += 1;  // R6: wrong mutex held
+  }
+
+  void Rebuild() PPS_EXCLUDES(mutex_);
+
+  void Flush() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    Rebuild();  // R6: callee excludes mutex_, which is held here
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  mutable std::mutex aux_mutex_;
+  int entries_ PPS_GUARDED_BY(mutex_) = 0;
+  std::string label_;  // R6: un-annotated sibling of a guarded member
+};
+
+}  // namespace ppstream

@@ -1,0 +1,32 @@
+// R7 negative fixture: the hygienic mirror of r7_pos.cc. Every atomic op
+// states its order, the publication store is a release, and the
+// CAS-covered plain field is marked PPS_CAS_GUARDED_BY so the protocol
+// is visible at the declaration.
+
+#include <atomic>
+#include <cstdint>
+
+#include "util/thread_annotations.h"
+
+namespace ppstream {
+
+class SlotJournal {
+ public:
+  void Publish(uint64_t stamp) {
+    uint64_t cur = seq_.load(std::memory_order_acquire);
+    while (!seq_.compare_exchange_weak(cur, cur + 1,
+                                       std::memory_order_acq_rel)) {
+    }
+    stamp_words_ = stamp;
+    seq_.store(cur + 2, std::memory_order_release);
+  }
+
+  bool Ready() const { return ready_.load(std::memory_order_acquire); }
+
+ private:
+  std::atomic<uint64_t> seq_{0};
+  std::atomic<bool> ready_{false};
+  uint64_t stamp_words_ PPS_CAS_GUARDED_BY(seq_) = 0;
+};
+
+}  // namespace ppstream

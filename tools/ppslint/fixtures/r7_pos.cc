@@ -1,0 +1,32 @@
+// R7 positive fixture: atomics-hygiene violations. An implicit
+// (seq_cst) memory order, a relaxed store to a field that elsewhere runs
+// a CAS loop, and a non-atomic member sharing the class with that
+// CAS-owned atomic without a PPS_CAS_GUARDED_BY marker.
+
+#include <atomic>
+#include <cstdint>
+
+namespace ppstream {
+
+class SlotJournal {
+ public:
+  void Publish(uint64_t stamp) {
+    uint64_t cur = seq_.load(std::memory_order_acquire);
+    while (!seq_.compare_exchange_weak(cur, cur + 1,
+                                       std::memory_order_acq_rel)) {
+    }
+    stamp_words_ = stamp;
+    seq_.store(cur + 2, std::memory_order_relaxed);  // R7: relaxed CAS store
+  }
+
+  bool Ready() const {
+    return ready_.load();  // R7: implicit seq_cst order
+  }
+
+ private:
+  std::atomic<uint64_t> seq_{0};
+  std::atomic<bool> ready_{false};
+  uint64_t stamp_words_ = 0;  // R7: unmarked sibling of CAS-owned seq_
+};
+
+}  // namespace ppstream

@@ -1,0 +1,37 @@
+// R8 negative fixture: the same blocking work as r8_pos.cc, but the lock
+// is always dropped first — once by closing the scope, once with an
+// explicit unlock() toggle on a unique_lock.
+
+#include <chrono>
+#include <mutex>
+#include <thread>
+
+namespace ppstream {
+
+class PeerPump {
+ public:
+  void Drain() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      pending_ = 0;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+
+  void Flush() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    pending_ = 0;
+    lock.unlock();
+    PumpOnce();
+  }
+
+ private:
+  void PumpOnce() {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+  mutable std::mutex mutex_;
+  int pending_ = 0;
+};
+
+}  // namespace ppstream

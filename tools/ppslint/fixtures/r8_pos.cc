@@ -1,0 +1,32 @@
+// R8 positive fixture: blocking calls reached while a lock is held — once
+// directly (sleep under lock_guard) and once transitively through a
+// helper defined AFTER its caller, which exercises the end-of-file
+// call-graph fixpoint.
+
+#include <chrono>
+#include <mutex>
+#include <thread>
+
+namespace ppstream {
+
+class PeerPump {
+ public:
+  void Drain() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));  // R8 direct
+  }
+
+  void Flush() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    PumpOnce();  // R8 transitive: PumpOnce -> sleep_for
+  }
+
+ private:
+  void PumpOnce() {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+  mutable std::mutex mutex_;
+};
+
+}  // namespace ppstream

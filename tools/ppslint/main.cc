@@ -1,13 +1,17 @@
 // ppslint CLI. Usage:
 //
-//   ppslint [--root DIR] [--strict] [--list-rules] [paths...]
+//   ppslint [--root DIR] [--strict] [--list-rules] [--explain R-ID]
+//           [--report FILE] [paths...]
 //
 // Paths default to src examples bench (relative to --root, which defaults
 // to the current directory). Exit codes: 0 clean, 1 violations (or unused
 // suppressions under --strict), 2 usage/environment error.
 
 #include <cstring>
+#include <fstream>
 #include <iostream>
+#include <map>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -16,18 +20,33 @@
 namespace {
 
 void PrintUsage(std::ostream& os) {
-  os << "usage: ppslint [--root DIR] [--strict] [--list-rules] [paths...]\n"
-     << "  --root DIR    repo root (default: .)\n"
-     << "  --strict      unused ppslint:allow() suppressions fail the run\n"
-     << "  --list-rules  print the rule set and exit\n"
-     << "  paths         files or directories to scan "
+  os << "usage: ppslint [--root DIR] [--strict] [--list-rules]\n"
+     << "               [--explain R-ID] [--report FILE] [paths...]\n"
+     << "  --root DIR     repo root (default: .)\n"
+     << "  --strict       unused ppslint:allow() suppressions fail the run\n"
+     << "  --list-rules   print the rule set and exit\n"
+     << "  --explain R-ID print one rule's rationale and the historical\n"
+        "                 bug it encodes, then exit\n"
+     << "  --report FILE  also write the findings report to FILE\n"
+     << "  paths          files or directories to scan "
         "(default: src examples bench)\n";
+}
+
+bool LookupRule(const std::string& id, ppslint::RuleId* out) {
+  for (ppslint::RuleId rule : ppslint::AllRules()) {
+    if (id == ppslint::RuleIdName(rule)) {
+      *out = rule;
+      return true;
+    }
+  }
+  return false;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   std::string root = ".";
+  std::string report_path;
   bool strict = false;
   std::vector<std::string> paths;
 
@@ -38,12 +57,27 @@ int main(int argc, char** argv) {
       return 0;
     }
     if (arg == "--list-rules") {
-      using ppslint::RuleId;
-      for (RuleId id : {RuleId::kR1, RuleId::kR2, RuleId::kR3, RuleId::kR4,
-                        RuleId::kR5}) {
+      for (ppslint::RuleId id : ppslint::AllRules()) {
         std::cout << ppslint::RuleIdName(id) << "  "
                   << ppslint::RuleIdDescription(id) << "\n";
       }
+      return 0;
+    }
+    if (arg == "--explain") {
+      if (i + 1 >= argc) {
+        std::cerr << "ppslint: --explain needs a rule id (R1..R8)\n";
+        return 2;
+      }
+      ppslint::RuleId rule;
+      const std::string id = argv[++i];
+      if (!LookupRule(id, &rule)) {
+        std::cerr << "ppslint: unknown rule id '" << id
+                  << "' (try --list-rules)\n";
+        return 2;
+      }
+      std::cout << ppslint::RuleIdName(rule) << "  "
+                << ppslint::RuleIdDescription(rule) << "\n\n"
+                << ppslint::RuleIdExplanation(rule);
       return 0;
     }
     if (arg == "--strict") {
@@ -56,6 +90,14 @@ int main(int argc, char** argv) {
         return 2;
       }
       root = argv[++i];
+      continue;
+    }
+    if (arg == "--report") {
+      if (i + 1 >= argc) {
+        std::cerr << "ppslint: --report needs a file path\n";
+        return 2;
+      }
+      report_path = argv[++i];
       continue;
     }
     if (arg.rfind("--", 0) == 0) {
@@ -81,29 +123,50 @@ int main(int argc, char** argv) {
 
   const ppslint::Report report = ppslint::AnalyzeFiles(opts, files);
 
+  std::ostringstream out;
   for (const ppslint::Violation& v : report.violations) {
-    std::cout << v.file << ":" << v.line << ": ["
-              << ppslint::RuleIdName(v.rule) << "] " << v.message << "\n";
+    out << v.file << ":" << v.line << ": [" << ppslint::RuleIdName(v.rule)
+        << "] " << v.message << "\n";
   }
   for (const ppslint::Suppression& s : report.suppressions) {
     if (s.used) {
-      std::cout << "note: " << s.file << ":" << s.comment_line
-                << ": suppressed [" << ppslint::RuleIdName(s.rule) << "] "
-                << (s.reason.empty() ? "(no reason given)" : s.reason) << "\n";
+      out << "note: " << s.file << ":" << s.comment_line << ": suppressed ["
+          << ppslint::RuleIdName(s.rule) << "] "
+          << (s.reason.empty() ? "(no reason given)" : s.reason) << "\n";
     }
   }
   const auto unused = report.unused_suppressions();
   for (const ppslint::Suppression* s : unused) {
-    std::cout << (strict ? "error: " : "warning: ") << s->file << ":"
-              << s->comment_line << ": unused suppression ["
-              << ppslint::RuleIdName(s->rule) << "] — rule no longer fires "
-              << "here; remove the ppslint:allow()\n";
+    out << (strict ? "error: " : "warning: ") << s->file << ":"
+        << s->comment_line << ": unused suppression ["
+        << ppslint::RuleIdName(s->rule) << "] — rule no longer fires "
+        << "here; remove the ppslint:allow()\n";
   }
 
-  std::cout << "ppslint: scanned " << report.files_scanned << " files: "
-            << report.violations.size() << " violation(s), "
-            << report.used_suppression_count() << " suppression(s) honored, "
-            << unused.size() << " unused suppression(s)\n";
+  // Per-rule finding counts (violations that survived suppression), so a
+  // CI log line shows at a glance which family regressed.
+  std::map<ppslint::RuleId, size_t> by_rule;
+  for (const ppslint::Violation& v : report.violations) ++by_rule[v.rule];
+  out << "ppslint: per-rule findings:";
+  for (ppslint::RuleId id : ppslint::AllRules()) {
+    out << " " << ppslint::RuleIdName(id) << "=" << by_rule[id];
+  }
+  out << "\n";
+
+  out << "ppslint: scanned " << report.files_scanned << " files: "
+      << report.violations.size() << " violation(s), "
+      << report.used_suppression_count() << " suppression(s) honored, "
+      << unused.size() << " unused suppression(s)\n";
+
+  std::cout << out.str();
+  if (!report_path.empty()) {
+    std::ofstream f(report_path, std::ios::trunc);
+    if (!f) {
+      std::cerr << "ppslint: cannot write report to '" << report_path << "'\n";
+      return 2;
+    }
+    f << out.str();
+  }
 
   if (!report.violations.empty()) return 1;
   if (strict && !unused.empty()) return 1;

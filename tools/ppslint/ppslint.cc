@@ -11,6 +11,7 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "concurrency.h"
 #include "lexer.h"
 
 namespace fs = std::filesystem;
@@ -171,6 +172,9 @@ void ParseSuppressions(FileScan* scan) {
     else if (id == "R3") rule = RuleId::kR3;
     else if (id == "R4") rule = RuleId::kR4;
     else if (id == "R5") rule = RuleId::kR5;
+    else if (id == "R6") rule = RuleId::kR6;
+    else if (id == "R7") rule = RuleId::kR7;
+    else if (id == "R8") rule = RuleId::kR8;
     else {
       AddViolation(scan, c.line, RuleId::kR5,
                    "malformed suppression: unknown rule id '" + id +
@@ -614,6 +618,14 @@ void FindCycles(const IncludeGraph& graph,
 // ---------------------------------------------------------------------------
 // Public API.
 
+const std::vector<RuleId>& AllRules() {
+  static const std::vector<RuleId> kAll = {
+      RuleId::kR1, RuleId::kR2, RuleId::kR3, RuleId::kR4,
+      RuleId::kR5, RuleId::kR6, RuleId::kR7, RuleId::kR8,
+  };
+  return kAll;
+}
+
 const char* RuleIdName(RuleId id) {
   switch (id) {
     case RuleId::kR1: return "R1";
@@ -621,6 +633,9 @@ const char* RuleIdName(RuleId id) {
     case RuleId::kR3: return "R3";
     case RuleId::kR4: return "R4";
     case RuleId::kR5: return "R5";
+    case RuleId::kR6: return "R6";
+    case RuleId::kR7: return "R7";
+    case RuleId::kR8: return "R8";
   }
   return "R?";
 }
@@ -642,6 +657,83 @@ const char* RuleIdDescription(RuleId id) {
     case RuleId::kR5:
       return "banned-constructs: raw new/delete outside src/bignum, "
              "error-swallowing catch (...), #include cycles";
+    case RuleId::kR6:
+      return "lock-discipline: PPS_GUARDED_BY fields only touched under "
+             "the named mutex or inside PPS_REQUIRES methods";
+    case RuleId::kR7:
+      return "atomics-hygiene: explicit memory orders in src/net, src/obs, "
+             "src/stream; CAS-owned fields publish with release";
+    case RuleId::kR8:
+      return "blocking-under-lock: no socket I/O, sleeps, joins, or cv "
+             "waits on foreign locks while holding a mutex";
+  }
+  return "";
+}
+
+const char* RuleIdExplanation(RuleId id) {
+  switch (id) {
+    case RuleId::kR1:
+      return "Secret-tagged values (keys, permutations, randomizers,\n"
+             "decrypted views) must never co-occur with a serialization or\n"
+             "frame-send sink outside the audited src/net/wire.cc boundary.\n"
+             "Encodes the paper's core privacy claim: the provider sees only\n"
+             "obfuscated streams, so the one place bytes are framed for the\n"
+             "wire is the one place leakage could happen silently.\n";
+    case RuleId::kR2:
+      return "Randomness in src/crypto, src/core, src/mpc must come from\n"
+             "SecureRng or RandomizerPool. A std::mt19937 seeded from\n"
+             "time() has a tiny effective seed space: every 'randomized'\n"
+             "obfuscation stream drawn from it would be replayable offline,\n"
+             "which is the attack the paper's randomization defeats.\n";
+    case RuleId::kR3:
+      return "Secret-tagged identifiers must not appear in PPS_SLOG /\n"
+             "PPS_LOG statements. Logs outlive processes, get shipped to\n"
+             "aggregators, and are exactly the side channel the threat\n"
+             "model assumes the provider can read.\n";
+    case RuleId::kR4:
+      return "Comparisons over secret buffers in crypto scopes must use\n"
+             "ConstantTimeEquals: memcmp and operator== short-circuit on\n"
+             "the first differing byte, turning response latency into a\n"
+             "byte-by-byte oracle on key and permutation material.\n";
+    case RuleId::kR5:
+      return "Raw new/delete outside src/bignum, error-swallowing\n"
+             "catch (...), and #include cycles are banned tree-wide —\n"
+             "ownership bugs, silent failures, and layering rot all\n"
+             "surfaced as review comments often enough to automate.\n";
+    case RuleId::kR6:
+      return "Every access to a PPS_GUARDED_BY(m) field must sit lexically\n"
+             "inside a std::lock_guard/std::unique_lock scope naming m, or\n"
+             "in a method annotated PPS_REQUIRES(m); classes with guarded\n"
+             "members may not carry un-annotated mutable siblings, and\n"
+             "PPS_EXCLUDES(m) functions must not be called with m held\n"
+             "(self-deadlock). Historical bug: the PR 9 session attach race\n"
+             "— ServerSession reply state was written outside the registry\n"
+             "lock on the resume path, visible only under a concurrent\n"
+             "resume storm, found by human review after TSan missed it.\n"
+             "Under Clang with an annotated libc++ the same macros expand\n"
+             "to thread-safety attributes, so -Wthread-safety checks the\n"
+             "discipline flow-sensitively on that CI leg.\n";
+    case RuleId::kR7:
+      return "In src/net, src/obs, src/stream every .load()/.store()/\n"
+             "fetch_* must spell its memory order; a store with\n"
+             "memory_order_relaxed to a field that is a compare_exchange\n"
+             "target elsewhere is flagged (CAS-owned fields publish with\n"
+             "release or stronger); and a CAS-owned atomic may not share a\n"
+             "class with non-atomic members unless they are marked\n"
+             "PPS_CAS_GUARDED_BY. Historical bug: the flight-recorder slot\n"
+             "interleave — the seqlock's version word was reset with a\n"
+             "relaxed store, letting a reader observe a half-written slot\n"
+             "as consistent after Reset().\n";
+    case RuleId::kR8:
+      return "No blocking call — socket send/recv/accept/connect, poll,\n"
+             "sleeps, thread joins, or condition-variable waits on a\n"
+             "foreign lock — while lexically holding a mutex. The taint is\n"
+             "transitive within a translation unit: a helper that blocks\n"
+             "makes every locked caller a violation. Historical bug: the\n"
+             "trickling-client starvation — the admin responder read a\n"
+             "request byte-by-byte on the accept thread, so one slow\n"
+             "client could park /healthz behind a socket read until the\n"
+             "per-connection deadline was added.\n";
   }
   return "";
 }
@@ -674,7 +766,12 @@ Report AnalyzeSource(const Options& opts, const std::string& rel_path,
                      const std::string& content) {
   (void)opts;
   Report report;
-  Finalize(ScanFile(rel_path, content), &report);
+  FileScan scan = ScanFile(rel_path, content);
+  // Single-TU concurrency pass: facts come from this file alone.
+  ConcurrencyFacts facts;
+  CollectConcurrencyFacts(scan.lex, &facts);
+  CheckConcurrency(rel_path, scan.lex, facts, &scan.violations);
+  Finalize(std::move(scan), &report);
   return report;
 }
 
@@ -732,6 +829,17 @@ Report AnalyzeFiles(const Options& opts,
   }
 
   FindCycles(graph, &scans);
+
+  // Concurrency pass, two phases: annotations live in headers while the
+  // accesses live in .cc files, so facts must span the whole scan set
+  // before any file is checked.
+  ConcurrencyFacts facts;
+  for (auto& [rel, scan] : scans) {
+    CollectConcurrencyFacts(scan.lex, &facts);
+  }
+  for (auto& [rel, scan] : scans) {
+    CheckConcurrency(rel, scan.lex, facts, &scan.violations);
+  }
 
   for (auto& [rel, scan] : scans) {
     Finalize(std::move(scan), &report);

@@ -1,7 +1,8 @@
-// ppslint — privacy-invariant static analyzer for the PP-Stream tree
-// (DESIGN.md §10 "Static privacy analysis").
+// ppslint — privacy- and concurrency-invariant static analyzer for the
+// PP-Stream tree (DESIGN.md §10 "Static privacy analysis", §15
+// "Concurrency discipline").
 //
-// Five rules derived from the paper's threat model:
+// Five privacy rules derived from the paper's threat model:
 //
 //   R1 privacy-boundary   secret-tagged types/values must not reach
 //                         BufferWriter / frame-send sites outside the
@@ -16,6 +17,24 @@
 //                         ConstantTimeEquals (src/crypto/constant_time.h).
 //   R5 banned-constructs  raw new/delete outside src/bignum, catch (...)
 //                         handlers that swallow errors, #include cycles.
+//
+// Three concurrency rules derived from the serving plane's review history
+// (src/util/thread_annotations.h carries the annotation macros):
+//
+//   R6 lock-discipline    every access to a PPS_GUARDED_BY field must sit
+//                         lexically inside a lock scope naming the right
+//                         mutex or a method annotated PPS_REQUIRES on it;
+//                         annotated classes may not carry un-annotated
+//                         mutable siblings; PPS_EXCLUDES functions must
+//                         not be called with the excluded mutex held.
+//   R7 atomics-hygiene    .load()/.store()/fetch_* need an explicit
+//                         memory order in src/net, src/obs, src/stream;
+//                         relaxed stores to CAS-owned fields are banned;
+//                         CAS-owned atomics may not share a class with
+//                         unmarked non-atomic state.
+//   R8 blocking-under-lock intra-TU call-graph taint from blocking sinks
+//                         (socket ops, poll, sleeps, cv waits, join) to
+//                         any scope lexically holding a lock.
 //
 // Violations print as `file:line: [R-ID] message` and the process exits
 // non-zero when any are unsuppressed. A finding is suppressed by
@@ -34,13 +53,20 @@
 
 namespace ppslint {
 
-enum class RuleId { kR1, kR2, kR3, kR4, kR5 };
+enum class RuleId { kR1, kR2, kR3, kR4, kR5, kR6, kR7, kR8 };
 
-/// "R1".."R5".
+/// Every rule, in order — the single place to extend when adding R9.
+const std::vector<RuleId>& AllRules();
+
+/// "R1".."R8".
 const char* RuleIdName(RuleId id);
 
 /// One-line rule summary for --list-rules and reports.
 const char* RuleIdDescription(RuleId id);
+
+/// Multi-line rationale for --explain: what the rule checks, why, and the
+/// historical bug in this tree that it encodes. Ends with a newline.
+const char* RuleIdExplanation(RuleId id);
 
 struct Violation {
   std::string file;  // path as passed in (root-relative in normal runs)
